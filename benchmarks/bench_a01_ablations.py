@@ -1,0 +1,111 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+A1 — stubborn-set *granularity*: Algorithm 1 works on individual
+instructions (D1 control chains for future elements); the simpler
+process-granularity closure must pull whole-process futures.  The
+paper's improvement over naive Overman is exactly this distinction.
+
+A2 — *points-to precision* in the static access sets: without it every
+dereference statically conflicts with every allocation site, and the
+reduction on pointer-disjoint threads collapses.
+
+A3 — configuration *garbage collection*: dropping unreachable heap
+objects merges configurations that differ only in dead data.
+"""
+
+from _tables import emit_table
+
+from repro.explore import ExploreOptions, explore
+from repro.programs.philosophers import philosophers
+from repro.programs.synthetic import pointer_heavy, sharing_sweep
+from repro.semantics import StepOptions
+
+
+def test_a1_stubborn_granularity(benchmark):
+    rows = []
+    for name, prog in [
+        ("philosophers(4)", philosophers(4)),
+        ("sharing 1/3", sharing_sweep(2, 6, 3)),
+        ("pointer_heavy(2,2)", pointer_heavy(2, 2)),
+    ]:
+        full = explore(prog, "full")
+        alg1 = explore(prog, "stubborn")
+        proc = explore(prog, "stubborn-proc")
+        assert alg1.final_stores() == full.final_stores() == proc.final_stores()
+        rows.append(
+            [
+                name,
+                full.stats.num_configs,
+                alg1.stats.num_configs,
+                proc.stats.num_configs,
+            ]
+        )
+    emit_table(
+        "a01_granularity",
+        "A1: stubborn granularity — Algorithm 1 (instructions) vs whole-process closure",
+        ["program", "full", "algorithm 1", "process-level"],
+        rows,
+    )
+    benchmark(lambda: explore(sharing_sweep(2, 6, 3), "stubborn"))
+
+
+def test_a2_pointsto_precision(benchmark):
+    rows = []
+    for threads, steps in [(2, 2), (2, 3), (3, 2)]:
+        prog = pointer_heavy(threads, steps)
+        full = explore(prog, "full")
+        precise = explore(
+            prog, options=ExploreOptions(policy="stubborn", coarsen=True)
+        )
+        coarse = explore(
+            prog,
+            options=ExploreOptions(
+                policy="stubborn", coarsen=True, coarse_derefs=True
+            ),
+        )
+        assert precise.final_stores() == full.final_stores()
+        assert coarse.final_stores() == full.final_stores()
+        rows.append(
+            [
+                f"{threads}x{steps}",
+                full.stats.num_configs,
+                precise.stats.num_configs,
+                coarse.stats.num_configs,
+            ]
+        )
+    emit_table(
+        "a02_pointsto",
+        "A2: points-to precision in static access sets (pointer-disjoint threads)",
+        ["threads x steps", "full", "with points-to", "coarse derefs"],
+        rows,
+    )
+    # precision must strictly pay off on at least the larger configs
+    assert any(int(r[2]) < int(r[3]) for r in rows)
+    benchmark(
+        lambda: explore(
+            pointer_heavy(2, 3), options=ExploreOptions(policy="stubborn", coarsen=True)
+        )
+    )
+
+
+def test_a3_gc_ablation(benchmark):
+    src_prog = pointer_heavy(2, 2)
+    rows = []
+    for gc in (True, False):
+        r = explore(
+            src_prog,
+            options=ExploreOptions(policy="full", step=StepOptions(gc=gc)),
+        )
+        rows.append(["on" if gc else "off", r.stats.num_configs, r.stats.num_edges])
+    emit_table(
+        "a03_gc",
+        "A3: configuration GC (dead heap objects merged away)",
+        ["gc", "configs", "edges"],
+        rows,
+    )
+    assert rows[0][1] <= rows[1][1]
+    benchmark(
+        lambda: explore(
+            src_prog, options=ExploreOptions(policy="full", step=StepOptions(gc=True))
+        )
+    )

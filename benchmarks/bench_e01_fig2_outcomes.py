@@ -1,0 +1,40 @@
+"""E1 — Figure 2 / Example 1 ([SS88]).
+
+Paper claim: under sequential consistency exactly three of the four
+value pairs for (x, y) are legal; a sequential compiler's reordering of
+segment 1's "independent" statements admits the fourth.  The bench
+regenerates the outcome sets and times the exploration.
+"""
+
+from _tables import emit_table
+
+from repro.explore import explore
+from repro.programs import paper
+
+
+def test_e1_outcome_table(benchmark):
+    prog = paper.fig2_shasha_snir()
+    reordered = paper.fig2_reordered()
+
+    result = benchmark(lambda: explore(prog, "full"))
+    r_re = explore(reordered, "full")
+
+    sc = sorted(result.global_values("x", "y"))
+    re = sorted(r_re.global_values("x", "y"))
+    rows = []
+    for pair in [(0, 0), (0, 1), (1, 0), (1, 1)]:
+        rows.append(
+            [
+                f"(x,y)={pair}",
+                "legal" if pair in sc else "IMPOSSIBLE",
+                "legal" if pair in re else "impossible",
+            ]
+        )
+    emit_table(
+        "e01_fig2_outcomes",
+        "E1: final (x,y) under SC vs after unsafe reordering",
+        ["outcome", "original (SC)", "segment-1 reordered"],
+        rows,
+    )
+    assert sc == [(0, 1), (1, 0), (1, 1)]
+    assert (0, 0) in re

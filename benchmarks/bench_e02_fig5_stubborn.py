@@ -1,0 +1,46 @@
+"""E2 — Figure 5: locality-driven state-space reduction.
+
+Paper claim: exploiting locality shrinks the configuration space of the
+mostly-local two-thread program dramatically (the paper's Figure 5(b)
+draws 13 configurations) "while producing exactly the same set of
+result-configurations".
+"""
+
+from _tables import emit_table
+
+from repro.explore import explore
+from repro.programs import paper
+
+
+def test_e2_fig5_reduction_table(benchmark):
+    prog = paper.fig5_locality()
+
+    full = explore(prog, "full")
+    stub = explore(prog, "stubborn")
+    coarse = explore(prog, "full", coarsen=True)
+    both = benchmark(lambda: explore(prog, "stubborn", coarsen=True))
+
+    rows = []
+    for name, r in [
+        ("full interleaving", full),
+        ("stubborn", stub),
+        ("coarsen", coarse),
+        ("stubborn+coarsen", both),
+    ]:
+        rows.append(
+            [
+                name,
+                r.stats.num_configs,
+                r.stats.num_edges,
+                len(r.final_stores()),
+                "yes" if r.final_stores() == full.final_stores() else "NO",
+            ]
+        )
+    emit_table(
+        "e02_fig5_stubborn",
+        "E2: Figure 5 configuration counts (paper fig 5(b): 13 configs)",
+        ["policy", "configs", "edges", "results", "same results"],
+        rows,
+    )
+    assert both.final_stores() == full.final_stores()
+    assert both.stats.num_configs <= 13

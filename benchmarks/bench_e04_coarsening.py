@@ -1,0 +1,39 @@
+"""E4 — virtual coarsening (Observation 5).
+
+Paper claim: fusing atomic actions so each block holds at most one
+critical reference shrinks the explored space while preserving result
+configurations.  Swept over thread-local run length: the more local
+work between shared accesses, the bigger the win.
+"""
+
+from _tables import emit_table
+
+from repro.explore import explore
+from repro.programs.synthetic import local_heavy
+
+
+def test_e4_coarsening_sweep(benchmark):
+    rows = []
+    for steps in (1, 2, 4, 6, 8):
+        prog = local_heavy(2, steps)
+        full = explore(prog, "full")
+        co = explore(prog, "full", coarsen=True)
+        assert co.final_stores() == full.final_stores()
+        rows.append(
+            [
+                steps,
+                full.stats.num_configs,
+                co.stats.num_configs,
+                f"{full.stats.num_configs / co.stats.num_configs:.1f}x",
+                max(len(e.actions) for e in co.graph.iter_edges()),
+            ]
+        )
+    emit_table(
+        "e04_coarsening",
+        "E4: virtual coarsening vs local run length (2 threads)",
+        ["local steps", "full", "coarsened", "reduction", "max block"],
+        rows,
+    )
+    ratios = [float(r[3].rstrip("x")) for r in rows]
+    assert ratios[-1] > ratios[0]  # reduction grows with locality
+    benchmark(lambda: explore(local_heavy(2, 6), "full", coarsen=True))

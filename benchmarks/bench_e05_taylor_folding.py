@@ -1,0 +1,51 @@
+"""E5 — configuration folding into Taylor concurrency states (§6.1).
+
+Paper claim (Figure 3): configurations that differ only in data — the
+"dangling links" — fold into one abstract configuration; the folded
+space equals Taylor's concurrency states [Tay83].
+"""
+
+from _tables import emit_table
+
+from repro.abstraction import concurrency_states, taylor_explore
+from repro.explore import explore
+from repro.programs import paper
+from repro.programs.corpus import CORPUS
+
+PROGRAMS = [
+    "fig3_folding",
+    "fig2_shasha_snir",
+    "racy_counter",
+    "example8_pointers",
+    "intro_busywait",
+]
+
+
+def test_e5_taylor_fold_table(benchmark):
+    rows = []
+    for name in PROGRAMS:
+        prog = CORPUS[name]()
+        concrete = explore(prog, "full")
+        quotient = concurrency_states(concrete.graph)
+        folded = taylor_explore(prog)
+        rows.append(
+            [
+                name,
+                concrete.stats.num_configs,
+                len(quotient),
+                folded.stats.num_states,
+                f"{concrete.stats.num_configs / len(quotient):.2f}x",
+            ]
+        )
+    emit_table(
+        "e05_taylor_folding",
+        "E5: concrete configurations vs Taylor concurrency states",
+        ["program", "concrete", "quotient", "folded explore", "fold factor"],
+        rows,
+    )
+    # on fig3 (the paper's figure) folding merges the data variants and
+    # the directly-folded exploration finds exactly the quotient
+    fig3 = rows[0]
+    assert fig3[2] < fig3[1]
+    assert fig3[3] == fig3[2]
+    benchmark(lambda: taylor_explore(paper.fig3_folding()))

@@ -1,0 +1,62 @@
+"""E8 — §5.3/§7: object lifetimes drive memory placement.
+
+Paper claim: "b1 should be allocated at a level of memory visible to
+both processors (since b1 is accessed by both threads) while b2 can be
+allocated locally"; objects that never escape their creating activation
+go on that function's deallocation list [Har89].
+"""
+
+from _tables import emit_table
+
+from repro.analyses.lifetime import lifetimes
+from repro.analyses.memplace import placements
+from repro.explore import ExploreOptions, explore
+from repro.programs import paper
+from repro.semantics import StepOptions
+
+
+def _analysis_result(prog):
+    return explore(
+        prog,
+        options=ExploreOptions(
+            policy="full", step=StepOptions(gc=False, track_procstrings=True)
+        ),
+    )
+
+
+def test_e8_placement_tables(benchmark):
+    prog = paper.example8_pointers()
+    result = _analysis_result(prog)
+    lts = benchmark(lambda: lifetimes(prog, result))
+    place = placements(lts)
+    rows = [
+        [
+            p.site,
+            "b1" if p.site == "s1" else "b2",
+            "thread-local" if p.thread_local else "SHARED",
+            str(p.level_pid),
+            "yes" if p.stack_allocatable else "no",
+        ]
+        for p in place.values()
+    ]
+    emit_table(
+        "e08_memplace",
+        "E8a: Example 8 memory placement (paper: b1 shared, b2 local)",
+        ["site", "object", "sharing", "memory level (thread)", "stack-allocatable"],
+        rows,
+    )
+    assert not place["s1"].thread_local
+    assert place["s3"].thread_local
+
+    # deallocation lists on the richer extents program
+    prog2 = paper.lifetime_extents()
+    lts2 = lifetimes(prog2, _analysis_result(prog2))
+    dealloc = lts2.dealloc_lists()
+    emit_table(
+        "e08_dealloc",
+        "E8b: deallocation lists (free at function exit, [Har89])",
+        ["function", "sites freed at exit"],
+        [[f, ", ".join(sites)] for f, sites in sorted(dealloc.items())],
+    )
+    assert "m1" in dealloc.get("local_use", [])
+    assert "m2" not in dealloc.get("escaper", [])

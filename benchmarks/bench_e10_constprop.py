@@ -1,0 +1,52 @@
+"""E10 — the introduction's busy-wait vs constant propagation.
+
+Paper claim: a sequential optimizer treats the spin flag as loop-
+invariant and hoists the load — "the intended busy-waiting never
+succeeds"; the interference-aware analysis must refuse, while still
+proving the *useful* constant (x == 42 after the wait).
+"""
+
+from _tables import emit_table
+
+from repro.analyses.constprop import constants_at, licm_report
+from repro.programs import paper
+
+
+def test_e10_constprop_tables(benchmark):
+    prog = paper.intro_busywait_loop()
+    cp = benchmark(lambda: constants_at(prog))
+
+    licm = [l for l in licm_report(prog) if l.seq_invariant]
+    rows = []
+    for l in licm:
+        for g in l.seq_invariant:
+            rows.append(
+                [
+                    f"loop {l.loop_label}",
+                    g,
+                    "invariant (would hoist)",
+                    "UNSAFE - concurrent write" if g in l.unsafe else "safe",
+                ]
+            )
+    emit_table(
+        "e10_licm",
+        "E10a: loop-invariant load classification (busy-wait flag)",
+        ["loop", "global", "sequential analysis", "interference-aware"],
+        rows,
+    )
+    assert licm and licm[0].unsafe == ("s",)
+
+    points = ["l1", "r1"]
+    names = ["s", "x", "r"]
+    rows = []
+    for label in points:
+        consts = cp.at.get(label, {})
+        rows.append([label] + [str(consts.get(n, "⊤ (not constant)")) for n in names])
+    emit_table(
+        "e10_constants",
+        "E10b: interference-aware constants at program points",
+        ["point"] + names,
+        rows,
+    )
+    assert cp.constant("l1", "s") is None
+    assert cp.constant("r1", "x") == 42

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Dining philosophers: state-space explosion and its relief.
+
+Generates the n-philosophers program (each fork a global lock), then
+compares full interleaving against the paper's reductions — stubborn
+sets (Algorithm 1), virtual coarsening, sleep sets — checking that the
+circular-wait deadlock survives every reduction.
+
+Run:  python examples/dining_philosophers.py [max_n]
+"""
+
+import sys
+import time
+
+from repro.explore import explore
+from repro.programs.philosophers import philosophers, philosophers_source
+
+
+def main() -> None:
+    max_n = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+
+    print("the generated program for n=2:\n")
+    print(philosophers_source(2))
+    print()
+
+    header = (
+        f"{'n':>2}  {'full':>8}  {'stubborn':>8}  {'+coarsen+sleep':>14}  "
+        f"{'reduction':>9}  {'deadlock?':>9}  {'time':>6}"
+    )
+    print(header)
+    print("-" * len(header))
+    for n in range(2, max_n + 1):
+        full = explore(philosophers(n), "full")
+        stub = explore(philosophers(n), "stubborn")
+        t0 = time.perf_counter()
+        best = explore(philosophers(n), "stubborn", coarsen=True, sleep=True)
+        dt = time.perf_counter() - t0
+        assert best.final_stores() == full.final_stores(), "reduction changed results!"
+        print(
+            f"{n:>2}  {full.stats.num_configs:>8}  {stub.stats.num_configs:>8}  "
+            f"{best.stats.num_configs:>14}  "
+            f"{full.stats.num_configs / best.stats.num_configs:>8.1f}x  "
+            f"{'yes' if best.stats.num_deadlocks else 'NO':>9}  {dt:>5.1f}s"
+        )
+
+    print(
+        "\nEvery reduction preserves the result configurations - including"
+        "\nthe circular-wait deadlock - while the reduction factor grows"
+        "\nwith n (the paper's §2.2 claim, after [Val88])."
+    )
+
+
+if __name__ == "__main__":
+    main()

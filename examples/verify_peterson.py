@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Verifying Peterson's mutual exclusion — the paper's motivation made
+concrete.
+
+The introduction argues that restricted programming models (copy-in/
+copy-out, loosely-coupled processes) cannot express "important classes
+of algorithms, such as mutual exclusion" — which is why a framework
+that analyzes *unrestricted* shared-variable programs matters.  Here
+the framework earns its keep twice:
+
+1. it **verifies** Peterson's algorithm: across all interleavings the
+   critical-section assertion never fails;
+2. on a broken variant (the turn handoff dropped) it **finds the bug**
+   and prints the shortest interleaving that reaches the violation —
+   then replays it step by step to prove the trace is real.
+
+Run:  python examples/verify_peterson.py
+"""
+
+from repro.analyses.witness import fault_witness, replay
+from repro.explore import explore
+from repro.programs.classic import peterson, peterson_broken
+
+
+def main() -> None:
+    print("== Peterson's algorithm ==")
+    prog = peterson()
+    full = explore(prog, "full")
+    reduced = explore(prog, "stubborn", coarsen=True, sleep=True)
+    print(f"  full exploration:    {full.stats.num_configs} configurations")
+    print(f"  reduced exploration: {reduced.stats.num_configs} configurations")
+    print(f"  assertion violations: {full.stats.num_faults}")
+    print(f"  deadlocks:            {full.stats.num_deadlocks}")
+    print(f"  reductions agree:     {reduced.final_stores() == full.final_stores()}")
+    assert full.stats.num_faults == 0
+    print("  => mutual exclusion VERIFIED over every interleaving")
+
+    print("\n== Peterson with the turn handoff removed ==")
+    broken = peterson_broken()
+    r = explore(broken, "full")
+    print(f"  assertion violations: {r.stats.num_faults}")
+    w = fault_witness(r)
+    assert w is not None
+    print("  shortest interleaving reaching the violation:")
+    print(w.describe())
+    final = replay(broken, w)
+    print(f"  replayed concretely -> fault: {final.fault}")
+
+
+if __name__ == "__main__":
+    main()

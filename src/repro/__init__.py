@@ -1,0 +1,53 @@
+"""repro — reproduction of Chow & Harrison (ICPP 1992).
+
+*A General Framework for Analyzing Shared-Memory Parallel Programs.*
+
+The package implements, from scratch:
+
+- a C-style toy language with ``cobegin`` parallelism, shared variables,
+  pointers, dynamic allocation and first-class functions
+  (:mod:`repro.lang`);
+- a small-step concrete semantics instrumented with procedure strings and
+  object birthdates (:mod:`repro.semantics`);
+- a state-space exploration engine with full interleaving, stubborn-set
+  reduction (the paper's Algorithm 1) and virtual coarsening
+  (:mod:`repro.explore`);
+- an abstract-interpretation substrate: lattices, value domains, abstract
+  stores (:mod:`repro.absdomain`) and exploration *modulo abstraction*
+  (state folding), including Taylor concurrency states and McDowell clans
+  (:mod:`repro.abstraction`);
+- the client analyses of the paper: side effects, data dependences, object
+  lifetimes, races, Shasha–Snir delay insertion, further parallelization,
+  memory placement and interference-aware constant propagation
+  (:mod:`repro.analyses`);
+- the paper's example programs and benchmark workloads
+  (:mod:`repro.programs`).
+
+Quickstart::
+
+    from repro import parse_program, explore
+
+    prog = parse_program('''
+        var A = 0; var B = 0; var x = 0; var y = 0;
+        func main() {
+            cobegin { s1: A = 1; s2: y = B; }
+                    { s3: B = 1; s4: x = A; }
+        }
+    ''')
+    result = explore(prog, policy="stubborn")
+    print(result.stats.num_configs)
+"""
+
+from repro.lang import parse_program, compile_program
+from repro.explore import explore
+from repro.semantics import run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "parse_program",
+    "compile_program",
+    "explore",
+    "run_program",
+    "__version__",
+]

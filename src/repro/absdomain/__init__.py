@@ -1,0 +1,35 @@
+"""Abstract domains: lattices, numeric value domains, abstract values.
+
+Available numeric domains (all :class:`~repro.absdomain.lattice.NumDomain`):
+
+- :class:`~repro.absdomain.flat.FlatConstDomain` — constants;
+- :class:`~repro.absdomain.sign.SignDomain` — signs {-,0,+};
+- :class:`~repro.absdomain.interval.IntervalDomain` — intervals with
+  widening/narrowing;
+- :class:`~repro.absdomain.parity.ParityDomain` — parities;
+- :class:`~repro.absdomain.product.ProductDomain` — direct products.
+
+:class:`~repro.absdomain.absvalue.AbsValueDomain` lifts any of them to
+full abstract values (numbers × pointers × functions).
+"""
+
+from repro.absdomain.absvalue import AbsValue, AbsValueDomain
+from repro.absdomain.flat import FlatConstDomain
+from repro.absdomain.interval import IntervalDomain
+from repro.absdomain.kset import KSetDomain
+from repro.absdomain.lattice import NumDomain
+from repro.absdomain.parity import ParityDomain
+from repro.absdomain.product import ProductDomain
+from repro.absdomain.sign import SignDomain
+
+__all__ = [
+    "AbsValue",
+    "AbsValueDomain",
+    "FlatConstDomain",
+    "IntervalDomain",
+    "KSetDomain",
+    "NumDomain",
+    "ParityDomain",
+    "ProductDomain",
+    "SignDomain",
+]

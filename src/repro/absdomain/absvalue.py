@@ -1,0 +1,115 @@
+"""Abstract values: numeric component × pointer targets × function set.
+
+An abstract value soundly describes a set of concrete values
+(:mod:`repro.semantics.values`):
+
+- the numeric component (an element of the chosen :class:`NumDomain`)
+  covers the integers;
+- ``ptrs`` is a set of points-to targets — ``("site", s)`` for objects
+  of allocation site *s* (the §6 allocation-site heap abstraction) and
+  ``("gobj",)`` for pointers into the globals area;
+- ``funcs`` covers first-class function values.
+
+Represented as a plain tuple ``(num, ptrs, funcs)`` so abstract stores
+hash and compare fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.absdomain.lattice import NumDomain
+from repro.semantics.values import FuncRef, Pointer, Value
+
+AbsValue = tuple  # (num_element, frozenset[target], frozenset[str])
+
+
+class AbsValueDomain:
+    """Operations on :data:`AbsValue` for a chosen numeric domain."""
+
+    def __init__(self, num: NumDomain):
+        self.num = num
+        self.bottom: AbsValue = (num.bottom, frozenset(), frozenset())
+
+    # -- constructors -----------------------------------------------------
+
+    def const(self, n: int) -> AbsValue:
+        return (self.num.const(n), frozenset(), frozenset())
+
+    def func_val(self, name: str) -> AbsValue:
+        return (self.num.bottom, frozenset(), frozenset((name,)))
+
+    def ptr_val(self, targets: Iterable[tuple]) -> AbsValue:
+        return (self.num.bottom, frozenset(targets), frozenset())
+
+    def abstract(self, v: Value) -> AbsValue:
+        """α of a single concrete value."""
+        if isinstance(v, Pointer):
+            from repro.semantics.values import GLOBALS_OBJ
+
+            if v.obj == GLOBALS_OBJ:
+                return self.ptr_val((("gobj",),))
+            return self.ptr_val((("site", v.obj[0]),))
+        if isinstance(v, FuncRef):
+            return self.func_val(v.name)
+        return self.const(v)
+
+    # -- lattice -----------------------------------------------------------
+
+    def join(self, a: AbsValue, b: AbsValue) -> AbsValue:
+        return (self.num.join(a[0], b[0]), a[1] | b[1], a[2] | b[2])
+
+    def widen(self, old: AbsValue, new: AbsValue) -> AbsValue:
+        return (self.num.widen(old[0], new[0]), old[1] | new[1], old[2] | new[2])
+
+    def leq(self, a: AbsValue, b: AbsValue) -> bool:
+        return self.num.leq(a[0], b[0]) and a[1] <= b[1] and a[2] <= b[2]
+
+    def is_bottom(self, a: AbsValue) -> bool:
+        return a == self.bottom
+
+    # -- Galois ------------------------------------------------------------
+
+    def contains(self, a: AbsValue, v: Value) -> bool:
+        """Is the concrete value covered (γ membership)?"""
+        if isinstance(v, Pointer):
+            from repro.semantics.values import GLOBALS_OBJ
+
+            t = ("gobj",) if v.obj == GLOBALS_OBJ else ("site", v.obj[0])
+            return t in a[1]
+        if isinstance(v, FuncRef):
+            return v.name in a[2]
+        return self.num.contains(a[0], v)
+
+    # -- transfer ------------------------------------------------------------
+
+    def binop(self, op: str, a: AbsValue, b: AbsValue) -> AbsValue:
+        num = self.num.binop(op, a[0], b[0])
+        ptrs: frozenset = frozenset()
+        if op in ("+", "-"):
+            # pointer arithmetic: targets pass through
+            ptrs = a[1] | (b[1] if op == "+" else frozenset())
+        if op in ("==", "!="):
+            # comparisons involving pointers/functions: unknown boolean
+            if a[1] or b[1] or a[2] or b[2]:
+                num = self.num.join(num, self.num.abstract_all((0, 1)))
+        if op in ("&&", "||"):
+            ta, fa = self.truth(a)
+            tb, fb = self.truth(b)
+            if op == "&&":
+                num = self.num.bool_of(ta and tb, fa or fb)
+            else:
+                num = self.num.bool_of(ta or tb, fa and fb)
+            return (num, frozenset(), frozenset())
+        return (num, ptrs, frozenset())
+
+    def unop(self, op: str, a: AbsValue) -> AbsValue:
+        if op == "!":
+            t, f = self.truth(a)
+            return (self.num.bool_of(f, t), frozenset(), frozenset())
+        return (self.num.unop(op, a[0]), frozenset(), frozenset())
+
+    def truth(self, a: AbsValue) -> tuple[bool, bool]:
+        nt, nf = self.num.truth(a[0])
+        may_true = nt or bool(a[1]) or bool(a[2])
+        return (may_true, nf)

@@ -1,0 +1,57 @@
+"""Concrete integer operations shared by the abstract domains.
+
+The single source of truth for operator semantics on integers — kept in
+sync with :mod:`repro.semantics.eval` (C-style truncating division).
+Returns ``None`` where the concrete operation would fault, so enumerating
+domains can fall back to ⊤ conservatively.
+"""
+
+from __future__ import annotations
+
+
+def c_div(lhs: int, rhs: int) -> int:
+    q = abs(lhs) // abs(rhs)
+    return q if (lhs < 0) == (rhs < 0) else -q
+
+
+def c_mod(lhs: int, rhs: int) -> int:
+    return lhs - rhs * c_div(lhs, rhs)
+
+
+def apply_binop(op: str, lhs: int, rhs: int) -> int | None:
+    """Concrete binary operation; None when it would fault."""
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        return None if rhs == 0 else c_div(lhs, rhs)
+    if op == "%":
+        return None if rhs == 0 else c_mod(lhs, rhs)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "&&":
+        return int(bool(lhs) and bool(rhs))
+    if op == "||":
+        return int(bool(lhs) or bool(rhs))
+    return None
+
+
+def apply_unop(op: str, v: int) -> int | None:
+    if op == "-":
+        return -v
+    if op == "!":
+        return 0 if v else 1
+    return None

@@ -1,0 +1,87 @@
+"""The flat constant domain (constant propagation, Kildall).
+
+Elements: ``BOT`` ⊑ ``("c", n)`` ⊑ ``TOP``.  The domain behind the
+paper's §7 constant-propagation application: a variable is a known
+constant at a point iff its abstract value is ``("c", n)`` there.
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.concrete_ops import apply_binop, apply_unop
+from repro.absdomain.lattice import Element, NumDomain
+
+BOT = ("bot",)
+TOP = ("top",)
+
+
+class FlatConstDomain(NumDomain):
+    """Flat lattice of integer constants."""
+
+    name = "const"
+
+    @property
+    def bottom(self) -> Element:
+        return BOT
+
+    @property
+    def top(self) -> Element:
+        return TOP
+
+    def leq(self, a, b) -> bool:
+        return a == BOT or b == TOP or a == b
+
+    def join(self, a, b):
+        if a == BOT:
+            return b
+        if b == BOT:
+            return a
+        if a == b:
+            return a
+        return TOP
+
+    def meet(self, a, b):
+        if a == TOP:
+            return b
+        if b == TOP:
+            return a
+        if a == b:
+            return a
+        return BOT
+
+    def abstract(self, n: int) -> Element:
+        return ("c", n)
+
+    def contains(self, a, n: int) -> bool:
+        if a == TOP:
+            return True
+        if a == BOT:
+            return False
+        return a[1] == n
+
+    def binop(self, op, a, b):
+        if a == BOT or b == BOT:
+            return BOT
+        if a == TOP or b == TOP:
+            # comparisons stay boolean-shaped even on TOP
+            if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return TOP
+            return TOP
+        v = apply_binop(op, a[1], b[1])
+        return TOP if v is None else ("c", v)
+
+    def unop(self, op, a):
+        if a in (BOT, TOP):
+            return a
+        v = apply_unop(op, a[1])
+        return TOP if v is None else ("c", v)
+
+    def truth(self, a):
+        if a == BOT:
+            return (False, False)
+        if a == TOP:
+            return (True, True)
+        return (a[1] != 0, a[1] == 0)
+
+    def value_of(self, a) -> int | None:
+        """The known constant, or None."""
+        return a[1] if isinstance(a, tuple) and a[0] == "c" else None

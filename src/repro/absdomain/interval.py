@@ -1,0 +1,276 @@
+"""The interval domain with widening ([CC77]'s running example).
+
+Elements: ``("bot",)`` or ``(lo, hi)`` with ``lo ∈ ℤ ∪ {None}`` (None =
+−∞) and ``hi ∈ ℤ ∪ {None}`` (None = +∞), ``lo ≤ hi`` when both finite.
+The only infinite-height domain in the library — the one that makes the
+widening machinery of the folding driver observable.
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.lattice import Element, NumDomain
+
+BOT = ("bot",)
+TOP = (None, None)
+
+
+def _le(a: int | None, b: int | None, *, neg_inf_left: bool) -> bool:
+    """lo-side/hi-side comparisons with None as ∓∞."""
+    if a is None:
+        return neg_inf_left
+    if b is None:
+        return not neg_inf_left
+    return a <= b
+
+
+def _min_lo(a, b):
+    if a is None or b is None:
+        return None
+    return min(a, b)
+
+
+def _max_hi(a, b):
+    if a is None or b is None:
+        return None
+    return max(a, b)
+
+
+def _max_lo(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return max(a, b)
+
+
+def _min_hi(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return min(a, b)
+
+
+class IntervalDomain(NumDomain):
+    """Closed integer intervals with ±∞ bounds."""
+
+    name = "interval"
+
+    @property
+    def bottom(self) -> Element:
+        return BOT
+
+    @property
+    def top(self) -> Element:
+        return TOP
+
+    def make(self, lo: int | None, hi: int | None) -> Element:
+        if lo is not None and hi is not None and lo > hi:
+            return BOT
+        return (lo, hi)
+
+    def leq(self, a, b) -> bool:
+        if a == BOT:
+            return True
+        if b == BOT:
+            return False
+        (alo, ahi), (blo, bhi) = a, b
+        lo_ok = blo is None or (alo is not None and blo <= alo)
+        hi_ok = bhi is None or (ahi is not None and ahi <= bhi)
+        return lo_ok and hi_ok
+
+    def join(self, a, b):
+        if a == BOT:
+            return b
+        if b == BOT:
+            return a
+        return (_min_lo(a[0], b[0]), _max_hi(a[1], b[1]))
+
+    def meet(self, a, b):
+        if a == BOT or b == BOT:
+            return BOT
+        return self.make(_max_lo(a[0], b[0]), _min_hi(a[1], b[1]))
+
+    def widen(self, old, new):
+        """Standard interval widening: unstable bounds jump to ∞."""
+        if old == BOT:
+            return new
+        if new == BOT:
+            return old
+        lo = old[0]
+        if old[0] is not None and (new[0] is None or new[0] < old[0]):
+            lo = None
+        hi = old[1]
+        if old[1] is not None and (new[1] is None or new[1] > old[1]):
+            hi = None
+        return (lo, hi)
+
+    def narrow(self, old, new):
+        """Standard narrowing: refine only infinite bounds."""
+        if old == BOT or new == BOT:
+            return BOT
+        lo = new[0] if old[0] is None else old[0]
+        hi = new[1] if old[1] is None else old[1]
+        return self.make(lo, hi)
+
+    def abstract(self, n: int) -> Element:
+        return (n, n)
+
+    def contains(self, a, n: int) -> bool:
+        if a == BOT:
+            return False
+        lo, hi = a
+        return (lo is None or lo <= n) and (hi is None or n <= hi)
+
+    # -- transfer ---------------------------------------------------------
+
+    def binop(self, op, a, b):
+        if a == BOT or b == BOT:
+            return BOT
+        (alo, ahi), (blo, bhi) = a, b
+        if op == "+":
+            return self.make(
+                None if alo is None or blo is None else alo + blo,
+                None if ahi is None or bhi is None else ahi + bhi,
+            )
+        if op == "-":
+            return self.make(
+                None if alo is None or bhi is None else alo - bhi,
+                None if ahi is None or blo is None else ahi - blo,
+            )
+        if op == "*":
+            return self._mul(a, b)
+        if op in ("/", "%"):
+            # precise enough for the corpus: exact when b is a nonzero
+            # constant, ⊤-width fallback otherwise
+            return self._divmod(op, a, b)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._compare(op, a, b)
+        if op in ("&&", "||"):
+            ta, fa = self.truth(a)
+            tb, fb = self.truth(b)
+            if op == "&&":
+                return self.bool_of(ta and tb, fa or fb)
+            return self.bool_of(ta or tb, fa and fb)
+        return TOP
+
+    def _mul(self, a, b):
+        def mul(x, y):
+            if x is None or y is None:
+                # sign-aware infinity handling is overkill here; any
+                # infinite bound makes the product unbounded on that side
+                return None
+            return x * y
+
+        candidates = [mul(a[0], b[0]), mul(a[0], b[1]), mul(a[1], b[0]), mul(a[1], b[1])]
+        if any(c is None for c in candidates):
+            return TOP
+        return self.make(min(candidates), max(candidates))
+
+    def _divmod(self, op, a, b):
+        from repro.absdomain.concrete_ops import apply_binop
+
+        if b[0] is not None and b[0] == b[1] and b[0] != 0 and a[0] is not None and a[1] is not None:
+            vals = [apply_binop(op, x, b[0]) for x in range(a[0], a[1] + 1)] if a[1] - a[0] <= 64 else None
+            if vals is not None:
+                return self.make(min(vals), max(vals))
+            lo = apply_binop(op, a[0], b[0])
+            hi = apply_binop(op, a[1], b[0])
+            assert lo is not None and hi is not None
+            return self.make(min(lo, hi, 0), max(lo, hi, 0))
+        return TOP
+
+    def _compare(self, op, a, b):
+        (alo, ahi), (blo, bhi) = a, b
+
+        def lt_always():  # a < b for all members
+            return ahi is not None and blo is not None and ahi < blo
+
+        def gt_always():
+            return alo is not None and bhi is not None and alo > bhi
+
+        def le_always():
+            return ahi is not None and blo is not None and ahi <= blo
+
+        def ge_always():
+            return alo is not None and bhi is not None and alo >= bhi
+
+        def eq_always():
+            return (
+                alo is not None
+                and alo == ahi == blo == bhi
+            )
+
+        def disjoint():
+            return lt_always() or gt_always()
+
+        if op == "==":
+            if eq_always():
+                return self.abstract(1)
+            if disjoint():
+                return self.abstract(0)
+            return self.bool_of(True, True)
+        if op == "!=":
+            if eq_always():
+                return self.abstract(0)
+            if disjoint():
+                return self.abstract(1)
+            return self.bool_of(True, True)
+        if op == "<":
+            if lt_always():
+                return self.abstract(1)
+            if ge_always():
+                return self.abstract(0)
+            return self.bool_of(True, True)
+        if op == "<=":
+            if le_always():
+                return self.abstract(1)
+            if gt_always():
+                return self.abstract(0)
+            return self.bool_of(True, True)
+        if op == ">":
+            if gt_always():
+                return self.abstract(1)
+            if le_always():
+                return self.abstract(0)
+            return self.bool_of(True, True)
+        if op == ">=":
+            if ge_always():
+                return self.abstract(1)
+            if lt_always():
+                return self.abstract(0)
+            return self.bool_of(True, True)
+        raise AssertionError(op)
+
+    def cmp_range(self, op, c: int):
+        if op == "==":
+            return (c, c)
+        if op == "<":
+            return (None, c - 1)
+        if op == "<=":
+            return (None, c)
+        if op == ">":
+            return (c + 1, None)
+        if op == ">=":
+            return (c, None)
+        return TOP  # != cannot be expressed as one interval
+
+    def unop(self, op, a):
+        if a == BOT:
+            return BOT
+        if op == "-":
+            lo = None if a[1] is None else -a[1]
+            hi = None if a[0] is None else -a[0]
+            return self.make(lo, hi)
+        if op == "!":
+            t, f = self.truth(a)
+            return self.bool_of(f, t)
+        return TOP
+
+    def truth(self, a):
+        if a == BOT:
+            return (False, False)
+        may_false = self.contains(a, 0)
+        lo, hi = a
+        may_true = not (lo == 0 and hi == 0)
+        return (may_true, may_false)

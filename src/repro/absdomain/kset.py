@@ -1,0 +1,122 @@
+"""The k-bounded set domain: small finite sets of integers, else ⊤.
+
+A strictly more precise refinement of the flat constant domain: joins
+keep *sets* of possible values until the set would exceed *k*, then
+give up to ⊤.  ``join(0, 1)`` stays ``{0, 1}`` — exactly the kind of
+value a racy flag takes — so analyses over it can still decide both
+truth values precisely where the flat domain degrades to ⊤.
+
+Operations are computed by enumeration over the member sets (exact),
+falling back to ⊤ when an operand is ⊤ or a concrete operation faults.
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.concrete_ops import apply_binop, apply_unop
+from repro.absdomain.lattice import Element, NumDomain
+
+TOP = ("top",)
+
+
+class KSetDomain(NumDomain):
+    """Sets of at most *k* integers, with ⊤ above them."""
+
+    def __init__(self, k: int = 4):
+        if k < 1:
+            raise ValueError("k must be at least 1")
+        self.k = k
+        self.name = f"kset{k}"
+
+    @property
+    def bottom(self) -> Element:
+        return frozenset()
+
+    @property
+    def top(self) -> Element:
+        return TOP
+
+    def _norm(self, s: frozenset) -> Element:
+        return TOP if len(s) > self.k else frozenset(s)
+
+    def leq(self, a, b) -> bool:
+        if b == TOP:
+            return True
+        if a == TOP:
+            return False
+        return a <= b
+
+    def join(self, a, b):
+        if a == TOP or b == TOP:
+            return TOP
+        return self._norm(a | b)
+
+    def meet(self, a, b):
+        if a == TOP:
+            return b
+        if b == TOP:
+            return a
+        return a & b
+
+    def abstract(self, n: int) -> Element:
+        return frozenset((n,))
+
+    def contains(self, a, n: int) -> bool:
+        if a == TOP:
+            return True
+        return n in a
+
+    def binop(self, op, a, b):
+        if a == self.bottom or b == self.bottom:
+            return self.bottom
+        if a == TOP or b == TOP:
+            if op in ("==", "!=", "<", "<=", ">", ">=", "&&", "||"):
+                return self._norm(frozenset((0, 1)))
+            return TOP
+        out = set()
+        for x in a:
+            for y in b:
+                v = apply_binop(op, x, y)
+                if v is None:
+                    return TOP  # a faulting combination: stay safe
+                out.add(v)
+                if len(out) > self.k:
+                    return TOP
+        return frozenset(out)
+
+    def unop(self, op, a):
+        if a == self.bottom:
+            return self.bottom
+        if a == TOP:
+            if op == "!":
+                return self._norm(frozenset((0, 1)))
+            return TOP
+        out = set()
+        for x in a:
+            v = apply_unop(op, x)
+            if v is None:
+                return TOP
+            out.add(v)
+        return self._norm(frozenset(out))
+
+    def truth(self, a):
+        if a == self.bottom:
+            return (False, False)
+        if a == TOP:
+            return (True, True)
+        return (any(x != 0 for x in a), 0 in a)
+
+    def cmp_range(self, op, c: int):
+        if op == "==":
+            return self.abstract(c)
+        return TOP
+
+    def refine(self, old, op, c: int):
+        """Exact refinement by member filtering (sets are enumerable)."""
+        if old == TOP:
+            return self.meet(old, self.cmp_range(op, c))
+        kept = set()
+        for x in old:
+            v = apply_binop(op, x, c)
+            if v is None or v:
+                kept.add(x)
+        return frozenset(kept)

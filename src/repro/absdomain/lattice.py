@@ -1,0 +1,144 @@
+"""Lattice framework for abstract interpretation ([CC77], paper §3).
+
+A *domain* object bundles the lattice structure (⊑, ⊔, ⊓, ⊥, ⊤,
+widening) and the abstract transfer functions over its *elements*
+(plain hashable Python values).  Keeping elements as values — rather
+than objects with methods — makes abstract stores cheap to hash and
+compare, which the folding driver depends on.
+
+Every numeric domain also exposes the Galois-connection side needed by
+the soundness tests:
+
+- ``abstract(n)`` — α of a single concrete integer;
+- ``contains(a, n)`` — is ``n ∈ γ(a)``; and
+- ``truth(a)`` — may the value be nonzero / zero (drives abstract
+  branching).
+
+The laws (partial order, lub/glb, monotonicity, α/γ soundness,
+widening stabilization) are exercised by hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+Element = Hashable
+
+
+class NumDomain:
+    """Base class for abstract numeric domains over the integers."""
+
+    name = "num"
+
+    # -- lattice structure ---------------------------------------------
+
+    @property
+    def bottom(self) -> Element:
+        raise NotImplementedError
+
+    @property
+    def top(self) -> Element:
+        raise NotImplementedError
+
+    def leq(self, a: Element, b: Element) -> bool:
+        raise NotImplementedError
+
+    def join(self, a: Element, b: Element) -> Element:
+        raise NotImplementedError
+
+    def meet(self, a: Element, b: Element) -> Element:
+        raise NotImplementedError
+
+    def widen(self, old: Element, new: Element) -> Element:
+        """Widening; defaults to join (finite-height domains)."""
+        return self.join(old, new)
+
+    # -- Galois connection ----------------------------------------------
+
+    def abstract(self, n: int) -> Element:
+        raise NotImplementedError
+
+    def abstract_all(self, ns: Iterable[int]) -> Element:
+        out = self.bottom
+        for n in ns:
+            out = self.join(out, self.abstract(n))
+        return out
+
+    def contains(self, a: Element, n: int) -> bool:
+        raise NotImplementedError
+
+    # -- transfer functions ----------------------------------------------
+
+    def const(self, n: int) -> Element:
+        return self.abstract(n)
+
+    def binop(self, op: str, a: Element, b: Element) -> Element:
+        raise NotImplementedError
+
+    def unop(self, op: str, a: Element) -> Element:
+        raise NotImplementedError
+
+    def truth(self, a: Element) -> tuple[bool, bool]:
+        """``(may_be_nonzero, may_be_zero)`` — both False only for ⊥."""
+        raise NotImplementedError
+
+    def cmp_range(self, op: str, c: int) -> Element:
+        """An element covering ``{x : x op c}`` — used to *refine* a
+        value through a passed guard (``assume``/branch conditions).
+        The default is exact for ``==`` and gives up (⊤) otherwise;
+        ordered domains override with real ranges."""
+        if op == "==":
+            return self.abstract(c)
+        return self.top
+
+    def refine(self, old: Element, op: str, c: int) -> Element:
+        """Refine *old* knowing ``old op c`` holds.  Default: meet with
+        :meth:`cmp_range`; enumerable domains override with exact member
+        filtering."""
+        return self.meet(old, self.cmp_range(op, c))
+
+    # -- helpers -----------------------------------------------------------
+
+    def is_bottom(self, a: Element) -> bool:
+        return a == self.bottom
+
+    def bool_of(self, may_true: bool, may_false: bool) -> Element:
+        """Abstract a comparison result known only as may-true/may-false."""
+        out = self.bottom
+        if may_true:
+            out = self.join(out, self.abstract(1))
+        if may_false:
+            out = self.join(out, self.abstract(0))
+        return out
+
+
+class FiniteEnumMixin:
+    """Mixin for small finite domains: derives binop by enumeration.
+
+    Subclasses provide ``concretize(a) -> frozenset[int] | None`` (None
+    for unbounded elements) and ``abstract_all``; when both operands
+    concretize finitely, any operation is computed exactly.
+    """
+
+    _ENUM_LIMIT = 64
+
+    def concretize(self, a: Element):  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def _enum_binop(self, op: str, a: Element, b: Element):
+        from repro.absdomain.concrete_ops import apply_binop
+
+        ca = self.concretize(a)
+        cb = self.concretize(b)
+        if ca is None or cb is None:
+            return None
+        if len(ca) * len(cb) > self._ENUM_LIMIT:
+            return None
+        outs = []
+        for x in ca:
+            for y in cb:
+                v = apply_binop(op, x, y)
+                if v is None:
+                    return None  # a possible fault; stay conservative
+                outs.append(v)
+        return self.abstract_all(outs)

@@ -1,0 +1,90 @@
+"""The parity domain: subsets of {even, odd}."""
+
+from __future__ import annotations
+
+from repro.absdomain.lattice import Element, NumDomain
+
+EVEN = "even"
+ODD = "odd"
+_ALL = frozenset((EVEN, ODD))
+
+
+def parity_of(n: int) -> str:
+    return EVEN if n % 2 == 0 else ODD
+
+
+class ParityDomain(NumDomain):
+    """Four-element powerset lattice over {even, odd}."""
+
+    name = "parity"
+
+    @property
+    def bottom(self) -> Element:
+        return frozenset()
+
+    @property
+    def top(self) -> Element:
+        return _ALL
+
+    def leq(self, a, b) -> bool:
+        return a <= b
+
+    def join(self, a, b):
+        return a | b
+
+    def meet(self, a, b):
+        return a & b
+
+    def abstract(self, n: int) -> Element:
+        return frozenset((parity_of(n),))
+
+    def contains(self, a, n: int) -> bool:
+        return parity_of(n) in a
+
+    _ADD = {
+        (EVEN, EVEN): EVEN,
+        (EVEN, ODD): ODD,
+        (ODD, EVEN): ODD,
+        (ODD, ODD): EVEN,
+    }
+    _MUL = {
+        (EVEN, EVEN): EVEN,
+        (EVEN, ODD): EVEN,
+        (ODD, EVEN): EVEN,
+        (ODD, ODD): ODD,
+    }
+
+    def binop(self, op, a, b):
+        if not a or not b:
+            return self.bottom
+        if op in ("+", "-"):
+            return frozenset(self._ADD[(x, y)] for x in a for y in b)
+        if op == "*":
+            return frozenset(self._MUL[(x, y)] for x in a for y in b)
+        if op in ("==", "!="):
+            # disjoint parities refute equality; otherwise unknown
+            if not (a & b):
+                return self.abstract(0) if op == "==" else self.abstract(1)
+            return self._bool_top()
+        if op in ("<", "<=", ">", ">=", "/", "%", "&&", "||"):
+            return self._bool_top() if op in ("<", "<=", ">", ">=", "&&", "||") else self.top
+        return self.top
+
+    def _bool_top(self):
+        return self.abstract_all((0, 1))
+
+    def unop(self, op, a):
+        if not a:
+            return self.bottom
+        if op == "-":
+            return a
+        if op == "!":
+            return self._bool_top()
+        return self.top
+
+    def truth(self, a):
+        if not a:
+            return (False, False)
+        may_false = EVEN in a  # 0 is even
+        may_true = True  # every parity class has nonzero members
+        return (may_true, may_false)

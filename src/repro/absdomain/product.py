@@ -1,0 +1,67 @@
+"""Direct products of numeric domains.
+
+A cartesian (non-reduced) product: each component abstracts the value
+independently; precision is the componentwise meet of the factors.
+E.g. ``ProductDomain(IntervalDomain(), ParityDomain())`` tracks range
+and parity at once.  (A *reduced* product would propagate information
+between components; we keep the direct product and note the difference
+in the docs — the framework point of §6 is the *choice* of abstraction,
+not maximal precision.)
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.lattice import Element, NumDomain
+
+
+class ProductDomain(NumDomain):
+    """Componentwise product of two or more numeric domains."""
+
+    def __init__(self, *factors: NumDomain):
+        if len(factors) < 2:
+            raise ValueError("product needs at least two factors")
+        self.factors = factors
+        self.name = "x".join(f.name for f in factors)
+
+    @property
+    def bottom(self) -> Element:
+        return tuple(f.bottom for f in self.factors)
+
+    @property
+    def top(self) -> Element:
+        return tuple(f.top for f in self.factors)
+
+    def leq(self, a, b) -> bool:
+        return all(f.leq(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def join(self, a, b):
+        return tuple(f.join(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def meet(self, a, b):
+        return tuple(f.meet(x, y) for f, x, y in zip(self.factors, a, b))
+
+    def widen(self, old, new):
+        return tuple(f.widen(x, y) for f, x, y in zip(self.factors, old, new))
+
+    def abstract(self, n: int) -> Element:
+        return tuple(f.abstract(n) for f in self.factors)
+
+    def contains(self, a, n: int) -> bool:
+        return all(f.contains(x, n) for f, x in zip(self.factors, a))
+
+    def binop(self, op, a, b):
+        return tuple(
+            f.binop(op, x, y) for f, x, y in zip(self.factors, a, b)
+        )
+
+    def unop(self, op, a):
+        return tuple(f.unop(op, x) for f, x in zip(self.factors, a))
+
+    def truth(self, a):
+        # a value may be nonzero/zero only if *every* component allows it
+        may_true = all(f.truth(x)[0] for f, x in zip(self.factors, a))
+        may_false = all(f.truth(x)[1] for f, x in zip(self.factors, a))
+        return (may_true, may_false)
+
+    def cmp_range(self, op: str, c: int) -> Element:
+        return tuple(f.cmp_range(op, c) for f in self.factors)

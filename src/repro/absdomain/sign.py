@@ -1,0 +1,180 @@
+"""The signs domain: subsets of {-, 0, +}.
+
+The classic first example of abstract interpretation; elements are
+frozensets of the tokens ``"-"``, ``"0"``, ``"+"`` — an eight-element
+powerset lattice.
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.concrete_ops import apply_binop
+from repro.absdomain.lattice import Element, FiniteEnumMixin, NumDomain
+
+NEG = "-"
+ZERO = "0"
+POS = "+"
+
+_ALL = frozenset((NEG, ZERO, POS))
+
+#: Representative concrete values per sign (for enumeration-based ops —
+#: sound for the sign of the result only where sign is representative-
+#: independent; the table methods below handle the rest).
+_REPS = {NEG: (-1, -2), ZERO: (0,), POS: (1, 2)}
+
+
+def sign_of(n: int) -> str:
+    return ZERO if n == 0 else (POS if n > 0 else NEG)
+
+
+class SignDomain(FiniteEnumMixin, NumDomain):
+    """Powerset-of-signs lattice with table-driven transfer functions."""
+
+    name = "sign"
+
+    @property
+    def bottom(self) -> Element:
+        return frozenset()
+
+    @property
+    def top(self) -> Element:
+        return _ALL
+
+    def leq(self, a, b) -> bool:
+        return a <= b
+
+    def join(self, a, b):
+        return a | b
+
+    def meet(self, a, b):
+        return a & b
+
+    def abstract(self, n: int) -> Element:
+        return frozenset((sign_of(n),))
+
+    def contains(self, a, n: int) -> bool:
+        return sign_of(n) in a
+
+    def concretize(self, a):
+        # signs denote unbounded sets; only usable via representatives
+        return None
+
+    # -- transfer: sign algebra ------------------------------------------
+
+    _ADD = {
+        (NEG, NEG): {NEG},
+        (NEG, ZERO): {NEG},
+        (NEG, POS): {NEG, ZERO, POS},
+        (ZERO, ZERO): {ZERO},
+        (ZERO, POS): {POS},
+        (POS, POS): {POS},
+    }
+    _MUL = {
+        (NEG, NEG): {POS},
+        (NEG, ZERO): {ZERO},
+        (NEG, POS): {NEG},
+        (ZERO, ZERO): {ZERO},
+        (ZERO, POS): {ZERO},
+        (POS, POS): {POS},
+    }
+
+    def _table(self, table, a, b):
+        out: set[str] = set()
+        for x in a:
+            for y in b:
+                key = (x, y) if (x, y) in table else (y, x)
+                out |= table[key]
+        return frozenset(out)
+
+    def binop(self, op, a, b):
+        if not a or not b:
+            return self.bottom
+        if op == "+":
+            return self._table(self._ADD, a, b)
+        if op == "-":
+            return self._table(self._ADD, a, frozenset(self._neg(s) for s in b))
+        if op == "*":
+            return self._table(self._MUL, a, b)
+        if op == "/":
+            # result sign follows the multiplication table except that
+            # magnitude may truncate to zero; division by zero faults.
+            if b == frozenset((ZERO,)):
+                return self.bottom  # always faults
+            bnz = b - {ZERO}
+            out = set(self._table(self._MUL, a, bnz))
+            out.add(ZERO)  # truncation toward zero
+            return frozenset(out)
+        if op == "%":
+            if b == frozenset((ZERO,)):
+                return self.bottom
+            out: set[str] = {ZERO}
+            # remainder has the dividend's sign (C semantics) or is 0
+            out |= set(a) - {ZERO}
+            return frozenset(out)
+        if op in ("==", "!=", "<", "<=", ">", ">="):
+            return self._compare(op, a, b)
+        if op in ("&&", "||"):
+            may_t_a, may_f_a = self.truth(a)
+            may_t_b, may_f_b = self.truth(b)
+            if op == "&&":
+                return self.bool_of(may_t_a and may_t_b, may_f_a or may_f_b)
+            return self.bool_of(may_t_a or may_t_b, may_f_a and may_f_b)
+        return self.top
+
+    def _compare(self, op, a, b):
+        """Comparison via representatives — sound because each sign class
+        is order-homogeneous except for magnitude ties, which the two
+        representatives per class cover."""
+        may: set[int] = set()
+        for x in a:
+            for y in b:
+                for cx in _REPS[x]:
+                    for cy in _REPS[y]:
+                        v = apply_binop(op, cx, cy)
+                        if v is not None:
+                            may.add(v)
+        return self.abstract_all(may) if may else self.bottom
+
+    @staticmethod
+    def _neg(s: str) -> str:
+        return {NEG: POS, POS: NEG, ZERO: ZERO}[s]
+
+    def unop(self, op, a):
+        if not a:
+            return self.bottom
+        if op == "-":
+            return frozenset(self._neg(s) for s in a)
+        if op == "!":
+            may_t, may_f = self.truth(a)
+            return self.bool_of(may_f, may_t)
+        return self.top
+
+    def truth(self, a):
+        may_true = bool(a & {NEG, POS})
+        may_false = ZERO in a
+        return (may_true, may_false)
+
+    def cmp_range(self, op, c: int):
+        """Signs of ``{x : x op c}``."""
+        if op == "==":
+            return self.abstract(c)
+        if op in ("<", "<="):
+            hi = c - 1 if op == "<" else c
+            out = {NEG}
+            if hi >= 0:
+                out.add(ZERO)
+            if hi >= 1:
+                out.add(POS)
+            return frozenset(out)
+        if op in (">", ">="):
+            lo = c + 1 if op == ">" else c
+            out = {POS}
+            if lo <= 0:
+                out.add(ZERO)
+            if lo <= -1:
+                out.add(NEG)
+            return frozenset(out)
+        if op == "!=":
+            if c == 0:
+                return frozenset((NEG, POS))
+            return self.top
+        return self.top

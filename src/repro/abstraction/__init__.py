@@ -1,0 +1,53 @@
+"""Abstract semantics and state folding (paper §4 and §6)."""
+
+from repro.abstraction.absconfig import (
+    MANY,
+    ONE,
+    AbsConfig,
+    AbsFrame,
+    AbsHeapObj,
+    AbsProcess,
+    Member,
+    join_configs,
+    leq_configs,
+)
+from repro.abstraction.absstep import AbsOptions, AbsStepInfo, abstract_successors
+from repro.abstraction.clans import clan_explore
+from repro.abstraction.folding import (
+    FoldResult,
+    FoldStats,
+    alpha_config,
+    fold_explore,
+    initial_abs_config,
+    taylor_key,
+)
+from repro.abstraction.taylor import (
+    concurrency_states,
+    config_skeleton,
+    taylor_explore,
+)
+
+__all__ = [
+    "AbsConfig",
+    "AbsFrame",
+    "AbsHeapObj",
+    "AbsOptions",
+    "AbsProcess",
+    "AbsStepInfo",
+    "FoldResult",
+    "FoldStats",
+    "MANY",
+    "Member",
+    "ONE",
+    "abstract_successors",
+    "alpha_config",
+    "clan_explore",
+    "concurrency_states",
+    "config_skeleton",
+    "fold_explore",
+    "initial_abs_config",
+    "join_configs",
+    "leq_configs",
+    "taylor_explore",
+    "taylor_key",
+]

@@ -1,0 +1,267 @@
+"""Abstract configurations.
+
+The abstract analogue of :mod:`repro.semantics.config`, with two
+abstractions baked into the representation (paper §6):
+
+**Heap** — the allocation-site abstraction: all objects born at one
+``malloc`` site are summarized by a single abstract object (a joined
+cell value plus a *single-instance* flag that licenses strong updates).
+
+**Processes** — every process is a *clan* (McDowell [McD89], §6.2): a
+set of *points*, each a member control state with an abstract count in
+{1, MANY}.  An ordinary process is a clan with one count-1 point;
+identical cobegin branches are spawned as one clan with count MANY.
+Stepping a MANY point forks "all members move" / "one member moves" —
+exactly the paper's remark that the analysis need not know *how many*
+tasks sit at a point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.absdomain.absvalue import AbsValue, AbsValueDomain
+from repro.semantics.config import DONE, Pid
+
+# counts
+ONE = 1
+MANY = 2  # "two or more"
+
+
+@dataclass(frozen=True)
+class AbsFrame:
+    """An abstract activation: control point, abstract locals, and the
+    (abstracted) return destination."""
+
+    func: str
+    pc: int
+    locals: tuple[AbsValue, ...]
+    # ("l", slot) | ("g", i) | ("sites", frozenset[str]) | None
+    ret_loc: Optional[tuple] = None
+
+    def skeleton(self) -> tuple:
+        return (self.func, self.pc, self.ret_loc)
+
+
+@dataclass(frozen=True)
+class Member:
+    """One point of a clan: a member control state."""
+
+    frames: tuple[AbsFrame, ...]
+    status: str  # RUNNING | JOINING | DONE
+
+    def skeleton(self) -> tuple:
+        return (tuple(f.skeleton() for f in self.frames), self.status)
+
+
+@dataclass(frozen=True)
+class AbsProcess:
+    """A clan: canonical pid plus points (member, count) sorted by
+    member skeleton."""
+
+    pid: Pid
+    points: tuple[tuple[Member, int], ...]
+    children: tuple[Pid, ...] = ()
+
+    def skeleton(self) -> tuple:
+        return (
+            self.pid,
+            tuple((m.skeleton(), c) for m, c in self.points),
+            self.children,
+        )
+
+    @property
+    def all_done(self) -> bool:
+        return all(m.status == DONE for m, _ in self.points)
+
+
+@dataclass(frozen=True)
+class AbsHeapObj:
+    """Site summary: joined cell value + instance/shape flags.
+
+    ``single``: exactly one object of this site exists.
+    ``single_cell``: every object of this site has exactly one cell.
+    A strong update through a pointer is sound only when **both** hold —
+    one object *and* one cell, so the write covers the whole summary.
+    (The integration suite caught the multi-cell case: writing cell 0 of
+    a 2-cell object must not overwrite the summary of cell 1.)
+    """
+
+    site: str
+    val: AbsValue
+    single: bool
+    single_cell: bool = True
+
+
+@dataclass(frozen=True)
+class AbsConfig:
+    """An abstract configuration."""
+
+    procs: tuple[AbsProcess, ...]
+    aglobals: tuple[AbsValue, ...]
+    aheap: tuple[AbsHeapObj, ...]
+    _hash: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.procs, self.aglobals, self.aheap))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def proc(self, pid: Pid) -> AbsProcess:
+        for p in self.procs:
+            if p.pid == pid:
+                return p
+        raise KeyError(pid)
+
+    def heap_obj(self, site: str) -> AbsHeapObj | None:
+        for o in self.aheap:
+            if o.site == site:
+                return o
+        return None
+
+    def skeleton(self) -> tuple:
+        """The control skeleton — all data projected away.  This is the
+        Taylor concurrency-state key (§6.1) for clan-enriched states."""
+        return (
+            tuple(p.skeleton() for p in self.procs),
+            tuple((o.site, o.single, o.single_cell) for o in self.aheap),
+        )
+
+    @property
+    def is_terminated(self) -> bool:
+        return all(p.all_done for p in self.procs)
+
+
+# --------------------------------------------------------------------------
+# canonicalization / join
+# --------------------------------------------------------------------------
+
+
+def canon_points(points: list[tuple[Member, int]]) -> tuple[tuple[Member, int], ...]:
+    """Merge identical members (saturating counts) and sort canonically."""
+    merged: dict[Member, int] = {}
+    for m, c in points:
+        if m in merged:
+            merged[m] = MANY
+        else:
+            merged[m] = c
+    return tuple(
+        sorted(merged.items(), key=lambda mc: (mc[0].skeleton(), mc[1]))
+    )
+
+
+def join_values(
+    dom: AbsValueDomain, a: tuple[AbsValue, ...], b: tuple[AbsValue, ...], *, widen: bool
+) -> tuple[AbsValue, ...]:
+    op = dom.widen if widen else dom.join
+    return tuple(op(x, y) for x, y in zip(a, b))
+
+
+def join_configs(
+    dom: AbsValueDomain, a: AbsConfig, b: AbsConfig, *, widen: bool = False
+) -> AbsConfig:
+    """Join two abstract configurations **with the same skeleton** —
+    the fold operation: data joins pointwise, control stays put."""
+    assert a.skeleton() == b.skeleton(), "fold keys must fix the skeleton"
+    op = dom.widen if widen else dom.join
+    procs = []
+    for pa, pb in zip(a.procs, b.procs):
+        points = []
+        for (ma, ca), (mb, _cb) in zip(pa.points, pb.points):
+            frames = tuple(
+                AbsFrame(
+                    func=fa.func,
+                    pc=fa.pc,
+                    locals=join_values(dom, fa.locals, fb.locals, widen=widen),
+                    ret_loc=fa.ret_loc,
+                )
+                for fa, fb in zip(ma.frames, mb.frames)
+            )
+            points.append((Member(frames=frames, status=ma.status), ca))
+        procs.append(
+            AbsProcess(pid=pa.pid, points=tuple(points), children=pa.children)
+        )
+    aheap = tuple(
+        AbsHeapObj(
+            site=oa.site,
+            val=op(oa.val, ob.val),
+            single=oa.single,
+            single_cell=oa.single_cell,
+        )
+        for oa, ob in zip(a.aheap, b.aheap)
+    )
+    return AbsConfig(
+        procs=tuple(procs),
+        aglobals=join_values(dom, a.aglobals, b.aglobals, widen=widen),
+        aheap=aheap,
+    )
+
+
+def narrow_configs(dom: AbsValueDomain, old: AbsConfig, new: AbsConfig) -> AbsConfig:
+    """One descending (narrowing) step: refine *old* toward *new*
+    (which must be ⊑-comparable recomputed information with the same
+    skeleton).  Numeric components use the domain's narrowing when it
+    has one (intervals refine infinite bounds); other components take
+    the recomputed value when it shrank."""
+    assert old.skeleton() == new.skeleton()
+    num = dom.num
+    narrow_num = getattr(num, "narrow", None)
+
+    def nval(o, n):
+        if narrow_num is not None:
+            nn = narrow_num(o[0], n[0])
+        else:
+            nn = n[0] if num.leq(n[0], o[0]) else o[0]
+        ptrs = n[1] if n[1] <= o[1] else o[1]
+        funcs = n[2] if n[2] <= o[2] else o[2]
+        return (nn, ptrs, funcs)
+
+    procs = []
+    for po, pn in zip(old.procs, new.procs):
+        points = []
+        for (mo, c), (mn, _) in zip(po.points, pn.points):
+            frames = tuple(
+                AbsFrame(
+                    func=fo.func,
+                    pc=fo.pc,
+                    locals=tuple(nval(x, y) for x, y in zip(fo.locals, fn.locals)),
+                    ret_loc=fo.ret_loc,
+                )
+                for fo, fn in zip(mo.frames, mn.frames)
+            )
+            points.append((Member(frames=frames, status=mo.status), c))
+        procs.append(AbsProcess(pid=po.pid, points=tuple(points), children=po.children))
+    return AbsConfig(
+        procs=tuple(procs),
+        aglobals=tuple(nval(o, n) for o, n in zip(old.aglobals, new.aglobals)),
+        aheap=tuple(
+            AbsHeapObj(
+                site=oo.site,
+                val=nval(oo.val, on.val),
+                single=oo.single,
+                single_cell=oo.single_cell,
+            )
+            for oo, on in zip(old.aheap, new.aheap)
+        ),
+    )
+
+
+def leq_configs(dom: AbsValueDomain, a: AbsConfig, b: AbsConfig) -> bool:
+    """Pointwise ⊑ for same-skeleton configurations."""
+    if a.skeleton() != b.skeleton():
+        return False
+    for pa, pb in zip(a.procs, b.procs):
+        for (ma, _), (mb, _) in zip(pa.points, pb.points):
+            for fa, fb in zip(ma.frames, mb.frames):
+                if not all(dom.leq(x, y) for x, y in zip(fa.locals, fb.locals)):
+                    return False
+    if not all(dom.leq(x, y) for x, y in zip(a.aglobals, b.aglobals)):
+        return False
+    for oa, ob in zip(a.aheap, b.aheap):
+        if not dom.leq(oa.val, ob.val):
+            return False
+    return True

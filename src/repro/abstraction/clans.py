@@ -1,0 +1,35 @@
+"""Clan folding (§6.2, recovering McDowell's clans [McD89]).
+
+A *clan* summarizes the processes spawned from identical cobegin
+branches: one abstract process whose points carry {1, MANY} counts.
+The two observations the paper quotes from [McD89]:
+
+1. tasks executing the same statements need not be distinguished;
+2. it is often unnecessary to know exactly *how many* sit at a point.
+
+are realized by the clan spawning + counting in
+:mod:`repro.abstraction.absstep`; this module provides the convenient
+entry point and the measurement used by benchmark E6 (folded state
+count ~independent of the number of identical tasks).
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.absvalue import AbsValueDomain
+from repro.absdomain.flat import FlatConstDomain
+from repro.abstraction.absstep import AbsOptions
+from repro.abstraction.folding import FoldResult, fold_explore, taylor_key
+from repro.lang.program import Program
+
+
+def clan_explore(
+    program: Program,
+    dom: AbsValueDomain | None = None,
+    **kwargs,
+) -> FoldResult:
+    """Abstract exploration with identical branches collapsed into
+    clans, folded by control skeleton."""
+    vdom = dom if dom is not None else AbsValueDomain(FlatConstDomain())
+    return fold_explore(
+        program, AbsOptions(dom=vdom, clan_fold=True), key_fn=taylor_key, **kwargs
+    )

@@ -1,0 +1,63 @@
+"""Taylor concurrency-state folding (§6.1, recovering [Tay83]).
+
+Two entry points:
+
+- :func:`concurrency_states` — project an already-explored *concrete*
+  configuration graph onto control skeletons: how many configurations
+  remain when data is folded away (the paper's Figure 3: the dangling
+  links merge);
+- :func:`taylor_explore` — explore abstractly folded by the skeleton
+  key from the start (never materializing the concrete space).
+"""
+
+from __future__ import annotations
+
+from repro.absdomain.absvalue import AbsValueDomain
+from repro.absdomain.flat import FlatConstDomain
+from repro.abstraction.absstep import AbsOptions
+from repro.abstraction.folding import FoldResult, fold_explore, taylor_key
+from repro.explore.graph import ConfigGraph
+from repro.lang.program import Program
+from repro.semantics.config import Config
+
+
+def config_skeleton(config: Config) -> tuple:
+    """Control skeleton of a concrete configuration: pids, statuses, and
+    per-frame (func, pc) — all values, heap contents and procedure
+    strings projected away."""
+    return (
+        tuple(
+            (
+                p.pid,
+                p.status,
+                tuple((f.func, f.pc) for f in p.frames),
+                p.children,
+            )
+            for p in config.procs
+        ),
+        config.fault is not None,
+    )
+
+
+def concurrency_states(graph: ConfigGraph) -> dict[tuple, list[int]]:
+    """Group the concrete configurations of *graph* by skeleton.
+
+    Returns skeleton -> config ids; ``len(result)`` is the number of
+    Taylor concurrency states, always ≤ ``graph.num_configs``.
+    """
+    out: dict[tuple, list[int]] = {}
+    for cid, cfg in enumerate(graph.configs):
+        out.setdefault(config_skeleton(cfg), []).append(cid)
+    return out
+
+
+def taylor_explore(
+    program: Program,
+    dom: AbsValueDomain | None = None,
+    **kwargs,
+) -> FoldResult:
+    """Abstract exploration folded by control skeleton."""
+    vdom = dom if dom is not None else AbsValueDomain(FlatConstDomain())
+    return fold_explore(
+        program, AbsOptions(dom=vdom, clan_fold=False), key_fn=taylor_key, **kwargs
+    )

@@ -1,0 +1,86 @@
+"""Client analyses of the framework (paper §5 and §7).
+
+Substrate analyses (imported eagerly — the exploration engine depends
+on them):
+
+- :mod:`repro.analyses.pointsto` — Andersen-style points-to;
+- :mod:`repro.analyses.accesses` — static future access sets and
+  critical-reference classification.
+
+Derived analyses (lazy, to keep the engine→analyses→engine import
+chain acyclic):
+
+- :mod:`repro.analyses.mhp` — may-happen-in-parallel;
+- :mod:`repro.analyses.sideeffects` — per-function/thread mod-ref (§5.1);
+- :mod:`repro.analyses.dependence` — data dependences (§5.2);
+- :mod:`repro.analyses.lifetime` — object lifetimes/extents (§5.3);
+- :mod:`repro.analyses.races` — access-anomaly detection;
+- :mod:`repro.analyses.conflictgraph` — Shasha–Snir conflict graphs and
+  minimal delay insertion;
+- :mod:`repro.analyses.parallelize` — further parallelization (Ex. 15);
+- :mod:`repro.analyses.memplace` — memory placement (§7);
+- :mod:`repro.analyses.constprop` — interference-aware constants/LICM;
+- :mod:`repro.analyses.report` — assembled text reports.
+"""
+
+from repro.analyses.accesses import (
+    AccessAnalysis,
+    StaticAccess,
+    access_analysis,
+    matches,
+)
+from repro.analyses.pointsto import PointsTo, points_to
+
+_LAZY = {
+    "ConflictGraph": ("repro.analyses.conflictgraph", "ConflictGraph"),
+    "conflict_graph": ("repro.analyses.conflictgraph", "conflict_graph"),
+    "extract_segments": ("repro.analyses.conflictgraph", "extract_segments"),
+    "constants_at": ("repro.analyses.constprop", "constants_at"),
+    "licm_report": ("repro.analyses.constprop", "licm_report"),
+    "Dependence": ("repro.analyses.dependence", "Dependence"),
+    "Dependences": ("repro.analyses.dependence", "Dependences"),
+    "dependences": ("repro.analyses.dependence", "dependences"),
+    "Lifetimes": ("repro.analyses.lifetime", "Lifetimes"),
+    "ObjectLifetime": ("repro.analyses.lifetime", "ObjectLifetime"),
+    "lifetimes": ("repro.analyses.lifetime", "lifetimes"),
+    "Placement": ("repro.analyses.memplace", "Placement"),
+    "placements": ("repro.analyses.memplace", "placements"),
+    "mhp_dynamic": ("repro.analyses.mhp", "mhp_dynamic"),
+    "mhp_static": ("repro.analyses.mhp", "mhp_static"),
+    "ParallelSchedule": ("repro.analyses.parallelize", "ParallelSchedule"),
+    "further_parallelize": ("repro.analyses.parallelize", "further_parallelize"),
+    "Race": ("repro.analyses.races", "Race"),
+    "races": ("repro.analyses.races", "races"),
+    "full_report": ("repro.analyses.report", "full_report"),
+    "EffectSet": ("repro.analyses.sideeffects", "EffectSet"),
+    "SideEffects": ("repro.analyses.sideeffects", "SideEffects"),
+    "side_effects": ("repro.analyses.sideeffects", "side_effects"),
+    "OptimizeResult": ("repro.analyses.optimize", "OptimizeResult"),
+    "optimize_program": ("repro.analyses.optimize", "optimize_program"),
+    "Witness": ("repro.analyses.witness", "Witness"),
+    "deadlock_witness": ("repro.analyses.witness", "deadlock_witness"),
+    "fault_witness": ("repro.analyses.witness", "fault_witness"),
+    "outcome_witness": ("repro.analyses.witness", "outcome_witness"),
+}
+
+__all__ = [
+    "AccessAnalysis",
+    "PointsTo",
+    "StaticAccess",
+    "access_analysis",
+    "matches",
+    "points_to",
+    *sorted(_LAZY),
+]
+
+
+def __getattr__(name: str):
+    entry = _LAZY.get(name)
+    if entry is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(entry[0])
+    value = getattr(module, entry[1])
+    globals()[name] = value
+    return value

@@ -1,0 +1,184 @@
+"""Shasha–Snir conflict graphs and minimal delay insertion ([SS88], §7/§8).
+
+For straight-line cobegin segments, build:
+
+- **P** — directed program-order edges within each segment;
+- **C** — undirected conflict edges between statements of different
+  segments (conflicting shared accesses, from the dependence analysis).
+
+[SS88]: an execution order is sequentially consistent iff P ∪ E is
+acyclic for the chosen orientation E of C; the hardware may reorder
+within a segment unless a *delay* enforces a P edge.  Delays must be
+chosen so that every *critical cycle* of P ∪ C — a simple cycle mixing
+program and conflict edges — passes through an enforced edge.  We
+enumerate the critical cycles and return a minimum hitting set of
+P edges (exact search; segments are small).
+
+The classic instance (the paper's Figure 2 / our E1, E9): segments
+``A=1; y=B`` ‖ ``B=1; x=A`` have the single critical cycle
+``s1 → s2 ~ s3 → s4 ~ s1`` and need **both** P edges delayed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang.instructions import ICobegin
+from repro.lang.program import Program
+from repro.util.errors import AnalysisError
+
+
+@dataclass
+class Segments:
+    """Ordered statement labels of each branch of one cobegin."""
+
+    labels: list[list[str]]
+
+    def program_edges(self) -> list[tuple[str, str]]:
+        out = []
+        for seg in self.labels:
+            for a, b in zip(seg, seg[1:]):
+                out.append((a, b))
+        return out
+
+    def segment_of(self) -> dict[str, int]:
+        return {
+            lbl: i for i, seg in enumerate(self.labels) for lbl in seg
+        }
+
+
+def extract_segments(program: Program, func: str = "main") -> Segments:
+    """The straight-line segments of the (single) cobegin in *func*.
+
+    Raises :class:`AnalysisError` if there is no cobegin or a branch is
+    not straight-line (the [SS88] setting).
+    """
+    fc = program.funcs[func]
+    cobegins = [
+        (pc, ins) for pc, ins in enumerate(fc.instrs) if isinstance(ins, ICobegin)
+    ]
+    if not cobegins:
+        raise AnalysisError(f"no cobegin in {func!r}")
+    if len(cobegins) > 1:
+        raise AnalysisError(f"multiple cobegins in {func!r}; pass segments explicitly")
+    _, ins = cobegins[0]
+    bounds = list(ins.branch_targets) + [ins.join_target]
+    segments: list[list[str]] = []
+    for i in range(len(ins.branch_targets)):
+        labels: list[str] = []
+        for pc in range(bounds[i], bounds[i + 1]):
+            sub = fc.instrs[pc]
+            kind = type(sub).__name__
+            if kind in ("IBranch", "ICobegin"):
+                raise AnalysisError(
+                    "segments must be straight-line for Shasha–Snir delays"
+                )
+            if kind in ("IJump", "IThreadEnd"):
+                continue
+            if sub.label:
+                labels.append(sub.label)
+        segments.append(labels)
+    return Segments(labels=segments)
+
+
+@dataclass
+class ConflictGraph:
+    segments: Segments
+    conflicts: set[frozenset]  # unordered label pairs across segments
+
+    def critical_cycles(self) -> list[tuple[str, ...]]:
+        """Simple cycles of P ∪ C using ≥2 conflict edges (each conflict
+        traversed one way), found by DFS over the mixed graph."""
+        p_edges = self.segments.program_edges()
+        seg_of = self.segments.segment_of()
+        adj: dict[str, list[tuple[str, str]]] = {}
+        for a, b in p_edges:
+            adj.setdefault(a, []).append((b, "P"))
+        for pair in self.conflicts:
+            a, b = sorted(pair)
+            adj.setdefault(a, []).append((b, "C"))
+            adj.setdefault(b, []).append((a, "C"))
+
+        cycles: set[tuple[str, ...]] = set()
+        nodes = sorted(adj)
+
+        def dfs(start: str, node: str, path: list[str], kinds: list[str]) -> None:
+            for nxt, kind in adj.get(node, []):
+                if kind == "C" and kinds and kinds[-1] == "C":
+                    continue  # alternate: no two conflict hops in a row
+                if nxt == start and len(path) >= 2:
+                    if kinds.count("C") + (kind == "C") >= 2:
+                        cyc = _canon_cycle(path)
+                        cycles.add(cyc)
+                    continue
+                if nxt in path or nxt < start:
+                    continue
+                dfs(start, nxt, path + [nxt], kinds + [kind])
+
+        for n in nodes:
+            dfs(n, n, [n], [])
+        return sorted(cycles)
+
+    def minimal_delays(self) -> list[tuple[str, str]]:
+        """The [SS88] delay set: for every critical cycle, each maximal
+        program-order run through a segment must be enforced end to end
+        (one delay pair per run).  Leaving any run unenforced lets the
+        hardware flip it and realize the cycle — the 2×2 example needs
+        delays in *both* segments.  Runs shared between cycles are
+        emitted once; the result is minimal for straight-line segments
+        because each pair is necessary for its own cycle."""
+        cycles = self.critical_cycles()
+        p_edges = set(self.segments.program_edges())
+        delays: set[tuple[str, str]] = set()
+        for cyc in cycles:
+            ring = list(cyc) + [cyc[0]]
+            run_start: str | None = None
+            prev: str | None = None
+            for a, b in zip(ring, ring[1:]):
+                if (a, b) in p_edges:
+                    if run_start is None:
+                        run_start = a
+                    prev = b
+                else:
+                    if run_start is not None and prev is not None:
+                        delays.add((run_start, prev))
+                    run_start = None
+                    prev = None
+            if run_start is not None and prev is not None:
+                delays.add((run_start, prev))
+        return sorted(delays)
+
+
+def _canon_cycle(path: list[str]) -> tuple[str, ...]:
+    i = path.index(min(path))
+    rot = tuple(path[i:] + path[:i])
+    rev = tuple([rot[0]] + list(reversed(rot[1:])))
+    return min(rot, rev)
+
+
+def conflict_graph(program: Program, result, func: str = "main") -> ConflictGraph:
+    """Build the [SS88] conflict graph from an explored graph.
+
+    Conflicts are computed at *effect-set* granularity, so a segment of
+    procedure calls (Example 15 / Figure 8) conflicts exactly where the
+    callees' side effects interfere.
+    """
+    from repro.analyses.sideeffects import (
+        effects_conflict,
+        label_effects_with_callees,
+    )
+
+    segments = extract_segments(program, func)
+    seg_of = segments.segment_of()
+    effs = label_effects_with_callees(program, result)
+    labels = [l for seg in segments.labels for l in seg]
+    conflicts: set[frozenset] = set()
+    for i, a in enumerate(labels):
+        for b in labels[i + 1 :]:
+            if seg_of[a] == seg_of[b]:
+                continue
+            ea = effs.get(a)
+            eb = effs.get(b)
+            if ea is not None and eb is not None and effects_conflict(ea, eb):
+                conflicts.add(frozenset((a, b)))
+    return ConflictGraph(segments=segments, conflicts=conflicts)

@@ -1,0 +1,152 @@
+"""Interference-aware constant propagation (paper intro + §7).
+
+The introduction's cautionary example: a thread busy-waits on a shared
+flag; a *sequential* optimizer concludes the flag is loop-invariant
+(nothing in the loop body writes it), hoists the load, and the wait
+never succeeds.  "Even the simplest optimization, like constant
+propagation, will fail if applied without modification."
+
+Two analyses:
+
+- :func:`constants_at` — sound constants per statement, from abstract
+  exploration (Taylor-folded, flat constant domain): a global is a
+  constant at a label iff it holds that constant in *every* reachable
+  (abstract) configuration where the label is about to execute.  All
+  interleavings are in the abstract space, so cross-thread interference
+  is respected by construction.
+- :func:`licm_report` — the loop-invariant-code-motion contrast: per
+  loop, the globals a sequential analysis would call invariant, split
+  into genuinely safe ones and those a concurrent sibling may write
+  (critical reads, Definition 4) where hoisting is unsound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.absdomain.absvalue import AbsValueDomain
+from repro.absdomain.flat import FlatConstDomain
+from repro.abstraction.folding import FoldResult
+from repro.abstraction.taylor import taylor_explore
+from repro.analyses.accesses import access_analysis
+from repro.lang.instructions import IBranch, ICall, IJump, RFunc
+from repro.lang.program import Program
+
+
+@dataclass
+class ConstantsReport:
+    """Per-label known-constant globals."""
+
+    #: label -> {global name: constant int}
+    at: dict[str, dict[str, int]]
+    fold: FoldResult
+
+    def constant(self, label: str, name: str) -> int | None:
+        return self.at.get(label, {}).get(name)
+
+
+def constants_at(program: Program, fold: FoldResult | None = None) -> ConstantsReport:
+    """Sound constants before each labeled statement."""
+    flat = FlatConstDomain()
+    dom = AbsValueDomain(flat)
+    result = fold if fold is not None else taylor_explore(program, dom)
+    # label -> global idx -> joined abstract value
+    joined: dict[str, list] = {}
+    for cfg in result.table.values():
+        for proc in cfg.procs:
+            for m, _count in proc.points:
+                if not m.frames or m.status != "run":
+                    continue
+                top = m.frames[-1]
+                label = program.label_of_pc.get((top.func, top.pc))
+                if label is None:
+                    continue
+                cur = joined.get(label)
+                if cur is None:
+                    joined[label] = list(cfg.aglobals)
+                else:
+                    joined[label] = [
+                        dom.join(a, b) for a, b in zip(cur, cfg.aglobals)
+                    ]
+    at: dict[str, dict[str, int]] = {}
+    for label, vals in joined.items():
+        consts: dict[str, int] = {}
+        for name, av in zip(program.global_names, vals):
+            num, ptrs, funcs = av
+            if ptrs or funcs:
+                continue
+            v = flat.value_of(num)
+            if v is not None:
+                consts[name] = v
+        at[label] = consts
+    return ConstantsReport(at=at, fold=result)
+
+
+@dataclass(frozen=True)
+class LoopInvariance:
+    """LICM facts for one loop."""
+
+    loop_label: str
+    func: str
+    seq_invariant: tuple[str, ...]  # sequential analysis: invariant reads
+    safe: tuple[str, ...]  # still invariant under interference
+    unsafe: tuple[str, ...]  # a concurrent thread may write these
+
+
+def licm_report(program: Program) -> list[LoopInvariance]:
+    """Per-loop invariant-load classification (the busy-wait contrast)."""
+    access = access_analysis(program)
+    out: list[LoopInvariance] = []
+    for fname in sorted(program.funcs):
+        instrs = program.funcs[fname].instrs
+        for pc, ins in enumerate(instrs):
+            if not isinstance(ins, IBranch):
+                continue
+            # while-loop shape: a later jump back to the branch
+            back = [
+                j
+                for j, other in enumerate(instrs)
+                if isinstance(other, IJump) and other.target == pc and j > pc
+            ]
+            if not back:
+                continue
+            body = range(pc + 1, back[-1])
+            cond_reads = {
+                loc
+                for loc in access.gen_at(fname, pc).reads
+                if loc[0] == "g" and loc[1] != "*"
+            }
+            body_writes: set = set()
+            for bpc in body:
+                body_writes |= access.gen_at(fname, bpc).writes
+                bins = instrs[bpc]
+                if isinstance(bins, ICall):
+                    callees = (
+                        {bins.callee.name}
+                        if isinstance(bins.callee, RFunc)
+                        else access.pts.callees(fname, bins.callee)
+                    )
+                    for callee in callees:
+                        if callee in program.funcs and program.funcs[callee].instrs:
+                            body_writes |= access.future(callee, 0).writes
+            seq_inv = sorted(
+                program.global_names[loc[1]]
+                for loc in cond_reads
+                if loc not in body_writes and ("g", "*") not in body_writes
+            )
+            unsafe = sorted(
+                name
+                for name in seq_inv
+                if access.crit_read(("g", program.global_index(name)))
+            )
+            safe = sorted(set(seq_inv) - set(unsafe))
+            out.append(
+                LoopInvariance(
+                    loop_label=ins.label,
+                    func=fname,
+                    seq_invariant=tuple(seq_inv),
+                    safe=tuple(safe),
+                    unsafe=tuple(unsafe),
+                )
+            )
+    return out

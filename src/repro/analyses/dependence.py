@@ -1,0 +1,180 @@
+"""Data-dependence analysis (paper §5.2).
+
+Flow (write→read), anti (read→write) and output (write→write)
+dependences between statements, including *cross-thread* dependences
+through shared variables and heap objects.
+
+Implemented as a forward dataflow over the explored configuration
+graph: each configuration carries, per shared location, the set of
+possible last writers and the readers since — merged by union over
+incoming paths; a transition then realizes dependences against that
+environment.  Running it over the *full* graph yields exactly the
+dependences realizable in some interleaving (the paper's point that the
+framework derives dependence information directly from the explored
+space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.explorer import ExploreResult
+from repro.lang.program import Program
+from repro.util.fixpoint import Worklist
+
+FLOW = "flow"
+ANTI = "anti"
+OUTPUT = "output"
+
+#: the pseudo-label of initializing writes (globals start initialized)
+INIT = "<init>"
+
+
+def _concurrent(a: tuple, b: tuple) -> bool:
+    """Pids are concurrent iff neither is an ancestor of the other —
+    a parent is blocked at its join while descendants run, so
+    ancestor-ordered accesses are sequential, not cross-thread."""
+    shorter = min(len(a), len(b))
+    return a[:shorter] != b[:shorter]
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A realized dependence ``src --kind--> dst`` on ``loc``."""
+
+    kind: str
+    src: str
+    dst: str
+    loc: tuple  # ("g", name) or ("site", site)
+    cross_thread: bool
+
+    def __str__(self) -> str:
+        where = "×" if self.cross_thread else "·"
+        return f"{self.src} -{self.kind}{where}-> {self.dst} on {self.loc}"
+
+
+@dataclass
+class Dependences:
+    deps: set[Dependence]
+
+    def pairs(self, *, cross_only: bool = False) -> set[frozenset]:
+        """Unordered dependent statement pairs (Example 15's currency);
+        initializing writes are not statements and are excluded."""
+        out: set[frozenset] = set()
+        for d in self.deps:
+            if cross_only and not d.cross_thread:
+                continue
+            if d.src == INIT:
+                continue
+            out.add(frozenset((d.src, d.dst)))
+        return out
+
+    def of_kind(self, kind: str) -> list[Dependence]:
+        return sorted(
+            (d for d in self.deps if d.kind == kind),
+            key=lambda d: (d.src, d.dst, d.loc),
+        )
+
+
+def _report_loc(program: Program, loc) -> tuple | None:
+    if loc[0] == "g":
+        return ("g", program.global_names[loc[1]])
+    if loc[0] == "h":
+        return ("site", loc[1][0])
+    return None
+
+
+def dependences(program: Program, result: ExploreResult) -> Dependences:
+    """Compute §5.2 dependences from an explored graph (use ``full``)."""
+    graph = result.graph
+    # env: loc -> (frozenset[(label, pid)], frozenset[(label, pid)])
+    empty_env: dict = {}
+    envs: dict[int, dict] = {graph.initial: _initial_env(program)}
+    deps: set[Dependence] = set()
+
+    wl = Worklist([graph.initial])
+    while wl:
+        cid = wl.pop()
+        env = envs.get(cid, empty_env)
+        for eid in graph.out_edges[cid]:
+            edge = graph.edges[eid]
+            new_env = dict(env)
+            for action in edge.actions:
+                _transfer(program, action, new_env, deps)
+            dst = edge.dst
+            cur = envs.get(dst)
+            merged = _merge(cur, new_env)
+            if merged is not cur:
+                envs[dst] = merged
+                wl.push(dst)
+    return Dependences(deps=deps)
+
+
+def _initial_env(program: Program) -> dict:
+    env = {}
+    for i in range(len(program.global_names)):
+        env[("g", i)] = (frozenset(((INIT, ()),)), frozenset())
+    return env
+
+
+def _transfer(program: Program, action, env: dict, deps: set) -> None:
+    me = (action.label, action.pid)
+    for loc in action.reads:
+        rep = _report_loc(program, loc)
+        if rep is None:
+            continue
+        writers, readers = env.get(loc, (frozenset(), frozenset()))
+        for w_label, w_pid in writers:
+            deps.add(
+                Dependence(
+                    kind=FLOW,
+                    src=w_label,
+                    dst=action.label,
+                    loc=rep,
+                    cross_thread=w_label != INIT and _concurrent(w_pid, action.pid),
+                )
+            )
+        env[loc] = (writers, readers | {me})
+    for loc in action.writes:
+        rep = _report_loc(program, loc)
+        if rep is None:
+            continue
+        writers, readers = env.get(loc, (frozenset(), frozenset()))
+        for w_label, w_pid in writers:
+            deps.add(
+                Dependence(
+                    kind=OUTPUT,
+                    src=w_label,
+                    dst=action.label,
+                    loc=rep,
+                    cross_thread=w_label != INIT and _concurrent(w_pid, action.pid),
+                )
+            )
+        for r_label, r_pid in readers:
+            if r_label == action.label and r_pid == action.pid:
+                continue
+            deps.add(
+                Dependence(
+                    kind=ANTI,
+                    src=r_label,
+                    dst=action.label,
+                    loc=rep,
+                    cross_thread=_concurrent(r_pid, action.pid),
+                )
+            )
+        env[loc] = (frozenset((me,)), frozenset())
+
+
+def _merge(cur: dict | None, new: dict):
+    """Union-merge two environments; returns ``cur`` when nothing new."""
+    if cur is None:
+        return new
+    changed = False
+    merged = dict(cur)
+    for loc, (w, r) in new.items():
+        cw, cr = merged.get(loc, (frozenset(), frozenset()))
+        mw, mr = cw | w, cr | r
+        if mw != cw or mr != cr:
+            merged[loc] = (mw, mr)
+            changed = True
+    return merged if changed else cur

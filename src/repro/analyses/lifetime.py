@@ -1,0 +1,205 @@
+"""Object-lifetime analysis (paper §5.3).
+
+For every heap object the instrumented semantics records a *birthdate*
+(the creating process and its procedure string); exploration then tells:
+
+- **escapes its creating activation** — the object may be accessed after
+  the activation that allocated it has returned (if not: it can go on
+  the creating function's *deallocation list*, the [Har89] application
+  of §7);
+- **is multi-thread** — accessed by concurrent processes (pids neither
+  of which is an ancestor of the other), which drives memory placement:
+  such an object must live at a memory level visible to all accessors.
+
+Escape detection is sound via *stack-depth watermarks*: the creating
+activation of an object allocated by process π at frame depth *d* has
+exited exactly when π's stack first drops below *d* (stack discipline),
+or π terminates.  A forward may-analysis over the configuration graph
+tracks the objects whose creator may have exited; any later access
+flags the escape.  (Procedure strings give the reporting vocabulary —
+birth paths — and, being normalized, identify repeated activations at
+one path; the watermarks keep the analysis exact where normalization
+is lossy.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explore.explorer import ExploreResult
+from repro.lang.program import Program
+from repro.semantics import procstring as PS
+from repro.util.fixpoint import Worklist
+
+
+def _is_ancestor(a: tuple, b: tuple) -> bool:
+    """pid *a* is (a non-strict) ancestor of pid *b*."""
+    return len(a) <= len(b) and b[: len(a)] == a
+
+
+def concurrent_pids(a: tuple, b: tuple) -> bool:
+    return not _is_ancestor(a, b) and not _is_ancestor(b, a)
+
+
+def _lca(a: tuple, b: tuple) -> tuple:
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)
+
+
+@dataclass
+class ObjectLifetime:
+    """Lifetime facts for one heap object (by canonical oid)."""
+
+    oid: tuple
+    site: str
+    birth_pid: tuple
+    birth_depth: int
+    birth_func: str
+    birth_ps: PS.ProcString = ()
+    escapes_creator: bool = False
+    accessor_pids: set = field(default_factory=set)
+    accessor_labels: set = field(default_factory=set)
+
+    @property
+    def multi_thread(self) -> bool:
+        pids = list(self.accessor_pids)
+        for i in range(len(pids)):
+            for j in range(i + 1, len(pids)):
+                if concurrent_pids(pids[i], pids[j]):
+                    return True
+        return False
+
+    @property
+    def placement_pid(self) -> tuple:
+        """The deepest thread all accessors (and the creator) share —
+        allocate at this thread's memory level (§7)."""
+        level = self.birth_pid
+        for p in self.accessor_pids:
+            level = _lca(level, p)
+        return level
+
+    @property
+    def stack_allocatable(self) -> bool:
+        """May be placed on / deallocated at exit of the creating
+        activation (the §7 deallocation-list application)."""
+        return not self.escapes_creator and not self.multi_thread
+
+
+@dataclass
+class Lifetimes:
+    objects: dict[tuple, ObjectLifetime]
+
+    def by_site(self) -> dict[str, list[ObjectLifetime]]:
+        out: dict[str, list[ObjectLifetime]] = {}
+        for lt in self.objects.values():
+            out.setdefault(lt.site, []).append(lt)
+        return out
+
+    def site_summary(self, site: str) -> dict:
+        lts = [lt for lt in self.objects.values() if lt.site == site]
+        return {
+            "site": site,
+            "escapes_creator": any(lt.escapes_creator for lt in lts),
+            "multi_thread": any(lt.multi_thread for lt in lts),
+            "stack_allocatable": all(lt.stack_allocatable for lt in lts),
+        }
+
+    def dealloc_lists(self) -> dict[str, list[str]]:
+        """func -> sites whose objects can be freed at its exit."""
+        out: dict[str, list[str]] = {}
+        for lt in self.objects.values():
+            if not lt.escapes_creator:
+                out.setdefault(lt.birth_func, [])
+                if lt.site not in out[lt.birth_func]:
+                    out[lt.birth_func].append(lt.site)
+        return {f: sorted(sites) for f, sites in out.items()}
+
+
+def lifetimes(program: Program, result: ExploreResult) -> Lifetimes:
+    """Compute §5.3 lifetimes from an explored graph.
+
+    Explore with ``StepOptions(gc=False, track_procstrings=True)`` for
+    stable object identities and birthdates (the benchmark and example
+    drivers do).
+    """
+    graph = result.graph
+
+    # pass 1: birth records (watermarks); conservative max over paths
+    objects: dict[tuple, ObjectLifetime] = {}
+    for edge in graph.iter_edges():
+        for action in edge.actions:
+            for oid in action.allocs:
+                lt = objects.get(oid)
+                depth = action.depth
+                if lt is None:
+                    objects[oid] = ObjectLifetime(
+                        oid=oid,
+                        site=oid[0],
+                        birth_pid=action.pid,
+                        birth_depth=depth,
+                        birth_func=action.stack[-1] if action.stack else "",
+                        birth_ps=action.ps,
+                    )
+                elif depth > lt.birth_depth:
+                    lt.birth_depth = depth  # conservative: exits sooner
+
+    # pass 2: forward may-"creator exited" dataflow.  Per configuration
+    # we carry (born, exited): the exit check only applies to objects
+    # already allocated along the path — without the born component an
+    # object would count as "creator exited" before its creating call
+    # even starts.
+    empty = (frozenset(), frozenset())
+    state: dict[int, tuple[frozenset, frozenset]] = {graph.initial: empty}
+    wl = Worklist([graph.initial])
+    while wl:
+        cid = wl.pop()
+        born_in, exited_in = state.get(cid, empty)
+        for eid in graph.out_edges[cid]:
+            edge = graph.edges[eid]
+            born = set(born_in)
+            exited = set(exited_in)
+            for action in edge.actions:
+                # accesses happen against the pre-action exit state
+                for loc in list(action.reads) + list(action.writes):
+                    if loc[0] == "h" and loc[1] in objects:
+                        lt = objects[loc[1]]
+                        lt.accessor_pids.add(action.pid)
+                        lt.accessor_labels.add(action.label)
+                        if loc[1] in exited:
+                            lt.escapes_creator = True
+                born.update(action.allocs)
+                # did this action pop the creator of any live object?
+                dst_cfg = graph.configs[edge.dst]
+                depth_after = None
+                alive = False
+                for p in dst_cfg.procs:
+                    if p.pid == action.pid:
+                        alive = p.status != "done"
+                        depth_after = p.depth
+                        break
+                for oid in born:
+                    if oid in exited:
+                        continue
+                    lt = objects[oid]
+                    if lt.birth_pid != action.pid:
+                        continue
+                    if (
+                        not alive
+                        or depth_after is None
+                        or depth_after < lt.birth_depth
+                    ):
+                        exited.add(oid)
+            prev = state.get(edge.dst)
+            if prev is None:
+                merged = (frozenset(born), frozenset(exited))
+            else:
+                merged = (prev[0] | born, prev[1] | exited)
+            if prev is None or merged != prev:
+                state[edge.dst] = merged
+                wl.push(edge.dst)
+
+    return Lifetimes(objects=objects)

@@ -1,0 +1,65 @@
+"""Memory placement (paper §7, "memory management").
+
+    "In a system with hierarchical memories, suppose each cobegin thread
+    is executed in a processor.  If we know an object will be referenced
+    by another concurrent thread, then it should be allocated in the
+    memory accessible to both threads."
+
+From the lifetime analysis: each allocation site is placed at the
+memory level of the deepest thread shared by all its accessors — the
+thread-tree LCA.  Site-level summary (a site is as shared as its most
+shared object).  For Example 8: *b1* lands at the level of the common
+ancestor (shared memory), *b2* stays thread-local.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyses.lifetime import Lifetimes
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where objects of one site should be allocated."""
+
+    site: str
+    level_pid: tuple  # the thread whose memory level hosts the objects
+    thread_local: bool  # no concurrent sharing observed
+    stack_allocatable: bool
+
+    def describe(self) -> str:
+        kind = "thread-local" if self.thread_local else "shared"
+        extra = ", stack-allocatable" if self.stack_allocatable else ""
+        return f"{self.site}: {kind} at thread {self.level_pid}{extra}"
+
+
+def placements(lifetimes: Lifetimes) -> dict[str, Placement]:
+    """Per-site placement decisions."""
+    out: dict[str, Placement] = {}
+    for site, lts in sorted(lifetimes.by_site().items()):
+        level: tuple | None = None
+        multi = False
+        stack_ok = True
+        for lt in lts:
+            p = lt.placement_pid
+            level = p if level is None else _lca(level, p)
+            multi = multi or lt.multi_thread
+            stack_ok = stack_ok and lt.stack_allocatable
+        assert level is not None
+        out[site] = Placement(
+            site=site,
+            level_pid=level,
+            thread_local=not multi,
+            stack_allocatable=stack_ok,
+        )
+    return out
+
+
+def _lca(a: tuple, b: tuple) -> tuple:
+    out = []
+    for x, y in zip(a, b):
+        if x != y:
+            break
+        out.append(x)
+    return tuple(out)

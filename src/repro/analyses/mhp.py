@@ -1,0 +1,77 @@
+"""May-happen-in-parallel (MHP) relations.
+
+Two statements may happen in parallel when some reachable configuration
+has two processes poised at them simultaneously.  Exploration gives the
+*dynamic* (exact, up to reduction) relation; the CFG gives a cheap
+*static* over-approximation (labels in sibling cobegin branches,
+interprocedurally).  Client analyses and the race detector consume
+these.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.accesses import access_analysis
+from repro.explore.explorer import ExploreResult
+from repro.lang.instructions import ICobegin
+from repro.lang.program import Program
+
+Pair = frozenset  # frozenset({label_a, label_b})
+
+
+def _current_labels(program: Program, config) -> list[tuple]:
+    out = []
+    for p in config.procs:
+        # a joining parent is blocked *between* statements (its spawn
+        # already happened); only running processes are "at" a statement
+        if p.status != "run" or not p.frames:
+            continue
+        top = p.frames[-1]
+        label = program.label_of_pc.get((top.func, top.pc))
+        if label is not None:
+            out.append((p.pid, label))
+    return out
+
+
+def mhp_dynamic(program: Program, result: ExploreResult) -> set[Pair]:
+    """Label pairs simultaneously current in some explored configuration.
+
+    Run on a *full* exploration for the exact relation; reduced graphs
+    under-approximate it (the reductions preserve result configurations,
+    not intermediate co-locations).
+    """
+    pairs: set[Pair] = set()
+    for config in result.graph.configs:
+        if config.fault is not None:
+            continue
+        cur = _current_labels(program, config)
+        for i in range(len(cur)):
+            for j in range(i + 1, len(cur)):
+                if cur[i][0] != cur[j][0]:
+                    pairs.add(frozenset((cur[i][1], cur[j][1])))
+    return pairs
+
+
+def mhp_static(program: Program) -> set[Pair]:
+    """Static over-approximation: labels reachable from distinct sibling
+    branches of some cobegin (through calls and nested cobegins)."""
+    access = access_analysis(program)
+    pairs: set[Pair] = set()
+    for fname in sorted(program.funcs):
+        for ins in program.funcs[fname].instrs:
+            if not isinstance(ins, ICobegin):
+                continue
+            branch_labels = []
+            for t in ins.branch_targets:
+                labels = set()
+                for f2, pc2 in access.reachable_from(fname, t):
+                    lbl = program.label_of_pc.get((f2, pc2))
+                    if lbl is not None:
+                        labels.add(lbl)
+                branch_labels.append(labels)
+            for i in range(len(branch_labels)):
+                for j in range(i + 1, len(branch_labels)):
+                    for a in branch_labels[i]:
+                        for b in branch_labels[j]:
+                            if a != b:
+                                pairs.add(frozenset((a, b)))
+    return pairs

@@ -1,0 +1,262 @@
+"""Interference-aware constant folding as a source transformation (§7).
+
+    "The information obtained facilitates program optimization,
+    restructuring, and memory management."
+
+This module closes the loop from analysis to *optimization*: globals
+proven constant at a statement (by the abstract exploration of
+:mod:`repro.analyses.constprop`, which accounts for every interleaving)
+are substituted by their values, and literal subexpressions are folded.
+The busy-wait flag of the introduction example is **not** substituted —
+that is the whole point — while genuinely stable values are.
+
+The rewriter works on the AST and mirrors the compiler's label
+assignment exactly, so the per-label constant table lines up with the
+statements it rewrites.  ``optimize_program`` returns new source text
+plus a report of the substitutions; semantic preservation is checked in
+the test suite by comparing exploration outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.absdomain.concrete_ops import apply_binop, apply_unop
+from repro.analyses.constprop import ConstantsReport, constants_at
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_program
+from repro.lang.program import Program
+from repro.util.errors import AnalysisError
+
+
+@dataclass
+class Substitution:
+    label: str
+    name: str
+    value: int
+
+
+@dataclass
+class OptimizeResult:
+    source: str
+    substitutions: list[Substitution] = field(default_factory=list)
+    folded_ops: int = 0
+
+    def describe(self) -> str:
+        lines = [f"{len(self.substitutions)} substitutions, "
+                 f"{self.folded_ops} operations folded"]
+        for s in self.substitutions:
+            lines.append(f"  at {s.label}: {s.name} -> {s.value}")
+        return "\n".join(lines)
+
+
+class _Rewriter:
+    """Walks one function body in compiler label order, substituting
+    known-constant globals into expressions."""
+
+    def __init__(
+        self,
+        func_name: str,
+        constants: ConstantsReport,
+        global_names: set[str],
+        result: OptimizeResult,
+    ):
+        self._func = func_name
+        self._constants = constants
+        self._globals = global_names
+        self._result = result
+        self._auto = 0
+        self._locals: set[str] = set()
+
+    # -- label bookkeeping (mirrors _FunctionCompiler) --------------------
+
+    def _label_of(self, stmt: A.Stmt) -> str:
+        if stmt.label is not None:
+            return stmt.label
+        label = f"{self._func}#{self._auto}"
+        self._auto += 1
+        return label
+
+    # -- expressions -------------------------------------------------------
+
+    def _subst(self, expr: A.Expr, consts: dict[str, int], label: str) -> A.Expr:
+        if isinstance(expr, A.Name):
+            name = expr.ident
+            if (
+                name in self._globals
+                and name not in self._locals
+                and name in consts
+            ):
+                self._result.substitutions.append(
+                    Substitution(label=label, name=name, value=consts[name])
+                )
+                return A.IntLit(value=consts[name])
+            return expr
+        if isinstance(expr, A.Deref):
+            return A.Deref(
+                base=self._subst(expr.base, consts, label),
+                index=self._subst(expr.index, consts, label),
+            )
+        if isinstance(expr, A.Unary):
+            return self._fold(
+                A.Unary(op=expr.op, operand=self._subst(expr.operand, consts, label))
+            )
+        if isinstance(expr, A.Binary):
+            return self._fold(
+                A.Binary(
+                    op=expr.op,
+                    left=self._subst(expr.left, consts, label),
+                    right=self._subst(expr.right, consts, label),
+                )
+            )
+        return expr
+
+    def _fold(self, expr: A.Expr) -> A.Expr:
+        if isinstance(expr, A.Binary):
+            if isinstance(expr.left, A.IntLit) and isinstance(expr.right, A.IntLit):
+                v = apply_binop(expr.op, expr.left.value, expr.right.value)
+                if v is not None:
+                    self._result.folded_ops += 1
+                    return A.IntLit(value=v)
+        if isinstance(expr, A.Unary) and isinstance(expr.operand, A.IntLit):
+            v = apply_unop(expr.op, expr.operand.value)
+            if v is not None:
+                self._result.folded_ops += 1
+                return A.IntLit(value=v)
+        return expr
+
+    # -- statements --------------------------------------------------------
+
+    def rewrite_body(self, body: tuple[A.Stmt, ...]) -> tuple[A.Stmt, ...]:
+        return tuple(self._rewrite_stmt(s) for s in body)
+
+    def _lvalue(self, lv: A.LValue, consts, label) -> A.LValue:
+        if isinstance(lv, A.DerefLV):
+            return A.DerefLV(
+                base=self._subst(lv.base, consts, label),
+                index=self._subst(lv.index, consts, label),
+            )
+        return lv
+
+    def _rewrite_stmt(self, stmt: A.Stmt) -> A.Stmt:
+        if isinstance(stmt, A.VarDecl):
+            if stmt.init is not None:
+                label = self._label_of(stmt)
+                consts = self._constants.at.get(label, {})
+                new = A.VarDecl(
+                    ident=stmt.ident,
+                    init=self._subst(stmt.init, consts, label),
+                    label=stmt.label,
+                )
+            else:
+                new = stmt
+            self._locals.add(stmt.ident)
+            return new
+        if isinstance(stmt, A.Assign):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.Assign(
+                target=self._lvalue(stmt.target, consts, label),
+                expr=self._subst(stmt.expr, consts, label),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.Malloc):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.Malloc(
+                target=self._lvalue(stmt.target, consts, label),
+                size=self._subst(stmt.size, consts, label),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.CallStmt):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.CallStmt(
+                callee=stmt.callee,
+                args=tuple(self._subst(a, consts, label) for a in stmt.args),
+                target=(
+                    self._lvalue(stmt.target, consts, label)
+                    if stmt.target is not None
+                    else None
+                ),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.Return):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.Return(
+                expr=(
+                    self._subst(stmt.expr, consts, label)
+                    if stmt.expr is not None
+                    else None
+                ),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.If):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            cond = self._subst(stmt.cond, consts, label)
+            return A.If(
+                cond=cond,
+                then_body=self.rewrite_body(stmt.then_body),
+                else_body=self.rewrite_body(stmt.else_body),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.While):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            # the loop guard executes repeatedly: only constants that
+            # hold at *every* iteration are in the table for the guard
+            # label, so substitution is sound here too
+            return A.While(
+                cond=self._subst(stmt.cond, consts, label),
+                body=self.rewrite_body(stmt.body),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.Cobegin):
+            self._label_of(stmt)  # consume the cobegin's label slot
+            return A.Cobegin(
+                branches=tuple(self.rewrite_body(b) for b in stmt.branches),
+                label=stmt.label,
+            )
+        if isinstance(stmt, A.Assume):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.Assume(
+                cond=self._subst(stmt.cond, consts, label), label=stmt.label
+            )
+        if isinstance(stmt, A.Assert):
+            label = self._label_of(stmt)
+            consts = self._constants.at.get(label, {})
+            return A.Assert(
+                cond=self._subst(stmt.cond, consts, label), label=stmt.label
+            )
+        if isinstance(stmt, (A.Acquire, A.Release, A.Skip)):
+            self._label_of(stmt)
+            return stmt
+        raise AnalysisError(f"unknown statement {type(stmt).__name__}")
+
+
+def optimize_program(program: Program) -> OptimizeResult:
+    """Constant-fold *program* using interference-aware constants.
+
+    Requires the program to carry its source text (programs built via
+    :func:`repro.lang.parse_program` do).
+    """
+    if program.source is None:
+        raise AnalysisError("optimize_program needs a program with source text")
+    constants = constants_at(program)
+    ast = parse(program.source)
+    result = OptimizeResult(source="")
+    global_names = {g.ident for g in ast.globals}
+    funcs = []
+    for f in ast.funcs:
+        rw = _Rewriter(f.name, constants, global_names, result)
+        rw._locals.update(f.params)
+        funcs.append(
+            A.FuncDef(name=f.name, params=f.params, body=rw.rewrite_body(f.body))
+        )
+    new_ast = A.ProgramAST(globals=ast.globals, funcs=tuple(funcs))
+    result.source = pretty_program(new_ast)
+    return result

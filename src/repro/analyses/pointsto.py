@@ -1,0 +1,192 @@
+"""Flow-insensitive, inclusion-based points-to analysis (Andersen-style).
+
+A static substrate analysis used by:
+
+- the static *future access sets* (:mod:`repro.analyses.accesses`) that
+  the stubborn-set closure consults for processes outside the candidate
+  set — pointer dereferences resolve to allocation-*site* sets instead
+  of "the whole heap";
+- the call graph for first-class function values.
+
+Abstract locations:
+
+- ``("g", i)`` — global variable *i*;
+- ``("l", func, slot)`` — a local slot of *func* (all activations);
+- ``("cell", site)`` — any cell of any object allocated at *site*
+  (field-insensitive heap summarization, the allocation-site abstraction
+  of the paper's §6);
+- ``("ret", func)`` — the return value of *func*.
+
+Pointed-to targets:
+
+- ``("site", site)`` — objects of an allocation site;
+- ``("gobj",)`` — the globals area (targets of ``&g``);
+- ``("func", name)`` — a function value.
+
+The solver iterates simple sweeps to a fixpoint; subject programs are
+small, so the cubic worst case is irrelevant in practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.instructions import (
+    IAlloc,
+    IAssert,
+    IAssign,
+    IAssume,
+    IBranch,
+    ICall,
+    IReturn,
+    LDeref,
+    LGlobal,
+    LLocal,
+    RAddrGlobal,
+    RBinary,
+    RConst,
+    RDeref,
+    RExpr,
+    RFunc,
+    RGlobal,
+    RLocal,
+    RUnary,
+)
+from repro.lang.program import Program
+
+Node = tuple
+Target = tuple
+
+GOBJ: Target = ("gobj",)
+
+
+@dataclass
+class PointsTo:
+    """The points-to solution for one program."""
+
+    program: Program
+    _sol: dict[Node, set[Target]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def node(self, node: Node) -> frozenset[Target]:
+        return frozenset(self._sol.get(node, ()))
+
+    def targets_of_expr(self, func: str, expr: RExpr) -> frozenset[Target]:
+        """Possible pointer/function targets of *expr* evaluated in *func*."""
+        return frozenset(self._eval(func, expr))
+
+    def deref_sites(self, func: str, base: RExpr) -> tuple[frozenset[str], bool]:
+        """Sites a dereference of *base* may touch, plus whether it may
+        touch the globals area (``&g`` pointers)."""
+        targets = self._eval(func, base)
+        sites = frozenset(t[1] for t in targets if t[0] == "site")
+        return sites, GOBJ in targets
+
+    def callees(self, func: str, callee: RExpr) -> frozenset[str]:
+        """Functions an indirect call may invoke."""
+        return frozenset(t[1] for t in self._eval(func, callee) if t[0] == "func")
+
+    # ------------------------------------------------------------------
+    # solving
+    # ------------------------------------------------------------------
+
+    def solve(self) -> "PointsTo":
+        program = self.program
+        changed = True
+        sweeps = 0
+        while changed:
+            changed = False
+            sweeps += 1
+            if sweeps > 1000:  # pragma: no cover - safety valve
+                raise RuntimeError("points-to failed to converge")
+            for fname in sorted(program.funcs):
+                fc = program.funcs[fname]
+                for ins in fc.instrs:
+                    changed |= self._constrain(fname, ins)
+        return self
+
+    def _get(self, node: Node) -> set[Target]:
+        return self._sol.setdefault(node, set())
+
+    def _add(self, node: Node, targets: set[Target]) -> bool:
+        cur = self._get(node)
+        before = len(cur)
+        cur |= targets
+        return len(cur) != before
+
+    def _eval(self, func: str, expr: RExpr) -> set[Target]:
+        if isinstance(expr, (RConst,)):
+            return set()
+        if isinstance(expr, RLocal):
+            return set(self._get(("l", func, expr.slot)))
+        if isinstance(expr, RGlobal):
+            return set(self._get(("g", expr.index)))
+        if isinstance(expr, RAddrGlobal):
+            return {GOBJ}
+        if isinstance(expr, RFunc):
+            return {("func", expr.name)}
+        if isinstance(expr, RDeref):
+            base = self._eval(func, expr.base)
+            out: set[Target] = set()
+            for t in base:
+                if t[0] == "site":
+                    out |= self._get(("cell", t[1]))
+            if GOBJ in base:
+                for i in range(len(self.program.global_names)):
+                    out |= self._get(("g", i))
+            return out
+        if isinstance(expr, RUnary):
+            return self._eval(func, expr.operand)
+        if isinstance(expr, RBinary):
+            return self._eval(func, expr.left) | self._eval(func, expr.right)
+        return set()
+
+    def _assign_to(self, func: str, lv, targets: set[Target]) -> bool:
+        if isinstance(lv, LLocal):
+            return self._add(("l", func, lv.slot), targets)
+        if isinstance(lv, LGlobal):
+            return self._add(("g", lv.index), targets)
+        if isinstance(lv, LDeref):
+            base = self._eval(func, lv.base)
+            changed = False
+            for t in base:
+                if t[0] == "site":
+                    changed |= self._add(("cell", t[1]), targets)
+            if GOBJ in base:
+                for i in range(len(self.program.global_names)):
+                    changed |= self._add(("g", i), targets)
+            return changed
+        return False
+
+    def _constrain(self, func: str, ins) -> bool:
+        changed = False
+        if isinstance(ins, IAssign):
+            changed |= self._assign_to(func, ins.target, self._eval(func, ins.expr))
+        elif isinstance(ins, IAlloc):
+            changed |= self._assign_to(func, ins.target, {("site", ins.site)})
+        elif isinstance(ins, ICall):
+            callees = {t[1] for t in self._eval(func, ins.callee) if t[0] == "func"}
+            for callee in sorted(callees):
+                fc = self.program.funcs.get(callee)
+                if fc is None:
+                    continue
+                for slot, arg in enumerate(ins.args[: fc.num_params]):
+                    changed |= self._add(("l", callee, slot), self._eval(func, arg))
+                if ins.target is not None:
+                    changed |= self._assign_to(
+                        func, ins.target, set(self._get(("ret", callee)))
+                    )
+        elif isinstance(ins, IReturn):
+            if ins.expr is not None:
+                changed |= self._add(("ret", func), self._eval(func, ins.expr))
+        elif isinstance(ins, (IBranch, IAssume, IAssert)):
+            pass  # conditions produce no pointer flow
+        return changed
+
+
+def points_to(program: Program) -> PointsTo:
+    """Compute and return the points-to solution for *program*."""
+    return PointsTo(program).solve()

@@ -1,0 +1,85 @@
+"""Plain-text reports assembling the analyses — used by the CLI and the
+examples to present results the way the paper's §5/§7 narrate them."""
+
+from __future__ import annotations
+
+from repro.analyses.constprop import licm_report
+from repro.analyses.dependence import dependences
+from repro.analyses.lifetime import lifetimes
+from repro.analyses.memplace import placements
+from repro.analyses.races import races
+from repro.analyses.sideeffects import side_effects
+from repro.explore.explorer import ExploreResult
+from repro.lang.program import Program
+
+
+def _fmt_loc(loc: tuple) -> str:
+    if loc[0] == "g":
+        return loc[1]
+    return f"obj@{loc[1]}"
+
+
+def full_report(program: Program, result: ExploreResult) -> str:
+    """Run every §5/§7 analysis on an explored graph and render them."""
+    lines: list[str] = []
+    g = result.graph
+    lines.append(
+        f"exploration[{result.options.describe()}]: "
+        f"{g.num_configs} configurations, {g.num_edges} transitions"
+    )
+    summary = g.result_summary()
+    lines.append(
+        f"results: {summary['terminated']} terminated, "
+        f"{summary['deadlock']} deadlocked, {summary['fault']} faulted"
+    )
+
+    eff = side_effects(program, result)
+    lines.append("")
+    lines.append("side effects (per function):")
+    for fname in sorted(eff.by_func):
+        e = eff.by_func[fname]
+        ref = ", ".join(sorted(_fmt_loc(l) for l in e.ref)) or "-"
+        mod = ", ".join(sorted(_fmt_loc(l) for l in e.mod)) or "-"
+        tag = " [pure]" if e.pure else (" [read-only]" if e.read_only else "")
+        lines.append(f"  {fname}: ref={{{ref}}} mod={{{mod}}}{tag}")
+
+    deps = dependences(program, result)
+    cross = sorted(
+        {d for d in deps.deps if d.cross_thread}, key=lambda d: (d.src, d.dst)
+    )
+    lines.append("")
+    lines.append(f"cross-thread dependences ({len(cross)}):")
+    for d in cross:
+        lines.append(f"  {d.src} -{d.kind}-> {d.dst} on {_fmt_loc(d.loc)}")
+
+    found_races = races(program, result)
+    lines.append("")
+    lines.append(f"access anomalies ({len(found_races)}):")
+    for r in found_races:
+        kind = "write/write" if r.both_write else "read/write"
+        lines.append(f"  {{{r.label_a}, {r.label_b}}} on {_fmt_loc(r.loc)} ({kind})")
+
+    lts = lifetimes(program, result)
+    if lts.objects:
+        lines.append("")
+        lines.append("object lifetimes / placement:")
+        for site, place in placements(lts).items():
+            lines.append("  " + place.describe())
+        dealloc = lts.dealloc_lists()
+        if dealloc:
+            lines.append("deallocation lists (free at function exit):")
+            for fname, sites in sorted(dealloc.items()):
+                lines.append(f"  {fname}: {', '.join(sites)}")
+
+    licm = [l for l in licm_report(program) if l.seq_invariant]
+    if licm:
+        lines.append("")
+        lines.append("loop-invariant loads (sequential vs interference-aware):")
+        for l in licm:
+            lines.append(
+                f"  loop {l.loop_label} in {l.func}: sequential says "
+                f"{list(l.seq_invariant)}; safe={list(l.safe)} "
+                f"UNSAFE={list(l.unsafe)}"
+            )
+
+    return "\n".join(lines)

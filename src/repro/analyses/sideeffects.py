@@ -1,0 +1,143 @@
+"""Side-effect analysis (paper §5.1).
+
+    "We say function f makes a reference to an object if the evaluation
+    of f reads or writes the object."
+
+Every explored transition carries the acting process's activation stack,
+so one pass over the configuration graph attributes each shared access
+to *every* active activation (callees' effects surface in their callers
+— the interprocedural accumulation the paper gets from procedure
+strings).  Locations are reported as globals by name and heap objects by
+allocation site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.explore.explorer import ExploreResult
+from repro.lang.program import Program
+
+
+@dataclass
+class EffectSet:
+    """Mod/ref sets over abstract locations:
+    ``("g", name)`` / ``("site", site)``."""
+
+    ref: set[tuple] = field(default_factory=set)
+    mod: set[tuple] = field(default_factory=set)
+
+    @property
+    def pure(self) -> bool:
+        """No shared references at all (the strongest §5.1 fact: calls
+        to this function can be freely reordered/parallelized)."""
+        return not self.ref and not self.mod
+
+    @property
+    def read_only(self) -> bool:
+        return not self.mod
+
+
+@dataclass
+class SideEffects:
+    """Per-function, per-statement and per-thread mod/ref information."""
+
+    by_func: dict[str, EffectSet]
+    by_label: dict[str, EffectSet]
+    by_thread: dict[tuple, EffectSet]
+
+    def functions_pure(self) -> list[str]:
+        return sorted(f for f, e in self.by_func.items() if e.pure)
+
+    def functions_read_only(self) -> list[str]:
+        return sorted(f for f, e in self.by_func.items() if e.read_only)
+
+
+def label_effects_with_callees(
+    program: Program, result: ExploreResult
+) -> dict[str, EffectSet]:
+    """Statement-level effects where a call statement *absorbs its
+    callees' effects* — the §5.1 device that lifts dependence testing to
+    call granularity (Example 15: calls are dependent iff their callee
+    effect sets conflict)."""
+    from repro.analyses.accesses import access_analysis
+    from repro.lang.instructions import ICall, RFunc
+
+    eff = side_effects(program, result)
+    access = access_analysis(program)
+    out: dict[str, EffectSet] = {}
+    for label, info in program.labels.items():
+        base = eff.by_label.get(label, EffectSet())
+        merged = EffectSet(ref=set(base.ref), mod=set(base.mod))
+        ins = program.funcs[info.func].instrs[info.pc]
+        if isinstance(ins, ICall):
+            callees = (
+                frozenset((ins.callee.name,))
+                if isinstance(ins.callee, RFunc)
+                else access.pts.callees(info.func, ins.callee)
+            )
+            for callee in sorted(callees):
+                ceff = eff.by_func.get(callee)
+                if ceff is not None:
+                    merged.ref.update(ceff.ref)
+                    merged.mod.update(ceff.mod)
+        out[label] = merged
+    return out
+
+
+def effects_conflict(a: EffectSet, b: EffectSet) -> bool:
+    """Do two effect sets interfere (write/any overlap)?"""
+    return bool(a.mod & (b.ref | b.mod)) or bool(b.mod & a.ref)
+
+
+def _abstract_loc(loc) -> tuple | None:
+    if loc[0] == "g":
+        return ("g", loc[1])
+    if loc[0] == "h":
+        return ("site", loc[1][0])
+    return None  # process pseudo-locations are not objects
+
+
+def side_effects(program: Program, result: ExploreResult) -> SideEffects:
+    """Compute §5.1 side effects from an explored graph.
+
+    Use a *full* (or at least reduction-without-truncation) exploration:
+    every statement that can execute appears on some explored edge, so
+    mod/ref sets are complete for the explored behaviours.
+    """
+    by_func: dict[str, EffectSet] = {f: EffectSet() for f in program.funcs}
+    by_label: dict[str, EffectSet] = {}
+    by_thread: dict[tuple, EffectSet] = {}
+
+    def glob_name(loc):
+        return ("g", program.global_names[loc[1]]) if loc[0] == "g" else _abstract_loc(loc)
+
+    for edge in result.graph.iter_edges():
+        for action in edge.actions:
+            reads = [glob_name(l) for l in action.reads]
+            writes = [glob_name(l) for l in action.writes]
+            reads = [l for l in reads if l is not None]
+            writes = [l for l in writes if l is not None]
+            if not reads and not writes:
+                continue
+            lbl_eff = by_label.setdefault(action.label, EffectSet())
+            lbl_eff.ref.update(reads)
+            lbl_eff.mod.update(writes)
+            thr_eff = by_thread.setdefault(action.pid, EffectSet())
+            thr_eff.ref.update(reads)
+            thr_eff.mod.update(writes)
+            # A return's store into the call target is the *caller's*
+            # write (§5.1 attributes references to the evaluation of f,
+            # and the destination belongs to the call statement).
+            write_stack = action.stack
+            if action.kind == "IReturn" and len(write_stack) > 0:
+                write_stack = write_stack[:-1]
+            for func in set(action.stack):
+                eff = by_func.setdefault(func, EffectSet())
+                eff.ref.update(reads)
+                if func in write_stack:
+                    eff.mod.update(writes)
+            for func in set(write_stack) - set(action.stack):  # pragma: no cover
+                by_func.setdefault(func, EffectSet()).mod.update(writes)
+
+    return SideEffects(by_func=by_func, by_label=by_label, by_thread=by_thread)

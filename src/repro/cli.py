@@ -1,0 +1,260 @@
+"""Command-line interface.
+
+::
+
+    repro parse FILE              # check & disassemble
+    repro run FILE [--scheduler S --seed N --trace]
+    repro explore FILE [--policy P --coarsen --sleep]
+    repro analyze FILE            # the full §5/§7 report
+    repro fold FILE [--clans --domain D]
+    repro corpus                  # list bundled programs
+    repro demo NAME               # analyze a bundled program
+
+``FILE`` may be a path or ``corpus:NAME`` for a bundled program.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+from repro.semantics import StepOptions, run_program
+from repro.util.errors import ReproError
+
+
+def _load(spec: str):
+    from repro.programs.corpus import CORPUS
+
+    if spec.startswith("corpus:"):
+        name = spec.split(":", 1)[1]
+        if name not in CORPUS:
+            raise SystemExit(
+                f"unknown corpus program {name!r}; try: {', '.join(sorted(CORPUS))}"
+            )
+        return CORPUS[name]()
+    with open(spec, "r", encoding="utf-8") as fh:
+        return parse_program(fh.read())
+
+
+def _cmd_parse(args) -> int:
+    prog = _load(args.file)
+    print(prog.disassemble())
+    return 0
+
+
+def _cmd_run(args) -> int:
+    prog = _load(args.file)
+    result = run_program(
+        prog,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        keep_trace=args.trace,
+    )
+    if args.trace:
+        for a in result.trace:
+            print(f"  pid={a.pid} {a.label} ({a.kind})")
+    status = (
+        "faulted: " + (result.config.fault or "")
+        if result.faulted
+        else ("deadlocked" if result.deadlocked else "terminated")
+    )
+    print(f"{status} after {result.steps} steps")
+    print("globals:", dict(zip(prog.global_names, result.config.globals)))
+    return 1 if result.faulted else 0
+
+
+def _cmd_explore(args) -> int:
+    prog = _load(args.file)
+    opts = ExploreOptions(
+        policy=args.policy,
+        coarsen=args.coarsen,
+        sleep=args.sleep,
+        max_configs=args.max_configs,
+    )
+    result = explore(prog, options=opts)
+    s = result.stats
+    print(
+        f"policy={opts.describe()} configs={s.num_configs} edges={s.num_edges} "
+        f"terminated={s.num_terminated} deadlocks={s.num_deadlocks} "
+        f"faults={s.num_faults}" + (" TRUNCATED" if s.truncated else "")
+    )
+    if s.stubborn is not None and s.stubborn.steps:
+        print(
+            f"stubborn: mean chosen/enabled = {s.stubborn.mean_reduction:.3f}, "
+            f"singleton steps = {s.stubborn.singleton_steps}/{s.stubborn.steps}"
+        )
+    for name_vals in sorted(result.terminal_globals()):
+        print("  outcome:", dict(zip(prog.global_names, name_vals)))
+    if args.witness:
+        from repro.analyses.witness import deadlock_witness, fault_witness
+
+        w = (deadlock_witness if args.witness == "deadlock" else fault_witness)(
+            result
+        )
+        if w is None:
+            print(f"no {args.witness} reachable")
+        else:
+            print(f"shortest execution reaching a {args.witness}:")
+            print(w.describe())
+    return 0
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analyses.report import full_report
+
+    prog = _load(args.file)
+    opts = ExploreOptions(
+        policy="full",
+        step=StepOptions(gc=False, track_procstrings=True),
+        max_configs=args.max_configs,
+    )
+    result = explore(prog, options=opts)
+    print(full_report(prog, result))
+    return 0
+
+
+def _cmd_fold(args) -> int:
+    from repro.absdomain import (
+        AbsValueDomain,
+        FlatConstDomain,
+        IntervalDomain,
+        KSetDomain,
+        ParityDomain,
+        SignDomain,
+    )
+    from repro.abstraction import AbsOptions, fold_explore, taylor_key
+
+    prog = _load(args.file)
+    num = {
+        "const": FlatConstDomain,
+        "sign": SignDomain,
+        "interval": IntervalDomain,
+        "parity": ParityDomain,
+        "kset": KSetDomain,
+    }[args.domain]()
+    res = fold_explore(
+        prog, AbsOptions(dom=AbsValueDomain(num), clan_fold=args.clans),
+        key_fn=taylor_key,
+    )
+    print(
+        f"folded states={res.stats.num_states} edges={res.stats.num_edges} "
+        f"widenings={res.stats.widenings} (domain={args.domain}, "
+        f"clans={'on' if args.clans else 'off'})"
+    )
+    for w in res.warnings:
+        print("  warning:", w)
+    return 0
+
+
+def _cmd_dot(args) -> int:
+    prog = _load(args.file)
+    opts = ExploreOptions(
+        policy=args.policy, coarsen=args.coarsen, max_configs=args.max_nodes + 1
+    )
+    result = explore(prog, options=opts)
+    print(result.graph.to_dot(max_nodes=args.max_nodes))
+    return 0
+
+
+def _cmd_optimize(args) -> int:
+    from repro.analyses.optimize import optimize_program
+
+    prog = _load(args.file)
+    result = optimize_program(prog)
+    print(result.describe())
+    print()
+    print(result.source)
+    return 0
+
+
+def _cmd_corpus(_args) -> int:
+    from repro.programs.corpus import CORPUS
+
+    for name in CORPUS:
+        print(name)
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    args.file = f"corpus:{args.name}"
+    args.max_configs = 200_000
+    return _cmd_analyze(args)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro",
+        description="Analyze shared-memory cobegin programs "
+        "(Chow & Harrison, ICPP 1992 reproduction).",
+    )
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("parse", help="check and disassemble a program")
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_parse)
+
+    p = sub.add_parser("run", help="execute under a scheduler")
+    p.add_argument("file")
+    p.add_argument("--scheduler", default="roundrobin",
+                   choices=["roundrobin", "random", "first"])
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", action="store_true")
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("explore", help="build the configuration graph")
+    p.add_argument("file")
+    p.add_argument("--policy", default="stubborn",
+                   choices=["full", "stubborn", "stubborn-proc"])
+    p.add_argument("--coarsen", action="store_true")
+    p.add_argument("--sleep", action="store_true")
+    p.add_argument("--max-configs", type=int, default=1_000_000)
+    p.add_argument("--witness", choices=["deadlock", "fault"], default=None,
+                   help="print the shortest execution reaching the event")
+    p.set_defaults(fn=_cmd_explore)
+
+    p = sub.add_parser("analyze", help="full side-effect/dependence/"
+                       "lifetime/race report")
+    p.add_argument("file")
+    p.add_argument("--max-configs", type=int, default=200_000)
+    p.set_defaults(fn=_cmd_analyze)
+
+    p = sub.add_parser("fold", help="abstract exploration with folding")
+    p.add_argument("file")
+    p.add_argument("--domain", default="const",
+                   choices=["const", "sign", "interval", "parity", "kset"])
+    p.add_argument("--clans", action="store_true")
+    p.set_defaults(fn=_cmd_fold)
+
+    p = sub.add_parser("dot", help="emit the configuration graph as Graphviz DOT")
+    p.add_argument("file")
+    p.add_argument("--policy", default="full",
+                   choices=["full", "stubborn", "stubborn-proc"])
+    p.add_argument("--coarsen", action="store_true")
+    p.add_argument("--max-nodes", type=int, default=500)
+    p.set_defaults(fn=_cmd_dot)
+
+    p = sub.add_parser(
+        "optimize", help="interference-aware constant folding (source out)"
+    )
+    p.add_argument("file")
+    p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser("corpus", help="list bundled programs")
+    p.set_defaults(fn=_cmd_corpus)
+
+    p = sub.add_parser("demo", help="analyze a bundled program")
+    p.add_argument("name")
+    p.set_defaults(fn=_cmd_demo)
+
+    args = ap.parse_args(argv)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

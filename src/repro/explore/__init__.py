@@ -1,0 +1,33 @@
+"""State-space exploration: full interleaving, stubborn sets, coarsening."""
+
+from repro.explore.coarsen import Block, action_is_critical, build_block
+from repro.explore.expansion import Expansion
+from repro.explore.explorer import (
+    ExploreOptions,
+    ExploreResult,
+    ExploreStats,
+    explore,
+)
+from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph, Edge
+from repro.explore.observers import Observer, TraceObserver
+from repro.explore.stubborn import StubbornSelector, StubbornStats
+
+__all__ = [
+    "Block",
+    "ConfigGraph",
+    "DEADLOCK",
+    "Edge",
+    "Expansion",
+    "ExploreOptions",
+    "ExploreResult",
+    "ExploreStats",
+    "FAULT",
+    "Observer",
+    "StubbornSelector",
+    "StubbornStats",
+    "TERMINATED",
+    "TraceObserver",
+    "action_is_critical",
+    "build_block",
+    "explore",
+]

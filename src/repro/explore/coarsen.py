@@ -1,0 +1,119 @@
+"""Virtual coarsening — the paper's Observation 5 (after [Pnu86]).
+
+    *Atomic actions of a thread can be combined if they contain at most
+    one critical reference.*
+
+A **critical reference** (Definition 4) is a read of a location that a
+concurrent thread may write, or a write of a location that a concurrent
+thread may read or write.  Purely thread-local runs of actions commute
+with everything other processes can do, so fusing them into one atomic
+block preserves all result configurations while shrinking the explored
+space — often dramatically (benchmark E4).
+
+Sharedness is classified statically by
+:class:`~repro.analyses.accesses.AccessAnalysis` (sibling-branch future
+intersections); process-management actions (spawn/join/thread-end and
+their pseudo-locations) always count as critical so fork/join ordering
+is preserved.
+
+The block builder stops:
+
+- after the block has consumed its one critical reference and the next
+  action would add another;
+- before a disabled instruction (blocked assume/acquire/join);
+- when the process terminates, faults, or the configuration repeats
+  (a thread-local cycle — the block would spin forever);
+- at a configurable length cap (a safety valve; shorter blocks are
+  always sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyses.accesses import AccessAnalysis
+from repro.lang.program import Program
+from repro.semantics.config import Config, Pid
+from repro.semantics.step import (
+    ActionInfo,
+    StepOptions,
+    enabledness,
+    execute,
+)
+
+
+@dataclass(frozen=True)
+class Block:
+    """A fused run of atomic actions by one process."""
+
+    succ: Config
+    actions: tuple[ActionInfo, ...]
+    reads: tuple
+    writes: tuple
+
+
+def action_is_critical(access: AccessAnalysis, action: ActionInfo) -> int:
+    """Number of critical references in one atomic action."""
+    crit = 0
+    for r in action.reads:
+        if r[0] == "p" or access.crit_read(r):
+            crit += 1
+    for w in action.writes:
+        if w[0] == "p" or access.crit_write(w):
+            crit += 1
+    return crit
+
+
+def build_block(
+    program: Program,
+    config: Config,
+    pid: Pid,
+    access: AccessAnalysis,
+    opts: StepOptions,
+    *,
+    max_len: int = 256,
+) -> Block:
+    """Execute the maximal coarsened block of process *pid* from
+    *config*.  The first action is executed unconditionally (the caller
+    verified enabledness); extensions obey the ≤1-critical-ref budget."""
+    proc = config.proc(pid)
+    succ, action = execute(program, config, proc, opts)
+    actions = [action]
+    reads = list(action.reads)
+    writes = list(action.writes)
+    crit = action_is_critical(access, action)
+    seen = {config, succ}
+
+    while len(actions) < max_len and succ.fault is None:
+        # does the process still exist and can it continue?
+        nxt = None
+        for p in succ.procs:
+            if p.pid == pid:
+                nxt = p
+                break
+        if nxt is None or nxt.status == "done":
+            break
+        enabled, _, _ = enabledness(program, succ, nxt)
+        if not enabled:
+            break
+        cand_succ, cand_action = execute(program, succ, nxt, opts)
+        cand_crit = action_is_critical(access, cand_action)
+        if crit + cand_crit > 1:
+            break
+        if cand_succ in seen and cand_succ.fault is None:
+            break  # thread-local cycle; stop rather than spin
+        succ = cand_succ
+        actions.append(cand_action)
+        reads.extend(cand_action.reads)
+        writes.extend(cand_action.writes)
+        crit += cand_crit
+        seen.add(succ)
+        if succ.fault is not None:
+            break
+
+    return Block(
+        succ=succ,
+        actions=tuple(actions),
+        reads=tuple(reads),
+        writes=tuple(writes),
+    )

@@ -1,0 +1,35 @@
+"""The per-process expansion record shared by the exploration policies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.semantics.config import Config, Loc, Pid, Process
+from repro.semantics.step import ActionInfo
+
+
+@dataclass(frozen=True)
+class Expansion:
+    """What one process would do next at a configuration.
+
+    For an enabled process: the successor configuration and the executed
+    action block (a single atomic action, or a coarsened run of them)
+    with its combined dynamic read/write sets.
+
+    For a disabled process: the necessary enabling set (``nes``) — the
+    locations another process must write first — and, for a blocked
+    join, the children that must terminate.
+    """
+
+    proc: Process
+    enabled: bool
+    succ: Config | None = None
+    actions: tuple[ActionInfo, ...] = ()
+    reads: tuple[Loc, ...] = ()
+    writes: tuple[Loc, ...] = ()
+    nes: tuple[Loc, ...] = ()
+    blocked_children: tuple[Pid, ...] = ()
+
+    @property
+    def pid(self) -> Pid:
+        return self.proc.pid

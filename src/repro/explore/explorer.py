@@ -1,0 +1,374 @@
+"""The exploration driver: build the configuration graph of a program.
+
+Policies
+--------
+``full``
+    Classic exhaustive interleaving: every enabled process is expanded
+    at every configuration (the baseline the paper starts from).
+``stubborn``
+    Expand only a minimal stubborn set (Algorithm 1): eliminates
+    redundant interleavings while preserving all result configurations.
+
+Orthogonally, ``coarsen=True`` fuses thread-local runs into atomic
+blocks (virtual coarsening, Observation 5).
+
+Exploration is breadth-first and fully deterministic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.analyses.accesses import AccessAnalysis, access_analysis
+from repro.explore.algorithm1 import AlgorithmOneSelector
+from repro.explore.coarsen import build_block
+from repro.explore.expansion import Expansion
+from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph
+from repro.explore.observers import Observer
+from repro.explore.stubborn import StubbornSelector, StubbornStats
+from repro.lang.program import Program
+from repro.semantics.config import Config, initial_config
+from repro.semantics.step import StepOptions, next_infos
+
+
+@dataclass(frozen=True)
+class ExploreOptions:
+    """Exploration configuration."""
+
+    policy: str = "full"  # "full" | "stubborn" | "stubborn-proc"
+    coarsen: bool = False
+    sleep: bool = False
+    step: StepOptions = StepOptions()
+    max_configs: int = 1_000_000
+    max_block_len: int = 256
+    #: ablation: compute static access sets without points-to (every
+    #: dereference conflicts with every site)
+    coarse_derefs: bool = False
+
+    def describe(self) -> str:
+        c = "+coarsen" if self.coarsen else ""
+        s = "+sleep" if self.sleep else ""
+        return f"{self.policy}{c}{s}"
+
+
+@dataclass
+class ExploreStats:
+    """Counters reported by the engine."""
+
+    num_configs: int = 0
+    num_edges: int = 0
+    num_terminated: int = 0
+    num_deadlocks: int = 0
+    num_faults: int = 0
+    expansions: int = 0
+    actions_executed: int = 0
+    truncated: bool = False
+    stubborn: StubbornStats | None = None
+
+
+@dataclass
+class ExploreResult:
+    """Everything exploration produced."""
+
+    program: Program
+    graph: ConfigGraph
+    stats: ExploreStats
+    options: ExploreOptions
+    access: AccessAnalysis
+
+    def final_stores(self) -> set[tuple]:
+        """Observable result-configuration payloads (the reduction
+        invariant: identical across policies)."""
+        return self.graph.result_stores()
+
+    def terminal_globals(self) -> set[tuple]:
+        """Globals tuples of terminated (non-fault) configurations."""
+        return {
+            self.graph.configs[cid].globals
+            for cid in self.graph.terminals(TERMINATED)
+        }
+
+    def global_values(self, *names: str) -> set[tuple]:
+        """Final values of the given globals across terminated runs."""
+        idx = [self.program.global_index(n) for n in names]
+        return {
+            tuple(g[i] for i in idx) for g in self.terminal_globals()
+        }
+
+    def deadlock_configs(self) -> list[Config]:
+        return [self.graph.configs[cid] for cid in self.graph.terminals(DEADLOCK)]
+
+    def fault_messages(self) -> set[str]:
+        return {
+            self.graph.configs[cid].fault or ""
+            for cid in self.graph.terminals(FAULT)
+        }
+
+
+def explore(
+    program: Program,
+    policy: str = "full",
+    *,
+    coarsen: bool = False,
+    sleep: bool = False,
+    options: ExploreOptions | None = None,
+    observers: tuple[Observer, ...] = (),
+) -> ExploreResult:
+    """Explore *program*'s state space and return the graph + stats.
+
+    ``policy``/``coarsen``/``sleep`` are convenience shortcuts; pass
+    ``options`` for full control (it overrides the shortcuts).
+    """
+    opts = (
+        options
+        if options is not None
+        else ExploreOptions(policy=policy, coarsen=coarsen, sleep=sleep)
+    )
+    if opts.policy not in ("full", "stubborn", "stubborn-proc"):
+        raise ValueError(f"unknown policy {opts.policy!r}")
+
+    if opts.coarse_derefs:
+        access = AccessAnalysis(program, coarse_derefs=True)
+    else:
+        access = access_analysis(program)
+    selector = None
+    if opts.policy == "stubborn":
+        selector = AlgorithmOneSelector(program, access)
+    elif opts.policy == "stubborn-proc":
+        selector = StubbornSelector(program, access)
+
+    if opts.sleep:
+        return _explore_sleep(program, opts, access, selector, observers)
+
+    graph = ConfigGraph()
+    stats = ExploreStats()
+    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
+    init_id, _ = graph.add_config(init)
+    graph.initial = init_id
+
+    queue: deque[int] = deque([init_id])
+    processed: set[int] = set()
+
+    while queue:
+        cid = queue.popleft()
+        if cid in processed:
+            continue
+        processed.add(cid)
+        config = graph.configs[cid]
+        stats.expansions += 1
+
+        status = _terminal_status_fast(config)
+        if status is not None:
+            _mark_terminal(graph, cid, config, status, stats, observers)
+            continue
+
+        expansions = _expand(program, config, access, opts)
+        enabled = [e for e in expansions if e.enabled]
+        if not enabled:
+            _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
+            continue
+
+        chosen = selector.select(expansions) if selector is not None else enabled
+
+        for exp in chosen:
+            succ = exp.succ
+            assert succ is not None
+            dst, fresh = graph.add_config(succ)
+            graph.add_edge(cid, dst, exp.actions)
+            stats.actions_executed += len(exp.actions)
+            for ob in observers:
+                ob.on_edge(graph, cid, dst, exp.actions)
+            if fresh:
+                for ob in observers:
+                    ob.on_config(graph, dst, succ, True, None)
+                if graph.num_configs > opts.max_configs:
+                    stats.truncated = True
+                    queue.clear()
+                    break
+                queue.append(dst)
+
+        if stats.truncated:
+            break
+
+    stats.num_configs = graph.num_configs
+    stats.num_edges = graph.num_edges
+    stats.stubborn = selector.stats if selector is not None else None
+    for ob in observers:
+        ob.on_done(graph)
+    return ExploreResult(
+        program=program, graph=graph, stats=stats, options=opts, access=access
+    )
+
+
+# --------------------------------------------------------------------------
+
+
+def _terminal_status_fast(config: Config) -> str | None:
+    if config.fault is not None:
+        return FAULT
+    if all(p.status == "done" for p in config.procs):
+        return TERMINATED
+    return None
+
+
+def _mark_terminal(graph, cid, config, status, stats, observers) -> None:
+    graph.mark_terminal(cid, status)
+    if status == TERMINATED:
+        stats.num_terminated += 1
+    elif status == DEADLOCK:
+        stats.num_deadlocks += 1
+    else:
+        stats.num_faults += 1
+    for ob in observers:
+        ob.on_config(graph, cid, config, False, status)
+
+
+def _explore_sleep(
+    program: Program,
+    opts: ExploreOptions,
+    access: AccessAnalysis,
+    selector,
+    observers: tuple[Observer, ...],
+) -> ExploreResult:
+    """Depth-first exploration with sleep sets (see
+    :mod:`repro.explore.sleepsets`), composable with any policy."""
+    from repro.explore.sleepsets import entry_of, independent, transition_key
+
+    graph = ConfigGraph()
+    stats = ExploreStats()
+    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
+    init_id, _ = graph.add_config(init)
+    graph.initial = init_id
+
+    # per-config list of sleep sets it has been explored with
+    explored: dict[int, list[frozenset]] = {}
+    seen_edges: set[tuple] = set()
+    stack: list[tuple[int, frozenset]] = [(init_id, frozenset())]
+
+    while stack:
+        cid, sleep = stack.pop()
+        prev = explored.get(cid)
+        if prev is not None and any(p <= sleep for p in prev):
+            continue
+        if prev is None:
+            explored[cid] = [sleep]
+        else:
+            prev[:] = [p for p in prev if not sleep <= p]
+            prev.append(sleep)
+        config = graph.configs[cid]
+        stats.expansions += 1
+
+        status = _terminal_status_fast(config)
+        if status is not None:
+            if cid not in graph.terminal:
+                _mark_terminal(graph, cid, config, status, stats, observers)
+            continue
+
+        expansions = _expand(program, config, access, opts)
+        enabled = [e for e in expansions if e.enabled]
+        if not enabled:
+            if cid not in graph.terminal:
+                _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
+            continue
+
+        chosen = selector.select(expansions) if selector is not None else enabled
+        sleeping_keys = {z.key for z in sleep}
+        active = [
+            e for e in chosen if transition_key(e.proc) not in sleeping_keys
+        ]
+
+        done: list = []
+        pending: list[tuple[int, frozenset]] = []
+        for exp in active:
+            succ = exp.succ
+            assert succ is not None
+            dst, fresh = graph.add_config(succ)
+            ekey = (cid, dst, tuple(a.label for a in exp.actions))
+            if ekey not in seen_edges:
+                seen_edges.add(ekey)
+                graph.add_edge(cid, dst, exp.actions)
+                stats.actions_executed += len(exp.actions)
+                for ob in observers:
+                    ob.on_edge(graph, cid, dst, exp.actions)
+                if fresh:
+                    for ob in observers:
+                        ob.on_config(graph, dst, succ, True, None)
+            if graph.num_configs > opts.max_configs:
+                stats.truncated = True
+                stack.clear()
+                pending.clear()
+                break
+            child_sleep = frozenset(
+                z for z in (set(sleep) | set(done)) if independent(z, exp)
+            )
+            pending.append((dst, child_sleep))
+            done.append(entry_of(exp))
+        # push in reverse so the first sibling is explored first (its
+        # sleep set is the smallest)
+        stack.extend(reversed(pending))
+        if stats.truncated:
+            break
+
+    stats.num_configs = graph.num_configs
+    stats.num_edges = graph.num_edges
+    stats.stubborn = selector.stats if selector is not None else None
+    for ob in observers:
+        ob.on_done(graph)
+    return ExploreResult(
+        program=program, graph=graph, stats=stats, options=opts, access=access
+    )
+
+
+def _expand(
+    program: Program,
+    config: Config,
+    access: AccessAnalysis,
+    opts: ExploreOptions,
+) -> list[Expansion]:
+    """Per-process expansions at *config* (coarsened or single-step)."""
+    infos = next_infos(program, config, opts.step)
+    out: list[Expansion] = []
+    for ni in infos:
+        if not ni.enabled:
+            out.append(
+                Expansion(
+                    proc=ni.proc,
+                    enabled=False,
+                    nes=ni.nes,
+                    blocked_children=ni.blocked_children,
+                )
+            )
+            continue
+        if opts.coarsen:
+            block = build_block(
+                program,
+                config,
+                ni.proc.pid,
+                access,
+                opts.step,
+                max_len=opts.max_block_len,
+            )
+            out.append(
+                Expansion(
+                    proc=ni.proc,
+                    enabled=True,
+                    succ=block.succ,
+                    actions=block.actions,
+                    reads=block.reads,
+                    writes=block.writes,
+                )
+            )
+        else:
+            assert ni.action is not None
+            out.append(
+                Expansion(
+                    proc=ni.proc,
+                    enabled=True,
+                    succ=ni.succ,
+                    actions=(ni.action,),
+                    reads=ni.action.reads,
+                    writes=ni.action.writes,
+                )
+            )
+    return out

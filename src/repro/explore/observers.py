@@ -1,0 +1,54 @@
+"""Observer hooks: analyses subscribe to exploration events.
+
+The paper's client analyses (§5) are *derived from the explored state
+space*; observers let them consume transitions while the space is built,
+without a second pass and without growing configuration identity.
+"""
+
+from __future__ import annotations
+
+from repro.explore.graph import ConfigGraph
+from repro.semantics.config import Config
+from repro.semantics.step import ActionInfo
+
+
+class Observer:
+    """Base observer; all callbacks default to no-ops.
+
+    Callbacks
+    ---------
+    ``on_config``: a configuration was interned (``fresh`` tells whether
+    it is new); ``status`` is its terminal status or None.
+
+    ``on_edge``: a transition ``src -> dst`` with its action block was
+    recorded.
+
+    ``on_done``: exploration finished; the complete graph is available.
+    """
+
+    def on_config(
+        self, graph: ConfigGraph, cid: int, config: Config, fresh: bool, status: str | None
+    ) -> None:
+        pass
+
+    def on_edge(
+        self,
+        graph: ConfigGraph,
+        src: int,
+        dst: int,
+        actions: tuple[ActionInfo, ...],
+    ) -> None:
+        pass
+
+    def on_done(self, graph: ConfigGraph) -> None:
+        pass
+
+
+class TraceObserver(Observer):
+    """Collects every edge's labels — handy in tests and demos."""
+
+    def __init__(self) -> None:
+        self.edges: list[tuple[int, int, tuple[str, ...]]] = []
+
+    def on_edge(self, graph, src, dst, actions) -> None:
+        self.edges.append((src, dst, tuple(a.label for a in actions)))

@@ -1,0 +1,79 @@
+"""Sleep sets (Godefroid) — an *extension* composable with stubborn sets.
+
+The paper relies on stubborn sets alone; sleep sets are the
+contemporaneous companion technique (Godefroid 1991, Godefroid & Wolper
+1993) that removes a complementary kind of redundancy: after exploring
+transition *t* at state *s*, its siblings need not re-explore *t* after
+paths consisting only of transitions independent of *t*.
+
+Mechanics: depth-first search where each state is entered with a *sleep
+set* — transitions that are enabled but provably covered by an earlier
+sibling branch.  At a state:
+
+1. take the (stubborn/persistent or full) expansion set, minus sleeping
+   transitions;
+2. explore the remainder in order; after exploring *t*, add it to the
+   sleep set of the *later* siblings; when descending through *t*, keep
+   only sleep entries independent of *t*.
+
+A state revisited with a sleep set ⊇ one it was already explored with is
+pruned.  Deadlocks and terminal configurations are preserved (Godefroid
+& Wolper); the benchmark suite checks result-configuration equality
+against full exploration on the whole corpus.
+
+Transition identity for sleeping purposes is ``(pid, status, func, pc)``
+— while the owning process has not moved, its next transition (and its
+dynamic read/write sets, which only depend on locations the sleeping
+transition reads) is unchanged along independent paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.explore.expansion import Expansion
+from repro.semantics.config import Process
+
+
+@dataclass(frozen=True)
+class SleepEntry:
+    """A sleeping transition with the data needed for independence."""
+
+    key: tuple
+    reads: tuple
+    writes: tuple
+
+
+def transition_key(proc: Process) -> tuple:
+    """Identity of a process's next transition at its current point."""
+    top = proc.frames[-1] if proc.frames else None
+    return (
+        proc.pid,
+        proc.status,
+        top.func if top else "",
+        top.pc if top else -1,
+    )
+
+
+def entry_of(exp: Expansion) -> SleepEntry:
+    return SleepEntry(
+        key=transition_key(exp.proc), reads=exp.reads, writes=exp.writes
+    )
+
+
+def independent(a: SleepEntry, b: Expansion) -> bool:
+    """May the sleeping transition *a* and the executed expansion *b*
+    be commuted?  Requires different processes and disjointness of
+    write/any access pairs (including the process pseudo-locations, so
+    fork/join interactions are never treated as independent)."""
+    if a.key[0] == b.proc.pid:
+        return False
+    aw = set(a.writes)
+    ar = set(a.reads)
+    bw = set(b.writes)
+    br = set(b.reads)
+    if aw & (bw | br):
+        return False
+    if bw & ar:
+        return False
+    return True

@@ -1,0 +1,143 @@
+"""Stubborn-set selection — the paper's Algorithm 1 (§2.3).
+
+At every expansion step we know, for each live process ``i``:
+
+- if enabled: the exact dynamic read/write location sets
+  ``(r_i, w_i)`` of its next atomic action (or coarsened block);
+- if disabled: a *necessary enabling set* — locations that must be
+  written (or children that must terminate) before it can move.
+
+A set ``S`` of processes is **stubborn** when it is closed under:
+
+1. *conflict*: for an enabled ``p ∈ S``, every other process whose
+   possible **future** accesses (static over-approximation, see
+   :class:`~repro.analyses.accesses.AccessAnalysis`) may conflict with
+   ``p``'s next action is in ``S`` — a conflict being a write/any or
+   any/write overlap.  Using the *future* of outside processes (not just
+   their next action) is what makes the reduction sound: no sequence of
+   outside transitions can ever interfere with, enable, or disable the
+   chosen actions;
+2. *enabling*: for a disabled ``p ∈ S``, every process that could write
+   ``p``'s NES locations is in ``S``; for a blocked join, the children
+   that must still terminate are in ``S``.
+
+Expanding only the enabled members of a stubborn set preserves every
+*result configuration* (terminated, deadlocked, and faulting states) —
+the guarantee the paper inherits from [Ove81, Val88-90].
+
+Following the paper, "there may exist several stubborn sets at an
+expanding step ... we prefer a stubborn set that contains the fewest
+number of enabled transitions": we close over each enabled seed and keep
+the cheapest closure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyses.accesses import AccessAnalysis, matches
+from repro.explore.expansion import Expansion
+from repro.lang.program import Program
+from repro.semantics.config import Pid
+
+
+@dataclass
+class StubbornStats:
+    """Aggregate statistics of the selector (reported by benchmarks)."""
+
+    steps: int = 0
+    enabled_total: int = 0
+    chosen_total: int = 0
+    singleton_steps: int = 0
+
+    def record(self, enabled: int, chosen: int) -> None:
+        self.steps += 1
+        self.enabled_total += enabled
+        self.chosen_total += chosen
+        if chosen == 1:
+            self.singleton_steps += 1
+
+    @property
+    def mean_reduction(self) -> float:
+        if self.enabled_total == 0:
+            return 1.0
+        return self.chosen_total / self.enabled_total
+
+
+@dataclass
+class StubbornSelector:
+    """Chooses which enabled expansions to explore at each step."""
+
+    program: Program
+    access: AccessAnalysis
+    stats: StubbornStats = field(default_factory=StubbornStats)
+
+    def select(self, expansions: list[Expansion]) -> list[Expansion]:
+        """Return the enabled expansions of a minimal stubborn set."""
+        by_pid: dict[Pid, Expansion] = {e.pid: e for e in expansions}
+        enabled = [e for e in expansions if e.enabled]
+        if len(enabled) <= 1:
+            self.stats.record(len(enabled), len(enabled))
+            return enabled
+
+        futures = {
+            e.pid: self.access.future_of_proc(e.proc) for e in expansions
+        }
+
+        best: list[Expansion] | None = None
+        best_key: tuple[int, int, Pid] | None = None
+        for seed in enabled:
+            closure = self._close({seed.pid}, by_pid, futures)
+            chosen = [e for e in (by_pid[p] for p in sorted(closure)) if e.enabled]
+            key = (len(chosen), len(closure), seed.pid)
+            if best_key is None or key < best_key:
+                best, best_key = chosen, key
+            if len(chosen) == 1:
+                break  # cannot do better than a singleton
+        assert best is not None
+        self.stats.record(len(enabled), len(best))
+        return best
+
+    # ------------------------------------------------------------------
+
+    def _close(
+        self,
+        seed: set[Pid],
+        by_pid: dict[Pid, Expansion],
+        futures: dict,
+    ) -> set[Pid]:
+        closure = set(seed)
+        work = list(seed)
+        while work:
+            pid = work.pop()
+            exp = by_pid[pid]
+            if exp.enabled:
+                for other, fut in futures.items():
+                    if other in closure:
+                        continue
+                    if self._conflicts(exp, fut):
+                        closure.add(other)
+                        work.append(other)
+            else:
+                for child in exp.blocked_children:
+                    if child in by_pid and child not in closure:
+                        closure.add(child)
+                        work.append(child)
+                for other, fut in futures.items():
+                    if other in closure:
+                        continue
+                    if any(matches(fut.writes, loc) for loc in exp.nes):
+                        closure.add(other)
+                        work.append(other)
+        return closure
+
+    @staticmethod
+    def _conflicts(exp: Expansion, fut) -> bool:
+        """May the other process's future interfere with this action?"""
+        for w in exp.writes:
+            if matches(fut.reads, w) or matches(fut.writes, w):
+                return True
+        for r in exp.reads:
+            if matches(fut.writes, r):
+                return True
+        return False

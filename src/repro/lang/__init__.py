@@ -1,0 +1,39 @@
+"""The cobegin language front end: lexer, parser, AST, compiler, IR.
+
+Public API:
+
+- :func:`parse_program` — source text → compiled :class:`Program`
+  (the common entry point);
+- :func:`parse_ast` — source text → AST;
+- :func:`compile_program` — AST → compiled :class:`Program`;
+- :mod:`repro.lang.builder` — programmatic AST construction;
+- :func:`pretty_program` — AST → source text (round-trips).
+"""
+
+from repro.lang.ast_nodes import ProgramAST
+from repro.lang.compiler import compile_ast, compile_source
+from repro.lang.parser import parse as parse_ast
+from repro.lang.pretty import pretty_program
+from repro.lang.program import Program
+
+
+def parse_program(source: str) -> Program:
+    """Parse and compile *source* into an executable :class:`Program`."""
+    return compile_source(source)
+
+
+def compile_program(ast: ProgramAST) -> Program:
+    """Compile a (possibly programmatically built) AST."""
+    return compile_ast(ast)
+
+
+__all__ = [
+    "Program",
+    "ProgramAST",
+    "parse_program",
+    "parse_ast",
+    "compile_program",
+    "compile_ast",
+    "compile_source",
+    "pretty_program",
+]

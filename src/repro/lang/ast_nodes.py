@@ -1,0 +1,276 @@
+"""Abstract syntax tree for the cobegin language.
+
+The surface language is the C-style toy language of DESIGN.md §2/S1.  It
+covers the semantic feature list of the paper's §4 (and [CH92]): nested
+``cobegin`` parallelism, shared (global) variables, pointers and dynamic
+allocation, procedures, and first-class function values.
+
+All nodes are immutable dataclasses; ``line`` is the 1-based source line
+(0 for programmatically built trees).  Statements carry an optional
+user-written ``label`` (``s1: A = 1;``); the compiler generates labels for
+unlabeled statements so that every atomic action is attributable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class IntLit(Expr):
+    """Integer literal (booleans are the literals 0/1)."""
+
+    value: int = 0
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable or function reference, resolved later by the resolver."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Deref(Expr):
+    """``*base`` or ``base[index]`` — read through a pointer.
+
+    ``*p`` is sugar for ``p[0]``.
+    """
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class AddrOf(Expr):
+    """``&g`` — the address of a *global* variable.
+
+    Locals are process-private registers and are not addressable (see
+    DESIGN.md S2); the resolver rejects ``&local``.
+    """
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    """Unary operation: ``!`` (logical not) or ``-`` (negation)."""
+
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    """Binary operation.
+
+    Arithmetic: ``+ - * / %``; comparison: ``== != < <= > >=``;
+    logical (short-circuit): ``&& ||``.
+    """
+
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# L-values
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LValue:
+    """Base class for assignment targets."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass(frozen=True)
+class NameLV(LValue):
+    """``x = ...`` — a named variable (local or global, per the resolver)."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class DerefLV(LValue):
+    """``*base = ...`` or ``base[index] = ...`` — a store through a pointer."""
+
+    base: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+    line: int = field(default=0, kw_only=True)
+    label: str | None = field(default=None, kw_only=True)
+
+
+@dataclass(frozen=True)
+class VarDecl(Stmt):
+    """``var x;`` or ``var x = e;`` — a local declaration.
+
+    At top level (outside any function) the same syntax declares a global.
+    """
+
+    ident: str = ""
+    init: Expr | None = None
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``lhs = expr;``"""
+
+    target: LValue = None  # type: ignore[assignment]
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Malloc(Stmt):
+    """``lhs = malloc(size);`` — heap allocation.
+
+    The allocation site is identified by the statement's label, which the
+    compiler guarantees to be unique program-wide.
+    """
+
+    target: LValue = None  # type: ignore[assignment]
+    size: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class CallStmt(Stmt):
+    """``f(args);`` or ``lhs = f(args);``.
+
+    ``callee`` is an arbitrary expression: a function name, or a variable
+    holding a first-class function value.
+    """
+
+    callee: Expr = None  # type: ignore[assignment]
+    args: tuple[Expr, ...] = ()
+    target: LValue | None = None
+
+
+@dataclass(frozen=True)
+class Return(Stmt):
+    """``return;`` or ``return e;``"""
+
+    expr: Expr | None = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    """``if (cond) { ... } else { ... }``"""
+
+    cond: Expr = None  # type: ignore[assignment]
+    then_body: tuple[Stmt, ...] = ()
+    else_body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    """``while (cond) { ... }``"""
+
+    cond: Expr = None  # type: ignore[assignment]
+    body: tuple[Stmt, ...] = ()
+
+
+@dataclass(frozen=True)
+class Cobegin(Stmt):
+    """``cobegin { ... } { ... } ...`` — fork/join parallelism.
+
+    One child process is spawned per branch; the parent blocks until all
+    children terminate (``coend`` join).  Branches may be nested.  A
+    branch may not reference enclosing *locals* (the resolver enforces
+    this); interaction between siblings flows through globals and the
+    heap, as in the paper's examples.
+    """
+
+    branches: tuple[tuple[Stmt, ...], ...] = ()
+
+
+@dataclass(frozen=True)
+class Assume(Stmt):
+    """``assume(cond);`` — blocking guard: the statement is enabled only
+    in states where ``cond`` is true.  Used to model synchronization
+    (busy-waits, condition waits) at the semantic level."""
+
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Assert(Stmt):
+    """``assert(cond);`` — faults the execution when ``cond`` is false."""
+
+    cond: Expr = None  # type: ignore[assignment]
+
+
+@dataclass(frozen=True)
+class Acquire(Stmt):
+    """``acquire(l);`` — atomic test-and-set on global ``l``:
+    enabled iff ``l == 0``, and then sets ``l = 1``."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Release(Stmt):
+    """``release(l);`` — sets global ``l = 0``."""
+
+    ident: str = ""
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """``skip;`` — a no-op atomic action (useful in benchmarks)."""
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuncDef:
+    """``func name(params) { body }``"""
+
+    name: str
+    params: tuple[str, ...]
+    body: tuple[Stmt, ...]
+    line: int = 0
+
+
+@dataclass(frozen=True)
+class ProgramAST:
+    """A parsed program: global declarations plus function definitions.
+
+    Execution starts at ``main()`` which must exist and take no
+    parameters (checked by the resolver).
+    """
+
+    globals: tuple[VarDecl, ...]
+    funcs: tuple[FuncDef, ...]
+
+    def func(self, name: str) -> FuncDef:
+        for f in self.funcs:
+            if f.name == name:
+                return f
+        raise KeyError(name)

@@ -1,0 +1,217 @@
+"""Programmatic AST construction helpers.
+
+A thin, readable layer over :mod:`repro.lang.ast_nodes` used by the
+program corpus (:mod:`repro.programs`) and by the hypothesis random
+program generator in the test suite.  Example::
+
+    from repro.lang import builder as B
+
+    prog = B.program(
+        B.globals(A=0, B=0, x=0, y=0),
+        B.func("main")(
+            B.cobegin(
+                [B.assign("A", 1, label="s1"), B.assign("y", B.var("B"), label="s2")],
+                [B.assign("B", 1, label="s3"), B.assign("x", B.var("A"), label="s4")],
+            ),
+        ),
+    )
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+
+# --------------------------------------------------------------------------
+# expressions
+# --------------------------------------------------------------------------
+
+
+def const(v: int) -> A.IntLit:
+    return A.IntLit(value=int(v))
+
+
+def var(name: str) -> A.Name:
+    return A.Name(ident=name)
+
+
+def deref(base, index=0) -> A.Deref:
+    return A.Deref(base=as_expr(base), index=as_expr(index))
+
+
+def addrof(name: str) -> A.AddrOf:
+    return A.AddrOf(ident=name)
+
+
+def unary(op: str, operand) -> A.Unary:
+    return A.Unary(op=op, operand=as_expr(operand))
+
+
+def binop(op: str, left, right) -> A.Binary:
+    return A.Binary(op=op, left=as_expr(left), right=as_expr(right))
+
+
+def add(l, r):  # noqa: E743
+    return binop("+", l, r)
+
+
+def sub(l, r):
+    return binop("-", l, r)
+
+
+def mul(l, r):
+    return binop("*", l, r)
+
+
+def eq(l, r):
+    return binop("==", l, r)
+
+
+def ne(l, r):
+    return binop("!=", l, r)
+
+
+def lt(l, r):
+    return binop("<", l, r)
+
+
+def as_expr(x) -> A.Expr:
+    """Coerce ints to literals and strings to variable references."""
+    if isinstance(x, A.Expr):
+        return x
+    if isinstance(x, bool):
+        return const(int(x))
+    if isinstance(x, int):
+        return const(x)
+    if isinstance(x, str):
+        return var(x)
+    raise TypeError(f"cannot coerce {x!r} to an expression")
+
+
+def as_lvalue(x) -> A.LValue:
+    if isinstance(x, A.LValue):
+        return x
+    if isinstance(x, str):
+        return A.NameLV(ident=x)
+    if isinstance(x, A.Deref):
+        return A.DerefLV(base=x.base, index=x.index)
+    raise TypeError(f"cannot coerce {x!r} to an lvalue")
+
+
+def store(base, index=0) -> A.DerefLV:
+    """L-value ``base[index]`` (``*base`` when index is 0)."""
+    return A.DerefLV(base=as_expr(base), index=as_expr(index))
+
+
+# --------------------------------------------------------------------------
+# statements
+# --------------------------------------------------------------------------
+
+
+def decl(name: str, init=None, *, label: str | None = None) -> A.VarDecl:
+    return A.VarDecl(
+        ident=name, init=None if init is None else as_expr(init), label=label
+    )
+
+
+def assign(target, expr, *, label: str | None = None) -> A.Assign:
+    return A.Assign(target=as_lvalue(target), expr=as_expr(expr), label=label)
+
+
+def malloc(target, size=1, *, label: str | None = None) -> A.Malloc:
+    return A.Malloc(target=as_lvalue(target), size=as_expr(size), label=label)
+
+
+def call(callee, *args, target=None, label: str | None = None) -> A.CallStmt:
+    return A.CallStmt(
+        callee=as_expr(callee),
+        args=tuple(as_expr(a) for a in args),
+        target=None if target is None else as_lvalue(target),
+        label=label,
+    )
+
+
+def ret(expr=None, *, label: str | None = None) -> A.Return:
+    return A.Return(expr=None if expr is None else as_expr(expr), label=label)
+
+
+def if_(cond, then_body, else_body=(), *, label: str | None = None) -> A.If:
+    return A.If(
+        cond=as_expr(cond),
+        then_body=tuple(then_body),
+        else_body=tuple(else_body),
+        label=label,
+    )
+
+
+def while_(cond, body, *, label: str | None = None) -> A.While:
+    return A.While(cond=as_expr(cond), body=tuple(body), label=label)
+
+
+def cobegin(*branches, label: str | None = None) -> A.Cobegin:
+    return A.Cobegin(branches=tuple(tuple(b) for b in branches), label=label)
+
+
+def assume(cond, *, label: str | None = None) -> A.Assume:
+    return A.Assume(cond=as_expr(cond), label=label)
+
+
+def assert_(cond, *, label: str | None = None) -> A.Assert:
+    return A.Assert(cond=as_expr(cond), label=label)
+
+
+def acquire(name: str, *, label: str | None = None) -> A.Acquire:
+    return A.Acquire(ident=name, label=label)
+
+
+def release(name: str, *, label: str | None = None) -> A.Release:
+    return A.Release(ident=name, label=label)
+
+
+def skip(*, label: str | None = None) -> A.Skip:
+    return A.Skip(label=label)
+
+
+# --------------------------------------------------------------------------
+# top level
+# --------------------------------------------------------------------------
+
+
+def globals(**names) -> tuple[A.VarDecl, ...]:  # noqa: A001 - deliberate DSL name
+    """Global declarations with initial values: ``globals(A=0, B=1)``."""
+    return tuple(A.VarDecl(ident=n, init=const(v)) for n, v in names.items())
+
+
+class _FuncMaker:
+    def __init__(self, name: str, params: tuple[str, ...]):
+        self._name = name
+        self._params = params
+
+    def __call__(self, *body: A.Stmt) -> A.FuncDef:
+        return A.FuncDef(name=self._name, params=self._params, body=tuple(body))
+
+
+def func(name: str, *params: str) -> _FuncMaker:
+    """``func("f", "a", "b")(stmt, ...)`` builds a function definition."""
+    return _FuncMaker(name, tuple(params))
+
+
+def program(*parts) -> A.ProgramAST:
+    """Assemble globals tuples and function definitions into a program."""
+    globs: list[A.VarDecl] = []
+    funcs: list[A.FuncDef] = []
+    for part in parts:
+        if isinstance(part, A.FuncDef):
+            funcs.append(part)
+        elif isinstance(part, A.VarDecl):
+            globs.append(part)
+        elif isinstance(part, tuple):
+            for item in part:
+                if isinstance(item, A.VarDecl):
+                    globs.append(item)
+                elif isinstance(item, A.FuncDef):
+                    funcs.append(item)
+                else:
+                    raise TypeError(f"unexpected program part: {item!r}")
+        else:
+            raise TypeError(f"unexpected program part: {part!r}")
+    return A.ProgramAST(globals=tuple(globs), funcs=tuple(funcs))

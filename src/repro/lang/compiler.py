@@ -1,0 +1,431 @@
+"""AST-to-instruction compiler.
+
+Turns a :class:`~repro.lang.ast_nodes.ProgramAST` into a
+:class:`~repro.lang.program.Program`:
+
+- resolves names (via :mod:`repro.lang.resolver`), classifying every
+  reference as global / local / function value;
+- flattens structured control flow into branch/jump instructions with
+  backpatching;
+- lays cobegin branches out inline in the enclosing function's code,
+  each ending in :class:`~repro.lang.instructions.IThreadEnd`;
+- assigns every statement a program-wide-unique label (user labels are
+  validated, unlabeled statements get ``{func}#{n}``), which is also the
+  allocation-site identity of ``malloc`` statements;
+- constant-folds global initializers.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+from repro.lang.instructions import (
+    FuncCode,
+    IAcquire,
+    IAlloc,
+    IAssert,
+    IAssign,
+    IAssume,
+    IBranch,
+    ICall,
+    ICobegin,
+    IJump,
+    IRelease,
+    IReturn,
+    ISkip,
+    IThreadEnd,
+    Instr,
+    LabelInfo,
+    LDeref,
+    LGlobal,
+    LLocal,
+    RAddrGlobal,
+    RBinary,
+    RConst,
+    RDeref,
+    RExpr,
+    RFunc,
+    RGlobal,
+    RLocal,
+    RLValue,
+    RUnary,
+)
+from repro.lang.parser import parse
+from repro.lang.program import Program
+from repro.lang.resolver import FuncBinding, GlobalBinding, LocalBinding, Scopes
+from repro.util.errors import CompileError, ResolveError
+
+
+def compile_source(source: str) -> Program:
+    """Parse and compile *source* in one step."""
+    prog = compile_ast(parse(source))
+    object.__setattr__(prog, "source", source)
+    return prog
+
+
+def compile_ast(ast: A.ProgramAST) -> Program:
+    """Compile a parsed program to the instruction IR."""
+    return _ProgramCompiler(ast).compile()
+
+
+# --------------------------------------------------------------------------
+
+
+def _const_eval(expr: A.Expr) -> int:
+    """Evaluate a constant expression (global initializers)."""
+    if isinstance(expr, A.IntLit):
+        return expr.value
+    if isinstance(expr, A.Unary):
+        v = _const_eval(expr.operand)
+        if expr.op == "-":
+            return -v
+        if expr.op == "!":
+            return 0 if v else 1
+    if isinstance(expr, A.Binary):
+        lhs = _const_eval(expr.left)
+        rhs = _const_eval(expr.right)
+        return _apply_binop(expr.op, lhs, rhs, expr.line)
+    raise ResolveError(
+        "global initializers must be constant expressions", getattr(expr, "line", None)
+    )
+
+
+def _apply_binop(op: str, lhs: int, rhs: int, line: int) -> int:
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise ResolveError("division by zero in constant expression", line)
+        return int(lhs / rhs) if (lhs < 0) != (rhs < 0) and lhs % rhs else lhs // rhs
+    if op == "%":
+        if rhs == 0:
+            raise ResolveError("modulo by zero in constant expression", line)
+        return lhs - rhs * int(lhs / rhs)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    if op == "&&":
+        return int(bool(lhs) and bool(rhs))
+    if op == "||":
+        return int(bool(lhs) or bool(rhs))
+    raise ResolveError(f"unknown operator {op!r}", line)
+
+
+class _ProgramCompiler:
+    def __init__(self, ast: A.ProgramAST):
+        self._ast = ast
+        self._labels: dict[str, LabelInfo] = {}
+        self._auto_label_counter: dict[str, int] = {}
+
+    def compile(self) -> Program:
+        ast = self._ast
+        # globals
+        global_names: list[str] = []
+        global_init: list[int] = []
+        global_indices: dict[str, int] = {}
+        for decl in ast.globals:
+            if decl.ident in global_indices:
+                raise ResolveError(f"duplicate global {decl.ident!r}", decl.line)
+            global_indices[decl.ident] = len(global_names)
+            global_names.append(decl.ident)
+            global_init.append(_const_eval(decl.init) if decl.init is not None else 0)
+        # functions
+        func_arities: dict[str, int] = {}
+        for f in ast.funcs:
+            if f.name in func_arities:
+                raise ResolveError(f"duplicate function {f.name!r}", f.line)
+            if f.name in global_indices:
+                raise ResolveError(
+                    f"{f.name!r} declared both as a global and a function", f.line
+                )
+            func_arities[f.name] = len(f.params)
+        if "main" not in func_arities:
+            raise ResolveError("program must define func main()")
+        if func_arities["main"] != 0:
+            raise ResolveError("func main() must take no parameters")
+
+        funcs: dict[str, FuncCode] = {}
+        for f in ast.funcs:
+            funcs[f.name] = _FunctionCompiler(
+                self, f, global_indices, func_arities
+            ).compile()
+
+        return Program(
+            funcs=funcs,
+            global_names=tuple(global_names),
+            global_init=tuple(global_init),
+            labels=self._labels,
+            entry="main",
+        )
+
+    # -- label registry -------------------------------------------------
+
+    def fresh_label(self, stmt: A.Stmt, func: str) -> str:
+        if stmt.label is not None:
+            if stmt.label in self._labels:
+                raise CompileError(
+                    f"duplicate statement label {stmt.label!r}", stmt.line
+                )
+            return stmt.label
+        n = self._auto_label_counter.get(func, 0)
+        self._auto_label_counter[func] = n + 1
+        return f"{func}#{n}"
+
+    def register_label(
+        self, label: str, func: str, pc: int, kind: str, line: int
+    ) -> None:
+        if label in self._labels:
+            raise CompileError(f"duplicate statement label {label!r}", line)
+        self._labels[label] = LabelInfo(label=label, func=func, pc=pc, kind=kind, line=line)
+
+
+class _FunctionCompiler:
+    def __init__(
+        self,
+        owner: _ProgramCompiler,
+        func: A.FuncDef,
+        global_indices: dict[str, int],
+        func_arities: dict[str, int],
+    ):
+        self._owner = owner
+        self._func = func
+        self._arities = func_arities
+        self._scopes = Scopes(global_indices, func_arities, func.name)
+        self._instrs: list[Instr] = []
+
+    # -- emission helpers -------------------------------------------------
+
+    def _emit(self, ins: Instr) -> int:
+        pc = len(self._instrs)
+        self._instrs.append(ins)
+        return pc
+
+    def _patch(self, pc: int, **fields: int | tuple[int, ...]) -> None:
+        import dataclasses
+
+        self._instrs[pc] = dataclasses.replace(self._instrs[pc], **fields)
+
+    def _labelled(self, stmt: A.Stmt, kind: str) -> str:
+        label = self._owner.fresh_label(stmt, self._func.name)
+        self._owner.register_label(
+            label, self._func.name, len(self._instrs), kind, stmt.line
+        )
+        return label
+
+    # -- entry point ------------------------------------------------------
+
+    def compile(self) -> FuncCode:
+        f = self._func
+        for p in f.params:
+            self._scopes.declare_local(p, f.line)
+        self._compile_body(f.body)
+        # implicit return
+        self._emit(IReturn(expr=None, label="", line=f.line))
+        return FuncCode(
+            name=f.name,
+            num_params=len(f.params),
+            num_locals=self._scopes.num_locals,
+            local_names=tuple(self._scopes.local_names),
+            instrs=tuple(self._instrs),
+        )
+
+    def _compile_body(self, body: tuple[A.Stmt, ...]) -> None:
+        for stmt in body:
+            self._compile_stmt(stmt)
+
+    # -- statements ---------------------------------------------------------
+
+    def _compile_stmt(self, stmt: A.Stmt) -> None:
+        if isinstance(stmt, A.VarDecl):
+            binding = self._scopes.declare_local(stmt.ident, stmt.line)
+            if stmt.init is not None:
+                label = self._labelled(stmt, "IAssign")
+                expr = self._expr(stmt.init)
+                self._emit(
+                    IAssign(
+                        target=LLocal(slot=binding.slot, name=binding.name),
+                        expr=expr,
+                        label=label,
+                        line=stmt.line,
+                    )
+                )
+            return
+        if isinstance(stmt, A.Assign):
+            label = self._labelled(stmt, "IAssign")
+            self._emit(
+                IAssign(
+                    target=self._lvalue(stmt.target),
+                    expr=self._expr(stmt.expr),
+                    label=label,
+                    line=stmt.line,
+                )
+            )
+            return
+        if isinstance(stmt, A.Malloc):
+            label = self._labelled(stmt, "IAlloc")
+            self._emit(
+                IAlloc(
+                    target=self._lvalue(stmt.target),
+                    size=self._expr(stmt.size),
+                    site=label,
+                    label=label,
+                    line=stmt.line,
+                )
+            )
+            return
+        if isinstance(stmt, A.CallStmt):
+            label = self._labelled(stmt, "ICall")
+            callee = self._expr(stmt.callee)
+            if isinstance(callee, RFunc):
+                arity = self._arities[callee.name]
+                if arity != len(stmt.args):
+                    raise CompileError(
+                        f"call to {callee.name!r} with {len(stmt.args)} args; "
+                        f"expected {arity}",
+                        stmt.line,
+                    )
+            self._emit(
+                ICall(
+                    target=self._lvalue(stmt.target) if stmt.target else None,
+                    callee=callee,
+                    args=tuple(self._expr(a) for a in stmt.args),
+                    label=label,
+                    line=stmt.line,
+                )
+            )
+            return
+        if isinstance(stmt, A.Return):
+            if self._scopes.in_branch:
+                raise CompileError(
+                    "return inside a cobegin branch is not allowed "
+                    "(branches terminate at their closing brace)",
+                    stmt.line,
+                )
+            label = self._labelled(stmt, "IReturn")
+            self._emit(
+                IReturn(
+                    expr=self._expr(stmt.expr) if stmt.expr is not None else None,
+                    label=label,
+                    line=stmt.line,
+                )
+            )
+            return
+        if isinstance(stmt, A.If):
+            label = self._labelled(stmt, "IBranch")
+            cond = self._expr(stmt.cond)
+            branch_pc = self._emit(IBranch(cond=cond, label=label, line=stmt.line))
+            self._scopes.push()
+            self._compile_body(stmt.then_body)
+            self._scopes.pop()
+            if stmt.else_body:
+                jump_pc = self._emit(IJump(line=stmt.line))
+                else_start = len(self._instrs)
+                self._scopes.push()
+                self._compile_body(stmt.else_body)
+                self._scopes.pop()
+                end = len(self._instrs)
+                self._patch(branch_pc, then_target=branch_pc + 1, else_target=else_start)
+                self._patch(jump_pc, target=end)
+            else:
+                end = len(self._instrs)
+                self._patch(branch_pc, then_target=branch_pc + 1, else_target=end)
+            return
+        if isinstance(stmt, A.While):
+            label = self._labelled(stmt, "IBranch")
+            cond = self._expr(stmt.cond)
+            test_pc = self._emit(IBranch(cond=cond, label=label, line=stmt.line))
+            self._scopes.push()
+            self._compile_body(stmt.body)
+            self._scopes.pop()
+            self._emit(IJump(target=test_pc, line=stmt.line))
+            end = len(self._instrs)
+            self._patch(test_pc, then_target=test_pc + 1, else_target=end)
+            return
+        if isinstance(stmt, A.Cobegin):
+            label = self._labelled(stmt, "ICobegin")
+            cobegin_pc = self._emit(ICobegin(label=label, line=stmt.line))
+            starts: list[int] = []
+            for branch in stmt.branches:
+                starts.append(len(self._instrs))
+                self._scopes.push(thread_boundary=True)
+                self._compile_body(branch)
+                self._scopes.pop()
+                self._emit(IThreadEnd(line=stmt.line))
+            join = len(self._instrs)
+            self._patch(cobegin_pc, branch_targets=tuple(starts), join_target=join)
+            return
+        if isinstance(stmt, A.Assume):
+            label = self._labelled(stmt, "IAssume")
+            self._emit(IAssume(cond=self._expr(stmt.cond), label=label, line=stmt.line))
+            return
+        if isinstance(stmt, A.Assert):
+            label = self._labelled(stmt, "IAssert")
+            self._emit(IAssert(cond=self._expr(stmt.cond), label=label, line=stmt.line))
+            return
+        if isinstance(stmt, A.Acquire):
+            label = self._labelled(stmt, "IAcquire")
+            binding = self._scopes.lookup_global(stmt.ident, stmt.line, what="acquire")
+            self._emit(
+                IAcquire(index=binding.index, name=binding.name, label=label, line=stmt.line)
+            )
+            return
+        if isinstance(stmt, A.Release):
+            label = self._labelled(stmt, "IRelease")
+            binding = self._scopes.lookup_global(stmt.ident, stmt.line, what="release")
+            self._emit(
+                IRelease(index=binding.index, name=binding.name, label=label, line=stmt.line)
+            )
+            return
+        if isinstance(stmt, A.Skip):
+            label = self._labelled(stmt, "ISkip")
+            self._emit(ISkip(label=label, line=stmt.line))
+            return
+        raise CompileError(f"unsupported statement: {type(stmt).__name__}", stmt.line)
+
+    # -- operands -------------------------------------------------------
+
+    def _lvalue(self, lv: A.LValue) -> RLValue:
+        if isinstance(lv, A.NameLV):
+            binding = self._scopes.lookup(lv.ident, lv.line)
+            if isinstance(binding, LocalBinding):
+                return LLocal(slot=binding.slot, name=binding.name)
+            if isinstance(binding, GlobalBinding):
+                return LGlobal(index=binding.index, name=binding.name)
+            raise ResolveError(f"cannot assign to function {lv.ident!r}", lv.line)
+        if isinstance(lv, A.DerefLV):
+            return LDeref(base=self._expr(lv.base), index=self._expr(lv.index))
+        raise CompileError(f"unsupported lvalue: {type(lv).__name__}", lv.line)
+
+    def _expr(self, expr: A.Expr) -> RExpr:
+        if isinstance(expr, A.IntLit):
+            return RConst(value=expr.value)
+        if isinstance(expr, A.Name):
+            binding = self._scopes.lookup(expr.ident, expr.line)
+            if isinstance(binding, LocalBinding):
+                return RLocal(slot=binding.slot, name=binding.name)
+            if isinstance(binding, GlobalBinding):
+                return RGlobal(index=binding.index, name=binding.name)
+            assert isinstance(binding, FuncBinding)
+            return RFunc(name=binding.name)
+        if isinstance(expr, A.Deref):
+            return RDeref(base=self._expr(expr.base), index=self._expr(expr.index))
+        if isinstance(expr, A.AddrOf):
+            binding = self._scopes.lookup_global(expr.ident, expr.line, what="&")
+            return RAddrGlobal(index=binding.index, name=binding.name)
+        if isinstance(expr, A.Unary):
+            return RUnary(op=expr.op, operand=self._expr(expr.operand))
+        if isinstance(expr, A.Binary):
+            return RBinary(op=expr.op, left=self._expr(expr.left), right=self._expr(expr.right))
+        raise CompileError(f"unsupported expression: {type(expr).__name__}", getattr(expr, "line", 0))

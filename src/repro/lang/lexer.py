@@ -1,0 +1,104 @@
+"""Hand-written lexer for the cobegin language.
+
+Supports ``//`` line comments and ``/* ... */`` block comments, decimal
+integer literals, identifiers, and the operators/punctuation listed in
+:mod:`repro.lang.tokens`.
+"""
+
+from __future__ import annotations
+
+from repro.lang.tokens import (
+    EOF,
+    IDENT,
+    INT,
+    KEYWORD,
+    KEYWORDS,
+    OP,
+    OPERATORS,
+    PUNCT,
+    PUNCTUATION,
+    Token,
+)
+from repro.util.errors import LexError
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning tokens terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(k: int) -> None:
+        nonlocal i, line, col
+        for _ in range(k):
+            if i < n and source[i] == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+            i += 1
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r\n":
+            advance(1)
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                advance(1)
+            continue
+        if source.startswith("/*", i):
+            start_line, start_col = line, col
+            advance(2)
+            while i < n and not source.startswith("*/", i):
+                advance(1)
+            if i >= n:
+                raise LexError("unterminated block comment", start_line, start_col)
+            advance(2)
+            continue
+        # integer literal
+        if c.isdigit():
+            start = i
+            start_line, start_col = line, col
+            while i < n and source[i].isdigit():
+                advance(1)
+            if i < n and (source[i].isalpha() or source[i] == "_"):
+                raise LexError(
+                    f"identifier may not start with a digit: {source[start:i+1]!r}",
+                    start_line,
+                    start_col,
+                )
+            tokens.append(Token(INT, source[start:i], start_line, start_col))
+            continue
+        # identifier / keyword
+        if c.isalpha() or c == "_":
+            start = i
+            start_line, start_col = line, col
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                advance(1)
+            text = source[start:i]
+            kind = KEYWORD if text in KEYWORDS else IDENT
+            tokens.append(Token(kind, text, start_line, start_col))
+            continue
+        # operators (longest match first — OPERATORS is ordered)
+        matched = False
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token(OP, op, line, col))
+                advance(len(op))
+                matched = True
+                break
+        if matched:
+            continue
+        if c in PUNCTUATION:
+            tokens.append(Token(PUNCT, c, line, col))
+            advance(1)
+            continue
+        raise LexError(f"unexpected character {c!r}", line, col)
+
+    tokens.append(Token(EOF, "", line, col))
+    return tokens

@@ -1,0 +1,420 @@
+"""Recursive-descent parser for the cobegin language.
+
+Grammar (EBNF)::
+
+    program    := ( globaldecl | funcdef )*
+    globaldecl := 'shared'? 'var' IDENT ( '=' expr )? ';'
+    funcdef    := 'func' IDENT '(' [ IDENT (',' IDENT)* ] ')' block
+    block      := '{' stmt* '}'
+    stmt       := [ IDENT ':' ] basestmt
+    basestmt   := 'var' IDENT ( '=' expr )? ';'
+                | 'if' '(' expr ')' block [ 'else' ( block | ifstmt ) ]
+                | 'while' '(' expr ')' block
+                | 'cobegin' block+ [ 'coend' [';'] ]
+                | 'return' [ expr ] ';'
+                | 'assume' '(' expr ')' ';'
+                | 'assert' '(' expr ')' ';'
+                | 'acquire' '(' IDENT ')' ';'
+                | 'release' '(' IDENT ')' ';'
+                | 'skip' ';'
+                | lvalue '=' 'malloc' '(' expr ')' ';'
+                | lvalue '=' callexpr ';'
+                | lvalue '=' expr ';'
+                | callexpr ';'
+
+Calls are *statements*, not expressions (each statement is one atomic
+action of the semantics; a call is a control transfer).  The parser
+accepts postfix call syntax while reading an expression and then rejects
+calls in nested positions, producing a clear diagnostic.
+
+Precedence, loosest to tightest: ``||``, ``&&``, equality, relational,
+additive, multiplicative, unary (``! - * &``), postfix (``[i]``,
+``(args)``), primary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, IDENT, INT, KEYWORD, OP, PUNCT, Token
+from repro.util.errors import ParseError
+
+
+@dataclass(frozen=True)
+class _CallExpr(A.Expr):
+    """Internal: postfix call parsed in expression position.
+
+    Only legal as the whole RHS of an assignment or as a bare statement;
+    the parser rejects it anywhere else.
+    """
+
+    callee: A.Expr = None  # type: ignore[assignment]
+    args: tuple[A.Expr, ...] = ()
+
+
+class Parser:
+    """Single-use parser over a token stream."""
+
+    def __init__(self, tokens: list[Token]):
+        self._toks = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+
+    def _peek(self, ahead: int = 0) -> Token:
+        return self._toks[min(self._pos + ahead, len(self._toks) - 1)]
+
+    def _next(self) -> Token:
+        tok = self._toks[self._pos]
+        if tok.kind != EOF:
+            self._pos += 1
+        return tok
+
+    def _check(self, kind: str, text: str | None = None) -> bool:
+        tok = self._peek()
+        return tok.kind == kind and (text is None or tok.text == text)
+
+    def _accept(self, kind: str, text: str | None = None) -> Token | None:
+        if self._check(kind, text):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self._peek()
+        if not self._check(kind, text):
+            want = text if text is not None else kind
+            raise ParseError(f"expected {want!r}, found {tok.text or tok.kind!r}", tok.line, tok.col)
+        return self._next()
+
+    # ------------------------------------------------------------------
+    # program structure
+    # ------------------------------------------------------------------
+
+    def parse_program(self) -> A.ProgramAST:
+        globals_: list[A.VarDecl] = []
+        funcs: list[A.FuncDef] = []
+        while not self._check(EOF):
+            if self._check(KEYWORD, "func"):
+                funcs.append(self._funcdef())
+            elif self._check(KEYWORD, "var") or self._check(KEYWORD, "shared"):
+                globals_.append(self._globaldecl())
+            else:
+                tok = self._peek()
+                raise ParseError(
+                    f"expected 'var' or 'func' at top level, found {tok.text!r}",
+                    tok.line,
+                    tok.col,
+                )
+        return A.ProgramAST(globals=tuple(globals_), funcs=tuple(funcs))
+
+    def _globaldecl(self) -> A.VarDecl:
+        # 'shared' is accepted as documentation; sharing is inferred by
+        # the analyses regardless.
+        self._accept(KEYWORD, "shared")
+        kw = self._expect(KEYWORD, "var")
+        name = self._expect(IDENT)
+        init = None
+        if self._accept(OP, "="):
+            init = self._expr()
+        self._expect(PUNCT, ";")
+        self._no_nested_calls(init)
+        return A.VarDecl(ident=name.text, init=init, line=kw.line)
+
+    def _funcdef(self) -> A.FuncDef:
+        kw = self._expect(KEYWORD, "func")
+        name = self._expect(IDENT)
+        self._expect(PUNCT, "(")
+        params: list[str] = []
+        if not self._check(PUNCT, ")"):
+            params.append(self._expect(IDENT).text)
+            while self._accept(PUNCT, ","):
+                params.append(self._expect(IDENT).text)
+        self._expect(PUNCT, ")")
+        body = self._block()
+        return A.FuncDef(name=name.text, params=tuple(params), body=body, line=kw.line)
+
+    def _block(self) -> tuple[A.Stmt, ...]:
+        self._expect(PUNCT, "{")
+        stmts: list[A.Stmt] = []
+        while not self._check(PUNCT, "}"):
+            stmts.append(self._stmt())
+        self._expect(PUNCT, "}")
+        return tuple(stmts)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+
+    def _stmt(self) -> A.Stmt:
+        label: str | None = None
+        if self._check(IDENT) and self._peek(1).kind == PUNCT and self._peek(1).text == ":":
+            label = self._next().text
+            self._next()  # ':'
+        stmt = self._basestmt()
+        if label is not None:
+            stmt = dataclasses.replace(stmt, label=label)
+        return stmt
+
+    def _basestmt(self) -> A.Stmt:
+        tok = self._peek()
+        if tok.kind == KEYWORD:
+            handler = {
+                "var": self._vardecl,
+                "if": self._ifstmt,
+                "while": self._whilestmt,
+                "cobegin": self._cobeginstmt,
+                "return": self._returnstmt,
+                "assume": self._assumestmt,
+                "assert": self._assertstmt,
+                "acquire": self._acquirestmt,
+                "release": self._releasestmt,
+                "skip": self._skipstmt,
+            }.get(tok.text)
+            if handler is not None:
+                return handler()
+            raise ParseError(f"unexpected keyword {tok.text!r}", tok.line, tok.col)
+        return self._exprstmt()
+
+    def _vardecl(self) -> A.VarDecl:
+        kw = self._expect(KEYWORD, "var")
+        name = self._expect(IDENT)
+        init = None
+        if self._accept(OP, "="):
+            init = self._expr()
+            self._no_nested_calls(init)
+        self._expect(PUNCT, ";")
+        return A.VarDecl(ident=name.text, init=init, line=kw.line)
+
+    def _ifstmt(self) -> A.If:
+        kw = self._expect(KEYWORD, "if")
+        self._expect(PUNCT, "(")
+        cond = self._expr()
+        self._no_nested_calls(cond)
+        self._expect(PUNCT, ")")
+        then_body = self._block()
+        else_body: tuple[A.Stmt, ...] = ()
+        if self._accept(KEYWORD, "else"):
+            if self._check(KEYWORD, "if"):
+                else_body = (self._ifstmt(),)
+            else:
+                else_body = self._block()
+        return A.If(cond=cond, then_body=then_body, else_body=else_body, line=kw.line)
+
+    def _whilestmt(self) -> A.While:
+        kw = self._expect(KEYWORD, "while")
+        self._expect(PUNCT, "(")
+        cond = self._expr()
+        self._no_nested_calls(cond)
+        self._expect(PUNCT, ")")
+        body = self._block()
+        return A.While(cond=cond, body=body, line=kw.line)
+
+    def _cobeginstmt(self) -> A.Cobegin:
+        kw = self._expect(KEYWORD, "cobegin")
+        branches: list[tuple[A.Stmt, ...]] = []
+        while self._check(PUNCT, "{"):
+            branches.append(self._block())
+        if not branches:
+            raise ParseError("cobegin needs at least one '{' branch", kw.line, kw.col)
+        if self._accept(KEYWORD, "coend"):
+            self._accept(PUNCT, ";")
+        return A.Cobegin(branches=tuple(branches), line=kw.line)
+
+    def _returnstmt(self) -> A.Return:
+        kw = self._expect(KEYWORD, "return")
+        expr = None
+        if not self._check(PUNCT, ";"):
+            expr = self._expr()
+            self._no_nested_calls(expr)
+        self._expect(PUNCT, ";")
+        return A.Return(expr=expr, line=kw.line)
+
+    def _assumestmt(self) -> A.Assume:
+        kw = self._expect(KEYWORD, "assume")
+        self._expect(PUNCT, "(")
+        cond = self._expr()
+        self._no_nested_calls(cond)
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ";")
+        return A.Assume(cond=cond, line=kw.line)
+
+    def _assertstmt(self) -> A.Assert:
+        kw = self._expect(KEYWORD, "assert")
+        self._expect(PUNCT, "(")
+        cond = self._expr()
+        self._no_nested_calls(cond)
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ";")
+        return A.Assert(cond=cond, line=kw.line)
+
+    def _acquirestmt(self) -> A.Acquire:
+        kw = self._expect(KEYWORD, "acquire")
+        self._expect(PUNCT, "(")
+        name = self._expect(IDENT)
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ";")
+        return A.Acquire(ident=name.text, line=kw.line)
+
+    def _releasestmt(self) -> A.Release:
+        kw = self._expect(KEYWORD, "release")
+        self._expect(PUNCT, "(")
+        name = self._expect(IDENT)
+        self._expect(PUNCT, ")")
+        self._expect(PUNCT, ";")
+        return A.Release(ident=name.text, line=kw.line)
+
+    def _skipstmt(self) -> A.Skip:
+        kw = self._expect(KEYWORD, "skip")
+        self._expect(PUNCT, ";")
+        return A.Skip(line=kw.line)
+
+    def _exprstmt(self) -> A.Stmt:
+        start = self._peek()
+        lhs = self._expr()
+        if self._accept(OP, "="):
+            target = self._as_lvalue(lhs, start)
+            if self._check(KEYWORD, "malloc"):
+                self._next()
+                self._expect(PUNCT, "(")
+                size = self._expr()
+                self._no_nested_calls(size)
+                self._expect(PUNCT, ")")
+                self._expect(PUNCT, ";")
+                return A.Malloc(target=target, size=size, line=start.line)
+            rhs = self._expr()
+            self._expect(PUNCT, ";")
+            if isinstance(rhs, _CallExpr):
+                self._no_nested_calls(rhs.callee)
+                for a in rhs.args:
+                    self._no_nested_calls(a)
+                return A.CallStmt(
+                    callee=rhs.callee, args=rhs.args, target=target, line=start.line
+                )
+            self._no_nested_calls(rhs)
+            return A.Assign(target=target, expr=rhs, line=start.line)
+        # bare statement: must be a call
+        self._expect(PUNCT, ";")
+        if isinstance(lhs, _CallExpr):
+            self._no_nested_calls(lhs.callee)
+            for a in lhs.args:
+                self._no_nested_calls(a)
+            return A.CallStmt(callee=lhs.callee, args=lhs.args, target=None, line=start.line)
+        raise ParseError("expression used as a statement (only calls may be)", start.line, start.col)
+
+    def _as_lvalue(self, expr: A.Expr, tok: Token) -> A.LValue:
+        if isinstance(expr, A.Name):
+            return A.NameLV(ident=expr.ident, line=expr.line)
+        if isinstance(expr, A.Deref):
+            self._no_nested_calls(expr.base)
+            self._no_nested_calls(expr.index)
+            return A.DerefLV(base=expr.base, index=expr.index, line=expr.line)
+        raise ParseError("invalid assignment target", tok.line, tok.col)
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+
+    _BINOP_LEVELS: tuple[tuple[str, ...], ...] = (
+        ("||",),
+        ("&&",),
+        ("==", "!="),
+        ("<", "<=", ">", ">="),
+        ("+", "-"),
+        ("*", "/", "%"),
+    )
+
+    def _expr(self) -> A.Expr:
+        return self._binary(0)
+
+    def _binary(self, level: int) -> A.Expr:
+        if level >= len(self._BINOP_LEVELS):
+            return self._unary()
+        ops = self._BINOP_LEVELS[level]
+        left = self._binary(level + 1)
+        while self._peek().kind == OP and self._peek().text in ops:
+            op = self._next()
+            right = self._binary(level + 1)
+            self._no_nested_calls(left)
+            self._no_nested_calls(right)
+            left = A.Binary(op=op.text, left=left, right=right, line=op.line)
+        return left
+
+    def _unary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind == OP and tok.text in ("!", "-"):
+            self._next()
+            operand = self._unary()
+            self._no_nested_calls(operand)
+            if tok.text == "-" and isinstance(operand, A.IntLit):
+                return A.IntLit(value=-operand.value, line=tok.line)
+            return A.Unary(op=tok.text, operand=operand, line=tok.line)
+        if tok.kind == OP and tok.text == "*":
+            self._next()
+            base = self._unary()
+            self._no_nested_calls(base)
+            return A.Deref(base=base, index=A.IntLit(value=0, line=tok.line), line=tok.line)
+        if tok.kind == OP and tok.text == "&":
+            self._next()
+            name = self._expect(IDENT)
+            return A.AddrOf(ident=name.text, line=tok.line)
+        return self._postfix()
+
+    def _postfix(self) -> A.Expr:
+        expr = self._primary()
+        while True:
+            tok = self._peek()
+            if tok.kind == PUNCT and tok.text == "[":
+                self._next()
+                index = self._expr()
+                self._no_nested_calls(index)
+                self._expect(PUNCT, "]")
+                self._no_nested_calls(expr)
+                expr = A.Deref(base=expr, index=index, line=tok.line)
+            elif tok.kind == PUNCT and tok.text == "(":
+                self._next()
+                args: list[A.Expr] = []
+                if not self._check(PUNCT, ")"):
+                    args.append(self._expr())
+                    while self._accept(PUNCT, ","):
+                        args.append(self._expr())
+                self._expect(PUNCT, ")")
+                expr = _CallExpr(callee=expr, args=tuple(args), line=tok.line)
+            else:
+                return expr
+
+    def _primary(self) -> A.Expr:
+        tok = self._peek()
+        if tok.kind == INT:
+            self._next()
+            return A.IntLit(value=int(tok.text), line=tok.line)
+        if tok.kind == KEYWORD and tok.text in ("true", "false"):
+            self._next()
+            return A.IntLit(value=1 if tok.text == "true" else 0, line=tok.line)
+        if tok.kind == IDENT:
+            self._next()
+            return A.Name(ident=tok.text, line=tok.line)
+        if tok.kind == PUNCT and tok.text == "(":
+            self._next()
+            expr = self._expr()
+            self._expect(PUNCT, ")")
+            return expr
+        raise ParseError(f"expected expression, found {tok.text or tok.kind!r}", tok.line, tok.col)
+
+    def _no_nested_calls(self, expr: A.Expr | None) -> None:
+        if isinstance(expr, _CallExpr):
+            raise ParseError(
+                "calls are statements, not expressions "
+                "(write 'tmp = f(...); use tmp' instead)",
+                expr.line,
+                None,
+            )
+
+
+def parse(source: str) -> A.ProgramAST:
+    """Parse *source* into a :class:`~repro.lang.ast_nodes.ProgramAST`."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,147 @@
+"""Pretty-printer for the cobegin language AST.
+
+``parse(pretty(ast))`` reproduces an equivalent AST (up to source
+positions); the round-trip property is exercised by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as A
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+
+
+def pretty_expr(expr: A.Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, A.IntLit):
+        return str(expr.value)
+    if isinstance(expr, A.Name):
+        return expr.ident
+    if isinstance(expr, A.AddrOf):
+        return f"&{expr.ident}"
+    if isinstance(expr, A.Deref):
+        if isinstance(expr.index, A.IntLit) and expr.index.value == 0:
+            inner = pretty_expr(expr.base, 7)
+            return f"*{inner}"
+        return f"{pretty_expr(expr.base, 7)}[{pretty_expr(expr.index)}]"
+    if isinstance(expr, A.Unary):
+        return f"{expr.op}{pretty_expr(expr.operand, 7)}"
+    if isinstance(expr, A.Binary):
+        prec = _PRECEDENCE[expr.op]
+        # left-associative: right child needs parens at equal precedence
+        text = (
+            f"{pretty_expr(expr.left, prec)} {expr.op} "
+            f"{pretty_expr(expr.right, prec + 1)}"
+        )
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def pretty_lvalue(lv: A.LValue) -> str:
+    if isinstance(lv, A.NameLV):
+        return lv.ident
+    if isinstance(lv, A.DerefLV):
+        if isinstance(lv.index, A.IntLit) and lv.index.value == 0:
+            return f"*{pretty_expr(lv.base, 7)}"
+        return f"{pretty_expr(lv.base, 7)}[{pretty_expr(lv.index)}]"
+    raise TypeError(f"unknown lvalue node: {lv!r}")
+
+
+def _label_prefix(stmt: A.Stmt) -> str:
+    return f"{stmt.label}: " if stmt.label else ""
+
+
+def pretty_stmt(stmt: A.Stmt, indent: int = 0) -> list[str]:
+    """Render a statement as a list of indented source lines."""
+    pad = "    " * indent
+    lbl = _label_prefix(stmt)
+    if isinstance(stmt, A.VarDecl):
+        if stmt.init is not None:
+            return [f"{pad}{lbl}var {stmt.ident} = {pretty_expr(stmt.init)};"]
+        return [f"{pad}{lbl}var {stmt.ident};"]
+    if isinstance(stmt, A.Assign):
+        return [f"{pad}{lbl}{pretty_lvalue(stmt.target)} = {pretty_expr(stmt.expr)};"]
+    if isinstance(stmt, A.Malloc):
+        return [
+            f"{pad}{lbl}{pretty_lvalue(stmt.target)} = malloc({pretty_expr(stmt.size)});"
+        ]
+    if isinstance(stmt, A.CallStmt):
+        args = ", ".join(pretty_expr(a) for a in stmt.args)
+        call = f"{pretty_expr(stmt.callee, 7)}({args})"
+        if stmt.target is not None:
+            return [f"{pad}{lbl}{pretty_lvalue(stmt.target)} = {call};"]
+        return [f"{pad}{lbl}{call};"]
+    if isinstance(stmt, A.Return):
+        if stmt.expr is not None:
+            return [f"{pad}{lbl}return {pretty_expr(stmt.expr)};"]
+        return [f"{pad}{lbl}return;"]
+    if isinstance(stmt, A.If):
+        lines = [f"{pad}{lbl}if ({pretty_expr(stmt.cond)}) {{"]
+        for s in stmt.then_body:
+            lines.extend(pretty_stmt(s, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            for s in stmt.else_body:
+                lines.extend(pretty_stmt(s, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.While):
+        lines = [f"{pad}{lbl}while ({pretty_expr(stmt.cond)}) {{"]
+        for s in stmt.body:
+            lines.extend(pretty_stmt(s, indent + 1))
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.Cobegin):
+        lines = [f"{pad}{lbl}cobegin"]
+        for branch in stmt.branches:
+            lines.append(f"{pad}{{")
+            for s in branch:
+                lines.extend(pretty_stmt(s, indent + 1))
+            lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, A.Assume):
+        return [f"{pad}{lbl}assume({pretty_expr(stmt.cond)});"]
+    if isinstance(stmt, A.Assert):
+        return [f"{pad}{lbl}assert({pretty_expr(stmt.cond)});"]
+    if isinstance(stmt, A.Acquire):
+        return [f"{pad}{lbl}acquire({stmt.ident});"]
+    if isinstance(stmt, A.Release):
+        return [f"{pad}{lbl}release({stmt.ident});"]
+    if isinstance(stmt, A.Skip):
+        return [f"{pad}{lbl}skip;"]
+    raise TypeError(f"unknown statement node: {stmt!r}")
+
+
+def pretty_program(prog: A.ProgramAST) -> str:
+    """Render a whole program as source text."""
+    lines: list[str] = []
+    for g in prog.globals:
+        if g.init is not None:
+            lines.append(f"var {g.ident} = {pretty_expr(g.init)};")
+        else:
+            lines.append(f"var {g.ident};")
+    for f in prog.funcs:
+        if lines:
+            lines.append("")
+        params = ", ".join(f.params)
+        lines.append(f"func {f.name}({params}) {{")
+        for s in f.body:
+            lines.extend(pretty_stmt(s, 1))
+        lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,102 @@
+"""The compiled program container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.lang.instructions import (
+    FuncCode,
+    IAlloc,
+    ICobegin,
+    Instr,
+    LabelInfo,
+)
+
+
+@dataclass(frozen=True, eq=False)
+class Program:
+    """A fully compiled program, ready for interpretation/exploration.
+
+    Attributes
+    ----------
+    funcs:
+        Compiled function bodies by name.
+    global_names:
+        Globals-area layout; ``global_names[i]`` lives at offset ``i``.
+    global_init:
+        Initial values of the globals area (constant-folded).
+    labels:
+        Source metadata per statement label (program-wide unique).
+    entry:
+        The start function (``main``).
+    """
+
+    funcs: dict[str, FuncCode]
+    global_names: tuple[str, ...]
+    global_init: tuple[int, ...]
+    labels: dict[str, LabelInfo]
+    entry: str = "main"
+    source: str | None = field(default=None, compare=False)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def instr_at(self, func: str, pc: int) -> Instr:
+        return self.funcs[func].instrs[pc]
+
+    def global_index(self, name: str) -> int:
+        return self.global_names.index(name)
+
+    @cached_property
+    def sites(self) -> tuple[str, ...]:
+        """All allocation sites (labels of ``malloc`` statements)."""
+        out = []
+        for fname in sorted(self.funcs):
+            for ins in self.funcs[fname].instrs:
+                if isinstance(ins, IAlloc):
+                    out.append(ins.site)
+        return tuple(out)
+
+    @cached_property
+    def label_of_pc(self) -> dict[tuple[str, int], str]:
+        """Map (func, pc) -> statement label for labeled instructions."""
+        return {(info.func, info.pc): lbl for lbl, info in self.labels.items()}
+
+    @cached_property
+    def max_cobegin_width(self) -> int:
+        width = 0
+        for fc in self.funcs.values():
+            for ins in fc.instrs:
+                if isinstance(ins, ICobegin):
+                    width = max(width, len(ins.branch_targets))
+        return width
+
+    def num_instrs(self) -> int:
+        return sum(len(fc.instrs) for fc in self.funcs.values())
+
+    def disassemble(self) -> str:
+        """Human-readable listing of the compiled program (debug aid)."""
+        lines: list[str] = []
+        lines.append("globals: " + ", ".join(
+            f"{n}={v}" for n, v in zip(self.global_names, self.global_init)
+        ))
+        for fname in self.funcs:
+            fc = self.funcs[fname]
+            lines.append(f"func {fname} (params={fc.num_params}, locals={fc.num_locals}):")
+            for pc, ins in enumerate(fc.instrs):
+                lbl = f" [{ins.label}]" if ins.label else ""
+                lines.append(f"  {pc:4d}: {type(ins).__name__}{lbl} {_operands(ins)}")
+        return "\n".join(lines)
+
+
+def _operands(ins: Instr) -> str:
+    import dataclasses
+
+    parts = []
+    for f in dataclasses.fields(ins):
+        if f.name in ("label", "line"):
+            continue
+        parts.append(f"{f.name}={getattr(ins, f.name)!r}")
+    return " ".join(parts)

@@ -1,0 +1,118 @@
+"""Name resolution for the compiler.
+
+Implements the scoping rules of DESIGN.md S1/S2:
+
+- globals are declared at top level and visible everywhere;
+- locals are lexically scoped within a function, with shadowing;
+- **cobegin branches may not reference enclosing locals** — locals are
+  process-private registers, so cross-process data flows exclusively
+  through globals and the heap (which is what the paper's examples do).
+  The resolver rejects a reference that would cross a thread boundary
+  to reach a local, with a targeted diagnostic;
+- a bare function name denotes a first-class function value when no
+  variable shadows it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ResolveError
+
+
+@dataclass(frozen=True)
+class GlobalBinding:
+    index: int
+    name: str
+
+
+@dataclass(frozen=True)
+class LocalBinding:
+    slot: int
+    name: str
+
+
+@dataclass(frozen=True)
+class FuncBinding:
+    name: str
+    num_params: int
+
+
+class Scopes:
+    """Scope stack for one function body.
+
+    Scopes are pushed for blocks; a scope pushed with
+    ``is_thread_boundary=True`` marks the start of a cobegin branch.
+    Lookups that would cross such a boundary into an outer *local*
+    binding raise :class:`ResolveError`.
+    """
+
+    def __init__(
+        self,
+        global_indices: dict[str, int],
+        func_arities: dict[str, int],
+        func_name: str,
+    ):
+        self._globals = global_indices
+        self._funcs = func_arities
+        self._func_name = func_name
+        # each entry: (bindings dict, is_thread_boundary)
+        self._stack: list[tuple[dict[str, int], bool]] = [({}, False)]
+        self._next_slot = 0
+        self.local_names: list[str] = []
+
+    # -- scope structure ------------------------------------------------
+
+    def push(self, *, thread_boundary: bool = False) -> None:
+        self._stack.append(({}, thread_boundary))
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    @property
+    def in_branch(self) -> bool:
+        return any(boundary for _, boundary in self._stack)
+
+    # -- declaration ----------------------------------------------------
+
+    def declare_local(self, name: str, line: int) -> LocalBinding:
+        scope, _ = self._stack[-1]
+        if name in scope:
+            raise ResolveError(f"duplicate declaration of {name!r} in the same scope", line)
+        slot = self._next_slot
+        self._next_slot += 1
+        scope[name] = slot
+        self.local_names.append(name)
+        return LocalBinding(slot=slot, name=name)
+
+    @property
+    def num_locals(self) -> int:
+        return self._next_slot
+
+    # -- lookup ---------------------------------------------------------
+
+    def lookup(self, name: str, line: int) -> GlobalBinding | LocalBinding | FuncBinding:
+        crossed_boundary = False
+        for bindings, boundary in reversed(self._stack):
+            if name in bindings:
+                if crossed_boundary:
+                    raise ResolveError(
+                        f"{name!r} is a local of the enclosing scope and may not be "
+                        f"referenced inside a cobegin branch (locals are process-"
+                        f"private; use a global or the heap to share data)",
+                        line,
+                    )
+                return LocalBinding(slot=bindings[name], name=name)
+            if boundary:
+                crossed_boundary = True
+        if name in self._globals:
+            return GlobalBinding(index=self._globals[name], name=name)
+        if name in self._funcs:
+            return FuncBinding(name=name, num_params=self._funcs[name])
+        raise ResolveError(f"undeclared name {name!r} (in function {self._func_name!r})", line)
+
+    def lookup_global(self, name: str, line: int, *, what: str) -> GlobalBinding:
+        binding = self.lookup(name, line)
+        if not isinstance(binding, GlobalBinding):
+            raise ResolveError(f"{what} requires a global variable, but {name!r} is not one", line)
+        return binding

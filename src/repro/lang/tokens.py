@@ -1,0 +1,70 @@
+"""Token definitions for the cobegin language lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# Token kinds
+INT = "INT"
+IDENT = "IDENT"
+KEYWORD = "KEYWORD"
+OP = "OP"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+KEYWORDS = frozenset(
+    {
+        "var",
+        "shared",
+        "func",
+        "if",
+        "else",
+        "while",
+        "cobegin",
+        "coend",
+        "return",
+        "malloc",
+        "assume",
+        "assert",
+        "acquire",
+        "release",
+        "skip",
+        "true",
+        "false",
+    }
+)
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = (
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "&&",
+    "||",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "!",
+    "&",
+    "=",
+)
+
+PUNCTUATION = ("(", ")", "{", "}", "[", "]", ";", ",", ":")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token with its source position."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # compact in error messages
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"

@@ -1,0 +1,6 @@
+"""Program corpus: the paper's examples plus benchmark workloads."""
+
+from repro.programs import paper, philosophers, synthetic
+from repro.programs.corpus import CORPUS, corpus_programs
+
+__all__ = ["paper", "philosophers", "synthetic", "CORPUS", "corpus_programs"]

@@ -1,0 +1,146 @@
+"""Classic shared-variable synchronization algorithms.
+
+The paper's introduction motivates the whole framework with exactly
+these: models that prohibit interaction through shared variables
+"can not program some important classes of algorithms, such as mutual
+exclusion or shared variable synchronization".  This module provides
+them as analyzable programs — the framework must *verify* them
+(exploration proves the mutual-exclusion assertion can never fail)
+rather than reject them.
+
+``assume`` models busy-waiting at the semantic level (a blocked guard);
+the spelled-out spin-loop variants exist for the constprop/LICM
+experiments.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Program, parse_program
+
+
+def peterson() -> Program:
+    """Peterson's two-process mutual exclusion.
+
+    Each process raises its flag, yields the turn, and waits until the
+    peer is out or the turn came back.  ``incrit`` counts processes in
+    the critical section; the assertion is the mutual-exclusion
+    invariant — exploration must find **no** fault.
+    """
+    return parse_program(
+        """
+        var flag0 = 0; var flag1 = 0; var turn = 0;
+        var incrit = 0; var done0 = 0; var done1 = 0;
+        func main() {
+            cobegin
+            {
+                p0f: flag0 = 1;
+                p0t: turn = 1;
+                p0w: assume(flag1 == 0 || turn == 0);
+                p0e: incrit = incrit + 1;
+                p0a: assert(incrit == 1);
+                p0x: incrit = incrit - 1;
+                p0r: flag0 = 0;
+                p0d: done0 = 1;
+            }
+            {
+                p1f: flag1 = 1;
+                p1t: turn = 0;
+                p1w: assume(flag0 == 0 || turn == 1);
+                p1e: incrit = incrit + 1;
+                p1a: assert(incrit == 1);
+                p1x: incrit = incrit - 1;
+                p1r: flag1 = 0;
+                p1d: done1 = 1;
+            }
+        }
+        """
+    )
+
+
+def peterson_broken() -> Program:
+    """Peterson with the turn assignment dropped — the classic bug: both
+    processes can enter together.  Exploration must find the assertion
+    violation (a fault configuration)."""
+    return parse_program(
+        """
+        var flag0 = 0; var flag1 = 0;
+        var incrit = 0;
+        func main() {
+            cobegin
+            {
+                q0f: flag0 = 1;
+                q0w: assume(flag1 == 0 || flag0 == 1);
+                q0e: incrit = incrit + 1;
+                q0a: assert(incrit == 1);
+                q0x: incrit = incrit - 1;
+                q0r: flag0 = 0;
+            }
+            {
+                q1f: flag1 = 1;
+                q1w: assume(flag0 == 0 || flag1 == 1);
+                q1e: incrit = incrit + 1;
+                q1a: assert(incrit == 1);
+                q1x: incrit = incrit - 1;
+                q1r: flag1 = 0;
+            }
+        }
+        """
+    )
+
+
+def producer_consumer(items: int = 2) -> Program:
+    """One-slot bounded buffer: the producer waits for the slot to be
+    empty, the consumer for it to be full.  Exactly one outcome: the
+    consumer accumulates 1 + 2 + ... + items."""
+    if items < 1:
+        raise ValueError("need at least one item")
+    lines = [
+        "var buf = 0; var full = 0; var out = 0;",
+        "func main() {",
+        "    cobegin",
+    ]
+    prod = ["var i = 1;", f"while (i <= {items}) {{"]
+    prod.append("pw: assume(full == 0);")
+    prod.append("pb: buf = i;")
+    prod.append("pf: full = 1;")
+    prod.append("i = i + 1;")
+    prod.append("}")
+    lines.append("    { " + " ".join(prod) + " }")
+    cons = ["var j = 1;", f"while (j <= {items}) {{"]
+    cons.append("cw: assume(full == 1);")
+    cons.append("cb: out = out + buf;")
+    cons.append("cf: full = 0;")
+    cons.append("j = j + 1;")
+    cons.append("}")
+    lines.append("    { " + " ".join(cons) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def barrier(threads: int = 2) -> Program:
+    """A counting barrier: every thread increments the arrival count
+    under a lock, waits for all to arrive, then does its post-barrier
+    work.  Nobody's post-work may precede anyone's pre-work."""
+    if threads < 2:
+        raise ValueError("need at least two threads")
+    lines = [
+        "var lock = 0; var arrived = 0;",
+    ]
+    for t in range(threads):
+        lines.append(f"var pre{t} = 0; var post{t} = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(threads):
+        body = [
+            f"b{t}p: pre{t} = 1;",
+            f"b{t}l: acquire(lock);",
+            f"b{t}c: arrived = arrived + 1;",
+            f"b{t}u: release(lock);",
+            f"b{t}w: assume(arrived == {threads});",
+        ]
+        for o in range(threads):
+            body.append(f"b{t}a{o}: assert(pre{o} == 1);")
+        body.append(f"b{t}q: post{t} = 1;")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))

@@ -1,0 +1,57 @@
+"""A named corpus of small programs used across tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang import Program
+from repro.programs import paper
+from repro.programs.classic import (
+    barrier,
+    peterson,
+    peterson_broken,
+    producer_consumer,
+)
+from repro.programs.philosophers import philosophers, philosophers_ordered
+from repro.programs.synthetic import (
+    chain_of_updates,
+    identical_tasks,
+    local_heavy,
+    sharing_sweep,
+)
+
+#: name -> zero-argument constructor.  Every entry terminates quickly
+#: under full exploration (bounded state spaces).
+CORPUS: dict[str, Callable[[], Program]] = {
+    "fig2_shasha_snir": paper.fig2_shasha_snir,
+    "fig2_reordered": paper.fig2_reordered,
+    "intro_busywait": paper.intro_busywait,
+    "intro_busywait_loop": paper.intro_busywait_loop,
+    "fig3_folding": paper.fig3_folding,
+    "fig5_locality": paper.fig5_locality,
+    "example8_pointers": paper.example8_pointers,
+    "example8_sequential": paper.example8_sequential,
+    "example15_calls": paper.example15_calls,
+    "lifetime_extents": paper.lifetime_extents,
+    "mutex_counter": paper.mutex_counter,
+    "racy_counter": paper.racy_counter,
+    "deadlock_pair": paper.deadlock_pair,
+    "nested_cobegin": paper.nested_cobegin,
+    "firstclass_functions": paper.firstclass_functions,
+    "peterson": peterson,
+    "peterson_broken": peterson_broken,
+    "producer_consumer_2": lambda: producer_consumer(2),
+    "barrier_2": lambda: barrier(2),
+    "philosophers_3": lambda: philosophers(3),
+    "philosophers_ordered_3": lambda: philosophers_ordered(3),
+    "identical_tasks_3": lambda: identical_tasks(3),
+    "chain_3": lambda: chain_of_updates(3),
+    "local_heavy_2x4": lambda: local_heavy(2, 4),
+    "sharing_sparse": lambda: sharing_sweep(2, 6, 3),
+    "sharing_dense": lambda: sharing_sweep(2, 4, 1, distinct_shared=False),
+}
+
+
+def corpus_programs() -> list[tuple[str, Program]]:
+    """Compile the whole corpus (deterministic order)."""
+    return [(name, make()) for name, make in CORPUS.items()]

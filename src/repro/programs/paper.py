@@ -1,0 +1,340 @@
+"""The worked examples of the paper, as library programs.
+
+Each function returns a compiled :class:`~repro.lang.program.Program`.
+Statement labels follow the paper's (``s1`` .. ``s4`` etc.) so analysis
+output can be compared against the text directly.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Program, parse_program
+
+# --------------------------------------------------------------------------
+# Example 1 / Figure 2 — the Shasha–Snir segments [SS88]
+# --------------------------------------------------------------------------
+
+
+def fig2_shasha_snir() -> Program:
+    """Two concurrent straight-line segments sharing A and B.
+
+    Under sequential consistency exactly three of the four value pairs
+    for (x, y) are reachable; the fourth appears only if a compiler
+    reorders the independent-looking statements of a segment (the
+    paper's motivating example).
+    """
+    return parse_program(
+        """
+        var A = 0; var B = 0; var x = 0; var y = 0;
+        func main() {
+            cobegin
+            { s1: A = 1; s2: y = B; }
+            { s3: B = 1; s4: x = A; }
+        }
+        """
+    )
+
+
+def fig2_reordered() -> Program:
+    """The same segments after an (unsafe) sequential-compiler swap of
+    segment 1's independent-looking statements — used to show the extra,
+    SC-illegal outcome."""
+    return parse_program(
+        """
+        var A = 0; var B = 0; var x = 0; var y = 0;
+        func main() {
+            cobegin
+            { s2: y = B; s1: A = 1; }
+            { s3: B = 1; s4: x = A; }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# Intro — the busy-wait that naive constant propagation breaks
+# --------------------------------------------------------------------------
+
+
+def intro_busywait() -> Program:
+    """A thread spin-waits on a shared flag set by its sibling.
+
+    A *sequential* constant propagator concludes ``s`` is the constant 0
+    inside the loop and hoists the load — the intended busy-waiting never
+    succeeds (the paper's introduction, the ``load r0,s`` example).  The
+    interference-aware analysis must keep ``s`` non-constant at the loop
+    head, and must see that ``r`` always ends up 42.
+    """
+    return parse_program(
+        """
+        var s = 0; var x = 0; var r = 0;
+        func main() {
+            cobegin
+            { w1: x = 42; w2: s = 1; }
+            { l1: assume(s != 0); r1: r = x; }
+        }
+        """
+    )
+
+
+def intro_busywait_loop() -> Program:
+    """Busy-wait spelled as an actual loop (same shape, bigger space)."""
+    return parse_program(
+        """
+        var s = 0; var x = 0; var r = 0;
+        func main() {
+            cobegin
+            { w1: x = 42; w2: s = 1; }
+            { l1: while (s == 0) { l2: skip; } r1: r = x; }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 3 — configurations that differ only in data (folding target)
+# --------------------------------------------------------------------------
+
+
+def fig3_folding() -> Program:
+    """One branch's control depends on a racy read: the concrete graph
+    grows distinct configurations ("dangling links") that the Taylor
+    concurrency-state abstraction folds into one (§6.1)."""
+    return parse_program(
+        """
+        var a = 0; var b = 0;
+        func main() {
+            cobegin
+            { c1: if (b == 0) { a1: a = 1; } else { a2: a = 2; } }
+            { b1: b = 1; }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# Figure 5 — locality: mostly-local threads, one shared accumulator
+# --------------------------------------------------------------------------
+
+
+def fig5_locality() -> Program:
+    """Two threads doing local arithmetic with a single shared update
+    each.  Stubborn sets + virtual coarsening shrink the configuration
+    space to a handful of configurations (the paper's Figure 5(b) shows
+    13) while producing exactly the same result configurations."""
+    return parse_program(
+        """
+        var s = 0;
+        func main() {
+            cobegin
+            {
+                var t1 = 0;
+                p1: t1 = t1 + 1;
+                p2: t1 = t1 * 2;
+                p3: t1 = t1 + 3;
+                p4: s = s + t1;
+            }
+            {
+                var t2 = 0;
+                q1: t2 = t2 + 5;
+                q2: t2 = t2 * 2;
+                q3: t2 = t2 + 1;
+                q4: s = s + t2;
+            }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# Example 8 / §7 figure — pointers and heap objects b1, b2
+# --------------------------------------------------------------------------
+
+
+def example8_pointers() -> Program:
+    """The malloc/pointer program of Example 8 (§7's two-thread layout).
+
+    Thread 1 allocates object *b1* (site ``s1``) and writes through
+    ``y``; thread 2 allocates *b2* (site ``s3``) and copies ``*y`` into
+    ``*x``.  b1 is accessed by both threads (it must live at a shared
+    memory level); b2 only by thread 2 (it can be thread-local) — the
+    paper's §5.3/§7 memory-placement conclusion.  The ``assume`` keeps
+    thread 2 from dereferencing ``y`` before it points anywhere.
+    """
+    return parse_program(
+        """
+        var x = 0; var y = 0;
+        func main() {
+            cobegin
+            { s1: y = malloc(1); s2: *y = 10; }
+            { s3: x = malloc(1); w1: assume(y != 0); s4: *x = *y; }
+        }
+        """
+    )
+
+
+def example8_sequential() -> Program:
+    """Example 8's four statements run sequentially (the paper's
+    original listing) — used by the dependence unit tests."""
+    return parse_program(
+        """
+        var x = 0; var y = 0;
+        func main() {
+            s1: y = malloc(1);
+            s2: *y = 10;
+            s3: x = malloc(1);
+            s4: *x = *y;
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# Example 15 / Figure 8 — further parallelization of procedure calls
+# --------------------------------------------------------------------------
+
+
+def example15_calls() -> Program:
+    """Figure 8: the Shasha–Snir segments with assignments replaced by
+    function calls.  The analysis must find the dependence pairs
+    (s1, s4) and (s2, s3) — and nothing else — enabling the further
+    parallelization discussed in Example 15."""
+    return parse_program(
+        """
+        var g1 = 0; var g2 = 0; var g3 = 0; var g4 = 0;
+        func f1() { u1: g1 = g1 + 1; }
+        func f2() { u2: g2 = 2; }
+        func f3() { u3: g4 = g2 + 1; }
+        func f4() { u4: g1 = g1 * 2; }
+        func main() {
+            cobegin
+            { s1: f1(); s2: f2(); }
+            { s3: f3(); s4: f4(); }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# §7 — memory management / deallocation lists
+# --------------------------------------------------------------------------
+
+
+def lifetime_extents() -> Program:
+    """Objects with different extents: one dies inside its creating
+    function, one escapes to the caller, one escapes to a sibling
+    thread.  Exercises §5.3 lifetimes and the §7 deallocation-list and
+    placement applications."""
+    return parse_program(
+        """
+        var shared_cell = 0; var out = 0;
+        func local_use() {
+            var p = 0;
+            m1: p = malloc(1);
+            t1: *p = 7;
+            t2: out = *p;
+        }
+        func escaper() {
+            var q = 0;
+            m2: q = malloc(1);
+            t3: *q = 1;
+            r1: return q;
+        }
+        func main() {
+            var h = 0;
+            c1: local_use();
+            c2: h = escaper();
+            t4: out = out + *h;
+            cobegin
+            { m3: shared_cell = malloc(1); t5: *shared_cell = 3; }
+            { w1: assume(shared_cell != 0); t6: out = out + *shared_cell; }
+        }
+        """
+    )
+
+
+# --------------------------------------------------------------------------
+# locks / synchronization shapes used across tests and benches
+# --------------------------------------------------------------------------
+
+
+def mutex_counter() -> Program:
+    """Two threads incrementing a shared counter under a lock: exactly
+    one result configuration (count == 2), no races on the counter."""
+    return parse_program(
+        """
+        var lock = 0; var count = 0;
+        func main() {
+            cobegin
+            { a1: acquire(lock); a2: count = count + 1; a3: release(lock); }
+            { b1: acquire(lock); b2: count = count + 1; b3: release(lock); }
+        }
+        """
+    )
+
+
+def racy_counter() -> Program:
+    """The same counter without the lock: the classic lost-update race,
+    count ends as 1 or 2."""
+    return parse_program(
+        """
+        var count = 0;
+        func main() {
+            cobegin
+            { var t1 = 0; a1: t1 = count; a2: count = t1 + 1; }
+            { var t2 = 0; b1: t2 = count; b2: count = t2 + 1; }
+        }
+        """
+    )
+
+
+def deadlock_pair() -> Program:
+    """Two locks taken in opposite orders: some interleavings deadlock —
+    result configurations include genuine deadlocks, which every
+    reduction must preserve."""
+    return parse_program(
+        """
+        var la = 0; var lb = 0; var done = 0;
+        func main() {
+            cobegin
+            { a1: acquire(la); a2: acquire(lb); a3: release(lb); a4: release(la); }
+            { b1: acquire(lb); b2: acquire(la); b3: release(la); b4: release(lb); }
+            done = 1;
+        }
+        """
+    )
+
+
+def nested_cobegin() -> Program:
+    """Nested parallelism: a branch spawns its own cobegin (§4 allows
+    arbitrary nesting)."""
+    return parse_program(
+        """
+        var total = 0;
+        func main() {
+            cobegin
+            {
+                cobegin
+                { i1: total = total + 1; }
+                { i2: total = total + 10; }
+            }
+            { o1: total = total + 100; }
+        }
+        """
+    )
+
+
+def firstclass_functions() -> Program:
+    """First-class function values: the callee is chosen through a
+    variable at run time (§4's feature list)."""
+    return parse_program(
+        """
+        var r = 0; var which = 0;
+        func inc(v) { return v + 1; }
+        func dbl(v) { return v * 2; }
+        func main() {
+            var f = 0;
+            if (which == 0) { f = inc; } else { f = dbl; }
+            r = f(10);
+        }
+        """
+    )

@@ -1,0 +1,81 @@
+"""Dining philosophers — the paper's state-space scaling workload.
+
+§2.2 (citing [Val88]): "the state space for n dining philosophers is
+reduced from exponential to quadratic in n" by stubborn sets.  Each fork
+is a global lock; philosopher *i* acquires fork *i* then fork
+*(i+1) mod n*, eats (a thread-local step, as in the classic net), and
+releases both.  The circular-wait deadlock is reachable — and must
+remain reachable under every reduction.
+
+``shared_tally=True`` adds a global meal counter touched by every
+philosopher; it densifies the conflict graph and largely defeats the
+reduction — the benchmark's ablation knob for the paper's "power of the
+method depends on sharing sparsity" remark.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Program, parse_program
+
+
+def philosophers_source(
+    n: int, *, meals: int = 1, shared_tally: bool = False
+) -> str:
+    """Source text for *n* dining philosophers (``meals`` rounds each)."""
+    if n < 2:
+        raise ValueError("need at least 2 philosophers")
+    lines = []
+    for i in range(n):
+        lines.append(f"var fork{i} = 0;")
+    if shared_tally:
+        lines.append("var eaten = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for i in range(n):
+        left = i
+        right = (i + 1) % n
+        body = [f"var meals{i} = 0;"]
+        for m in range(meals):
+            body.append(f"p{i}a{m}: acquire(fork{left});")
+            body.append(f"p{i}b{m}: acquire(fork{right});")
+            if shared_tally:
+                body.append(f"p{i}e{m}: eaten = eaten + 1;")
+            else:
+                body.append(f"p{i}e{m}: meals{i} = meals{i} + 1;")
+            body.append(f"p{i}r{m}: release(fork{right});")
+            body.append(f"p{i}s{m}: release(fork{left});")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def philosophers(n: int, *, meals: int = 1, shared_tally: bool = False) -> Program:
+    """Compile the *n*-philosophers program."""
+    return parse_program(philosophers_source(n, meals=meals, shared_tally=shared_tally))
+
+
+def philosophers_ordered(n: int, *, meals: int = 1) -> Program:
+    """Deadlock-free variant: the last philosopher picks forks in the
+    opposite order (the classic resource-ordering fix).  Useful for
+    checking that reductions preserve the *absence* of deadlock too."""
+    if n < 2:
+        raise ValueError("need at least 2 philosophers")
+    lines = []
+    for i in range(n):
+        lines.append(f"var fork{i} = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for i in range(n):
+        left, right = i, (i + 1) % n
+        if i == n - 1:
+            left, right = right, left
+        body = [f"var meals{i} = 0;"]
+        for m in range(meals):
+            body.append(f"p{i}a{m}: acquire(fork{left});")
+            body.append(f"p{i}b{m}: acquire(fork{right});")
+            body.append(f"p{i}e{m}: meals{i} = meals{i} + 1;")
+            body.append(f"p{i}r{m}: release(fork{right});")
+            body.append(f"p{i}s{m}: release(fork{left});")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))

@@ -1,0 +1,123 @@
+"""Parameterized synthetic workloads for the benchmark sweeps.
+
+The paper's §2.2 "power of the method" claim: the cost of state-space
+generation drops when shared accesses are rare and the shared variable
+set is small.  These generators sweep exactly those knobs.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Program, parse_program
+
+
+def sharing_sweep(
+    threads: int, steps: int, shared_every: int, *, distinct_shared: bool = True
+) -> Program:
+    """*threads* threads, each doing *steps* statements; every
+    ``shared_every``-th statement touches a shared variable, the rest are
+    thread-local arithmetic.
+
+    With ``distinct_shared`` each thread gets its own shared counter
+    that one neighbour also reads (a sparse conflict graph); otherwise
+    all threads hammer one cell (a dense one).
+    """
+    if threads < 1 or steps < 1 or shared_every < 1:
+        raise ValueError("threads, steps, shared_every must be positive")
+    lines = []
+    nshared = threads if distinct_shared else 1
+    for i in range(nshared):
+        lines.append(f"var sh{i} = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(threads):
+        body = [f"var t{t} = 0;"]
+        for s in range(steps):
+            if (s + 1) % shared_every == 0:
+                cell = f"sh{t % nshared}" if distinct_shared else "sh0"
+                neighbour = f"sh{(t + 1) % nshared}" if distinct_shared else "sh0"
+                if s % (2 * shared_every) == shared_every - 1:
+                    body.append(f"w{t}x{s}: {cell} = {cell} + 1;")
+                else:
+                    body.append(f"r{t}x{s}: t{t} = t{t} + {neighbour};")
+            else:
+                body.append(f"l{t}x{s}: t{t} = t{t} + 1;")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def identical_tasks(n: int, *, steps: int = 3) -> Program:
+    """*n* cobegin branches running the *same* code through the same
+    function — McDowell's clan scenario (§6.2): the analysis need not
+    distinguish the tasks, nor count how many sit at each point."""
+    if n < 1:
+        raise ValueError("need at least one task")
+    lines = ["var total = 0;"]
+    body = ["var acc = 0;"]
+    for s in range(steps):
+        body.append(f"acc = acc + {s + 1};")
+    body.append("total = total + acc;")
+    lines.append("func task() { " + " ".join(body) + " }")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for _ in range(n):
+        lines.append("    { task(); }")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def chain_of_updates(threads: int) -> Program:
+    """A pipeline: thread i waits for stage i then publishes stage i+1.
+    Fully ordered by synchronization — a best case for stubborn sets."""
+    if threads < 1:
+        raise ValueError("need at least one thread")
+    lines = ["var stage = 0;"]
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(threads):
+        body = [
+            f"c{t}w: assume(stage == {t});",
+            f"c{t}p: stage = {t + 1};",
+        ]
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def pointer_heavy(threads: int, steps: int) -> Program:
+    """Each thread allocates its own heap object and works through a
+    pointer; one shared publish at the end.  Points-to precision proves
+    the dereferences disjoint — the ablation target for
+    ``coarse_derefs`` (without points-to every deref conflicts with
+    every site and the reduction collapses)."""
+    if threads < 1 or steps < 1:
+        raise ValueError("threads and steps must be positive")
+    lines = ["var out = 0;"]
+    for t in range(threads):
+        lines.append(f"var p{t} = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(threads):
+        body = [f"m{t}: p{t} = malloc(1);"]
+        for s in range(steps):
+            body.append(f"w{t}x{s}: *p{t} = *p{t} + 1;")
+        body.append(f"pub{t}: out = out + *p{t};")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))
+
+
+def local_heavy(threads: int, local_steps: int) -> Program:
+    """Threads that are almost entirely local — the coarsening best
+    case: each thread should collapse to ~2 blocks."""
+    lines = ["var out = 0;"]
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(threads):
+        body = [f"var x{t} = 1;"]
+        for s in range(local_steps):
+            body.append(f"x{t} = x{t} + {s};")
+        body.append(f"out = out + x{t};")
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return parse_program("\n".join(lines))

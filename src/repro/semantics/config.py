@@ -1,0 +1,255 @@
+"""Configurations: the global states of the transition system.
+
+A *configuration* (the paper's term) packages every live process, the
+globals area, and the heap.  Configurations are immutable and hashable —
+the exploration engine relies on structural equality to merge states
+reached along different interleavings.
+
+Process identities are **canonical paths**: the root process is ``(0,)``
+and the *i*-th branch of a cobegin executed by process ``p`` is
+``p + (i,)``.  Identities are therefore independent of interleaving
+order, and two pids are *concurrent* exactly when neither is a prefix of
+the other (a parent is blocked at its join while children run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.lang.program import Program
+from repro.semantics import procstring as PS
+from repro.semantics.values import GLOBALS_OBJ, ObjId, Pointer, Value
+
+Pid = tuple[int, ...]
+
+ROOT_PID: Pid = (0,)
+
+# Process statuses
+RUNNING = "run"
+JOINING = "join"
+DONE = "done"
+
+# Location keys (the currency of read/write sets):
+#   ("g", index)          — a global variable
+#   ("h", oid, offset)    — a heap cell
+#   ("p", pid)            — process-completion pseudo-location
+Loc = tuple
+
+
+def glob_loc(index: int) -> Loc:
+    return ("g", index)
+
+
+def heap_loc(oid: ObjId, offset: int) -> Loc:
+    return ("h", oid, offset)
+
+
+def proc_loc(pid: Pid) -> Loc:
+    return ("p", pid)
+
+
+# Return destination of a call, resolved at call time:
+#   ("g", index) | ("l", slot) | ("h", oid, offset) | None
+RetLoc = Optional[tuple]
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One procedure activation of a process."""
+
+    func: str
+    pc: int
+    locals: tuple[Value, ...]
+    ret_loc: RetLoc = None
+
+
+@dataclass(frozen=True)
+class Process:
+    """A sequential thread of control.
+
+    ``status`` is one of :data:`RUNNING`, :data:`JOINING` (blocked at a
+    cobegin join), :data:`DONE`.  ``ps`` is the (normalized) procedure
+    string — empty when instrumentation is off.
+    """
+
+    pid: Pid
+    frames: tuple[Frame, ...]
+    status: str = RUNNING
+    join_pc: int = -1
+    children: tuple[Pid, ...] = ()
+    retval: Optional[Value] = None
+    ps: PS.ProcString = ()
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    @property
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def func_stack(self) -> tuple[str, ...]:
+        return tuple(f.func for f in self.frames)
+
+
+@dataclass(frozen=True)
+class HeapObj:
+    """A heap object: canonical identity, cells, and birth metadata."""
+
+    oid: ObjId
+    cells: tuple[Value, ...]
+    birth_pid: Pid = ()
+    birth_ps: PS.ProcString = ()
+
+
+@dataclass(frozen=True)
+class Config:
+    """A global state: processes (sorted by pid), globals area, heap
+    (sorted by oid), and an optional fault marker.
+
+    A configuration with ``fault`` set is terminal and represents an
+    execution that crashed (bad dereference, division by zero, failed
+    assertion); the fault string describes the crash.
+    """
+
+    procs: tuple[Process, ...]
+    globals: tuple[Value, ...]
+    heap: tuple[HeapObj, ...]
+    fault: Optional[str] = None
+    _hash: int = field(default=0, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_hash", hash((self.procs, self.globals, self.heap, self.fault))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    # ------------------------------------------------------------------
+    # process access
+    # ------------------------------------------------------------------
+
+    def proc(self, pid: Pid) -> Process:
+        for p in self.procs:
+            if p.pid == pid:
+                return p
+        raise KeyError(pid)
+
+    def live_procs(self) -> Iterator[Process]:
+        """Processes that may still take actions (running or joining)."""
+        for p in self.procs:
+            if p.status != DONE:
+                yield p
+
+    def replace_proc(self, proc: Process) -> tuple[Process, ...]:
+        return tuple(proc if p.pid == proc.pid else p for p in self.procs)
+
+    # ------------------------------------------------------------------
+    # heap access
+    # ------------------------------------------------------------------
+
+    def heap_obj(self, oid: ObjId) -> HeapObj | None:
+        for o in self.heap:
+            if o.oid == oid:
+                return o
+        return None
+
+    def fresh_oid(self, site: str) -> ObjId:
+        used = {o.oid[1] for o in self.heap if o.oid[0] == site}
+        k = 0
+        while k in used:
+            k += 1
+        return (site, k)
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+
+    @property
+    def is_terminal(self) -> bool:
+        """Terminated (root done) or faulted.  Deadlock is *not* covered
+        here — it needs enabledness, see the explorer."""
+        if self.fault is not None:
+            return True
+        return all(p.status == DONE for p in self.procs)
+
+    @property
+    def is_terminated(self) -> bool:
+        return self.fault is None and all(p.status == DONE for p in self.procs)
+
+    def result_store(self) -> tuple:
+        """The observable outcome: globals plus live heap contents.
+
+        This is the paper's *result configuration* payload — what
+        stubborn-set reduction must preserve.
+        """
+        return (
+            self.globals,
+            tuple((o.oid, o.cells) for o in self.heap),
+            self.fault,
+        )
+
+
+def initial_config(program: Program, *, track_procstrings: bool = False) -> Config:
+    """The start configuration: a root process entering ``main``."""
+    entry = program.funcs[program.entry]
+    frame = Frame(
+        func=program.entry,
+        pc=0,
+        locals=(0,) * entry.num_locals,
+        ret_loc=None,
+    )
+    ps: PS.ProcString = ()
+    if track_procstrings:
+        ps = PS.push((), PS.enter_proc(program.entry, "<entry>"))
+    root = Process(pid=ROOT_PID, frames=(frame,), status=RUNNING, ps=ps)
+    return Config(
+        procs=(root,),
+        globals=tuple(program.global_init),
+        heap=(),
+    )
+
+
+def collect_garbage(config: Config) -> Config:
+    """Drop heap objects unreachable from globals and process frames.
+
+    Improves state merging during exploration (configurations differing
+    only in dead objects become equal).  Analyses that must observe the
+    full allocation history run with GC off.
+    """
+    reachable: set[ObjId] = set()
+    work: list[Value] = list(config.globals)
+    for p in config.procs:
+        for f in p.frames:
+            work.extend(f.locals)
+            if f.ret_loc is not None and f.ret_loc[0] == "h":
+                reachable.add(f.ret_loc[1])
+    objs = {o.oid: o for o in config.heap}
+    while work:
+        v = work.pop()
+        if isinstance(v, Pointer) and v.obj != GLOBALS_OBJ and v.obj not in reachable:
+            if v.obj in objs:
+                reachable.add(v.obj)
+                work.extend(objs[v.obj].cells)
+    # ret_loc heap targets queued above need their cells traced too
+    changed = True
+    while changed:
+        changed = False
+        for oid in list(reachable):
+            for v in objs.get(oid, HeapObj(oid, ())).cells:
+                if (
+                    isinstance(v, Pointer)
+                    and v.obj != GLOBALS_OBJ
+                    and v.obj in objs
+                    and v.obj not in reachable
+                ):
+                    reachable.add(v.obj)
+                    changed = True
+    new_heap = tuple(o for o in config.heap if o.oid in reachable)
+    if len(new_heap) == len(config.heap):
+        return config
+    return Config(
+        procs=config.procs, globals=config.globals, heap=new_heap, fault=config.fault
+    )

@@ -1,0 +1,190 @@
+"""Expression evaluation for the concrete semantics.
+
+Evaluation happens *within one atomic action*: an entire statement's
+expression tree is read in a single transition (the paper's granularity;
+virtual coarsening later shows when this is harmless and the framework
+explores interleavings at statement level regardless).
+
+Every evaluation returns the value **and the list of shared locations it
+read** — the dynamic read sets that the stubborn-set algorithm
+(Algorithm 1) consumes.  Reads of process-private locals are not
+recorded: they can never participate in a conflict.
+"""
+
+from __future__ import annotations
+
+from repro.lang.instructions import (
+    LDeref,
+    LGlobal,
+    LLocal,
+    RAddrGlobal,
+    RBinary,
+    RConst,
+    RDeref,
+    RExpr,
+    RFunc,
+    RGlobal,
+    RLocal,
+    RLValue,
+    RUnary,
+)
+from repro.semantics.config import Config, Loc, glob_loc, heap_loc
+from repro.semantics.values import GLOBALS_OBJ, FuncRef, Pointer, Value, truthy
+from repro.util.errors import RuntimeFault
+
+
+def eval_expr(
+    expr: RExpr, config: Config, locals_: tuple[Value, ...], reads: list[Loc]
+) -> Value:
+    """Evaluate *expr*; append every shared location read to *reads*.
+
+    Raises :class:`RuntimeFault` on bad dereferences, division by zero,
+    or ill-typed operations (the subject program's bug, not ours).
+    """
+    if isinstance(expr, RConst):
+        return expr.value
+    if isinstance(expr, RLocal):
+        return locals_[expr.slot]
+    if isinstance(expr, RGlobal):
+        reads.append(glob_loc(expr.index))
+        return config.globals[expr.index]
+    if isinstance(expr, RAddrGlobal):
+        return Pointer(GLOBALS_OBJ, expr.index)
+    if isinstance(expr, RFunc):
+        return FuncRef(expr.name)
+    if isinstance(expr, RDeref):
+        base = eval_expr(expr.base, config, locals_, reads)
+        index = eval_expr(expr.index, config, locals_, reads)
+        loc = resolve_pointer(base, index, config)
+        reads.append(loc)
+        return read_loc(config, loc)
+    if isinstance(expr, RUnary):
+        v = eval_expr(expr.operand, config, locals_, reads)
+        if expr.op == "-":
+            _require_int(v, "unary -")
+            return -v
+        if expr.op == "!":
+            return 0 if truthy(v) else 1
+        raise RuntimeFault("bad-op", f"unknown unary {expr.op!r}")
+    if isinstance(expr, RBinary):
+        return _eval_binary(expr, config, locals_, reads)
+    raise RuntimeFault("bad-expr", f"unknown expression {type(expr).__name__}")
+
+
+def _eval_binary(
+    expr: RBinary, config: Config, locals_: tuple[Value, ...], reads: list[Loc]
+) -> Value:
+    op = expr.op
+    # Short-circuit logicals: the unevaluated arm contributes no reads.
+    if op == "&&":
+        lhs = eval_expr(expr.left, config, locals_, reads)
+        if not truthy(lhs):
+            return 0
+        return 1 if truthy(eval_expr(expr.right, config, locals_, reads)) else 0
+    if op == "||":
+        lhs = eval_expr(expr.left, config, locals_, reads)
+        if truthy(lhs):
+            return 1
+        return 1 if truthy(eval_expr(expr.right, config, locals_, reads)) else 0
+    lhs = eval_expr(expr.left, config, locals_, reads)
+    rhs = eval_expr(expr.right, config, locals_, reads)
+    if op == "==":
+        return int(lhs == rhs)
+    if op == "!=":
+        return int(lhs != rhs)
+    # pointer arithmetic: ptr ± int
+    if isinstance(lhs, Pointer) and op in ("+", "-") and isinstance(rhs, int):
+        delta = rhs if op == "+" else -rhs
+        return Pointer(lhs.obj, lhs.offset + delta)
+    if isinstance(rhs, Pointer) and op == "+" and isinstance(lhs, int):
+        return Pointer(rhs.obj, rhs.offset + lhs)
+    _require_int(lhs, op)
+    _require_int(rhs, op)
+    if op == "+":
+        return lhs + rhs
+    if op == "-":
+        return lhs - rhs
+    if op == "*":
+        return lhs * rhs
+    if op == "/":
+        if rhs == 0:
+            raise RuntimeFault("div-by-zero", "division by zero")
+        q = abs(lhs) // abs(rhs)
+        return q if (lhs < 0) == (rhs < 0) else -q
+    if op == "%":
+        if rhs == 0:
+            raise RuntimeFault("div-by-zero", "modulo by zero")
+        q = abs(lhs) // abs(rhs)
+        q = q if (lhs < 0) == (rhs < 0) else -q
+        return lhs - rhs * q
+    if op == "<":
+        return int(lhs < rhs)
+    if op == "<=":
+        return int(lhs <= rhs)
+    if op == ">":
+        return int(lhs > rhs)
+    if op == ">=":
+        return int(lhs >= rhs)
+    raise RuntimeFault("bad-op", f"unknown binary {op!r}")
+
+
+def _require_int(v: Value, op: str) -> None:
+    if not isinstance(v, int):
+        raise RuntimeFault("type-error", f"{op} applied to non-integer {v!r}")
+
+
+# --------------------------------------------------------------------------
+# locations
+# --------------------------------------------------------------------------
+
+
+def resolve_pointer(base: Value, index: Value, config: Config) -> Loc:
+    """Turn ``base[index]`` into a shared location, with bounds checks."""
+    if not isinstance(base, Pointer):
+        raise RuntimeFault("bad-deref", f"dereference of non-pointer {base!r}")
+    if not isinstance(index, int):
+        raise RuntimeFault("bad-deref", f"non-integer index {index!r}")
+    off = base.offset + index
+    if base.obj == GLOBALS_OBJ:
+        if not 0 <= off < len(config.globals):
+            raise RuntimeFault("bad-deref", f"globals offset {off} out of range")
+        return glob_loc(off)
+    obj = config.heap_obj(base.obj)
+    if obj is None:
+        raise RuntimeFault("bad-deref", f"dangling pointer to {base.obj}")
+    if not 0 <= off < len(obj.cells):
+        raise RuntimeFault(
+            "bad-deref", f"offset {off} out of range for {base.obj} (size {len(obj.cells)})"
+        )
+    return heap_loc(base.obj, off)
+
+
+def read_loc(config: Config, loc: Loc) -> Value:
+    """Read a shared location."""
+    if loc[0] == "g":
+        return config.globals[loc[1]]
+    assert loc[0] == "h"
+    obj = config.heap_obj(loc[1])
+    if obj is None:
+        raise RuntimeFault("bad-deref", f"dangling pointer to {loc[1]}")
+    return obj.cells[loc[2]]
+
+
+def eval_lvalue(
+    lv: RLValue, config: Config, locals_: tuple[Value, ...], reads: list[Loc]
+) -> tuple:
+    """Resolve an l-value to a *write destination*.
+
+    Returns ``("l", slot)`` for locals (process-private) or a shared
+    location (``("g", i)`` / ``("h", oid, off)``).  Address computation
+    for ``*p = e`` reads ``p`` — those reads are appended to *reads*.
+    """
+    if isinstance(lv, LLocal):
+        return ("l", lv.slot)
+    if isinstance(lv, LGlobal):
+        return glob_loc(lv.index)
+    if isinstance(lv, LDeref):
+        base = eval_expr(lv.base, config, locals_, reads)
+        index = eval_expr(lv.index, config, locals_, reads)
+        return resolve_pointer(base, index, config)
+    raise RuntimeFault("bad-lvalue", f"unknown lvalue {type(lv).__name__}")

@@ -1,0 +1,109 @@
+"""Procedure strings (Harrison [Har89]), the paper's instrumentation.
+
+A procedure string records the *procedural and concurrency movements* of
+a process: entering/exiting a procedure, entering a cobegin thread.  We
+keep strings **normalized**: an exit cancels the matching immediately
+preceding enter, so a normalized string read from the program's start is
+exactly the current activation path, e.g.::
+
+    (('+', 'main', '<entry>'), ('[', '0', 's5'), ('+', 'f', 's7'))
+
+means "inside an activation of ``f`` called from statement ``s7``, inside
+branch 0 of the cobegin at ``s5``, inside ``main``".
+
+When an object is created, the process's procedure string at that point
+is recorded as the object's **birthdate**.  Comparing an access's
+procedure string against the birthdate tells whether the access happens
+inside the creating activation (the birthdate is a prefix) — the basis of
+the lifetime analysis in the paper's §5.3.
+
+Normalization trades precision for boundedness: two successive
+activations with the same activation path are identified (the paper's
+implementation k-limits strings similarly).  The lifetime analysis
+therefore *additionally* uses sound stack-depth watermarks on the
+configuration graph (see :mod:`repro.analyses.lifetime`); procedure
+strings provide the reporting vocabulary and the thread structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+# Op kinds: '+' enter procedure, '-' exit procedure,
+#           '[' enter thread (cobegin branch), ']' exit thread.
+# An op is (kind, name, site): for procedures, name = function and
+# site = call-site label; for threads, name = branch index (as str) and
+# site = the cobegin's label.
+Op = tuple[str, str, str]
+ProcString = tuple[Op, ...]
+
+EMPTY: ProcString = ()
+
+_MATCH = {"-": "+", "]": "["}
+
+
+def enter_proc(func: str, callsite: str) -> Op:
+    return ("+", func, callsite)
+
+
+def exit_proc(func: str, callsite: str) -> Op:
+    return ("-", func, callsite)
+
+
+def enter_thread(branch: int, cobegin_label: str) -> Op:
+    return ("[", str(branch), cobegin_label)
+
+
+def exit_thread(branch: int, cobegin_label: str) -> Op:
+    return ("]", str(branch), cobegin_label)
+
+
+def push(ps: ProcString, op: Op) -> ProcString:
+    """Append *op*, cancelling a matching enter with its exit."""
+    kind, name, site = op
+    if kind in _MATCH and ps:
+        last_kind, last_name, last_site = ps[-1]
+        if last_kind == _MATCH[kind] and last_name == name and last_site == site:
+            return ps[:-1]
+    return ps + (op,)
+
+
+def concat(ps: ProcString, ops: Iterable[Op]) -> ProcString:
+    for op in ops:
+        ps = push(ps, op)
+    return ps
+
+
+def is_prefix(p: ProcString, q: ProcString) -> bool:
+    """True iff normalized path *p* is a prefix of normalized path *q*."""
+    return len(p) <= len(q) and q[: len(p)] == p
+
+
+def common_prefix(p: ProcString, q: ProcString) -> ProcString:
+    """Longest common activation-path prefix (the LCA activation)."""
+    out = []
+    for a, b in zip(p, q):
+        if a != b:
+            break
+        out.append(a)
+    return tuple(out)
+
+
+def depth(ps: ProcString) -> int:
+    """Number of unmatched enters (activation-path length)."""
+    return len(ps)
+
+
+def pretty(ps: ProcString) -> str:
+    """Human-readable rendering, e.g. ``main / cobegin s5 branch 0 / f``."""
+    if not ps:
+        return "<root>"
+    parts = []
+    for kind, name, site in ps:
+        if kind == "+":
+            parts.append(name)
+        elif kind == "[":
+            parts.append(f"cobegin {site} branch {name}")
+        else:  # pragma: no cover - normalized strings hold only enters
+            parts.append(f"{kind}{name}")
+    return " / ".join(parts)

@@ -1,0 +1,90 @@
+"""Concrete execution under a scheduler.
+
+Exploration enumerates *all* interleavings; sometimes you just want to
+*run* a program — for testing the semantics, for demos, and for
+differential testing against exploration (every scheduled run's outcome
+must appear among the explored result configurations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.lang.program import Program
+from repro.semantics.config import Config, initial_config
+from repro.semantics.step import ActionInfo, StepOptions, next_infos
+
+
+@dataclass
+class RunResult:
+    """Outcome of one scheduled execution."""
+
+    config: Config
+    trace: list[ActionInfo] = field(default_factory=list)
+    steps: int = 0
+    deadlocked: bool = False
+
+    @property
+    def faulted(self) -> bool:
+        return self.config.fault is not None
+
+    @property
+    def terminated(self) -> bool:
+        return self.config.is_terminated
+
+    def global_value(self, program: Program, name: str):
+        return self.config.globals[program.global_index(name)]
+
+
+def run_program(
+    program: Program,
+    *,
+    scheduler: str = "roundrobin",
+    seed: int = 0,
+    max_steps: int = 100_000,
+    opts: StepOptions = StepOptions(),
+    keep_trace: bool = False,
+) -> RunResult:
+    """Execute *program* to completion under a scheduler.
+
+    Parameters
+    ----------
+    scheduler:
+        ``"roundrobin"`` rotates among enabled processes per step;
+        ``"random"`` picks uniformly (seeded — runs are reproducible);
+        ``"first"`` always picks the lowest pid (a depth-first run).
+    max_steps:
+        Step budget; exceeding it raises ``RuntimeError`` (the subject
+        program probably diverges).
+    """
+    rng = random.Random(seed)
+    config = initial_config(program, track_procstrings=opts.track_procstrings)
+    result = RunResult(config=config)
+    rr_index = 0
+    while True:
+        if config.fault is not None or config.is_terminated:
+            result.config = config
+            return result
+        infos = [ni for ni in next_infos(program, config, opts) if ni.enabled]
+        if not infos:
+            result.config = config
+            result.deadlocked = True
+            return result
+        if result.steps >= max_steps:
+            raise RuntimeError(
+                f"run exceeded {max_steps} steps (divergent program?)"
+            )
+        if scheduler == "random":
+            choice = rng.choice(infos)
+        elif scheduler == "first":
+            choice = infos[0]
+        elif scheduler == "roundrobin":
+            choice = infos[rr_index % len(infos)]
+            rr_index += 1
+        else:
+            raise ValueError(f"unknown scheduler {scheduler!r}")
+        config = choice.succ
+        result.steps += 1
+        if keep_trace:
+            result.trace.append(choice.action)

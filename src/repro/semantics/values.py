@@ -1,0 +1,72 @@
+"""Concrete runtime values.
+
+The value universe of the language (paper §4's standard semantics):
+
+- integers (booleans are 0/1);
+- pointers — a heap object identity plus a cell offset; the globals area
+  is addressable through the distinguished ``GLOBALS_OBJ`` identity
+  (``&g`` yields a pointer into it);
+- first-class function values.
+
+Object identities are **canonical**: ``(site, k)`` where *site* is the
+allocation-site label and *k* the smallest index not currently in use.
+Two interleavings that allocate the same number of objects at a site
+therefore produce identical identities, which is essential for merging
+equal configurations during exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+# Object identity: (allocation-site label, instance index).
+ObjId = tuple[str, int]
+
+#: The pseudo-object that backs the globals area (targets of ``&g``).
+GLOBALS_OBJ: ObjId = ("<globals>", 0)
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """A pointer to cell ``offset`` of object ``obj``."""
+
+    obj: ObjId
+    offset: int = 0
+
+    def __repr__(self) -> str:
+        site, k = self.obj
+        return f"&{site}[{k}]+{self.offset}"
+
+
+@dataclass(frozen=True)
+class FuncRef:
+    """A first-class function value."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"<func {self.name}>"
+
+
+Value = Union[int, Pointer, FuncRef]
+
+
+def truthy(v: Value) -> bool:
+    """Truth of a value: nonzero integers, any pointer, any function."""
+    if isinstance(v, int):
+        return v != 0
+    return True
+
+
+def is_int(v: Value) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def show_value(v: Value) -> str:
+    """Render a value for reports."""
+    if isinstance(v, Pointer):
+        return repr(v)
+    if isinstance(v, FuncRef):
+        return repr(v)
+    return str(v)

@@ -1,0 +1,27 @@
+"""Shared utilities: errors, deterministic collections, fixpoint engines."""
+
+from repro.util.errors import (
+    ReproError,
+    LexError,
+    ParseError,
+    ResolveError,
+    CompileError,
+    RuntimeFault,
+    AnalysisError,
+)
+from repro.util.fixpoint import Worklist, fixpoint_map
+from repro.util.ordered import OrderedSet, stable_unique
+
+__all__ = [
+    "ReproError",
+    "LexError",
+    "ParseError",
+    "ResolveError",
+    "CompileError",
+    "RuntimeFault",
+    "AnalysisError",
+    "Worklist",
+    "fixpoint_map",
+    "OrderedSet",
+    "stable_unique",
+]

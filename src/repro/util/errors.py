@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Front-end errors carry a source
+line when one is known.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SourceError(ReproError):
+    """A front-end error attributed to a source location."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.message = message
+        self.line = line
+        self.col = col
+        loc = ""
+        if line is not None:
+            loc = f" at line {line}" + (f", col {col}" if col is not None else "")
+        super().__init__(message + loc)
+
+
+class LexError(SourceError):
+    """Raised by the lexer on an invalid character or malformed token."""
+
+
+class ParseError(SourceError):
+    """Raised by the parser on a syntax error."""
+
+
+class ResolveError(SourceError):
+    """Raised by the resolver: undeclared names, illegal scope crossings,
+    duplicate declarations, calls to unknown functions, ..."""
+
+
+class CompileError(SourceError):
+    """Raised by the AST-to-instruction compiler on unsupported or
+    ill-formed constructs (e.g. ``return`` inside a cobegin branch)."""
+
+
+class RuntimeFault(ReproError):
+    """A fault in the *subject* program discovered during interpretation:
+    bad pointer dereference, division by zero, assertion failure.
+
+    Exploration does not propagate these as Python exceptions across the
+    engine; a faulting transition produces a terminal error configuration
+    carrying the fault's description.
+    """
+
+    def __init__(self, kind: str, detail: str = ""):
+        self.kind = kind
+        self.detail = detail
+        super().__init__(f"{kind}: {detail}" if detail else kind)
+
+
+class AnalysisError(ReproError):
+    """Raised by client analyses on unmet preconditions (e.g. asking for
+    Shasha–Snir delays on non-straight-line segments)."""

@@ -1,0 +1,89 @@
+"""Generic worklist / fixpoint machinery.
+
+Used by the static access-set computation (interprocedural reachability),
+the dependence dataflow over configuration graphs, and the abstract
+folding driver.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Hashable, Iterable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class Worklist:
+    """A FIFO worklist that never holds duplicates.
+
+    ``push`` while already queued is a no-op, which keeps fixpoint loops
+    from re-processing a node more often than necessary.
+    """
+
+    __slots__ = ("_q", "_in")
+
+    def __init__(self, items: Iterable = ()):  # noqa: D401
+        self._q: deque = deque()
+        self._in: set = set()
+        for it in items:
+            self.push(it)
+
+    def push(self, item) -> None:
+        if item not in self._in:
+            self._in.add(item)
+            self._q.append(item)
+
+    def pop(self):
+        item = self._q.popleft()
+        self._in.discard(item)
+        return item
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    def __bool__(self) -> bool:
+        return bool(self._q)
+
+
+def fixpoint_map(
+    keys: Iterable[K],
+    init: Callable[[K], V],
+    deps: Callable[[K], Iterable[K]],
+    transfer: Callable[[K, Callable[[K], V]], V],
+    eq: Callable[[V, V], bool] | None = None,
+) -> dict[K, V]:
+    """Compute the least fixpoint of ``transfer`` over a finite key set.
+
+    Parameters
+    ----------
+    keys:
+        All keys in the system (processed in the given order first).
+    init:
+        Initial value for each key.
+    deps:
+        ``deps(k)`` yields the keys whose value must be *recomputed* when
+        ``k``'s value changes (i.e. the reverse data dependence).
+    transfer:
+        ``transfer(k, get)`` recomputes ``k``'s value; ``get(j)`` reads the
+        current value of key ``j``.
+    eq:
+        Value equality; defaults to ``==``.
+
+    Returns the stabilized map.  Termination is the caller's obligation
+    (finite-height value space or widening inside ``transfer``).
+    """
+    if eq is None:
+        eq = lambda a, b: a == b  # noqa: E731
+    keys = list(keys)
+    values: dict[K, V] = {k: init(k) for k in keys}
+    wl = Worklist(keys)
+    get = values.__getitem__
+    while wl:
+        k = wl.pop()
+        new = transfer(k, get)
+        if not eq(values[k], new):
+            values[k] = new
+            for j in deps(k):
+                wl.push(j)
+    return values

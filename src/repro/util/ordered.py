@@ -1,0 +1,79 @@
+"""Deterministic ordered collections.
+
+The exploration engine and all analyses must be *fully deterministic*:
+repeated runs over the same program must produce byte-identical output
+(DESIGN.md §5).  Python ``set`` iteration order is insertion-ordered only
+for ``dict``; ``set`` ordering depends on hash seeds for some types.  We
+therefore use an insertion-ordered set wherever iteration order can leak
+into results.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class OrderedSet:
+    """A set with deterministic (insertion) iteration order.
+
+    Supports the small subset of the ``set`` API the library needs.
+    """
+
+    __slots__ = ("_d",)
+
+    def __init__(self, items: Iterable[T] = ()):  # type: ignore[assignment]
+        self._d: dict = {}
+        for it in items:
+            self._d[it] = None
+
+    def add(self, item) -> bool:
+        """Insert *item*; return True if it was not already present."""
+        if item in self._d:
+            return False
+        self._d[item] = None
+        return True
+
+    def update(self, items: Iterable) -> None:
+        for it in items:
+            self._d[it] = None
+
+    def discard(self, item) -> None:
+        self._d.pop(item, None)
+
+    def __contains__(self, item) -> bool:
+        return item in self._d
+
+    def __iter__(self) -> Iterator:
+        return iter(self._d)
+
+    def __len__(self) -> int:
+        return len(self._d)
+
+    def __bool__(self) -> bool:
+        return bool(self._d)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, OrderedSet):
+            return set(self._d) == set(other._d)
+        if isinstance(other, (set, frozenset)):
+            return set(self._d) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"OrderedSet({list(self._d)!r})"
+
+    def as_list(self) -> list:
+        return list(self._d)
+
+    def as_frozenset(self) -> frozenset:
+        return frozenset(self._d)
+
+
+def stable_unique(items: Iterable[T]) -> list[T]:
+    """Return *items* with duplicates removed, first occurrence kept."""
+    seen: dict = {}
+    for it in items:
+        seen.setdefault(it, None)
+    return list(seen)

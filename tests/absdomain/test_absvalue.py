@@ -1,0 +1,71 @@
+"""Abstract-value (num × ptrs × funcs) tests."""
+
+from repro.absdomain.absvalue import AbsValueDomain
+from repro.absdomain.flat import FlatConstDomain
+from repro.semantics.values import GLOBALS_OBJ, FuncRef, Pointer
+
+D = AbsValueDomain(FlatConstDomain())
+
+
+def test_abstract_concrete_values():
+    assert D.contains(D.abstract(5), 5)
+    assert D.contains(D.abstract(Pointer(("m1", 0), 0)), Pointer(("m1", 3), 1))
+    assert not D.contains(D.abstract(Pointer(("m1", 0), 0)), Pointer(("m2", 0), 0))
+    assert D.contains(D.abstract(FuncRef("f")), FuncRef("f"))
+    assert not D.contains(D.abstract(FuncRef("f")), FuncRef("g"))
+
+
+def test_globals_pointer_abstracted():
+    av = D.abstract(Pointer(GLOBALS_OBJ, 2))
+    assert ("gobj",) in av[1]
+
+
+def test_join_unions_components():
+    j = D.join(D.const(1), D.ptr_val((("site", "a"),)))
+    assert D.contains(j, 1)
+    assert D.contains(j, Pointer(("a", 0), 0))
+
+
+def test_leq():
+    assert D.leq(D.bottom, D.const(1))
+    assert D.leq(D.const(1), D.join(D.const(1), D.const(2)))
+    assert not D.leq(D.ptr_val((("site", "a"),)), D.const(1))
+
+
+def test_arith_on_numbers():
+    r = D.binop("+", D.const(2), D.const(3))
+    assert D.contains(r, 5) and not D.contains(r, 6)
+
+
+def test_pointer_arith_keeps_targets():
+    p = D.ptr_val((("site", "a"),))
+    r = D.binop("+", p, D.const(1))
+    assert D.contains(r, Pointer(("a", 0), 1))
+
+
+def test_pointer_comparison_unknown():
+    p = D.ptr_val((("site", "a"),))
+    r = D.binop("==", p, p)
+    assert D.contains(r, 0) and D.contains(r, 1)
+
+
+def test_truth_pointer_is_true():
+    may_t, may_f = D.truth(D.ptr_val((("site", "a"),)))
+    assert may_t and not may_f
+
+
+def test_truth_mixed():
+    mixed = D.join(D.const(0), D.ptr_val((("site", "a"),)))
+    assert D.truth(mixed) == (True, True)
+
+
+def test_logical_ops():
+    r = D.binop("&&", D.const(1), D.const(1))
+    assert D.contains(r, 1) and not D.contains(r, 0)
+    r = D.binop("||", D.const(0), D.const(0))
+    assert D.contains(r, 0) and not D.contains(r, 1)
+
+
+def test_not():
+    r = D.unop("!", D.const(0))
+    assert D.contains(r, 1) and not D.contains(r, 0)

@@ -1,0 +1,71 @@
+"""Flat constant domain unit tests."""
+
+from repro.absdomain.flat import BOT, TOP, FlatConstDomain
+
+D = FlatConstDomain()
+
+
+def test_order():
+    c = D.abstract(3)
+    assert D.leq(BOT, c) and D.leq(c, TOP) and D.leq(BOT, TOP)
+    assert not D.leq(c, D.abstract(4))
+    assert D.leq(c, c)
+
+
+def test_join():
+    assert D.join(D.abstract(3), D.abstract(3)) == D.abstract(3)
+    assert D.join(D.abstract(3), D.abstract(4)) == TOP
+    assert D.join(BOT, D.abstract(5)) == D.abstract(5)
+
+
+def test_meet():
+    assert D.meet(D.abstract(3), D.abstract(3)) == D.abstract(3)
+    assert D.meet(D.abstract(3), D.abstract(4)) == BOT
+    assert D.meet(TOP, D.abstract(5)) == D.abstract(5)
+
+
+def test_contains():
+    assert D.contains(D.abstract(3), 3)
+    assert not D.contains(D.abstract(3), 4)
+    assert D.contains(TOP, 123) and not D.contains(BOT, 0)
+
+
+def test_binop_exact_on_constants():
+    assert D.binop("+", D.abstract(2), D.abstract(3)) == D.abstract(5)
+    assert D.binop("*", D.abstract(2), D.abstract(3)) == D.abstract(6)
+    assert D.binop("<", D.abstract(2), D.abstract(3)) == D.abstract(1)
+
+
+def test_binop_strict_on_bottom():
+    assert D.binop("+", BOT, D.abstract(1)) == BOT
+
+
+def test_binop_top_propagates():
+    assert D.binop("+", TOP, D.abstract(1)) == TOP
+
+
+def test_division_fault_goes_top():
+    assert D.binop("/", D.abstract(1), D.abstract(0)) == TOP
+
+
+def test_div_matches_c_semantics():
+    assert D.binop("/", D.abstract(-7), D.abstract(2)) == D.abstract(-3)
+    assert D.binop("%", D.abstract(-7), D.abstract(2)) == D.abstract(-1)
+
+
+def test_unop():
+    assert D.unop("-", D.abstract(3)) == D.abstract(-3)
+    assert D.unop("!", D.abstract(0)) == D.abstract(1)
+    assert D.unop("!", D.abstract(7)) == D.abstract(0)
+
+
+def test_truth():
+    assert D.truth(D.abstract(0)) == (False, True)
+    assert D.truth(D.abstract(2)) == (True, False)
+    assert D.truth(TOP) == (True, True)
+    assert D.truth(BOT) == (False, False)
+
+
+def test_value_of():
+    assert D.value_of(D.abstract(9)) == 9
+    assert D.value_of(TOP) is None and D.value_of(BOT) is None

@@ -1,0 +1,105 @@
+"""Interval domain unit tests."""
+
+from repro.absdomain.interval import BOT, TOP, IntervalDomain
+
+D = IntervalDomain()
+
+
+def iv(lo, hi):
+    return D.make(lo, hi)
+
+
+def test_make_normalizes_empty():
+    assert iv(3, 2) == BOT
+
+
+def test_order():
+    assert D.leq(iv(1, 2), iv(0, 3))
+    assert not D.leq(iv(0, 3), iv(1, 2))
+    assert D.leq(BOT, iv(5, 5))
+    assert D.leq(iv(1, 2), TOP)
+    assert D.leq(iv(0, None), TOP)
+    assert not D.leq(TOP, iv(0, None))
+
+
+def test_join_hull():
+    assert D.join(iv(0, 1), iv(5, 6)) == iv(0, 6)
+    assert D.join(iv(0, None), iv(-3, 2)) == iv(-3, None)
+    assert D.join(BOT, iv(1, 1)) == iv(1, 1)
+
+
+def test_meet_intersection():
+    assert D.meet(iv(0, 5), iv(3, 9)) == iv(3, 5)
+    assert D.meet(iv(0, 1), iv(3, 4)) == BOT
+    assert D.meet(TOP, iv(2, 3)) == iv(2, 3)
+
+
+def test_widen_unstable_bounds_to_infinity():
+    assert D.widen(iv(0, 1), iv(0, 5)) == iv(0, None)
+    assert D.widen(iv(0, 1), iv(-2, 1)) == iv(None, 1)
+    assert D.widen(iv(0, 1), iv(0, 1)) == iv(0, 1)
+    assert D.widen(BOT, iv(1, 2)) == iv(1, 2)
+
+
+def test_widening_stabilizes_chains():
+    x = D.abstract(0)
+    for i in range(1, 100):
+        nxt = D.join(x, D.abstract(i))
+        x2 = D.widen(x, nxt)
+        if x2 == x:
+            break
+        x = x2
+    else:
+        raise AssertionError("widening failed to stabilize")
+    assert D.contains(x, 10**9)
+
+
+def test_narrow_refines_infinite_bounds():
+    assert D.narrow(iv(0, None), iv(0, 10)) == iv(0, 10)
+    assert D.narrow(iv(0, 10), iv(2, 5)) == iv(0, 10)
+
+
+def test_add_sub():
+    assert D.binop("+", iv(1, 2), iv(10, 20)) == iv(11, 22)
+    assert D.binop("-", iv(1, 2), iv(10, 20)) == iv(-19, -8)
+    assert D.binop("+", iv(0, None), iv(1, 1)) == iv(1, None)
+
+
+def test_mul_signs():
+    assert D.binop("*", iv(-2, 3), iv(4, 5)) == iv(-10, 15)
+    assert D.binop("*", iv(-2, -1), iv(-3, -2)) == iv(2, 6)
+
+
+def test_div_by_constant():
+    assert D.binop("/", iv(4, 9), iv(2, 2)) == iv(2, 4)
+    assert D.binop("/", iv(-7, 7), iv(2, 2)) == iv(-3, 3)
+
+
+def test_comparisons_definite():
+    assert D.binop("<", iv(0, 1), iv(5, 9)) == D.abstract(1)
+    assert D.binop("<", iv(5, 9), iv(0, 1)) == D.abstract(0)
+    assert D.binop("==", iv(3, 3), iv(3, 3)) == D.abstract(1)
+    assert D.binop("==", iv(0, 1), iv(5, 6)) == D.abstract(0)
+
+
+def test_comparisons_unknown_are_boolean():
+    r = D.binop("<", iv(0, 9), iv(5, 6))
+    assert D.contains(r, 0) and D.contains(r, 1) and not D.contains(r, 2)
+
+
+def test_truth():
+    assert D.truth(iv(1, 5)) == (True, False)
+    assert D.truth(iv(0, 0)) == (False, True)
+    assert D.truth(iv(-1, 1)) == (True, True)
+    assert D.truth(BOT) == (False, False)
+
+
+def test_unop_neg():
+    assert D.unop("-", iv(1, 3)) == iv(-3, -1)
+    assert D.unop("-", iv(0, None)) == iv(None, 0)
+
+
+def test_contains():
+    assert D.contains(iv(None, 5), -1000)
+    assert not D.contains(iv(None, 5), 6)
+    assert D.contains(TOP, 0)

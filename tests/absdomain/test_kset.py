@@ -1,0 +1,103 @@
+"""k-bounded set domain unit tests."""
+
+import pytest
+
+from repro.absdomain.kset import TOP, KSetDomain
+
+D = KSetDomain(3)
+
+
+def s(*xs):
+    return frozenset(xs)
+
+
+def test_join_keeps_small_sets():
+    assert D.join(D.abstract(0), D.abstract(1)) == s(0, 1)
+
+
+def test_join_saturates_beyond_k():
+    a = D.abstract_all([1, 2, 3])
+    assert D.join(a, D.abstract(4)) == TOP
+
+
+def test_order():
+    assert D.leq(s(1), s(1, 2))
+    assert not D.leq(s(1, 3), s(1, 2))
+    assert D.leq(s(1, 2, 3), TOP)
+    assert not D.leq(TOP, s(1))
+    assert D.leq(D.bottom, s(5))
+
+
+def test_meet():
+    assert D.meet(s(1, 2), s(2, 3)) == s(2)
+    assert D.meet(TOP, s(7)) == s(7)
+    assert D.meet(s(1), s(2)) == D.bottom
+
+
+def test_exact_binop():
+    assert D.binop("+", s(1, 2), s(10)) == s(11, 12)
+    assert D.binop("*", s(2), s(3)) == s(6)
+    assert D.binop("<", s(1), s(2)) == s(1)
+    assert D.binop("==", s(0, 1), s(1)) == s(0, 1)
+
+
+def test_binop_saturation():
+    a = D.abstract_all([1, 2, 3])
+    b = D.abstract_all([10, 20])
+    assert D.binop("+", a, b) == TOP  # six results > k
+
+
+def test_faulting_combo_goes_top():
+    assert D.binop("/", s(1), s(0, 2)) == TOP
+
+
+def test_truth():
+    assert D.truth(s(0)) == (False, True)
+    assert D.truth(s(1, 2)) == (True, False)
+    assert D.truth(s(0, 5)) == (True, True)
+    assert D.truth(TOP) == (True, True)
+    assert D.truth(D.bottom) == (False, False)
+
+
+def test_refine_filters_members():
+    assert D.refine(s(0, 1, 2), "!=", 1) == s(0, 2)
+    assert D.refine(s(0, 1, 2), ">", 0) == s(1, 2)
+    assert D.refine(s(0, 1), "==", 1) == s(1)
+    assert D.refine(TOP, "==", 5) == s(5)
+
+
+def test_unop():
+    assert D.unop("-", s(1, 2)) == s(-1, -2)
+    assert D.unop("!", s(0, 3)) == s(0, 1)
+
+
+def test_k_validation():
+    with pytest.raises(ValueError):
+        KSetDomain(0)
+
+
+def test_precision_beats_flat_on_racy_flag():
+    from repro.absdomain import AbsValueDomain
+    from repro.abstraction import taylor_explore
+    from repro.lang import parse_program
+
+    # after the if the two paths merge with g ∈ {0, 1}: flat joins to
+    # ⊤ and warns; kset keeps the set and *verifies* the assert
+    prog = parse_program(
+        """
+        var c = 0; var g = 0;
+        func main() {
+            cobegin { c = 1; }
+            {
+                if (c == 1) { g = 1; } else { g = 0; }
+                a1: assert(g != 2);
+            }
+        }
+        """
+    )
+    folded = taylor_explore(prog, AbsValueDomain(KSetDomain(3)))
+    assert not any("a1" in w for w in folded.warnings)
+    from repro.absdomain import FlatConstDomain
+
+    folded_flat = taylor_explore(prog, AbsValueDomain(FlatConstDomain()))
+    assert any("a1" in w for w in folded_flat.warnings)  # flat can't tell

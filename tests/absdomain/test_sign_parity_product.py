@@ -1,0 +1,140 @@
+"""Sign, parity, and product domain unit tests."""
+
+from repro.absdomain.parity import EVEN, ODD, ParityDomain
+from repro.absdomain.product import ProductDomain
+from repro.absdomain.sign import NEG, POS, ZERO, SignDomain
+from repro.absdomain.interval import IntervalDomain
+
+S = SignDomain()
+P = ParityDomain()
+
+
+# -- signs --------------------------------------------------------------------
+
+
+def test_sign_abstract():
+    assert S.abstract(-3) == frozenset((NEG,))
+    assert S.abstract(0) == frozenset((ZERO,))
+    assert S.abstract(7) == frozenset((POS,))
+
+
+def test_sign_add_table():
+    pos, neg = S.abstract(1), S.abstract(-1)
+    assert S.binop("+", pos, pos) == frozenset((POS,))
+    assert S.binop("+", pos, neg) == S.top
+    assert S.binop("+", S.abstract(0), pos) == frozenset((POS,))
+
+
+def test_sign_mul_table():
+    pos, neg, zero = S.abstract(1), S.abstract(-1), S.abstract(0)
+    assert S.binop("*", neg, neg) == frozenset((POS,))
+    assert S.binop("*", neg, pos) == frozenset((NEG,))
+    assert S.binop("*", zero, S.top) == frozenset((ZERO,))
+
+
+def test_sign_neg():
+    assert S.unop("-", S.abstract(5)) == frozenset((NEG,))
+    assert S.unop("-", S.top) == S.top
+
+
+def test_sign_division_includes_zero():
+    # 1 / 2 == 0: positive/positive may truncate to zero
+    r = S.binop("/", S.abstract(1), S.abstract(2))
+    assert ZERO in r and POS in r
+
+
+def test_sign_compare_definite():
+    assert S.binop("<", S.abstract(-1), S.abstract(1)) == S.abstract(1)
+    assert S.binop(">", S.abstract(-1), S.abstract(1)) == S.abstract(0)
+
+
+def test_sign_compare_unknown():
+    r = S.binop("<", S.abstract(1), S.abstract(2))  # both positive
+    assert S.contains(r, 0) and S.contains(r, 1)
+
+
+def test_sign_truth():
+    assert S.truth(S.abstract(0)) == (False, True)
+    assert S.truth(S.abstract(3)) == (True, False)
+    assert S.truth(S.top) == (True, True)
+
+
+def test_sign_soundness_samples():
+    for x in (-5, -1, 0, 1, 5):
+        for y in (-3, 0, 2):
+            for op in ("+", "-", "*"):
+                res = eval(f"{x} {op} {y}")
+                assert S.contains(S.binop(op, S.abstract(x), S.abstract(y)), res)
+
+
+# -- parity -------------------------------------------------------------------
+
+
+def test_parity_abstract():
+    assert P.abstract(4) == frozenset((EVEN,))
+    assert P.abstract(-3) == frozenset((ODD,))
+
+
+def test_parity_add():
+    even, odd = P.abstract(0), P.abstract(1)
+    assert P.binop("+", odd, odd) == frozenset((EVEN,))
+    assert P.binop("+", odd, even) == frozenset((ODD,))
+
+
+def test_parity_mul():
+    even, odd = P.abstract(0), P.abstract(1)
+    assert P.binop("*", odd, odd) == frozenset((ODD,))
+    assert P.binop("*", even, P.top) == frozenset((EVEN,))
+
+
+def test_parity_refutes_equality():
+    even, odd = P.abstract(2), P.abstract(3)
+    assert P.binop("==", even, odd) == P.abstract(0)
+    assert P.binop("!=", even, odd) == P.abstract(1)
+
+
+def test_parity_truth():
+    assert P.truth(P.abstract(0)) == (True, True)  # even: 0 or 2
+    assert P.truth(P.abstract(1)) == (True, False)  # odd never zero
+
+
+def test_parity_soundness_samples():
+    for x in range(-4, 5):
+        for y in range(-3, 4):
+            for op in ("+", "-", "*"):
+                res = eval(f"{x} {op} ({y})")
+                assert P.contains(P.binop(op, P.abstract(x), P.abstract(y)), res)
+
+
+# -- product ------------------------------------------------------------------
+
+
+def test_product_componentwise():
+    D = ProductDomain(IntervalDomain(), ParityDomain())
+    a = D.abstract(4)
+    assert D.contains(a, 4)
+    assert not D.contains(a, 5)  # parity rules 5 out even if interval grew
+    grown = D.join(a, D.abstract(6))
+    assert D.contains(grown, 4) and D.contains(grown, 6)
+    assert not D.contains(grown, 5)  # interval allows 5, parity refutes
+
+
+def test_product_binop():
+    D = ProductDomain(IntervalDomain(), ParityDomain())
+    r = D.binop("+", D.abstract(2), D.abstract(4))
+    assert D.contains(r, 6)
+    assert not D.contains(r, 7)
+
+
+def test_product_truth_conjunctive():
+    D = ProductDomain(IntervalDomain(), ParityDomain())
+    odd_interval = (D.factors[0].make(1, 3), D.factors[1].abstract(1))
+    may_t, may_f = D.truth(odd_interval)
+    assert may_t and not may_f  # interval excludes 0? no — parity does
+
+
+def test_product_requires_two_factors():
+    import pytest
+
+    with pytest.raises(ValueError):
+        ProductDomain(IntervalDomain())

@@ -1,0 +1,73 @@
+"""Narrowing-pass tests: bounds widened to ∞ are recovered."""
+
+from repro.absdomain import AbsValueDomain, IntervalDomain
+from repro.abstraction import AbsOptions, fold_explore, taylor_key
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+
+
+def _fold(prog, narrow_passes):
+    dom = AbsValueDomain(IntervalDomain())
+    return dom, fold_explore(
+        prog,
+        AbsOptions(dom=dom),
+        key_fn=taylor_key,
+        narrow_passes=narrow_passes,
+    )
+
+
+BOUNDED_LOOP = """
+var g = 0;
+func main() { while (g < 10) { g = g + 1; } r: skip; }
+"""
+
+
+def test_widening_overshoots_bounded_loop():
+    dom, folded = _fold(parse_program(BOUNDED_LOOP), narrow_passes=0)
+    finals = folded.terminal_states()
+    assert finals
+    g = finals[0].aglobals[0][0]
+    # without narrowing, the upper bound was widened away: g = [10, +inf)
+    assert g[1] is None
+
+
+def test_narrowing_recovers_bound():
+    dom, folded = _fold(parse_program(BOUNDED_LOOP), narrow_passes=10)
+    assert folded.stats.narrowings >= 1
+    finals = folded.terminal_states()
+    g = finals[0].aglobals[0][0]
+    assert g == (10, 10)  # exact: the guard refinement + narrowing
+
+
+def test_narrowing_stays_sound():
+    prog = parse_program(BOUNDED_LOOP)
+    dom, folded = _fold(prog, narrow_passes=10)
+    concrete = explore(prog, options=ExploreOptions(policy="full"))
+    for cfg in concrete.graph.configs:
+        if cfg.fault is None:
+            assert folded.covers_config(cfg)
+
+
+def test_narrowing_sound_on_concurrent_program():
+    prog = parse_program(
+        """
+        var g = 0; var done = 0;
+        func main() {
+            cobegin
+            { while (g < 4) { g = g + 1; } }
+            { done = 1; }
+        }
+        """
+    )
+    dom, folded = _fold(prog, narrow_passes=10)
+    concrete = explore(prog, "full")
+    for cfg in concrete.graph.configs:
+        if cfg.fault is None:
+            assert folded.covers_config(cfg)
+
+
+def test_narrowing_noop_when_nothing_widened():
+    prog = parse_program("var g = 0; func main() { g = 5; }")
+    dom, folded = _fold(prog, narrow_passes=2)
+    finals = folded.terminal_states()
+    assert finals[0].aglobals[0][0] == (5, 5)

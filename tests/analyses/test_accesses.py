@@ -1,0 +1,137 @@
+"""Static access-set and sharedness tests."""
+
+from repro.analyses.accesses import ANY_GLOBAL, AccessAnalysis, matches
+from repro.lang import parse_program
+
+
+def analysis(src):
+    return AccessAnalysis(parse_program(src))
+
+
+def test_future_includes_everything_ahead():
+    a = analysis("var x = 0; var y = 0; func main() { x = 1; y = x; }")
+    fut = a.future("main", 0)
+    assert ("g", 0) in fut.writes
+    assert ("g", 0) in fut.reads  # read later by y = x
+    assert ("g", 1) in fut.writes
+
+
+def test_future_shrinks_as_pc_advances():
+    a = analysis("var x = 0; var y = 0; func main() { x = 1; y = 2; }")
+    assert ("g", 0) in a.future("main", 0).writes
+    assert ("g", 0) not in a.future("main", 1).writes
+
+
+def test_future_through_calls():
+    a = analysis(
+        "var g = 0; func f() { g = 1; } func main() { f(); }"
+    )
+    assert ("g", 0) in a.future("main", 0).writes
+
+
+def test_future_through_branches():
+    a = analysis(
+        "var x = 0; var y = 0; func main() { if (x) { y = 1; } else { x = 2; } }"
+    )
+    fut = a.future("main", 0)
+    assert ("g", 0) in fut.writes and ("g", 1) in fut.writes
+
+
+def test_future_through_cobegin_branches():
+    a = analysis(
+        "var x = 0; var y = 0; func main() { cobegin { x = 1; } { y = 1; } }"
+    )
+    fut = a.future("main", 0)
+    assert ("g", 0) in fut.writes and ("g", 1) in fut.writes
+
+
+def test_recursive_function_future_converges():
+    a = analysis(
+        """
+        var g = 0;
+        func f(n) { if (n > 0) { g = g + n; f(n - 1); } }
+        func main() { f(3); }
+        """
+    )
+    assert ("g", 0) in a.future("main", 0).writes
+
+
+def test_deref_resolves_to_sites():
+    a = analysis(
+        "var p = 0; var out = 0; func main() { m1: p = malloc(1); out = *p; }"
+    )
+    fut = a.future("main", 0)
+    assert ("site", "m1") in fut.reads
+
+
+def test_deref_of_addrof_hits_globals():
+    a = analysis(
+        "var g = 0; var p = 0; func main() { p = &g; *p = 1; }"
+    )
+    fut = a.future("main", 0)
+    assert ANY_GLOBAL in fut.writes
+
+
+def test_matches_semantics():
+    s = frozenset({("g", 0), ("site", "m1")})
+    assert matches(s, ("g", 0))
+    assert not matches(s, ("g", 1))
+    assert matches(s, ("h", ("m1", 0), 3))
+    assert not matches(s, ("h", ("m2", 0), 0))
+    assert not matches(s, ("p", (0, 1)))
+    assert matches(frozenset({ANY_GLOBAL}), ("g", 7))
+
+
+def test_sharedness_concurrent_write():
+    a = analysis(
+        "var x = 0; func main() { cobegin { x = 1; } { x = 2; } }"
+    )
+    assert a.crit_write(("g", 0))
+
+
+def test_sharedness_read_vs_write():
+    a = analysis(
+        "var x = 0; var y = 0; func main() { cobegin { y = x; } { x = 1; } }"
+    )
+    assert a.crit_read(("g", 0))
+    assert not a.crit_read(("g", 1))  # y never written concurrently
+    assert not a.crit_write(("g", 1))
+
+
+def test_sequential_accesses_not_critical():
+    a = analysis("var x = 0; func main() { x = 1; x = x + 1; }")
+    assert not a.crit_read(("g", 0))
+    assert not a.crit_write(("g", 0))
+
+
+def test_sequential_cobegins_not_concurrent():
+    # two cobegins one after another: branches of different cobegins
+    # never overlap; x is only touched in the first, y in the second
+    a = analysis(
+        """
+        var x = 0; var y = 0;
+        func main() {
+            cobegin { x = 1; } { x = 2; }
+            cobegin { y = 1; } { y = 2; }
+        }
+        """
+    )
+    assert a.crit_write(("g", 0)) and a.crit_write(("g", 1))
+    # crit_read asks "may a read of this location see a concurrent
+    # write" — true for both here since each is concurrently written
+    assert a.crit_read(("g", 0)) and a.crit_read(("g", 1))
+
+
+def test_control_structure_helpers():
+    a = analysis(
+        "var g = 0; func f() { g = 1; } func main() { f(); g = 2; }"
+    )
+    assert a.returns_of("f")
+    assert ("main", 0) in a.entry_callers("f")
+    reach = a.reachable_from("main", 0)
+    assert ("f", 0) in reach
+
+
+def test_gen_at_cached():
+    a = analysis("var g = 0; func main() { g = 1; }")
+    assert a.gen_at("main", 0) is a.gen_at("main", 0)

@@ -1,0 +1,90 @@
+"""Shasha–Snir conflict graph / delay insertion tests."""
+
+import pytest
+
+from repro.analyses.conflictgraph import conflict_graph, extract_segments
+from repro.explore import explore
+from repro.lang import parse_program
+from repro.util.errors import AnalysisError
+
+
+def test_extract_segments(fig2):
+    segs = extract_segments(fig2)
+    assert segs.labels == [["s1", "s2"], ["s3", "s4"]]
+    assert segs.program_edges() == [("s1", "s2"), ("s3", "s4")]
+
+
+def test_extract_rejects_branches():
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { if (g) { g = 1; } } { g = 2; } }"
+    )
+    with pytest.raises(AnalysisError):
+        extract_segments(prog)
+
+
+def test_extract_requires_cobegin():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    with pytest.raises(AnalysisError):
+        extract_segments(prog)
+
+
+def test_fig2_conflicts(fig2):
+    cg = conflict_graph(fig2, explore(fig2, "full"))
+    assert cg.conflicts == {frozenset(("s1", "s4")), frozenset(("s2", "s3"))}
+
+
+def test_fig2_critical_cycle(fig2):
+    cg = conflict_graph(fig2, explore(fig2, "full"))
+    cycles = cg.critical_cycles()
+    assert ("s1", "s2", "s3", "s4") in cycles
+
+
+def test_fig2_needs_delays_in_both_segments(fig2):
+    cg = conflict_graph(fig2, explore(fig2, "full"))
+    assert cg.minimal_delays() == [("s1", "s2"), ("s3", "s4")]
+
+
+def test_no_conflicts_no_delays():
+    prog = parse_program(
+        "var a = 0; var b = 0; func main() { cobegin { s1: a = 1; s2: a = 2; } { s3: b = 1; s4: b = 2; } }"
+    )
+    cg = conflict_graph(prog, explore(prog, "full"))
+    assert cg.conflicts == set()
+    assert cg.minimal_delays() == []
+
+
+def test_single_conflict_no_cycle_no_delay():
+    prog = parse_program(
+        """
+        var x = 0; var a = 0; var b = 0;
+        func main() { cobegin { s1: x = 1; s2: a = 2; } { s3: b = 1; s4: b = x; } }
+        """
+    )
+    cg = conflict_graph(prog, explore(prog, "full"))
+    assert cg.conflicts == {frozenset(("s1", "s4"))}
+    assert cg.critical_cycles() == []
+    assert cg.minimal_delays() == []
+
+
+def test_example15_call_level_delays(example15):
+    cg = conflict_graph(example15, explore(example15, "full"))
+    assert cg.conflicts == {frozenset(("s1", "s4")), frozenset(("s2", "s3"))}
+    assert cg.minimal_delays() == [("s1", "s2"), ("s3", "s4")]
+
+
+def test_three_segments():
+    prog = parse_program(
+        """
+        var x = 0; var y = 0; var z = 0;
+        func main() {
+            cobegin { s1: x = 1; s2: y = 1; }
+                    { s3: y = 2; s4: z = 1; }
+                    { s5: z = 2; s6: x = 2; }
+        }
+        """
+    )
+    cg = conflict_graph(prog, explore(prog, "full"))
+    assert len(cg.segments.labels) == 3
+    # the long cycle through all three segments exists
+    cycles = cg.critical_cycles()
+    assert any(len(c) == 6 for c in cycles)

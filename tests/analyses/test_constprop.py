@@ -1,0 +1,103 @@
+"""Interference-aware constant propagation / LICM tests (intro + §7)."""
+
+from repro.analyses.constprop import constants_at, licm_report
+from repro.lang import parse_program
+from repro.programs.paper import intro_busywait_loop
+
+
+def test_sequential_constants():
+    prog = parse_program(
+        "var a = 0; var b = 0; func main() { s1: a = 5; s2: b = a + 1; s3: a = b; }"
+    )
+    cp = constants_at(prog)
+    assert cp.constant("s2", "a") == 5
+    assert cp.constant("s3", "b") == 6
+
+
+def test_constant_lost_at_join():
+    prog = parse_program(
+        """
+        var c = 0; var g = 0; var r = 0;
+        func main() {
+            if (c) { g = 1; } else { g = 2; }
+            s3: r = g;
+        }
+        """
+    )
+    cp = constants_at(prog)
+    # c == 0, so only the else branch runs: g IS constant 2 at s3
+    assert cp.constant("s3", "g") == 2
+
+
+def test_racy_global_not_constant():
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { g = 1; } { s2: skip; } s3: g = g; }"
+    )
+    cp = constants_at(prog)
+    # at s2, g may be 0 or 1 depending on the sibling
+    assert cp.constant("s2", "g") is None
+
+
+def test_busywait_flag_not_constant_at_loop():
+    prog = intro_busywait_loop()
+    cp = constants_at(prog)
+    assert cp.constant("l1", "s") is None  # the interference fact
+
+
+def test_busywait_positive_fact_after_wait():
+    prog = intro_busywait_loop()
+    cp = constants_at(prog)
+    # once the wait passes, x is known to be 42 (w1 precedes w2)
+    assert cp.constant("r1", "x") == 42
+    assert cp.constant("r1", "s") == 1
+
+
+def test_licm_flags_shared_flag_unsafe():
+    report = licm_report(intro_busywait_loop())
+    loops = [l for l in report if l.seq_invariant]
+    assert len(loops) == 1
+    l = loops[0]
+    assert l.seq_invariant == ("s",)
+    assert l.unsafe == ("s",)
+    assert l.safe == ()
+
+
+def test_licm_safe_when_truly_invariant():
+    prog = parse_program(
+        """
+        var k = 7; var g = 0; var i = 0;
+        func main() { while (i < k) { i = i + 1; g = g + 1; } }
+        """
+    )
+    report = licm_report(prog)
+    l = [x for x in report if x.seq_invariant][0]
+    assert "k" in l.safe and not l.unsafe
+
+
+def test_licm_body_write_not_invariant():
+    prog = parse_program(
+        "var k = 7; var i = 0; func main() { while (i < k) { k = k - 1; i = i + 1; } }"
+    )
+    report = licm_report(prog)
+    for l in report:
+        assert "k" not in l.seq_invariant
+
+
+def test_licm_write_through_call_detected():
+    prog = parse_program(
+        """
+        var k = 3; var i = 0;
+        func bump() { k = k + 1; }
+        func main() { while (i < k) { bump(); i = i + 1; } }
+        """
+    )
+    report = licm_report(prog)
+    for l in report:
+        assert "k" not in l.seq_invariant
+
+
+def test_constants_report_structure():
+    prog = parse_program("var g = 1; func main() { s1: g = g + 1; }")
+    cp = constants_at(prog)
+    assert cp.at["s1"]["g"] == 1
+    assert cp.fold.stats.num_states > 0

@@ -1,0 +1,132 @@
+"""Data-dependence analysis tests (§5.2)."""
+
+from repro.analyses.dependence import ANTI, FLOW, INIT, OUTPUT, dependences
+from repro.explore import explore
+from repro.lang import parse_program
+
+
+def deps_of(src):
+    prog = parse_program(src)
+    return dependences(prog, explore(prog, "full"))
+
+
+def has(deps, kind, src, dst, loc_name=None):
+    for d in deps.deps:
+        if d.kind == kind and d.src == src and d.dst == dst:
+            if loc_name is None or d.loc[1] == loc_name:
+                return d
+    return None
+
+
+def test_sequential_flow():
+    deps = deps_of("var g = 0; func main() { s1: g = 1; s2: g = g + 1; }")
+    d = has(deps, FLOW, "s1", "s2", "g")
+    assert d is not None and not d.cross_thread
+
+
+def test_sequential_output():
+    deps = deps_of("var g = 0; func main() { s1: g = 1; s2: g = 2; }")
+    assert has(deps, OUTPUT, "s1", "s2", "g")
+
+
+def test_sequential_anti():
+    deps = deps_of(
+        "var g = 0; var r = 0; func main() { s1: r = g; s2: g = 1; }"
+    )
+    d = has(deps, ANTI, "s1", "s2", "g")
+    assert d is not None
+
+
+def test_init_writes_tracked():
+    deps = deps_of("var g = 5; var r = 0; func main() { s1: r = g; }")
+    d = has(deps, FLOW, INIT, "s1", "g")
+    assert d is not None and not d.cross_thread
+
+
+def test_no_false_deps_between_independent():
+    deps = deps_of(
+        "var a = 0; var b = 0; func main() { s1: a = 1; s2: b = 2; }"
+    )
+    assert not has(deps, FLOW, "s1", "s2")
+    assert not has(deps, OUTPUT, "s1", "s2")
+    assert not has(deps, ANTI, "s1", "s2")
+
+
+def test_cross_thread_flow_and_anti(fig2):
+    deps = dependences(fig2, explore(fig2, "full"))
+    d = has(deps, FLOW, "s1", "s4", "A")  # s4 can read s1's write
+    assert d is not None and d.cross_thread
+    d = has(deps, ANTI, "s4", "s1", "A")  # or read before it
+    assert d is not None and d.cross_thread
+
+
+def test_heap_dependences(example8):
+    deps = deps_of(
+        """
+        var x = 0; var y = 0;
+        func main() {
+            cobegin
+            { s1: y = malloc(1); s2: *y = 10; }
+            { s3: x = malloc(1); w1: assume(y != 0); s4: *x = *y; }
+        }
+        """
+    )
+    d = has(deps, FLOW, "s2", "s4")
+    assert d is not None and d.cross_thread and d.loc == ("site", "s1")
+
+
+def test_example15_pairs(example15):
+    deps = dependences(example15, explore(example15, "full"))
+    pairs = deps.pairs(cross_only=True)
+    # the statement-level pairs realize through the callee bodies
+    assert frozenset(("u1", "u4")) in pairs
+    assert frozenset(("u2", "u3")) in pairs
+
+
+def test_example8_sequential_listing():
+    # the paper's original four-statement listing, run sequentially
+    from repro.programs.paper import example8_sequential
+
+    prog = example8_sequential()
+    deps = dependences(prog, explore(prog, "full"))
+    assert has(deps, FLOW, "s1", "s2", None)  # y's pointer flows s1→s2
+    assert has(deps, FLOW, "s2", "s4")  # the value 10 through b1
+    d = has(deps, FLOW, "s2", "s4")
+    assert d.loc == ("site", "s1") and not d.cross_thread
+    assert has(deps, FLOW, "s3", "s4", "x")  # x's pointer
+    assert not has(deps, FLOW, "s1", "s3")  # the mallocs are independent
+
+
+def test_loop_carried_flow():
+    deps = deps_of(
+        "var g = 0; func main() { l: while (g < 3) { s1: g = g + 1; } }"
+    )
+    d = has(deps, FLOW, "s1", "s1", "g")
+    assert d is not None  # g flows around the loop
+
+
+def test_branch_dependences_joined():
+    deps = deps_of(
+        """
+        var c = 1; var g = 0; var r = 0;
+        func main() {
+            if (c) { s1: g = 1; } else { s2: g = 2; }
+            s3: r = g;
+        }
+        """
+    )
+    assert has(deps, FLOW, "s1", "s3", "g")
+    # the else branch is unreachable (c == 1), so no s2 dependence
+    assert not has(deps, FLOW, "s2", "s3", "g")
+
+
+def test_of_kind_sorted():
+    deps = deps_of("var g = 0; func main() { s1: g = 1; s2: g = 2; }")
+    outs = deps.of_kind(OUTPUT)
+    assert all(d.kind == OUTPUT for d in outs)
+
+
+def test_pairs_exclude_init():
+    deps = deps_of("var g = 1; var r = 0; func main() { s1: r = g; }")
+    for pair in deps.pairs():
+        assert INIT not in pair

@@ -1,0 +1,117 @@
+"""Object-lifetime analysis tests (§5.3)."""
+
+from repro.analyses.lifetime import concurrent_pids, lifetimes
+from repro.lang import parse_program
+
+
+def lts_of(src, analysis_result):
+    prog = parse_program(src)
+    return prog, lifetimes(prog, analysis_result(prog))
+
+
+def test_concurrent_pids_predicate():
+    assert concurrent_pids((0, 0), (0, 1))
+    assert not concurrent_pids((0,), (0, 1))  # ancestor
+    assert not concurrent_pids((0, 1), (0, 1))
+    assert concurrent_pids((0, 0, 1), (0, 1))
+
+
+def test_object_local_to_function(analysis_result):
+    prog, lts = lts_of(
+        """
+        var out = 0;
+        func work() { var p = 0; m1: p = malloc(1); *p = 3; out = *p; }
+        func main() { work(); }
+        """,
+        analysis_result,
+    )
+    lt = lts.objects[("m1", 0)]
+    assert not lt.escapes_creator
+    assert not lt.multi_thread
+    assert lt.stack_allocatable
+    assert lt.birth_func == "work"
+    assert lts.dealloc_lists() == {"work": ["m1"]}
+
+
+def test_object_escaping_via_return(analysis_result):
+    prog, lts = lts_of(
+        """
+        var out = 0;
+        func mk() { var p = 0; m1: p = malloc(1); *p = 5; return p; }
+        func main() { var q = 0; q = mk(); out = *q; }
+        """,
+        analysis_result,
+    )
+    lt = lts.objects[("m1", 0)]
+    assert lt.escapes_creator
+    assert not lt.multi_thread
+    assert "mk" not in lts.dealloc_lists()
+
+
+def test_object_escaping_to_global(analysis_result):
+    prog, lts = lts_of(
+        """
+        var g = 0; var out = 0;
+        func put() { m1: g = malloc(1); }
+        func main() { put(); *g = 2; out = *g; }
+        """,
+        analysis_result,
+    )
+    assert lts.objects[("m1", 0)].escapes_creator
+
+
+def test_multi_thread_object(analysis_result, example8):
+    lts = lifetimes(example8, analysis_result(example8))
+    b1 = lts.objects[("s1", 0)]
+    b2 = lts.objects[("s3", 0)]
+    assert b1.multi_thread
+    assert not b2.multi_thread
+    assert b1.placement_pid == (0,)  # shared level: the common parent
+    assert b2.placement_pid == (0, 1)  # thread 2's own level
+
+
+def test_birthdates_recorded(analysis_result):
+    prog, lts = lts_of(
+        """
+        var out = 0;
+        func mk() { var p = 0; m1: p = malloc(1); out = *p; }
+        func main() { c1: mk(); }
+        """,
+        analysis_result,
+    )
+    lt = lts.objects[("m1", 0)]
+    assert lt.birth_ps == (("+", "main", "<entry>"), ("+", "mk", "c1"))
+
+
+def test_accessors_collected(analysis_result, example8):
+    lts = lifetimes(example8, analysis_result(example8))
+    b1 = lts.objects[("s1", 0)]
+    assert (0, 0) in b1.accessor_pids and (0, 1) in b1.accessor_pids
+    assert "s2" in b1.accessor_labels and "s4" in b1.accessor_labels
+
+
+def test_site_summary(analysis_result, example8):
+    lts = lifetimes(example8, analysis_result(example8))
+    s1 = lts.site_summary("s1")
+    assert s1["multi_thread"] and not s1["stack_allocatable"]
+    s3 = lts.site_summary("s3")
+    assert not s3["multi_thread"]
+
+
+def test_unaccessed_object_trivial(analysis_result):
+    prog, lts = lts_of(
+        "var p = 0; func main() { m1: p = malloc(1); }", analysis_result
+    )
+    lt = lts.objects[("m1", 0)]
+    assert not lt.escapes_creator and not lt.multi_thread
+
+
+def test_loop_allocations_multiple_objects(analysis_result):
+    prog, lts = lts_of(
+        """
+        var p = 0; var i = 0;
+        func main() { while (i < 2) { m1: p = malloc(1); i = i + 1; } }
+        """,
+        analysis_result,
+    )
+    assert ("m1", 0) in lts.objects and ("m1", 1) in lts.objects

@@ -1,0 +1,40 @@
+"""Memory-placement tests (§7)."""
+
+from repro.analyses.lifetime import lifetimes
+from repro.analyses.memplace import placements
+
+
+def test_example8_placement(example8, analysis_result):
+    lts = lifetimes(example8, analysis_result(example8))
+    place = placements(lts)
+    b1, b2 = place["s1"], place["s3"]
+    assert not b1.thread_local  # accessed by both threads
+    assert b1.level_pid == (0,)  # the shared (parent) level
+    assert b2.thread_local
+    assert b2.level_pid == (0, 1)
+
+
+def test_placement_descriptions(example8, analysis_result):
+    lts = lifetimes(example8, analysis_result(example8))
+    place = placements(lts)
+    assert "shared" in place["s1"].describe()
+    assert "thread-local" in place["s3"].describe()
+
+
+def test_lifetime_extents_program(analysis_result):
+    from repro.programs.paper import lifetime_extents
+
+    prog = lifetime_extents()
+    lts = lifetimes(prog, analysis_result(prog))
+    place = placements(lts)
+    # m1 never escapes local_use
+    assert place["m1"].stack_allocatable
+    # m2 escapes via return, but stays single-threaded
+    assert place["m2"].thread_local and not place["m2"].stack_allocatable
+    # m3 is shared between the cobegin branches
+    assert not place["m3"].thread_local
+
+
+def test_all_sites_placed(example8, analysis_result):
+    lts = lifetimes(example8, analysis_result(example8))
+    assert set(placements(lts)) == {"s1", "s3"}

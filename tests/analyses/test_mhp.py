@@ -1,0 +1,66 @@
+"""May-happen-in-parallel tests."""
+
+from repro.analyses.mhp import mhp_dynamic, mhp_static
+from repro.explore import explore
+from repro.lang import parse_program
+
+
+def test_dynamic_mhp_siblings(fig2):
+    pairs = mhp_dynamic(fig2, explore(fig2, "full"))
+    assert frozenset(("s1", "s3")) in pairs
+    assert frozenset(("s2", "s4")) in pairs
+
+
+def test_dynamic_mhp_excludes_sequential():
+    prog = parse_program("var g = 0; func main() { s1: g = 1; s2: g = 2; }")
+    pairs = mhp_dynamic(prog, explore(prog, "full"))
+    assert pairs == set()
+
+
+def test_static_mhp_superset_of_dynamic(fig2):
+    dyn = mhp_dynamic(fig2, explore(fig2, "full"))
+    stat = mhp_static(fig2)
+    assert dyn <= stat
+
+
+def test_static_mhp_interprocedural():
+    prog = parse_program(
+        """
+        var g = 0;
+        func f() { u1: g = 1; }
+        func main() { cobegin { s1: f(); } { s2: g = 2; } }
+        """
+    )
+    pairs = mhp_static(prog)
+    assert frozenset(("u1", "s2")) in pairs
+
+
+def test_static_mhp_sequential_cobegins_disjoint():
+    prog = parse_program(
+        """
+        var g = 0;
+        func main() {
+            cobegin { a1: g = 1; } { a2: g = 2; }
+            cobegin { b1: g = 3; } { b2: g = 4; }
+        }
+        """
+    )
+    pairs = mhp_static(prog)
+    assert frozenset(("a1", "b1")) not in pairs
+    assert frozenset(("a1", "a2")) in pairs
+
+
+def test_sync_ordering_removes_dynamic_mhp():
+    prog = parse_program(
+        """
+        var f = 0; var x = 0;
+        func main() {
+            cobegin { a: x = 1; b: f = 1; } { c: assume(f == 1); d: x = 2; }
+        }
+        """
+    )
+    dyn = mhp_dynamic(prog, explore(prog, "full"))
+    # a and d can never be poised together: d needs f==1 which a precedes
+    assert frozenset(("a", "d")) not in dyn
+    # but the static approximation keeps them
+    assert frozenset(("a", "d")) in mhp_static(prog)

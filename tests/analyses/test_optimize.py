@@ -1,0 +1,108 @@
+"""Constant-folding transformation tests (§7 optimization)."""
+
+import pytest
+
+from repro.analyses.optimize import optimize_program
+from repro.explore import explore
+from repro.lang import parse_program
+from repro.programs import paper
+
+
+def roundtrip_outcomes(program):
+    """Optimize, recompile, and compare exploration outcomes."""
+    opt = optimize_program(program)
+    new_prog = parse_program(opt.source)
+    before = explore(program, "full").final_stores()
+    after = explore(new_prog, "full").final_stores()
+    return opt, before, after
+
+
+def test_simple_chain_folds():
+    prog = parse_program(
+        "var a = 0; var b = 0; func main() { a = 5; b = a + 1; }"
+    )
+    opt, before, after = roundtrip_outcomes(prog)
+    assert before == after
+    assert any(s.name == "a" and s.value == 5 for s in opt.substitutions)
+    assert "b = 6;" in opt.source
+
+
+def test_busywait_flag_not_substituted():
+    prog = paper.intro_busywait_loop()
+    opt, before, after = roundtrip_outcomes(prog)
+    assert before == after
+    # the spin flag s must never be replaced inside the loop guard
+    assert not any(s.name == "s" and "l1" in s.label for s in opt.substitutions)
+    assert "while (s == 0)" in opt.source
+    # but the positive fact IS used: r = x becomes r = 42
+    assert "r = 42;" in opt.source
+
+
+def test_racy_global_untouched():
+    prog = parse_program(
+        "var g = 0; var r = 0; func main() { cobegin { g = 1; } { s2: r = g; } }"
+    )
+    opt, before, after = roundtrip_outcomes(prog)
+    assert before == after
+    assert not any(s.name == "g" for s in opt.substitutions)
+
+
+def test_locals_shadowing_respected():
+    prog = parse_program(
+        """
+        var g = 0; var r = 0;
+        func main() { g = 7; var x = 1; r = x + g; }
+        """
+    )
+    opt, before, after = roundtrip_outcomes(prog)
+    assert before == after
+    # g substituted (7), the local x untouched by name-substitution
+    assert any(s.name == "g" for s in opt.substitutions)
+    assert not any(s.name == "x" for s in opt.substitutions)
+
+
+def test_whole_corpus_preserved():
+    from repro.programs.corpus import CORPUS
+
+    for name in (
+        "fig2_shasha_snir",
+        "fig5_locality",
+        "example8_pointers",
+        "mutex_counter",
+        "racy_counter",
+        "nested_cobegin",
+        "firstclass_functions",
+    ):
+        prog = CORPUS[name]()
+        opt, before, after = roundtrip_outcomes(prog)
+        assert before == after, name
+
+
+def test_folding_counts_reported():
+    prog = parse_program("var a = 0; func main() { a = 2 + 3 * 4; }")
+    opt = optimize_program(prog)
+    assert opt.folded_ops == 2  # literal arithmetic folds too
+    assert "a = 14;" in opt.source
+    prog2 = parse_program("var a = 0; var b = 0; func main() { a = 4; b = a * 2 + 1; }")
+    opt2 = optimize_program(prog2)
+    assert opt2.folded_ops >= 2  # 4*2 and 8+1
+    assert "b = 9;" in opt2.source
+
+
+def test_requires_source():
+    from repro.lang import builder as B
+    from repro.lang import compile_program
+
+    prog = compile_program(
+        B.program(B.globals(g=0), B.func("main")(B.assign("g", 1)))
+    )
+    from repro.util.errors import AnalysisError
+
+    with pytest.raises(AnalysisError):
+        optimize_program(prog)
+
+
+def test_describe():
+    prog = parse_program("var a = 0; var b = 0; func main() { a = 1; b = a; }")
+    opt = optimize_program(prog)
+    assert "substitutions" in opt.describe()

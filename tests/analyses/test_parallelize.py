@@ -1,0 +1,63 @@
+"""Further-parallelization tests (Example 15 / Figure 8)."""
+
+from repro.analyses.parallelize import further_parallelize
+from repro.explore import explore
+from repro.lang import parse_program
+
+
+def test_example15_dependent_pairs(example15):
+    sched = further_parallelize(example15, explore(example15, "full"))
+    assert sched.dependent_pairs == {
+        frozenset(("s1", "s4")),
+        frozenset(("s2", "s3")),
+    }
+
+
+def test_example15_schedule_valid(example15):
+    sched = further_parallelize(example15, explore(example15, "full"))
+    order = {l: i for i, layer in enumerate(sched.layers) for l in layer}
+    # dependent pairs never share a layer
+    for pair in sched.dependent_pairs:
+        a, b = sorted(pair)
+        assert order[a] != order[b]
+    # every call scheduled exactly once
+    assert sorted(order) == ["s1", "s2", "s3", "s4"]
+
+
+def test_example15_width_two(example15):
+    sched = further_parallelize(example15, explore(example15, "full"))
+    assert sched.width == 2
+    assert len(sched.layers) == 2
+
+
+def test_fully_independent_calls_one_layer():
+    prog = parse_program(
+        """
+        var a = 0; var b = 0; var c = 0; var d = 0;
+        func f1() { a = 1; } func f2() { b = 1; }
+        func f3() { c = 1; } func f4() { d = 1; }
+        func main() { cobegin { s1: f1(); s2: f2(); } { s3: f3(); s4: f4(); } }
+        """
+    )
+    sched = further_parallelize(prog, explore(prog, "full"))
+    assert sched.dependent_pairs == set()
+    assert len(sched.layers) == 1 and sched.width == 4
+
+
+def test_fully_dependent_calls_sequentialized():
+    prog = parse_program(
+        """
+        var g = 0;
+        func bump() { g = g + 1; }
+        func main() { cobegin { s1: bump(); s2: bump(); } { s3: bump(); } }
+        """
+    )
+    sched = further_parallelize(prog, explore(prog, "full"))
+    assert sched.width == 1
+    assert len(sched.layers) == 3
+
+
+def test_describe_output(example15):
+    sched = further_parallelize(example15, explore(example15, "full"))
+    text = sched.describe()
+    assert "s1" in text and "||" in text

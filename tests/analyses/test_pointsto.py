@@ -1,0 +1,129 @@
+"""Points-to analysis tests."""
+
+from repro.analyses.pointsto import GOBJ, points_to
+from repro.lang import parse_program
+from repro.lang.instructions import RGlobal, RLocal
+
+
+def test_malloc_flows_to_global():
+    prog = parse_program("var p = 0; func main() { m1: p = malloc(1); }")
+    pts = points_to(prog)
+    assert pts.node(("g", 0)) == {("site", "m1")}
+
+
+def test_copy_propagates():
+    prog = parse_program(
+        "var p = 0; var q = 0; func main() { m1: p = malloc(1); q = p; }"
+    )
+    pts = points_to(prog)
+    assert ("site", "m1") in pts.node(("g", 1))
+
+
+def test_store_and_load_through_heap():
+    prog = parse_program(
+        """
+        var p = 0; var q = 0; var r = 0;
+        func main() {
+            m1: p = malloc(1);
+            m2: q = malloc(1);
+            *p = q;
+            r = *p;
+        }
+        """
+    )
+    pts = points_to(prog)
+    assert ("site", "m2") in pts.node(("cell", "m1"))
+    assert ("site", "m2") in pts.node(("g", 2))
+
+
+def test_addrof_global():
+    prog = parse_program("var g = 0; var p = 0; func main() { p = &g; }")
+    pts = points_to(prog)
+    assert GOBJ in pts.node(("g", 1))
+
+
+def test_call_argument_flow():
+    prog = parse_program(
+        """
+        var p = 0;
+        func keep(x) { p = x; }
+        func main() { var q = 0; m1: q = malloc(1); keep(q); }
+        """
+    )
+    pts = points_to(prog)
+    assert ("site", "m1") in pts.node(("g", 0))
+    assert ("site", "m1") in pts.node(("l", "keep", 0))
+
+
+def test_return_value_flow():
+    prog = parse_program(
+        """
+        var p = 0;
+        func mk() { var t = 0; m1: t = malloc(1); return t; }
+        func main() { p = mk(); }
+        """
+    )
+    pts = points_to(prog)
+    assert ("site", "m1") in pts.node(("ret", "mk"))
+    assert ("site", "m1") in pts.node(("g", 0))
+
+
+def test_function_values_tracked():
+    prog = parse_program(
+        """
+        var r = 0;
+        func inc(v) { return v + 1; }
+        func main() { var f = 0; f = inc; r = f(1); }
+        """
+    )
+    pts = points_to(prog)
+    assert ("func", "inc") in pts.node(("l", "main", 0))
+
+
+def test_indirect_callees_resolved():
+    prog = parse_program(
+        """
+        var r = 0;
+        func a(v) { return v; }
+        func b(v) { return v; }
+        func main() { var f = 0; if (r) { f = a; } else { f = b; } r = f(1); }
+        """
+    )
+    pts = points_to(prog)
+    callee = RLocal(slot=0, name="f")
+    assert pts.callees("main", callee) == {"a", "b"}
+
+
+def test_deref_sites_query():
+    prog = parse_program(
+        "var p = 0; func main() { m1: p = malloc(1); *p = 1; }"
+    )
+    pts = points_to(prog)
+    sites, gobj = pts.deref_sites("main", RGlobal(index=0, name="p"))
+    assert sites == {"m1"} and not gobj
+
+
+def test_flow_insensitivity_conservative():
+    # p first points to m1, later to m2 — both retained
+    prog = parse_program(
+        "var p = 0; func main() { m1: p = malloc(1); m2: p = malloc(1); }"
+    )
+    pts = points_to(prog)
+    assert pts.node(("g", 0)) == {("site", "m1"), ("site", "m2")}
+
+
+def test_no_spurious_targets():
+    prog = parse_program(
+        "var p = 0; var q = 0; func main() { m1: p = malloc(1); m2: q = malloc(1); }"
+    )
+    pts = points_to(prog)
+    assert pts.node(("g", 0)) == {("site", "m1")}
+    assert pts.node(("g", 1)) == {("site", "m2")}
+
+
+def test_pointer_through_arith():
+    prog = parse_program(
+        "var p = 0; var q = 0; func main() { m1: p = malloc(2); q = p + 1; }"
+    )
+    pts = points_to(prog)
+    assert ("site", "m1") in pts.node(("g", 1))

@@ -1,0 +1,69 @@
+"""Access-anomaly detection tests."""
+
+from repro.analyses.races import races
+from repro.explore import explore
+from repro.lang import parse_program
+from repro.programs.paper import mutex_counter, racy_counter
+
+
+def races_of(src):
+    prog = parse_program(src)
+    return races(prog, explore(prog, "full"))
+
+
+def test_plain_write_write_race():
+    rs = races_of("var g = 0; func main() { cobegin { a: g = 1; } { b: g = 2; } }")
+    assert len(rs) == 1
+    r = rs[0]
+    assert r.pair() == frozenset(("a", "b"))
+    assert r.both_write
+    assert r.loc == ("g", "g")
+
+
+def test_read_write_race():
+    rs = races_of(
+        "var g = 0; var r = 0; func main() { cobegin { a: r = g; } { b: g = 1; } }"
+    )
+    assert len(rs) == 1 and not rs[0].both_write
+
+
+def test_no_race_when_locked():
+    assert races(mutex_counter(), explore(mutex_counter(), "full")) == []
+
+
+def test_lost_update_race_found():
+    prog = racy_counter()
+    rs = races(prog, explore(prog, "full"))
+    assert any(r.loc == ("g", "count") for r in rs)
+
+
+def test_no_race_same_thread():
+    rs = races_of("var g = 0; func main() { a: g = 1; b: g = 2; }")
+    assert rs == []
+
+
+def test_assume_ordering_prevents_race():
+    rs = races_of(
+        """
+        var f = 0; var x = 0;
+        func main() {
+            cobegin { a: x = 1; b: f = 1; }
+                    { c: assume(f == 1); d: x = 2; }
+        }
+        """
+    )
+    # a and d both write x but are ordered through the flag handshake
+    assert not any(r.pair() == frozenset(("a", "d")) for r in rs)
+
+
+def test_heap_race_reported_by_site(example8):
+    rs = races(example8, explore(example8, "full"))
+    assert any(r.loc == ("site", "s1") for r in rs)
+
+
+def test_reads_never_race():
+    rs = races_of(
+        "var g = 1; var a = 0; var b = 0; "
+        "func main() { cobegin { x: a = g; } { y: b = g; } }"
+    )
+    assert rs == []

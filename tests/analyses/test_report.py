@@ -1,0 +1,56 @@
+"""full_report rendering tests."""
+
+from repro.analyses.report import full_report
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+from repro.semantics import StepOptions
+
+
+def report_of(prog):
+    r = explore(
+        prog,
+        options=ExploreOptions(
+            policy="full", step=StepOptions(gc=False, track_procstrings=True)
+        ),
+    )
+    return full_report(prog, r)
+
+
+def test_report_sections_present(example8):
+    text = report_of(example8)
+    for section in (
+        "exploration[full]",
+        "side effects",
+        "cross-thread dependences",
+        "access anomalies",
+        "object lifetimes / placement",
+    ):
+        assert section in text
+
+
+def test_report_no_heap_section_without_allocs(fig2):
+    text = report_of(fig2)
+    assert "object lifetimes" not in text
+
+
+def test_report_licm_section():
+    from repro.programs.paper import intro_busywait_loop
+
+    text = report_of(intro_busywait_loop())
+    assert "loop-invariant loads" in text
+    assert "UNSAFE=['s']" in text
+
+
+def test_report_deadlock_count():
+    from repro.programs.paper import deadlock_pair
+
+    text = report_of(deadlock_pair())
+    assert "1 deadlocked" in text
+
+
+def test_report_pure_function_tagged():
+    prog = parse_program(
+        "var r = 0; func pure(a) { return a + 1; } func main() { r = pure(1); }"
+    )
+    text = report_of(prog)
+    assert "pure: ref={-} mod={-} [pure]" in text

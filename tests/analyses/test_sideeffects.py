@@ -1,0 +1,101 @@
+"""Side-effect analysis tests (§5.1)."""
+
+from repro.analyses.sideeffects import (
+    effects_conflict,
+    label_effects_with_callees,
+    side_effects,
+)
+from repro.explore import explore
+from repro.lang import parse_program
+
+
+def effects(src):
+    prog = parse_program(src)
+    return prog, side_effects(prog, explore(prog, "full"))
+
+
+def test_direct_global_effects():
+    prog, eff = effects("var g = 0; func main() { g = g + 1; }")
+    e = eff.by_func["main"]
+    assert ("g", "g") in e.ref and ("g", "g") in e.mod
+
+
+def test_callee_effects_surface_in_caller():
+    prog, eff = effects(
+        "var g = 0; func f() { g = 1; } func main() { f(); }"
+    )
+    assert ("g", "g") in eff.by_func["f"].mod
+    assert ("g", "g") in eff.by_func["main"].mod
+
+
+def test_pure_function_detected():
+    prog, eff = effects(
+        "var r = 0; func pure(a) { return a * 2; } func main() { r = pure(3); }"
+    )
+    assert "pure" in eff.functions_pure()
+    # main writes r, so not pure
+    assert "main" not in eff.functions_pure()
+
+
+def test_read_only_function():
+    prog, eff = effects(
+        "var g = 5; var r = 0; func peek() { return g; } func main() { r = peek(); }"
+    )
+    assert "peek" in eff.functions_read_only()
+    assert "peek" not in eff.functions_pure()
+
+
+def test_heap_effects_by_site():
+    prog, eff = effects(
+        "var p = 0; var r = 0; func main() { m1: p = malloc(1); *p = 3; r = *p; }"
+    )
+    e = eff.by_func["main"]
+    assert ("site", "m1") in e.mod and ("site", "m1") in e.ref
+
+
+def test_per_label_effects():
+    prog, eff = effects("var g = 0; func main() { s1: g = 1; }")
+    assert ("g", "g") in eff.by_label["s1"].mod
+
+
+def test_per_thread_effects():
+    prog, eff = effects(
+        "var a = 0; var b = 0; func main() { cobegin { a = 1; } { b = 1; } }"
+    )
+    assert ("g", "a") in eff.by_thread[(0, 0)].mod
+    assert ("g", "b") in eff.by_thread[(0, 1)].mod
+    assert ("g", "b") not in eff.by_thread[(0, 0)].mod
+
+
+def test_example8_thread_effects(example8, analysis_result):
+    eff = side_effects(example8, analysis_result(example8))
+    t1 = eff.by_thread[(0, 0)]
+    t2 = eff.by_thread[(0, 1)]
+    assert ("site", "s1") in t1.mod  # *y = 10
+    assert ("site", "s1") in t2.ref  # *x = *y reads b1
+    assert ("site", "s3") in t2.mod  # *x = *y writes b2
+    assert ("site", "s3") not in t1.ref | t1.mod  # b2 untouched by thread 1
+
+
+def test_label_effects_absorb_callees(example15):
+    r = explore(example15, "full")
+    effs = label_effects_with_callees(example15, r)
+    assert ("g", "g1") in effs["s1"].mod  # f1 writes g1
+    assert ("g", "g1") in effs["s4"].mod  # f4 writes g1
+
+
+def test_effects_conflict_predicate():
+    from repro.analyses.sideeffects import EffectSet
+
+    a = EffectSet(ref={("g", "x")}, mod=set())
+    b = EffectSet(ref=set(), mod={("g", "x")})
+    c = EffectSet(ref={("g", "y")}, mod=set())
+    assert effects_conflict(a, b)
+    assert not effects_conflict(a, c)
+    assert not effects_conflict(a, a)  # read/read never conflicts
+
+
+def test_locals_never_appear():
+    prog, eff = effects("var g = 0; func main() { var t = 1; t = t + 1; g = t; }")
+    e = eff.by_func["main"]
+    assert all(l[0] in ("g", "site") for l in e.ref | e.mod)

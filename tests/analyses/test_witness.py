@@ -1,0 +1,75 @@
+"""Witness-extraction tests."""
+
+from repro.analyses.witness import (
+    deadlock_witness,
+    fault_witness,
+    outcome_witness,
+    shortest_path_to,
+)
+from repro.explore import explore
+from repro.lang import parse_program
+from repro.programs.paper import deadlock_pair, fig2_shasha_snir
+from repro.semantics import run_program
+
+
+def test_deadlock_witness_found():
+    prog = deadlock_pair()
+    r = explore(prog, "full")
+    w = deadlock_witness(r)
+    assert w is not None
+    labels = [l for _, l in w.steps]
+    # the classic pattern: each thread grabs its first lock
+    assert "a1" in labels and "b1" in labels
+    assert "a2" not in labels and "b2" not in labels  # blocked before these
+
+
+def test_no_deadlock_no_witness(fig2):
+    r = explore(fig2, "full")
+    assert deadlock_witness(r) is None
+
+
+def test_fault_witness():
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { g = 1; } { f1: g = 1 / g; } }"
+    )
+    r = explore(prog, "full")
+    w = fault_witness(r)
+    assert w is not None
+    assert w.steps[-1][1] == "f1"
+
+
+def test_outcome_witness_replayable(fig2):
+    r = explore(fig2, "full")
+    w = outcome_witness(r, x=0, y=1)
+    assert w is not None
+    labels = [l for _, l in w.steps]
+    # to get x=0, s4 must run before s1
+    assert labels.index("s4") < labels.index("s1")
+
+
+def test_unreachable_outcome_none(fig2):
+    r = explore(fig2, "full")
+    assert outcome_witness(r, x=0, y=0) is None  # SC-impossible
+
+
+def test_witness_is_shortest():
+    prog = parse_program(
+        "var g = 0; func main() { s1: g = 1; s2: g = 2; s3: g = 3; }"
+    )
+    r = explore(prog, "full")
+    w = outcome_witness(r, g=3)
+    assert w is not None
+    assert len(w.steps) == 4  # s1 s2 s3 + implicit return
+
+
+def test_initial_config_trivial_witness(fig2):
+    r = explore(fig2, "full")
+    w = shortest_path_to(r.graph, r.graph.initial)
+    assert w is not None and len(w) == 0
+
+
+def test_describe_renders():
+    prog = deadlock_pair()
+    r = explore(prog, "full")
+    text = deadlock_witness(r).describe()
+    assert "thread" in text and "a1" in text

@@ -1,0 +1,64 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+from repro.semantics import StepOptions
+
+
+@pytest.fixture(scope="session")
+def fig2():
+    from repro.programs import paper
+
+    return paper.fig2_shasha_snir()
+
+
+@pytest.fixture(scope="session")
+def fig5():
+    from repro.programs import paper
+
+    return paper.fig5_locality()
+
+
+@pytest.fixture(scope="session")
+def example8():
+    from repro.programs import paper
+
+    return paper.example8_pointers()
+
+
+@pytest.fixture(scope="session")
+def example15():
+    from repro.programs import paper
+
+    return paper.example15_calls()
+
+
+@pytest.fixture(scope="session")
+def mutex_counter():
+    from repro.programs import paper
+
+    return paper.mutex_counter()
+
+
+def compile_src(src: str):
+    """Helper: parse+compile a snippet."""
+    return parse_program(src)
+
+
+def explore_analysis(program, **kw):
+    """Full exploration with instrumentation on (gc off) for analyses."""
+    opts = ExploreOptions(
+        policy="full",
+        step=StepOptions(gc=False, track_procstrings=True),
+        **kw,
+    )
+    return explore(program, options=opts)
+
+
+@pytest.fixture
+def analysis_result():
+    return explore_analysis

@@ -1,0 +1,119 @@
+"""Virtual-coarsening tests (Observation 5)."""
+
+import pytest
+
+from repro.analyses.accesses import access_analysis
+from repro.explore import explore
+from repro.explore.coarsen import action_is_critical, build_block
+from repro.lang import parse_program
+from repro.programs.corpus import CORPUS
+from repro.semantics import StepOptions, initial_config
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_results_preserved_under_coarsening(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    co = explore(prog, "full", coarsen=True)
+    assert co.final_stores() == full.final_stores()
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_coarsen_composes_with_stubborn(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    both = explore(prog, "stubborn", coarsen=True)
+    assert both.final_stores() == full.final_stores()
+
+
+def test_blocks_obey_critical_budget(fig5):
+    # a single statement may itself contain two critical references
+    # (e.g. ``s = s + t``) — it stays atomic but is never *fused*;
+    # any multi-action block carries at most one critical reference.
+    access = access_analysis(fig5)
+    r = explore(fig5, "full", coarsen=True)
+    for edge in r.graph.iter_edges():
+        if len(edge.actions) > 1:
+            crit = sum(action_is_critical(access, a) for a in edge.actions)
+            assert crit <= 1
+
+
+def test_local_runs_fused(fig5):
+    full = explore(fig5, "full")
+    co = explore(fig5, "full", coarsen=True)
+    assert co.stats.num_configs < full.stats.num_configs
+    # some edge fused more than one action
+    assert any(len(e.actions) > 1 for e in co.graph.iter_edges())
+
+
+def test_sequential_program_collapses_to_one_block():
+    prog = parse_program("var g = 0; func main() { var t = 0; t = 1; t = 2; g = t; }")
+    r = explore(prog, "full", coarsen=True)
+    # no concurrency: 'g' is not critical, so everything fuses
+    assert r.stats.num_configs == 2
+
+
+def test_block_stops_at_blocking_instruction():
+    prog = parse_program(
+        """
+        var f = 0; var r = 0;
+        func main() { cobegin { var t = 0; t = 1; assume(f == 1); r = t; } { f = 1; } }
+        """
+    )
+    access = access_analysis(prog)
+    config = initial_config(prog)
+    # spawn first
+    from repro.semantics import next_infos
+
+    spawn = next_infos(prog, config, StepOptions())[0].succ
+    block = build_block(prog, spawn, (0, 0), access, StepOptions())
+    # the block must not run past the (currently false) assume
+    labels = [a.label for a in block.actions]
+    assert all("r" not in l or not l.startswith("r") for l in labels)
+    top = block.succ.proc((0, 0)).top
+    assert "IAssume" in type(prog.funcs[top.func].instrs[top.pc]).__name__
+
+
+def test_block_cycle_guard_terminates():
+    # a purely local infinite loop must not hang the block builder
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { var t = 0; while (true) { t = 1 - t; } } { g = 1; } }"
+    )
+    r = explore(prog, "full", coarsen=True)
+    assert r.stats.num_configs > 0
+
+
+def test_block_length_cap():
+    from repro.explore import ExploreOptions
+
+    prog = parse_program(
+        "var g = 0; func main() { var t = 0; "
+        + " ".join(f"t = t + {i};" for i in range(20))
+        + " g = t; }"
+    )
+    opts = ExploreOptions(policy="full", coarsen=True, max_block_len=5)
+    r = explore(prog, options=opts)
+    for e in r.graph.iter_edges():
+        assert len(e.actions) <= 5
+
+
+def test_coarsening_through_calls():
+    prog = parse_program(
+        """
+        var g = 0;
+        func f() { var t = 1; return t + 1; }
+        func main() { cobegin { var x = 0; x = f(); g = x; } { var y = 0; y = f(); g = g + y; } }
+        """
+    )
+    full = explore(prog, "full")
+    co = explore(prog, "full", coarsen=True)
+    assert co.final_stores() == full.final_stores()
+    assert co.stats.num_configs < full.stats.num_configs
+
+
+def test_fault_inside_block_is_terminal():
+    prog = parse_program(
+        "var g = 0; func main() { var t = 0; t = 1; t = t / 0; g = 1; }"
+    )
+    r = explore(prog, "full", coarsen=True)
+    assert r.stats.num_faults == 1

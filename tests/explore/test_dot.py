@@ -1,0 +1,38 @@
+"""DOT export tests."""
+
+import pytest
+
+from repro.explore import explore
+from repro.lang import parse_program
+
+
+def test_dot_structure():
+    prog = parse_program("var g = 0; func main() { s1: g = 1; }")
+    graph = explore(prog, "full").graph
+    dot = graph.to_dot()
+    assert dot.startswith("digraph")
+    assert "doublecircle" in dot  # the initial node
+    assert "s1" in dot
+    assert "palegreen" in dot  # the terminated node
+
+
+def test_dot_deadlock_colored():
+    from repro.programs.paper import deadlock_pair
+
+    graph = explore(deadlock_pair(), "full").graph
+    dot = graph.to_dot()
+    assert "orange" in dot
+
+
+def test_dot_fault_colored():
+    prog = parse_program("var g = 0; func main() { g = 1 / g; }")
+    graph = explore(prog, "full").graph
+    assert "tomato" in graph.to_dot()
+
+
+def test_dot_size_guard():
+    from repro.programs.philosophers import philosophers
+
+    graph = explore(philosophers(3), "full").graph
+    with pytest.raises(ValueError):
+        graph.to_dot(max_nodes=10)

@@ -1,0 +1,54 @@
+"""ConfigGraph data-structure tests."""
+
+from repro.explore import explore
+from repro.explore.graph import TERMINATED, ConfigGraph
+from repro.lang import parse_program
+from repro.semantics import initial_config
+
+
+def test_intern_dedupes():
+    prog = parse_program("func main() { }")
+    g = ConfigGraph()
+    c = initial_config(prog)
+    cid1, fresh1 = g.add_config(c)
+    cid2, fresh2 = g.add_config(c)
+    assert cid1 == cid2
+    assert fresh1 and not fresh2
+
+
+def test_edges_indexed_both_ways():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    r = explore(prog, "full")
+    graph = r.graph
+    for eid, edge in enumerate(graph.edges):
+        assert eid in graph.out_edges[edge.src]
+        assert eid in graph.in_edges[edge.dst]
+
+
+def test_successors_helper():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    graph = explore(prog, "full").graph
+    succs = graph.successors(graph.initial)
+    assert len(succs) == 1
+
+
+def test_edge_aggregates():
+    prog = parse_program("var a = 1; var b = 0; func main() { s1: b = a; }")
+    graph = explore(prog, "full").graph
+    edge = graph.edges[0]
+    assert edge.labels == ("s1",)
+    assert ("g", 0) in edge.reads
+    assert ("g", 1) in edge.writes
+    assert edge.pid == (0,)
+
+
+def test_terminals_filtered():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    graph = explore(prog, "full").graph
+    assert graph.terminals(TERMINATED) == graph.terminals()
+
+
+def test_result_stores_set():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    graph = explore(prog, "full").graph
+    assert len(graph.result_stores()) == 1

@@ -1,0 +1,52 @@
+"""Sleep-set extension tests."""
+
+import pytest
+
+from repro.explore import explore
+from repro.programs.corpus import CORPUS
+from repro.programs.philosophers import philosophers
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_sleep_preserves_results(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    slept = explore(prog, "full", sleep=True)
+    assert slept.final_stores() == full.final_stores()
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_sleep_composes_with_stubborn(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    both = explore(prog, "stubborn", sleep=True)
+    assert both.final_stores() == full.final_stores()
+
+
+def test_sleep_reduces_edges(fig5):
+    full = explore(fig5, "full")
+    slept = explore(fig5, "full", sleep=True)
+    assert slept.stats.num_edges < full.stats.num_edges
+
+
+def test_sleep_plus_stubborn_beats_stubborn_on_philosophers():
+    prog = philosophers(4)
+    stub = explore(prog, "stubborn")
+    both = explore(prog, "stubborn", sleep=True)
+    assert both.stats.num_configs < stub.stats.num_configs
+    assert both.stats.num_deadlocks == 1
+
+
+def test_sleep_describe():
+    from repro.explore import ExploreOptions
+
+    opts = ExploreOptions(policy="stubborn", coarsen=True, sleep=True)
+    assert opts.describe() == "stubborn+coarsen+sleep"
+
+
+def test_sleep_deadlock_preserved():
+    from repro.programs.paper import deadlock_pair
+
+    prog = deadlock_pair()
+    slept = explore(prog, "stubborn", sleep=True)
+    assert slept.stats.num_deadlocks >= 1

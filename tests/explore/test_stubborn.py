@@ -1,0 +1,107 @@
+"""Stubborn-set reduction tests (Algorithm 1 and the process-level
+variant): soundness on the corpus, reduction where expected."""
+
+import pytest
+
+from repro.explore import explore
+from repro.lang import parse_program
+from repro.programs.corpus import CORPUS
+from repro.programs.philosophers import philosophers, philosophers_ordered
+from repro.programs.synthetic import chain_of_updates, local_heavy
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_result_configs_preserved_on_corpus(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert red.final_stores() == full.final_stores()
+    assert red.stats.num_configs <= full.stats.num_configs
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_process_level_variant_preserves_results(name):
+    prog = CORPUS[name]()
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn-proc")
+    assert red.final_stores() == full.final_stores()
+
+
+def test_reduction_on_locality_example(fig5):
+    full = explore(fig5, "full")
+    red = explore(fig5, "stubborn")
+    assert red.stats.num_configs < full.stats.num_configs / 2
+
+
+def test_independent_threads_near_linear():
+    prog = local_heavy(2, 4)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert red.stats.num_configs < full.stats.num_configs / 2
+
+
+def test_chain_workload_fully_sequentialized():
+    prog = chain_of_updates(4)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert red.final_stores() == full.final_stores()
+    assert red.stats.num_configs <= full.stats.num_configs
+
+
+def test_philosophers_deadlock_preserved():
+    prog = philosophers(3)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert full.stats.num_deadlocks == 1
+    assert red.stats.num_deadlocks == 1
+
+
+def test_philosophers_no_false_deadlock():
+    prog = philosophers_ordered(3)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert full.stats.num_deadlocks == 0
+    assert red.stats.num_deadlocks == 0
+
+
+def test_philosophers_reduction_grows_with_n():
+    r3 = [explore(philosophers(3), p).stats.num_configs for p in ("full", "stubborn")]
+    r4 = [explore(philosophers(4), p).stats.num_configs for p in ("full", "stubborn")]
+    assert r3[1] < r3[0] and r4[1] < r4[0]
+    assert r4[0] / r4[1] > r3[0] / r3[1]  # reduction factor grows
+
+
+def test_singleton_when_one_process():
+    prog = parse_program("var g = 0; func main() { g = 1; g = 2; }")
+    r = explore(prog, "stubborn")
+    assert r.stats.stubborn.steps >= 0
+    assert r.stats.num_configs == explore(prog, "full").stats.num_configs
+
+
+def test_join_is_singleton_step():
+    # after both children finish, the join should be forced (no branching)
+    prog = parse_program(
+        "var a = 0; var b = 0; func main() { cobegin { a = 1; } { b = 1; } a = 2; }"
+    )
+    r = explore(prog, "stubborn")
+    assert r.final_stores() == explore(prog, "full").final_stores()
+
+
+def test_stats_recorded(fig5):
+    r = explore(fig5, "stubborn")
+    st = r.stats.stubborn
+    assert st is not None
+    assert 0 < st.mean_reduction <= 1.0
+    assert st.steps > 0
+
+
+def test_faults_preserved_by_reduction():
+    prog = parse_program(
+        """
+        var g = 0; var h = 0;
+        func main() { cobegin { g = 1 / h; } { var t = 0; t = 1; } }
+        """
+    )
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert full.fault_messages() == red.fault_messages()

@@ -1,0 +1,108 @@
+"""Builder DSL tests: programmatic ASTs compile and behave."""
+
+from repro.lang import builder as B
+from repro.lang import compile_program
+from repro.semantics import run_program
+
+
+def test_builder_fig2_equivalent():
+    prog_ast = B.program(
+        B.globals(A=0, B=0, x=0, y=0),
+        B.func("main")(
+            B.cobegin(
+                [B.assign("A", 1, label="s1"), B.assign("y", B.var("B"), label="s2")],
+                [B.assign("B", 1, label="s3"), B.assign("x", B.var("A"), label="s4")],
+            ),
+        ),
+    )
+    prog = compile_program(prog_ast)
+    assert set(prog.global_names) == {"A", "B", "x", "y"}
+    assert "s1" in prog.labels
+
+
+def test_builder_coercions():
+    prog = compile_program(
+        B.program(
+            B.globals(g=0),
+            B.func("main")(
+                B.assign("g", B.add("g", 5)),
+            ),
+        )
+    )
+    r = run_program(prog)
+    assert r.global_value(prog, "g") == 5
+
+
+def test_builder_control_flow():
+    prog = compile_program(
+        B.program(
+            B.globals(g=0),
+            B.func("main")(
+                B.while_(B.lt("g", 4), [B.assign("g", B.add("g", 1))]),
+                B.if_(B.eq("g", 4), [B.assign("g", 100)], [B.assign("g", -1)]),
+            ),
+        )
+    )
+    r = run_program(prog)
+    assert r.global_value(prog, "g") == 100
+
+
+def test_builder_calls_and_return():
+    prog = compile_program(
+        B.program(
+            B.globals(r=0),
+            B.func("dbl", "v")(B.ret(B.mul("v", 2))),
+            B.func("main")(B.call("dbl", 21, target="r")),
+        )
+    )
+    r = run_program(prog)
+    assert r.global_value(prog, "r") == 42
+
+
+def test_builder_malloc_and_deref():
+    prog = compile_program(
+        B.program(
+            B.globals(p=0, out=0),
+            B.func("main")(
+                B.malloc("p", 2, label="site_a"),
+                B.assign(B.store("p", 1), 9),
+                B.assign("out", B.deref("p", 1)),
+            ),
+        )
+    )
+    r = run_program(prog)
+    assert r.global_value(prog, "out") == 9
+    assert prog.sites == ("site_a",)
+
+
+def test_builder_sync_statements():
+    prog = compile_program(
+        B.program(
+            B.globals(l=0, g=0),
+            B.func("main")(
+                B.acquire("l"),
+                B.assign("g", 1),
+                B.release("l"),
+                B.assert_(B.eq("g", 1)),
+                B.skip(),
+            ),
+        )
+    )
+    r = run_program(prog)
+    assert r.terminated
+
+
+def test_builder_cobegin_runs():
+    prog = compile_program(
+        B.program(
+            B.globals(g=0),
+            B.func("main")(
+                B.cobegin(
+                    [B.assign("g", B.add("g", 1))],
+                    [B.assign("g", B.add("g", 1))],
+                ),
+            ),
+        )
+    )
+    r = run_program(prog)
+    assert r.terminated

@@ -1,0 +1,148 @@
+"""Compiler (AST → instruction IR) tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.lang.instructions import (
+    IAlloc,
+    IAssign,
+    IBranch,
+    ICall,
+    ICobegin,
+    IJump,
+    IReturn,
+    IThreadEnd,
+)
+from repro.util.errors import CompileError
+
+
+def instrs(src, func="main"):
+    return parse_program(src).funcs[func].instrs
+
+
+def test_implicit_return_appended():
+    ins = instrs("func main() { }")
+    assert len(ins) == 1 and isinstance(ins[0], IReturn)
+
+
+def test_assign_compiles_to_single_instr():
+    ins = instrs("var g = 0; func main() { g = 1; }")
+    assert isinstance(ins[0], IAssign)
+
+
+def test_if_branch_targets():
+    ins = instrs("var g = 0; func main() { if (g) { g = 1; } g = 2; }")
+    br = ins[0]
+    assert isinstance(br, IBranch)
+    assert br.then_target == 1
+    assert isinstance(ins[br.else_target], IAssign)  # the g = 2
+
+
+def test_if_else_skips_else_on_then_path():
+    src = "var g = 0; func main() { if (g) { g = 1; } else { g = 2; } g = 3; }"
+    ins = instrs(src)
+    br = ins[0]
+    jump = ins[br.then_target + 0 + 1]  # assign then jump
+    assert isinstance(jump, IJump)
+    assert isinstance(ins[jump.target], IAssign)
+
+
+def test_while_shape():
+    ins = instrs("var g = 0; func main() { while (g < 3) { g = g + 1; } }")
+    br = ins[0]
+    assert isinstance(br, IBranch)
+    backjump = ins[br.else_target - 1]
+    assert isinstance(backjump, IJump) and backjump.target == 0
+
+
+def test_cobegin_layout():
+    ins = instrs("var g = 0; func main() { cobegin { g = 1; } { g = 2; } }")
+    cb = ins[0]
+    assert isinstance(cb, ICobegin)
+    assert len(cb.branch_targets) == 2
+    for t in cb.branch_targets:
+        assert isinstance(ins[t], IAssign)
+    # each branch ends with IThreadEnd
+    assert isinstance(ins[cb.branch_targets[1] - 1], IThreadEnd)
+    assert isinstance(ins[cb.join_target - 1], IThreadEnd)
+
+
+def test_return_in_branch_rejected():
+    with pytest.raises(CompileError):
+        parse_program("func main() { cobegin { return; } { skip; } }")
+
+
+def test_return_in_function_called_from_branch_ok():
+    parse_program(
+        "var g = 0; func f() { return 1; } func main() { cobegin { f(); } { skip; } }"
+    )
+
+
+def test_labels_unique_across_program():
+    with pytest.raises(CompileError):
+        parse_program("var g = 0; func main() { s1: g = 1; s1: g = 2; }")
+
+
+def test_auto_labels_assigned():
+    prog = parse_program("var g = 0; func main() { g = 1; g = 2; }")
+    labels = [i.label for i in prog.funcs["main"].instrs if isinstance(i, IAssign)]
+    assert len(set(labels)) == 2
+    assert all(l.startswith("main#") for l in labels)
+
+
+def test_malloc_site_is_label():
+    prog = parse_program("var p = 0; func main() { m1: p = malloc(2); }")
+    ins = prog.funcs["main"].instrs[0]
+    assert isinstance(ins, IAlloc) and ins.site == "m1"
+    assert prog.sites == ("m1",)
+
+
+def test_call_arity_checked_statically():
+    with pytest.raises(CompileError):
+        parse_program("func f(a) { } func main() { f(); }")
+
+
+def test_call_through_variable_not_arity_checked():
+    # dynamic callee: checked at run time instead
+    parse_program(
+        "func f(a) { } func main() { var g = 0; g = f; g(1); }"
+    )
+
+
+def test_label_registry_info():
+    prog = parse_program("var g = 0; func main() { s1: g = 1; }")
+    info = prog.labels["s1"]
+    assert info.func == "main" and info.kind == "IAssign"
+
+
+def test_locals_layout_params_first():
+    prog = parse_program("func f(a, b) { var c = 0; } func main() { f(1,2); }")
+    fc = prog.funcs["f"]
+    assert fc.num_params == 2 and fc.num_locals == 3
+    assert fc.local_names == ("a", "b", "c")
+
+
+def test_nested_cobegin_compiles():
+    ins = instrs(
+        "var g = 0; func main() { cobegin { cobegin { g = 1; } { g = 2; } } { g = 3; } }"
+    )
+    cobegins = [i for i in ins if isinstance(i, ICobegin)]
+    assert len(cobegins) == 2
+
+
+def test_disassemble_readable():
+    prog = parse_program("var g = 3; func main() { g = g + 1; }")
+    text = prog.disassemble()
+    assert "g=3" in text and "IAssign" in text
+
+
+def test_num_instrs():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    assert prog.num_instrs() == 2  # assign + implicit return
+
+
+def test_max_cobegin_width():
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { g = 1; } { g = 2; } { g = 3; } }"
+    )
+    assert prog.max_cobegin_width == 3

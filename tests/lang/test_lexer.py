@@ -1,0 +1,119 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import EOF, IDENT, INT, KEYWORD, OP, PUNCT
+from repro.util.errors import LexError
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)[:-1]]
+
+
+def test_empty_source_gives_only_eof():
+    toks = tokenize("")
+    assert len(toks) == 1
+    assert toks[0].kind == EOF
+
+
+def test_integer_literal():
+    toks = tokenize("42")
+    assert toks[0].kind == INT
+    assert toks[0].text == "42"
+
+
+def test_identifier():
+    toks = tokenize("foo_bar9")
+    assert toks[0].kind == IDENT
+    assert toks[0].text == "foo_bar9"
+
+
+def test_keywords_recognized():
+    for kw in ("var", "func", "if", "else", "while", "cobegin", "return",
+               "malloc", "assume", "assert", "acquire", "release", "skip",
+               "true", "false", "shared", "coend"):
+        toks = tokenize(kw)
+        assert toks[0].kind == KEYWORD, kw
+
+
+def test_keyword_prefix_is_identifier():
+    toks = tokenize("variable whiles iffy")
+    assert all(t.kind == IDENT for t in toks[:-1])
+
+
+def test_multichar_operators_longest_match():
+    assert texts("== != <= >= && ||") == ["==", "!=", "<=", ">=", "&&", "||"]
+
+
+def test_single_char_operators():
+    assert texts("+ - * / % < > ! & =") == list("+-*/%<>!&=")
+
+
+def test_lt_followed_by_eq_separate():
+    # "< =" with a space is two tokens
+    assert texts("< =") == ["<", "="]
+
+
+def test_punctuation():
+    assert texts("( ) { } [ ] ; , :") == list("(){}[];,:")
+
+
+def test_line_comment_skipped():
+    assert texts("1 // comment here\n2") == ["1", "2"]
+
+
+def test_block_comment_skipped():
+    assert texts("1 /* anything \n at all */ 2") == ["1", "2"]
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("1 /* never ends")
+
+
+def test_line_numbers_tracked():
+    toks = tokenize("a\nb\n  c")
+    assert toks[0].line == 1
+    assert toks[1].line == 2
+    assert toks[2].line == 3
+    assert toks[2].col == 3
+
+
+def test_identifier_cannot_start_with_digit():
+    with pytest.raises(LexError):
+        tokenize("1abc")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")
+
+
+def test_error_carries_position():
+    with pytest.raises(LexError) as exc:
+        tokenize("ok\n  @")
+    assert exc.value.line == 2
+
+
+def test_whitespace_variants():
+    assert texts("a\tb\r\nc") == ["a", "b", "c"]
+
+
+def test_adjacent_tokens_without_space():
+    assert texts("x=y+1;") == ["x", "=", "y", "+", "1", ";"]
+
+
+def test_ampersand_single():
+    assert texts("&x && y") == ["&", "x", "&&", "y"]
+
+
+def test_full_statement_token_stream():
+    toks = tokenize("s1: x = malloc(2);")
+    assert [t.kind for t in toks[:-1]] == [
+        IDENT, PUNCT, IDENT, OP, KEYWORD, PUNCT, INT, PUNCT, PUNCT
+    ]

@@ -1,0 +1,249 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+from repro.util.errors import ParseError
+
+
+def first_stmt(src_body: str) -> A.Stmt:
+    prog = parse(f"func main() {{ {src_body} }}")
+    return prog.funcs[0].body[0]
+
+
+def expr_of(src: str) -> A.Expr:
+    stmt = first_stmt(f"x = {src};")
+    assert isinstance(stmt, A.Assign)
+    return stmt.expr
+
+
+# -- top level --------------------------------------------------------------
+
+
+def test_empty_program():
+    prog = parse("")
+    assert prog.globals == () and prog.funcs == ()
+
+
+def test_global_with_init():
+    prog = parse("var A = 3;")
+    assert prog.globals[0].ident == "A"
+    assert isinstance(prog.globals[0].init, A.IntLit)
+
+
+def test_shared_keyword_accepted():
+    prog = parse("shared var A = 0;")
+    assert prog.globals[0].ident == "A"
+
+
+def test_func_params():
+    prog = parse("func f(a, b, c) { }")
+    assert prog.funcs[0].params == ("a", "b", "c")
+
+
+def test_top_level_junk_rejected():
+    with pytest.raises(ParseError):
+        parse("x = 1;")
+
+
+# -- statements -------------------------------------------------------------
+
+
+def test_assign():
+    stmt = first_stmt("x = 1;")
+    assert isinstance(stmt, A.Assign)
+    assert isinstance(stmt.target, A.NameLV)
+
+
+def test_labeled_statement():
+    stmt = first_stmt("s1: x = 1;")
+    assert stmt.label == "s1"
+
+
+def test_deref_store():
+    stmt = first_stmt("*p = 1;")
+    assert isinstance(stmt, A.Assign)
+    assert isinstance(stmt.target, A.DerefLV)
+
+
+def test_index_store():
+    stmt = first_stmt("p[2] = 1;")
+    assert isinstance(stmt.target, A.DerefLV)
+    assert isinstance(stmt.target.index, A.IntLit)
+
+
+def test_malloc_statement():
+    stmt = first_stmt("p = malloc(4);")
+    assert isinstance(stmt, A.Malloc)
+
+
+def test_call_statement_bare():
+    stmt = first_stmt("f(1, 2);")
+    assert isinstance(stmt, A.CallStmt)
+    assert stmt.target is None
+    assert len(stmt.args) == 2
+
+
+def test_call_statement_with_result():
+    stmt = first_stmt("x = f();")
+    assert isinstance(stmt, A.CallStmt)
+    assert isinstance(stmt.target, A.NameLV)
+
+
+def test_call_through_expression():
+    stmt = first_stmt("x = (f)(3);")
+    assert isinstance(stmt, A.CallStmt)
+
+
+def test_nested_call_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("x = f() + 1;")
+
+
+def test_call_in_condition_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("if (f()) { }")
+
+
+def test_return_forms():
+    assert isinstance(first_stmt("return;"), A.Return)
+    r = first_stmt("return 1 + 2;")
+    assert isinstance(r, A.Return) and r.expr is not None
+
+
+def test_if_else():
+    stmt = first_stmt("if (x) { y = 1; } else { y = 2; }")
+    assert isinstance(stmt, A.If)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_if_without_else():
+    stmt = first_stmt("if (x) { y = 1; }")
+    assert stmt.else_body == ()
+
+
+def test_else_if_chain():
+    stmt = first_stmt("if (x) { } else if (y) { } else { z = 1; }")
+    inner = stmt.else_body[0]
+    assert isinstance(inner, A.If)
+    assert len(inner.else_body) == 1
+
+
+def test_while():
+    stmt = first_stmt("while (x < 3) { x = x + 1; }")
+    assert isinstance(stmt, A.While)
+
+
+def test_cobegin_two_branches():
+    stmt = first_stmt("cobegin { x = 1; } { y = 2; }")
+    assert isinstance(stmt, A.Cobegin)
+    assert len(stmt.branches) == 2
+
+
+def test_cobegin_coend_optional():
+    stmt = first_stmt("cobegin { x = 1; } coend;")
+    assert isinstance(stmt, A.Cobegin)
+
+
+def test_cobegin_without_branch_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("cobegin x = 1;")
+
+
+def test_assume_assert():
+    assert isinstance(first_stmt("assume(x == 1);"), A.Assume)
+    assert isinstance(first_stmt("assert(x == 1);"), A.Assert)
+
+
+def test_acquire_release():
+    assert isinstance(first_stmt("acquire(l);"), A.Acquire)
+    assert isinstance(first_stmt("release(l);"), A.Release)
+
+
+def test_skip():
+    assert isinstance(first_stmt("skip;"), A.Skip)
+
+
+def test_var_decl_local():
+    stmt = first_stmt("var t = 5;")
+    assert isinstance(stmt, A.VarDecl)
+
+
+def test_bare_expression_statement_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("x + 1;")
+
+
+def test_assign_to_literal_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("3 = x;")
+
+
+def test_missing_semicolon_rejected():
+    with pytest.raises(ParseError):
+        first_stmt("x = 1")
+
+
+# -- expressions ------------------------------------------------------------
+
+
+def test_precedence_mul_over_add():
+    e = expr_of("1 + 2 * 3")
+    assert isinstance(e, A.Binary) and e.op == "+"
+    assert isinstance(e.right, A.Binary) and e.right.op == "*"
+
+
+def test_precedence_cmp_over_and():
+    e = expr_of("a < b && c < d")
+    assert e.op == "&&"
+    assert e.left.op == "<" and e.right.op == "<"
+
+
+def test_or_lowest():
+    e = expr_of("a && b || c")
+    assert e.op == "||"
+
+
+def test_left_associativity():
+    e = expr_of("1 - 2 - 3")
+    assert e.op == "-" and isinstance(e.left, A.Binary)
+    assert e.left.op == "-"
+
+
+def test_parens_override():
+    e = expr_of("(1 + 2) * 3")
+    assert e.op == "*" and e.left.op == "+"
+
+
+def test_unary_ops():
+    e = expr_of("-x")
+    assert isinstance(e, A.Unary) and e.op == "-"
+    e = expr_of("!x")
+    assert e.op == "!"
+
+
+def test_deref_expr_sugar():
+    e = expr_of("*p")
+    assert isinstance(e, A.Deref)
+    assert isinstance(e.index, A.IntLit) and e.index.value == 0
+
+
+def test_index_expr():
+    e = expr_of("p[i + 1]")
+    assert isinstance(e, A.Deref) and isinstance(e.index, A.Binary)
+
+
+def test_addrof():
+    e = expr_of("&g")
+    assert isinstance(e, A.AddrOf) and e.ident == "g"
+
+
+def test_true_false_literals():
+    assert expr_of("true").value == 1
+    assert expr_of("false").value == 0
+
+
+def test_double_deref():
+    e = expr_of("**p")
+    assert isinstance(e, A.Deref) and isinstance(e.base, A.Deref)

@@ -1,0 +1,131 @@
+"""Pretty-printer round-trip tests: parse(pretty(ast)) ≡ ast."""
+
+import dataclasses
+
+import pytest
+
+from repro.lang import ast_nodes as A
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_expr, pretty_program
+from repro.programs.corpus import CORPUS
+
+
+def _strip_positions(node):
+    """Structural comparison modulo source positions."""
+    if isinstance(node, A.ProgramAST):
+        return (
+            tuple(_strip_positions(g) for g in node.globals),
+            tuple(_strip_positions(f) for f in node.funcs),
+        )
+    if isinstance(node, A.FuncDef):
+        return (
+            "func",
+            node.name,
+            node.params,
+            tuple(_strip_positions(s) for s in node.body),
+        )
+    if dataclasses.is_dataclass(node):
+        items = []
+        for f in dataclasses.fields(node):
+            if f.name == "line":
+                continue
+            items.append((f.name, _strip_positions(getattr(node, f.name))))
+        return (type(node).__name__, tuple(items))
+    if isinstance(node, tuple):
+        return tuple(_strip_positions(x) for x in node)
+    return node
+
+
+SOURCES = {
+    "simple": "var A = 1;\nfunc main() { A = A + 2; }",
+    "labels": "var A = 0;\nfunc main() { s1: A = 1; s2: skip; }",
+    "control": """
+        var A = 0;
+        func main() {
+            if (A == 0) { A = 1; } else { A = 2; }
+            while (A < 10) { A = A + 1; }
+        }
+    """,
+    "parallel": """
+        var A = 0; var B = 0;
+        func main() {
+            cobegin { A = 1; } { B = 2; } { skip; }
+        }
+    """,
+    "pointers": """
+        var p = 0;
+        func main() {
+            p = malloc(3);
+            p[1] = 7;
+            *p = p[1] + 1;
+        }
+    """,
+    "calls": """
+        var r = 0;
+        func f(a, b) { return a * b; }
+        func main() { var t = 0; r = f(2, 3); t = f(t, r); }
+    """,
+    "sync": """
+        var l = 0; var x = 0;
+        func main() {
+            cobegin
+            { acquire(l); x = x + 1; release(l); }
+            { assume(x == 1); assert(x >= 1); }
+        }
+    """,
+    "firstclass": """
+        var r = 0;
+        func inc(v) { return v + 1; }
+        func main() { var f = 0; f = inc; r = f(1); }
+    """,
+}
+
+
+@pytest.mark.parametrize("name", sorted(SOURCES))
+def test_roundtrip_sources(name):
+    ast = parse(SOURCES[name])
+    printed = pretty_program(ast)
+    reparsed = parse(printed)
+    assert _strip_positions(ast) == _strip_positions(reparsed)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_roundtrip_corpus(name):
+    prog = CORPUS[name]()
+    assert prog.source is not None
+    ast = parse(prog.source)
+    printed = pretty_program(ast)
+    assert _strip_positions(parse(printed)) == _strip_positions(ast)
+
+
+@pytest.mark.parametrize(
+    "src",
+    [
+        "1 + 2 * 3",
+        "(1 + 2) * 3",
+        "1 - 2 - 3",
+        "1 - (2 - 3)",
+        "a && b || c && d",
+        "(a || b) && c",
+        "-x + !y",
+        "*p + q[3]",
+        "&g == p",
+        "a < b == (c > d)",
+    ],
+)
+def test_expr_roundtrip(src):
+    def parse_expr(text):
+        prog = parse(f"func main() {{ x = {text}; }}")
+        return prog.funcs[0].body[0].expr
+
+    ast = parse_expr(src)
+    assert _strip_positions(parse_expr(pretty_expr(ast))) == _strip_positions(ast)
+
+
+def test_minimal_parens():
+    def parse_expr(text):
+        prog = parse(f"func main() {{ x = {text}; }}")
+        return prog.funcs[0].body[0].expr
+
+    assert pretty_expr(parse_expr("1 + 2 * 3")) == "1 + 2 * 3"
+    assert pretty_expr(parse_expr("(1 + 2) * 3")) == "(1 + 2) * 3"

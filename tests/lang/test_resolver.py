@@ -1,0 +1,131 @@
+"""Resolver (scoping) tests — especially the cobegin thread boundary."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.util.errors import ResolveError
+
+
+def test_undeclared_name_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("func main() { x = 1; }")
+
+
+def test_global_visible_in_function():
+    parse_program("var g = 0; func main() { g = 1; }")
+
+
+def test_param_is_local():
+    parse_program("var r = 0; func f(a) { return a; } func main() { r = f(1); }")
+
+
+def test_local_shadowing_global():
+    prog = parse_program(
+        "var x = 5; func main() { var x = 1; x = x + 1; }"
+    )
+    # the assignment targets the local slot, not the global
+    fc = prog.funcs["main"]
+    from repro.lang.instructions import IAssign, LLocal
+
+    assigns = [i for i in fc.instrs if isinstance(i, IAssign)]
+    assert all(isinstance(a.target, LLocal) for a in assigns)
+
+
+def test_duplicate_local_same_scope_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("func main() { var x = 1; var x = 2; }")
+
+
+def test_shadowing_in_nested_block_allowed():
+    parse_program("func main() { var x = 1; if (x) { var x = 2; x = 3; } }")
+
+
+def test_duplicate_global_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("var g = 0; var g = 1; func main() { }")
+
+
+def test_duplicate_function_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("func f() { } func f() { } func main() { }")
+
+
+def test_global_and_function_name_clash_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("var f = 0; func f() { } func main() { }")
+
+
+def test_main_required():
+    with pytest.raises(ResolveError):
+        parse_program("func notmain() { }")
+
+
+def test_main_with_params_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("func main(a) { }")
+
+
+def test_branch_cannot_touch_enclosing_local():
+    with pytest.raises(ResolveError) as exc:
+        parse_program(
+            "func main() { var t = 0; cobegin { t = 1; } { skip; } }"
+        )
+    assert "cobegin" in str(exc.value)
+
+
+def test_branch_can_touch_global():
+    parse_program("var g = 0; func main() { cobegin { g = 1; } { g = 2; } }")
+
+
+def test_branch_own_locals_fine():
+    parse_program(
+        "func main() { cobegin { var t = 0; t = 1; } { var t = 5; t = 2; } }"
+    )
+
+
+def test_nested_branch_cannot_reach_outer_branch_local():
+    with pytest.raises(ResolveError):
+        parse_program(
+            """
+            func main() {
+                cobegin {
+                    var t = 0;
+                    cobegin { t = 1; } { skip; }
+                } { skip; }
+            }
+            """
+        )
+
+
+def test_function_called_from_branch_uses_own_locals():
+    parse_program(
+        """
+        var g = 0;
+        func f() { var t = 1; g = t; }
+        func main() { cobegin { f(); } { f(); } }
+        """
+    )
+
+
+def test_addrof_local_rejected():
+    with pytest.raises(ResolveError):
+        parse_program("var p = 0; func main() { var t = 0; p = &t; }")
+
+
+def test_addrof_global_ok():
+    parse_program("var g = 0; var p = 0; func main() { p = &g; }")
+
+
+def test_acquire_requires_global():
+    with pytest.raises(ResolveError):
+        parse_program("func main() { var l = 0; acquire(l); }")
+
+
+def test_global_initializer_must_be_constant():
+    with pytest.raises(ResolveError):
+        parse_program("var a = 0; var b = a + 1; func main() { }")
+
+
+def test_constant_folded_initializer():
+    prog = parse_program("var a = 2 * 3 + 1; func main() { }")
+    assert prog.global_init[0] == 7

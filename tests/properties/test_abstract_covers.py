@@ -1,0 +1,53 @@
+"""Property: the folded abstract space covers concrete reachability.
+
+Every configuration reached by concrete exploration must be ⊑ the
+folded abstract entry with the same control skeleton — the [CC77]
+soundness of the abstract semantics, checked end-to-end through
+spawn/join, calls, heap allocation and branching.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.absdomain import (
+    AbsValueDomain,
+    FlatConstDomain,
+    IntervalDomain,
+    SignDomain,
+)
+from repro.abstraction import taylor_explore
+from repro.explore import explore
+from tests.properties.test_reduction_soundness import programs
+
+DOMS = {
+    "flat": lambda: AbsValueDomain(FlatConstDomain()),
+    "interval": lambda: AbsValueDomain(IntervalDomain()),
+    "sign": lambda: AbsValueDomain(SignDomain()),
+}
+
+
+@pytest.mark.parametrize("dom_name", sorted(DOMS))
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_taylor_fold_covers_concrete(dom_name, prog):
+    folded = taylor_explore(prog, DOMS[dom_name]())
+    concrete = explore(prog, "full")
+    for cfg in concrete.graph.configs:
+        if cfg.fault is None:
+            assert folded.covers_config(cfg)
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_concrete_terminals_covered(prog):
+    folded = taylor_explore(prog, AbsValueDomain(IntervalDomain()))
+    concrete = explore(prog, "full")
+    terminal_abstract = folded.terminal_states()
+    if any(
+        concrete.graph.terminal.get(cid) == "terminated"
+        for cid in concrete.graph.terminal
+    ):
+        assert terminal_abstract

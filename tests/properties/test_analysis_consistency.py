@@ -1,0 +1,57 @@
+"""Cross-analysis consistency properties on random programs.
+
+The analyses are views of one explored space; they must agree:
+
+- dynamic MHP ⊆ static MHP;
+- every *cross-thread* dependence connects statements that are
+  statically concurrent;
+- every race pair is dynamically MHP and constitutes a cross-thread
+  conflict the dependence analysis also sees.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.analyses.dependence import INIT, dependences
+from repro.analyses.mhp import mhp_dynamic, mhp_static
+from repro.analyses.races import races
+from repro.explore import explore
+from tests.properties.test_reduction_soundness import programs
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_dynamic_mhp_within_static(prog):
+    result = explore(prog, "full")
+    dyn = mhp_dynamic(prog, result)
+    stat = mhp_static(prog)
+    assert dyn <= stat
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_cross_thread_deps_are_statically_concurrent(prog):
+    result = explore(prog, "full")
+    deps = dependences(prog, result)
+    stat = mhp_static(prog)
+    joins = {l for l in () }
+    for d in deps.deps:
+        if not d.cross_thread or d.src == INIT:
+            continue
+        if d.src == d.dst:
+            continue
+        # join pseudo-labels ("...$join") have no static location
+        if d.src.endswith("$join") or d.dst.endswith("$join"):
+            continue
+        assert frozenset((d.src, d.dst)) in stat, d
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_races_are_mhp_conflicts(prog):
+    result = explore(prog, "full")
+    found = races(prog, result)
+    dyn = mhp_dynamic(prog, result)
+    for r in found:
+        assert frozenset((r.label_a, r.label_b)) in dyn, r

@@ -1,0 +1,51 @@
+"""Property: the whole pipeline is deterministic (DESIGN.md §5).
+
+Exploration graphs, analyses, and folded abstract spaces must come out
+identical across repeated runs — ordered data structures throughout.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+
+from repro.abstraction import taylor_explore
+from repro.analyses.dependence import dependences
+from repro.analyses.races import races
+from repro.explore import explore
+from tests.properties.test_reduction_soundness import programs
+
+
+def _graph_fingerprint(result):
+    return (
+        result.stats.num_configs,
+        tuple((e.src, e.dst, e.labels, e.pid) for e in result.graph.edges),
+        tuple(sorted(result.graph.terminal.items())),
+    )
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_exploration_deterministic(prog):
+    for policy, coarsen in (("full", False), ("stubborn", True)):
+        a = explore(prog, policy, coarsen=coarsen)
+        b = explore(prog, policy, coarsen=coarsen)
+        assert _graph_fingerprint(a) == _graph_fingerprint(b)
+
+
+@given(prog=programs())
+@settings(max_examples=20, deadline=None)
+def test_analyses_deterministic(prog):
+    r1 = explore(prog, "full")
+    r2 = explore(prog, "full")
+    assert dependences(prog, r1).deps == dependences(prog, r2).deps
+    assert races(prog, r1) == races(prog, r2)
+
+
+@given(prog=programs())
+@settings(max_examples=20, deadline=None)
+def test_folding_deterministic(prog):
+    a = taylor_explore(prog)
+    b = taylor_explore(prog)
+    assert a.stats.num_states == b.stats.num_states
+    assert set(a.table) == set(b.table)
+    assert a.edges == b.edges

@@ -1,0 +1,193 @@
+"""Property-based lattice/Galois laws for every abstract domain.
+
+For each numeric domain: partial-order laws, join-as-lub, meet-as-glb,
+α/γ soundness, transfer-function soundness against the concrete
+operators, and widening covering/stabilization.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.absdomain.concrete_ops import apply_binop, apply_unop
+from repro.absdomain.flat import FlatConstDomain
+from repro.absdomain.interval import IntervalDomain
+from repro.absdomain.kset import KSetDomain
+from repro.absdomain.parity import ParityDomain
+from repro.absdomain.product import ProductDomain
+from repro.absdomain.sign import SignDomain
+
+DOMAINS = {
+    "flat": FlatConstDomain(),
+    "sign": SignDomain(),
+    "interval": IntervalDomain(),
+    "parity": ParityDomain(),
+    "kset3": KSetDomain(3),
+    "interval_x_parity": ProductDomain(IntervalDomain(), ParityDomain()),
+}
+
+ints = st.integers(min_value=-40, max_value=40)
+small_int_sets = st.lists(ints, min_size=1, max_size=4)
+
+BINOPS = ["+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]
+UNOPS = ["-", "!"]
+
+
+def elements(dom):
+    """Abstract elements reachable as joins of a few abstracted ints,
+    plus ⊥ and ⊤."""
+    base = small_int_sets.map(dom.abstract_all)
+    return st.one_of(st.just(dom.bottom), st.just(dom.top), base)
+
+
+@pytest.mark.parametrize("name", sorted(DOMAINS))
+class TestLatticeLaws:
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_leq_reflexive(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        assert dom.leq(a, a)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_leq_transitive(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        c = data.draw(elements(dom))
+        if dom.leq(a, b) and dom.leq(b, c):
+            assert dom.leq(a, c)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_bot_top_extremes(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        assert dom.leq(dom.bottom, a)
+        assert dom.leq(a, dom.top)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_join_is_upper_bound(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        j = dom.join(a, b)
+        assert dom.leq(a, j) and dom.leq(b, j)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_join_commutative_idempotent(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        assert dom.join(a, b) == dom.join(b, a)
+        assert dom.join(a, a) == a
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_meet_is_lower_bound(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        m = dom.meet(a, b)
+        assert dom.leq(m, a) and dom.leq(m, b)
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_widen_covers_both(self, name, data):
+        dom = DOMAINS[name]
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        w = dom.widen(a, b)
+        assert dom.leq(a, w) and dom.leq(b, w)
+
+
+@pytest.mark.parametrize("name", sorted(DOMAINS))
+class TestGaloisSoundness:
+    @given(n=ints)
+    @settings(max_examples=60, deadline=None)
+    def test_alpha_gamma_membership(self, name, n):
+        dom = DOMAINS[name]
+        assert dom.contains(dom.abstract(n), n)
+
+    @given(ns=small_int_sets, n_extra=ints)
+    @settings(max_examples=60, deadline=None)
+    def test_join_preserves_membership(self, name, ns, n_extra):
+        dom = DOMAINS[name]
+        a = dom.abstract_all(ns)
+        for n in ns:
+            assert dom.contains(a, n)
+        bigger = dom.join(a, dom.abstract(n_extra))
+        for n in ns + [n_extra]:
+            assert dom.contains(bigger, n)
+
+    @given(x=ints, y=ints, op=st.sampled_from(BINOPS))
+    @settings(max_examples=200, deadline=None)
+    def test_binop_sound(self, name, x, y, op):
+        dom = DOMAINS[name]
+        concrete = apply_binop(op, x, y)
+        if concrete is None:
+            return  # faulting combination: concrete semantics crashes
+        res = dom.binop(op, dom.abstract(x), dom.abstract(y))
+        assert dom.contains(res, concrete), (op, x, y, res)
+
+    @given(xs=small_int_sets, ys=small_int_sets, op=st.sampled_from(BINOPS))
+    @settings(max_examples=120, deadline=None)
+    def test_binop_sound_on_joined_inputs(self, name, xs, ys, op):
+        dom = DOMAINS[name]
+        a = dom.abstract_all(xs)
+        b = dom.abstract_all(ys)
+        res = dom.binop(op, a, b)
+        for x in xs:
+            for y in ys:
+                concrete = apply_binop(op, x, y)
+                if concrete is not None:
+                    assert dom.contains(res, concrete), (op, x, y)
+
+    @given(x=ints, op=st.sampled_from(UNOPS))
+    @settings(max_examples=80, deadline=None)
+    def test_unop_sound(self, name, x, op):
+        dom = DOMAINS[name]
+        concrete = apply_unop(op, x)
+        res = dom.unop(op, dom.abstract(x))
+        assert dom.contains(res, concrete)
+
+    @given(x=ints)
+    @settings(max_examples=80, deadline=None)
+    def test_truth_sound(self, name, x):
+        dom = DOMAINS[name]
+        may_t, may_f = dom.truth(dom.abstract(x))
+        if x != 0:
+            assert may_t
+        else:
+            assert may_f
+
+    @given(data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_binop(self, name, data):
+        dom = DOMAINS[name]
+        op = data.draw(st.sampled_from(["+", "-", "*"]))
+        a = data.draw(elements(dom))
+        b = data.draw(elements(dom))
+        bigger_a = dom.join(a, data.draw(elements(dom)))
+        r1 = dom.binop(op, a, b)
+        r2 = dom.binop(op, bigger_a, b)
+        assert dom.leq(r1, r2), (op, a, bigger_a, b)
+
+
+@given(ns=st.lists(ints, min_size=2, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_interval_widening_sequence_stabilizes(ns):
+    dom = IntervalDomain()
+    x = dom.abstract(ns[0])
+    changes = 0
+    for n in ns[1:]:
+        nxt = dom.widen(x, dom.join(x, dom.abstract(n)))
+        if nxt != x:
+            changes += 1
+        x = nxt
+    assert changes <= 2  # each bound can jump to ∞ at most once

@@ -1,0 +1,135 @@
+"""Property: pretty-print/parse round-trips on *random* programs, and
+the compiler accepts whatever the generator produces."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast_nodes as A
+from repro.lang import builder as B
+from repro.lang import compile_program
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty_program
+
+GLOBALS = ["g0", "g1", "g2"]
+
+exprs_leaf = st.one_of(
+    st.integers(min_value=-9, max_value=9).map(B.const),
+    st.sampled_from(GLOBALS).map(B.var),
+)
+
+
+def exprs(depth=2):
+    if depth == 0:
+        return exprs_leaf
+    sub = exprs(depth - 1)
+    return st.one_of(
+        exprs_leaf,
+        st.tuples(
+            st.sampled_from(["+", "-", "*", "==", "!=", "<", "<=", ">", ">=", "&&", "||"]),
+            sub,
+            sub,
+        ).map(lambda t: B.binop(*t)),
+        st.tuples(st.sampled_from(["-", "!"]), sub).map(lambda t: B.unary(*t)),
+    )
+
+
+@st.composite
+def stmts(draw, depth=1):
+    kind = draw(
+        st.sampled_from(
+            ["assign", "skip", "assume", "assert"]
+            + (["if", "while", "cobegin"] if depth > 0 else [])
+        )
+    )
+    if kind == "assign":
+        return B.assign(draw(st.sampled_from(GLOBALS)), draw(exprs()))
+    if kind == "skip":
+        return B.skip()
+    if kind == "assume":
+        return B.assume(draw(exprs()))
+    if kind == "assert":
+        return B.assert_(draw(exprs()))
+    body = draw(st.lists(stmts(depth=depth - 1), min_size=1, max_size=2))
+    if kind == "if":
+        else_body = draw(st.lists(stmts(depth=depth - 1), min_size=0, max_size=2))
+        return B.if_(draw(exprs()), body, else_body)
+    if kind == "while":
+        return B.while_(draw(exprs()), body)
+    branches = draw(
+        st.lists(st.lists(stmts(depth=depth - 1), min_size=1, max_size=2),
+                 min_size=1, max_size=3)
+    )
+    return B.cobegin(*branches)
+
+
+@st.composite
+def program_asts(draw):
+    body = draw(st.lists(stmts(), min_size=1, max_size=4))
+    return B.program(
+        B.globals(**{g: draw(st.integers(-5, 5)) for g in GLOBALS}),
+        B.func("main")(*body),
+    )
+
+
+def _normalize(node):
+    """Fold ``-literal`` chains bottom-up, as the parser does."""
+    if isinstance(node, A.Unary):
+        operand = _normalize(node.operand)
+        if node.op == "-" and isinstance(operand, A.IntLit):
+            return A.IntLit(value=-operand.value)
+        return A.Unary(op=node.op, operand=operand)
+    if isinstance(node, A.Binary):
+        return A.Binary(op=node.op, left=_normalize(node.left), right=_normalize(node.right))
+    return node
+
+
+def _strip(node):
+    if isinstance(node, A.Expr):
+        node = _normalize(node)
+    if isinstance(node, A.ProgramAST):
+        return (
+            tuple(_strip(g) for g in node.globals),
+            tuple(_strip(f) for f in node.funcs),
+        )
+    if isinstance(node, A.FuncDef):
+        return ("func", node.name, node.params, tuple(_strip(s) for s in node.body))
+    if dataclasses.is_dataclass(node):
+        return (
+            type(node).__name__,
+            tuple(
+                (f.name, _strip(getattr(node, f.name)))
+                for f in dataclasses.fields(node)
+                if f.name != "line"
+            ),
+        )
+    if isinstance(node, tuple):
+        return tuple(_strip(x) for x in node)
+    return node
+
+
+@given(ast=program_asts())
+@settings(max_examples=80, deadline=None)
+def test_pretty_parse_roundtrip(ast):
+    printed = pretty_program(ast)
+    reparsed = parse(printed)
+    assert _strip(reparsed) == _strip(ast)
+
+
+@given(ast=program_asts())
+@settings(max_examples=80, deadline=None)
+def test_random_ast_compiles(ast):
+    prog = compile_program(ast)
+    assert prog.funcs["main"].instrs  # at least the implicit return
+
+
+@given(ast=program_asts())
+@settings(max_examples=40, deadline=None)
+def test_compile_is_deterministic(ast):
+    a = compile_program(ast)
+    b = compile_program(ast)
+    assert a.funcs["main"].instrs == b.funcs["main"].instrs
+    assert a.labels.keys() == b.labels.keys()

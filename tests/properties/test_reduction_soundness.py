@@ -1,0 +1,123 @@
+"""Property: every reduction preserves the result configurations.
+
+Random cobegin programs (assignments, guards, locks, calls, heap) are
+explored under full interleaving and under each reduction; the sets of
+observable outcomes — final stores plus deadlock/fault payloads — must
+be identical.  This is the paper's central correctness claim for
+stubborn sets (§2) and virtual coarsening (Observation 5), and the
+Godefroid guarantee for sleep sets.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import explore
+from repro.lang import builder as B
+from repro.lang import compile_program
+
+GLOBALS = ["ga", "gb", "gc"]
+LOCK = "lk"
+
+
+@st.composite
+def statements(draw, depth: int = 0):
+    """One random statement for a branch body."""
+    kind = draw(
+        st.sampled_from(
+            ["set", "inc", "copy", "skip", "locked", "guard", "ite"]
+            if depth == 0
+            else ["set", "inc", "copy", "skip"]
+        )
+    )
+    g = draw(st.sampled_from(GLOBALS))
+    h = draw(st.sampled_from(GLOBALS))
+    c = draw(st.integers(min_value=0, max_value=3))
+    if kind == "set":
+        return [B.assign(g, c)]
+    if kind == "inc":
+        return [B.assign(g, B.add(g, 1))]
+    if kind == "copy":
+        return [B.assign(g, B.var(h))]
+    if kind == "skip":
+        return [B.skip()]
+    if kind == "locked":
+        return [B.acquire(LOCK), B.assign(g, B.add(g, 1)), B.release(LOCK)]
+    if kind == "guard":
+        # may deadlock — deadlocks are result configurations too
+        return [B.assume(B.binop(">=", B.var(g), c))]
+    if kind == "ite":
+        inner = draw(statements(depth=1))
+        return [B.if_(B.eq(g, c), inner, [B.skip()])]
+    raise AssertionError(kind)
+
+
+@st.composite
+def programs(draw):
+    n_branches = draw(st.integers(min_value=2, max_value=3))
+    branches = []
+    for _ in range(n_branches):
+        n_stmts = draw(st.integers(min_value=1, max_value=3))
+        body: list = []
+        for _ in range(n_stmts):
+            body.extend(draw(statements()))
+        branches.append(body)
+    main_body = [B.cobegin(*branches)]
+    tail = draw(st.booleans())
+    if tail:
+        main_body.append(B.assign(GLOBALS[0], B.add(GLOBALS[0], 1)))
+    ast = B.program(
+        B.globals(**{name: 0 for name in GLOBALS}, **{LOCK: 0}),
+        B.func("main")(*main_body),
+    )
+    return compile_program(ast)
+
+
+@given(prog=programs())
+@settings(max_examples=40, deadline=None)
+def test_stubborn_preserves_results(prog):
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn")
+    assert red.final_stores() == full.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=40, deadline=None)
+def test_stubborn_proc_preserves_results(prog):
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn-proc")
+    assert red.final_stores() == full.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=40, deadline=None)
+def test_coarsening_preserves_results(prog):
+    full = explore(prog, "full")
+    red = explore(prog, "full", coarsen=True)
+    assert red.final_stores() == full.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=40, deadline=None)
+def test_all_reductions_combined_preserve_results(prog):
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn", coarsen=True, sleep=True)
+    assert red.final_stores() == full.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=30, deadline=None)
+def test_sleep_preserves_results(prog):
+    full = explore(prog, "full")
+    red = explore(prog, "full", sleep=True)
+    assert red.final_stores() == full.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=30, deadline=None)
+def test_reductions_never_grow_the_space(prog):
+    full = explore(prog, "full")
+    for policy, coarsen in (("stubborn", False), ("full", True), ("stubborn", True)):
+        red = explore(prog, policy, coarsen=coarsen)
+        assert red.stats.num_configs <= full.stats.num_configs

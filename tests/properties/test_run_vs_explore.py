@@ -1,0 +1,42 @@
+"""Property: scheduled executions agree with exploration.
+
+Any single run under any scheduler must land in a result configuration
+that full exploration also reaches — the transition system has one
+semantics, the explorer just enumerates it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.explore import explore
+from repro.semantics import run_program
+from tests.properties.test_reduction_soundness import programs
+
+
+@given(prog=programs(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=40, deadline=None)
+def test_random_run_outcome_is_explored(prog, seed):
+    run = run_program(prog, scheduler="random", seed=seed, max_steps=10_000)
+    result = explore(prog, "full")
+    assert run.config.result_store() in result.final_stores()
+
+
+@given(prog=programs())
+@settings(max_examples=25, deadline=None)
+def test_roundrobin_and_first_outcomes_explored(prog):
+    result = explore(prog, "full")
+    for scheduler in ("roundrobin", "first"):
+        run = run_program(prog, scheduler=scheduler, max_steps=10_000)
+        assert run.config.result_store() in result.final_stores()
+
+
+@given(prog=programs(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_run_outcome_also_in_reduced_exploration(prog, seed):
+    """The reduced space preserves result configurations, so any run's
+    outcome must be found there too."""
+    run = run_program(prog, scheduler="random", seed=seed, max_steps=10_000)
+    reduced = explore(prog, "stubborn", coarsen=True)
+    assert run.config.result_store() in reduced.final_stores()

@@ -1,0 +1,182 @@
+"""Expression evaluation tests: values, read sets, faults."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.semantics import initial_config, run_program
+from repro.util.errors import RuntimeFault
+
+
+def run_expr(expr_src: str, decls: str = "var g = 7; var h = 0;"):
+    """Evaluate an expression by assigning it to a fresh global."""
+    src = f"{decls} var out = 0; func main() {{ out = {expr_src}; }}"
+    prog = parse_program(src)
+    r = run_program(prog)
+    assert r.terminated, r.config.fault
+    return r.global_value(prog, "out")
+
+
+def fault_of(body: str, decls: str = "var g = 7;") -> str:
+    prog = parse_program(f"{decls} func main() {{ {body} }}")
+    r = run_program(prog)
+    assert r.faulted
+    return r.config.fault
+
+
+# -- arithmetic ------------------------------------------------------------
+
+
+def test_arith_basic():
+    assert run_expr("1 + 2 * 3") == 7
+    assert run_expr("10 - 4") == 6
+    assert run_expr("-5 + 2") == -3
+
+
+def test_division_truncates_toward_zero():
+    assert run_expr("7 / 2") == 3
+    assert run_expr("-7 / 2") == -3
+    assert run_expr("7 / -2") == -3
+    assert run_expr("-7 / -2") == 3
+
+
+def test_modulo_c_semantics():
+    assert run_expr("7 % 2") == 1
+    assert run_expr("-7 % 2") == -1
+    assert run_expr("7 % -2") == 1
+
+
+def test_div_by_zero_faults():
+    assert "div-by-zero" in fault_of("g = 1 / (g - 7);")
+
+
+def test_mod_by_zero_faults():
+    assert "div-by-zero" in fault_of("g = 1 % (g - 7);")
+
+
+def test_comparisons():
+    assert run_expr("3 < 4") == 1
+    assert run_expr("4 <= 4") == 1
+    assert run_expr("5 > 6") == 0
+    assert run_expr("5 >= 6") == 0
+    assert run_expr("3 == 3") == 1
+    assert run_expr("3 != 3") == 0
+
+
+def test_logical_values_normalized():
+    assert run_expr("2 && 3") == 1
+    assert run_expr("0 || 7") == 1
+    assert run_expr("0 && 1") == 0
+
+
+def test_short_circuit_avoids_fault():
+    # right arm would divide by zero; short-circuit must skip it
+    assert run_expr("0 && (1 / 0)") == 0
+    assert run_expr("1 || (1 / 0)") == 1
+
+
+def test_unary_not_and_neg():
+    assert run_expr("!0") == 1
+    assert run_expr("!5") == 0
+    assert run_expr("- (3 + 4)") == -7
+
+
+def test_globals_read():
+    assert run_expr("g + 1") == 8
+
+
+# -- pointers ---------------------------------------------------------------
+
+
+def test_malloc_deref_roundtrip():
+    src = """
+    var p = 0; var out = 0;
+    func main() { p = malloc(2); p[0] = 5; p[1] = 6; out = p[0] + p[1]; }
+    """
+    prog = parse_program(src)
+    r = run_program(prog)
+    assert r.global_value(prog, "out") == 11
+
+
+def test_pointer_arithmetic():
+    src = """
+    var p = 0; var q = 0; var out = 0;
+    func main() { p = malloc(3); q = p + 2; *q = 9; out = p[2]; }
+    """
+    prog = parse_program(src)
+    r = run_program(prog)
+    assert r.global_value(prog, "out") == 9
+
+
+def test_addrof_global_read_write():
+    src = """
+    var g = 3; var p = 0; var out = 0;
+    func main() { p = &g; *p = 10; out = g + *p; }
+    """
+    prog = parse_program(src)
+    r = run_program(prog)
+    assert r.global_value(prog, "out") == 20
+
+
+def test_deref_non_pointer_faults():
+    assert "bad-deref" in fault_of("g = *g;")
+
+
+def test_out_of_bounds_faults():
+    assert "bad-deref" in fault_of("var p = 0; p = malloc(1); g = p[3];")
+
+
+def test_negative_offset_faults():
+    assert "bad-deref" in fault_of("var p = 0; p = malloc(1); g = p[-1];")
+
+
+def test_pointer_equality():
+    src = """
+    var p = 0; var q = 0; var out = 0;
+    func main() { p = malloc(1); q = p; out = (p == q) + (p == p + 1); }
+    """
+    prog = parse_program(src)
+    assert run_program(prog).global_value(prog, "out") == 1
+
+
+def test_malloc_negative_size_faults():
+    assert "bad-alloc" in fault_of("var p = 0; p = malloc(0 - 1);")
+
+
+def test_type_error_on_pointer_arith():
+    assert "type-error" in fault_of("var p = 0; p = malloc(1); g = p * 2;")
+
+
+# -- read sets ----------------------------------------------------------------
+
+
+def test_read_sets_recorded():
+    from repro.semantics.step import StepOptions, next_infos
+
+    prog = parse_program("var a = 1; var b = 2; var c = 0; func main() { c = a + b; }")
+    config = initial_config(prog)
+    infos = next_infos(prog, config, StepOptions())
+    action = infos[0].action
+    assert set(action.reads) == {("g", 0), ("g", 1)}
+    assert set(action.writes) == {("g", 2)}
+
+
+def test_locals_not_in_read_sets():
+    from repro.semantics.step import StepOptions, next_infos
+
+    prog = parse_program("var g = 0; func main() { var t = 3; g = t; }")
+    config = initial_config(prog)
+    infos = next_infos(prog, config, StepOptions())
+    # first action: t = 3 (local only)
+    assert infos[0].action.reads == ()
+    assert infos[0].action.writes == ()
+
+
+def test_short_circuit_read_set():
+    from repro.semantics.step import StepOptions, next_infos
+
+    prog = parse_program(
+        "var a = 0; var b = 5; var c = 0; func main() { c = a && b; }"
+    )
+    config = initial_config(prog)
+    action = next_infos(prog, config, StepOptions())[0].action
+    assert set(action.reads) == {("g", 0)}  # b never read

@@ -1,0 +1,152 @@
+"""Advanced heap / first-class-function semantics tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.semantics import run_program
+
+
+def final(src, *names):
+    prog = parse_program(src)
+    r = run_program(prog)
+    assert r.terminated, r.config.fault
+    return tuple(r.global_value(prog, n) for n in names)
+
+
+def test_function_values_through_heap():
+    src = """
+    var table = 0; var r = 0;
+    func inc(v) { return v + 1; }
+    func dbl(v) { return v * 2; }
+    func main() {
+        var f = 0;
+        t1: table = malloc(2);
+        table[0] = inc;
+        table[1] = dbl;
+        f = table[1];
+        r = f(21);
+    }
+    """
+    assert final(src, "r") == (42,)
+
+
+def test_linked_list_sum():
+    src = """
+    var head = 0; var total = 0;
+    func push(h, v) {
+        var node = 0;
+        n1: node = malloc(2);
+        node[0] = v;
+        node[1] = h;
+        return node;
+    }
+    func main() {
+        var cur = 0;
+        head = push(head, 1);
+        head = push(head, 2);
+        head = push(head, 3);
+        cur = head;
+        while (cur != 0) {
+            total = total + cur[0];
+            cur = cur[1];
+        }
+    }
+    """
+    assert final(src, "total") == (6,)
+
+
+def test_pointer_into_middle_of_object():
+    src = """
+    var p = 0; var q = 0; var r = 0;
+    func main() {
+        a1: p = malloc(3);
+        p[2] = 9;
+        q = p + 1;
+        r = q[1];
+    }
+    """
+    assert final(src, "r") == (9,)
+
+
+def test_aliased_writes_visible():
+    src = """
+    var p = 0; var q = 0; var r = 0;
+    func main() { m: p = malloc(1); q = p; *p = 5; r = *q; }
+    """
+    assert final(src, "r") == (5,)
+
+
+def test_object_passed_to_function_mutated():
+    src = """
+    var p = 0; var r = 0;
+    func bump(ptr) { *ptr = *ptr + 1; }
+    func main() { m: p = malloc(1); *p = 10; bump(p); bump(p); r = *p; }
+    """
+    assert final(src, "r") == (12,)
+
+
+def test_global_pointer_via_addrof_in_function():
+    src = """
+    var g = 1; var r = 0;
+    func write_through(ptr, v) { *ptr = v; }
+    func main() { write_through(&g, 7); r = g; }
+    """
+    assert final(src, "r") == (7,)
+
+
+def test_two_sites_do_not_alias():
+    src = """
+    var p = 0; var q = 0; var r = 0;
+    func main() {
+        m1: p = malloc(1);
+        m2: q = malloc(1);
+        *p = 1;
+        *q = 2;
+        r = *p * 10 + *q;
+    }
+    """
+    assert final(src, "r") == (12,)
+
+
+def test_deep_recursion_with_heap():
+    src = """
+    var r = 0;
+    func build(n) {
+        var node = 0;
+        if (n == 0) { return 0; }
+        m: node = malloc(2);
+        node[0] = n;
+        node[1] = build(n - 1);
+        return node;
+    }
+    func total(node) {
+        var rest = 0;
+        if (node == 0) { return 0; }
+        rest = total(node[1]);
+        return node[0] + rest;
+    }
+    func main() { var lst = 0; lst = build(6); r = total(lst); }
+    """
+    assert final(src, "r") == (21,)
+
+
+def test_shared_heap_across_threads_with_handshake():
+    src = """
+    var p = 0; var r = 0;
+    func main() {
+        cobegin
+        { m: p = malloc(1); *p = 33; }
+        { assume(p != 0); assume(*p != 0); r = *p; }
+    }
+    """
+    assert final(src, "r") == (33,)
+
+
+def test_dangling_after_gc_not_possible():
+    # GC never collects reachable objects: the pointer survives a call
+    src = """
+    var p = 0; var r = 0;
+    func id(x) { return x; }
+    func main() { m: p = malloc(1); *p = 4; p = id(p); r = *p; }
+    """
+    assert final(src, "r") == (4,)

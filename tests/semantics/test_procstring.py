@@ -1,0 +1,70 @@
+"""Procedure-string tests ([Har89] instrumentation)."""
+
+from repro.semantics import procstring as PS
+
+
+def test_push_enter():
+    ps = PS.push((), PS.enter_proc("f", "c1"))
+    assert ps == (("+", "f", "c1"),)
+
+
+def test_exit_cancels_matching_enter():
+    ps = PS.push((), PS.enter_proc("f", "c1"))
+    ps = PS.push(ps, PS.exit_proc("f", "c1"))
+    assert ps == ()
+
+
+def test_exit_does_not_cancel_mismatched_site():
+    ps = PS.push((), PS.enter_proc("f", "c1"))
+    ps = PS.push(ps, PS.exit_proc("f", "c2"))
+    assert len(ps) == 2
+
+
+def test_nested_enters_cancel_inside_out():
+    ps = ()
+    ps = PS.push(ps, PS.enter_proc("f", "c1"))
+    ps = PS.push(ps, PS.enter_proc("g", "c2"))
+    ps = PS.push(ps, PS.exit_proc("g", "c2"))
+    ps = PS.push(ps, PS.exit_proc("f", "c1"))
+    assert ps == ()
+
+
+def test_thread_ops():
+    ps = PS.push((), PS.enter_thread(0, "cb"))
+    assert ps == (("[", "0", "cb"),)
+    ps = PS.push(ps, PS.exit_thread(0, "cb"))
+    assert ps == ()
+
+
+def test_concat():
+    ops = [PS.enter_proc("f", "a"), PS.enter_proc("g", "b"), PS.exit_proc("g", "b")]
+    assert PS.concat((), ops) == (("+", "f", "a"),)
+
+
+def test_is_prefix():
+    p = (("+", "main", "<entry>"),)
+    q = p + (("+", "f", "c1"),)
+    assert PS.is_prefix(p, q)
+    assert not PS.is_prefix(q, p)
+    assert PS.is_prefix(p, p)
+
+
+def test_common_prefix():
+    a = (("+", "m", "e"), ("+", "f", "1"))
+    b = (("+", "m", "e"), ("+", "g", "2"))
+    assert PS.common_prefix(a, b) == (("+", "m", "e"),)
+
+
+def test_depth():
+    assert PS.depth(()) == 0
+    assert PS.depth((("+", "f", "c"), ("[", "0", "cb"))) == 2
+
+
+def test_pretty_root():
+    assert PS.pretty(()) == "<root>"
+
+
+def test_pretty_path():
+    ps = (("+", "main", "<entry>"), ("[", "1", "s5"), ("+", "f", "s7"))
+    text = PS.pretty(ps)
+    assert "main" in text and "branch 1" in text and "f" in text

@@ -1,0 +1,77 @@
+"""Scheduler / single-run interpreter tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.programs.paper import deadlock_pair, fig2_shasha_snir
+from repro.semantics import run_program
+
+
+def test_roundrobin_terminates():
+    r = run_program(fig2_shasha_snir())
+    assert r.terminated and not r.deadlocked
+
+
+def test_random_seeded_reproducible():
+    prog = fig2_shasha_snir()
+    a = run_program(prog, scheduler="random", seed=7, keep_trace=True)
+    b = run_program(prog, scheduler="random", seed=7, keep_trace=True)
+    assert [x.label for x in a.trace] == [x.label for x in b.trace]
+    assert a.config == b.config
+
+
+def test_random_seeds_differ():
+    prog = fig2_shasha_snir()
+    outcomes = {
+        tuple(run_program(prog, scheduler="random", seed=s).config.globals)
+        for s in range(40)
+    }
+    assert len(outcomes) >= 2  # several interleavings actually observed
+
+
+def test_first_scheduler_deterministic():
+    prog = fig2_shasha_snir()
+    a = run_program(prog, scheduler="first")
+    b = run_program(prog, scheduler="first")
+    assert a.config == b.config
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError):
+        run_program(fig2_shasha_snir(), scheduler="nope")
+
+
+def test_deadlock_reported():
+    prog = parse_program("var f = 0; func main() { assume(f == 1); }")
+    r = run_program(prog)
+    assert r.deadlocked and not r.terminated
+
+
+def test_deadlock_pair_sometimes_deadlocks():
+    prog = deadlock_pair()
+    seen = {run_program(prog, scheduler="random", seed=s).deadlocked for s in range(60)}
+    assert seen == {True, False}
+
+
+def test_fault_reported():
+    prog = parse_program("var g = 0; func main() { g = 1 / g; }")
+    r = run_program(prog)
+    assert r.faulted and "div-by-zero" in r.config.fault
+
+
+def test_max_steps_guard():
+    prog = parse_program("var g = 0; func main() { while (true) { g = g + 1; } }")
+    with pytest.raises(RuntimeError):
+        run_program(prog, max_steps=100)
+
+
+def test_trace_collection():
+    prog = parse_program("var g = 0; func main() { s1: g = 1; s2: g = 2; }")
+    r = run_program(prog, keep_trace=True)
+    assert [a.label for a in r.trace][:2] == ["s1", "s2"]
+
+
+def test_steps_counted():
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    r = run_program(prog)
+    assert r.steps == 2  # assign + implicit return

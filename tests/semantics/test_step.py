@@ -1,0 +1,304 @@
+"""Atomic-step / transition-system tests."""
+
+import pytest
+
+from repro.lang import parse_program
+from repro.semantics import (
+    DONE,
+    JOINING,
+    StepOptions,
+    execute,
+    initial_config,
+    next_infos,
+    run_program,
+)
+from repro.semantics.config import proc_loc
+
+
+def step_all(prog, config, opts=StepOptions()):
+    return next_infos(prog, config, opts)
+
+
+def first_enabled(prog, config, opts=StepOptions()):
+    for ni in step_all(prog, config, opts):
+        if ni.enabled:
+            return ni
+    raise AssertionError("nothing enabled")
+
+
+def drive(prog, opts=StepOptions(), limit=10_000):
+    """Run to completion always picking the first enabled process."""
+    config = initial_config(prog, track_procstrings=opts.track_procstrings)
+    for _ in range(limit):
+        if config.fault is not None or config.is_terminated:
+            return config
+        infos = [n for n in step_all(prog, config, opts) if n.enabled]
+        if not infos:
+            return config
+        config = infos[0].succ
+    raise AssertionError("did not terminate")
+
+
+# -- sequential control ------------------------------------------------------
+
+
+def test_sequence_runs_to_done():
+    prog = parse_program("var g = 0; func main() { g = 1; g = g + 1; }")
+    final = drive(prog)
+    assert final.is_terminated
+    assert final.globals == (2,)
+
+
+def test_branch_then_else():
+    prog = parse_program(
+        "var g = 5; var r = 0; func main() { if (g > 3) { r = 1; } else { r = 2; } }"
+    )
+    assert drive(prog).globals == (5, 1)
+
+
+def test_while_loop_terminates():
+    prog = parse_program(
+        "var g = 0; func main() { while (g < 5) { g = g + 1; } }"
+    )
+    assert drive(prog).globals == (5,)
+
+
+def test_call_return_value_to_global():
+    prog = parse_program(
+        "var r = 0; func f(a) { return a + 1; } func main() { r = f(41); }"
+    )
+    assert drive(prog).globals == (42,)
+
+
+def test_call_return_value_to_local():
+    prog = parse_program(
+        """
+        var r = 0;
+        func f() { return 10; }
+        func main() { var t = 0; t = f(); r = t + 1; }
+        """
+    )
+    assert drive(prog).globals == (11,)
+
+
+def test_call_return_into_heap_cell():
+    prog = parse_program(
+        """
+        var p = 0; var r = 0;
+        func f() { return 7; }
+        func main() { p = malloc(1); *p = f(); r = *p; }
+        """
+    )
+    assert drive(prog).globals[1] == 7
+
+
+def test_recursion():
+    prog = parse_program(
+        """
+        var r = 0;
+        func fact(n) { var t = 0; if (n <= 1) { return 1; } t = fact(n - 1); return n * t; }
+        func main() { r = fact(5); }
+        """
+    )
+    assert drive(prog).globals == (120,)
+
+
+def test_first_class_function_dispatch():
+    prog = parse_program(
+        """
+        var r = 0; var which = 1;
+        func inc(v) { return v + 1; }
+        func dbl(v) { return v * 2; }
+        func main() { var f = 0; if (which == 0) { f = inc; } else { f = dbl; } r = f(10); }
+        """
+    )
+    assert drive(prog).globals == (20, 1)
+
+
+def test_dynamic_call_arity_fault():
+    prog = parse_program(
+        "func f(a) { } func main() { var g = 0; g = f; g(); }"
+    )
+    final = drive(prog)
+    assert final.fault is not None and "bad-call" in final.fault
+
+
+def test_call_non_function_faults():
+    prog = parse_program("var g = 3; func main() { g(); }")
+    final = drive(prog)
+    assert final.fault is not None
+
+
+# -- cobegin / join -----------------------------------------------------------
+
+
+def test_cobegin_spawns_children():
+    prog = parse_program("var g = 0; func main() { cobegin { g = 1; } { g = 2; } }")
+    config = initial_config(prog)
+    ni = first_enabled(prog, config)
+    succ = ni.succ
+    assert len(succ.procs) == 3
+    parent = succ.proc((0,))
+    assert parent.status == JOINING
+    assert parent.children == ((0, 0), (0, 1))
+    assert set(ni.action.writes) == {proc_loc((0, 0)), proc_loc((0, 1))}
+
+
+def test_join_waits_for_all_children():
+    prog = parse_program("var g = 0; func main() { cobegin { g = 1; } { g = 2; } }")
+    config = first_enabled(prog, initial_config(prog)).succ
+    # parent disabled while children run
+    infos = {n.proc.pid: n for n in step_all(prog, config)}
+    assert not infos[(0,)].enabled
+    assert infos[(0,)].blocked_children == ((0, 0), (0, 1))
+
+
+def test_join_removes_children():
+    prog = parse_program("var g = 0; func main() { cobegin { g = 1; } { g = 2; } }")
+    final = drive(prog)
+    assert final.is_terminated
+    assert len(final.procs) == 1  # only the root remains
+
+
+def test_nested_cobegin_pids():
+    prog = parse_program(
+        "var g = 0; func main() { cobegin { cobegin { g = 1; } { g = 2; } } { g = 3; } }"
+    )
+    final = drive(prog)
+    assert final.is_terminated
+
+
+def test_threadend_writes_own_proc_loc():
+    prog = parse_program("var g = 0; func main() { cobegin { skip; } { skip; } }")
+    config = first_enabled(prog, initial_config(prog)).succ
+    # run child (0,0)'s skip then its threadend
+    child = next(n for n in step_all(prog, config) if n.proc.pid == (0, 0))
+    config = child.succ
+    child = next(n for n in step_all(prog, config) if n.proc.pid == (0, 0))
+    assert proc_loc((0, 0)) in child.action.writes
+    assert child.succ.proc((0, 0)).status == DONE
+
+
+# -- synchronization -----------------------------------------------------------
+
+
+def test_assume_blocks_until_true():
+    prog = parse_program(
+        """
+        var f = 0; var r = 0;
+        func main() {
+            cobegin { assume(f == 1); r = 1; } { f = 1; }
+        }
+        """
+    )
+    final = drive(prog)
+    assert final.is_terminated
+    assert final.globals == (1, 1)
+
+
+def test_assume_nes_reports_guard_reads():
+    prog = parse_program(
+        "var f = 0; func main() { cobegin { assume(f == 1); } { f = 1; } }"
+    )
+    config = first_enabled(prog, initial_config(prog)).succ
+    blocked = next(n for n in step_all(prog, config) if not n.enabled and n.proc.pid == (0, 0))
+    assert ("g", 0) in blocked.nes
+
+
+def test_acquire_release_mutual_exclusion():
+    from repro.programs.paper import mutex_counter
+
+    prog = mutex_counter()
+    final = drive(prog)
+    assert final.is_terminated
+    assert final.globals[prog.global_index("count")] == 2
+
+
+def test_acquire_blocked_when_held():
+    prog = parse_program("var l = 1; func main() { acquire(l); }")
+    config = initial_config(prog)
+    infos = step_all(prog, config)
+    assert not infos[0].enabled
+    assert infos[0].nes == (("g", 0),)
+
+
+def test_assert_failure_faults():
+    prog = parse_program("var g = 0; func main() { assert(g == 1); }")
+    final = drive(prog)
+    assert final.fault is not None and "assert" in final.fault
+
+
+def test_assert_success_continues():
+    prog = parse_program("var g = 1; func main() { assert(g == 1); g = 2; }")
+    assert drive(prog).globals == (2,)
+
+
+def test_deadlock_detected_as_no_enabled():
+    prog = parse_program("var f = 0; func main() { assume(f == 1); }")
+    config = initial_config(prog)
+    infos = [n for n in step_all(prog, config) if n.enabled]
+    assert infos == []
+
+
+# -- instrumentation -------------------------------------------------------------
+
+
+def test_procstrings_tracked_when_enabled():
+    prog = parse_program(
+        "var r = 0; func f() { return 1; } func main() { r = f(); }"
+    )
+    opts = StepOptions(track_procstrings=True)
+    config = initial_config(prog, track_procstrings=True)
+    assert config.procs[0].ps == (("+", "main", "<entry>"),)
+    ni = first_enabled(prog, config, opts)  # the call
+    assert ni.action.entered == "f"
+    inner = ni.succ.procs[0]
+    assert inner.ps[-1][1] == "f"
+
+
+def test_birthdates_recorded():
+    prog = parse_program("var p = 0; func main() { m1: p = malloc(1); }")
+    opts = StepOptions(track_procstrings=True, gc=False)
+    config = initial_config(prog, track_procstrings=True)
+    ni = first_enabled(prog, config, opts)
+    obj = ni.succ.heap[0]
+    assert obj.oid == ("m1", 0)
+    assert obj.birth_pid == (0,)
+    assert obj.birth_ps == (("+", "main", "<entry>"),)
+
+
+def test_gc_collects_dead_objects():
+    prog = parse_program(
+        "var p = 0; func main() { p = malloc(1); p = 0; }"
+    )
+    final = drive(prog, StepOptions(gc=True))
+    assert final.heap == ()
+    final = drive(prog, StepOptions(gc=False))
+    assert len(final.heap) == 1
+
+
+def test_canonical_oids_merge_interleavings():
+    # two threads each allocate at their own site; oid independent of order
+    prog = parse_program(
+        """
+        var p = 0; var q = 0;
+        func main() { cobegin { a1: p = malloc(1); } { b1: q = malloc(1); } }
+        """
+    )
+    from repro.explore import explore
+
+    r = explore(prog, "full", options=None)
+    # all terminal configs identical (same oids regardless of order)
+    stores = {c.result_store() for cid, c in enumerate(r.graph.configs)
+              if r.graph.terminal.get(cid) == "terminated"}
+    assert len(stores) == 1
+
+
+def test_depth_reported_in_action():
+    prog = parse_program("var r = 0; func f() { r = 1; } func main() { f(); }")
+    config = initial_config(prog)
+    ni = first_enabled(prog, config)  # the call itself, depth 1
+    assert ni.action.depth == 1
+    ni2 = first_enabled(prog, ni.succ)  # r = 1 inside f, depth 2
+    assert ni2.action.depth == 2
+    assert ni2.action.stack == ("main", "f")

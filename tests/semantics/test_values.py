@@ -1,0 +1,47 @@
+"""Value universe tests."""
+
+from repro.semantics.values import (
+    GLOBALS_OBJ,
+    FuncRef,
+    Pointer,
+    is_int,
+    show_value,
+    truthy,
+)
+
+
+def test_truthy_ints():
+    assert truthy(1) and truthy(-1)
+    assert not truthy(0)
+
+
+def test_truthy_pointer_and_func():
+    assert truthy(Pointer(("s", 0), 0))
+    assert truthy(FuncRef("f"))
+
+
+def test_pointer_equality_structural():
+    assert Pointer(("s", 0), 1) == Pointer(("s", 0), 1)
+    assert Pointer(("s", 0), 1) != Pointer(("s", 0), 2)
+    assert Pointer(("s", 0), 0) != Pointer(("s", 1), 0)
+
+
+def test_pointer_hashable():
+    assert len({Pointer(("s", 0), 0), Pointer(("s", 0), 0)}) == 1
+
+
+def test_is_int():
+    assert is_int(3)
+    assert not is_int(Pointer(("s", 0), 0))
+    assert not is_int(FuncRef("f"))
+
+
+def test_show_value_forms():
+    assert show_value(3) == "3"
+    assert "s" in show_value(Pointer(("s", 0), 0))
+    assert "f" in show_value(FuncRef("f"))
+
+
+def test_globals_obj_distinguished():
+    assert GLOBALS_OBJ == ("<globals>", 0)
+    assert Pointer(GLOBALS_OBJ, 2).obj == GLOBALS_OBJ

@@ -1,0 +1,123 @@
+"""The framework on classic shared-variable synchronization algorithms —
+the paper's §1 motivation: these MUST be programmable and analyzable."""
+
+import pytest
+
+from repro.explore import explore
+from repro.programs.classic import (
+    barrier,
+    peterson,
+    peterson_broken,
+    producer_consumer,
+)
+
+
+# -- Peterson -----------------------------------------------------------------
+
+
+def test_peterson_mutual_exclusion_holds():
+    r = explore(peterson(), "full")
+    assert r.stats.num_faults == 0  # the assertion never fails
+    assert r.stats.num_deadlocks == 0
+    # both processes complete in every terminal configuration
+    prog = peterson()
+    r = explore(prog, "full")
+    assert r.global_values("done0", "done1") == {(1, 1)}
+
+
+def test_peterson_verified_under_reduction():
+    prog = peterson()
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn", coarsen=True, sleep=True)
+    assert red.final_stores() == full.final_stores()
+    assert red.stats.num_faults == 0
+
+
+def test_peterson_broken_violation_found():
+    r = explore(peterson_broken(), "full")
+    assert r.stats.num_faults > 0
+    assert any("assert" in m for m in r.fault_messages())
+
+
+def test_peterson_broken_witness_replays():
+    from repro.analyses.witness import fault_witness, replay
+
+    prog = peterson_broken()
+    r = explore(prog, "full")
+    w = fault_witness(r)
+    assert w is not None
+    final = replay(prog, w)
+    assert final.fault is not None
+
+
+def test_peterson_races_are_on_protocol_variables():
+    from repro.analyses.races import races
+
+    prog = peterson()
+    rs = races(prog, explore(prog, "full"))
+    locs = {r.loc for r in rs}
+    # the protocol variables race by design; the protected counter and
+    # the turn... incrit must NOT be among simultaneously-enabled
+    # conflicting accesses
+    assert ("g", "incrit") not in locs
+
+
+# -- producer / consumer --------------------------------------------------------
+
+
+@pytest.mark.parametrize("items", [1, 2, 3])
+def test_producer_consumer_delivers_everything(items):
+    prog = producer_consumer(items)
+    r = explore(prog, "full")
+    assert r.stats.num_deadlocks == 0
+    assert r.stats.num_faults == 0
+    expected = sum(range(1, items + 1))
+    assert r.global_values("out") == {(expected,)}
+
+
+def test_producer_consumer_under_reduction():
+    prog = producer_consumer(2)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn", coarsen=True)
+    assert red.final_stores() == full.final_stores()
+
+
+def test_producer_consumer_dependences_alternate():
+    from repro.analyses.dependence import dependences
+
+    prog = producer_consumer(1)
+    deps = dependences(prog, explore(prog, "full"))
+    flows = {(d.src, d.dst) for d in deps.deps if d.kind == "flow" and d.cross_thread}
+    assert ("pb", "cb") in flows  # data flows producer → consumer
+    assert ("pf", "cw") in flows  # the full-flag handshake
+
+
+# -- barrier ---------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("threads", [2, 3])
+def test_barrier_orders_pre_before_post(threads):
+    prog = barrier(threads)
+    r = explore(prog, "full")
+    assert r.stats.num_faults == 0  # no post-work saw a missing pre-work
+    assert r.stats.num_deadlocks == 0
+    names = [f"post{t}" for t in range(threads)]
+    assert r.global_values(*names) == {tuple(1 for _ in names)}
+
+
+def test_barrier_under_reduction():
+    prog = barrier(2)
+    full = explore(prog, "full")
+    red = explore(prog, "stubborn", coarsen=True, sleep=True)
+    assert red.final_stores() == full.final_stores()
+    assert red.stats.num_configs <= full.stats.num_configs
+
+
+def test_barrier_mhp_excludes_cross_phase():
+    from repro.analyses.mhp import mhp_dynamic
+
+    prog = barrier(2)
+    pairs = mhp_dynamic(prog, explore(prog, "full"))
+    # thread 0's post-assignment can never be poised alongside thread
+    # 1's pre-assignment: the barrier separates the phases
+    assert frozenset(("b0q", "b1p")) not in pairs

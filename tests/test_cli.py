@@ -1,0 +1,105 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_corpus_lists(capsys):
+    assert main(["corpus"]) == 0
+    out = capsys.readouterr().out
+    assert "fig2_shasha_snir" in out
+
+
+def test_parse_corpus(capsys):
+    assert main(["parse", "corpus:fig2_shasha_snir"]) == 0
+    assert "ICobegin" in capsys.readouterr().out
+
+
+def test_parse_file(tmp_path, capsys):
+    f = tmp_path / "p.cb"
+    f.write_text("var g = 0; func main() { g = 1; }")
+    assert main(["parse", str(f)]) == 0
+
+
+def test_run(capsys):
+    assert main(["run", "corpus:mutex_counter"]) == 0
+    out = capsys.readouterr().out
+    assert "terminated" in out and "'count': 2" in out
+
+
+def test_run_trace(capsys):
+    assert main(["run", "corpus:fig2_shasha_snir", "--trace"]) == 0
+    assert "pid=" in capsys.readouterr().out
+
+
+def test_run_fault_exit_code(tmp_path):
+    f = tmp_path / "bad.cb"
+    f.write_text("var g = 0; func main() { g = 1 / g; }")
+    assert main(["run", str(f)]) == 1
+
+
+def test_explore(capsys):
+    assert main(["explore", "corpus:fig5_locality", "--coarsen"]) == 0
+    out = capsys.readouterr().out
+    assert "configs=" in out and "outcome" in out
+
+
+def test_explore_policies(capsys):
+    for policy in ("full", "stubborn", "stubborn-proc"):
+        assert main(["explore", "corpus:racy_counter", "--policy", policy]) == 0
+
+
+def test_analyze(capsys):
+    assert main(["analyze", "corpus:example8_pointers"]) == 0
+    out = capsys.readouterr().out
+    assert "side effects" in out and "placement" in out
+
+
+def test_fold(capsys):
+    assert main(["fold", "corpus:fig3_folding", "--domain", "interval"]) == 0
+    assert "folded states=" in capsys.readouterr().out
+
+
+def test_fold_clans(capsys):
+    assert main(["fold", "corpus:identical_tasks_3", "--clans"]) == 0
+
+
+def test_demo(capsys):
+    assert main(["demo", "racy_counter"]) == 0
+    assert "anomalies" in capsys.readouterr().out
+
+
+def test_dot_output(capsys):
+    assert main(["dot", "corpus:racy_counter"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("digraph") and "palegreen" in out
+
+
+def test_optimize_command(capsys):
+    assert main(["optimize", "corpus:intro_busywait_loop"]) == 0
+    out = capsys.readouterr().out
+    assert "r = 42;" in out and "while (s == 0)" in out
+
+
+def test_explore_witness_flag(capsys):
+    assert main(["explore", "corpus:deadlock_pair", "--witness", "deadlock"]) == 0
+    out = capsys.readouterr().out
+    assert "shortest execution" in out and "a1" in out
+
+
+def test_fold_kset_domain(capsys):
+    assert main(["fold", "corpus:fig3_folding", "--domain", "kset"]) == 0
+    assert "folded states=" in capsys.readouterr().out
+
+
+def test_unknown_corpus_name():
+    with pytest.raises(SystemExit):
+        main(["parse", "corpus:nope"])
+
+
+def test_parse_error_reported(tmp_path, capsys):
+    f = tmp_path / "bad.cb"
+    f.write_text("func main() { x = ; }")
+    assert main(["parse", str(f)]) == 2
+    assert "error" in capsys.readouterr().err

@@ -1,0 +1,161 @@
+"""End-to-end pipeline test: one nontrivial program through every
+subsystem — exploration (all policies), every §5/§7 analysis, abstract
+folding, the optimizer, and witness replay — with cross-checked facts.
+"""
+
+from repro.abstraction import taylor_explore
+from repro.analyses.constprop import constants_at
+from repro.analyses.dependence import dependences
+from repro.analyses.lifetime import lifetimes
+from repro.analyses.memplace import placements
+from repro.analyses.mhp import mhp_dynamic
+from repro.analyses.optimize import optimize_program
+from repro.analyses.races import races
+from repro.analyses.sideeffects import side_effects
+from repro.analyses.witness import outcome_witness, replay
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+from repro.semantics import StepOptions, run_program
+
+SOURCE = """
+// A work queue: the producer fills a heap buffer cell by cell under a
+// lock; the consumer drains it; a monitor thread samples progress.
+var lock = 0; var buf = 0; var produced = 0; var consumed = 0;
+var sum = 0; var sample = 0;
+
+func push(v) {
+    acquire(lock);
+    w1: buf[produced] = v;
+    w2: produced = produced + 1;
+    release(lock);
+}
+
+func pop() {
+    var v = 0;
+    // wait OUTSIDE the lock: produced only grows, so the guard stays
+    // true; waiting inside would deadlock the producer
+    r0: assume(consumed < produced);
+    acquire(lock);
+    r1: v = buf[consumed];
+    r2: consumed = consumed + 1;
+    release(lock);
+    return v;
+}
+
+func main() {
+    var total = 0;
+    alloc: buf = malloc(2);
+    cobegin
+    {
+        p1: push(10);
+        p2: push(32);
+    }
+    {
+        var a = 0; var b = 0;
+        c1: a = pop();
+        c2: b = pop();
+        c3: sum = a + b;
+    }
+    {
+        m1: sample = produced;
+    }
+    fin: total = sum;
+}
+"""
+
+
+def _program():
+    return parse_program(SOURCE)
+
+
+def test_single_outcome_for_sum():
+    prog = _program()
+    result = explore(prog, "full")
+    assert result.stats.num_deadlocks == 0
+    assert result.stats.num_faults == 0
+    assert result.global_values("sum") == {(42,)}
+    # the monitor may sample 0, 1 or 2
+    assert result.global_values("sample") == {(0,), (1,), (2,)}
+
+
+def test_reductions_agree():
+    prog = _program()
+    full = explore(prog, "full")
+    for policy, co, sl in [
+        ("stubborn", False, False),
+        ("stubborn", True, False),
+        ("stubborn", True, True),
+        ("full", True, False),
+    ]:
+        red = explore(prog, policy, coarsen=co, sleep=sl)
+        assert red.final_stores() == full.final_stores(), (policy, co, sl)
+        assert red.stats.num_configs <= full.stats.num_configs
+
+
+def test_analyses_fact_pack(analysis_result):
+    prog = _program()
+    result = analysis_result(prog)
+
+    eff = side_effects(prog, result)
+    assert ("site", "alloc") in eff.by_func["push"].mod
+    assert ("site", "alloc") in eff.by_func["pop"].ref
+    assert ("g", "sum") not in eff.by_func["push"].mod
+
+    deps = dependences(prog, result)
+    cross_flows = {
+        (d.src, d.dst)
+        for d in deps.deps
+        if d.kind == "flow" and d.cross_thread and d.loc == ("site", "alloc")
+    }
+    assert ("w1", "r1") in cross_flows  # buffer cells flow producer→consumer
+
+    found = races(prog, result)
+    # produced is read by the monitor without the lock: a real anomaly
+    assert any(r.loc == ("g", "produced") for r in found)
+    # the buffer itself is lock-protected and orderd by the count guard
+    assert not any(r.loc == ("site", "alloc") for r in found)
+
+    lts = lifetimes(prog, result)
+    place = placements(lts)
+    assert not place["alloc"].thread_local  # the buffer is shared
+
+    mhp = mhp_dynamic(prog, result)
+    assert frozenset(("w1", "m1")) in mhp  # producer and monitor overlap
+
+
+def test_abstract_and_optimizer_layers():
+    prog = _program()
+    folded = taylor_explore(prog)
+    concrete = explore(prog, "full")
+    for cfg in concrete.graph.configs:
+        if cfg.fault is None:
+            assert folded.covers_config(cfg)
+
+    cp = constants_at(prog, folded)
+    # the buffer summary joins {0, 10, 32} (weak updates on the 2-cell
+    # object), so `sum` is not a flat-domain constant — but the lock
+    # is provably free again after the join
+    assert cp.constant("fin", "lock") == 0
+    assert cp.constant("fin", "sum") is None
+
+    opt = optimize_program(prog)
+    after = explore(parse_program(opt.source), "full")
+    assert after.final_stores() == concrete.final_stores()
+
+
+def test_witness_for_each_sample_value():
+    prog = _program()
+    result = explore(prog, "full")
+    for sample in (0, 1, 2):
+        w = outcome_witness(result, sample=sample)
+        assert w is not None, sample
+        final = replay(prog, w)
+        assert final.globals[prog.global_index("sample")] == sample
+
+
+def test_scheduled_runs_within_explored():
+    prog = _program()
+    result = explore(prog, "full")
+    for seed in range(8):
+        run = run_program(prog, scheduler="random", seed=seed)
+        assert run.config.result_store() in result.final_stores()

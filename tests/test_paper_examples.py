@@ -1,0 +1,170 @@
+"""Integration tests: every experiment's headline claim (E1-E12).
+
+These assert the *shapes* that EXPERIMENTS.md reports; the benchmark
+harness regenerates the full tables.
+"""
+
+from repro.explore import ExploreOptions, explore
+from repro.lang import parse_program
+from repro.programs import paper
+from repro.programs.philosophers import philosophers
+from repro.programs.synthetic import identical_tasks, sharing_sweep
+from repro.semantics import StepOptions
+
+
+# -- E1: Figure 2 / Example 1 -------------------------------------------------
+
+
+def test_e1_sc_admits_exactly_three_outcomes(fig2):
+    r = explore(fig2, "full")
+    assert sorted(r.global_values("x", "y")) == [(0, 1), (1, 0), (1, 1)]
+
+
+def test_e1_reordering_adds_illegal_outcome():
+    r = explore(paper.fig2_reordered(), "full")
+    outcomes = r.global_values("x", "y")
+    assert (0, 0) in outcomes  # the SC-illegal outcome appears
+    assert len(outcomes) == 4
+
+
+# -- E2: Figure 5 --------------------------------------------------------------
+
+
+def test_e2_reduction_preserves_results_and_shrinks(fig5):
+    full = explore(fig5, "full")
+    reduced = explore(fig5, "stubborn", coarsen=True)
+    assert reduced.final_stores() == full.final_stores()
+    assert reduced.stats.num_configs <= 13  # the paper's Figure 5(b) scale
+    assert full.stats.num_configs >= 3 * reduced.stats.num_configs
+
+
+# -- E3: dining philosophers -----------------------------------------------------
+
+
+def test_e3_philosophers_reduced_and_sound():
+    p3 = philosophers(3)
+    full = explore(p3, "full")
+    red = explore(p3, "stubborn", sleep=True)
+    assert red.final_stores() == full.final_stores()
+    assert red.stats.num_configs < full.stats.num_configs / 2
+    assert red.stats.num_deadlocks == 1
+
+
+# -- E4: virtual coarsening -------------------------------------------------------
+
+
+def test_e4_coarsening_shrinks_local_heavy():
+    from repro.programs.synthetic import local_heavy
+
+    prog = local_heavy(2, 5)
+    full = explore(prog, "full")
+    co = explore(prog, "full", coarsen=True)
+    assert co.final_stores() == full.final_stores()
+    assert co.stats.num_configs < full.stats.num_configs / 2
+
+
+# -- E5: Taylor folding (Figure 3) -------------------------------------------------
+
+
+def test_e5_folding_merges_data_variants():
+    from repro.abstraction import concurrency_states, taylor_explore
+
+    prog = paper.fig3_folding()
+    concrete = explore(prog, "full")
+    quotient = concurrency_states(concrete.graph)
+    assert len(quotient) < concrete.stats.num_configs
+    folded = taylor_explore(prog)
+    assert folded.stats.num_states == len(quotient)
+
+
+# -- E6: clans ------------------------------------------------------------------
+
+
+def test_e6_clan_space_independent_of_task_count():
+    from repro.abstraction import clan_explore
+
+    sizes = [clan_explore(identical_tasks(n, steps=1)).stats.num_states
+             for n in (2, 4)]
+    assert sizes[0] == sizes[1]
+
+
+# -- E7/E8: Example 8 --------------------------------------------------------------
+
+
+def test_e7_example8_dependences(example8, analysis_result):
+    from repro.analyses.dependence import dependences
+
+    deps = dependences(example8, analysis_result(example8))
+    flows = {(d.src, d.dst, d.loc) for d in deps.deps if d.kind == "flow"}
+    assert ("s2", "s4", ("site", "s1")) in flows  # through heap object b1
+
+
+def test_e8_example8_placement(example8, analysis_result):
+    from repro.analyses.lifetime import lifetimes
+    from repro.analyses.memplace import placements
+
+    place = placements(lifetimes(example8, analysis_result(example8)))
+    assert not place["s1"].thread_local  # b1: shared level
+    assert place["s3"].thread_local  # b2: local
+
+
+# -- E9: Example 15 -----------------------------------------------------------------
+
+
+def test_e9_example15_pairs_and_schedule(example15):
+    from repro.analyses.parallelize import further_parallelize
+
+    sched = further_parallelize(example15, explore(example15, "full"))
+    assert sched.dependent_pairs == {
+        frozenset(("s1", "s4")),
+        frozenset(("s2", "s3")),
+    }
+    assert sched.width == 2
+
+
+# -- E10: busy-wait constants --------------------------------------------------------
+
+
+def test_e10_interference_aware_constants():
+    from repro.analyses.constprop import constants_at, licm_report
+
+    prog = paper.intro_busywait_loop()
+    cp = constants_at(prog)
+    assert cp.constant("l1", "s") is None  # flag is NOT loop-invariant
+    assert cp.constant("r1", "x") == 42  # but x is known after the wait
+    licm = [l for l in licm_report(prog) if l.seq_invariant]
+    assert licm and licm[0].unsafe == ("s",)
+
+
+# -- E11: sharing sweep -----------------------------------------------------------------
+
+
+def test_e11_reduction_grows_with_locality():
+    dense = sharing_sweep(2, 4, 1, distinct_shared=False)
+    sparse = sharing_sweep(2, 4, 4)
+    ratios = []
+    for prog in (dense, sparse):
+        full = explore(prog, "full")
+        red = explore(prog, "stubborn", coarsen=True)
+        assert red.final_stores() == full.final_stores()
+        ratios.append(full.stats.num_configs / red.stats.num_configs)
+    assert ratios[1] > ratios[0]  # sparser sharing → bigger reduction
+
+
+# -- E12: abstract soundness ---------------------------------------------------------------
+
+
+def test_e12_abstract_terminates_where_concrete_cannot():
+    from repro.absdomain import AbsValueDomain, IntervalDomain
+    from repro.abstraction import taylor_explore
+
+    prog = parse_program(
+        "var g = 0; func main() { while (true) { g = g + 1; } }"
+    )
+    concrete = explore(prog, options=ExploreOptions(policy="full", max_configs=100))
+    assert concrete.stats.truncated  # concrete space is infinite
+    folded = taylor_explore(prog, AbsValueDomain(IntervalDomain()))
+    assert folded.stats.num_states < 20
+    for cfg in concrete.graph.configs:
+        if cfg.fault is None:
+            assert folded.covers_config(cfg)

@@ -1,0 +1,139 @@
+"""Utility-module tests: ordered collections, worklists, fixpoints,
+errors, and the sleep-set primitives."""
+
+import pytest
+
+from repro.explore.expansion import Expansion
+from repro.explore.sleepsets import SleepEntry, entry_of, independent, transition_key
+from repro.semantics.config import Frame, Process
+from repro.util.errors import LexError, ReproError, RuntimeFault, SourceError
+from repro.util.fixpoint import Worklist, fixpoint_map
+from repro.util.ordered import OrderedSet, stable_unique
+
+
+# -- OrderedSet ---------------------------------------------------------------
+
+
+def test_ordered_set_insertion_order():
+    s = OrderedSet([3, 1, 2, 1])
+    assert s.as_list() == [3, 1, 2]
+
+
+def test_ordered_set_add_reports_novelty():
+    s = OrderedSet()
+    assert s.add(1)
+    assert not s.add(1)
+
+
+def test_ordered_set_discard():
+    s = OrderedSet([1, 2])
+    s.discard(1)
+    s.discard(99)  # no-op
+    assert s.as_list() == [2]
+
+
+def test_ordered_set_eq():
+    assert OrderedSet([1, 2]) == OrderedSet([2, 1])
+    assert OrderedSet([1]) == {1}
+
+
+def test_ordered_set_len_bool_contains():
+    s = OrderedSet([1])
+    assert len(s) == 1 and s and 1 in s
+    assert not OrderedSet()
+
+
+def test_stable_unique():
+    assert stable_unique([2, 1, 2, 3, 1]) == [2, 1, 3]
+
+
+# -- Worklist ------------------------------------------------------------------
+
+
+def test_worklist_dedupes():
+    wl = Worklist([1, 2])
+    wl.push(1)
+    assert len(wl) == 2
+    assert wl.pop() == 1
+    wl.push(1)  # re-push after pop is allowed
+    assert len(wl) == 2
+
+
+def test_worklist_fifo():
+    wl = Worklist()
+    wl.push("a")
+    wl.push("b")
+    assert wl.pop() == "a"
+
+
+# -- fixpoint_map ----------------------------------------------------------------
+
+
+def test_fixpoint_transitive_closure():
+    # reachability in a tiny graph
+    succs = {1: [2], 2: [3], 3: [], 4: [1]}
+    preds = {1: [4], 2: [1], 3: [2], 4: []}
+
+    result = fixpoint_map(
+        keys=[1, 2, 3, 4],
+        init=lambda k: frozenset(),
+        deps=lambda k: preds[k],
+        transfer=lambda k, get: frozenset(succs[k])
+        | frozenset().union(*(get(s) for s in succs[k])) if succs[k] else frozenset(),
+    )
+    assert result[4] == {1, 2, 3}
+    assert result[3] == frozenset()
+
+
+# -- errors ------------------------------------------------------------------------
+
+
+def test_error_hierarchy():
+    assert issubclass(LexError, SourceError)
+    assert issubclass(SourceError, ReproError)
+    assert issubclass(RuntimeFault, ReproError)
+
+
+def test_source_error_location_formatting():
+    e = LexError("bad", 3, 7)
+    assert "line 3" in str(e) and "col 7" in str(e)
+
+
+def test_runtime_fault_fields():
+    f = RuntimeFault("kindly", "details here")
+    assert f.kind == "kindly" and "details here" in str(f)
+
+
+# -- sleep-set primitives -----------------------------------------------------------
+
+
+def _proc(pid, pc=0):
+    return Process(pid=pid, frames=(Frame(func="main", pc=pc, locals=()),))
+
+
+def _exp(pid, reads=(), writes=(), pc=0):
+    return Expansion(
+        proc=_proc(pid, pc), enabled=True, reads=tuple(reads), writes=tuple(writes)
+    )
+
+
+def test_transition_key_tracks_position():
+    assert transition_key(_proc((0, 0), 1)) != transition_key(_proc((0, 0), 2))
+    assert transition_key(_proc((0, 0), 1)) == transition_key(_proc((0, 0), 1))
+
+
+def test_independent_requires_different_pids():
+    a = entry_of(_exp((0, 0)))
+    assert not independent(a, _exp((0, 0)))
+
+
+def test_independent_write_conflicts():
+    a = entry_of(_exp((0, 0), writes=[("g", 0)]))
+    assert not independent(a, _exp((0, 1), reads=[("g", 0)]))
+    assert not independent(a, _exp((0, 1), writes=[("g", 0)]))
+    assert independent(a, _exp((0, 1), writes=[("g", 1)]))
+
+
+def test_independent_read_read_ok():
+    a = entry_of(_exp((0, 0), reads=[("g", 0)]))
+    assert independent(a, _exp((0, 1), reads=[("g", 0)]))
