@@ -197,6 +197,7 @@ def fold_explore(
     widen_after: int = 3,
     narrow_passes: int = 0,
     max_states: int = 200_000,
+    metrics=None,
 ) -> FoldResult:
     """Explore the abstract transition system folded by *key_fn*.
 
@@ -236,13 +237,20 @@ def fold_explore(
                 table[k2] = succ
                 updates[k2] = 0
                 wl.push(k2)
-            elif not leq_configs(opts.dom, succ, cur):
-                updates[k2] += 1
-                widen = updates[k2] > widen_after
-                if widen:
-                    stats.widenings += 1
-                table[k2] = join_configs(opts.dom, cur, succ, widen=widen)
-                wl.push(k2)
+                if metrics is not None:
+                    metrics.inc("fold.misses")
+            else:
+                if metrics is not None:
+                    metrics.inc("fold.hits")
+                if not leq_configs(opts.dom, succ, cur):
+                    updates[k2] += 1
+                    widen = updates[k2] > widen_after
+                    if widen:
+                        stats.widenings += 1
+                        if metrics is not None:
+                            metrics.inc("fold.widenings")
+                    table[k2] = join_configs(opts.dom, cur, succ, widen=widen)
+                    wl.push(k2)
 
     for _ in range(narrow_passes):
         if not _narrow_once(program, opts, key_fn, table, init, ikey):

@@ -1,0 +1,295 @@
+"""The ``repro bench`` sweep: corpus × policy grid → ``BENCH_*.json``.
+
+Runs every bundled corpus program under the full policy grid
+``{full, stubborn, stubborn-proc} × {±coarsen} × {±sleep}`` (12
+combinations), with a :class:`~repro.metrics.MetricsObserver` attached,
+and emits one schema-versioned JSON document holding, per program and
+per combination: configuration/edge counts, reduction ratios against
+the ``full`` baseline, wall-clock, and the key telemetry scalars.
+
+Two jobs in one:
+
+1. **soundness gate** — while sweeping, every combination's result
+   stores, deadlock count, and fault messages are compared against the
+   ``full`` baseline; any divergence raises :class:`DivergenceError`
+   (the CLI exits non-zero).  This is the paper's central reduction
+   invariant checked end-to-end on every bench run.
+2. **perf trajectory** — the JSON is the regression baseline future PRs
+   diff against (check a run in, re-run, compare ``totals``).
+
+Determinism: everything except the ``wall_time_s`` / ``*_per_s``
+fields is deterministic; diff tools should ignore those.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.explore import ExploreOptions, ExploreResult, explore
+from repro.metrics import SCHEMA_VERSION as METRICS_SCHEMA_VERSION
+from repro.metrics import MetricsObserver
+from repro.util.errors import ReproError
+
+#: Version of the ``BENCH_explore.json`` document layout.  Bump on any
+#: key rename or semantic change so trajectory tooling can refuse to
+#: compare apples to oranges.
+SCHEMA_VERSION = "repro.bench.explore/1"
+
+POLICIES = ("full", "stubborn", "stubborn-proc")
+
+#: Fast, representative subset for CI smoke runs: one paper figure, one
+#: synchronization idiom, one deadlock, one fault-free reducer-friendly
+#: workload, one heap program, one scaling family member.
+SMOKE_PROGRAMS = (
+    "fig2_shasha_snir",
+    "fig5_locality",
+    "mutex_counter",
+    "deadlock_pair",
+    "example8_pointers",
+    "philosophers_3",
+)
+
+
+class DivergenceError(ReproError):
+    """A reduced policy produced different result configurations than
+    full exploration — the soundness invariant is broken."""
+
+
+def policy_combos() -> list[tuple[str, bool, bool]]:
+    """The 12-point grid, ``full`` (the baseline) first."""
+    return [
+        (policy, coarsen, sleep)
+        for policy in POLICIES
+        for coarsen in (False, True)
+        for sleep in (False, True)
+    ]
+
+
+@dataclass
+class _Baseline:
+    stores: set
+    deadlocks: int
+    faults: frozenset
+
+
+@dataclass
+class BenchReport:
+    """In-memory form of the emitted JSON."""
+
+    document: dict
+    divergences: list[str] = field(default_factory=list)
+
+
+def _combo_name(policy: str, coarsen: bool, sleep: bool) -> str:
+    return ExploreOptions(policy=policy, coarsen=coarsen, sleep=sleep).describe()
+
+
+def _ratio(full: int, reduced: int) -> float | None:
+    return round(full / reduced, 4) if reduced else None
+
+
+def _scalar_metrics(mo: MetricsObserver) -> dict:
+    """Compact telemetry scalars worth tracking across PRs."""
+    reg = mo.registry
+    out: dict = {}
+    hits = reg.counter("explore.intern.hits").value
+    misses = reg.counter("explore.intern.misses").value
+    if hits + misses:
+        out["intern_hit_rate"] = round(hits / (hits + misses), 4)
+    fd = reg.histogram("explore.frontier_depth")
+    if fd.count:
+        out["frontier_depth_max"] = fd.max
+        out["frontier_depth_mean"] = round(fd.mean, 2)
+    se = reg.histogram("stubborn.enabled")
+    if se.count:
+        out["stubborn_mean_enabled"] = round(se.mean, 3)
+        out["stubborn_mean_chosen"] = round(
+            reg.histogram("stubborn.chosen").mean, 3
+        )
+        out["stubborn_singleton_rate"] = round(
+            reg.counter("stubborn.singleton_steps").value / se.count, 4
+        )
+        ci = reg.histogram("stubborn.closure_iterations")
+        if ci.count:
+            out["closure_iterations_mean"] = round(ci.mean, 2)
+    bl = reg.histogram("coarsen.block_len")
+    if bl.count:
+        out["block_len_mean"] = round(bl.mean, 3)
+        out["block_len_max"] = bl.max
+    out["expansions_per_s"] = round(
+        reg.gauge("explore.expansions_per_s").value, 1
+    )
+    return out
+
+
+def _check_equivalence(
+    name: str, combo: str, result: ExploreResult, base: _Baseline
+) -> None:
+    problems = []
+    if result.final_stores() != base.stores:
+        problems.append(
+            f"result stores differ ({len(result.final_stores())} vs "
+            f"{len(base.stores)} baseline)"
+        )
+    if result.stats.num_deadlocks != base.deadlocks:
+        problems.append(
+            f"deadlock count {result.stats.num_deadlocks} != {base.deadlocks}"
+        )
+    if frozenset(result.fault_messages()) != base.faults:
+        problems.append("fault messages differ")
+    if problems:
+        raise DivergenceError(
+            f"policy {combo!r} diverges from 'full' on {name!r}: "
+            + "; ".join(problems)
+        )
+
+
+def run_bench(
+    *,
+    programs: list[str] | None = None,
+    smoke: bool = False,
+    max_configs: int = 200_000,
+    time_limit_s: float | None = None,
+    progress=None,
+) -> BenchReport:
+    """Sweep the corpus and build the benchmark document.
+
+    Raises :class:`DivergenceError` on the first policy whose results
+    differ from full exploration (soundness failure beats telemetry).
+    """
+    from repro.programs.corpus import CORPUS
+
+    if programs is None:
+        programs = list(SMOKE_PROGRAMS) if smoke else sorted(CORPUS)
+    unknown = [n for n in programs if n not in CORPUS]
+    if unknown:
+        raise ReproError(
+            f"unknown corpus programs: {', '.join(unknown)}; "
+            f"see 'repro corpus'"
+        )
+
+    combos = policy_combos()
+    per_program: dict[str, dict] = {}
+    totals: dict[str, dict] = {
+        _combo_name(*c): {"configs": 0, "edges": 0, "wall_time_s": 0.0}
+        for c in combos
+    }
+    truncated_runs: list[str] = []
+
+    for name in programs:
+        program = CORPUS[name]()
+        entries: dict[str, dict] = {}
+        baseline: _Baseline | None = None
+
+        for policy, coarsen, sleep in combos:
+            combo = _combo_name(policy, coarsen, sleep)
+            opts = ExploreOptions(
+                policy=policy,
+                coarsen=coarsen,
+                sleep=sleep,
+                max_configs=max_configs,
+                time_limit_s=time_limit_s,
+            )
+            mo = MetricsObserver()
+            t0 = time.perf_counter()
+            result = explore(program, options=opts, observers=(mo,))
+            wall = time.perf_counter() - t0
+            s = result.stats
+
+            if combo == "full":
+                baseline = _Baseline(
+                    stores=result.final_stores(),
+                    deadlocks=s.num_deadlocks,
+                    faults=frozenset(result.fault_messages()),
+                )
+            assert baseline is not None
+            if s.truncated:
+                # a truncated space has no complete result set to compare
+                truncated_runs.append(f"{name}/{combo}")
+            else:
+                _check_equivalence(name, combo, result, baseline)
+
+            full_entry = entries.get("full")
+            entry = {
+                "policy": policy,
+                "coarsen": coarsen,
+                "sleep": sleep,
+                "configs": s.num_configs,
+                "edges": s.num_edges,
+                "expansions": s.expansions,
+                "actions": s.actions_executed,
+                "terminated": s.num_terminated,
+                "deadlocks": s.num_deadlocks,
+                "faults": s.num_faults,
+                "truncated": s.truncated,
+                "wall_time_s": round(wall, 6),
+                "reduction_vs_full": (
+                    _ratio(full_entry["configs"], s.num_configs)
+                    if full_entry is not None
+                    else 1.0
+                ),
+                "edge_reduction_vs_full": (
+                    _ratio(full_entry["edges"], s.num_edges)
+                    if full_entry is not None
+                    else 1.0
+                ),
+                "results_match_full": not s.truncated,
+                "metrics": _scalar_metrics(mo),
+            }
+            entries[combo] = entry
+            tot = totals[combo]
+            tot["configs"] += s.num_configs
+            tot["edges"] += s.num_edges
+            tot["wall_time_s"] = round(tot["wall_time_s"] + wall, 6)
+            if progress is not None:
+                progress(name, combo, entry)
+
+        per_program[name] = {"baseline": "full", "policies": entries}
+
+    document = {
+        "schema": SCHEMA_VERSION,
+        "metrics_schema": METRICS_SCHEMA_VERSION,
+        "smoke": smoke,
+        "max_configs": max_configs,
+        "time_limit_s": time_limit_s,
+        "policy_grid": [_combo_name(*c) for c in combos],
+        "programs": per_program,
+        "totals": totals,
+        "truncated_runs": truncated_runs,
+        "soundness": "all policies matched 'full' result configurations"
+        if not truncated_runs
+        else "truncated runs skipped equivalence check",
+    }
+    return BenchReport(document=document)
+
+
+def write_report(report: BenchReport, out_path: str) -> None:
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(report.document, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def format_summary(report: BenchReport) -> str:
+    """Human-readable trajectory table (per-combo totals)."""
+    doc = report.document
+    lines = [
+        f"bench schema={doc['schema']} programs={len(doc['programs'])} "
+        f"grid={len(doc['policy_grid'])} combos"
+    ]
+    full_total = doc["totals"]["full"]["configs"]
+    header = f"{'combo':<28} {'configs':>9} {'edges':>9} {'vs full':>8} {'wall s':>8}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for combo in doc["policy_grid"]:
+        tot = doc["totals"][combo]
+        ratio = full_total / tot["configs"] if tot["configs"] else 0.0
+        lines.append(
+            f"{combo:<28} {tot['configs']:>9} {tot['edges']:>9} "
+            f"{ratio:>7.2f}x {tot['wall_time_s']:>8.3f}"
+        )
+    if doc["truncated_runs"]:
+        lines.append(f"truncated (equivalence skipped): {doc['truncated_runs']}")
+    lines.append(doc["soundness"])
+    return "\n".join(lines)

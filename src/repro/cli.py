@@ -169,6 +169,29 @@ def _cmd_optimize(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.bench import format_summary, run_bench, write_report
+
+    def progress(name, combo, entry):
+        if args.verbose:
+            print(
+                f"  {name:<24} {combo:<24} configs={entry['configs']:<7} "
+                f"wall={entry['wall_time_s']:.3f}s"
+            )
+
+    report = run_bench(
+        programs=args.programs or None,
+        smoke=args.smoke,
+        max_configs=args.max_configs,
+        time_limit_s=args.time_limit,
+        progress=progress,
+    )
+    write_report(report, args.out)
+    print(format_summary(report))
+    print(f"wrote {args.out}")
+    return 0
+
+
 def _cmd_corpus(_args) -> int:
     from repro.programs.corpus import CORPUS
 
@@ -240,6 +263,24 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("file")
     p.set_defaults(fn=_cmd_optimize)
+
+    p = sub.add_parser(
+        "bench",
+        help="sweep the corpus across all policy combinations, check "
+        "reduction soundness, emit a BENCH_*.json telemetry baseline",
+    )
+    p.add_argument("--out", default="BENCH_explore.json",
+                   help="output JSON path (default: BENCH_explore.json)")
+    p.add_argument("--smoke", action="store_true",
+                   help="fast representative subset (CI)")
+    p.add_argument("--programs", nargs="*", default=None,
+                   help="explicit corpus program names (default: all)")
+    p.add_argument("--max-configs", type=int, default=200_000)
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="per-exploration wall-clock budget in seconds")
+    p.add_argument("--verbose", action="store_true",
+                   help="print one line per program × combo")
+    p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("corpus", help="list bundled programs")
     p.set_defaults(fn=_cmd_corpus)

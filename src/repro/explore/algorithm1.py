@@ -60,12 +60,24 @@ class AlgorithmOneSelector:
     program: Program
     access: AccessAnalysis
     stats: StubbornStats = field(default_factory=StubbornStats)
+    #: optional :class:`repro.metrics.MetricsRegistry` (set by the
+    #: exploration driver when telemetry is attached)
+    metrics: object | None = field(default=None, repr=False, compare=False)
+
+    def _record(self, enabled: int, chosen: int) -> None:
+        self.stats.record(enabled, chosen)
+        m = self.metrics
+        if m is not None:
+            m.observe("stubborn.enabled", enabled)
+            m.observe("stubborn.chosen", chosen)
+            if chosen == 1:
+                m.inc("stubborn.singleton_steps")
 
     def select(self, expansions: list[Expansion]) -> list[Expansion]:
         by_pid: dict[Pid, Expansion] = {e.pid: e for e in expansions}
         enabled = [e for e in expansions if e.enabled]
         if len(enabled) <= 1:
-            self.stats.record(len(enabled), len(enabled))
+            self._record(len(enabled), len(enabled))
             return enabled
 
         universes: dict[Pid, frozenset] = {
@@ -85,7 +97,7 @@ class AlgorithmOneSelector:
             if len(chosen) == 1:
                 break
         assert best is not None
-        self.stats.record(len(enabled), len(best))
+        self._record(len(enabled), len(best))
         return best
 
     # ------------------------------------------------------------------
@@ -129,7 +141,9 @@ class AlgorithmOneSelector:
         spid = seed.pid
         add((spid, *cur[spid]))
 
+        iterations = 0
         while work:
+            iterations += 1
             pid, f, pc = work.pop()
             exp = by_pid[pid]
             is_cur = (f, pc) == cur[pid]
@@ -145,6 +159,8 @@ class AlgorithmOneSelector:
             for p in sorted(by_pid)
             if by_pid[p].enabled and (p, *cur[p]) in S
         ]
+        if self.metrics is not None:
+            self.metrics.observe("stubborn.closure_iterations", iterations)
         return chosen, len(S)
 
     # -- D2 ------------------------------------------------------------

@@ -72,6 +72,7 @@ def build_block(
     opts: StepOptions,
     *,
     max_len: int = 256,
+    metrics=None,
 ) -> Block:
     """Execute the maximal coarsened block of process *pid* from
     *config*.  The first action is executed unconditionally (the caller
@@ -111,6 +112,8 @@ def build_block(
         if succ.fault is not None:
             break
 
+    if metrics is not None:
+        metrics.observe("coarsen.block_len", len(actions))
     return Block(
         succ=succ,
         actions=tuple(actions),

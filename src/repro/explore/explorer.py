@@ -17,6 +17,7 @@ Exploration is breadth-first and fully deterministic.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -42,6 +43,9 @@ class ExploreOptions:
     step: StepOptions = StepOptions()
     max_configs: int = 1_000_000
     max_block_len: int = 256
+    #: wall-clock budget; exploration truncates gracefully (sets
+    #: ``stats.truncated``, like ``max_configs``) when it runs out
+    time_limit_s: float | None = None
     #: ablation: compute static access sets without points-to (every
     #: dereference conflicts with every site)
     coarse_derefs: bool = False
@@ -138,10 +142,17 @@ def explore(
     elif opts.policy == "stubborn-proc":
         selector = StubbornSelector(program, access)
 
-    if opts.sleep:
-        return _explore_sleep(program, opts, access, selector, observers)
+    metrics = _attached_registry(observers)
+    if selector is not None and metrics is not None:
+        selector.metrics = metrics
 
+    if opts.sleep:
+        return _explore_sleep(program, opts, access, selector, observers, metrics)
+
+    t0 = time.perf_counter()
+    deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     graph = ConfigGraph()
+    graph.metrics = metrics
     stats = ExploreStats()
     init = initial_config(program, track_procstrings=opts.step.track_procstrings)
     init_id, _ = graph.add_config(init)
@@ -151,19 +162,26 @@ def explore(
     processed: set[int] = set()
 
     while queue:
+        if deadline is not None and time.perf_counter() > deadline:
+            stats.truncated = True
+            queue.clear()
+            break
         cid = queue.popleft()
         if cid in processed:
             continue
         processed.add(cid)
         config = graph.configs[cid]
         stats.expansions += 1
+        if metrics is not None:
+            metrics.inc("explore.expansions")
+            metrics.observe("explore.frontier_depth", len(queue))
 
         status = _terminal_status_fast(config)
         if status is not None:
             _mark_terminal(graph, cid, config, status, stats, observers)
             continue
 
-        expansions = _expand(program, config, access, opts)
+        expansions = _expand(program, config, access, opts, metrics)
         enabled = [e for e in expansions if e.enabled]
         if not enabled:
             _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
@@ -191,17 +209,26 @@ def explore(
         if stats.truncated:
             break
 
-    stats.num_configs = graph.num_configs
-    stats.num_edges = graph.num_edges
-    stats.stubborn = selector.stats if selector is not None else None
-    for ob in observers:
-        ob.on_done(graph)
-    return ExploreResult(
-        program=program, graph=graph, stats=stats, options=opts, access=access
+    return _finalize(
+        program, graph, stats, opts, access, selector, observers, metrics, t0
     )
 
 
 # --------------------------------------------------------------------------
+
+
+def _attached_registry(observers):
+    """The metrics registry of the first observer exposing one, or None.
+
+    Duck-typed (any observer with a non-None ``registry`` attribute
+    counts) so this module need not import :mod:`repro.metrics`; when it
+    returns None the engine skips every telemetry update.
+    """
+    for ob in observers:
+        reg = getattr(ob, "registry", None)
+        if reg is not None:
+            return reg
+    return None
 
 
 def _terminal_status_fast(config: Config) -> str | None:
@@ -213,6 +240,13 @@ def _terminal_status_fast(config: Config) -> str | None:
 
 
 def _mark_terminal(graph, cid, config, status, stats, observers) -> None:
+    """Classify a terminal configuration — shared by both drivers.
+
+    Idempotent: the sleep-set driver can revisit a configuration under a
+    different sleep set; only the first visit counts and notifies.
+    """
+    if cid in graph.terminal:
+        return
     graph.mark_terminal(cid, status)
     if status == TERMINATED:
         stats.num_terminated += 1
@@ -224,18 +258,44 @@ def _mark_terminal(graph, cid, config, status, stats, observers) -> None:
         ob.on_config(graph, cid, config, False, status)
 
 
+def _finalize(
+    program, graph, stats, opts, access, selector, observers, metrics, t0
+) -> ExploreResult:
+    """Stat finalization + ``on_done`` fan-out — shared by both drivers
+    (including truncated runs, so observers always see completion)."""
+    stats.num_configs = graph.num_configs
+    stats.num_edges = graph.num_edges
+    stats.stubborn = selector.stats if selector is not None else None
+    if metrics is not None:
+        elapsed = time.perf_counter() - t0
+        metrics.timer("explore.wall_s").add(elapsed)
+        metrics.set_gauge(
+            "explore.expansions_per_s",
+            stats.expansions / elapsed if elapsed > 0 else 0.0,
+        )
+    for ob in observers:
+        ob.on_done(graph)
+    return ExploreResult(
+        program=program, graph=graph, stats=stats, options=opts, access=access
+    )
+
+
 def _explore_sleep(
     program: Program,
     opts: ExploreOptions,
     access: AccessAnalysis,
     selector,
     observers: tuple[Observer, ...],
+    metrics=None,
 ) -> ExploreResult:
     """Depth-first exploration with sleep sets (see
     :mod:`repro.explore.sleepsets`), composable with any policy."""
     from repro.explore.sleepsets import entry_of, independent, transition_key
 
+    t0 = time.perf_counter()
+    deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     graph = ConfigGraph()
+    graph.metrics = metrics
     stats = ExploreStats()
     init = initial_config(program, track_procstrings=opts.step.track_procstrings)
     init_id, _ = graph.add_config(init)
@@ -247,6 +307,10 @@ def _explore_sleep(
     stack: list[tuple[int, frozenset]] = [(init_id, frozenset())]
 
     while stack:
+        if deadline is not None and time.perf_counter() > deadline:
+            stats.truncated = True
+            stack.clear()
+            break
         cid, sleep = stack.pop()
         prev = explored.get(cid)
         if prev is not None and any(p <= sleep for p in prev):
@@ -258,18 +322,19 @@ def _explore_sleep(
             prev.append(sleep)
         config = graph.configs[cid]
         stats.expansions += 1
+        if metrics is not None:
+            metrics.inc("explore.expansions")
+            metrics.observe("explore.frontier_depth", len(stack))
 
         status = _terminal_status_fast(config)
         if status is not None:
-            if cid not in graph.terminal:
-                _mark_terminal(graph, cid, config, status, stats, observers)
+            _mark_terminal(graph, cid, config, status, stats, observers)
             continue
 
-        expansions = _expand(program, config, access, opts)
+        expansions = _expand(program, config, access, opts, metrics)
         enabled = [e for e in expansions if e.enabled]
         if not enabled:
-            if cid not in graph.terminal:
-                _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
+            _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
             continue
 
         chosen = selector.select(expansions) if selector is not None else enabled
@@ -310,13 +375,8 @@ def _explore_sleep(
         if stats.truncated:
             break
 
-    stats.num_configs = graph.num_configs
-    stats.num_edges = graph.num_edges
-    stats.stubborn = selector.stats if selector is not None else None
-    for ob in observers:
-        ob.on_done(graph)
-    return ExploreResult(
-        program=program, graph=graph, stats=stats, options=opts, access=access
+    return _finalize(
+        program, graph, stats, opts, access, selector, observers, metrics, t0
     )
 
 
@@ -325,6 +385,7 @@ def _expand(
     config: Config,
     access: AccessAnalysis,
     opts: ExploreOptions,
+    metrics=None,
 ) -> list[Expansion]:
     """Per-process expansions at *config* (coarsened or single-step)."""
     infos = next_infos(program, config, opts.step)
@@ -348,6 +409,7 @@ def _expand(
                 access,
                 opts.step,
                 max_len=opts.max_block_len,
+                metrics=metrics,
             )
             out.append(
                 Expansion(

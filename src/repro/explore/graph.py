@@ -19,6 +19,11 @@ DEADLOCK = "deadlock"
 FAULT = "fault"
 
 
+def _dot_escape(text: str) -> str:
+    """Escape a string for use inside a double-quoted DOT attribute."""
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
 @dataclass(frozen=True)
 class Edge:
     """A transition: ``src -> dst`` via one atomic action (or a fused
@@ -62,6 +67,10 @@ class ConfigGraph:
     terminal: dict[int, str] = field(default_factory=dict)
     initial: int = 0
     _ids: dict[Config, int] = field(default_factory=dict)
+    #: optional :class:`repro.metrics.MetricsRegistry`; when set,
+    #: ``add_config`` reports intern hits/misses (the dedup hit-rate is
+    #: a direct measure of how diamond-shaped the state space is)
+    metrics: object | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # construction
@@ -71,12 +80,16 @@ class ConfigGraph:
         """Intern *config*; returns ``(id, is_new)``."""
         cid = self._ids.get(config)
         if cid is not None:
+            if self.metrics is not None:
+                self.metrics.inc("explore.intern.hits")
             return cid, False
         cid = len(self.configs)
         self.configs.append(config)
         self._ids[config] = cid
         self.out_edges[cid] = []
         self.in_edges[cid] = []
+        if self.metrics is not None:
+            self.metrics.inc("explore.intern.misses")
         return cid, True
 
     def add_edge(self, src: int, dst: int, actions: tuple[ActionInfo, ...]) -> Edge:
@@ -158,7 +171,7 @@ class ConfigGraph:
                 attrs.append("shape=doublecircle")
             lines.append(f"  n{cid} [{', '.join(attrs)}];")
         for edge in self.edges:
-            label = ",".join(edge.labels)
+            label = _dot_escape(",".join(edge.labels))
             pid = ".".join(map(str, edge.pid))
             lines.append(
                 f'  n{edge.src} -> n{edge.dst} [label="{pid}: {label}"];'

@@ -71,13 +71,25 @@ class StubbornSelector:
     program: Program
     access: AccessAnalysis
     stats: StubbornStats = field(default_factory=StubbornStats)
+    #: optional :class:`repro.metrics.MetricsRegistry` (set by the
+    #: exploration driver when telemetry is attached)
+    metrics: object | None = field(default=None, repr=False, compare=False)
+
+    def _record(self, enabled: int, chosen: int) -> None:
+        self.stats.record(enabled, chosen)
+        m = self.metrics
+        if m is not None:
+            m.observe("stubborn.enabled", enabled)
+            m.observe("stubborn.chosen", chosen)
+            if chosen == 1:
+                m.inc("stubborn.singleton_steps")
 
     def select(self, expansions: list[Expansion]) -> list[Expansion]:
         """Return the enabled expansions of a minimal stubborn set."""
         by_pid: dict[Pid, Expansion] = {e.pid: e for e in expansions}
         enabled = [e for e in expansions if e.enabled]
         if len(enabled) <= 1:
-            self.stats.record(len(enabled), len(enabled))
+            self._record(len(enabled), len(enabled))
             return enabled
 
         futures = {
@@ -95,7 +107,7 @@ class StubbornSelector:
             if len(chosen) == 1:
                 break  # cannot do better than a singleton
         assert best is not None
-        self.stats.record(len(enabled), len(best))
+        self._record(len(enabled), len(best))
         return best
 
     # ------------------------------------------------------------------
@@ -108,7 +120,9 @@ class StubbornSelector:
     ) -> set[Pid]:
         closure = set(seed)
         work = list(seed)
+        iterations = 0
         while work:
+            iterations += 1
             pid = work.pop()
             exp = by_pid[pid]
             if exp.enabled:
@@ -129,6 +143,8 @@ class StubbornSelector:
                     if any(matches(fut.writes, loc) for loc in exp.nes):
                         closure.add(other)
                         work.append(other)
+        if self.metrics is not None:
+            self.metrics.observe("stubborn.closure_iterations", iterations)
         return closure
 
     @staticmethod

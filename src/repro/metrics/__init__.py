@@ -1,0 +1,42 @@
+"""Exploration telemetry: registry, instruments, and the observer that
+wires them into the engine.
+
+Usage::
+
+    from repro.explore import explore
+    from repro.metrics import MetricsObserver
+
+    mo = MetricsObserver()
+    result = explore(program, "stubborn", coarsen=True, observers=(mo,))
+    print(mo.snapshot()["explore.frontier_depth"])
+
+Without an attached :class:`MetricsObserver` the engine allocates no
+registry and skips every telemetry update (a single ``is not None``
+test per site) — the default path stays as fast as before telemetry
+existed.
+"""
+
+from repro.metrics.observer import MetricsObserver, attached_registry
+from repro.metrics.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+)
+
+#: Version of the metric-name vocabulary emitted by the engine (see
+#: :mod:`repro.metrics.observer` for the table).  Bump on any rename or
+#: semantic change; ``repro bench`` embeds it in ``BENCH_*.json``.
+SCHEMA_VERSION = "repro.metrics/1"
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsObserver",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Timer",
+    "attached_registry",
+]

@@ -1,0 +1,86 @@
+"""Exploration telemetry as an :class:`~repro.explore.observers.Observer`.
+
+Attaching a :class:`MetricsObserver` to :func:`repro.explore.explore`
+does two things:
+
+1. the observer itself counts graph-level events (configs, edges,
+   actions, terminal statuses) from the standard callbacks;
+2. the engine notices the attached registry and turns on its *deep*
+   instrumentation — frontier depth, intern hit-rate, stubborn closure
+   sizes, coarsened block lengths, wall-clock — none of which runs when
+   no registry is attached.
+
+Metric names emitted by the engine (the stable telemetry schema,
+version :data:`repro.metrics.SCHEMA_VERSION`):
+
+======================================  =========  =========================
+name                                    type       meaning
+======================================  =========  =========================
+``explore.configs``                     counter    configurations interned
+``explore.edges``                       counter    transitions recorded
+``explore.actions``                     counter    atomic actions executed
+``explore.expansions``                  counter    configurations expanded
+``explore.frontier_depth``              histogram  queue/stack depth per step
+``explore.intern.hits``                 counter    add_config found existing
+``explore.intern.misses``               counter    add_config interned fresh
+``explore.terminal.<status>``           counter    per terminal status
+``explore.wall_s``                      timer      exploration wall-clock
+``explore.expansions_per_s``            gauge      expansions / wall seconds
+``stubborn.enabled``                    histogram  candidate-set sizes
+``stubborn.chosen``                     histogram  chosen stubborn-set sizes
+``stubborn.closure_iterations``         histogram  worklist pops per closure
+``stubborn.singleton_steps``            counter    steps with |chosen| == 1
+``coarsen.block_len``                   histogram  fused-block lengths
+``fold.hits``                           counter    successor hit existing key
+``fold.misses``                         counter    successor opened a new key
+``fold.widenings``                      counter    joins replaced by widening
+======================================  =========  =========================
+"""
+
+from __future__ import annotations
+
+from repro.explore.graph import ConfigGraph
+from repro.explore.observers import Observer
+from repro.metrics.registry import MetricsRegistry
+
+
+class MetricsObserver(Observer):
+    """Collects exploration telemetry into a :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    # ------------------------------------------------------------------
+    # Observer callbacks
+    # ------------------------------------------------------------------
+
+    def on_config(self, graph, cid, config, fresh, status) -> None:
+        if fresh:
+            self.registry.inc("explore.configs")
+        if status is not None:
+            self.registry.inc(f"explore.terminal.{status}")
+
+    def on_edge(self, graph, src, dst, actions) -> None:
+        self.registry.inc("explore.edges")
+        self.registry.inc("explore.actions", len(actions))
+
+    def on_done(self, graph: ConfigGraph) -> None:
+        self.registry.set_gauge("graph.configs", graph.num_configs)
+        self.registry.set_gauge("graph.edges", graph.num_edges)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+def attached_registry(observers) -> MetricsRegistry | None:
+    """The registry of the first :class:`MetricsObserver` among
+    *observers*, or None — how the engine decides whether to run its
+    deep instrumentation."""
+    for ob in observers:
+        if isinstance(ob, MetricsObserver):
+            return ob.registry
+    return None

@@ -7,6 +7,8 @@ set is small.  These generators sweep exactly those knobs.
 
 from __future__ import annotations
 
+import random
+
 from repro.lang import Program, parse_program
 
 
@@ -105,6 +107,79 @@ def pointer_heavy(threads: int, steps: int) -> Program:
         lines.append("    { " + " ".join(body) + " }")
     lines.append("}")
     return parse_program("\n".join(lines))
+
+
+#: globals shared by every :func:`random_program` instance
+_RANDOM_GLOBALS = ("ga", "gb", "gc")
+_RANDOM_LOCK = "lk"
+
+
+def random_program_source(
+    seed: int, *, max_branches: int = 3, max_stmts: int = 4
+) -> str:
+    """Source text of a seeded random cobegin program.
+
+    Fully deterministic: the same *seed* always produces byte-identical
+    source (``random.Random(seed)`` only — no wall clock, no global
+    RNG), so differential failures replay exactly.  The statement
+    grammar mirrors the hypothesis strategy of
+    ``tests/properties/test_reduction_soundness.py`` — shared
+    assignments, increments, copies, thread-local arithmetic, a
+    lock-protected critical section, ``assume`` guards (which may
+    deadlock: deadlocks are result configurations too), and one level
+    of branching — while keeping every state space small and bounded
+    (no loops).
+    """
+    rng = random.Random(seed)
+    kinds = ("set", "inc", "copy", "local", "locked", "guard", "ite")
+
+    def statement(t: int, depth: int = 0) -> str:
+        kind = rng.choice(kinds[:4] if depth else kinds)
+        g = rng.choice(_RANDOM_GLOBALS)
+        h = rng.choice(_RANDOM_GLOBALS)
+        c = rng.randint(0, 3)
+        if kind == "set":
+            return f"{g} = {c};"
+        if kind == "inc":
+            return f"{g} = {g} + 1;"
+        if kind == "copy":
+            return f"{g} = {h};"
+        if kind == "local":
+            return f"t{t} = t{t} + 1;"
+        if kind == "locked":
+            return (
+                f"acquire({_RANDOM_LOCK}); {g} = {g} + 1; "
+                f"release({_RANDOM_LOCK});"
+            )
+        if kind == "guard":
+            return f"assume({g} >= {min(c, 2)});"
+        assert kind == "ite"
+        inner = statement(t, depth=1)
+        return f"if ({g} == {c}) {{ {inner} }} else {{ skip; }}"
+
+    lines = [f"var {g} = 0;" for g in _RANDOM_GLOBALS]
+    lines.append(f"var {_RANDOM_LOCK} = 0;")
+    lines.append("func main() {")
+    lines.append("    cobegin")
+    for t in range(rng.randint(2, max_branches)):
+        body = [f"var t{t} = 0;"]
+        for _ in range(rng.randint(1, max_stmts)):
+            body.append(statement(t))
+        lines.append("    { " + " ".join(body) + " }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def random_program(
+    seed: int, *, max_branches: int = 3, max_stmts: int = 4
+) -> Program:
+    """Compile the seeded random program (see
+    :func:`random_program_source`)."""
+    return parse_program(
+        random_program_source(
+            seed, max_branches=max_branches, max_stmts=max_stmts
+        )
+    )
 
 
 def local_heavy(threads: int, local_steps: int) -> Program:

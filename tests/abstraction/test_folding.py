@@ -122,3 +122,29 @@ def test_max_states_guard():
             key_fn=taylor_key,
             max_states=1,
         )
+
+
+def test_fold_metrics_hit_counts():
+    from repro.metrics import MetricsRegistry
+
+    prog = fig3_folding()
+    reg = MetricsRegistry()
+    res = fold_explore(
+        prog,
+        AbsOptions(dom=AbsValueDomain(FlatConstDomain())),
+        key_fn=taylor_key,
+        metrics=reg,
+    )
+    # every distinct key except the seeded initial one was a miss once
+    assert reg.counter("fold.misses").value == res.stats.num_states - 1
+    assert reg.counter("fold.hits").value > 0
+    # constants over a bounded program: no widening needed
+    assert "fold.widenings" not in reg
+
+
+def test_fold_metrics_default_off():
+    prog = fig3_folding()
+    res = fold_explore(
+        prog, AbsOptions(dom=AbsValueDomain(FlatConstDomain())), key_fn=taylor_key
+    )
+    assert res.stats.num_states > 0  # metrics=None path unchanged

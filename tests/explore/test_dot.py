@@ -36,3 +36,37 @@ def test_dot_size_guard():
     graph = explore(philosophers(3), "full").graph
     with pytest.raises(ValueError):
         graph.to_dot(max_nodes=10)
+
+
+def _graph_with_label(label: str):
+    from repro.explore import ConfigGraph
+    from repro.semantics.config import initial_config
+    from repro.semantics.step import ActionInfo
+
+    prog = parse_program("var g = 0; func main() { g = 1; }")
+    graph = ConfigGraph()
+    a, _ = graph.add_config(initial_config(prog))
+    r = explore(prog, "full")
+    b, _ = graph.add_config(r.graph.configs[1])
+    action = ActionInfo(
+        pid=(0,), label=label, kind="assign",
+        reads=(), writes=(), stack=("main",), depth=1,
+    )
+    graph.add_edge(a, b, (action,))
+    return graph
+
+
+def test_dot_escapes_quotes_in_labels():
+    # regression: a '"' inside an action label used to terminate the
+    # DOT attribute early, producing an unparseable file
+    dot = _graph_with_label('say "hi"').to_dot()
+    assert '\\"hi\\"' in dot
+    # every line balances its (unescaped) double quotes
+    for line in dot.splitlines():
+        unescaped = line.replace('\\"', "")
+        assert unescaped.count('"') % 2 == 0, line
+
+
+def test_dot_escapes_backslashes_in_labels():
+    dot = _graph_with_label("a\\b").to_dot()
+    assert "a\\\\b" in dot

@@ -1,0 +1,89 @@
+"""MetricsRegistry instrument semantics."""
+
+import json
+
+import pytest
+
+from repro.metrics import MetricsRegistry
+from repro.metrics.registry import _bucket_of
+
+
+def test_counter_accumulates():
+    reg = MetricsRegistry()
+    reg.inc("a")
+    reg.inc("a", 4)
+    assert reg.counter("a").value == 5
+    assert reg.value("a") == 5
+
+
+def test_gauge_last_write_wins():
+    reg = MetricsRegistry()
+    reg.set_gauge("g", 1.5)
+    reg.set_gauge("g", 2.5)
+    assert reg.value("g") == 2.5
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    for v in (1, 2, 3, 10):
+        reg.observe("h", v)
+    h = reg.histogram("h")
+    assert h.count == 4
+    assert h.total == 16
+    assert h.min == 1 and h.max == 10
+    assert h.mean == 4.0
+
+
+def test_histogram_buckets_are_powers_of_two():
+    assert _bucket_of(0) == 0
+    assert _bucket_of(1) == 1
+    assert _bucket_of(2) == 2
+    assert _bucket_of(3) == 2
+    assert _bucket_of(4) == 3
+    assert _bucket_of(1024) == 11
+    reg = MetricsRegistry()
+    for v in (0, 1, 2, 3, 4):
+        reg.observe("h", v)
+    assert reg.histogram("h").buckets == {0: 1, 1: 1, 2: 2, 3: 1}
+
+
+def test_timer_context_manager():
+    reg = MetricsRegistry()
+    with reg.time("t"):
+        pass
+    with reg.time("t"):
+        pass
+    t = reg.timer("t")
+    assert t.count == 2
+    assert t.total_s >= 0.0
+    assert t.max_s <= t.total_s
+
+
+def test_get_or_create_returns_same_instrument():
+    reg = MetricsRegistry()
+    assert reg.counter("x") is reg.counter("x")
+    assert "x" in reg and "y" not in reg
+    assert len(reg) == 1
+
+
+def test_type_mismatch_raises():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.histogram("x")
+
+
+def test_snapshot_is_json_serializable_and_sorted():
+    reg = MetricsRegistry()
+    reg.inc("b.counter")
+    reg.set_gauge("a.gauge", 7)
+    reg.observe("c.hist", 3)
+    with reg.time("d.timer"):
+        pass
+    snap = reg.snapshot()
+    assert list(snap) == sorted(snap)
+    text = json.dumps(snap)
+    round_trip = json.loads(text)
+    assert round_trip["b.counter"] == {"type": "counter", "value": 1}
+    assert round_trip["a.gauge"]["value"] == 7
+    assert round_trip["c.hist"]["count"] == 1

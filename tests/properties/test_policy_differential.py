@@ -1,0 +1,68 @@
+"""Differential soundness: every policy combination × every corpus
+program must produce the ``full`` baseline's result configurations.
+
+This is the paper's central claim tested end-to-end: stubborn sets
+(both granularities), virtual coarsening, and sleep sets — alone and in
+every combination — preserve final stores, deadlock counts, and fault
+messages.  The hypothesis suite (``test_reduction_soundness.py``)
+covers random programs; this module covers the *curated* corpus, whose
+programs exercise pointers, nested cobegin, first-class functions and
+the paper's figures — shapes the random grammar does not generate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import policy_combos
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+
+COMBOS = policy_combos()
+COMBO_IDS = [
+    ExploreOptions(policy=p, coarsen=c, sleep=s).describe()
+    for p, c, s in COMBOS
+]
+
+# compiled programs and full-exploration baselines, computed once per
+# program rather than once per (program, combo) pair
+_PROGRAMS: dict = {}
+_BASELINES: dict = {}
+
+
+def _program(name):
+    prog = _PROGRAMS.get(name)
+    if prog is None:
+        prog = _PROGRAMS[name] = CORPUS[name]()
+    return prog
+
+
+def _baseline(name):
+    base = _BASELINES.get(name)
+    if base is None:
+        r = explore(_program(name), "full")
+        base = _BASELINES[name] = (
+            r.final_stores(),
+            r.stats.num_deadlocks,
+            frozenset(r.fault_messages()),
+        )
+    return base
+
+
+@pytest.mark.parametrize("combo", COMBOS, ids=COMBO_IDS)
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_policy_matches_full_baseline(name, combo):
+    policy, coarsen, sleep = combo
+    stores, deadlocks, faults = _baseline(name)
+    r = explore(_program(name), policy, coarsen=coarsen, sleep=sleep)
+    assert not r.stats.truncated
+    assert r.final_stores() == stores
+    assert r.stats.num_deadlocks == deadlocks
+    assert frozenset(r.fault_messages()) == faults
+
+
+def test_grid_is_complete():
+    # 3 policies × ±coarsen × ±sleep, no duplicates, baseline first
+    assert len(COMBOS) == 12
+    assert len(set(COMBOS)) == 12
+    assert COMBOS[0] == ("full", False, False)

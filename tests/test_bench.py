@@ -1,0 +1,122 @@
+"""`repro bench` harness tests (the JSON contract and the soundness gate)."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    SCHEMA_VERSION,
+    SMOKE_PROGRAMS,
+    DivergenceError,
+    _Baseline,
+    _check_equivalence,
+    format_summary,
+    policy_combos,
+    run_bench,
+    write_report,
+)
+from repro.explore import explore
+from repro.programs.corpus import CORPUS
+from repro.util.errors import ReproError
+
+
+def test_smoke_programs_exist_in_corpus():
+    assert set(SMOKE_PROGRAMS) <= set(CORPUS)
+
+
+def test_unknown_program_rejected():
+    with pytest.raises(ReproError, match="unknown corpus"):
+        run_bench(programs=["no_such_program"])
+
+
+def test_single_program_document_shape():
+    report = run_bench(programs=["fig2_shasha_snir"])
+    doc = report.document
+    assert doc["schema"] == SCHEMA_VERSION
+    assert doc["metrics_schema"].startswith("repro.metrics/")
+    assert doc["policy_grid"][0] == "full"
+    assert len(doc["policy_grid"]) == len(policy_combos()) == 12
+    entry = doc["programs"]["fig2_shasha_snir"]
+    assert entry["baseline"] == "full"
+    policies = entry["policies"]
+    assert set(policies) == set(doc["policy_grid"])
+    full = policies["full"]
+    assert full["reduction_vs_full"] == 1.0
+    assert full["configs"] > 0 and full["edges"] > 0
+    for combo, p in policies.items():
+        assert p["results_match_full"], combo
+        assert not p["truncated"], combo
+        assert p["wall_time_s"] >= 0
+    # stubborn policies actually reduce this program
+    assert policies["stubborn"]["configs"] < full["configs"]
+    assert policies["stubborn"]["reduction_vs_full"] > 1.0
+    assert policies["stubborn"]["metrics"]["stubborn_singleton_rate"] > 0
+
+
+def test_totals_aggregate_and_summary(tmp_path):
+    report = run_bench(programs=["fig2_shasha_snir", "mutex_counter"])
+    doc = report.document
+    per_combo = 0
+    for combo in doc["policy_grid"]:
+        tot = doc["totals"][combo]
+        summed = sum(
+            doc["programs"][n]["policies"][combo]["configs"]
+            for n in doc["programs"]
+        )
+        assert tot["configs"] == summed
+        per_combo += 1
+    assert per_combo == 12
+
+    out = tmp_path / "bench.json"
+    write_report(report, str(out))
+    loaded = json.loads(out.read_text())
+    assert loaded["schema"] == SCHEMA_VERSION
+
+    summary = format_summary(report)
+    assert "full" in summary and "stubborn+coarsen+sleep" in summary
+    assert "matched 'full'" in summary
+
+
+def test_divergence_fails_loudly():
+    r = explore(CORPUS["fig2_shasha_snir"](), "stubborn")
+    good = _Baseline(
+        stores=r.final_stores(),
+        deadlocks=r.stats.num_deadlocks,
+        faults=frozenset(r.fault_messages()),
+    )
+    _check_equivalence("fig2", "stubborn", r, good)  # no raise
+
+    with pytest.raises(DivergenceError, match="result stores differ"):
+        _check_equivalence(
+            "fig2",
+            "stubborn",
+            r,
+            _Baseline(stores=set(), deadlocks=0, faults=frozenset()),
+        )
+    with pytest.raises(DivergenceError, match="deadlock count"):
+        _check_equivalence(
+            "fig2",
+            "stubborn",
+            r,
+            _Baseline(stores=good.stores, deadlocks=7, faults=good.faults),
+        )
+    with pytest.raises(DivergenceError, match="fault messages"):
+        _check_equivalence(
+            "fig2",
+            "stubborn",
+            r,
+            _Baseline(
+                stores=good.stores,
+                deadlocks=good.deadlocks,
+                faults=frozenset({"boom"}),
+            ),
+        )
+
+
+def test_time_limit_marks_truncated_instead_of_failing():
+    report = run_bench(programs=["fig2_shasha_snir"], time_limit_s=0.0)
+    doc = report.document
+    assert doc["truncated_runs"]  # every run hit the zero budget
+    for p in doc["programs"]["fig2_shasha_snir"]["policies"].values():
+        assert p["truncated"]
+        assert not p["results_match_full"]

@@ -50,6 +50,28 @@ def test_explore_policies(capsys):
         assert main(["explore", "corpus:racy_counter", "--policy", policy]) == 0
 
 
+def test_bench_writes_schema_versioned_json(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "BENCH_explore.json"
+    assert (
+        main(
+            [
+                "bench",
+                "--out", str(out),
+                "--programs", "fig2_shasha_snir", "mutex_counter",
+            ]
+        )
+        == 0
+    )
+    doc = json.loads(out.read_text())
+    assert doc["schema"].startswith("repro.bench.explore/")
+    assert len(doc["programs"]) == 2
+    text = capsys.readouterr().out
+    assert "stubborn+coarsen+sleep" in text
+    assert f"wrote {out}" in text
+
+
 def test_analyze(capsys):
     assert main(["analyze", "corpus:example8_pointers"]) == 0
     out = capsys.readouterr().out
