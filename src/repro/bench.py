@@ -17,14 +17,26 @@ Two jobs in one:
 2. **perf trajectory** — the JSON is the regression baseline future PRs
    diff against (check a run in, re-run, compare ``totals``).
 
-Determinism: everything except the ``wall_time_s`` / ``*_per_s``
-fields is deterministic; diff tools should ignore those.
+Resilience: an optional per-program **watchdog** (``watchdog_s``) bounds
+each program's sweep with a wall-clock alarm; a program that hangs (or
+crashes the engine) is retried once, then *skipped with an error entry*
+in the document — one pathological program no longer aborts the whole
+sweep.  Soundness failures (:class:`DivergenceError`) still abort: a
+broken reduction is a bug, not bad luck.
+
+Determinism: everything except the ``wall_time_s`` / ``*_per_s`` /
+``peak_rss_bytes`` fields is deterministic; diff tools should ignore
+those.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import signal
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.explore import ExploreOptions, ExploreResult, explore
@@ -32,10 +44,20 @@ from repro.metrics import SCHEMA_VERSION as METRICS_SCHEMA_VERSION
 from repro.metrics import MetricsObserver
 from repro.util.errors import ReproError
 
+LOG = logging.getLogger("repro.bench")
+
 #: Version of the ``BENCH_explore.json`` document layout.  Bump on any
 #: key rename or semantic change so trajectory tooling can refuse to
 #: compare apples to oranges.
-SCHEMA_VERSION = "repro.bench.explore/1"
+#:
+#: ``/2`` (this version) adds per-entry ``peak_rss_bytes``,
+#: ``escalations`` and ``truncation_reason``, and the top-level
+#: ``errors`` / ``watchdog_s`` keys; :func:`load_report` still reads
+#: ``/1`` documents.
+SCHEMA_VERSION = "repro.bench.explore/2"
+
+#: Older layouts :func:`load_report` can upgrade on the fly.
+COMPATIBLE_SCHEMAS = ("repro.bench.explore/1", SCHEMA_VERSION)
 
 POLICIES = ("full", "stubborn", "stubborn-proc")
 
@@ -55,6 +77,18 @@ SMOKE_PROGRAMS = (
 class DivergenceError(ReproError):
     """A reduced policy produced different result configurations than
     full exploration — the soundness invariant is broken."""
+
+
+class WatchdogAlarm(BaseException):
+    """A program's sweep exceeded the per-program watchdog budget.
+
+    Deliberately a :class:`BaseException` (like ``KeyboardInterrupt``):
+    the exploration engine's resilience guards catch ``Exception`` to
+    degrade gracefully, and the watchdog must pierce those guards —
+    otherwise a hung program would swallow its own eviction notice and
+    keep hanging.  ``run_bench`` converts it to an error entry; it never
+    escapes this module.
+    """
 
 
 def policy_combos() -> list[tuple[str, bool, bool]]:
@@ -146,24 +180,148 @@ def _check_equivalence(
         )
 
 
+@contextmanager
+def _watchdog(seconds: float | None):
+    """Bound the enclosed block with a wall-clock alarm.
+
+    No-op when *seconds* is None, off the main thread, or on a platform
+    without ``SIGALRM`` — the sweep then runs unguarded, exactly as
+    before the watchdog existed.
+    """
+    if (
+        seconds is None
+        or not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+
+    def _alarm(signum, frame):
+        raise WatchdogAlarm(f"watchdog fired after {seconds}s")
+
+    previous = signal.signal(signal.SIGALRM, _alarm)
+    # Repeating interval, not one-shot: a single SIGALRM delivery can be
+    # lost to signal races under load, and a lost one-shot alarm would
+    # let the guarded block run unbounded.  A repeating timer re-fires
+    # until the finally below disarms it.
+    signal.setitimer(signal.ITIMER_REAL, seconds, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _sweep_program(
+    name: str,
+    make_program,
+    combos: list[tuple[str, bool, bool]],
+    *,
+    max_configs: int,
+    time_limit_s: float | None,
+    progress,
+) -> tuple[dict, list[str]]:
+    """One program through the full grid; returns (entries, truncated).
+
+    Pure with respect to the report accumulators so a watchdog retry can
+    simply rerun it.
+    """
+    program = make_program()
+    entries: dict[str, dict] = {}
+    truncated: list[str] = []
+    baseline: _Baseline | None = None
+
+    for policy, coarsen, sleep in combos:
+        combo = _combo_name(policy, coarsen, sleep)
+        opts = ExploreOptions(
+            policy=policy,
+            coarsen=coarsen,
+            sleep=sleep,
+            max_configs=max_configs,
+            time_limit_s=time_limit_s,
+        )
+        mo = MetricsObserver()
+        t0 = time.perf_counter()
+        result = explore(program, options=opts, observers=(mo,))
+        wall = time.perf_counter() - t0
+        s = result.stats
+
+        if combo == "full":
+            baseline = _Baseline(
+                stores=result.final_stores(),
+                deadlocks=s.num_deadlocks,
+                faults=frozenset(result.fault_messages()),
+            )
+        assert baseline is not None
+        if s.truncated:
+            # a truncated space has no complete result set to compare
+            truncated.append(f"{name}/{combo}")
+        else:
+            _check_equivalence(name, combo, result, baseline)
+
+        full_entry = entries.get("full")
+        entry = {
+            "policy": policy,
+            "coarsen": coarsen,
+            "sleep": sleep,
+            "configs": s.num_configs,
+            "edges": s.num_edges,
+            "expansions": s.expansions,
+            "actions": s.actions_executed,
+            "terminated": s.num_terminated,
+            "deadlocks": s.num_deadlocks,
+            "faults": s.num_faults,
+            "truncated": s.truncated,
+            "truncation_reason": s.truncation_reason,
+            "peak_rss_bytes": s.peak_rss_bytes,
+            "escalations": list(s.escalations),
+            "wall_time_s": round(wall, 6),
+            "reduction_vs_full": (
+                _ratio(full_entry["configs"], s.num_configs)
+                if full_entry is not None
+                else 1.0
+            ),
+            "edge_reduction_vs_full": (
+                _ratio(full_entry["edges"], s.num_edges)
+                if full_entry is not None
+                else 1.0
+            ),
+            "results_match_full": not s.truncated,
+            "metrics": _scalar_metrics(mo),
+        }
+        entries[combo] = entry
+        if progress is not None:
+            progress(name, combo, entry)
+
+    return entries, truncated
+
+
 def run_bench(
     *,
     programs: list[str] | None = None,
     smoke: bool = False,
     max_configs: int = 200_000,
     time_limit_s: float | None = None,
+    watchdog_s: float | None = None,
+    corpus: dict | None = None,
     progress=None,
 ) -> BenchReport:
     """Sweep the corpus and build the benchmark document.
 
     Raises :class:`DivergenceError` on the first policy whose results
     differ from full exploration (soundness failure beats telemetry).
+
+    ``watchdog_s`` bounds each program's sweep: on timeout (or any
+    engine crash) the program is retried once, then recorded under
+    ``errors`` and skipped.  ``corpus`` overrides the bundled program
+    table (tests inject pathological programs this way).
     """
-    from repro.programs.corpus import CORPUS
+    if corpus is None:
+        from repro.programs.corpus import CORPUS as corpus  # noqa: N811
 
     if programs is None:
-        programs = list(SMOKE_PROGRAMS) if smoke else sorted(CORPUS)
-    unknown = [n for n in programs if n not in CORPUS]
+        programs = list(SMOKE_PROGRAMS) if smoke else sorted(corpus)
+    unknown = [n for n in programs if n not in corpus]
     if unknown:
         raise ReproError(
             f"unknown corpus programs: {', '.join(unknown)}; "
@@ -172,6 +330,7 @@ def run_bench(
 
     combos = policy_combos()
     per_program: dict[str, dict] = {}
+    errors: dict[str, str] = {}
     totals: dict[str, dict] = {
         _combo_name(*c): {"configs": 0, "edges": 0, "wall_time_s": 0.0}
         for c in combos
@@ -179,88 +338,64 @@ def run_bench(
     truncated_runs: list[str] = []
 
     for name in programs:
-        program = CORPUS[name]()
-        entries: dict[str, dict] = {}
-        baseline: _Baseline | None = None
-
-        for policy, coarsen, sleep in combos:
-            combo = _combo_name(policy, coarsen, sleep)
-            opts = ExploreOptions(
-                policy=policy,
-                coarsen=coarsen,
-                sleep=sleep,
-                max_configs=max_configs,
-                time_limit_s=time_limit_s,
-            )
-            mo = MetricsObserver()
+        entries = None
+        truncated: list[str] = []
+        failure = ""
+        for attempt in (1, 2):
             t0 = time.perf_counter()
-            result = explore(program, options=opts, observers=(mo,))
-            wall = time.perf_counter() - t0
-            s = result.stats
-
-            if combo == "full":
-                baseline = _Baseline(
-                    stores=result.final_stores(),
-                    deadlocks=s.num_deadlocks,
-                    faults=frozenset(result.fault_messages()),
+            try:
+                with _watchdog(watchdog_s):
+                    entries, truncated = _sweep_program(
+                        name,
+                        corpus[name],
+                        combos,
+                        max_configs=max_configs,
+                        time_limit_s=time_limit_s,
+                        progress=progress,
+                    )
+                break
+            except DivergenceError:
+                raise  # soundness failure: abort the sweep, loudly
+            except (WatchdogAlarm, Exception) as exc:
+                failure = f"{type(exc).__name__}: {exc}"
+                LOG.warning(
+                    "bench program %r failed on attempt %d after %.2fs (%s)",
+                    name, attempt, time.perf_counter() - t0, failure,
                 )
-            assert baseline is not None
-            if s.truncated:
-                # a truncated space has no complete result set to compare
-                truncated_runs.append(f"{name}/{combo}")
-            else:
-                _check_equivalence(name, combo, result, baseline)
+        if entries is None:
+            errors[name] = failure
+            per_program[name] = {"error": failure, "attempts": 2}
+            continue
 
-            full_entry = entries.get("full")
-            entry = {
-                "policy": policy,
-                "coarsen": coarsen,
-                "sleep": sleep,
-                "configs": s.num_configs,
-                "edges": s.num_edges,
-                "expansions": s.expansions,
-                "actions": s.actions_executed,
-                "terminated": s.num_terminated,
-                "deadlocks": s.num_deadlocks,
-                "faults": s.num_faults,
-                "truncated": s.truncated,
-                "wall_time_s": round(wall, 6),
-                "reduction_vs_full": (
-                    _ratio(full_entry["configs"], s.num_configs)
-                    if full_entry is not None
-                    else 1.0
-                ),
-                "edge_reduction_vs_full": (
-                    _ratio(full_entry["edges"], s.num_edges)
-                    if full_entry is not None
-                    else 1.0
-                ),
-                "results_match_full": not s.truncated,
-                "metrics": _scalar_metrics(mo),
-            }
-            entries[combo] = entry
+        truncated_runs.extend(truncated)
+        for combo, entry in entries.items():
             tot = totals[combo]
-            tot["configs"] += s.num_configs
-            tot["edges"] += s.num_edges
-            tot["wall_time_s"] = round(tot["wall_time_s"] + wall, 6)
-            if progress is not None:
-                progress(name, combo, entry)
-
+            tot["configs"] += entry["configs"]
+            tot["edges"] += entry["edges"]
+            tot["wall_time_s"] = round(
+                tot["wall_time_s"] + entry["wall_time_s"], 6
+            )
         per_program[name] = {"baseline": "full", "policies": entries}
 
+    if truncated_runs:
+        soundness = "truncated runs skipped equivalence check"
+    elif errors:
+        soundness = "errored programs skipped equivalence check"
+    else:
+        soundness = "all policies matched 'full' result configurations"
     document = {
         "schema": SCHEMA_VERSION,
         "metrics_schema": METRICS_SCHEMA_VERSION,
         "smoke": smoke,
         "max_configs": max_configs,
         "time_limit_s": time_limit_s,
+        "watchdog_s": watchdog_s,
         "policy_grid": [_combo_name(*c) for c in combos],
         "programs": per_program,
         "totals": totals,
         "truncated_runs": truncated_runs,
-        "soundness": "all policies matched 'full' result configurations"
-        if not truncated_runs
-        else "truncated runs skipped equivalence check",
+        "errors": errors,
+        "soundness": soundness,
     }
     return BenchReport(document=document)
 
@@ -269,6 +404,37 @@ def write_report(report: BenchReport, out_path: str) -> None:
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(report.document, fh, indent=2, sort_keys=False)
         fh.write("\n")
+
+
+def upgrade_document(doc: dict) -> dict:
+    """Normalize a bench document to the current schema in place.
+
+    ``/1`` documents (the PR-1 baseline) lack ``errors``/``watchdog_s``
+    and the per-entry resilience fields; they are filled with neutral
+    defaults so downstream tooling reads one shape.  Unknown schemas
+    raise :class:`ReproError`.
+    """
+    schema = doc.get("schema")
+    if schema not in COMPATIBLE_SCHEMAS:
+        raise ReproError(
+            f"unsupported bench schema {schema!r}; "
+            f"this reader speaks {', '.join(COMPATIBLE_SCHEMAS)}"
+        )
+    doc.setdefault("errors", {})
+    doc.setdefault("watchdog_s", None)
+    for prog in doc.get("programs", {}).values():
+        for entry in prog.get("policies", {}).values():
+            entry.setdefault("truncation_reason", None)
+            entry.setdefault("peak_rss_bytes", 0)
+            entry.setdefault("escalations", [])
+    return doc
+
+
+def load_report(path: str) -> dict:
+    """Read a ``BENCH_*.json`` document, accepting any compatible
+    schema (see :func:`upgrade_document`)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return upgrade_document(json.load(fh))
 
 
 def format_summary(report: BenchReport) -> str:
@@ -291,5 +457,7 @@ def format_summary(report: BenchReport) -> str:
         )
     if doc["truncated_runs"]:
         lines.append(f"truncated (equivalence skipped): {doc['truncated_runs']}")
+    for name, message in doc.get("errors", {}).items():
+        lines.append(f"ERROR {name}: {message}")
     lines.append(doc["soundness"])
     return "\n".join(lines)

@@ -5,12 +5,18 @@
     repro parse FILE              # check & disassemble
     repro run FILE [--scheduler S --seed N --trace]
     repro explore FILE [--policy P --coarsen --sleep]
+    repro explore FILE --checkpoint PATH --checkpoint-every N
+    repro explore FILE --resume PATH
+    repro explore FILE --resilient [--time-limit S --max-rss-mb M]
     repro analyze FILE            # the full §5/§7 report
     repro fold FILE [--clans --domain D]
     repro corpus                  # list bundled programs
     repro demo NAME               # analyze a bundled program
 
 ``FILE`` may be a path or ``corpus:NAME`` for a bundled program.
+
+Library errors (:class:`~repro.util.errors.ReproError`) exit with code
+2 and a one-line message — front-end errors name their source location.
 """
 
 from __future__ import annotations
@@ -21,7 +27,7 @@ import sys
 from repro.explore import ExploreOptions, explore
 from repro.lang import parse_program
 from repro.semantics import StepOptions, run_program
-from repro.util.errors import ReproError
+from repro.util.errors import ReproError, SourceError
 
 
 def _load(spec: str):
@@ -65,20 +71,74 @@ def _cmd_run(args) -> int:
     return 1 if result.faulted else 0
 
 
+#: CLI policy name -> degradation-ladder rung to start at.
+_POLICY_RUNG = {
+    "full": "full",
+    "stubborn": "stubborn",
+    "stubborn-proc": "stubborn-proc+coarsen",
+}
+
+
 def _cmd_explore(args) -> int:
     prog = _load(args.file)
+    max_rss = args.max_rss_mb * 2**20 if args.max_rss_mb else None
     opts = ExploreOptions(
         policy=args.policy,
         coarsen=args.coarsen,
         sleep=args.sleep,
         max_configs=args.max_configs,
+        time_limit_s=args.time_limit,
+        max_rss_bytes=max_rss,
     )
-    result = explore(prog, options=opts)
+    if args.resilient:
+        from repro.resilience import Budgets, explore_resilient
+
+        rr = explore_resilient(
+            prog,
+            budgets=Budgets(
+                max_configs=args.max_configs,
+                time_limit_s=args.time_limit,
+                max_rss_bytes=max_rss,
+            ),
+            start=_POLICY_RUNG[args.policy],
+        )
+        for line in rr.trail:
+            print(f"escalated {line}")
+        print(
+            f"answered by rung {rr.rung}"
+            + ("" if rr.exact else " (approximate)")
+        )
+        if rr.fold is not None:
+            print(
+                f"abstract fold: states={rr.fold.stats.num_states} "
+                f"edges={rr.fold.stats.num_edges} "
+                f"widenings={rr.fold.stats.widenings}"
+            )
+        result = rr.result
+    else:
+        checkpointer = None
+        if args.checkpoint:
+            from repro.resilience import Checkpointer
+
+            checkpointer = Checkpointer(
+                args.checkpoint, every=args.checkpoint_every
+            )
+        result = explore(
+            prog,
+            options=opts,
+            checkpointer=checkpointer,
+            resume_from=args.resume,
+        )
     s = result.stats
+    truncated = (
+        f" TRUNCATED({s.truncation_reason or 'budget'})" if s.truncated else ""
+    )
+    resumed = " resumed" if s.resumed else ""
     print(
-        f"policy={opts.describe()} configs={s.num_configs} edges={s.num_edges} "
+        f"policy={result.options.describe()} configs={s.num_configs} "
+        f"edges={s.num_edges} "
         f"terminated={s.num_terminated} deadlocks={s.num_deadlocks} "
-        f"faults={s.num_faults}" + (" TRUNCATED" if s.truncated else "")
+        f"faults={s.num_faults}" + truncated + resumed
     )
     if s.stubborn is not None and s.stubborn.steps:
         print(
@@ -184,6 +244,7 @@ def _cmd_bench(args) -> int:
         smoke=args.smoke,
         max_configs=args.max_configs,
         time_limit_s=args.time_limit,
+        watchdog_s=args.watchdog,
         progress=progress,
     )
     write_report(report, args.out)
@@ -233,6 +294,19 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--coarsen", action="store_true")
     p.add_argument("--sleep", action="store_true")
     p.add_argument("--max-configs", type=int, default=1_000_000)
+    p.add_argument("--time-limit", type=float, default=None,
+                   help="wall-clock budget in seconds (graceful truncation)")
+    p.add_argument("--max-rss-mb", type=int, default=None,
+                   help="peak-memory budget in MiB (graceful truncation)")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="snapshot the search to PATH periodically")
+    p.add_argument("--checkpoint-every", type=int, default=1000,
+                   metavar="N", help="expansions between snapshots")
+    p.add_argument("--resume", metavar="PATH", default=None,
+                   help="continue from a checkpoint (same program & policy)")
+    p.add_argument("--resilient", action="store_true",
+                   help="degradation ladder: on budget exhaustion escalate "
+                   "to cheaper sound policies, then abstract folding")
     p.add_argument("--witness", choices=["deadlock", "fault"], default=None,
                    help="print the shortest execution reaching the event")
     p.set_defaults(fn=_cmd_explore)
@@ -278,6 +352,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-configs", type=int, default=200_000)
     p.add_argument("--time-limit", type=float, default=None,
                    help="per-exploration wall-clock budget in seconds")
+    p.add_argument("--watchdog", type=float, default=None, metavar="S",
+                   help="per-program wall-clock watchdog: a hung program is "
+                   "retried once, then skipped with an error entry")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per program × combo")
     p.set_defaults(fn=_cmd_bench)
@@ -293,7 +370,15 @@ def main(argv: list[str] | None = None) -> int:
     try:
         return args.fn(args)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # One line, exit code 2 — never a Python traceback.  Front-end
+        # errors lead with their source location.
+        if isinstance(exc, SourceError) and exc.line is not None:
+            loc = f"line {exc.line}"
+            if exc.col is not None:
+                loc += f", col {exc.col}"
+            print(f"error: {loc}: {exc.message}", file=sys.stderr)
+        else:
+            print(f"error: {exc}", file=sys.stderr)
         return 2
 
 

@@ -1,4 +1,7 @@
-"""State-space exploration: full interleaving, stubborn sets, coarsening."""
+"""State-space exploration: full interleaving, stubborn sets, coarsening.
+
+Resilient entry points (degradation ladder, checkpoint/resume, fault
+isolation) live in :mod:`repro.resilience`."""
 
 from repro.explore.coarsen import Block, action_is_critical, build_block
 from repro.explore.expansion import Expansion

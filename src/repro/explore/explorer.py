@@ -13,13 +13,43 @@ Orthogonally, ``coarsen=True`` fuses thread-local runs into atomic
 blocks (virtual coarsening, Observation 5).
 
 Exploration is breadth-first and fully deterministic.
+
+Resilience
+----------
+The engine degrades instead of crashing (see
+:mod:`repro.resilience`):
+
+- every budget (``max_configs``, ``time_limit_s``, ``max_rss_bytes``)
+  truncates gracefully, recording *why* in
+  ``stats.truncation_reason``;
+- observer callbacks are dispatched through a guard: a raising observer
+  is logged, disabled for the rest of the run, and counted in
+  ``stats.degraded_observers`` — it never kills exploration;
+- a crashing stubborn selector falls back to expanding the full enabled
+  set at that configuration (a sound over-approximation) and counts in
+  ``stats.selector_faults``;
+- an exception while computing a configuration's expansions drops that
+  configuration's successors, truncates with reason ``internal-error``,
+  and counts in ``stats.engine_faults``;
+- a :class:`~repro.resilience.checkpoint.Checkpointer` snapshots the
+  frontier/graph/stats periodically, and ``resume_from=`` continues a
+  snapshot deterministically (same graph and stats as an uninterrupted
+  run).
 """
 
 from __future__ import annotations
 
+import logging
+import os
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
+
+try:
+    import resource as _resource
+except ImportError:  # non-Unix platforms: RSS telemetry reads 0
+    _resource = None
 
 from repro.analyses.accesses import AccessAnalysis, access_analysis
 from repro.explore.algorithm1 import AlgorithmOneSelector
@@ -29,8 +59,22 @@ from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph
 from repro.explore.observers import Observer
 from repro.explore.stubborn import StubbornSelector, StubbornStats
 from repro.lang.program import Program
+from repro.resilience import chaos
+from repro.resilience.checkpoint import (
+    Checkpointer,
+    program_fingerprint,
+    read_snapshot,
+)
 from repro.semantics.config import Config, initial_config
 from repro.semantics.step import StepOptions, next_infos
+
+LOG = logging.getLogger("repro.explore")
+
+#: ``getrusage().ru_maxrss`` is kilobytes on Linux, bytes on macOS.
+_RU_MAXRSS_SCALE = 1 if sys.platform == "darwin" else 1024
+
+#: Expansions between RSS samples (a /proc read is cheap but not free).
+_RSS_SAMPLE_EVERY = 64
 
 
 @dataclass(frozen=True)
@@ -46,6 +90,10 @@ class ExploreOptions:
     #: wall-clock budget; exploration truncates gracefully (sets
     #: ``stats.truncated``, like ``max_configs``) when it runs out
     time_limit_s: float | None = None
+    #: peak-memory budget: truncate gracefully when the process's
+    #: resident set exceeds this many bytes (sampled every
+    #: ``_RSS_SAMPLE_EVERY`` expansions)
+    max_rss_bytes: int | None = None
     #: ablation: compute static access sets without points-to (every
     #: dereference conflicts with every site)
     coarse_derefs: bool = False
@@ -54,6 +102,18 @@ class ExploreOptions:
         c = "+coarsen" if self.coarsen else ""
         s = "+sleep" if self.sleep else ""
         return f"{self.policy}{c}{s}"
+
+    def resume_key(self) -> tuple:
+        """The option fields a resumed run must match (budgets excluded
+        on purpose: resuming with a *larger* budget is the point)."""
+        return (
+            self.policy,
+            self.coarsen,
+            self.sleep,
+            self.coarse_derefs,
+            self.max_block_len,
+            self.step,
+        )
 
 
 @dataclass
@@ -68,6 +128,27 @@ class ExploreStats:
     expansions: int = 0
     actions_executed: int = 0
     truncated: bool = False
+    #: why the search was cut short: "configs" | "time" | "memory" |
+    #: "interrupted" | "internal-error" (None for a complete run)
+    truncation_reason: str | None = None
+    #: peak resident set observed during the run (bytes; 0 if the
+    #: platform exposes no RSS)
+    peak_rss_bytes: int = 0
+    #: observers disabled after raising from a callback
+    degraded_observers: int = 0
+    #: stubborn selections that crashed and fell back to full expansion
+    selector_faults: int = 0
+    #: expansion computations that crashed (their successors are lost)
+    engine_faults: int = 0
+    #: snapshot writes that failed (run continued without them)
+    checkpoint_faults: int = 0
+    #: snapshots successfully written
+    checkpoints_written: int = 0
+    #: this run continued from a checkpoint
+    resumed: bool = False
+    #: degradation-ladder trail, e.g. ("full->stubborn: configs",);
+    #: filled by :func:`repro.resilience.explore_resilient`
+    escalations: tuple[str, ...] = ()
     stubborn: StubbornStats | None = None
 
 
@@ -118,11 +199,18 @@ def explore(
     sleep: bool = False,
     options: ExploreOptions | None = None,
     observers: tuple[Observer, ...] = (),
+    checkpointer: Checkpointer | None = None,
+    resume_from: str | None = None,
 ) -> ExploreResult:
     """Explore *program*'s state space and return the graph + stats.
 
     ``policy``/``coarsen``/``sleep`` are convenience shortcuts; pass
     ``options`` for full control (it overrides the shortcuts).
+
+    ``checkpointer`` snapshots the search periodically; ``resume_from``
+    continues from a snapshot path (the program and the non-budget
+    options must match the snapshot, else
+    :class:`~repro.resilience.checkpoint.CheckpointError`).
     """
     opts = (
         options
@@ -147,24 +235,62 @@ def explore(
         selector.metrics = metrics
 
     if opts.sleep:
-        return _explore_sleep(program, opts, access, selector, observers, metrics)
+        return _explore_sleep(
+            program, opts, access, selector, observers, metrics,
+            checkpointer, resume_from,
+        )
 
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
-    graph = ConfigGraph()
-    graph.metrics = metrics
-    stats = ExploreStats()
-    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
-    init_id, _ = graph.add_config(init)
-    graph.initial = init_id
+    fingerprint = program_fingerprint(program)
 
-    queue: deque[int] = deque([init_id])
-    processed: set[int] = set()
+    if resume_from is not None:
+        payload = read_snapshot(
+            resume_from,
+            driver="bfs",
+            fingerprint=fingerprint,
+            options_key=opts.resume_key(),
+        )
+        graph = payload["graph"]
+        stats = payload["stats"]
+        queue: deque[int] = deque(payload["queue"])
+        processed: set[int] = payload["processed"]
+        stats.resumed = True
+        graph.metrics = metrics
+        if selector is not None and payload.get("stubborn") is not None:
+            selector.stats = payload["stubborn"]
+    else:
+        graph = ConfigGraph()
+        graph.metrics = metrics
+        stats = ExploreStats()
+        init = initial_config(
+            program, track_procstrings=opts.step.track_procstrings
+        )
+        init_id, _ = graph.add_config(init)
+        graph.initial = init_id
+        queue = deque([init_id])
+        processed = set()
+    guard = _ObserverGuard(observers, stats, metrics)
+
+    def payload_now() -> dict:
+        return {
+            "driver": "bfs",
+            "fingerprint": fingerprint,
+            "options_key": opts.resume_key(),
+            "graph": graph,
+            "stats": stats,
+            "stubborn": selector.stats if selector is not None else None,
+            "queue": list(queue),
+            "processed": processed,
+        }
 
     while queue:
         if deadline is not None and time.perf_counter() > deadline:
-            stats.truncated = True
+            _truncate(stats, "time")
             queue.clear()
+            break
+        if checkpointer is not None and checkpointer.tick(payload_now):
+            _truncate(stats, "interrupted")
             break
         cid = queue.popleft()
         if cid in processed:
@@ -172,22 +298,30 @@ def explore(
         processed.add(cid)
         config = graph.configs[cid]
         stats.expansions += 1
+        if not _within_memory_budget(stats, opts):
+            _truncate(stats, "memory")
+            queue.clear()
+            break
         if metrics is not None:
             metrics.inc("explore.expansions")
             metrics.observe("explore.frontier_depth", len(queue))
 
         status = _terminal_status_fast(config)
         if status is not None:
-            _mark_terminal(graph, cid, config, status, stats, observers)
+            _mark_terminal(graph, cid, config, status, stats, guard)
             continue
 
-        expansions = _expand(program, config, access, opts, metrics)
+        expansions = _expand_guarded(
+            program, config, cid, access, opts, stats, metrics
+        )
+        if expansions is None:
+            continue
         enabled = [e for e in expansions if e.enabled]
         if not enabled:
-            _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
+            _mark_terminal(graph, cid, config, DEADLOCK, stats, guard)
             continue
 
-        chosen = selector.select(expansions) if selector is not None else enabled
+        chosen = _select_guarded(selector, expansions, enabled, stats, metrics)
 
         for exp in chosen:
             succ = exp.succ
@@ -195,13 +329,11 @@ def explore(
             dst, fresh = graph.add_config(succ)
             graph.add_edge(cid, dst, exp.actions)
             stats.actions_executed += len(exp.actions)
-            for ob in observers:
-                ob.on_edge(graph, cid, dst, exp.actions)
+            guard.on_edge(graph, cid, dst, exp.actions)
             if fresh:
-                for ob in observers:
-                    ob.on_config(graph, dst, succ, True, None)
+                guard.on_config(graph, dst, succ, True, None)
                 if graph.num_configs > opts.max_configs:
-                    stats.truncated = True
+                    _truncate(stats, "configs")
                     queue.clear()
                     break
                 queue.append(dst)
@@ -210,7 +342,8 @@ def explore(
             break
 
     return _finalize(
-        program, graph, stats, opts, access, selector, observers, metrics, t0
+        program, graph, stats, opts, access, selector, guard, metrics, t0,
+        checkpointer,
     )
 
 
@@ -231,6 +364,136 @@ def _attached_registry(observers):
     return None
 
 
+class _ObserverGuard:
+    """Fault isolation for observer dispatch.
+
+    An observer that raises is logged, counted in
+    ``stats.degraded_observers``, and dropped for the rest of the run;
+    its co-observers keep receiving every event.  The ``observer`` chaos
+    point fires inside the per-observer try so injected faults take the
+    same path as real ones.
+    """
+
+    __slots__ = ("live", "stats", "metrics")
+
+    def __init__(self, observers, stats: ExploreStats, metrics) -> None:
+        self.live: list = list(observers)
+        self.stats = stats
+        self.metrics = metrics
+
+    def _dispatch(self, method: str, *args) -> None:
+        if not self.live:
+            return
+        dead: list = []
+        for ob in self.live:
+            try:
+                chaos.kick("observer")
+                getattr(ob, method)(*args)
+            except Exception as exc:
+                dead.append(ob)
+                self.stats.degraded_observers += 1
+                if self.metrics is not None:
+                    self.metrics.inc("explore.observer_faults")
+                LOG.warning(
+                    "observer %s raised in %s (%s); disabling it for the "
+                    "rest of the run",
+                    type(ob).__name__, method, exc,
+                )
+        if dead:
+            self.live = [ob for ob in self.live if ob not in dead]
+
+    def on_config(self, graph, cid, config, fresh, status) -> None:
+        self._dispatch("on_config", graph, cid, config, fresh, status)
+
+    def on_edge(self, graph, src, dst, actions) -> None:
+        self._dispatch("on_edge", graph, src, dst, actions)
+
+    def on_done(self, graph) -> None:
+        self._dispatch("on_done", graph)
+
+
+def _truncate(stats: ExploreStats, reason: str) -> None:
+    """Cut the search short; the first reason wins (later budget trips
+    on an already-truncated run add no information)."""
+    stats.truncated = True
+    if stats.truncation_reason is None:
+        stats.truncation_reason = reason
+
+
+def _current_rss_bytes() -> int:
+    """Resident set size now: /proc on Linux, peak RSS elsewhere."""
+    try:
+        with open("/proc/self/statm", "rb") as fh:
+            return int(fh.read().split()[1]) * os.sysconf("SC_PAGE_SIZE")
+    except (OSError, ValueError, IndexError):
+        pass
+    if _resource is not None:
+        ru = _resource.getrusage(_resource.RUSAGE_SELF)
+        return ru.ru_maxrss * _RU_MAXRSS_SCALE
+    return 0
+
+
+def _within_memory_budget(stats: ExploreStats, opts: ExploreOptions) -> bool:
+    """Sample RSS periodically; False when the budget is blown."""
+    if stats.expansions % _RSS_SAMPLE_EVERY != 1:
+        return True
+    rss = _current_rss_bytes()
+    if rss > stats.peak_rss_bytes:
+        stats.peak_rss_bytes = rss
+    return opts.max_rss_bytes is None or rss <= opts.max_rss_bytes
+
+
+def _expand_guarded(
+    program, config, cid, access, opts, stats, metrics
+) -> list[Expansion] | None:
+    """Expansion with engine-bug isolation: an exception here loses this
+    configuration's successors, so the run is marked truncated
+    (``internal-error``) — but it never raises."""
+    try:
+        chaos.kick("eval")
+        return _expand(program, config, access, opts, metrics)
+    except Exception as exc:
+        stats.engine_faults += 1
+        _truncate(stats, "internal-error")
+        if metrics is not None:
+            metrics.inc("explore.engine_faults")
+        # warn once, demote repeats: a bug hit at every configuration
+        # would otherwise flood the log (the count is in the stats)
+        level = logging.WARNING if stats.engine_faults == 1 else logging.DEBUG
+        LOG.log(
+            level,
+            "expansion of configuration %d failed (%s); its successors "
+            "are dropped and the run is marked truncated", cid, exc,
+        )
+        return None
+
+
+def _select_guarded(
+    selector, expansions, enabled, stats, metrics
+) -> list[Expansion]:
+    """Stubborn selection with fallback: on a selector crash, expand the
+    full enabled set at this configuration (always sound — a superset of
+    any stubborn set's enabled members)."""
+    if selector is None:
+        return enabled
+    try:
+        chaos.kick("selector")
+        return selector.select(expansions)
+    except Exception as exc:
+        stats.selector_faults += 1
+        if metrics is not None:
+            metrics.inc("explore.selector_faults")
+        # a selector broken at every configuration would flood the log:
+        # warn once, then demote repeats (the count is in the stats)
+        level = logging.WARNING if stats.selector_faults == 1 else logging.DEBUG
+        LOG.log(
+            level,
+            "stubborn selector failed (%s); expanding the full enabled "
+            "set at this configuration", exc,
+        )
+        return enabled
+
+
 def _terminal_status_fast(config: Config) -> str | None:
     if config.fault is not None:
         return FAULT
@@ -239,7 +502,7 @@ def _terminal_status_fast(config: Config) -> str | None:
     return None
 
 
-def _mark_terminal(graph, cid, config, status, stats, observers) -> None:
+def _mark_terminal(graph, cid, config, status, stats, guard) -> None:
     """Classify a terminal configuration — shared by both drivers.
 
     Idempotent: the sleep-set driver can revisit a configuration under a
@@ -254,18 +517,24 @@ def _mark_terminal(graph, cid, config, status, stats, observers) -> None:
         stats.num_deadlocks += 1
     else:
         stats.num_faults += 1
-    for ob in observers:
-        ob.on_config(graph, cid, config, False, status)
+    guard.on_config(graph, cid, config, False, status)
 
 
 def _finalize(
-    program, graph, stats, opts, access, selector, observers, metrics, t0
+    program, graph, stats, opts, access, selector, guard, metrics, t0,
+    checkpointer=None,
 ) -> ExploreResult:
     """Stat finalization + ``on_done`` fan-out — shared by both drivers
     (including truncated runs, so observers always see completion)."""
     stats.num_configs = graph.num_configs
     stats.num_edges = graph.num_edges
     stats.stubborn = selector.stats if selector is not None else None
+    if checkpointer is not None:
+        stats.checkpoints_written = checkpointer.written
+        stats.checkpoint_faults += checkpointer.faults
+    rss = _current_rss_bytes()
+    if rss > stats.peak_rss_bytes:
+        stats.peak_rss_bytes = rss
     if metrics is not None:
         elapsed = time.perf_counter() - t0
         metrics.timer("explore.wall_s").add(elapsed)
@@ -273,8 +542,8 @@ def _finalize(
             "explore.expansions_per_s",
             stats.expansions / elapsed if elapsed > 0 else 0.0,
         )
-    for ob in observers:
-        ob.on_done(graph)
+        metrics.set_gauge("explore.peak_rss_bytes", stats.peak_rss_bytes)
+    guard.on_done(graph)
     return ExploreResult(
         program=program, graph=graph, stats=stats, options=opts, access=access
     )
@@ -287,6 +556,8 @@ def _explore_sleep(
     selector,
     observers: tuple[Observer, ...],
     metrics=None,
+    checkpointer: Checkpointer | None = None,
+    resume_from: str | None = None,
 ) -> ExploreResult:
     """Depth-first exploration with sleep sets (see
     :mod:`repro.explore.sleepsets`), composable with any policy."""
@@ -294,22 +565,59 @@ def _explore_sleep(
 
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
-    graph = ConfigGraph()
-    graph.metrics = metrics
-    stats = ExploreStats()
-    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
-    init_id, _ = graph.add_config(init)
-    graph.initial = init_id
+    fingerprint = program_fingerprint(program)
 
-    # per-config list of sleep sets it has been explored with
-    explored: dict[int, list[frozenset]] = {}
-    seen_edges: set[tuple] = set()
-    stack: list[tuple[int, frozenset]] = [(init_id, frozenset())]
+    if resume_from is not None:
+        payload = read_snapshot(
+            resume_from,
+            driver="sleep",
+            fingerprint=fingerprint,
+            options_key=opts.resume_key(),
+        )
+        graph = payload["graph"]
+        stats = payload["stats"]
+        explored: dict[int, list[frozenset]] = payload["explored"]
+        seen_edges: set[tuple] = payload["seen_edges"]
+        stack: list[tuple[int, frozenset]] = payload["stack"]
+        stats.resumed = True
+        graph.metrics = metrics
+        if selector is not None and payload.get("stubborn") is not None:
+            selector.stats = payload["stubborn"]
+    else:
+        graph = ConfigGraph()
+        graph.metrics = metrics
+        stats = ExploreStats()
+        init = initial_config(
+            program, track_procstrings=opts.step.track_procstrings
+        )
+        init_id, _ = graph.add_config(init)
+        graph.initial = init_id
+        # per-config list of sleep sets it has been explored with
+        explored = {}
+        seen_edges = set()
+        stack = [(init_id, frozenset())]
+    guard = _ObserverGuard(observers, stats, metrics)
+
+    def payload_now() -> dict:
+        return {
+            "driver": "sleep",
+            "fingerprint": fingerprint,
+            "options_key": opts.resume_key(),
+            "graph": graph,
+            "stats": stats,
+            "stubborn": selector.stats if selector is not None else None,
+            "explored": explored,
+            "seen_edges": seen_edges,
+            "stack": list(stack),
+        }
 
     while stack:
         if deadline is not None and time.perf_counter() > deadline:
-            stats.truncated = True
+            _truncate(stats, "time")
             stack.clear()
+            break
+        if checkpointer is not None and checkpointer.tick(payload_now):
+            _truncate(stats, "interrupted")
             break
         cid, sleep = stack.pop()
         prev = explored.get(cid)
@@ -322,22 +630,30 @@ def _explore_sleep(
             prev.append(sleep)
         config = graph.configs[cid]
         stats.expansions += 1
+        if not _within_memory_budget(stats, opts):
+            _truncate(stats, "memory")
+            stack.clear()
+            break
         if metrics is not None:
             metrics.inc("explore.expansions")
             metrics.observe("explore.frontier_depth", len(stack))
 
         status = _terminal_status_fast(config)
         if status is not None:
-            _mark_terminal(graph, cid, config, status, stats, observers)
+            _mark_terminal(graph, cid, config, status, stats, guard)
             continue
 
-        expansions = _expand(program, config, access, opts, metrics)
+        expansions = _expand_guarded(
+            program, config, cid, access, opts, stats, metrics
+        )
+        if expansions is None:
+            continue
         enabled = [e for e in expansions if e.enabled]
         if not enabled:
-            _mark_terminal(graph, cid, config, DEADLOCK, stats, observers)
+            _mark_terminal(graph, cid, config, DEADLOCK, stats, guard)
             continue
 
-        chosen = selector.select(expansions) if selector is not None else enabled
+        chosen = _select_guarded(selector, expansions, enabled, stats, metrics)
         sleeping_keys = {z.key for z in sleep}
         active = [
             e for e in chosen if transition_key(e.proc) not in sleeping_keys
@@ -354,13 +670,11 @@ def _explore_sleep(
                 seen_edges.add(ekey)
                 graph.add_edge(cid, dst, exp.actions)
                 stats.actions_executed += len(exp.actions)
-                for ob in observers:
-                    ob.on_edge(graph, cid, dst, exp.actions)
+                guard.on_edge(graph, cid, dst, exp.actions)
                 if fresh:
-                    for ob in observers:
-                        ob.on_config(graph, dst, succ, True, None)
+                    guard.on_config(graph, dst, succ, True, None)
             if graph.num_configs > opts.max_configs:
-                stats.truncated = True
+                _truncate(stats, "configs")
                 stack.clear()
                 pending.clear()
                 break
@@ -376,7 +690,8 @@ def _explore_sleep(
             break
 
     return _finalize(
-        program, graph, stats, opts, access, selector, observers, metrics, t0
+        program, graph, stats, opts, access, selector, guard, metrics, t0,
+        checkpointer,
     )
 
 

@@ -73,6 +73,23 @@ class ConfigGraph:
     metrics: object | None = field(default=None, repr=False, compare=False)
 
     # ------------------------------------------------------------------
+    # pickling (checkpoint/resume)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """Snapshots exclude the attached metrics registry (the resumed
+        run brings its own) and the intern table (rebuilt from
+        ``configs`` — halves the snapshot size)."""
+        state = self.__dict__.copy()
+        state["metrics"] = None
+        del state["_ids"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._ids = {c: i for i, c in enumerate(self.configs)}
+
+    # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 

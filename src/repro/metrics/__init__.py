@@ -28,7 +28,11 @@ from repro.metrics.registry import (
 #: Version of the metric-name vocabulary emitted by the engine (see
 #: :mod:`repro.metrics.observer` for the table).  Bump on any rename or
 #: semantic change; ``repro bench`` embeds it in ``BENCH_*.json``.
-SCHEMA_VERSION = "repro.metrics/1"
+#: ``/2`` adds the resilience series: ``explore.peak_rss_bytes``,
+#: ``explore.observer_faults``, ``explore.selector_faults``,
+#: ``explore.engine_faults``, ``resilience.escalations``,
+#: ``resilience.final_rung``.
+SCHEMA_VERSION = "repro.metrics/2"
 
 __all__ = [
     "Counter",

@@ -34,6 +34,12 @@ name                                    type       meaning
 ``fold.hits``                           counter    successor hit existing key
 ``fold.misses``                         counter    successor opened a new key
 ``fold.widenings``                      counter    joins replaced by widening
+``explore.peak_rss_bytes``              gauge      peak resident set (bytes)
+``explore.observer_faults``             counter    observer callbacks isolated
+``explore.selector_faults``             counter    selector crashes (fallback)
+``explore.engine_faults``               counter    expansion crashes (dropped)
+``resilience.escalations``              counter    ladder rung escalations
+``resilience.final_rung``               gauge      rung index of the answer
 ======================================  =========  =========================
 """
 

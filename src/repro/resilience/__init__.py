@@ -1,0 +1,69 @@
+"""Resilience layer: the engine survives blowup and internal failure.
+
+Three cooperating subsystems (see ROADMAP: the millions-of-configs
+north star requires exploration that *degrades* instead of dying):
+
+:mod:`repro.resilience.ladder`
+    :func:`explore_resilient` — run under explicit budgets (configs,
+    wall-clock, peak RSS) and escalate ``full → stubborn →
+    stubborn-proc+coarsen → abstract folding`` on exhaustion, recording
+    the trail in stats and metrics.
+
+:mod:`repro.resilience.checkpoint`
+    Schema-versioned snapshots of the exploration frontier + graph +
+    stats; ``repro explore --checkpoint PATH --checkpoint-every N`` and
+    ``--resume PATH``.  A resumed run is deterministic: same graph and
+    stats as an uninterrupted one.
+
+:mod:`repro.resilience.chaos`
+    Fault injection at the engine's guarded failure points (observer
+    callbacks, stubborn selection, expansion, checkpoint I/O) — the
+    test harness that proves the engine never raises on internal
+    faults.
+
+The ladder is exported lazily: it imports the exploration driver, which
+itself imports :mod:`repro.resilience.chaos`, and eager re-export here
+would close that cycle during engine import.
+"""
+
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosFault, FaultInjector, injected
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    Checkpointer,
+    program_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
+
+_LADDER_EXPORTS = (
+    "Budgets",
+    "DEFAULT_LADDER",
+    "Escalation",
+    "LadderRung",
+    "ResilientResult",
+    "explore_resilient",
+)
+
+__all__ = [
+    "CHECKPOINT_SCHEMA",
+    "ChaosFault",
+    "CheckpointError",
+    "Checkpointer",
+    "FaultInjector",
+    "chaos",
+    "injected",
+    "program_fingerprint",
+    "read_snapshot",
+    "write_snapshot",
+    *_LADDER_EXPORTS,
+]
+
+
+def __getattr__(name: str):
+    if name in _LADDER_EXPORTS:
+        from repro.resilience import ladder
+
+        return getattr(ladder, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,132 @@
+"""Fault injection: make the engine's failure handling testable.
+
+The exploration engine promises to *degrade* rather than crash: a
+raising observer becomes a warning plus a ``degraded_observers`` stat, a
+crashing selector falls back to full expansion, a broken expansion step
+truncates the search, and failed checkpoint I/O is logged and skipped.
+Those promises are worthless untested, and the underlying failures are
+(by design) hard to trigger — so the engine exposes *failure points*
+that a test can arm.
+
+Usage::
+
+    from repro.resilience import chaos
+
+    with chaos.injected("selector", times=-1):
+        result = explore(program, "stubborn")   # never raises
+    assert result.stats.selector_faults > 0
+
+Failure points wired into the engine (see :data:`POINTS`):
+
+``observer``
+    fires inside the guarded dispatch of every observer callback —
+    equivalent to the observer itself raising;
+``selector``
+    fires on every stubborn-set selection;
+``eval``
+    fires when computing a configuration's expansions (the semantic
+    core) — simulates an engine bug mid-search;
+``checkpoint``
+    fires inside snapshot writes — simulates a full disk / bad path.
+
+When no injector is installed (:data:`_ACTIVE` is None) every kick is a
+single attribute test — cheap enough for the hot loop.  The module is
+intentionally free of any ``repro.explore`` import so the engine can
+import it without cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Failure points the engine kicks.  Arming any other name is an error —
+#: a misspelled chaos test would silently test nothing.
+POINTS = ("observer", "selector", "eval", "checkpoint")
+
+
+class ChaosFault(RuntimeError):
+    """An injected failure.
+
+    Deliberately *not* a :class:`~repro.util.errors.ReproError`: injected
+    faults simulate unexpected internal bugs, so they must exercise the
+    generic ``except Exception`` guards, not the typed error paths.
+    """
+
+
+@dataclass
+class _Armed:
+    """State of one armed failure point."""
+
+    after: int  # calls to let through before firing
+    times: int  # firings allowed; -1 = unlimited
+    fired: int = 0
+
+
+class FaultInjector:
+    """Arms failure points and raises :class:`ChaosFault` when kicked."""
+
+    def __init__(self) -> None:
+        self._armed: dict[str, _Armed] = {}
+        #: per-point count of faults actually raised
+        self.fired: dict[str, int] = {}
+
+    def arm(self, point: str, *, after: int = 0, times: int = 1) -> None:
+        """Arm *point*: skip the first *after* kicks, then fire *times*
+        times (``times=-1`` fires on every subsequent kick)."""
+        if point not in POINTS:
+            raise ValueError(
+                f"unknown failure point {point!r}; known: {', '.join(POINTS)}"
+            )
+        self._armed[point] = _Armed(after=after, times=times)
+
+    def kick(self, point: str) -> None:
+        armed = self._armed.get(point)
+        if armed is None:
+            return
+        if armed.after > 0:
+            armed.after -= 1
+            return
+        if armed.times >= 0 and armed.fired >= armed.times:
+            return
+        armed.fired += 1
+        self.fired[point] = self.fired.get(point, 0) + 1
+        raise ChaosFault(f"injected fault at {point!r} (#{armed.fired})")
+
+
+#: The installed injector, or None.  Module-global rather than threaded
+#: through every call so production code pays one attribute test.
+_ACTIVE: FaultInjector | None = None
+
+
+def install(injector: FaultInjector) -> None:
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> FaultInjector | None:
+    return _ACTIVE
+
+
+def kick(point: str) -> None:
+    """Engine-side hook: raise if a test armed *point*, else no-op."""
+    if _ACTIVE is not None:
+        _ACTIVE.kick(point)
+
+
+@contextmanager
+def injected(*points: str, after: int = 0, times: int = 1):
+    """Install a fresh injector with *points* armed, for one ``with``."""
+    injector = FaultInjector()
+    for point in points:
+        injector.arm(point, after=after, times=times)
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()

@@ -1,0 +1,147 @@
+"""Checkpoint/resume: periodic snapshots of exploration state.
+
+A snapshot captures everything a breadth-first (or sleep-set DFS) driver
+needs to continue: the configuration graph built so far, the frontier,
+the visited bookkeeping, and the running stats.  Exploration is fully
+deterministic, so a resumed run replays the exact trajectory the
+uninterrupted run would have taken — the test suite asserts graph *and*
+stats equality across interrupt points.
+
+Format: one pickle of a schema-versioned dict.  The schema string guards
+layout drift (a snapshot from an incompatible engine is rejected, not
+misread), and the payload embeds a program fingerprint plus the
+exploration options so a resume against the wrong program or a different
+policy fails loudly with :class:`CheckpointError`.
+
+Writes are atomic (temp file + ``os.replace``) and guarded: a failed
+write is logged, counted in ``stats.checkpoint_faults``, and skipped —
+checkpointing must never be the thing that kills a run (failure point
+``checkpoint`` in :mod:`repro.resilience.chaos`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+import pickle
+from typing import Callable
+
+from repro.resilience import chaos
+from repro.util.errors import ReproError
+
+LOG = logging.getLogger("repro.resilience")
+
+#: Version of the snapshot layout.  Bump on any change to the payload
+#: keys or to the pickled object graph's semantics.
+CHECKPOINT_SCHEMA = "repro.checkpoint/1"
+
+
+class CheckpointError(ReproError):
+    """A snapshot could not be read, or does not match the resume
+    target (wrong schema, program, driver, or options)."""
+
+
+def program_fingerprint(program) -> str:
+    """Stable identity of a compiled program: hash of its disassembly."""
+    return hashlib.sha256(program.disassemble().encode("utf-8")).hexdigest()
+
+
+def write_snapshot(path: str, payload: dict) -> None:
+    """Atomically pickle ``{schema, **payload}`` to *path*."""
+    chaos.kick("checkpoint")
+    document = {"schema": CHECKPOINT_SCHEMA}
+    document.update(payload)
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            pickle.dump(document, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def read_snapshot(
+    path: str,
+    *,
+    driver: str | None = None,
+    fingerprint: str | None = None,
+    options_key: tuple | None = None,
+) -> dict:
+    """Load and validate a snapshot; raise :class:`CheckpointError` on
+    any mismatch.
+
+    The optional expectations let the resuming driver assert it is
+    continuing the same search: same ``driver`` ("bfs"/"sleep"), same
+    program ``fingerprint``, same ``options_key`` (policy, coarsening,
+    step options — budgets are deliberately excluded so a resume may
+    *raise* them).
+    """
+    try:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    if not isinstance(payload, dict) or "schema" not in payload:
+        raise CheckpointError(f"{path!r} is not a repro checkpoint")
+    if payload["schema"] != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"checkpoint schema {payload['schema']!r} unsupported "
+            f"(engine speaks {CHECKPOINT_SCHEMA!r})"
+        )
+    if driver is not None and payload.get("driver") != driver:
+        raise CheckpointError(
+            f"checkpoint was taken by the {payload.get('driver')!r} driver, "
+            f"cannot resume with {driver!r} (policy/sleep mismatch?)"
+        )
+    if fingerprint is not None and payload.get("fingerprint") != fingerprint:
+        raise CheckpointError(
+            "checkpoint was taken on a different program "
+            "(fingerprint mismatch)"
+        )
+    if options_key is not None and payload.get("options_key") != options_key:
+        raise CheckpointError(
+            f"checkpoint options {payload.get('options_key')!r} do not match "
+            f"the requested exploration {options_key!r}"
+        )
+    return payload
+
+
+class Checkpointer:
+    """Periodic snapshot writer threaded through the exploration loop.
+
+    ``tick(make_payload)`` is called once per expansion; every *every*
+    ticks it writes a snapshot.  ``stop_after=N`` makes the engine stop
+    (gracefully, ``truncation_reason == "interrupted"``) right after the
+    N-th successful write — the deterministic "pull the plug here" knob
+    the resume-equivalence tests are built on.
+    """
+
+    def __init__(
+        self, path: str, every: int = 1000, *, stop_after: int | None = None
+    ) -> None:
+        self.path = path
+        self.every = max(1, int(every))
+        self.stop_after = stop_after
+        self.written = 0
+        self.faults = 0
+        self._ticks = 0
+
+    def tick(self, make_payload: Callable[[], dict]) -> bool:
+        """Maybe snapshot; return True when the engine should stop."""
+        self._ticks += 1
+        if self._ticks % self.every:
+            return False
+        try:
+            write_snapshot(self.path, make_payload())
+            self.written += 1
+        except Exception as exc:  # I/O must never kill the run
+            self.faults += 1
+            LOG.warning(
+                "checkpoint write to %r failed (%s); continuing without it",
+                self.path, exc,
+            )
+            return False
+        return self.stop_after is not None and self.written >= self.stop_after

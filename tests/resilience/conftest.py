@@ -1,0 +1,18 @@
+"""Shared fixtures for the resilience suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    """A test that forgets to uninstall its injector must not poison the
+    rest of the suite — and must fail itself."""
+    assert chaos.active() is None
+    yield
+    leaked = chaos.active() is not None
+    chaos.uninstall()
+    assert not leaked, "test left a chaos injector installed"

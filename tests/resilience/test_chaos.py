@@ -1,0 +1,109 @@
+"""The fault injector itself: arming semantics and engine coverage.
+
+The headline test at the bottom is the acceptance criterion for the
+whole harness: with a fault armed at *every* point, at every offset,
+``explore_resilient`` never raises.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.programs import paper
+from repro.resilience import Budgets, chaos, explore_resilient
+from repro.resilience.chaos import ChaosFault, FaultInjector
+from repro.util.errors import ReproError
+
+
+def test_unknown_point_rejected():
+    with pytest.raises(ValueError, match="unknown failure point"):
+        FaultInjector().arm("not-a-point")
+
+
+def test_kick_noop_without_injector():
+    assert chaos.active() is None
+    chaos.kick("eval")  # no injector installed: must be silent
+
+
+def test_unarmed_point_does_not_fire():
+    inj = FaultInjector()
+    inj.arm("eval")
+    inj.kick("selector")  # armed "eval", kicked "selector"
+    assert inj.fired == {}
+
+
+def test_fires_once_by_default():
+    inj = FaultInjector()
+    inj.arm("eval")
+    with pytest.raises(ChaosFault, match="injected fault at 'eval'"):
+        inj.kick("eval")
+    inj.kick("eval")  # spent
+    assert inj.fired == {"eval": 1}
+
+
+def test_after_skips_leading_kicks():
+    inj = FaultInjector()
+    inj.arm("observer", after=2)
+    inj.kick("observer")
+    inj.kick("observer")
+    with pytest.raises(ChaosFault):
+        inj.kick("observer")
+    assert inj.fired == {"observer": 1}
+
+
+def test_times_unlimited():
+    inj = FaultInjector()
+    inj.arm("selector", times=-1)
+    for _ in range(5):
+        with pytest.raises(ChaosFault):
+            inj.kick("selector")
+    assert inj.fired == {"selector": 5}
+
+
+def test_injected_context_installs_and_uninstalls():
+    with chaos.injected("eval") as inj:
+        assert chaos.active() is inj
+        with pytest.raises(ChaosFault):
+            chaos.kick("eval")
+    assert chaos.active() is None
+
+
+def test_chaosfault_is_not_a_repro_error():
+    # Injected faults simulate internal bugs: they must hit the generic
+    # `except Exception` guards, not the typed ReproError paths.
+    assert not issubclass(ChaosFault, ReproError)
+
+
+@pytest.mark.parametrize("point", chaos.POINTS)
+@pytest.mark.parametrize("after", [0, 1, 3])
+def test_explore_resilient_survives_any_fault(point, after, tmp_path):
+    """Acceptance: `explore_resilient` never raises, whichever point
+    fires and however deep into the run it fires."""
+    program = paper.mutex_counter()
+    with chaos.injected(point, after=after, times=-1):
+        rr = explore_resilient(program, budgets=Budgets(max_configs=5_000))
+    result = rr.result
+    s = result.stats
+    if point == "selector":
+        # the full rung has no selector; the run completes exactly there
+        assert rr.exact and rr.rung == "full"
+    elif point == "eval":
+        # every expansion crashes on every rung: the ladder must still
+        # hand back an answer (the abstract fold, or a truthful zero)
+        assert not rr.exact
+        assert s.engine_faults > 0
+        assert s.truncation_reason == "internal-error"
+        assert rr.trail  # the escalation trail names every hop
+    elif point == "observer":
+        # no observers attached here: the kick site never runs
+        assert rr.exact
+    elif point == "checkpoint":
+        # no checkpointer attached: the kick site never runs
+        assert rr.exact
+
+
+def test_explore_resilient_survives_all_points_at_once():
+    program = paper.mutex_counter()
+    with chaos.injected(*chaos.POINTS, times=-1):
+        rr = explore_resilient(program, budgets=Budgets(max_configs=5_000))
+    assert rr.result is not None

@@ -1,0 +1,133 @@
+"""Snapshot format, validation, and the periodic Checkpointer."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.programs import paper
+from repro.resilience import chaos
+from repro.resilience.checkpoint import (
+    CHECKPOINT_SCHEMA,
+    CheckpointError,
+    Checkpointer,
+    program_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
+
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs", "fingerprint": "abc", "x": [1, 2]})
+    payload = read_snapshot(path, driver="bfs", fingerprint="abc")
+    assert payload["schema"] == CHECKPOINT_SCHEMA
+    assert payload["x"] == [1, 2]
+    assert not (tmp_path / "snap.ckpt.tmp").exists()  # atomic write
+
+
+def test_missing_file(tmp_path):
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_snapshot(str(tmp_path / "nope.ckpt"))
+
+
+def test_garbage_file(tmp_path):
+    p = tmp_path / "garbage.ckpt"
+    p.write_bytes(b"not a pickle at all")
+    with pytest.raises(CheckpointError, match="cannot read"):
+        read_snapshot(str(p))
+
+
+def test_non_checkpoint_pickle(tmp_path):
+    p = tmp_path / "other.ckpt"
+    p.write_bytes(pickle.dumps([1, 2, 3]))
+    with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+        read_snapshot(str(p))
+
+
+def test_wrong_schema(tmp_path):
+    p = tmp_path / "old.ckpt"
+    p.write_bytes(pickle.dumps({"schema": "repro.checkpoint/0"}))
+    with pytest.raises(CheckpointError, match="unsupported"):
+        read_snapshot(str(p))
+
+
+def test_driver_mismatch(tmp_path):
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs"})
+    with pytest.raises(CheckpointError, match="'bfs' driver"):
+        read_snapshot(path, driver="sleep")
+
+
+def test_fingerprint_mismatch(tmp_path):
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs", "fingerprint": "abc"})
+    with pytest.raises(CheckpointError, match="different program"):
+        read_snapshot(path, fingerprint="xyz")
+
+
+def test_options_mismatch(tmp_path):
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"options_key": ("full", False)})
+    with pytest.raises(CheckpointError, match="do not match"):
+        read_snapshot(path, options_key=("stubborn", True))
+
+
+def test_fingerprint_tracks_program_identity():
+    a = program_fingerprint(paper.mutex_counter())
+    b = program_fingerprint(paper.mutex_counter())
+    c = program_fingerprint(paper.racy_counter())
+    assert a == b != c
+
+
+def test_checkpointer_periodic_writes(tmp_path):
+    path = str(tmp_path / "snap.ckpt")
+    cp = Checkpointer(path, every=3)
+    stops = [cp.tick(lambda: {"n": i}) for i in range(10)]
+    assert cp.written == 3  # ticks 3, 6, 9
+    assert not any(stops)  # no stop_after: never asks to stop
+    assert read_snapshot(path)["n"] == 8  # 9th tick captured i=8
+
+
+def test_checkpointer_stop_after(tmp_path):
+    cp = Checkpointer(str(tmp_path / "snap.ckpt"), every=2, stop_after=2)
+    stops = [cp.tick(lambda: {}) for _ in range(6)]
+    # stops right after the 2nd successful write (tick 4), not before
+    assert stops == [False, False, False, True, False, True]
+    assert cp.written >= 2
+
+
+def test_checkpointer_survives_write_faults(tmp_path):
+    """A full disk (simulated) must not kill the run or stop it."""
+    path = str(tmp_path / "snap.ckpt")
+    cp = Checkpointer(path, every=1, stop_after=1)
+    with chaos.injected("checkpoint", times=2):
+        stops = [cp.tick(lambda: {"n": i}) for i in range(4)]
+    assert cp.faults == 2
+    assert cp.written == 2
+    # a faulted write does not count toward stop_after
+    assert stops == [False, False, True, True]
+
+
+def test_checkpointer_survives_bad_path():
+    cp = Checkpointer("/nonexistent-dir/snap.ckpt", every=1)
+    assert cp.tick(lambda: {}) is False
+    assert cp.faults == 1 and cp.written == 0
+
+
+def test_explore_counts_checkpoint_faults(tmp_path):
+    program = paper.mutex_counter()
+    path = str(tmp_path / "snap.ckpt")
+    cp = Checkpointer(path, every=1)
+    with chaos.injected("checkpoint", times=2):
+        result = explore(
+            program,
+            options=ExploreOptions(policy="stubborn"),
+            checkpointer=cp,
+        )
+    s = result.stats
+    assert not s.truncated  # checkpoint I/O failure never kills the run
+    assert s.checkpoint_faults == 2
+    assert s.checkpoints_written == cp.written > 0

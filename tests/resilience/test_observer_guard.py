@@ -1,0 +1,99 @@
+"""Observer fault isolation: a crashing observer degrades telemetry,
+never the search (the PR's regression test for hardened dispatch)."""
+
+from __future__ import annotations
+
+import logging
+
+from repro.explore import Observer, explore
+from repro.metrics import MetricsObserver
+from repro.programs import paper
+from repro.resilience import chaos
+
+
+class Crashy(Observer):
+    """Raises from ``on_config`` after *fuse* successful calls."""
+
+    def __init__(self, fuse: int = 0):
+        self.fuse = fuse
+        self.calls = 0
+
+    def on_config(self, graph, cid, config, fresh, status):
+        self.calls += 1
+        if self.calls > self.fuse:
+            raise RuntimeError("observer bug")
+
+
+class Recorder(Observer):
+    def __init__(self):
+        self.configs = 0
+        self.edges = 0
+        self.done = 0
+
+    def on_config(self, graph, cid, config, fresh, status):
+        if fresh:
+            self.configs += 1
+
+    def on_edge(self, graph, src, dst, actions):
+        self.edges += 1
+
+    def on_done(self, graph):
+        self.done += 1
+
+
+def test_crashing_observer_is_isolated(caplog):
+    crashy, recorder = Crashy(), Recorder()
+    with caplog.at_level(logging.WARNING, logger="repro.explore"):
+        result = explore(
+            paper.mutex_counter(), "stubborn", observers=(crashy, recorder)
+        )
+    s = result.stats
+    assert not s.truncated  # the search itself is untouched
+    assert s.degraded_observers == 1
+    # the broken observer was dispatched once, then dropped
+    assert crashy.calls == 1
+    # its co-observer kept receiving every event (the initial config is
+    # interned before observers see anything, hence the -1)
+    assert recorder.configs == s.num_configs - 1
+    assert recorder.edges == s.num_edges
+    assert recorder.done == 1
+    assert any("observer" in r.message for r in caplog.records)
+
+
+def test_observer_dropped_mid_run():
+    crashy, recorder = Crashy(fuse=5), Recorder()
+    result = explore(
+        paper.mutex_counter(), "full", observers=(crashy, recorder)
+    )
+    assert result.stats.degraded_observers == 1
+    assert crashy.calls == 6  # 5 good calls + the one that raised
+    assert recorder.configs == result.stats.num_configs - 1
+
+
+def test_observer_chaos_point_degrades_all(caplog):
+    """The injected `observer` fault fires inside guarded dispatch —
+    equivalent to every observer being broken at once."""
+    mo = MetricsObserver()
+    recorder = Recorder()
+    with chaos.injected("observer", times=-1):
+        result = explore(
+            paper.mutex_counter(), "stubborn", observers=(mo, recorder)
+        )
+    s = result.stats
+    assert not s.truncated
+    assert s.degraded_observers == 2  # both observers evicted
+    assert mo.registry.value("explore.observer_faults") == 2
+    # the graph is still complete and correct
+    clean = explore(paper.mutex_counter(), "stubborn")
+    assert result.final_stores() == clean.final_stores()
+    assert s.num_configs == clean.stats.num_configs
+
+
+def test_results_identical_with_and_without_crashing_observer():
+    with_crash = explore(
+        paper.racy_counter(), "stubborn", observers=(Crashy(),)
+    )
+    without = explore(paper.racy_counter(), "stubborn")
+    assert with_crash.final_stores() == without.final_stores()
+    assert with_crash.stats.num_configs == without.stats.num_configs
+    assert with_crash.stats.num_edges == without.stats.num_edges

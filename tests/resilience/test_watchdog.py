@@ -1,0 +1,84 @@
+"""The bench per-program watchdog: a hung program becomes an error
+entry, never a hung sweep (the acceptance test for forced timeouts)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import WatchdogAlarm, _watchdog, format_summary, run_bench
+from repro.lang import parse_program
+from repro.programs.corpus import CORPUS
+
+#: No budget will save this one: unbounded counter growth, and the
+#: bench sweep passes no time limit through in these tests.
+HANG_SRC = "var g = 0; func main() { while (true) { g = g + 1; } }"
+
+
+def _hang_corpus():
+    corpus = {"fig2_shasha_snir": CORPUS["fig2_shasha_snir"]}
+    corpus["hangs_forever"] = lambda: parse_program(HANG_SRC)
+    return corpus
+
+
+def test_watchdog_context_fires():
+    with pytest.raises(WatchdogAlarm, match="watchdog fired"):
+        with _watchdog(0.05):
+            while True:
+                time.sleep(0.01)
+
+
+def test_watchdog_context_noop_when_disabled():
+    with _watchdog(None):
+        pass
+
+
+def test_watchdog_alarm_pierces_exception_guards():
+    """The alarm must be a BaseException: the engine's resilience guards
+    swallow Exception, and a watchdog they can swallow is no watchdog."""
+    assert issubclass(WatchdogAlarm, BaseException)
+    assert not issubclass(WatchdogAlarm, Exception)
+
+
+def test_bench_survives_forced_timeout(capsys):
+    """Acceptance: a sweep containing a program that must hang completes,
+    with an error entry for the hung program and clean results for the
+    rest."""
+    report = run_bench(
+        programs=["fig2_shasha_snir", "hangs_forever"],
+        corpus=_hang_corpus(),
+        max_configs=10_000_000,  # no config budget: the watchdog stops it
+        time_limit_s=20.0,  # backstop only: if the alarm is ever lost the
+        # run truncates on time and the assertions below fail fast,
+        # instead of the whole suite hanging on an unbounded sweep
+        watchdog_s=0.4,
+    )
+    doc = report.document
+    assert doc["watchdog_s"] == 0.4
+    assert list(doc["errors"]) == ["hangs_forever"]
+    assert "WatchdogAlarm" in doc["errors"]["hangs_forever"]
+    entry = doc["programs"]["hangs_forever"]
+    assert entry["attempts"] == 2  # retried once before giving up
+    assert "policies" not in entry
+    # the healthy program is unaffected
+    healthy = doc["programs"]["fig2_shasha_snir"]
+    assert healthy["policies"]["full"]["configs"] > 0
+    # errored programs are excluded from the soundness claim
+    assert "errored" in doc["soundness"]
+
+    summary = format_summary(report)
+    assert "ERROR hangs_forever: WatchdogAlarm" in summary
+
+
+def test_bench_without_watchdog_unchanged():
+    report = run_bench(programs=["fig2_shasha_snir"])
+    doc = report.document
+    assert doc["watchdog_s"] is None
+    assert doc["errors"] == {}
+    assert "matched 'full'" in doc["soundness"]
+
+
+def test_watchdog_generous_budget_no_false_positive():
+    report = run_bench(programs=["fig2_shasha_snir"], watchdog_s=120.0)
+    assert report.document["errors"] == {}

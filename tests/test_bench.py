@@ -5,14 +5,17 @@ import json
 import pytest
 
 from repro.bench import (
+    COMPATIBLE_SCHEMAS,
     SCHEMA_VERSION,
     SMOKE_PROGRAMS,
     DivergenceError,
     _Baseline,
     _check_equivalence,
     format_summary,
+    load_report,
     policy_combos,
     run_bench,
+    upgrade_document,
     write_report,
 )
 from repro.explore import explore
@@ -120,3 +123,74 @@ def test_time_limit_marks_truncated_instead_of_failing():
     for p in doc["programs"]["fig2_shasha_snir"]["policies"].values():
         assert p["truncated"]
         assert not p["results_match_full"]
+        assert p["truncation_reason"] == "time"
+
+
+def test_entries_carry_resilience_fields():
+    report = run_bench(programs=["fig2_shasha_snir"])
+    doc = report.document
+    assert doc["errors"] == {} and doc["watchdog_s"] is None
+    for p in doc["programs"]["fig2_shasha_snir"]["policies"].values():
+        assert p["truncation_reason"] is None
+        assert p["peak_rss_bytes"] > 0  # Linux exposes RSS
+        assert p["escalations"] == []
+
+
+#: A minimal PR-1 era (`/1`) document: no errors/watchdog keys, entries
+#: without the resilience fields.
+V1_DOC = {
+    "schema": "repro.bench.explore/1",
+    "metrics_schema": "repro.metrics/1",
+    "smoke": False,
+    "max_configs": 200_000,
+    "time_limit_s": None,
+    "policy_grid": ["full"],
+    "programs": {
+        "fig2_shasha_snir": {
+            "baseline": "full",
+            "policies": {
+                "full": {
+                    "policy": "full",
+                    "configs": 10,
+                    "edges": 12,
+                    "truncated": False,
+                    "wall_time_s": 0.1,
+                }
+            },
+        }
+    },
+    "totals": {"full": {"configs": 10, "edges": 12, "wall_time_s": 0.1}},
+    "truncated_runs": [],
+    "soundness": "all policies matched 'full' result configurations",
+}
+
+
+def test_upgrade_v1_document_fills_defaults():
+    doc = upgrade_document(json.loads(json.dumps(V1_DOC)))
+    assert doc["errors"] == {}
+    assert doc["watchdog_s"] is None
+    entry = doc["programs"]["fig2_shasha_snir"]["policies"]["full"]
+    assert entry["truncation_reason"] is None
+    assert entry["peak_rss_bytes"] == 0
+    assert entry["escalations"] == []
+    # fields the v1 document did carry are untouched
+    assert entry["configs"] == 10
+
+
+def test_load_report_accepts_v1_and_v2(tmp_path):
+    v1 = tmp_path / "v1.json"
+    v1.write_text(json.dumps(V1_DOC))
+    doc = load_report(str(v1))
+    assert doc["schema"] in COMPATIBLE_SCHEMAS
+    assert doc["errors"] == {}
+
+    report = run_bench(programs=["fig2_shasha_snir"])
+    v2 = tmp_path / "v2.json"
+    write_report(report, str(v2))
+    doc2 = load_report(str(v2))
+    assert doc2["schema"] == SCHEMA_VERSION
+
+
+def test_unknown_schema_rejected():
+    with pytest.raises(ReproError, match="unsupported bench schema"):
+        upgrade_document({"schema": "repro.bench.explore/99"})

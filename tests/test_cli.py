@@ -125,3 +125,106 @@ def test_parse_error_reported(tmp_path, capsys):
     f.write_text("func main() { x = ; }")
     assert main(["parse", str(f)]) == 2
     assert "error" in capsys.readouterr().err
+
+
+def test_parse_error_carries_location(tmp_path, capsys):
+    f = tmp_path / "bad.cb"
+    f.write_text("var g = 0;\nfunc main() { g = ; }")
+    assert main(["parse", str(f)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: line 2")
+    assert err.count("\n") == 1  # one line, no traceback
+
+
+def test_resolve_error_carries_location(tmp_path, capsys):
+    f = tmp_path / "bad.cb"
+    f.write_text("func main() {\n  undeclared = 1;\n}")
+    assert main(["explore", str(f)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: line 2")
+    assert "undeclared" in err
+
+
+def test_compile_error_carries_location(tmp_path, capsys):
+    f = tmp_path / "bad.cb"
+    f.write_text(
+        "var g = 0;\nfunc main() {\n  cobegin\n  { return 1; }\n  { g = 1; }\n}"
+    )
+    assert main(["explore", str(f)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: line 4")
+    assert "cobegin" in err
+
+
+def test_bench_unknown_program_one_line_error(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    assert main(["bench", "--programs", "nope", "--out", str(out)]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: unknown corpus programs: nope")
+    assert not out.exists()
+
+
+def test_explore_checkpoint_resume_round_trip(tmp_path, capsys):
+    ckpt = tmp_path / "phil.ckpt"
+    base = ["explore", "corpus:philosophers_3", "--policy", "stubborn"]
+    assert main(base + ["--checkpoint", str(ckpt), "--checkpoint-every", "5"]) == 0
+    first = capsys.readouterr().out
+    assert ckpt.exists()
+    assert main(base + ["--resume", str(ckpt)]) == 0
+    second = capsys.readouterr().out
+    assert " resumed" in second
+    # identical final stats either way
+    assert second.replace(" resumed", "") == first
+
+
+def test_explore_resume_mismatch_exits_2(tmp_path, capsys):
+    ckpt = tmp_path / "phil.ckpt"
+    assert (
+        main(
+            [
+                "explore", "corpus:philosophers_3", "--policy", "stubborn",
+                "--checkpoint", str(ckpt), "--checkpoint-every", "5",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    code = main(
+        ["explore", "corpus:mutex_counter", "--policy", "stubborn",
+         "--resume", str(ckpt)]
+    )
+    assert code == 2
+    assert "different program" in capsys.readouterr().err
+
+
+def test_explore_resilient_prints_trail(capsys):
+    assert (
+        main(
+            ["explore", "corpus:philosophers_3", "--resilient",
+             "--max-configs", "30"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "escalated stubborn->stubborn-proc+coarsen: configs" in out
+    assert "answered by rung abstract-fold (approximate)" in out
+    assert "abstract fold: states=" in out
+    assert "TRUNCATED(configs)" in out
+
+
+def test_explore_resilient_exact_when_budget_fits(capsys):
+    assert main(["explore", "corpus:mutex_counter", "--resilient"]) == 0
+    out = capsys.readouterr().out
+    assert "answered by rung stubborn" in out
+    assert "escalated" not in out and "approximate" not in out
+
+
+def test_explore_truncation_reason_printed(capsys):
+    assert (
+        main(
+            ["explore", "corpus:philosophers_3", "--policy", "full",
+             "--max-configs", "20"]
+        )
+        == 0
+    )
+    assert "TRUNCATED(configs)" in capsys.readouterr().out
