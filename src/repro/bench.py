@@ -6,6 +6,10 @@ combinations), with a :class:`~repro.metrics.MetricsObserver` attached,
 and emits one schema-versioned JSON document holding, per program and
 per combination: configuration/edge counts, reduction ratios against
 the ``full`` baseline, wall-clock, and the key telemetry scalars.
+With ``jobs=[2, 4]`` the grid grows parallel-backend columns
+(``stubborn@j2`` …) that must reproduce their serial twin's graph
+*exactly*, plus a ``scaling`` section timing philosophers(6..7)
+serial-vs-parallel.
 
 Two jobs in one:
 
@@ -15,7 +19,9 @@ Two jobs in one:
    (the CLI exits non-zero).  This is the paper's central reduction
    invariant checked end-to-end on every bench run.
 2. **perf trajectory** — the JSON is the regression baseline future PRs
-   diff against (check a run in, re-run, compare ``totals``).
+   diff against: :func:`diff_reports` (CLI ``repro bench-diff``)
+   compares the deterministic per-entry fields of two documents and
+   reports any drift.
 
 Resilience: an optional per-program **watchdog** (``watchdog_s``) bounds
 each program's sweep with a wall-clock alarm; a program that hangs (or
@@ -31,6 +37,7 @@ those.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import signal
@@ -50,14 +57,20 @@ LOG = logging.getLogger("repro.bench")
 #: key rename or semantic change so trajectory tooling can refuse to
 #: compare apples to oranges.
 #:
-#: ``/2`` (this version) adds per-entry ``peak_rss_bytes``,
-#: ``escalations`` and ``truncation_reason``, and the top-level
-#: ``errors`` / ``watchdog_s`` keys; :func:`load_report` still reads
-#: ``/1`` documents.
-SCHEMA_VERSION = "repro.bench.explore/2"
+#: ``/2`` added per-entry ``peak_rss_bytes``, ``escalations`` and
+#: ``truncation_reason``, and the top-level ``errors`` / ``watchdog_s``
+#: keys.  ``/3`` (this version) adds per-entry ``backend`` / ``jobs`` /
+#: ``shard_balance`` / ``result_digest``, the top-level ``jobs`` list
+#: and the ``scaling`` section (philosophers family under the parallel
+#: backend); :func:`load_report` still reads ``/1`` and ``/2``.
+SCHEMA_VERSION = "repro.bench.explore/3"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
-COMPATIBLE_SCHEMAS = ("repro.bench.explore/1", SCHEMA_VERSION)
+COMPATIBLE_SCHEMAS = (
+    "repro.bench.explore/1",
+    "repro.bench.explore/2",
+    SCHEMA_VERSION,
+)
 
 POLICIES = ("full", "stubborn", "stubborn-proc")
 
@@ -92,13 +105,32 @@ class WatchdogAlarm(BaseException):
 
 
 def policy_combos() -> list[tuple[str, bool, bool]]:
-    """The 12-point grid, ``full`` (the baseline) first."""
+    """The 12-point serial grid, ``full`` (the baseline) first."""
     return [
         (policy, coarsen, sleep)
         for policy in POLICIES
         for coarsen in (False, True)
         for sleep in (False, True)
     ]
+
+
+def parallel_combos() -> list[tuple[str, bool]]:
+    """The parallel-backend grid per jobs value: the three policies
+    ±coarsen.  Sleep sets are serial-only by design (DFS cross-state
+    sharing), so they never appear here."""
+    return [
+        (policy, coarsen)
+        for policy in POLICIES
+        for coarsen in (False, True)
+    ]
+
+
+def result_digest(result: ExploreResult) -> str:
+    """A deterministic fingerprint of the result-configuration set —
+    the paper's observable.  Stable across backends, jobs counts,
+    machines, and ``PYTHONHASHSEED``."""
+    payload = repr(sorted(repr(s) for s in result.final_stores()))
+    return hashlib.blake2b(payload.encode(), digest_size=8).hexdigest()
 
 
 @dataclass
@@ -212,6 +244,47 @@ def _watchdog(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
+def _make_entry(
+    result: ExploreResult, wall: float, mo: MetricsObserver, full_entry
+) -> dict:
+    opts, s = result.options, result.stats
+    return {
+        "policy": opts.policy,
+        "coarsen": opts.coarsen,
+        "sleep": opts.sleep,
+        "backend": s.backend,
+        "jobs": s.jobs,
+        "shard_balance": (
+            round(s.shard_balance, 4) if s.shard_balance is not None else None
+        ),
+        "configs": s.num_configs,
+        "edges": s.num_edges,
+        "expansions": s.expansions,
+        "actions": s.actions_executed,
+        "terminated": s.num_terminated,
+        "deadlocks": s.num_deadlocks,
+        "faults": s.num_faults,
+        "truncated": s.truncated,
+        "truncation_reason": s.truncation_reason,
+        "peak_rss_bytes": s.peak_rss_bytes,
+        "escalations": list(s.escalations),
+        "wall_time_s": round(wall, 6),
+        "result_digest": result_digest(result),
+        "reduction_vs_full": (
+            _ratio(full_entry["configs"], s.num_configs)
+            if full_entry is not None
+            else 1.0
+        ),
+        "edge_reduction_vs_full": (
+            _ratio(full_entry["edges"], s.num_edges)
+            if full_entry is not None
+            else 1.0
+        ),
+        "results_match_full": not s.truncated,
+        "metrics": _scalar_metrics(mo),
+    }
+
+
 def _sweep_program(
     name: str,
     make_program,
@@ -219,9 +292,11 @@ def _sweep_program(
     *,
     max_configs: int,
     time_limit_s: float | None,
+    jobs: tuple[int, ...] = (),
     progress,
 ) -> tuple[dict, list[str]]:
-    """One program through the full grid; returns (entries, truncated).
+    """One program through the serial grid, then the parallel grid for
+    each requested ``jobs`` value; returns (entries, truncated).
 
     Pure with respect to the report accumulators so a watchdog retry can
     simply rerun it.
@@ -259,41 +334,113 @@ def _sweep_program(
         else:
             _check_equivalence(name, combo, result, baseline)
 
-        full_entry = entries.get("full")
-        entry = {
-            "policy": policy,
-            "coarsen": coarsen,
-            "sleep": sleep,
-            "configs": s.num_configs,
-            "edges": s.num_edges,
-            "expansions": s.expansions,
-            "actions": s.actions_executed,
-            "terminated": s.num_terminated,
-            "deadlocks": s.num_deadlocks,
-            "faults": s.num_faults,
-            "truncated": s.truncated,
-            "truncation_reason": s.truncation_reason,
-            "peak_rss_bytes": s.peak_rss_bytes,
-            "escalations": list(s.escalations),
-            "wall_time_s": round(wall, 6),
-            "reduction_vs_full": (
-                _ratio(full_entry["configs"], s.num_configs)
-                if full_entry is not None
-                else 1.0
-            ),
-            "edge_reduction_vs_full": (
-                _ratio(full_entry["edges"], s.num_edges)
-                if full_entry is not None
-                else 1.0
-            ),
-            "results_match_full": not s.truncated,
-            "metrics": _scalar_metrics(mo),
-        }
+        entry = _make_entry(result, wall, mo, entries.get("full"))
         entries[combo] = entry
         if progress is not None:
             progress(name, combo, entry)
 
+    # the parallel grid: every entry is held to a *stricter* bar than
+    # the serial policies — its graph must match the same serial combo
+    # exactly (configs/edges), on top of the result-store invariant
+    for j in jobs:
+        for policy, coarsen in parallel_combos():
+            opts = ExploreOptions(
+                policy=policy,
+                coarsen=coarsen,
+                backend="parallel",
+                jobs=j,
+                max_configs=max_configs,
+                time_limit_s=time_limit_s,
+            )
+            combo = opts.describe()
+            mo = MetricsObserver()
+            t0 = time.perf_counter()
+            result = explore(program, options=opts, observers=(mo,))
+            wall = time.perf_counter() - t0
+            s = result.stats
+
+            serial_twin = entries[_combo_name(policy, coarsen, False)]
+            if s.truncated:
+                truncated.append(f"{name}/{combo}")
+            else:
+                assert baseline is not None
+                _check_equivalence(name, combo, result, baseline)
+                if (
+                    not serial_twin["truncated"]
+                    and (s.num_configs, s.num_edges)
+                    != (serial_twin["configs"], serial_twin["edges"])
+                ):
+                    raise DivergenceError(
+                        f"parallel combo {combo!r} explored a different "
+                        f"graph than its serial twin on {name!r}: "
+                        f"{s.num_configs}/{s.num_edges} configs/edges vs "
+                        f"{serial_twin['configs']}/{serial_twin['edges']}"
+                    )
+
+            entry = _make_entry(result, wall, mo, entries.get("full"))
+            entries[combo] = entry
+            if progress is not None:
+                progress(name, combo, entry)
+
     return entries, truncated
+
+
+def _scaling_sweep(jobs: tuple[int, ...], *, max_configs: int) -> dict:
+    """The ``scaling`` section: the philosophers family (too big for the
+    corpus grid under ``full``) under stubborn sets, serial vs parallel
+    per jobs value.  Wall-clock here is the headline jobs-vs-time table
+    in EXPERIMENTS.md; configs/edges are the determinism check."""
+    from repro.programs.philosophers import philosophers
+
+    section: dict[str, dict] = {}
+    for n in (6, 7):
+        program = philosophers(n)
+        opts = ExploreOptions(policy="stubborn", max_configs=max_configs)
+        t0 = time.perf_counter()
+        ser = explore(program, options=opts)
+        serial_wall = time.perf_counter() - t0
+        runs = {
+            "serial": {
+                "configs": ser.stats.num_configs,
+                "edges": ser.stats.num_edges,
+                "wall_time_s": round(serial_wall, 6),
+                "result_digest": result_digest(ser),
+            }
+        }
+        for j in jobs:
+            opts = ExploreOptions(
+                policy="stubborn",
+                backend="parallel",
+                jobs=j,
+                max_configs=max_configs,
+            )
+            t0 = time.perf_counter()
+            par = explore(program, options=opts)
+            wall = time.perf_counter() - t0
+            if (par.stats.num_configs, par.stats.num_edges) != (
+                ser.stats.num_configs,
+                ser.stats.num_edges,
+            ) or result_digest(par) != runs["serial"]["result_digest"]:
+                raise DivergenceError(
+                    f"parallel scaling run philosophers({n}) @j{j} "
+                    f"diverges from serial"
+                )
+            runs[f"j{j}"] = {
+                "configs": par.stats.num_configs,
+                "edges": par.stats.num_edges,
+                "wall_time_s": round(wall, 6),
+                "result_digest": result_digest(par),
+                "shard_balance": (
+                    round(par.stats.shard_balance, 4)
+                    if par.stats.shard_balance is not None
+                    else None
+                ),
+                "speedup_vs_serial": (
+                    round(serial_wall / wall, 3) if wall else None
+                ),
+            }
+        section[f"philosophers_{n}"] = runs
+    return section
 
 
 def run_bench(
@@ -303,6 +450,8 @@ def run_bench(
     max_configs: int = 200_000,
     time_limit_s: float | None = None,
     watchdog_s: float | None = None,
+    jobs: list[int] | tuple[int, ...] = (),
+    scaling: bool | None = None,
     corpus: dict | None = None,
     progress=None,
 ) -> BenchReport:
@@ -315,6 +464,12 @@ def run_bench(
     engine crash) the program is retried once, then recorded under
     ``errors`` and skipped.  ``corpus`` overrides the bundled program
     table (tests inject pathological programs this way).
+
+    ``jobs`` extends the grid with the parallel backend at each given
+    worker count; every parallel run must reproduce its serial twin's
+    graph exactly.  ``scaling`` (default: only on non-smoke sweeps that
+    request ``jobs``) adds the philosophers(6..7) jobs-vs-wallclock
+    section.
     """
     if corpus is None:
         from repro.programs.corpus import CORPUS as corpus  # noqa: N811
@@ -327,13 +482,22 @@ def run_bench(
             f"unknown corpus programs: {', '.join(unknown)}; "
             f"see 'repro corpus'"
         )
+    jobs = tuple(dict.fromkeys(jobs))  # dedup, keep order
+    if any(j < 1 for j in jobs):
+        raise ReproError(f"jobs values must be >= 1, got {list(jobs)}")
+    if scaling is None:
+        scaling = bool(jobs) and not smoke
 
     combos = policy_combos()
+    grid = [_combo_name(*c) for c in combos] + [
+        ExploreOptions(policy=p, coarsen=c, backend="parallel", jobs=j).describe()
+        for j in jobs
+        for p, c in parallel_combos()
+    ]
     per_program: dict[str, dict] = {}
     errors: dict[str, str] = {}
     totals: dict[str, dict] = {
-        _combo_name(*c): {"configs": 0, "edges": 0, "wall_time_s": 0.0}
-        for c in combos
+        combo: {"configs": 0, "edges": 0, "wall_time_s": 0.0} for combo in grid
     }
     truncated_runs: list[str] = []
 
@@ -351,6 +515,7 @@ def run_bench(
                         combos,
                         max_configs=max_configs,
                         time_limit_s=time_limit_s,
+                        jobs=jobs,
                         progress=progress,
                     )
                 break
@@ -377,6 +542,10 @@ def run_bench(
             )
         per_program[name] = {"baseline": "full", "policies": entries}
 
+    scaling_section = (
+        _scaling_sweep(jobs, max_configs=max_configs) if scaling else {}
+    )
+
     if truncated_runs:
         soundness = "truncated runs skipped equivalence check"
     elif errors:
@@ -390,9 +559,11 @@ def run_bench(
         "max_configs": max_configs,
         "time_limit_s": time_limit_s,
         "watchdog_s": watchdog_s,
-        "policy_grid": [_combo_name(*c) for c in combos],
+        "jobs": list(jobs),
+        "policy_grid": grid,
         "programs": per_program,
         "totals": totals,
+        "scaling": scaling_section,
         "truncated_runs": truncated_runs,
         "errors": errors,
         "soundness": soundness,
@@ -410,9 +581,11 @@ def upgrade_document(doc: dict) -> dict:
     """Normalize a bench document to the current schema in place.
 
     ``/1`` documents (the PR-1 baseline) lack ``errors``/``watchdog_s``
-    and the per-entry resilience fields; they are filled with neutral
-    defaults so downstream tooling reads one shape.  Unknown schemas
-    raise :class:`ReproError`.
+    and the per-entry resilience fields; ``/2`` additionally lacks the
+    backend/jobs/digest fields and the ``scaling`` section.  All are
+    filled with neutral defaults so downstream tooling reads one shape
+    (``result_digest: None`` means "not recorded" and is skipped by
+    :func:`diff_reports`).  Unknown schemas raise :class:`ReproError`.
     """
     schema = doc.get("schema")
     if schema not in COMPATIBLE_SCHEMAS:
@@ -422,11 +595,17 @@ def upgrade_document(doc: dict) -> dict:
         )
     doc.setdefault("errors", {})
     doc.setdefault("watchdog_s", None)
+    doc.setdefault("jobs", [])
+    doc.setdefault("scaling", {})
     for prog in doc.get("programs", {}).values():
         for entry in prog.get("policies", {}).values():
             entry.setdefault("truncation_reason", None)
             entry.setdefault("peak_rss_bytes", 0)
             entry.setdefault("escalations", [])
+            entry.setdefault("backend", "serial")
+            entry.setdefault("jobs", 1)
+            entry.setdefault("shard_balance", None)
+            entry.setdefault("result_digest", None)
     return doc
 
 
@@ -435,6 +614,86 @@ def load_report(path: str) -> dict:
     schema (see :func:`upgrade_document`)."""
     with open(path, "r", encoding="utf-8") as fh:
         return upgrade_document(json.load(fh))
+
+
+#: Per-entry fields that must be bit-identical run to run — everything
+#: except wall-clock, RSS, and the derived telemetry scalars.
+DETERMINISTIC_FIELDS = (
+    "policy",
+    "coarsen",
+    "sleep",
+    "backend",
+    "jobs",
+    "shard_balance",
+    "configs",
+    "edges",
+    "expansions",
+    "actions",
+    "terminated",
+    "deadlocks",
+    "faults",
+    "truncated",
+    "truncation_reason",
+    "escalations",
+    "result_digest",
+    "reduction_vs_full",
+    "edge_reduction_vs_full",
+    "results_match_full",
+)
+
+
+def diff_reports(new: dict, baseline: dict) -> list[str]:
+    """Compare two (upgraded) bench documents over the intersection of
+    their ``(program, combo)`` entries; return human-readable drift
+    lines, empty when the deterministic fields all agree.
+
+    Exploration is deterministic by contract, so any drift in counts or
+    result digests between a fresh run and the checked-in baseline is a
+    real behavior change, not noise.  Wall-clock, RSS, the telemetry
+    scalars, and entries present on only one side (corpus growth, new
+    jobs values) are ignored.  ``max_configs``/``time_limit_s`` must
+    match — truncation points depend on them.
+    """
+    drift: list[str] = []
+    for knob in ("max_configs", "time_limit_s"):
+        if new.get(knob) != baseline.get(knob):
+            drift.append(
+                f"{knob} differs (new={new.get(knob)!r} "
+                f"baseline={baseline.get(knob)!r}); runs not comparable"
+            )
+    if drift:
+        return drift
+
+    shared_programs = sorted(
+        set(new.get("programs", {})) & set(baseline.get("programs", {}))
+    )
+    compared = 0
+    for name in shared_programs:
+        new_prog = new["programs"][name]
+        base_prog = baseline["programs"][name]
+        if "error" in new_prog or "error" in base_prog:
+            continue
+        shared_combos = sorted(
+            set(new_prog["policies"]) & set(base_prog["policies"])
+        )
+        for combo in shared_combos:
+            ne, be = new_prog["policies"][combo], base_prog["policies"][combo]
+            for fieldname in DETERMINISTIC_FIELDS:
+                if fieldname not in ne or fieldname not in be:
+                    continue  # field predates one document's schema
+                nv, bv = ne.get(fieldname), be.get(fieldname)
+                if fieldname == "result_digest" and (nv is None or bv is None):
+                    continue  # pre-/3 baseline: digest not recorded
+                if nv != bv:
+                    drift.append(
+                        f"{name}/{combo}: {fieldname} {bv!r} -> {nv!r}"
+                    )
+            compared += 1
+    if compared == 0:
+        drift.append(
+            "no overlapping (program, combo) entries; nothing compared"
+        )
+    return drift
 
 
 def format_summary(report: BenchReport) -> str:
@@ -457,6 +716,19 @@ def format_summary(report: BenchReport) -> str:
         )
     if doc["truncated_runs"]:
         lines.append(f"truncated (equivalence skipped): {doc['truncated_runs']}")
+    for name, runs in doc.get("scaling", {}).items():
+        parts = []
+        for run_name, run in runs.items():
+            extra = (
+                f" ({run['speedup_vs_serial']}x)"
+                if run.get("speedup_vs_serial") is not None
+                else ""
+            )
+            parts.append(f"{run_name}={run['wall_time_s']:.3f}s{extra}")
+        lines.append(
+            f"scaling {name}: configs={runs['serial']['configs']} "
+            + " ".join(parts)
+        )
     for name, message in doc.get("errors", {}).items():
         lines.append(f"ERROR {name}: {message}")
     lines.append(doc["soundness"])

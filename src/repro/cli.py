@@ -82,10 +82,17 @@ _POLICY_RUNG = {
 def _cmd_explore(args) -> int:
     prog = _load(args.file)
     max_rss = args.max_rss_mb * 2**20 if args.max_rss_mb else None
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    # --jobs N with N > 1 implies the parallel backend; --backend wins
+    # when given explicitly
+    backend = args.backend or ("parallel" if args.jobs > 1 else "serial")
     opts = ExploreOptions(
         policy=args.policy,
         coarsen=args.coarsen,
         sleep=args.sleep,
+        backend=backend,
+        jobs=args.jobs,
         max_configs=args.max_configs,
         time_limit_s=args.time_limit,
         max_rss_bytes=max_rss,
@@ -101,6 +108,8 @@ def _cmd_explore(args) -> int:
                 max_rss_bytes=max_rss,
             ),
             start=_POLICY_RUNG[args.policy],
+            backend=backend,
+            jobs=args.jobs,
         )
         for line in rr.trail:
             print(f"escalated {line}")
@@ -245,11 +254,31 @@ def _cmd_bench(args) -> int:
         max_configs=args.max_configs,
         time_limit_s=args.time_limit,
         watchdog_s=args.watchdog,
+        jobs=args.jobs or (),
         progress=progress,
     )
     write_report(report, args.out)
     print(format_summary(report))
     print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_bench_diff(args) -> int:
+    from repro.bench import diff_reports, load_report
+
+    new = load_report(args.new)
+    baseline = load_report(args.baseline)
+    drift = diff_reports(new, baseline)
+    if drift:
+        print(f"bench drift vs {args.baseline}:")
+        for line in drift:
+            print(f"  {line}")
+        return 1
+    shared = sorted(set(new["programs"]) & set(baseline["programs"]))
+    print(
+        f"no drift: {len(shared)} shared programs match {args.baseline} "
+        "on all deterministic fields"
+    )
     return 0
 
 
@@ -293,6 +322,11 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["full", "stubborn", "stubborn-proc"])
     p.add_argument("--coarsen", action="store_true")
     p.add_argument("--sleep", action="store_true")
+    p.add_argument("--backend", choices=["serial", "parallel"], default=None,
+                   help="exploration driver (default: serial, or parallel "
+                        "when --jobs > 1)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the parallel backend")
     p.add_argument("--max-configs", type=int, default=1_000_000)
     p.add_argument("--time-limit", type=float, default=None,
                    help="wall-clock budget in seconds (graceful truncation)")
@@ -352,12 +386,24 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-configs", type=int, default=200_000)
     p.add_argument("--time-limit", type=float, default=None,
                    help="per-exploration wall-clock budget in seconds")
+    p.add_argument("--jobs", type=int, nargs="*", default=None, metavar="N",
+                   help="extend the grid with the parallel backend at "
+                        "these worker counts (e.g. --jobs 2 4)")
     p.add_argument("--watchdog", type=float, default=None, metavar="S",
                    help="per-program wall-clock watchdog: a hung program is "
                    "retried once, then skipped with an error entry")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per program × combo")
     p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser(
+        "bench-diff",
+        help="compare a bench run against a baseline; exit 1 on drift "
+        "in any deterministic field",
+    )
+    p.add_argument("new", help="freshly generated BENCH_*.json")
+    p.add_argument("baseline", help="checked-in baseline BENCH_*.json")
+    p.set_defaults(fn=_cmd_bench_diff)
 
     p = sub.add_parser("corpus", help="list bundled programs")
     p.set_defaults(fn=_cmd_corpus)

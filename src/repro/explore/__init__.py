@@ -1,5 +1,10 @@
 """State-space exploration: full interleaving, stubborn sets, coarsening.
 
+Two backends share one result contract: the serial BFS/DFS drivers in
+:mod:`repro.explore.explorer` and the multiprocessing frontier-sharding
+driver in :mod:`repro.explore.parallel`
+(``ExploreOptions(backend="parallel", jobs=N)``).
+
 Resilient entry points (degradation ladder, checkpoint/resume, fault
 isolation) live in :mod:`repro.resilience`."""
 
@@ -11,6 +16,7 @@ from repro.explore.explorer import (
     ExploreStats,
     explore,
 )
+from repro.explore.parallel import explore_parallel
 from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph, Edge
 from repro.explore.observers import Observer, TraceObserver
 from repro.explore.stubborn import StubbornSelector, StubbornStats
@@ -33,4 +39,5 @@ __all__ = [
     "action_is_critical",
     "build_block",
     "explore",
+    "explore_parallel",
 ]

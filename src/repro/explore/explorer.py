@@ -84,6 +84,11 @@ class ExploreOptions:
     policy: str = "full"  # "full" | "stubborn" | "stubborn-proc"
     coarsen: bool = False
     sleep: bool = False
+    #: "serial" (single-process BFS/DFS) or "parallel" (multiprocessing
+    #: frontier sharding, see :mod:`repro.explore.parallel`)
+    backend: str = "serial"
+    #: worker-process count for ``backend="parallel"``
+    jobs: int = 1
     step: StepOptions = StepOptions()
     max_configs: int = 1_000_000
     max_block_len: int = 256
@@ -101,7 +106,8 @@ class ExploreOptions:
     def describe(self) -> str:
         c = "+coarsen" if self.coarsen else ""
         s = "+sleep" if self.sleep else ""
-        return f"{self.policy}{c}{s}"
+        j = f"@j{self.jobs}" if self.backend == "parallel" else ""
+        return f"{self.policy}{c}{s}{j}"
 
     def resume_key(self) -> tuple:
         """The option fields a resumed run must match (budgets excluded
@@ -149,7 +155,27 @@ class ExploreStats:
     #: degradation-ladder trail, e.g. ("full->stubborn: configs",);
     #: filled by :func:`repro.resilience.explore_resilient`
     escalations: tuple[str, ...] = ()
+    #: which driver produced this result ("serial" | "parallel")
+    backend: str = "serial"
+    #: worker-process count (1 for the serial backend)
+    jobs: int = 1
+    #: level-synchronous frontier rounds (parallel backend only)
+    rounds: int = 0
+    #: successor configurations handed to a *different* shard's worker
+    #: (parallel backend only — the cross-shard communication volume)
+    handoffs: int = 0
+    #: per-shard visited-set sizes at the end of the run
+    shard_sizes: tuple[int, ...] = ()
     stubborn: StubbornStats | None = None
+
+    @property
+    def shard_balance(self) -> float | None:
+        """Largest shard over the mean shard size (1.0 = perfectly
+        balanced hash partition); None for serial runs."""
+        if not self.shard_sizes or sum(self.shard_sizes) == 0:
+            return None
+        mean = sum(self.shard_sizes) / len(self.shard_sizes)
+        return max(self.shard_sizes) / mean
 
 
 @dataclass
@@ -219,6 +245,29 @@ def explore(
     )
     if opts.policy not in ("full", "stubborn", "stubborn-proc"):
         raise ValueError(f"unknown policy {opts.policy!r}")
+    if opts.backend not in ("serial", "parallel"):
+        raise ValueError(f"unknown backend {opts.backend!r}")
+
+    if opts.backend == "parallel":
+        from repro.util.errors import ReproError
+
+        if opts.jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {opts.jobs}")
+        if opts.sleep:
+            raise ReproError(
+                "backend='parallel' does not compose with sleep sets: the "
+                "sleep-set driver is depth-first with cross-configuration "
+                "state; use backend='serial' for --sleep"
+            )
+        if checkpointer is not None or resume_from is not None:
+            raise ReproError(
+                "checkpoint/resume does not compose with backend='parallel' "
+                "(the frontier is sharded across worker processes); run the "
+                "serial backend for checkpointing"
+            )
+        from repro.explore.parallel import explore_parallel
+
+        return explore_parallel(program, opts, observers=observers)
 
     if opts.coarse_derefs:
         access = AccessAnalysis(program, coarse_derefs=True)

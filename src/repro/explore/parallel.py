@@ -1,0 +1,475 @@
+"""Parallel sharded exploration backend (``ExploreOptions.backend="parallel"``).
+
+Architecture
+------------
+The state space is hash-partitioned across ``jobs`` worker processes by
+:func:`repro.semantics.config.shard_of` (a ``PYTHONHASHSEED``-independent
+structural digest).  Each worker *owns* one shard: it holds the visited
+set for its slice of the configuration space, expands only
+configurations it owns, and runs its own copy of the expansion policy
+(full / stubborn / stubborn-proc, with or without coarsening).
+
+Exploration is **level-synchronous BFS**: every round the master
+scatters each shard's batch of candidate configurations, workers
+deduplicate against their visited sets, expand the fresh ones, and
+return (a) the shard-local id of every candidate, (b) terminal
+classifications, (c) edges ``(src_lid, actions, dst_shard, dst_index)``
+referencing their outgoing per-shard successor batches, and (d) those
+successor batches themselves.  The master routes successor batches to
+their owning shards for the next round — a *handoff* when the owner
+differs from the producer — and resolves each round's edges against the
+next round's shard-local ids.  No configuration is ever shipped twice
+for the same edge: the master reconstructs each shard's fresh-config
+fragment from the batches it already sent, mirroring the worker's id
+assignment.
+
+At the end the per-shard fragments are merged into one
+:class:`~repro.explore.graph.ConfigGraph` in deterministic (shard,
+local-id) order, and per-worker stats are summed.  For a complete
+(untruncated) run the merged graph has *exactly* the node count, edge
+count, and result-configuration set of the serial BFS reference — the
+property the cross-backend differential suite in
+``tests/explore/test_parallel_differential.py`` enforces program by
+program.  Config ids may differ from the serial driver's (discovery
+order is by round and shard, not by a single FIFO), which is why the
+equivalence contract is counts + result sets, not id-identical graphs.
+
+Determinism: replies are gathered in shard order, per-worker output
+order is its deterministic processing order, and dict iteration is
+insertion-ordered everywhere — two runs with the same ``jobs`` produce
+identical merged graphs, and different ``jobs`` values produce identical
+counts and result sets.
+
+Composition rules
+-----------------
+- policies ``full`` / ``stubborn`` / ``stubborn-proc`` and ``coarsen``:
+  compose (each worker runs its own selector — selection is a pure
+  function of one configuration's expansions);
+- budgets (``max_configs``, ``time_limit_s``, ``max_rss_bytes``):
+  compose, enforced by the master at round granularity, with one final
+  non-expanding *drain* round so every produced edge resolves;
+- ``sleep=True`` and checkpoint/resume: **rejected** with
+  :class:`~repro.util.errors.ReproError` (depth-first cross-state
+  sharing and single-file snapshots do not shard) — see
+  :func:`repro.explore.explorer.explore`.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import time
+import traceback
+
+from repro.analyses.accesses import AccessAnalysis, access_analysis
+from repro.explore.algorithm1 import AlgorithmOneSelector
+from repro.explore.graph import DEADLOCK, TERMINATED, ConfigGraph
+from repro.explore.stubborn import StubbornSelector, StubbornStats
+from repro.lang.program import Program
+from repro.semantics.config import Config, initial_config, shard_of
+from repro.util.errors import ReproError
+
+LOG = logging.getLogger("repro.explore.parallel")
+
+#: Seconds to wait for a worker to exit after "finish" before killing it.
+_JOIN_TIMEOUT_S = 10.0
+
+
+def _make_selector(program, access, policy):
+    if policy == "stubborn":
+        return AlgorithmOneSelector(program, access)
+    if policy == "stubborn-proc":
+        return StubbornSelector(program, access)
+    return None
+
+
+# --------------------------------------------------------------------------
+# worker side
+# --------------------------------------------------------------------------
+
+
+def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
+    """One shard-owner process: dedup, expand, classify, partition.
+
+    Protocol (master -> worker): ``("round", batch, expand)`` then a
+    final ``("finish",)``.  Every reply is ``("ok", payload)``; an
+    unexpected exception replies ``("crash", traceback)`` once and
+    exits.
+    """
+    # Late import: the guarded expansion/selection helpers live in the
+    # serial driver and carry the chaos-injection points with them, so a
+    # worker degrades exactly like the serial engine does.
+    from repro.explore.explorer import (
+        ExploreStats,
+        _current_rss_bytes,
+        _expand_guarded,
+        _select_guarded,
+        _terminal_status_fast,
+    )
+
+    try:
+        if opts.coarse_derefs:
+            access = AccessAnalysis(program, coarse_derefs=True)
+        else:
+            access = access_analysis(program)
+        selector = _make_selector(program, access, opts.policy)
+        visited: dict[Config, int] = {}
+        configs: list[Config] = []
+        stats = ExploreStats()
+        dedup_hits = 0
+
+        while True:
+            msg = conn.recv()
+            if msg[0] == "finish":
+                conn.send(
+                    (
+                        "ok",
+                        {
+                            "expansions": stats.expansions,
+                            "actions_executed": stats.actions_executed,
+                            "selector_faults": stats.selector_faults,
+                            "engine_faults": stats.engine_faults,
+                            "dedup_hits": dedup_hits,
+                            "peak_rss_bytes": _current_rss_bytes(),
+                            "stubborn": (
+                                selector.stats if selector is not None else None
+                            ),
+                        },
+                    )
+                )
+                return
+            _, batch, expand = msg
+            batch_lids: list[int] = []
+            terminals: list[tuple[int, str]] = []
+            edges: list[tuple[int, tuple, int, int]] = []
+            out: dict[int, list[Config]] = {}
+            out_index: dict[int, dict[Config, int]] = {}
+            fault = False
+
+            for config in batch:
+                lid = visited.get(config)
+                if lid is not None:
+                    dedup_hits += 1
+                    batch_lids.append(lid)
+                    continue
+                lid = len(configs)
+                visited[config] = lid
+                configs.append(config)
+                batch_lids.append(lid)
+                if not expand:
+                    continue
+                stats.expansions += 1
+                status = _terminal_status_fast(config)
+                if status is not None:
+                    terminals.append((lid, status))
+                    continue
+                expansions = _expand_guarded(
+                    program, config, lid, access, opts, stats, None
+                )
+                if expansions is None:
+                    fault = True
+                    continue
+                enabled = [e for e in expansions if e.enabled]
+                if not enabled:
+                    terminals.append((lid, DEADLOCK))
+                    continue
+                chosen = _select_guarded(
+                    selector, expansions, enabled, stats, None
+                )
+                for exp in chosen:
+                    succ = exp.succ
+                    assert succ is not None
+                    dshard = shard_of(succ, nshards)
+                    bucket = out.setdefault(dshard, [])
+                    idx_map = out_index.setdefault(dshard, {})
+                    idx = idx_map.get(succ)
+                    if idx is None:
+                        idx = len(bucket)
+                        idx_map[succ] = idx
+                        bucket.append(succ)
+                    edges.append((lid, exp.actions, dshard, idx))
+                    stats.actions_executed += len(exp.actions)
+
+            conn.send(("ok", (batch_lids, terminals, edges, out, fault)))
+    except Exception:
+        try:
+            conn.send(("crash", traceback.format_exc()))
+        except Exception:
+            pass
+
+
+# --------------------------------------------------------------------------
+# master side
+# --------------------------------------------------------------------------
+
+
+class _WorkerPool:
+    """The worker processes plus their pipes, with hard cleanup."""
+
+    def __init__(self, program: Program, opts, nshards: int) -> None:
+        methods = multiprocessing.get_all_start_methods()
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self.conns = []
+        self.procs = []
+        for shard in range(nshards):
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child, program, opts, shard, nshards),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child.close()
+            self.conns.append(parent)
+            self.procs.append(proc)
+
+    def scatter(self, batches: list[list[Config]], expand: bool) -> None:
+        for conn, batch in zip(self.conns, batches):
+            conn.send(("round", batch, expand))
+
+    def gather(self) -> list:
+        """Round replies in shard order; raises on a worker crash."""
+        replies = []
+        for shard, conn in enumerate(self.conns):
+            try:
+                kind, payload = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ReproError(
+                    f"parallel exploration worker {shard} died "
+                    f"unexpectedly ({exc!r})"
+                ) from exc
+            if kind == "crash":
+                raise ReproError(
+                    f"parallel exploration worker {shard} crashed:\n{payload}"
+                )
+            replies.append(payload)
+        return replies
+
+    def finish(self) -> list[dict]:
+        for conn in self.conns:
+            conn.send(("finish",))
+        return self.gather()
+
+    def shutdown(self) -> None:
+        for conn in self.conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        deadline = time.monotonic() + _JOIN_TIMEOUT_S
+        for proc in self.procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+
+
+def explore_parallel(program: Program, opts, observers=()):
+    """Sharded multiprocess BFS; same result contract as the serial
+    driver (invoked through :func:`repro.explore.explorer.explore` with
+    ``backend="parallel"`` — do not call directly with sleep sets or
+    checkpointing, they are rejected upstream)."""
+    from repro.explore.explorer import (
+        ExploreResult,
+        ExploreStats,
+        _ObserverGuard,
+        _attached_registry,
+        _current_rss_bytes,
+        _finalize,
+        _truncate,
+    )
+
+    t0 = time.perf_counter()
+    deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
+    nshards = opts.jobs
+    metrics = _attached_registry(observers)
+
+    if opts.coarse_derefs:
+        access = AccessAnalysis(program, coarse_derefs=True)
+    else:
+        access = access_analysis(program)
+
+    stats = ExploreStats(backend="parallel", jobs=nshards)
+    guard = _ObserverGuard(observers, stats, metrics)
+
+    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
+    init_shard = shard_of(init, nshards)
+
+    # Per-shard bookkeeping mirrored from the workers:
+    #   next_lid[s]   — the worker's next fresh local id
+    #   fragments[s]  — local id -> Config (reconstructed from sent batches)
+    next_lid = [0] * nshards
+    fragments: list[list[Config]] = [[] for _ in range(nshards)]
+    # Edges whose destination is a candidate of the *next* round:
+    # (src_shard, src_lid, actions, dst_shard, dst_batch_pos).
+    unresolved: list[tuple[int, int, tuple, int, int]] = []
+    # Fully resolved edges in production order:
+    # (src_shard, src_lid, actions, dst_shard, dst_lid).
+    edges_final: list[tuple[int, int, tuple, int, int]] = []
+    # (shard, lid, status) in classification order.
+    terminal_marks: list[tuple[int, int, str]] = []
+
+    pending: list[list[Config]] = [[] for _ in range(nshards)]
+    pending[init_shard].append(init)
+
+    pool = _WorkerPool(program, opts, nshards)
+    worker_summaries: list[dict] = []
+    try:
+        engine_fault = False
+        while any(pending):
+            expand = True
+            if deadline is not None and time.perf_counter() > deadline:
+                _truncate(stats, "time")
+            elif engine_fault:
+                _truncate(stats, "internal-error")
+            elif sum(next_lid) > opts.max_configs:
+                _truncate(stats, "configs")
+            elif opts.max_rss_bytes is not None:
+                rss = _current_rss_bytes()
+                if rss > stats.peak_rss_bytes:
+                    stats.peak_rss_bytes = rss
+                if rss > opts.max_rss_bytes:
+                    _truncate(stats, "memory")
+            if stats.truncated:
+                # Drain round: assign ids to the already-produced
+                # successors so every edge resolves, but expand nothing.
+                expand = False
+
+            batch_sizes = [len(b) for b in pending]
+            stats.rounds += 1
+            if metrics is not None:
+                metrics.inc("parallel.rounds")
+                metrics.observe("parallel.queue_depth", sum(batch_sizes))
+
+            pool.scatter(pending, expand)
+            replies = pool.gather()
+
+            # Reconstruct each shard's fresh-config fragment from the
+            # batch we just sent it (same first-seen order the worker
+            # used for id assignment).
+            lids_by_shard = []
+            for s, (batch_lids, terminals, edges, out, fault) in enumerate(
+                replies
+            ):
+                lids_by_shard.append(batch_lids)
+                for pos, lid in enumerate(batch_lids):
+                    if lid == next_lid[s]:
+                        fragments[s].append(pending[s][pos])
+                        next_lid[s] += 1
+                for lid, status in terminals:
+                    terminal_marks.append((s, lid, status))
+                engine_fault = engine_fault or fault
+
+            # Resolve the previous round's edges against this round's
+            # shard-local ids.
+            for src_shard, src_lid, actions, dst_shard, dst_pos in unresolved:
+                dst_lid = lids_by_shard[dst_shard][dst_pos]
+                edges_final.append(
+                    (src_shard, src_lid, actions, dst_shard, dst_lid)
+                )
+            unresolved = []
+
+            # Route this round's successor batches and re-key this
+            # round's edges to positions in the next round's batches.
+            next_pending: list[list[Config]] = [[] for _ in range(nshards)]
+            for s, (batch_lids, terminals, edges, out, fault) in enumerate(
+                replies
+            ):
+                offsets = {}
+                for dshard, bucket in out.items():
+                    offsets[dshard] = len(next_pending[dshard])
+                    next_pending[dshard].extend(bucket)
+                    if dshard != s:
+                        stats.handoffs += len(bucket)
+                for src_lid, actions, dshard, idx in edges:
+                    unresolved.append(
+                        (s, src_lid, actions, dshard, offsets[dshard] + idx)
+                    )
+            pending = next_pending
+
+        worker_summaries = pool.finish()
+    finally:
+        pool.shutdown()
+
+    # ------------------------------------------------------------------
+    # deterministic merge
+    # ------------------------------------------------------------------
+
+    stats.shard_sizes = tuple(next_lid)
+    for summary in worker_summaries:
+        stats.expansions += summary["expansions"]
+        stats.actions_executed += summary["actions_executed"]
+        stats.selector_faults += summary["selector_faults"]
+        stats.engine_faults += summary["engine_faults"]
+        if summary["peak_rss_bytes"] > stats.peak_rss_bytes:
+            stats.peak_rss_bytes = summary["peak_rss_bytes"]
+
+    graph = ConfigGraph()
+    graph.metrics = metrics
+    gid: dict[tuple[int, int], int] = {}
+    for s in range(nshards):
+        for lid, config in enumerate(fragments[s]):
+            g, fresh = graph.add_config(config)
+            # Shard ownership is a partition: equal configs share a
+            # digest, hence a shard, hence were deduplicated there.
+            assert fresh, "cross-shard duplicate — digest partition broken"
+            gid[(s, lid)] = g
+    if fragments[init_shard]:
+        graph.initial = gid[(init_shard, 0)]
+    for s in range(nshards):
+        for lid, config in enumerate(fragments[s]):
+            guard.on_config(graph, gid[(s, lid)], config, True, None)
+
+    for src_shard, src_lid, actions, dst_shard, dst_lid in edges_final:
+        src = gid[(src_shard, src_lid)]
+        dst = gid[(dst_shard, dst_lid)]
+        graph.add_edge(src, dst, actions)
+        guard.on_edge(graph, src, dst, actions)
+
+    for s, lid, status in terminal_marks:
+        cid = gid[(s, lid)]
+        graph.mark_terminal(cid, status)
+        if status == TERMINATED:
+            stats.num_terminated += 1
+        elif status == DEADLOCK:
+            stats.num_deadlocks += 1
+        else:
+            stats.num_faults += 1
+        guard.on_config(graph, cid, graph.configs[cid], False, status)
+
+    merged_stubborn = _merge_stubborn(
+        [s["stubborn"] for s in worker_summaries]
+    )
+    if metrics is not None:
+        metrics.inc("explore.expansions", stats.expansions)
+        total_hits = sum(s["dedup_hits"] for s in worker_summaries)
+        if total_hits:
+            metrics.inc("explore.intern.hits", total_hits)
+        balance = stats.shard_balance
+        if balance is not None:
+            metrics.set_gauge("parallel.shard_balance", balance)
+        metrics.inc("parallel.handoffs", stats.handoffs)
+    result: ExploreResult = _finalize(
+        program, graph, stats, opts, access, None, guard, metrics, t0, None
+    )
+    stats.stubborn = merged_stubborn
+    return result
+
+
+def _merge_stubborn(parts: list) -> StubbornStats | None:
+    """Sum per-worker selector statistics (None when the policy is
+    ``full``)."""
+    merged: StubbornStats | None = None
+    for part in parts:
+        if part is None:
+            continue
+        if merged is None:
+            merged = StubbornStats()
+        merged.steps += part.steps
+        merged.enabled_total += part.enabled_total
+        merged.chosen_total += part.chosen_total
+        merged.singleton_steps += part.singleton_steps
+    return merged

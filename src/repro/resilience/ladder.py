@@ -161,6 +161,8 @@ def explore_resilient(
     start: str | None = None,
     observers: tuple = (),
     step: StepOptions | None = None,
+    backend: str = "serial",
+    jobs: int = 1,
 ) -> ResilientResult:
     """Explore under budgets, escalating down the ladder on exhaustion.
 
@@ -168,6 +170,11 @@ def explore_resilient(
     when the caller already knows ``full`` is hopeless).  Each rung gets
     the full budgets — total wall-clock is bounded by
     ``len(ladder) * time_limit_s``.
+
+    ``backend="parallel"`` runs every concrete rung on the sharded
+    multiprocessing driver with ``jobs`` workers — budgets compose (the
+    parallel master enforces them at frontier-round granularity); the
+    abstract fold rung is unaffected.
 
     Never raises; always returns a :class:`ResilientResult` whose stats
     truthfully record truncation and the escalation trail.
@@ -194,6 +201,8 @@ def explore_resilient(
         opts = ExploreOptions(
             policy=rung.policy,
             coarsen=rung.coarsen,
+            backend=backend,
+            jobs=jobs,
             step=step if step is not None else StepOptions(),
             max_configs=budgets.max_configs,
             time_limit_s=budgets.time_limit_s,

@@ -10,10 +10,29 @@ and the *i*-th branch of a cobegin executed by process ``p`` is
 ``p + (i,)``.  Identities are therefore independent of interleaving
 order, and two pids are *concurrent* exactly when neither is a prefix of
 the other (a parent is blocked at its join while children run).
+
+Interning
+---------
+Successor configurations along different interleavings share almost all
+of their structure.  :func:`intern_config` (and the per-component
+:func:`intern_process` / :func:`intern_heap_obj`) canonicalize
+structurally equal values to one representative object, so equality
+checks degrade to pointer comparisons for the common hit case and the
+resident set stops paying for duplicated ``Process`` tuples.  Unpickling
+routes through the intern tables too, which is what makes configurations
+cheap to ship between the processes of the parallel exploration backend:
+a worker that receives a configuration it has seen before gets back the
+exact object it already holds.
+
+``_hash`` is a *salted, per-process* hash — fine for dict probing, never
+for identity: all visited-set structures key on full structural equality
+(dict/set semantics), and cross-process shard routing uses
+:func:`stable_digest`, which is independent of ``PYTHONHASHSEED``.
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
@@ -92,6 +111,18 @@ class Process:
     def func_stack(self) -> tuple[str, ...]:
         return tuple(f.func for f in self.frames)
 
+    def __reduce__(self):
+        # Compact positional pickle that re-interns on load: equal
+        # processes received from another OS process collapse onto the
+        # receiver's canonical representative.
+        return (
+            _unpickle_process,
+            (
+                self.pid, self.frames, self.status, self.join_pc,
+                self.children, self.retval, self.ps,
+            ),
+        )
+
 
 @dataclass(frozen=True)
 class HeapObj:
@@ -101,6 +132,12 @@ class HeapObj:
     cells: tuple[Value, ...]
     birth_pid: Pid = ()
     birth_ps: PS.ProcString = ()
+
+    def __reduce__(self):
+        return (
+            _unpickle_heap_obj,
+            (self.oid, self.cells, self.birth_pid, self.birth_ps),
+        )
 
 
 @dataclass(frozen=True)
@@ -118,6 +155,11 @@ class Config:
     heap: tuple[HeapObj, ...]
     fault: Optional[str] = None
     _hash: int = field(default=0, compare=False, repr=False)
+    # Lazily-built lookup indexes (pid -> Process, oid -> HeapObj) and
+    # the cached cross-process digest.  Never compared, never pickled.
+    _proc_index: Optional[dict] = field(default=None, compare=False, repr=False)
+    _heap_index: Optional[dict] = field(default=None, compare=False, repr=False)
+    _digest: Optional[int] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -127,15 +169,26 @@ class Config:
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Positional payload without the caches; the loader re-interns,
+        # so a configuration shipped across a process boundary lands on
+        # the receiver's canonical instance (identity-equal to any copy
+        # it already holds).
+        return (
+            _unpickle_config,
+            (self.procs, self.globals, self.heap, self.fault),
+        )
+
     # ------------------------------------------------------------------
     # process access
     # ------------------------------------------------------------------
 
     def proc(self, pid: Pid) -> Process:
-        for p in self.procs:
-            if p.pid == pid:
-                return p
-        raise KeyError(pid)
+        idx = self._proc_index
+        if idx is None:
+            idx = {p.pid: p for p in self.procs}
+            object.__setattr__(self, "_proc_index", idx)
+        return idx[pid]
 
     def live_procs(self) -> Iterator[Process]:
         """Processes that may still take actions (running or joining)."""
@@ -151,10 +204,11 @@ class Config:
     # ------------------------------------------------------------------
 
     def heap_obj(self, oid: ObjId) -> HeapObj | None:
-        for o in self.heap:
-            if o.oid == oid:
-                return o
-        return None
+        idx = self._heap_index
+        if idx is None:
+            idx = {o.oid: o for o in self.heap}
+            object.__setattr__(self, "_heap_index", idx)
+        return idx.get(oid)
 
     def fresh_oid(self, site: str) -> ObjId:
         used = {o.oid[1] for o in self.heap if o.oid[0] == site}
@@ -253,3 +307,151 @@ def collect_garbage(config: Config) -> Config:
     return Config(
         procs=config.procs, globals=config.globals, heap=new_heap, fault=config.fault
     )
+
+
+# --------------------------------------------------------------------------
+# interning
+# --------------------------------------------------------------------------
+
+# Canonical-representative tables.  Keys *are* values (x -> x): probing
+# costs one hash + one structural comparison, and every later comparison
+# between interned equals is a pointer check.  Exploration already keeps
+# every distinct configuration alive in its graph, so the tables add
+# only O(live states) bookkeeping — call :func:`clear_intern_caches`
+# between unrelated long runs to release them.
+_INTERN_PROCS: dict[Process, Process] = {}
+_INTERN_HEAP_OBJS: dict[HeapObj, HeapObj] = {}
+_INTERN_CONFIGS: dict[Config, Config] = {}
+
+
+def intern_process(proc: Process) -> Process:
+    """The canonical representative of *proc* in this OS process."""
+    cached = _INTERN_PROCS.get(proc)
+    if cached is not None:
+        return cached
+    _INTERN_PROCS[proc] = proc
+    return proc
+
+
+def intern_heap_obj(obj: HeapObj) -> HeapObj:
+    """The canonical representative of *obj* in this OS process."""
+    cached = _INTERN_HEAP_OBJS.get(obj)
+    if cached is not None:
+        return cached
+    _INTERN_HEAP_OBJS[obj] = obj
+    return obj
+
+
+def intern_config(config: Config) -> Config:
+    """The canonical representative of *config* in this OS process.
+
+    Guarantees ``intern_config(a) is intern_config(b)`` iff ``a == b``
+    and ``intern_config(c) == c`` always.  Sub-structures (processes,
+    heap objects) are canonicalized too, so two configurations differing
+    in one process share every other component.
+    """
+    cached = _INTERN_CONFIGS.get(config)
+    if cached is not None:
+        return cached
+    procs = tuple(intern_process(p) for p in config.procs)
+    heap = tuple(intern_heap_obj(o) for o in config.heap)
+    if any(a is not b for a, b in zip(procs, config.procs)) or any(
+        a is not b for a, b in zip(heap, config.heap)
+    ):
+        config = Config(
+            procs=procs, globals=config.globals, heap=heap, fault=config.fault
+        )
+    _INTERN_CONFIGS[config] = config
+    return config
+
+
+def clear_intern_caches() -> None:
+    """Drop all canonical-representative tables (frees their memory;
+    subsequently interned values simply become new representatives)."""
+    _INTERN_PROCS.clear()
+    _INTERN_HEAP_OBJS.clear()
+    _INTERN_CONFIGS.clear()
+
+
+def intern_table_sizes() -> dict[str, int]:
+    """Current intern-table populations (telemetry/tests)."""
+    return {
+        "procs": len(_INTERN_PROCS),
+        "heap_objs": len(_INTERN_HEAP_OBJS),
+        "configs": len(_INTERN_CONFIGS),
+    }
+
+
+def _unpickle_process(pid, frames, status, join_pc, children, retval, ps):
+    return intern_process(
+        Process(
+            pid=pid, frames=frames, status=status, join_pc=join_pc,
+            children=children, retval=retval, ps=ps,
+        )
+    )
+
+
+def _unpickle_heap_obj(oid, cells, birth_pid, birth_ps):
+    return intern_heap_obj(
+        HeapObj(oid=oid, cells=cells, birth_pid=birth_pid, birth_ps=birth_ps)
+    )
+
+
+def _unpickle_config(procs, globals_, heap, fault):
+    return intern_config(
+        Config(procs=procs, globals=globals_, heap=heap, fault=fault)
+    )
+
+
+# --------------------------------------------------------------------------
+# cross-process digests
+# --------------------------------------------------------------------------
+
+
+def _canonical(config: Config) -> tuple:
+    """A nested tuple of primitives (ints, strings, value reprs) that
+    structurally equal configurations map to identically."""
+    return (
+        tuple(
+            (
+                p.pid,
+                tuple((f.func, f.pc, f.locals, f.ret_loc) for f in p.frames),
+                p.status,
+                p.join_pc,
+                p.children,
+                p.retval,
+                p.ps,
+            )
+            for p in config.procs
+        ),
+        config.globals,
+        tuple(
+            (o.oid, o.cells, o.birth_pid, o.birth_ps) for o in config.heap
+        ),
+        config.fault,
+    )
+
+
+def stable_digest(config: Config) -> int:
+    """A 64-bit structural digest, identical across OS processes, runs,
+    and ``PYTHONHASHSEED`` values (unlike ``hash()``).
+
+    This is what the parallel backend routes on: equal configurations
+    always land on the same shard, so each shard's visited set is
+    authoritative for its slice of the state space.  A digest collision
+    between *distinct* configurations merely co-locates them on one
+    shard — dedup itself always compares full structural equality.
+    """
+    d = config._digest
+    if d is None:
+        payload = repr(_canonical(config)).encode("utf-8")
+        d = int.from_bytes(
+            hashlib.blake2b(payload, digest_size=8).digest(), "big"
+        )
+        object.__setattr__(config, "_digest", d)
+    return d
+
+
+def shard_of(config: Config, nshards: int) -> int:
+    """The shard that owns *config* in an ``nshards``-way partition."""
+    return stable_digest(config) % nshards

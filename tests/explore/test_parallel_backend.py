@@ -1,0 +1,160 @@
+"""Unit tests for the parallel sharded backend: composition rules,
+budgets, stats/metrics surface, and the ladder hookup.
+
+Graph/result equivalence against the serial reference is covered by
+``test_parallel_differential.py`` (corpus × policy × jobs matrix) and
+``tests/properties/test_parallel_random.py`` (seeded random programs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.metrics import MetricsObserver
+from repro.programs.corpus import CORPUS
+from repro.resilience import Budgets, Checkpointer, explore_resilient
+from repro.util.errors import ReproError
+
+
+def _opts(**kw) -> ExploreOptions:
+    kw.setdefault("backend", "parallel")
+    kw.setdefault("jobs", 2)
+    return ExploreOptions(**kw)
+
+
+# --------------------------------------------------------------------------
+# composition rules
+# --------------------------------------------------------------------------
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown backend"):
+        explore(CORPUS["mutex_counter"](), options=ExploreOptions(backend="gpu"))
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(ValueError, match="jobs"):
+        explore(CORPUS["mutex_counter"](), options=_opts(jobs=0))
+
+
+def test_sleep_sets_rejected():
+    with pytest.raises(ReproError, match="sleep"):
+        explore(CORPUS["mutex_counter"](), options=_opts(sleep=True))
+
+
+def test_checkpointer_rejected(tmp_path):
+    ck = Checkpointer(str(tmp_path / "snap.ckpt"), every=10)
+    with pytest.raises(ReproError, match="checkpoint"):
+        explore(CORPUS["mutex_counter"](), options=_opts(), checkpointer=ck)
+
+
+def test_resume_rejected(tmp_path):
+    with pytest.raises(ReproError, match="checkpoint"):
+        explore(
+            CORPUS["mutex_counter"](),
+            options=_opts(),
+            resume_from=str(tmp_path / "snap.ckpt"),
+        )
+
+
+def test_serial_backend_unchanged_by_new_fields():
+    r = explore(CORPUS["mutex_counter"](), options=ExploreOptions())
+    assert r.stats.backend == "serial"
+    assert r.stats.jobs == 1
+    assert r.stats.shard_sizes == ()
+    assert r.stats.shard_balance is None
+    assert ExploreOptions().describe() == "full"
+
+
+# --------------------------------------------------------------------------
+# stats & metrics surface
+# --------------------------------------------------------------------------
+
+
+def test_parallel_stats_fields():
+    r = explore(
+        CORPUS["philosophers_3"](), options=_opts(policy="stubborn", jobs=2)
+    )
+    s = r.stats
+    assert s.backend == "parallel"
+    assert s.jobs == 2
+    assert s.rounds > 0
+    assert len(s.shard_sizes) == 2
+    assert sum(s.shard_sizes) == s.num_configs
+    assert s.shard_balance is not None and s.shard_balance >= 1.0
+    assert s.handoffs > 0  # philosophers always crosses shards
+    assert s.stubborn is not None and s.stubborn.steps > 0
+    assert r.options.describe() == "stubborn@j2"
+
+
+def test_parallel_metrics():
+    mo = MetricsObserver()
+    r = explore(
+        CORPUS["philosophers_3"](),
+        options=_opts(policy="full", jobs=2),
+        observers=(mo,),
+    )
+    reg = mo.registry
+    assert reg.counter("parallel.rounds").value == r.stats.rounds
+    assert reg.counter("parallel.handoffs").value == r.stats.handoffs
+    assert reg.gauge("parallel.shard_balance").value == pytest.approx(
+        r.stats.shard_balance
+    )
+    assert reg.histogram("parallel.queue_depth").count == r.stats.rounds
+    # the intern hit/miss telemetry stays comparable across backends:
+    # misses = unique configs, hits = rediscoveries of visited ones
+    assert reg.counter("explore.intern.misses").value == r.stats.num_configs
+    assert reg.counter("explore.intern.hits").value > 0
+    # observers saw every configuration and every edge at merge time
+    assert reg.counter("explore.configs").value == r.stats.num_configs
+    assert reg.counter("explore.edges").value == r.stats.num_edges
+    assert reg.gauge("graph.configs").value == r.stats.num_configs
+
+
+# --------------------------------------------------------------------------
+# budgets
+# --------------------------------------------------------------------------
+
+
+def test_configs_budget_truncates_gracefully():
+    r = explore(
+        CORPUS["philosophers_3"](), options=_opts(policy="full", max_configs=50)
+    )
+    assert r.stats.truncated
+    assert r.stats.truncation_reason == "configs"
+    # the drain round keeps the merged graph internally consistent:
+    # every edge endpoint is a real node
+    for e in r.graph.edges:
+        assert 0 <= e.src < r.graph.num_configs
+        assert 0 <= e.dst < r.graph.num_configs
+
+
+def test_time_budget_truncates_gracefully():
+    r = explore(
+        CORPUS["philosophers_3"](),
+        options=_opts(policy="full", time_limit_s=0.0),
+    )
+    assert r.stats.truncated
+    assert r.stats.truncation_reason == "time"
+    # the initial configuration still lands in the graph
+    assert r.stats.num_configs >= 1
+
+
+# --------------------------------------------------------------------------
+# resilience-ladder composition
+# --------------------------------------------------------------------------
+
+
+def test_ladder_composes_with_parallel_backend():
+    rr = explore_resilient(
+        CORPUS["philosophers_3"](),
+        budgets=Budgets(max_configs=200),
+        backend="parallel",
+        jobs=2,
+    )
+    assert rr.exact
+    assert rr.rung == "stubborn"  # full blew the 200-config budget
+    assert rr.result.stats.backend == "parallel"
+    assert rr.result.stats.jobs == 2
+    assert rr.trail == ("full->stubborn: configs",)

@@ -1,0 +1,157 @@
+"""Cross-backend differential suite: the parallel sharded driver must be
+*indistinguishable* from the serial BFS reference in everything the
+paper's theory cares about.
+
+Contract, per corpus program × expansion policy × jobs ∈ {1, 2, 4}:
+
+- identical configuration count and edge count (the policies are
+  deterministic per-configuration functions, so the explored graphs are
+  the same graph up to node numbering);
+- identical result-configuration payloads (final stores), deadlock
+  counts, and fault messages — the paper's reduction invariant;
+- identical *content* edge multiset ``(src config, dst config, labels)``
+  — a structural graph-isomorphism check that catches dropped or
+  duplicated transitions even when the counts accidentally agree.
+
+Determinism (the no-dict-iteration-order-leak guarantee): the merged
+graph of two repeated runs at the same ``jobs`` is identical node by
+node and edge by edge, and counts/result sets are identical across
+``jobs`` values.
+
+The full corpus runs at jobs=2 (every program, every policy); the
+wider jobs sweep {1, 4} runs on the bench smoke subset to keep tier-1
+wall-clock bounded.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.bench import SMOKE_PROGRAMS
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+
+#: (policy, coarsen) — sleep is serial-only by design.
+PARALLEL_COMBOS = (
+    ("full", False),
+    ("stubborn", False),
+    ("stubborn-proc", False),
+    ("stubborn", True),
+)
+COMBO_IDS = [
+    ExploreOptions(policy=p, coarsen=c).describe() for p, c in PARALLEL_COMBOS
+]
+
+_PROGRAMS: dict = {}
+_SERIAL: dict = {}
+
+
+def _program(name):
+    prog = _PROGRAMS.get(name)
+    if prog is None:
+        prog = _PROGRAMS[name] = CORPUS[name]()
+    return prog
+
+
+def _serial(name, policy, coarsen):
+    key = (name, policy, coarsen)
+    r = _SERIAL.get(key)
+    if r is None:
+        r = _SERIAL[key] = explore(
+            _program(name),
+            options=ExploreOptions(policy=policy, coarsen=coarsen),
+        )
+    return r
+
+
+def _edge_content(result) -> Counter:
+    """The graph's edge multiset keyed by configuration *content*, not
+    node id — invariant across node numberings."""
+    g = result.graph
+    return Counter(
+        (g.configs[e.src], g.configs[e.dst], e.labels) for e in g.edges
+    )
+
+
+def _assert_equivalent(par, ser) -> None:
+    assert not par.stats.truncated and not ser.stats.truncated
+    assert par.stats.num_configs == ser.stats.num_configs
+    assert par.stats.num_edges == ser.stats.num_edges
+    assert par.final_stores() == ser.final_stores()
+    assert par.stats.num_terminated == ser.stats.num_terminated
+    assert par.stats.num_deadlocks == ser.stats.num_deadlocks
+    assert par.stats.num_faults == ser.stats.num_faults
+    assert frozenset(par.fault_messages()) == frozenset(ser.fault_messages())
+    assert set(par.graph.configs) == set(ser.graph.configs)
+    assert _edge_content(par) == _edge_content(ser)
+
+
+@pytest.mark.parametrize("combo", PARALLEL_COMBOS, ids=COMBO_IDS)
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_corpus_matches_serial_at_two_jobs(name, combo):
+    policy, coarsen = combo
+    par = explore(
+        _program(name),
+        options=ExploreOptions(
+            policy=policy, coarsen=coarsen, backend="parallel", jobs=2
+        ),
+    )
+    _assert_equivalent(par, _serial(name, policy, coarsen))
+
+
+@pytest.mark.parametrize("jobs", [1, 4])
+@pytest.mark.parametrize("combo", PARALLEL_COMBOS, ids=COMBO_IDS)
+@pytest.mark.parametrize("name", sorted(SMOKE_PROGRAMS))
+def test_smoke_subset_across_jobs(name, combo, jobs):
+    policy, coarsen = combo
+    par = explore(
+        _program(name),
+        options=ExploreOptions(
+            policy=policy, coarsen=coarsen, backend="parallel", jobs=jobs
+        ),
+    )
+    _assert_equivalent(par, _serial(name, policy, coarsen))
+
+
+# --------------------------------------------------------------------------
+# determinism
+# --------------------------------------------------------------------------
+
+
+def _run(name, jobs):
+    return explore(
+        _program(name),
+        options=ExploreOptions(
+            policy="stubborn", backend="parallel", jobs=jobs
+        ),
+    )
+
+
+@pytest.mark.parametrize("name", ["philosophers_3", "deadlock_pair"])
+def test_repeated_runs_identical(name):
+    """Two runs at the same jobs produce the same merged graph,
+    node by node, edge by edge, terminal by terminal — byte-identical
+    modulo wall-clock."""
+    a, b = _run(name, 2), _run(name, 2)
+    assert a.graph.configs == b.graph.configs
+    assert a.graph.edges == b.graph.edges
+    assert list(a.graph.terminal.items()) == list(b.graph.terminal.items())
+    assert a.graph.initial == b.graph.initial
+    assert a.stats.shard_sizes == b.stats.shard_sizes
+    assert a.stats.handoffs == b.stats.handoffs
+    assert a.stats.rounds == b.stats.rounds
+
+
+@pytest.mark.parametrize("name", ["philosophers_3", "mutex_counter"])
+def test_counts_and_results_identical_across_jobs(name):
+    runs = {jobs: _run(name, jobs) for jobs in (1, 2, 4)}
+    counts = {
+        (r.stats.num_configs, r.stats.num_edges) for r in runs.values()
+    }
+    assert len(counts) == 1
+    stores = {frozenset(r.final_stores()) for r in runs.values()}
+    assert len(stores) == 1
+    contents = [_edge_content(r) for r in runs.values()]
+    assert contents[0] == contents[1] == contents[2]

@@ -1,0 +1,147 @@
+"""Hypothesis laws for the structural interning layer in
+:mod:`repro.semantics.config`.
+
+Three laws back the parallel backend's correctness:
+
+1. *Transparency* — ``intern_config(c) == c`` always; interning never
+   changes a value's meaning.
+2. *Identity iff equality* — two interned configs are the same object
+   exactly when they are equal.
+3. *Transport* — the compact ``__reduce__`` pickle round-trips
+   equality, hash, and the stable digest, including across a real OS
+   process boundary (workers and master must agree on what a
+   configuration *is*).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import Config, Frame, HeapObj, Pointer, Process
+from repro.semantics.config import (
+    intern_config,
+    shard_of,
+    stable_digest,
+)
+
+# --------------------------------------------------------------------------
+# strategies: small but structurally varied configurations
+# --------------------------------------------------------------------------
+
+oids = st.tuples(st.sampled_from(["a3", "m7", "<globals>"]), st.integers(0, 2))
+values = st.one_of(
+    st.integers(-3, 9),
+    st.none(),
+    st.builds(Pointer, obj=oids, offset=st.integers(0, 1)),
+)
+
+
+@st.composite
+def frames(draw):
+    return Frame(
+        func=draw(st.sampled_from(["main", "f", "g"])),
+        pc=draw(st.integers(0, 5)),
+        locals=tuple(draw(st.lists(values, max_size=2))),
+    )
+
+
+@st.composite
+def processes(draw, pid):
+    return Process(
+        pid=pid,
+        frames=tuple(draw(st.lists(frames(), min_size=1, max_size=2))),
+        status=draw(st.sampled_from(["run", "join", "done"])),
+        join_pc=draw(st.integers(-1, 3)),
+    )
+
+
+@st.composite
+def configs(draw):
+    pids = [(0,)] + draw(
+        st.lists(st.tuples(st.just(0), st.integers(0, 2)), max_size=2, unique=True)
+    )
+    procs = tuple(draw(processes(pid)) for pid in sorted(pids))
+    heap = tuple(
+        HeapObj(oid=oid, cells=tuple(draw(st.lists(values, min_size=1, max_size=2))))
+        for oid in sorted(draw(st.lists(oids, max_size=2, unique=True)))
+    )
+    return Config(
+        procs=procs,
+        globals=tuple(draw(st.lists(st.integers(-2, 5), max_size=3))),
+        heap=heap,
+        fault=draw(st.one_of(st.none(), st.just("div by zero"))),
+    )
+
+
+# --------------------------------------------------------------------------
+# laws
+# --------------------------------------------------------------------------
+
+
+@given(c=configs())
+@settings(max_examples=60, deadline=None)
+def test_intern_is_transparent(c):
+    i = intern_config(c)
+    assert i == c
+    assert hash(i) == hash(c)
+    assert stable_digest(i) == stable_digest(c)
+
+
+@given(a=configs(), b=configs())
+@settings(max_examples=60, deadline=None)
+def test_intern_identity_iff_equality(a, b):
+    ia, ib = intern_config(a), intern_config(b)
+    assert (ia is ib) == (a == b)
+    # idempotent: re-interning yields the same representative
+    assert intern_config(ia) is ia
+
+
+@given(c=configs())
+@settings(max_examples=60, deadline=None)
+def test_pickle_roundtrip_preserves_everything(c):
+    r = pickle.loads(pickle.dumps(c))
+    assert r == c
+    assert hash(r) == hash(c)
+    assert stable_digest(r) == stable_digest(c)
+    # loads re-interns: the copy collapses onto the canonical object
+    assert r is intern_config(c)
+
+
+@given(a=configs(), b=configs())
+@settings(max_examples=40, deadline=None)
+def test_pickle_preserves_distinctness(a, b):
+    ra, rb = pickle.loads(pickle.dumps((a, b)))
+    assert (ra == rb) == (a == b)
+
+
+def _probe(conn):
+    c = conn.recv()
+    conn.send((stable_digest(c), shard_of(c, 4), pickle.dumps(c)))
+    conn.close()
+
+
+@given(c=configs())
+@settings(max_examples=10, deadline=None)
+def test_digest_agrees_across_process_boundary(c):
+    """Master and worker must route a configuration to the same shard:
+    ship a config to a child process, have it digest and re-pickle it,
+    and check both directions agree."""
+    ctx = mp.get_context()
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_probe, args=(child,), daemon=True)
+    proc.start()
+    child.close()
+    try:
+        parent.send(c)
+        digest, shard, payload = parent.recv()
+    finally:
+        parent.close()
+        proc.join(timeout=10)
+    assert digest == stable_digest(c)
+    assert shard == shard_of(c, 4)
+    back = pickle.loads(payload)
+    assert back == c and hash(back) == hash(c)

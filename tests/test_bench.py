@@ -11,8 +11,10 @@ from repro.bench import (
     DivergenceError,
     _Baseline,
     _check_equivalence,
+    diff_reports,
     format_summary,
     load_report,
+    parallel_combos,
     policy_combos,
     run_bench,
     upgrade_document,
@@ -194,3 +196,118 @@ def test_load_report_accepts_v1_and_v2(tmp_path):
 def test_unknown_schema_rejected():
     with pytest.raises(ReproError, match="unsupported bench schema"):
         upgrade_document({"schema": "repro.bench.explore/99"})
+
+
+# --------------------------------------------------------------------------
+# /3: parallel grid, result digests, bench-diff
+# --------------------------------------------------------------------------
+
+
+def test_entries_carry_backend_fields():
+    report = run_bench(programs=["mutex_counter"])
+    doc = report.document
+    assert doc["jobs"] == [] and doc["scaling"] == {}
+    for p in doc["programs"]["mutex_counter"]["policies"].values():
+        assert p["backend"] == "serial"
+        assert p["jobs"] == 1
+        assert p["shard_balance"] is None
+        assert isinstance(p["result_digest"], str)
+
+
+def test_jobs_extend_grid_with_parallel_twins():
+    report = run_bench(programs=["mutex_counter"], jobs=[2])
+    doc = report.document
+    assert doc["jobs"] == [2]
+    assert len(doc["policy_grid"]) == 12 + len(parallel_combos())
+    policies = doc["programs"]["mutex_counter"]["policies"]
+    par = policies["stubborn@j2"]
+    ser = policies["stubborn"]
+    assert par["backend"] == "parallel" and par["jobs"] == 2
+    assert par["shard_balance"] >= 1.0
+    assert (par["configs"], par["edges"]) == (ser["configs"], ser["edges"])
+    assert par["result_digest"] == ser["result_digest"]
+    assert doc["totals"]["stubborn@j2"]["configs"] == par["configs"]
+
+
+def test_bad_jobs_rejected():
+    with pytest.raises(ReproError, match="jobs"):
+        run_bench(programs=["mutex_counter"], jobs=[0])
+
+
+def test_result_digest_deterministic_across_runs():
+    a = run_bench(programs=["fig2_shasha_snir"])
+    b = run_bench(programs=["fig2_shasha_snir"])
+    pa = a.document["programs"]["fig2_shasha_snir"]["policies"]
+    pb = b.document["programs"]["fig2_shasha_snir"]["policies"]
+    for combo in pa:
+        assert pa[combo]["result_digest"] == pb[combo]["result_digest"]
+
+
+def test_diff_reports_no_drift_on_identical_runs():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    assert diff_reports(a, b) == []
+
+
+def test_diff_reports_flags_count_drift():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b["programs"]["mutex_counter"]["policies"]["stubborn"]["configs"] += 1
+    drift = diff_reports(a, b)
+    assert any("mutex_counter/stubborn: configs" in line for line in drift)
+
+
+def test_diff_reports_ignores_nondeterministic_fields():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    e = b["programs"]["mutex_counter"]["policies"]["stubborn"]
+    e["wall_time_s"] = 9999.0
+    e["peak_rss_bytes"] = 1
+    e["metrics"] = {}
+    assert diff_reports(a, b) == []
+
+
+def test_diff_reports_compares_only_shared_entries():
+    # a smoke-subset run against a wider baseline: only the overlap counts
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(
+        run_bench(programs=["mutex_counter", "deadlock_pair"], jobs=[2]).document
+    )
+    assert diff_reports(a, b) == []
+
+
+def test_diff_reports_refuses_mismatched_budgets():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(
+        run_bench(programs=["mutex_counter"], max_configs=17).document
+    )
+    drift = diff_reports(a, b)
+    assert drift and "max_configs" in drift[0]
+
+
+def test_diff_reports_skips_missing_digest():
+    # an upgraded /1 baseline has result_digest=None everywhere: no
+    # false drift against a fresh /3 run
+    base = upgrade_document(json.loads(json.dumps(V1_DOC)))
+    new = upgrade_document(run_bench(programs=["fig2_shasha_snir"]).document)
+    drift = diff_reports(new, base)
+    assert not any("result_digest" in line for line in drift)
+
+
+def test_diff_reports_empty_intersection_is_loud():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(run_bench(programs=["deadlock_pair"]).document)
+    drift = diff_reports(a, b)
+    assert drift and "no overlapping" in drift[0]
+
+
+def test_upgrade_v2_document_fills_backend_fields():
+    doc = json.loads(json.dumps(V1_DOC))
+    doc["schema"] = "repro.bench.explore/2"
+    doc = upgrade_document(doc)
+    entry = doc["programs"]["fig2_shasha_snir"]["policies"]["full"]
+    assert entry["backend"] == "serial"
+    assert entry["jobs"] == 1
+    assert entry["shard_balance"] is None
+    assert entry["result_digest"] is None
+    assert doc["jobs"] == [] and doc["scaling"] == {}
