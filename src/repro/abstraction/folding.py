@@ -198,6 +198,7 @@ def fold_explore(
     narrow_passes: int = 0,
     max_states: int = 200_000,
     metrics=None,
+    tracer=None,
 ) -> FoldResult:
     """Explore the abstract transition system folded by *key_fn*.
 
@@ -206,6 +207,11 @@ def fold_explore(
     entry from its predecessors and refining where the recomputation is
     smaller (classic [CC77] narrowing; intervals recover finite bounds
     that widening threw to ∞).
+
+    With a tracer attached (see :mod:`repro.trace`), every lattice join
+    that actually grows a table entry is one ``fold.join`` span (with a
+    ``widen`` flag), so a Perfetto timeline shows where the fixpoint
+    spends its ascending chain.
     """
     init = initial_abs_config(program, opts.dom)
     ikey = key_fn(init)
@@ -249,7 +255,14 @@ def fold_explore(
                         stats.widenings += 1
                         if metrics is not None:
                             metrics.inc("fold.widenings")
+                    span = (
+                        tracer.begin_span("fold.join", widen=widen)
+                        if tracer is not None
+                        else None
+                    )
                     table[k2] = join_configs(opts.dom, cur, succ, widen=widen)
+                    if span is not None:
+                        tracer.end_span(span, updates=updates[k2])
                     wl.push(k2)
 
     for _ in range(narrow_passes):

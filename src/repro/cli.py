@@ -8,6 +8,8 @@
     repro explore FILE --checkpoint PATH --checkpoint-every N
     repro explore FILE --resume PATH
     repro explore FILE --resilient [--time-limit S --max-rss-mb M]
+    repro explore FILE --trace-out T.jsonl --metrics-out M.json
+    repro report T.jsonl [--metrics M.json --out R.html --perfetto P.json]
     repro analyze FILE            # the full §5/§7 report
     repro fold FILE [--clans --domain D]
     repro corpus                  # list bundled programs
@@ -97,76 +99,190 @@ def _cmd_explore(args) -> int:
         time_limit_s=args.time_limit,
         max_rss_bytes=max_rss,
     )
-    if args.resilient:
-        from repro.resilience import Budgets, explore_resilient
 
-        rr = explore_resilient(
-            prog,
-            budgets=Budgets(
-                max_configs=args.max_configs,
-                time_limit_s=args.time_limit,
-                max_rss_bytes=max_rss,
-            ),
-            start=_POLICY_RUNG[args.policy],
-            backend=backend,
-            jobs=args.jobs,
-        )
-        for line in rr.trail:
-            print(f"escalated {line}")
-        print(
-            f"answered by rung {rr.rung}"
-            + ("" if rr.exact else " (approximate)")
-        )
-        if rr.fold is not None:
+    observers: list = []
+    metrics_ob = None
+    if args.metrics_out:
+        from repro.metrics import MetricsObserver
+
+        metrics_ob = MetricsObserver()
+        observers.append(metrics_ob)
+    tracer = None
+    trace_sink = None
+    if args.trace_out:
+        from repro.trace import JsonlFileSink, TraceRecorder, Tracer
+
+        try:
+            trace_sink = JsonlFileSink(args.trace_out)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write trace {args.trace_out!r}: {exc}"
+            )
+        tracer = Tracer(trace_sink)
+        observers.append(TraceRecorder(tracer))
+
+    try:
+        if args.resilient:
+            from repro.resilience import Budgets, explore_resilient
+
+            rr = explore_resilient(
+                prog,
+                budgets=Budgets(
+                    max_configs=args.max_configs,
+                    time_limit_s=args.time_limit,
+                    max_rss_bytes=max_rss,
+                ),
+                start=_POLICY_RUNG[args.policy],
+                backend=backend,
+                jobs=args.jobs,
+                observers=tuple(observers),
+            )
+            for line in rr.trail:
+                print(f"escalated {line}")
             print(
-                f"abstract fold: states={rr.fold.stats.num_states} "
-                f"edges={rr.fold.stats.num_edges} "
-                f"widenings={rr.fold.stats.widenings}"
+                f"answered by rung {rr.rung}"
+                + ("" if rr.exact else " (approximate)")
             )
-        result = rr.result
-    else:
-        checkpointer = None
-        if args.checkpoint:
-            from repro.resilience import Checkpointer
-
-            checkpointer = Checkpointer(
-                args.checkpoint, every=args.checkpoint_every
-            )
-        result = explore(
-            prog,
-            options=opts,
-            checkpointer=checkpointer,
-            resume_from=args.resume,
-        )
-    s = result.stats
-    truncated = (
-        f" TRUNCATED({s.truncation_reason or 'budget'})" if s.truncated else ""
-    )
-    resumed = " resumed" if s.resumed else ""
-    print(
-        f"policy={result.options.describe()} configs={s.num_configs} "
-        f"edges={s.num_edges} "
-        f"terminated={s.num_terminated} deadlocks={s.num_deadlocks} "
-        f"faults={s.num_faults}" + truncated + resumed
-    )
-    if s.stubborn is not None and s.stubborn.steps:
-        print(
-            f"stubborn: mean chosen/enabled = {s.stubborn.mean_reduction:.3f}, "
-            f"singleton steps = {s.stubborn.singleton_steps}/{s.stubborn.steps}"
-        )
-    for name_vals in sorted(result.terminal_globals()):
-        print("  outcome:", dict(zip(prog.global_names, name_vals)))
-    if args.witness:
-        from repro.analyses.witness import deadlock_witness, fault_witness
-
-        w = (deadlock_witness if args.witness == "deadlock" else fault_witness)(
-            result
-        )
-        if w is None:
-            print(f"no {args.witness} reachable")
+            if rr.fold is not None:
+                print(
+                    f"abstract fold: states={rr.fold.stats.num_states} "
+                    f"edges={rr.fold.stats.num_edges} "
+                    f"widenings={rr.fold.stats.widenings}"
+                )
+            result = rr.result
         else:
-            print(f"shortest execution reaching a {args.witness}:")
-            print(w.describe())
+            checkpointer = None
+            if args.checkpoint:
+                from repro.resilience import Checkpointer
+
+                checkpointer = Checkpointer(
+                    args.checkpoint, every=args.checkpoint_every
+                )
+            result = explore(
+                prog,
+                options=opts,
+                checkpointer=checkpointer,
+                resume_from=args.resume,
+                observers=tuple(observers),
+            )
+        s = result.stats
+        truncated = (
+            f" TRUNCATED({s.truncation_reason or 'budget'})"
+            if s.truncated else ""
+        )
+        resumed = " resumed" if s.resumed else ""
+        print(
+            f"policy={result.options.describe()} configs={s.num_configs} "
+            f"edges={s.num_edges} "
+            f"terminated={s.num_terminated} deadlocks={s.num_deadlocks} "
+            f"faults={s.num_faults}" + truncated + resumed
+        )
+        if s.stubborn is not None and s.stubborn.steps:
+            print(
+                f"stubborn: mean chosen/enabled = "
+                f"{s.stubborn.mean_reduction:.3f}, "
+                f"singleton steps = "
+                f"{s.stubborn.singleton_steps}/{s.stubborn.steps}"
+            )
+        for name_vals in sorted(result.terminal_globals()):
+            print("  outcome:", dict(zip(prog.global_names, name_vals)))
+        if args.witness:
+            from repro.analyses.witness import (
+                deadlock_witness,
+                fault_witness,
+            )
+
+            finder = (
+                deadlock_witness
+                if args.witness == "deadlock"
+                else fault_witness
+            )
+            w = finder(result)
+            if w is None:
+                print(f"no {args.witness} reachable")
+                if tracer is not None:
+                    tracer.event("witness.absent", target=args.witness)
+            else:
+                print(f"shortest execution reaching a {args.witness}:")
+                print(w.describe())
+                if tracer is not None:
+                    tracer.event(
+                        "witness.found",
+                        target=args.witness,
+                        length=len(w.steps),
+                        steps=[
+                            f"pid={pid} {label}" for pid, label in w.steps
+                        ],
+                    )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+
+    if metrics_ob is not None:
+        import json
+
+        from repro.metrics import SCHEMA_VERSION as METRICS_SCHEMA
+
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "schema": METRICS_SCHEMA,
+                        "metrics": metrics_ob.registry.snapshot(),
+                    },
+                    fh,
+                    indent=1,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write metrics {args.metrics_out!r}: {exc}"
+            )
+    return 0
+
+
+def _cmd_report(args) -> int:
+    import json
+
+    from repro.trace import read_trace, render_report, write_chrome_trace
+
+    records = read_trace(args.trace)
+    metrics = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as fh:
+                dump = json.load(fh)
+        except OSError as exc:
+            raise ReproError(f"cannot read metrics {args.metrics!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{args.metrics}: not a metrics dump ({exc.msg})"
+            )
+        metrics = dump.get("metrics") if isinstance(dump, dict) else None
+        if metrics is None:
+            raise ReproError(
+                f"{args.metrics}: missing 'metrics' key (expected the JSON "
+                "written by 'repro explore --metrics-out')"
+            )
+    title = args.title or f"repro run report: {args.trace}"
+    html = render_report(
+        trace_records=records, metrics=metrics, title=title
+    )
+    try:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(html)
+    except OSError as exc:
+        raise ReproError(f"cannot write report {args.out!r}: {exc}")
+    print(f"wrote {args.out} ({len(records)} trace records)")
+    if args.perfetto:
+        try:
+            write_chrome_trace(args.perfetto, records)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write Perfetto export {args.perfetto!r}: {exc}"
+            )
+        print(f"wrote {args.perfetto} (open at https://ui.perfetto.dev)")
     return 0
 
 
@@ -343,7 +459,28 @@ def main(argv: list[str] | None = None) -> int:
                    "to cheaper sound policies, then abstract folding")
     p.add_argument("--witness", choices=["deadlock", "fault"], default=None,
                    help="print the shortest execution reaching the event")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="dump the run's metrics registry as JSON to PATH")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="stream a structured span/event trace (JSONL) to "
+                        "PATH; render it with 'repro report'")
     p.set_defaults(fn=_cmd_explore)
+
+    p = sub.add_parser(
+        "report",
+        help="render a self-contained HTML run report from a trace "
+        "(and optional metrics dump) written by 'repro explore'",
+    )
+    p.add_argument("trace", help="JSONL trace from --trace-out")
+    p.add_argument("--metrics", metavar="PATH", default=None,
+                   help="metrics JSON from --metrics-out")
+    p.add_argument("--out", default="report.html",
+                   help="output HTML path (default: report.html)")
+    p.add_argument("--perfetto", metavar="PATH", default=None,
+                   help="also export a Chrome trace-event JSON for "
+                        "ui.perfetto.dev")
+    p.add_argument("--title", default=None, help="report title")
+    p.set_defaults(fn=_cmd_report)
 
     p = sub.add_parser("analyze", help="full side-effect/dependence/"
                        "lifetime/race report")

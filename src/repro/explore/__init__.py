@@ -18,7 +18,11 @@ from repro.explore.explorer import (
 )
 from repro.explore.parallel import explore_parallel
 from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph, Edge
-from repro.explore.observers import Observer, TraceObserver
+from repro.explore.observers import (
+    Observer,
+    TraceObserver,
+    TransitionLogObserver,
+)
 from repro.explore.stubborn import StubbornSelector, StubbornStats
 
 __all__ = [
@@ -36,6 +40,7 @@ __all__ = [
     "StubbornStats",
     "TERMINATED",
     "TraceObserver",
+    "TransitionLogObserver",
     "action_is_critical",
     "build_block",
     "explore",

@@ -73,10 +73,15 @@ def build_block(
     *,
     max_len: int = 256,
     metrics=None,
+    tracer=None,
 ) -> Block:
     """Execute the maximal coarsened block of process *pid* from
     *config*.  The first action is executed unconditionally (the caller
-    verified enabledness); extensions obey the ≤1-critical-ref budget."""
+    verified enabledness); extensions obey the ≤1-critical-ref budget.
+
+    With a tracer attached, each built block is one ``coarsen.fuse``
+    span recording the process and the fused length."""
+    span = None if tracer is None else tracer.begin_span("coarsen.fuse", pid=pid)
     proc = config.proc(pid)
     succ, action = execute(program, config, proc, opts)
     actions = [action]
@@ -114,6 +119,8 @@ def build_block(
 
     if metrics is not None:
         metrics.observe("coarsen.block_len", len(actions))
+    if span is not None:
+        tracer.end_span(span, len=len(actions), critical=crit)
     return Block(
         succ=succ,
         actions=tuple(actions),

@@ -282,12 +282,21 @@ def explore(
     metrics = _attached_registry(observers)
     if selector is not None and metrics is not None:
         selector.metrics = metrics
+    tracer = _attached_tracer(observers)
 
     if opts.sleep:
         return _explore_sleep(
             program, opts, access, selector, observers, metrics,
             checkpointer, resume_from,
         )
+
+    rounds = None
+    if tracer is not None:
+        from repro.trace.tracer import SpanChunker
+
+        rounds = SpanChunker(tracer, "explore.round")
+    if checkpointer is not None:
+        checkpointer.tracer = tracer
 
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
@@ -319,7 +328,13 @@ def explore(
         graph.initial = init_id
         queue = deque([init_id])
         processed = set()
-    guard = _ObserverGuard(observers, stats, metrics)
+    guard = _ObserverGuard(observers, stats, metrics, tracer)
+    if resume_from is None:
+        # observers see every configuration, the initial one included
+        # (the parallel merge notifies it too — keep the counts equal)
+        guard.on_config(
+            graph, graph.initial, graph.configs[graph.initial], True, None
+        )
 
     def payload_now() -> dict:
         return {
@@ -335,11 +350,11 @@ def explore(
 
     while queue:
         if deadline is not None and time.perf_counter() > deadline:
-            _truncate(stats, "time")
+            _truncate(stats, "time", tracer)
             queue.clear()
             break
         if checkpointer is not None and checkpointer.tick(payload_now):
-            _truncate(stats, "interrupted")
+            _truncate(stats, "interrupted", tracer)
             break
         cid = queue.popleft()
         if cid in processed:
@@ -347,8 +362,10 @@ def explore(
         processed.add(cid)
         config = graph.configs[cid]
         stats.expansions += 1
+        if rounds is not None:
+            rounds.tick()
         if not _within_memory_budget(stats, opts):
-            _truncate(stats, "memory")
+            _truncate(stats, "memory", tracer)
             queue.clear()
             break
         if metrics is not None:
@@ -361,7 +378,7 @@ def explore(
             continue
 
         expansions = _expand_guarded(
-            program, config, cid, access, opts, stats, metrics
+            program, config, cid, access, opts, stats, metrics, tracer
         )
         if expansions is None:
             continue
@@ -370,7 +387,9 @@ def explore(
             _mark_terminal(graph, cid, config, DEADLOCK, stats, guard)
             continue
 
-        chosen = _select_guarded(selector, expansions, enabled, stats, metrics)
+        chosen = _select_guarded(
+            selector, expansions, enabled, stats, metrics, tracer
+        )
 
         for exp in chosen:
             succ = exp.succ
@@ -382,7 +401,7 @@ def explore(
             if fresh:
                 guard.on_config(graph, dst, succ, True, None)
                 if graph.num_configs > opts.max_configs:
-                    _truncate(stats, "configs")
+                    _truncate(stats, "configs", tracer)
                     queue.clear()
                     break
                 queue.append(dst)
@@ -390,9 +409,11 @@ def explore(
         if stats.truncated:
             break
 
+    if rounds is not None:
+        rounds.close()
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
-        checkpointer,
+        checkpointer, tracer,
     )
 
 
@@ -413,6 +434,20 @@ def _attached_registry(observers):
     return None
 
 
+def _attached_tracer(observers):
+    """The tracer of the first observer exposing one, or None.
+
+    Same duck-typed contract as :func:`_attached_registry` (attach a
+    :class:`repro.trace.TraceRecorder`); None means every span/event
+    site in the engine is a single ``is not None`` test.
+    """
+    for ob in observers:
+        tracer = getattr(ob, "tracer", None)
+        if tracer is not None:
+            return tracer
+    return None
+
+
 class _ObserverGuard:
     """Fault isolation for observer dispatch.
 
@@ -423,12 +458,15 @@ class _ObserverGuard:
     same path as real ones.
     """
 
-    __slots__ = ("live", "stats", "metrics")
+    __slots__ = ("live", "stats", "metrics", "tracer")
 
-    def __init__(self, observers, stats: ExploreStats, metrics) -> None:
+    def __init__(
+        self, observers, stats: ExploreStats, metrics, tracer=None
+    ) -> None:
         self.live: list = list(observers)
         self.stats = stats
         self.metrics = metrics
+        self.tracer = tracer
 
     def _dispatch(self, method: str, *args) -> None:
         if not self.live:
@@ -443,6 +481,12 @@ class _ObserverGuard:
                 self.stats.degraded_observers += 1
                 if self.metrics is not None:
                     self.metrics.inc("explore.observer_faults")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "explore.observer_evicted",
+                        observer=type(ob).__name__,
+                        method=method,
+                    )
                 LOG.warning(
                     "observer %s raised in %s (%s); disabling it for the "
                     "rest of the run",
@@ -461,12 +505,14 @@ class _ObserverGuard:
         self._dispatch("on_done", graph)
 
 
-def _truncate(stats: ExploreStats, reason: str) -> None:
+def _truncate(stats: ExploreStats, reason: str, tracer=None) -> None:
     """Cut the search short; the first reason wins (later budget trips
     on an already-truncated run add no information)."""
     stats.truncated = True
     if stats.truncation_reason is None:
         stats.truncation_reason = reason
+        if tracer is not None:
+            tracer.event("explore.truncated", reason=reason)
 
 
 def _current_rss_bytes() -> int:
@@ -493,17 +539,17 @@ def _within_memory_budget(stats: ExploreStats, opts: ExploreOptions) -> bool:
 
 
 def _expand_guarded(
-    program, config, cid, access, opts, stats, metrics
+    program, config, cid, access, opts, stats, metrics, tracer=None
 ) -> list[Expansion] | None:
     """Expansion with engine-bug isolation: an exception here loses this
     configuration's successors, so the run is marked truncated
     (``internal-error``) — but it never raises."""
     try:
         chaos.kick("eval")
-        return _expand(program, config, access, opts, metrics)
+        return _expand(program, config, access, opts, metrics, tracer)
     except Exception as exc:
         stats.engine_faults += 1
-        _truncate(stats, "internal-error")
+        _truncate(stats, "internal-error", tracer)
         if metrics is not None:
             metrics.inc("explore.engine_faults")
         # warn once, demote repeats: a bug hit at every configuration
@@ -518,13 +564,28 @@ def _expand_guarded(
 
 
 def _select_guarded(
-    selector, expansions, enabled, stats, metrics
+    selector, expansions, enabled, stats, metrics, tracer=None
 ) -> list[Expansion]:
     """Stubborn selection with fallback: on a selector crash, expand the
     full enabled set at this configuration (always sound — a superset of
-    any stubborn set's enabled members)."""
+    any stubborn set's enabled members).
+
+    With a tracer attached, each selection is one ``stubborn.closure``
+    span carrying the enabled-set and chosen-set sizes — the per-config
+    reduction decision, visible on the timeline."""
     if selector is None:
         return enabled
+    if tracer is not None:
+        handle = tracer.begin_span("stubborn.closure", enabled=len(enabled))
+        chosen = _select_fallback(selector, expansions, enabled, stats, metrics)
+        tracer.end_span(handle, chosen=len(chosen))
+        return chosen
+    return _select_fallback(selector, expansions, enabled, stats, metrics)
+
+
+def _select_fallback(
+    selector, expansions, enabled, stats, metrics
+) -> list[Expansion]:
     try:
         chaos.kick("selector")
         return selector.select(expansions)
@@ -571,7 +632,7 @@ def _mark_terminal(graph, cid, config, status, stats, guard) -> None:
 
 def _finalize(
     program, graph, stats, opts, access, selector, guard, metrics, t0,
-    checkpointer=None,
+    checkpointer=None, tracer=None,
 ) -> ExploreResult:
     """Stat finalization + ``on_done`` fan-out — shared by both drivers
     (including truncated runs, so observers always see completion)."""
@@ -592,6 +653,19 @@ def _finalize(
             stats.expansions / elapsed if elapsed > 0 else 0.0,
         )
         metrics.set_gauge("explore.peak_rss_bytes", stats.peak_rss_bytes)
+    if tracer is not None:
+        # args deliberately backend-neutral: the cross-backend trace
+        # comparison asserts this event's args are equal serial vs jobs=N
+        tracer.event(
+            "explore.done",
+            configs=stats.num_configs,
+            edges=stats.num_edges,
+            terminated=stats.num_terminated,
+            deadlocks=stats.num_deadlocks,
+            faults=stats.num_faults,
+            truncated=stats.truncated,
+            reason=stats.truncation_reason,
+        )
     guard.on_done(graph)
     return ExploreResult(
         program=program, graph=graph, stats=stats, options=opts, access=access
@@ -611,6 +685,15 @@ def _explore_sleep(
     """Depth-first exploration with sleep sets (see
     :mod:`repro.explore.sleepsets`), composable with any policy."""
     from repro.explore.sleepsets import entry_of, independent, transition_key
+
+    tracer = _attached_tracer(observers)
+    rounds = None
+    if tracer is not None:
+        from repro.trace.tracer import SpanChunker
+
+        rounds = SpanChunker(tracer, "explore.round")
+    if checkpointer is not None:
+        checkpointer.tracer = tracer
 
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
@@ -645,7 +728,11 @@ def _explore_sleep(
         explored = {}
         seen_edges = set()
         stack = [(init_id, frozenset())]
-    guard = _ObserverGuard(observers, stats, metrics)
+    guard = _ObserverGuard(observers, stats, metrics, tracer)
+    if resume_from is None:
+        guard.on_config(
+            graph, graph.initial, graph.configs[graph.initial], True, None
+        )
 
     def payload_now() -> dict:
         return {
@@ -662,11 +749,11 @@ def _explore_sleep(
 
     while stack:
         if deadline is not None and time.perf_counter() > deadline:
-            _truncate(stats, "time")
+            _truncate(stats, "time", tracer)
             stack.clear()
             break
         if checkpointer is not None and checkpointer.tick(payload_now):
-            _truncate(stats, "interrupted")
+            _truncate(stats, "interrupted", tracer)
             break
         cid, sleep = stack.pop()
         prev = explored.get(cid)
@@ -679,8 +766,10 @@ def _explore_sleep(
             prev.append(sleep)
         config = graph.configs[cid]
         stats.expansions += 1
+        if rounds is not None:
+            rounds.tick()
         if not _within_memory_budget(stats, opts):
-            _truncate(stats, "memory")
+            _truncate(stats, "memory", tracer)
             stack.clear()
             break
         if metrics is not None:
@@ -693,7 +782,7 @@ def _explore_sleep(
             continue
 
         expansions = _expand_guarded(
-            program, config, cid, access, opts, stats, metrics
+            program, config, cid, access, opts, stats, metrics, tracer
         )
         if expansions is None:
             continue
@@ -702,7 +791,9 @@ def _explore_sleep(
             _mark_terminal(graph, cid, config, DEADLOCK, stats, guard)
             continue
 
-        chosen = _select_guarded(selector, expansions, enabled, stats, metrics)
+        chosen = _select_guarded(
+            selector, expansions, enabled, stats, metrics, tracer
+        )
         sleeping_keys = {z.key for z in sleep}
         active = [
             e for e in chosen if transition_key(e.proc) not in sleeping_keys
@@ -723,7 +814,7 @@ def _explore_sleep(
                 if fresh:
                     guard.on_config(graph, dst, succ, True, None)
             if graph.num_configs > opts.max_configs:
-                _truncate(stats, "configs")
+                _truncate(stats, "configs", tracer)
                 stack.clear()
                 pending.clear()
                 break
@@ -738,9 +829,11 @@ def _explore_sleep(
         if stats.truncated:
             break
 
+    if rounds is not None:
+        rounds.close()
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
-        checkpointer,
+        checkpointer, tracer,
     )
 
 
@@ -750,6 +843,7 @@ def _expand(
     access: AccessAnalysis,
     opts: ExploreOptions,
     metrics=None,
+    tracer=None,
 ) -> list[Expansion]:
     """Per-process expansions at *config* (coarsened or single-step)."""
     infos = next_infos(program, config, opts.step)
@@ -774,6 +868,7 @@ def _expand(
                 opts.step,
                 max_len=opts.max_block_len,
                 metrics=metrics,
+                tracer=tracer,
             )
             out.append(
                 Expansion(

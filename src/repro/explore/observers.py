@@ -44,11 +44,23 @@ class Observer:
         pass
 
 
-class TraceObserver(Observer):
-    """Collects every edge's labels — handy in tests and demos."""
+class TransitionLogObserver(Observer):
+    """Collects every edge's labels — handy in tests and demos.
+
+    Not to be confused with the structured tracing subsystem
+    (:class:`repro.trace.TraceRecorder`, which records spans and events
+    with sequence ids): this observer just keeps a flat list of
+    ``(src, dst, labels)`` transition triples.
+    """
 
     def __init__(self) -> None:
         self.edges: list[tuple[int, int, tuple[str, ...]]] = []
 
     def on_edge(self, graph, src, dst, actions) -> None:
         self.edges.append((src, dst, tuple(a.label for a in actions)))
+
+
+#: Backwards-compatible alias — the class predates :mod:`repro.trace`
+#: and was renamed to free the "trace" word for the span/event
+#: subsystem.  New code should say :class:`TransitionLogObserver`.
+TraceObserver = TransitionLogObserver

@@ -88,13 +88,29 @@ def _make_selector(program, access, policy):
 # --------------------------------------------------------------------------
 
 
-def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
+def _worker_main(
+    conn,
+    program: Program,
+    opts,
+    shard_id: int,
+    nshards: int,
+    want_metrics: bool = False,
+    want_trace: bool = False,
+    trace_wall: bool = True,
+):
     """One shard-owner process: dedup, expand, classify, partition.
 
     Protocol (master -> worker): ``("round", batch, expand)`` then a
     final ``("finish",)``.  Every reply is ``("ok", payload)``; an
     unexpected exception replies ``("crash", traceback)`` once and
     exits.
+
+    Deep instrumentation: with ``want_metrics`` the worker keeps its own
+    :class:`~repro.metrics.MetricsRegistry` (shipped back in the finish
+    summary, merged into the master registry); with ``want_trace`` it
+    records spans/events into its own shard-tagged tracer and ships each
+    round's records with the round reply — the master re-emits them in
+    shard order, so worker-side detail lands in the same trace file.
     """
     # Late import: the guarded expansion/selection helpers live in the
     # serial driver and carry the chaos-injection points with them, so a
@@ -113,6 +129,21 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
         else:
             access = access_analysis(program)
         selector = _make_selector(program, access, opts.policy)
+        wreg = None
+        if want_metrics:
+            from repro.metrics.registry import MetricsRegistry
+
+            wreg = MetricsRegistry()
+            if selector is not None:
+                selector.metrics = wreg
+        wtracer = None
+        wsink = None
+        if want_trace:
+            from repro.trace.sinks import ListSink
+            from repro.trace.tracer import Tracer
+
+            wsink = ListSink()
+            wtracer = Tracer(wsink, shard=shard_id, record_wall=trace_wall)
         visited: dict[Config, int] = {}
         configs: list[Config] = []
         stats = ExploreStats()
@@ -133,6 +164,9 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
                             "peak_rss_bytes": _current_rss_bytes(),
                             "stubborn": (
                                 selector.stats if selector is not None else None
+                            ),
+                            "metrics": (
+                                wreg.snapshot() if wreg is not None else None
                             ),
                         },
                     )
@@ -159,12 +193,14 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
                 if not expand:
                     continue
                 stats.expansions += 1
+                if wreg is not None:
+                    wreg.inc("explore.expansions")
                 status = _terminal_status_fast(config)
                 if status is not None:
                     terminals.append((lid, status))
                     continue
                 expansions = _expand_guarded(
-                    program, config, lid, access, opts, stats, None
+                    program, config, lid, access, opts, stats, wreg, wtracer
                 )
                 if expansions is None:
                     fault = True
@@ -174,7 +210,7 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
                     terminals.append((lid, DEADLOCK))
                     continue
                 chosen = _select_guarded(
-                    selector, expansions, enabled, stats, None
+                    selector, expansions, enabled, stats, wreg, wtracer
                 )
                 for exp in chosen:
                     succ = exp.succ
@@ -190,7 +226,10 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
                     edges.append((lid, exp.actions, dshard, idx))
                     stats.actions_executed += len(exp.actions)
 
-            conn.send(("ok", (batch_lids, terminals, edges, out, fault)))
+            trace_batch = wsink.drain() if wsink is not None else None
+            conn.send(
+                ("ok", (batch_lids, terminals, edges, out, fault, trace_batch))
+            )
     except Exception:
         try:
             conn.send(("crash", traceback.format_exc()))
@@ -206,7 +245,15 @@ def _worker_main(conn, program: Program, opts, shard_id: int, nshards: int):
 class _WorkerPool:
     """The worker processes plus their pipes, with hard cleanup."""
 
-    def __init__(self, program: Program, opts, nshards: int) -> None:
+    def __init__(
+        self,
+        program: Program,
+        opts,
+        nshards: int,
+        want_metrics: bool = False,
+        want_trace: bool = False,
+        trace_wall: bool = True,
+    ) -> None:
         methods = multiprocessing.get_all_start_methods()
         ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
@@ -217,7 +264,10 @@ class _WorkerPool:
             parent, child = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child, program, opts, shard, nshards),
+                args=(
+                    child, program, opts, shard, nshards,
+                    want_metrics, want_trace, trace_wall,
+                ),
                 daemon=True,
                 name=f"repro-shard-{shard}",
             )
@@ -277,6 +327,7 @@ def explore_parallel(program: Program, opts, observers=()):
         ExploreStats,
         _ObserverGuard,
         _attached_registry,
+        _attached_tracer,
         _current_rss_bytes,
         _finalize,
         _truncate,
@@ -286,6 +337,7 @@ def explore_parallel(program: Program, opts, observers=()):
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     nshards = opts.jobs
     metrics = _attached_registry(observers)
+    tracer = _attached_tracer(observers)
 
     if opts.coarse_derefs:
         access = AccessAnalysis(program, coarse_derefs=True)
@@ -293,7 +345,7 @@ def explore_parallel(program: Program, opts, observers=()):
         access = access_analysis(program)
 
     stats = ExploreStats(backend="parallel", jobs=nshards)
-    guard = _ObserverGuard(observers, stats, metrics)
+    guard = _ObserverGuard(observers, stats, metrics, tracer)
 
     init = initial_config(program, track_procstrings=opts.step.track_procstrings)
     init_shard = shard_of(init, nshards)
@@ -315,24 +367,31 @@ def explore_parallel(program: Program, opts, observers=()):
     pending: list[list[Config]] = [[] for _ in range(nshards)]
     pending[init_shard].append(init)
 
-    pool = _WorkerPool(program, opts, nshards)
+    pool = _WorkerPool(
+        program,
+        opts,
+        nshards,
+        want_metrics=metrics is not None,
+        want_trace=tracer is not None,
+        trace_wall=tracer.record_wall if tracer is not None else True,
+    )
     worker_summaries: list[dict] = []
     try:
         engine_fault = False
         while any(pending):
             expand = True
             if deadline is not None and time.perf_counter() > deadline:
-                _truncate(stats, "time")
+                _truncate(stats, "time", tracer)
             elif engine_fault:
-                _truncate(stats, "internal-error")
+                _truncate(stats, "internal-error", tracer)
             elif sum(next_lid) > opts.max_configs:
-                _truncate(stats, "configs")
+                _truncate(stats, "configs", tracer)
             elif opts.max_rss_bytes is not None:
                 rss = _current_rss_bytes()
                 if rss > stats.peak_rss_bytes:
                     stats.peak_rss_bytes = rss
                 if rss > opts.max_rss_bytes:
-                    _truncate(stats, "memory")
+                    _truncate(stats, "memory", tracer)
             if stats.truncated:
                 # Drain round: assign ids to the already-produced
                 # successors so every edge resolves, but expand nothing.
@@ -344,14 +403,37 @@ def explore_parallel(program: Program, opts, observers=()):
                 metrics.inc("parallel.rounds")
                 metrics.observe("parallel.queue_depth", sum(batch_sizes))
 
+            round_span = scatter_span = None
+            if tracer is not None:
+                round_span = tracer.begin_span(
+                    "explore.round",
+                    index=stats.rounds - 1,
+                    queued=sum(batch_sizes),
+                    expand=expand,
+                )
+                scatter_span = tracer.begin_span(
+                    "parallel.scatter", configs=sum(batch_sizes)
+                )
             pool.scatter(pending, expand)
+            if tracer is not None:
+                tracer.end_span(scatter_span)
+                gather_span = tracer.begin_span("parallel.gather")
             replies = pool.gather()
+            if tracer is not None:
+                tracer.end_span(gather_span)
+                # Worker-recorded spans/events for this round, re-emitted
+                # in shard order: trace order is (round, shard, seq) —
+                # deterministic, and each record keeps its shard tag.
+                for reply in replies:
+                    for record in reply[5] or ():
+                        tracer.emit(record)
+                tracer.end_span(round_span)
 
             # Reconstruct each shard's fresh-config fragment from the
             # batch we just sent it (same first-seen order the worker
             # used for id assignment).
             lids_by_shard = []
-            for s, (batch_lids, terminals, edges, out, fault) in enumerate(
+            for s, (batch_lids, terminals, edges, out, fault, _tb) in enumerate(
                 replies
             ):
                 lids_by_shard.append(batch_lids)
@@ -375,7 +457,7 @@ def explore_parallel(program: Program, opts, observers=()):
             # Route this round's successor batches and re-key this
             # round's edges to positions in the next round's batches.
             next_pending: list[list[Config]] = [[] for _ in range(nshards)]
-            for s, (batch_lids, terminals, edges, out, fault) in enumerate(
+            for s, (batch_lids, terminals, edges, out, fault, _tb) in enumerate(
                 replies
             ):
                 offsets = {}
@@ -444,7 +526,14 @@ def explore_parallel(program: Program, opts, observers=()):
         [s["stubborn"] for s in worker_summaries]
     )
     if metrics is not None:
-        metrics.inc("explore.expansions", stats.expansions)
+        # Worker registries carry the deep series recorded where the
+        # work happened (explore.expansions, stubborn.*, coarsen.*);
+        # merging them replaces the old master-side re-derivation, which
+        # silently dropped everything a worker observed.
+        for summary in worker_summaries:
+            snap = summary.get("metrics")
+            if snap:
+                metrics.merge(snap)
         total_hits = sum(s["dedup_hits"] for s in worker_summaries)
         if total_hits:
             metrics.inc("explore.intern.hits", total_hits)
@@ -453,7 +542,8 @@ def explore_parallel(program: Program, opts, observers=()):
             metrics.set_gauge("parallel.shard_balance", balance)
         metrics.inc("parallel.handoffs", stats.handoffs)
     result: ExploreResult = _finalize(
-        program, graph, stats, opts, access, None, guard, metrics, t0, None
+        program, graph, stats, opts, access, None, guard, metrics, t0, None,
+        tracer,
     )
     stats.stubborn = merged_stubborn
     return result

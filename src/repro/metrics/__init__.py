@@ -18,6 +18,7 @@ existed.
 
 from repro.metrics.observer import MetricsObserver, attached_registry
 from repro.metrics.registry import (
+    LAST_WRITE_GAUGES,
     Counter,
     Gauge,
     Histogram,
@@ -32,12 +33,20 @@ from repro.metrics.registry import (
 #: ``explore.observer_faults``, ``explore.selector_faults``,
 #: ``explore.engine_faults``, ``resilience.escalations``,
 #: ``resilience.final_rung``.
-SCHEMA_VERSION = "repro.metrics/2"
+#: ``/3``: the parallel backend merges worker registries into the
+#: master registry (``MetricsRegistry.merge``), so deep series
+#: (``explore.expansions``, ``stubborn.*``, ``coarsen.*``,
+#: ``explore.intern.misses``) now cover worker-side work instead of
+#: being silently dropped; ``explore.intern.hits`` under ``--jobs`` now
+#: counts worker-side interning hits (out-batch dedup makes it smaller
+#: than the serial count, which already made it backend-specific).
+SCHEMA_VERSION = "repro.metrics/3"
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LAST_WRITE_GAUGES",
     "MetricsObserver",
     "MetricsRegistry",
     "SCHEMA_VERSION",

@@ -124,6 +124,15 @@ class Timer:
         }
 
 
+#: Gauges where merging takes the *other* snapshot's value instead of
+#: the maximum: series that mean "final state", not "peak".
+LAST_WRITE_GAUGES = frozenset(
+    {
+        "resilience.final_rung",
+    }
+)
+
+
 class MetricsRegistry:
     """A flat name → instrument table with get-or-create accessors.
 
@@ -183,6 +192,69 @@ class MetricsRegistry:
             yield self
         finally:
             self.timer(name).add(time.perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # merge (parallel workers ship snapshots back to the master)
+    # ------------------------------------------------------------------
+
+    def merge(self, snapshot: dict) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Semantics per instrument type:
+
+        - **counters** add — every worker's count is part of the total;
+        - **gauges** take the maximum (peaks like
+          ``explore.peak_rss_bytes`` compose as max), except the names
+          in :data:`LAST_WRITE_GAUGES`, where the merged-in value wins;
+        - **histograms** merge exactly: counts/sums add, min/max
+          combine, power-of-two buckets add bucket-wise — the merged
+          histogram equals one built from the union of observations;
+        - **timers** add count/total and take the max of maxima.
+
+        A name present in both registries with different types raises
+        ``TypeError``; an unknown ``type`` tag raises ``ValueError``.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(data["value"])
+            elif kind == "gauge":
+                fresh = name not in self._instruments
+                gauge = self.gauge(name)
+                if (
+                    fresh
+                    or name in LAST_WRITE_GAUGES
+                    or data["value"] > gauge.value
+                ):
+                    gauge.set(data["value"])
+            elif kind == "histogram":
+                hist = self.histogram(name)
+                hist.count += data["count"]
+                hist.total += data["sum"]
+                for bound in ("min", "max"):
+                    other = data.get(bound)
+                    if other is None:
+                        continue
+                    ours = getattr(hist, bound)
+                    if ours is None:
+                        setattr(hist, bound, other)
+                    elif bound == "min":
+                        setattr(hist, bound, min(ours, other))
+                    else:
+                        setattr(hist, bound, max(ours, other))
+                for bucket, count in data.get("buckets", {}).items():
+                    b = int(bucket)
+                    hist.buckets[b] = hist.buckets.get(b, 0) + count
+            elif kind == "timer":
+                timer = self.timer(name)
+                timer.count += data["count"]
+                timer.total_s += data["total_s"]
+                if data["max_s"] > timer.max_s:
+                    timer.max_s = data["max_s"]
+            else:
+                raise ValueError(
+                    f"cannot merge metric {name!r}: unknown type {kind!r}"
+                )
 
     # ------------------------------------------------------------------
     # export

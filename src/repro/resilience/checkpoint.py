@@ -128,20 +128,32 @@ class Checkpointer:
         self.written = 0
         self.faults = 0
         self._ticks = 0
+        #: set by the engine when a tracer is attached to the run; each
+        #: snapshot write then becomes a ``checkpoint.write`` span
+        self.tracer = None
 
     def tick(self, make_payload: Callable[[], dict]) -> bool:
         """Maybe snapshot; return True when the engine should stop."""
         self._ticks += 1
         if self._ticks % self.every:
             return False
+        span = (
+            self.tracer.begin_span("checkpoint.write", index=self.written)
+            if self.tracer is not None
+            else None
+        )
         try:
             write_snapshot(self.path, make_payload())
             self.written += 1
         except Exception as exc:  # I/O must never kill the run
             self.faults += 1
+            if span is not None:
+                self.tracer.end_span(span, ok=False)
             LOG.warning(
                 "checkpoint write to %r failed (%s); continuing without it",
                 self.path, exc,
             )
             return False
+        if span is not None:
+            self.tracer.end_span(span, ok=True)
         return self.stop_after is not None and self.written >= self.stop_after

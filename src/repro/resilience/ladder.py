@@ -122,6 +122,16 @@ def _registry_of(observers):
     return None
 
 
+def _tracer_of(observers):
+    """Duck-typed tracer discovery (same contract as the exploration
+    driver's ``_attached_tracer``): escalations become trace events."""
+    for ob in observers:
+        tracer = getattr(ob, "tracer", None)
+        if tracer is not None:
+            return tracer
+    return None
+
+
 def _empty_result(program: Program, opts: ExploreOptions) -> ExploreResult:
     """A truthful zero-result for the pathological case where every rung
     crashed before producing anything."""
@@ -143,14 +153,16 @@ def _empty_result(program: Program, opts: ExploreOptions) -> ExploreResult:
     )
 
 
-def _run_fold(program: Program):
+def _run_fold(program: Program, metrics=None, tracer=None):
     """The final rung: abstract exploration folded by control skeleton
     (Taylor's concurrency states).  Returns (FoldResult | None, error)."""
     from repro.absdomain import AbsValueDomain, FlatConstDomain
     from repro.abstraction import AbsOptions, fold_explore, taylor_key
 
     opts = AbsOptions(dom=AbsValueDomain(FlatConstDomain()))
-    return fold_explore(program, opts, key_fn=taylor_key)
+    return fold_explore(
+        program, opts, key_fn=taylor_key, metrics=metrics, tracer=tracer
+    )
 
 
 def explore_resilient(
@@ -189,6 +201,7 @@ def explore_resilient(
             )
         rungs = rungs[names.index(start):]
     metrics = _registry_of(observers)
+    tracer = _tracer_of(observers)
 
     escalations: list[Escalation] = []
     last: ExploreResult | None = None
@@ -222,6 +235,10 @@ def explore_resilient(
                 )
                 if metrics is not None:
                     metrics.set_gauge("resilience.final_rung", i)
+                if tracer is not None:
+                    tracer.event(
+                        "resilience.answered", rung=rung.name, exact=True
+                    )
                 return ResilientResult(
                     result=result,
                     rung=rung.name,
@@ -236,6 +253,13 @@ def explore_resilient(
         escalations.append(esc)
         if metrics is not None:
             metrics.inc("resilience.escalations")
+        if tracer is not None:
+            tracer.event(
+                "resilience.escalation",
+                src=esc.from_rung,
+                dst=esc.to_rung,
+                reason=esc.reason,
+            )
         # INFO, not WARNING: escalation is the ladder doing its job, and
         # the trail is already surfaced in stats/metrics/CLI output.
         LOG.info("escalating %s", esc.describe())
@@ -245,7 +269,7 @@ def explore_resilient(
     fold = None
     if rungs and rungs[-1].policy == "fold":
         try:
-            fold = _run_fold(program)
+            fold = _run_fold(program, metrics, tracer)
         except Exception as exc:  # even the fold failed — stay truthful
             LOG.error("abstract fold rung failed (%s)", exc)
             fold = None
@@ -262,6 +286,8 @@ def explore_resilient(
     last.stats.escalations = tuple(e.describe() for e in escalations)
     if metrics is not None:
         metrics.set_gauge("resilience.final_rung", len(rungs) - 1)
+    if tracer is not None:
+        tracer.event("resilience.answered", rung=final_rung, exact=False)
     return ResilientResult(
         result=last,
         rung=final_rung,

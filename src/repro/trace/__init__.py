@@ -1,0 +1,81 @@
+"""Structured exploration tracing: spans, events, sinks, and reports.
+
+Where :mod:`repro.metrics` answers "how much" (aggregate counters and
+histograms), this package answers "when and why": the engine threads an
+optional :class:`Tracer` through its hot paths and records **spans**
+(``explore.round``, ``stubborn.closure``, ``coarsen.fuse``,
+``fold.join``, ``parallel.scatter``/``gather``, ``checkpoint.write``)
+and **point events** (truncations, ladder escalations, observer
+evictions) with deterministic monotonic sequence ids.  Wall-clock lives
+only in clearly-named ``wall_*`` fields, so two traces of the same run
+diff byte-identically once those fields are stripped
+(:func:`strip_wall`).
+
+Usage::
+
+    from repro.explore import explore
+    from repro.trace import TraceRecorder
+
+    tr = TraceRecorder()                      # in-memory ring buffer
+    result = explore(program, "stubborn", observers=(tr,))
+    for record in tr.records():
+        print(record["seq"], record["name"])
+
+Sinks: :class:`RingBufferSink` (bounded, the default),
+:class:`ListSink` (unbounded, used by parallel workers),
+:class:`JsonlFileSink` (streaming ``*.jsonl``).  Exporters:
+:func:`to_chrome_trace` (Chrome trace-event JSON, opens in
+https://ui.perfetto.dev) and :func:`render_report` (self-contained HTML
+run report, CLI ``repro report``).
+
+Zero cost when unattached: without a :class:`TraceRecorder` among the
+observers the engine allocates no tracer and every instrumentation
+site is a single ``is not None`` test — the same discipline as
+:mod:`repro.metrics`.
+
+Parallel runs participate fully: each worker records into its own
+tracer, ships the records back over the existing per-round pipe
+protocol, and the master merges them into its sinks in deterministic
+``(shard, seq)`` order (master records carry ``shard: None``).
+"""
+
+from repro.trace.perfetto import MASTER_TID, to_chrome_trace, write_chrome_trace
+from repro.trace.recorder import TraceRecorder, attached_tracer
+from repro.trace.report import render_report
+from repro.trace.sinks import (
+    JsonlFileSink,
+    ListSink,
+    RingBufferSink,
+    TraceSink,
+    read_trace,
+    write_trace,
+)
+from repro.trace.tracer import (
+    SCHEMA_VERSION,
+    SpanChunker,
+    Tracer,
+    canonical_lines,
+    encode_record,
+    strip_wall,
+)
+
+__all__ = [
+    "JsonlFileSink",
+    "ListSink",
+    "MASTER_TID",
+    "RingBufferSink",
+    "SCHEMA_VERSION",
+    "SpanChunker",
+    "TraceRecorder",
+    "TraceSink",
+    "Tracer",
+    "attached_tracer",
+    "canonical_lines",
+    "encode_record",
+    "read_trace",
+    "render_report",
+    "strip_wall",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_trace",
+]

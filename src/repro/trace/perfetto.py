@@ -1,0 +1,98 @@
+"""Chrome trace-event export: open a run in Perfetto.
+
+Converts a trace record sequence into the JSON object format consumed
+by https://ui.perfetto.dev and ``chrome://tracing`` (the "Trace Event
+Format"): spans become complete events (``ph: "X"``) with microsecond
+``ts``/``dur``, point events become instant events (``ph: "i"``), and
+each shard gets its own named track (``tid``), with the master/serial
+engine on track 0.
+
+When a trace was recorded with wall-clock disabled (or stripped), the
+deterministic sequence ids stand in for timestamps — the visual layout
+then shows *ordering and nesting*, not duration, which is exactly what
+a determinism-preserving diff artifact can promise.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.trace.tracer import SCHEMA_VERSION
+
+#: ``tid`` used for master/serial records (``shard: None``).
+MASTER_TID = 0
+
+
+def _tid(record: dict) -> int:
+    shard = record.get("shard")
+    return MASTER_TID if shard is None else int(shard) + 1
+
+
+def to_chrome_trace(records) -> dict:
+    """Build the Chrome trace-event document for *records*.
+
+    Always returns a JSON-able dict; round-trips through
+    ``json.dumps``/``json.loads`` unchanged.
+    """
+    events: list[dict] = []
+    tids: set[int] = set()
+    for record in records:
+        kind = record.get("kind")
+        if kind not in ("span", "event"):
+            continue  # meta or foreign records carry no timeline
+        tid = _tid(record)
+        tids.add(tid)
+        args = dict(record.get("args", {}))
+        args["seq"] = record.get("seq")
+        base = {
+            "name": record.get("name", "?"),
+            "cat": "repro",
+            "pid": 0,
+            "tid": tid,
+            "args": args,
+        }
+        ts = record.get("wall_ts_us")
+        if kind == "span":
+            dur = record.get("wall_dur_us")
+            if ts is None:
+                # deterministic fallback: sequence ids as microseconds
+                ts = record.get("seq", 0)
+                dur = max(record.get("end_seq", ts) - ts, 1)
+            events.append({**base, "ph": "X", "ts": ts, "dur": max(dur, 1)})
+        else:
+            if ts is None:
+                ts = record.get("seq", 0)
+            events.append({**base, "ph": "i", "ts": ts, "s": "t"})
+
+    meta: list[dict] = [
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": MASTER_TID,
+            "args": {"name": "repro"},
+        }
+    ]
+    for tid in sorted(tids):
+        name = "master" if tid == MASTER_TID else f"shard-{tid - 1}"
+        meta.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {
+        "traceEvents": meta + events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": SCHEMA_VERSION},
+    }
+
+
+def write_chrome_trace(path: str, records) -> None:
+    """Write the Chrome trace-event JSON for *records* to *path*."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome_trace(records), fh, indent=1)
+        fh.write("\n")

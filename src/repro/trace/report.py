@@ -1,0 +1,272 @@
+"""The HTML run report: one self-contained file per run.
+
+``repro report`` renders a trace (JSONL) plus an optional metrics dump
+into a single HTML document with no external references — CSS inline,
+no scripts, no fetches — so it can be attached to a CI run, mailed, or
+diffed.  Sections:
+
+- **outcome** — the ``explore.done`` event's graph statistics, the
+  truncation events, and the witness events the CLI records;
+- **escalation trail** — every ``resilience.escalation`` event, in
+  order;
+- **span timings** — per-name aggregates (count, total/mean/max
+  wall-clock when recorded, total sequence extent otherwise);
+- **events** — per-name counts with the most recent attributes of the
+  noteworthy ones (evictions, truncations);
+- **metrics** — the registry snapshot as one table per instrument
+  type.
+"""
+
+from __future__ import annotations
+
+import html
+
+from repro.trace.tracer import SCHEMA_VERSION
+
+_STYLE = """
+body { font-family: system-ui, sans-serif; margin: 2rem auto; max-width: 60rem;
+       color: #1a1a1a; background: #ffffff; line-height: 1.45; }
+h1 { font-size: 1.4rem; border-bottom: 2px solid #1a1a1a; padding-bottom: .3rem; }
+h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .5rem 0 1rem; width: 100%; }
+th, td { border: 1px solid #c8c8c8; padding: .25rem .6rem; text-align: left;
+         font-variant-numeric: tabular-nums; }
+th { background: #f0f0f0; }
+td.num { text-align: right; }
+code { background: #f4f4f4; padding: 0 .25rem; }
+p.meta { color: #555555; font-size: .85rem; }
+"""
+
+
+def _esc(value) -> str:
+    return html.escape(str(value), quote=True)
+
+
+def _row(cells, *, header=False, numeric=()) -> str:
+    tag = "th" if header else "td"
+    out = []
+    for i, cell in enumerate(cells):
+        cls = ' class="num"' if (not header and i in numeric) else ""
+        out.append(f"<{tag}{cls}>{_esc(cell)}</{tag}>")
+    return "<tr>" + "".join(out) + "</tr>"
+
+
+def _table(headers, rows, numeric=()) -> str:
+    body = [_row(headers, header=True)]
+    body.extend(_row(r, numeric=numeric) for r in rows)
+    return "<table>" + "".join(body) + "</table>"
+
+
+def _fmt_us(us) -> str:
+    return f"{us / 1000:.3f} ms"
+
+
+def _span_aggregates(records) -> list[tuple]:
+    agg: dict[str, dict] = {}
+    for r in records:
+        if r.get("kind") != "span":
+            continue
+        a = agg.setdefault(
+            r["name"], {"count": 0, "wall": 0, "wall_max": 0, "seqext": 0,
+                        "has_wall": False},
+        )
+        a["count"] += 1
+        a["seqext"] += max(r.get("end_seq", r.get("seq", 0)) - r.get("seq", 0), 0)
+        dur = r.get("wall_dur_us")
+        if dur is not None:
+            a["has_wall"] = True
+            a["wall"] += dur
+            a["wall_max"] = max(a["wall_max"], dur)
+    rows = []
+    for name in sorted(agg):
+        a = agg[name]
+        if a["has_wall"]:
+            mean = a["wall"] / a["count"]
+            rows.append(
+                (name, a["count"], _fmt_us(a["wall"]), _fmt_us(mean),
+                 _fmt_us(a["wall_max"]))
+            )
+        else:
+            rows.append((name, a["count"], "-", "-", "-"))
+    return rows
+
+
+def _events_of(records, name: str) -> list[dict]:
+    return [r for r in records if r.get("kind") == "event" and r.get("name") == name]
+
+
+def _outcome_section(records) -> str:
+    done = _events_of(records, "explore.done")
+    parts = ["<h2>Outcome</h2>"]
+    if done:
+        args = done[-1].get("args", {})
+        order = ("configs", "edges", "terminated", "deadlocks", "faults",
+                 "truncated", "reason")
+        rows = [(k, args.get(k)) for k in order if k in args]
+        rows += sorted((k, v) for k, v in args.items() if k not in order)
+        parts.append(_table(("statistic", "value"), rows, numeric=(1,)))
+    else:
+        parts.append("<p>No <code>explore.done</code> event in the trace "
+                     "(truncated ring buffer, or the run never finished).</p>")
+    for ev in _events_of(records, "explore.truncated"):
+        parts.append(
+            f"<p>Truncated: <code>{_esc(ev.get('args', {}).get('reason'))}"
+            f"</code> at seq {_esc(ev.get('seq'))}.</p>"
+        )
+    return "".join(parts)
+
+
+def _witness_section(records) -> str:
+    found = _events_of(records, "witness.found")
+    absent = _events_of(records, "witness.absent")
+    if not found and not absent:
+        return ""
+    parts = ["<h2>Witness summary</h2>"]
+    for ev in absent:
+        parts.append(
+            f"<p>No <code>{_esc(ev.get('args', {}).get('target'))}</code> "
+            "is reachable.</p>"
+        )
+    for ev in found:
+        args = ev.get("args", {})
+        parts.append(
+            f"<p>Shortest execution reaching a "
+            f"<code>{_esc(args.get('target'))}</code>: "
+            f"{_esc(args.get('length'))} steps.</p>"
+        )
+        steps = args.get("steps") or []
+        if steps:
+            parts.append(_table(
+                ("#", "step"),
+                [(i + 1, s) for i, s in enumerate(steps)],
+            ))
+    return "".join(parts)
+
+
+def _escalation_section(records) -> str:
+    escalations = _events_of(records, "resilience.escalation")
+    answered = _events_of(records, "resilience.answered")
+    if not escalations and not answered:
+        return ""
+    parts = ["<h2>Escalation trail</h2>"]
+    if escalations:
+        parts.append(_table(
+            ("from rung", "to rung", "reason"),
+            [
+                (e["args"].get("src"), e["args"].get("dst"),
+                 e["args"].get("reason"))
+                for e in escalations
+            ],
+        ))
+    for ev in answered:
+        args = ev.get("args", {})
+        exact = "exact" if args.get("exact") else "approximate"
+        parts.append(
+            f"<p>Answered by rung <code>{_esc(args.get('rung'))}</code> "
+            f"({exact}).</p>"
+        )
+    return "".join(parts)
+
+
+def _event_section(records) -> str:
+    counts: dict[str, int] = {}
+    for r in records:
+        if r.get("kind") == "event":
+            counts[r["name"]] = counts.get(r["name"], 0) + 1
+    if not counts:
+        return ""
+    return "<h2>Events</h2>" + _table(
+        ("event", "count"),
+        sorted(counts.items()),
+        numeric=(1,),
+    )
+
+
+def _metrics_section(metrics: dict | None) -> str:
+    if not metrics:
+        return ("<h2>Metrics</h2><p>No metrics dump supplied "
+                "(<code>repro explore --metrics-out</code>).</p>")
+    by_type: dict[str, list] = {}
+    for name in sorted(metrics):
+        data = metrics[name]
+        by_type.setdefault(data.get("type", "?"), []).append((name, data))
+    parts = ["<h2>Metrics</h2>"]
+    if "counter" in by_type:
+        parts.append("<h3>Counters</h3>")
+        parts.append(_table(
+            ("name", "value"),
+            [(n, d["value"]) for n, d in by_type["counter"]],
+            numeric=(1,),
+        ))
+    if "gauge" in by_type:
+        parts.append("<h3>Gauges</h3>")
+        parts.append(_table(
+            ("name", "value"),
+            [(n, d["value"]) for n, d in by_type["gauge"]],
+            numeric=(1,),
+        ))
+    if "histogram" in by_type:
+        parts.append("<h3>Histograms</h3>")
+        parts.append(_table(
+            ("name", "count", "mean", "min", "max"),
+            [
+                (n, d["count"], round(d.get("mean", 0.0), 3),
+                 d.get("min"), d.get("max"))
+                for n, d in by_type["histogram"]
+            ],
+            numeric=(1, 2, 3, 4),
+        ))
+    if "timer" in by_type:
+        parts.append("<h3>Timers</h3>")
+        parts.append(_table(
+            ("name", "count", "total s", "max s"),
+            [
+                (n, d["count"], round(d.get("total_s", 0.0), 6),
+                 round(d.get("max_s", 0.0), 6))
+                for n, d in by_type["timer"]
+            ],
+            numeric=(1, 2, 3),
+        ))
+    return "".join(parts)
+
+
+def render_report(
+    *,
+    trace_records=None,
+    metrics: dict | None = None,
+    title: str = "repro run report",
+) -> str:
+    """Render the self-contained HTML run report.
+
+    ``trace_records`` is a record sequence (e.g. from
+    :func:`~repro.trace.sinks.read_trace`); ``metrics`` is a registry
+    snapshot dict (``MetricsRegistry.snapshot()``).  Either may be
+    omitted; the corresponding sections degrade to a note.
+    """
+    records = list(trace_records) if trace_records is not None else []
+    spans = _span_aggregates(records)
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">trace schema <code>{_esc(SCHEMA_VERSION)}</code>'
+        f" &middot; {len(records)} records &middot; "
+        f"{sum(r[1] for r in spans)} spans</p>",
+        _outcome_section(records),
+        _escalation_section(records),
+        _witness_section(records),
+    ]
+    if spans:
+        body.append("<h2>Span timings</h2>")
+        body.append(_table(
+            ("span", "count", "total", "mean", "max"),
+            spans,
+            numeric=(1, 2, 3, 4),
+        ))
+    body.append(_event_section(records))
+    body.append(_metrics_section(metrics))
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8">\n'
+        f"<title>{_esc(title)}</title>\n"
+        f"<style>{_STYLE}</style></head>\n"
+        "<body>\n" + "\n".join(p for p in body if p) + "\n</body></html>\n"
+    )

@@ -1,0 +1,144 @@
+"""Trace sinks: where records go.
+
+Three shapes for three jobs:
+
+- :class:`ListSink` — unbounded, drainable; parallel workers record
+  into one and ship ``drain()`` batches back over the round pipe;
+- :class:`RingBufferSink` — bounded last-N window with a dropped-record
+  count, the default for interactive use (attach, run, inspect) — a
+  million-configuration run cannot exhaust memory through its trace;
+- :class:`JsonlFileSink` — streams canonical JSON lines to disk, one
+  record per line, prefixed by a schema meta line; what
+  ``repro explore --trace-out`` writes and ``repro report`` reads.
+
+All sinks are single-process: the parallel backend gives each worker
+its own sink and merges on the master (see
+:mod:`repro.explore.parallel`), so no sink needs locking.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+
+from repro.trace.tracer import SCHEMA_VERSION, encode_record
+from repro.util.errors import ReproError
+
+
+class TraceSink:
+    """Base sink: receives complete records, in emission order."""
+
+    def emit(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+
+class ListSink(TraceSink):
+    """Unbounded in-memory sink with batch draining."""
+
+    def __init__(self) -> None:
+        self._records: list[dict] = []
+
+    def emit(self, record: dict) -> None:
+        self._records.append(record)
+
+    def records(self) -> list[dict]:
+        return list(self._records)
+
+    def drain(self) -> list[dict]:
+        """Return and clear everything recorded since the last drain —
+        the per-round shipping primitive of the parallel workers."""
+        out = self._records
+        self._records = []
+        return out
+
+
+class RingBufferSink(TraceSink):
+    """Bounded sink keeping the most recent *capacity* records."""
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.dropped = 0
+        self._buf: deque[dict] = deque(maxlen=capacity)
+
+    def emit(self, record: dict) -> None:
+        if len(self._buf) == self.capacity:
+            self.dropped += 1
+        self._buf.append(record)
+
+    def records(self) -> list[dict]:
+        return list(self._buf)
+
+
+class JsonlFileSink(TraceSink):
+    """Streams records to a ``*.jsonl`` file.
+
+    The first line is a meta record (``kind: "meta"``) naming the trace
+    schema so a reader can refuse files it does not speak; every
+    subsequent line is one canonical record.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self._fh.write(
+            encode_record({"kind": "meta", "schema": SCHEMA_VERSION}) + "\n"
+        )
+
+    def emit(self, record: dict) -> None:
+        self._fh.write(encode_record(record) + "\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+
+def write_trace(path: str, records) -> None:
+    """Write a complete record sequence as a JSONL trace file."""
+    sink = JsonlFileSink(path)
+    try:
+        for record in records:
+            sink.emit(record)
+    finally:
+        sink.close()
+
+
+def read_trace(path: str) -> list[dict]:
+    """Read a JSONL trace written by :class:`JsonlFileSink`.
+
+    Validates the meta line when present (a bare record stream without
+    one is accepted — in-memory dumps have no meta).  Raises
+    :class:`~repro.util.errors.ReproError` on unreadable files, broken
+    JSON, or an incompatible schema.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read trace {path!r}: {exc}")
+    records: list[dict] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{path}:{lineno}: not a JSON trace record ({exc.msg})"
+            )
+        if not isinstance(record, dict):
+            raise ReproError(f"{path}:{lineno}: trace record is not an object")
+        if record.get("kind") == "meta":
+            schema = record.get("schema")
+            if schema != SCHEMA_VERSION:
+                raise ReproError(
+                    f"trace schema {schema!r} unsupported "
+                    f"(this reader speaks {SCHEMA_VERSION!r})"
+                )
+            continue
+        records.append(record)
+    return records

@@ -25,9 +25,10 @@ def test_observer_lifecycle(fig2):
     r = explore(fig2, "full", observers=(rec,))
     assert rec.done == 1
     assert len(rec.edges) == r.stats.num_edges
-    # every non-initial config announced fresh exactly once
+    # every config announced fresh exactly once, the initial one included
     fresh_ids = [cid for cid, fresh, _ in rec.configs if fresh]
-    assert len(fresh_ids) == len(set(fresh_ids)) == r.stats.num_configs - 1
+    assert len(fresh_ids) == len(set(fresh_ids)) == r.stats.num_configs
+    assert rec.configs[0][0] == r.graph.initial
 
 
 def test_observer_terminal_notifications():
@@ -49,3 +50,14 @@ def test_multiple_observers(fig2):
     a, b = Recorder(), Recorder()
     explore(fig2, "full", observers=(a, b))
     assert a.edges == b.edges
+
+
+def test_transition_log_observer_rename(fig2):
+    # TraceObserver is the backward-compatible alias for the renamed
+    # TransitionLogObserver (the name now belongs to repro.trace)
+    from repro.explore import TraceObserver, TransitionLogObserver
+
+    assert TraceObserver is TransitionLogObserver
+    ob = TransitionLogObserver()
+    r = explore(fig2, "full", observers=(ob,))
+    assert len(ob.edges) == r.stats.num_edges

@@ -11,7 +11,16 @@ Contract, per corpus program × expansion policy × jobs ∈ {1, 2, 4}:
   counts, and fault messages — the paper's reduction invariant;
 - identical *content* edge multiset ``(src config, dst config, labels)``
   — a structural graph-isomorphism check that catches dropped or
-  duplicated transitions even when the counts accidentally agree.
+  duplicated transitions even when the counts accidentally agree;
+- identical merged metrics on every backend-comparable series: the
+  master merges worker registries (``MetricsRegistry.merge``), so
+  deterministic counters and histograms (``explore.expansions``,
+  ``stubborn.*``, ``coarsen.*`` …) must equal the serial registry.
+  Excluded by design: ``explore.frontier_depth`` (a BFS queue and a
+  sharded frontier have different shapes), ``explore.intern.hits``
+  (workers dedup successor batches before interning, so parallel hit
+  counts are legitimately lower), ``parallel.*`` (no serial
+  counterpart), gauges and timers (wall-clock / peak semantics).
 
 Determinism (the no-dict-iteration-order-leak guarantee): the merged
 graph of two repeated runs at the same ``jobs`` is identical node by
@@ -31,7 +40,14 @@ import pytest
 
 from repro.bench import SMOKE_PROGRAMS
 from repro.explore import ExploreOptions, explore
+from repro.metrics import MetricsObserver
 from repro.programs.corpus import CORPUS
+
+#: Deterministic series that are *not* backend-comparable (see module
+#: docstring for why each is excluded).
+_EXCLUDED_SERIES = frozenset(
+    {"explore.frontier_depth", "explore.intern.hits"}
+)
 
 #: (policy, coarsen) — sleep is serial-only by design.
 PARALLEL_COMBOS = (
@@ -56,14 +72,30 @@ def _program(name):
 
 
 def _serial(name, policy, coarsen):
+    """Serial reference result + its comparable-metrics snapshot."""
     key = (name, policy, coarsen)
-    r = _SERIAL.get(key)
-    if r is None:
-        r = _SERIAL[key] = explore(
+    cached = _SERIAL.get(key)
+    if cached is None:
+        mo = MetricsObserver()
+        r = explore(
             _program(name),
             options=ExploreOptions(policy=policy, coarsen=coarsen),
+            observers=(mo,),
         )
-    return r
+        cached = _SERIAL[key] = (r, _comparable(mo.snapshot()))
+    return cached
+
+
+def _comparable(snapshot: dict) -> dict:
+    """The backend-comparable slice of a registry snapshot:
+    deterministic counters and histograms minus the excluded series."""
+    return {
+        name: {k: v for k, v in data.items() if k != "type"}
+        for name, data in snapshot.items()
+        if data["type"] in ("counter", "histogram")
+        and not name.startswith("parallel.")
+        and name not in _EXCLUDED_SERIES
+    }
 
 
 def _edge_content(result) -> Counter:
@@ -92,13 +124,17 @@ def _assert_equivalent(par, ser) -> None:
 @pytest.mark.parametrize("name", sorted(CORPUS))
 def test_corpus_matches_serial_at_two_jobs(name, combo):
     policy, coarsen = combo
+    mo = MetricsObserver()
     par = explore(
         _program(name),
         options=ExploreOptions(
             policy=policy, coarsen=coarsen, backend="parallel", jobs=2
         ),
+        observers=(mo,),
     )
-    _assert_equivalent(par, _serial(name, policy, coarsen))
+    ser, ser_metrics = _serial(name, policy, coarsen)
+    _assert_equivalent(par, ser)
+    assert _comparable(mo.snapshot()) == ser_metrics
 
 
 @pytest.mark.parametrize("jobs", [1, 4])
@@ -106,13 +142,17 @@ def test_corpus_matches_serial_at_two_jobs(name, combo):
 @pytest.mark.parametrize("name", sorted(SMOKE_PROGRAMS))
 def test_smoke_subset_across_jobs(name, combo, jobs):
     policy, coarsen = combo
+    mo = MetricsObserver()
     par = explore(
         _program(name),
         options=ExploreOptions(
             policy=policy, coarsen=coarsen, backend="parallel", jobs=jobs
         ),
+        observers=(mo,),
     )
-    _assert_equivalent(par, _serial(name, policy, coarsen))
+    ser, ser_metrics = _serial(name, policy, coarsen)
+    _assert_equivalent(par, ser)
+    assert _comparable(mo.snapshot()) == ser_metrics
 
 
 # --------------------------------------------------------------------------

@@ -1,0 +1,136 @@
+"""MetricsRegistry.merge: the parallel workers' snapshot-folding
+primitive.  The invariant that matters: merging per-worker snapshots
+into the master registry must be indistinguishable from one registry
+having observed everything itself."""
+
+import pytest
+
+from repro.metrics import LAST_WRITE_GAUGES, MetricsRegistry
+
+
+def test_counters_add():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("explore.expansions", 3)
+    b.inc("explore.expansions", 4)
+    b.inc("explore.edges")
+    a.merge(b.snapshot())
+    assert a.value("explore.expansions") == 7
+    assert a.value("explore.edges") == 1
+
+
+def test_gauges_take_max():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.set_gauge("explore.peak_rss_bytes", 100)
+    b.set_gauge("explore.peak_rss_bytes", 60)
+    a.merge(b.snapshot())
+    assert a.value("explore.peak_rss_bytes") == 100
+    b.set_gauge("explore.peak_rss_bytes", 250)
+    a.merge(b.snapshot())
+    assert a.value("explore.peak_rss_bytes") == 250
+
+
+def test_fresh_gauge_adopts_incoming_value_even_if_negative():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    b.set_gauge("some.delta", -5)
+    a.merge(b.snapshot())
+    # a never saw the gauge: the incoming value wins over the implicit 0
+    assert a.value("some.delta") == -5
+
+
+def test_last_write_gauges_overwrite():
+    assert "resilience.final_rung" in LAST_WRITE_GAUGES
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.set_gauge("resilience.final_rung", 3)
+    b.set_gauge("resilience.final_rung", 1)
+    a.merge(b.snapshot())
+    assert a.value("resilience.final_rung") == 1
+
+
+def test_histogram_merge_equals_union_of_observations():
+    values_a = [1, 3, 17, 250, 0]
+    values_b = [2, 2, 64, 1000]
+    a, b, union = MetricsRegistry(), MetricsRegistry(), MetricsRegistry()
+    for v in values_a:
+        a.observe("stubborn.enabled", v)
+    for v in values_b:
+        b.observe("stubborn.enabled", v)
+    for v in values_a + values_b:
+        union.observe("stubborn.enabled", v)
+    a.merge(b.snapshot())
+    assert a.snapshot() == union.snapshot()
+
+
+def test_histogram_merge_into_empty_registry():
+    b, union = MetricsRegistry(), MetricsRegistry()
+    for v in (5, 9):
+        b.observe("coarsen.block_len", v)
+        union.observe("coarsen.block_len", v)
+    a = MetricsRegistry()
+    a.merge(b.snapshot())
+    assert a.snapshot() == union.snapshot()
+
+
+def test_timers_add_and_keep_max():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.timer("explore.wall_s").add(1.0)
+    b.timer("explore.wall_s").add(2.5)
+    b.timer("explore.wall_s").add(0.5)
+    a.merge(b.snapshot())
+    t = a.timer("explore.wall_s")
+    assert t.count == 3
+    assert t.total_s == pytest.approx(4.0)
+    assert t.max_s == pytest.approx(2.5)
+
+
+def test_merge_is_associative_on_counters_and_histograms():
+    def reg(values):
+        r = MetricsRegistry()
+        for v in values:
+            r.inc("c", v)
+            r.observe("h", v)
+        return r
+
+    left = reg([1, 2])
+    left.merge(reg([3]).snapshot())
+    left.merge(reg([4, 5]).snapshot())
+    right = reg([1, 2, 3, 4, 5])
+    assert left.snapshot() == right.snapshot()
+
+
+def test_merge_empty_snapshot_is_identity():
+    a = MetricsRegistry()
+    a.inc("c", 2)
+    before = a.snapshot()
+    a.merge(MetricsRegistry().snapshot())
+    assert a.snapshot() == before
+
+
+def test_type_conflict_raises():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("name", 1)  # counter in a
+    b.set_gauge("name", 2.0)  # gauge in b
+    with pytest.raises(TypeError, match="already registered"):
+        a.merge(b.snapshot())
+
+
+def test_unknown_type_tag_raises():
+    a = MetricsRegistry()
+    with pytest.raises(ValueError, match="unknown type"):
+        a.merge({"weird": {"type": "sketch", "value": 1}})
+
+
+def test_merge_round_trips_through_json():
+    import json
+
+    b = MetricsRegistry()
+    b.inc("c", 3)
+    b.observe("h", 42)
+    b.set_gauge("g", 7.0)
+    b.timer("t").add(0.25)
+    # snapshots travel over the worker pipe as JSON — string bucket
+    # keys must merge identically to in-memory ones
+    wire = json.loads(json.dumps(b.snapshot()))
+    a, direct = MetricsRegistry(), MetricsRegistry()
+    a.merge(wire)
+    direct.merge(b.snapshot())
+    assert a.snapshot() == direct.snapshot()

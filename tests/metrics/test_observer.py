@@ -11,8 +11,9 @@ def test_graph_counters_match_stats(fig2):
     r = explore(fig2, "full", observers=(mo,))
     reg = mo.registry
     assert reg.counter("explore.edges").value == r.stats.num_edges
-    # fresh on_config announcements exclude the initial configuration
-    assert reg.counter("explore.configs").value == r.stats.num_configs - 1
+    # fresh on_config announcements include the initial configuration
+    # (same contract as the parallel merge)
+    assert reg.counter("explore.configs").value == r.stats.num_configs
     assert reg.counter("explore.expansions").value == r.stats.expansions
     assert (
         reg.counter("explore.terminal.terminated").value

@@ -52,9 +52,9 @@ def test_crashing_observer_is_isolated(caplog):
     assert s.degraded_observers == 1
     # the broken observer was dispatched once, then dropped
     assert crashy.calls == 1
-    # its co-observer kept receiving every event (the initial config is
-    # interned before observers see anything, hence the -1)
-    assert recorder.configs == s.num_configs - 1
+    # its co-observer kept receiving every event, the initial
+    # configuration's announcement included
+    assert recorder.configs == s.num_configs
     assert recorder.edges == s.num_edges
     assert recorder.done == 1
     assert any("observer" in r.message for r in caplog.records)
@@ -67,7 +67,7 @@ def test_observer_dropped_mid_run():
     )
     assert result.stats.degraded_observers == 1
     assert crashy.calls == 6  # 5 good calls + the one that raised
-    assert recorder.configs == result.stats.num_configs - 1
+    assert recorder.configs == result.stats.num_configs
 
 
 def test_observer_chaos_point_degrades_all(caplog):

@@ -1,0 +1,109 @@
+"""Engine-site trace coverage beyond the core drivers: checkpoint
+writes, degradation-ladder escalations, fold joins, observer eviction."""
+
+from __future__ import annotations
+
+from repro.explore import ExploreOptions, Observer, explore
+from repro.programs.corpus import CORPUS
+from repro.resilience import Budgets, Checkpointer, explore_resilient
+from repro.trace import TraceRecorder
+
+
+def test_checkpoint_writes_are_spans(tmp_path):
+    rec = TraceRecorder(capacity=None, record_wall=False)
+    ckpt = Checkpointer(str(tmp_path / "run.ckpt"), every=10)
+    explore(
+        CORPUS["philosophers_3"](),
+        "stubborn",
+        checkpointer=ckpt,
+        observers=(rec,),
+    )
+    writes = [r for r in rec.records() if r["name"] == "checkpoint.write"]
+    assert writes
+    assert [w["args"]["index"] for w in writes] == list(range(len(writes)))
+    assert all(w["args"]["ok"] for w in writes)
+
+
+def test_ladder_escalations_are_events():
+    rec = TraceRecorder(capacity=None, record_wall=False)
+    rr = explore_resilient(
+        CORPUS["philosophers_3"](),
+        budgets=Budgets(max_configs=30),
+        start="stubborn",
+        observers=(rec,),
+    )
+    assert not rr.exact
+    records = rec.records()
+    escalations = [
+        r for r in records if r["name"] == "resilience.escalation"
+    ]
+    assert [
+        (e["args"]["src"], e["args"]["dst"]) for e in escalations
+    ] == [(e.from_rung, e.to_rung) for e in rr.escalations]
+    (answered,) = [
+        r for r in records if r["name"] == "resilience.answered"
+    ]
+    assert answered["args"] == {"rung": rr.rung, "exact": False}
+
+
+def test_fold_joins_are_spans():
+    from repro.absdomain import AbsValueDomain, IntervalDomain
+    from repro.abstraction import AbsOptions, fold_explore, taylor_key
+    from repro.trace import ListSink, Tracer
+
+    tracer = Tracer(ListSink(), record_wall=False)
+    fold_explore(
+        CORPUS["fig3_folding"](),
+        AbsOptions(dom=AbsValueDomain(IntervalDomain())),
+        key_fn=taylor_key,
+        tracer=tracer,
+    )
+    joins = [
+        r for r in tracer.sinks[0].records() if r["name"] == "fold.join"
+    ]
+    assert joins
+    assert all(
+        "widen" in j["args"] and j["args"]["updates"] >= 1 for j in joins
+    )
+
+
+def test_ladder_exact_answer_is_an_event():
+    rec = TraceRecorder(capacity=None, record_wall=False)
+    rr = explore_resilient(
+        CORPUS["mutex_counter"](), start="stubborn", observers=(rec,)
+    )
+    assert rr.exact
+    (answered,) = [
+        r for r in rec.records() if r["name"] == "resilience.answered"
+    ]
+    assert answered["args"] == {"rung": "stubborn", "exact": True}
+
+
+def test_observer_eviction_is_an_event():
+    class Crashy(Observer):
+        def on_edge(self, graph, src, dst, actions):
+            raise RuntimeError("boom")
+
+    rec = TraceRecorder(capacity=None, record_wall=False)
+    explore(
+        CORPUS["mutex_counter"](), "stubborn", observers=(Crashy(), rec)
+    )
+    (evicted,) = [
+        r for r in rec.records()
+        if r["name"] == "explore.observer_evicted"
+    ]
+    assert evicted["args"] == {"observer": "Crashy", "method": "on_edge"}
+
+
+def test_truncation_is_an_event():
+    rec = TraceRecorder(capacity=None, record_wall=False)
+    r = explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="full", max_configs=20),
+        observers=(rec,),
+    )
+    assert r.stats.truncated
+    (trunc,) = [
+        r2 for r2 in rec.records() if r2["name"] == "explore.truncated"
+    ]
+    assert trunc["args"]["reason"] == r.stats.truncation_reason == "configs"

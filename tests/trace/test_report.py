@@ -1,0 +1,194 @@
+"""HTML run reports: render_report and the `repro report` CLI."""
+
+import json
+
+from repro.cli import main
+from repro.explore import explore
+from repro.metrics import MetricsObserver
+from repro.programs.corpus import CORPUS
+from repro.trace import TraceRecorder, render_report
+
+
+def _run_records():
+    rec = TraceRecorder(capacity=None)
+    mo = MetricsObserver()
+    explore(CORPUS["deadlock_pair"](), "stubborn", observers=(rec, mo))
+    return rec.records(), mo.snapshot()
+
+
+def test_report_is_self_contained_html():
+    records, metrics = _run_records()
+    doc = render_report(trace_records=records, metrics=metrics)
+    assert doc.startswith("<!DOCTYPE html>")
+    assert doc.rstrip().endswith("</body></html>")
+    # self-contained: no scripts, no external fetches
+    assert "<script" not in doc
+    assert "http" not in doc.split("</title>")[1]
+    for section in ("Outcome", "Span timings", "Events", "Metrics"):
+        assert f"<h2>{section}</h2>" in doc
+
+
+def test_report_outcome_table_matches_trace():
+    records, _ = _run_records()
+    (done,) = [r for r in records if r["name"] == "explore.done"]
+    doc = render_report(trace_records=records)
+    assert f"<td class=\"num\">{done['args']['configs']}</td>" in doc
+    assert "<td>deadlocks</td>" in doc
+    # no metrics supplied → the section degrades to a pointer
+    assert "--metrics-out" in doc
+
+
+def test_report_escapes_hostile_strings():
+    records = [
+        {
+            "kind": "event", "seq": 0, "shard": None,
+            "name": "explore.truncated",
+            "args": {"reason": "<script>alert(1)</script>"},
+        }
+    ]
+    doc = render_report(
+        trace_records=records, title="<b>sneaky & 'title'</b>"
+    )
+    assert "<script>alert" not in doc
+    assert "&lt;script&gt;" in doc
+    assert "<b>sneaky" not in doc
+
+
+def test_report_renders_empty_trace():
+    doc = render_report()
+    assert doc.startswith("<!DOCTYPE html>")
+    assert "0 records" in doc
+    assert "No <code>explore.done</code> event" in doc
+
+
+def test_report_witness_and_escalation_sections():
+    records = [
+        {"kind": "event", "seq": 0, "shard": None, "name": "witness.found",
+         "args": {"target": "deadlock", "length": 2,
+                  "steps": ["pid=0 a1", "pid=1 b1"]}},
+        {"kind": "event", "seq": 1, "shard": None,
+         "name": "resilience.escalation",
+         "args": {"src": "stubborn", "dst": "stubborn-proc+coarsen",
+                  "reason": "configs"}},
+        {"kind": "event", "seq": 2, "shard": None,
+         "name": "resilience.answered",
+         "args": {"rung": "abstract-fold", "exact": False}},
+    ]
+    doc = render_report(trace_records=records)
+    assert "Witness summary" in doc
+    assert "pid=0 a1" in doc
+    assert "Escalation trail" in doc
+    assert "stubborn-proc+coarsen" in doc
+    assert "(approximate)" in doc
+
+
+# --------------------------------------------------------------------------
+# CLI: explore --trace-out/--metrics-out → report → perfetto
+# --------------------------------------------------------------------------
+
+
+def test_cli_explore_report_round_trip(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    metrics = tmp_path / "run-metrics.json"
+    out = tmp_path / "run.html"
+    perfetto = tmp_path / "run-perfetto.json"
+    assert (
+        main(
+            ["explore", "corpus:deadlock_pair", "--witness", "deadlock",
+             "--trace-out", str(trace), "--metrics-out", str(metrics)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    # the metrics dump carries its schema header
+    dump = json.loads(metrics.read_text())
+    assert dump["schema"].startswith("repro.metrics/")
+    assert dump["metrics"]["explore.expansions"]["type"] == "counter"
+
+    assert (
+        main(
+            ["report", str(trace), "--metrics", str(metrics),
+             "--out", str(out), "--perfetto", str(perfetto),
+             "--title", "deadlock pair"]
+        )
+        == 0
+    )
+    printed = capsys.readouterr().out
+    assert f"wrote {out}" in printed
+    assert "ui.perfetto.dev" in printed
+    html = out.read_text()
+    assert html.startswith("<!DOCTYPE html>")
+    assert "<title>deadlock pair</title>" in html
+    assert "Witness summary" in html
+    assert "<h3>Counters</h3>" in html
+    chrome = json.loads(perfetto.read_text())
+    assert any(e["ph"] == "X" for e in chrome["traceEvents"])
+
+
+def test_cli_report_without_metrics(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    out = tmp_path / "run.html"
+    assert (
+        main(["explore", "corpus:mutex_counter", "--trace-out", str(trace)])
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["report", str(trace), "--out", str(out)]) == 0
+    assert "--metrics-out" in out.read_text()
+
+
+def test_cli_report_missing_trace_exits_2(tmp_path, capsys):
+    code = main(["report", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error: cannot read trace")
+    assert err.count("\n") == 1
+
+
+def test_cli_report_bad_metrics_exits_2(tmp_path, capsys):
+    trace = tmp_path / "run.jsonl"
+    assert (
+        main(["explore", "corpus:mutex_counter", "--trace-out", str(trace)])
+        == 0
+    )
+    capsys.readouterr()
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"no": "metrics"}')
+    assert main(["report", str(trace), "--metrics", str(bad)]) == 2
+    assert "missing 'metrics' key" in capsys.readouterr().err
+
+
+def test_cli_trace_out_unwritable_exits_2(tmp_path, capsys):
+    target = tmp_path / "no-such-dir" / "t.jsonl"
+    code = main(
+        ["explore", "corpus:mutex_counter", "--trace-out", str(target)]
+    )
+    assert code == 2
+    assert "cannot write trace" in capsys.readouterr().err
+
+
+def test_cli_metrics_out_unwritable_exits_2(tmp_path, capsys):
+    target = tmp_path / "no-such-dir" / "m.json"
+    code = main(
+        ["explore", "corpus:mutex_counter", "--metrics-out", str(target)]
+    )
+    assert code == 2
+    assert "cannot write metrics" in capsys.readouterr().err
+
+
+def test_cli_parallel_trace_carries_shard_records(tmp_path, capsys):
+    trace = tmp_path / "par.jsonl"
+    assert (
+        main(
+            ["explore", "corpus:philosophers_3", "--jobs", "2",
+             "--trace-out", str(trace)]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    from repro.trace import read_trace
+
+    records = read_trace(str(trace))
+    shards = {r["shard"] for r in records}
+    assert None in shards and 0 in shards
+    assert any(r["name"] == "parallel.gather" for r in records)

@@ -1,0 +1,224 @@
+"""Tracer core: sequence ids, spans, sinks, canonical encoding."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    JsonlFileSink,
+    ListSink,
+    RingBufferSink,
+    SCHEMA_VERSION,
+    SpanChunker,
+    TraceRecorder,
+    Tracer,
+    attached_tracer,
+    canonical_lines,
+    read_trace,
+    strip_wall,
+    write_trace,
+)
+from repro.util.errors import ReproError
+
+
+def _records(tracer):
+    return tracer.sinks[0].records()
+
+
+def test_event_record_shape():
+    t = Tracer(ListSink(), record_wall=False)
+    t.event("a.b", x=1)
+    (rec,) = _records(t)
+    assert rec == {
+        "kind": "event", "seq": 0, "shard": None, "name": "a.b",
+        "args": {"x": 1},
+    }
+
+
+def test_span_emitted_at_close_with_end_seq():
+    t = Tracer(ListSink(), record_wall=False)
+    with t.span("outer") as out:
+        t.event("mid")
+        out["n"] = 7
+    inner_first = _records(t)
+    assert [r["kind"] for r in inner_first] == ["event", "span"]
+    span = inner_first[1]
+    assert span["seq"] == 0 and span["end_seq"] == 2
+    assert span["args"] == {"n": 7}
+
+
+def test_nested_spans_close_inner_first():
+    t = Tracer(ListSink(), record_wall=False)
+    outer = t.begin_span("outer")
+    inner = t.begin_span("inner")
+    t.end_span(inner)
+    t.end_span(outer)
+    names = [r["name"] for r in _records(t)]
+    assert names == ["inner", "outer"]
+    spans = {r["name"]: r for r in _records(t)}
+    # nesting is recoverable from the seq intervals
+    assert spans["outer"]["seq"] < spans["inner"]["seq"]
+    assert spans["inner"]["end_seq"] < spans["outer"]["end_seq"]
+
+
+def test_seq_is_monotonic_and_dense():
+    t = Tracer(ListSink(), record_wall=False)
+    for i in range(5):
+        t.event("e", i=i)
+    assert [r["seq"] for r in _records(t)] == list(range(5))
+
+
+def test_wall_clock_confined_to_wall_fields():
+    t = Tracer(ListSink(), record_wall=True)
+    with t.span("s"):
+        t.event("e")
+    for rec in _records(t):
+        nondet = [k for k in rec if not k.startswith("wall_")]
+        stripped = strip_wall(rec)
+        assert sorted(stripped) == sorted(nondet)
+        assert "wall_ts_us" in rec
+    span = _records(t)[1]
+    assert "wall_dur_us" in span and span["wall_dur_us"] >= 0
+
+
+def test_record_wall_false_needs_no_stripping():
+    t = Tracer(ListSink(), record_wall=False)
+    with t.span("s"):
+        t.event("e")
+    for rec in _records(t):
+        assert strip_wall(rec) == rec
+
+
+def test_canonical_lines_stable_and_parseable():
+    t = Tracer(ListSink(), record_wall=True)
+    t.event("e", b=2, a=1)
+    text = canonical_lines(_records(t))
+    assert "wall_" not in text
+    parsed = json.loads(text)
+    assert parsed["args"] == {"a": 1, "b": 2}
+    # keys sorted, no whitespace
+    assert text.index('"args"') < text.index('"kind"') < text.index('"name"')
+    assert " " not in text
+
+
+def test_emit_passthrough_preserves_foreign_shard():
+    t = Tracer(ListSink(), record_wall=False)
+    t.emit({"kind": "event", "seq": 3, "shard": 5, "name": "w", "args": {}})
+    assert _records(t)[0]["shard"] == 5
+
+
+def test_multiple_sinks_fan_out():
+    a, b = ListSink(), ListSink()
+    t = Tracer(a, b, record_wall=False)
+    t.event("e")
+    assert a.records() == b.records() != []
+
+
+# --------------------------------------------------------------------------
+# sinks
+# --------------------------------------------------------------------------
+
+
+def test_list_sink_drain():
+    s = ListSink()
+    s.emit({"a": 1})
+    assert s.drain() == [{"a": 1}]
+    assert s.drain() == []
+    assert s.records() == []
+
+
+def test_ring_buffer_bounds_and_counts_drops():
+    s = RingBufferSink(capacity=3)
+    for i in range(10):
+        s.emit({"i": i})
+    assert [r["i"] for r in s.records()] == [7, 8, 9]
+    assert s.dropped == 7
+
+
+def test_ring_buffer_rejects_silly_capacity():
+    with pytest.raises(ValueError):
+        RingBufferSink(0)
+
+
+def test_jsonl_file_round_trip(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    t = Tracer(JsonlFileSink(path), record_wall=False)
+    t.event("e", x=1)
+    with t.span("s"):
+        pass
+    t.sinks[0].close()
+    records = read_trace(path)
+    assert [r["name"] for r in records] == ["e", "s"]
+    with open(path) as fh:
+        first = fh.readline()
+    assert json.loads(first) == {"kind": "meta", "schema": SCHEMA_VERSION}
+
+
+def test_write_trace_read_trace_round_trip(tmp_path):
+    path = str(tmp_path / "t.jsonl")
+    original = [
+        {"kind": "event", "seq": 0, "shard": None, "name": "a", "args": {}},
+        {"kind": "span", "seq": 1, "end_seq": 2, "shard": 1, "name": "b",
+         "args": {"n": 3}},
+    ]
+    write_trace(path, original)
+    assert read_trace(path) == original
+
+
+def test_read_trace_errors(tmp_path):
+    with pytest.raises(ReproError, match="cannot read"):
+        read_trace(str(tmp_path / "missing.jsonl"))
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not json\n")
+    with pytest.raises(ReproError, match="not a JSON trace record"):
+        read_trace(str(bad))
+    wrong = tmp_path / "wrong.jsonl"
+    wrong.write_text('{"kind":"meta","schema":"repro.trace/99"}\n')
+    with pytest.raises(ReproError, match="unsupported"):
+        read_trace(str(wrong))
+    scalar = tmp_path / "scalar.jsonl"
+    scalar.write_text("[1, 2]\n")
+    with pytest.raises(ReproError, match="not an object"):
+        read_trace(str(scalar))
+
+
+# --------------------------------------------------------------------------
+# recorder & chunker
+# --------------------------------------------------------------------------
+
+
+def test_trace_recorder_defaults_to_bounded_ring():
+    rec = TraceRecorder(capacity=4)
+    sink = rec.tracer.sinks[0]
+    assert isinstance(sink, RingBufferSink) and sink.capacity == 4
+    rec.tracer.event("e")
+    assert rec.records()[0]["name"] == "e"
+
+
+def test_trace_recorder_unbounded_and_custom():
+    assert isinstance(TraceRecorder(capacity=None).tracer.sinks[0], ListSink)
+    t = Tracer(ListSink())
+    assert TraceRecorder(t).tracer is t
+
+
+def test_attached_tracer_discovery():
+    rec = TraceRecorder()
+    assert attached_tracer((object(), rec)) is rec.tracer
+    assert attached_tracer(()) is None
+
+
+def test_span_chunker_rotates_deterministically():
+    t = Tracer(ListSink(), record_wall=False)
+    chunks = SpanChunker(t, "loop", every=3)
+    for _ in range(7):
+        chunks.tick()
+    chunks.close()
+    spans = _records(t)
+    assert [s["args"] for s in spans] == [
+        {"index": 0, "ticks": 3},
+        {"index": 1, "ticks": 3},
+        {"index": 2, "ticks": 1},
+    ]
+    # close with nothing open is a no-op
+    chunks.close()
+    assert len(_records(t)) == 3
