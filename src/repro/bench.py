@@ -184,6 +184,18 @@ def _scalar_metrics(mo: MetricsObserver) -> dict:
     if bl.count:
         out["block_len_mean"] = round(bl.mean, 3)
         out["block_len_max"] = bl.max
+    # incremental-engine health (schema-compatible additions: absent
+    # when the memo cache / digest components saw no traffic)
+    if "expand.cache_hit_rate" in reg:
+        out["expand_cache_hit_rate"] = round(
+            reg.value("expand.cache_hit_rate"), 4
+        )
+    if "expand.invalidations" in reg:
+        out["expand_invalidations"] = reg.value("expand.invalidations")
+    if "digest.incremental_rate" in reg:
+        out["digest_incremental_rate"] = round(
+            reg.value("digest.incremental_rate"), 4
+        )
     out["expansions_per_s"] = round(
         reg.gauge("explore.expansions_per_s").value, 1
     )
@@ -244,6 +256,22 @@ def _watchdog(seconds: float | None):
         signal.signal(signal.SIGALRM, previous)
 
 
+def _timed_explore(program, opts, observers=(), profiler=None):
+    """One wall-clocked exploration, optionally under an accumulating
+    :mod:`cProfile` profiler (``repro bench --profile``).  The profiler
+    is enabled only around engine work, so the dumped pstats artifact
+    shows the exploration hot path, not JSON assembly."""
+    t0 = time.perf_counter()
+    if profiler is not None:
+        profiler.enable()
+    try:
+        result = explore(program, options=opts, observers=observers)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    return result, time.perf_counter() - t0
+
+
 def _make_entry(
     result: ExploreResult, wall: float, mo: MetricsObserver, full_entry
 ) -> dict:
@@ -294,6 +322,7 @@ def _sweep_program(
     time_limit_s: float | None,
     jobs: tuple[int, ...] = (),
     progress,
+    profiler=None,
 ) -> tuple[dict, list[str]]:
     """One program through the serial grid, then the parallel grid for
     each requested ``jobs`` value; returns (entries, truncated).
@@ -316,9 +345,7 @@ def _sweep_program(
             time_limit_s=time_limit_s,
         )
         mo = MetricsObserver()
-        t0 = time.perf_counter()
-        result = explore(program, options=opts, observers=(mo,))
-        wall = time.perf_counter() - t0
+        result, wall = _timed_explore(program, opts, (mo,), profiler)
         s = result.stats
 
         if combo == "full":
@@ -354,9 +381,7 @@ def _sweep_program(
             )
             combo = opts.describe()
             mo = MetricsObserver()
-            t0 = time.perf_counter()
-            result = explore(program, options=opts, observers=(mo,))
-            wall = time.perf_counter() - t0
+            result, wall = _timed_explore(program, opts, (mo,), profiler)
             s = result.stats
 
             serial_twin = entries[_combo_name(policy, coarsen, False)]
@@ -385,7 +410,9 @@ def _sweep_program(
     return entries, truncated
 
 
-def _scaling_sweep(jobs: tuple[int, ...], *, max_configs: int) -> dict:
+def _scaling_sweep(
+    jobs: tuple[int, ...], *, max_configs: int, profiler=None
+) -> dict:
     """The ``scaling`` section: the philosophers family (too big for the
     corpus grid under ``full``) under stubborn sets, serial vs parallel
     per jobs value.  Wall-clock here is the headline jobs-vs-time table
@@ -396,9 +423,7 @@ def _scaling_sweep(jobs: tuple[int, ...], *, max_configs: int) -> dict:
     for n in (6, 7):
         program = philosophers(n)
         opts = ExploreOptions(policy="stubborn", max_configs=max_configs)
-        t0 = time.perf_counter()
-        ser = explore(program, options=opts)
-        serial_wall = time.perf_counter() - t0
+        ser, serial_wall = _timed_explore(program, opts, (), profiler)
         runs = {
             "serial": {
                 "configs": ser.stats.num_configs,
@@ -414,9 +439,7 @@ def _scaling_sweep(jobs: tuple[int, ...], *, max_configs: int) -> dict:
                 jobs=j,
                 max_configs=max_configs,
             )
-            t0 = time.perf_counter()
-            par = explore(program, options=opts)
-            wall = time.perf_counter() - t0
+            par, wall = _timed_explore(program, opts, (), profiler)
             if (par.stats.num_configs, par.stats.num_edges) != (
                 ser.stats.num_configs,
                 ser.stats.num_edges,
@@ -454,6 +477,7 @@ def run_bench(
     scaling: bool | None = None,
     corpus: dict | None = None,
     progress=None,
+    profiler=None,
 ) -> BenchReport:
     """Sweep the corpus and build the benchmark document.
 
@@ -470,6 +494,12 @@ def run_bench(
     graph exactly.  ``scaling`` (default: only on non-smoke sweeps that
     request ``jobs``) adds the philosophers(6..7) jobs-vs-wallclock
     section.
+
+    ``profiler`` (a :class:`cProfile.Profile`) accumulates a profile of
+    every exploration cell; the CLI's ``--profile`` flag dumps it as a
+    pstats artifact next to the JSON (see EXPERIMENTS.md, "The hot
+    path").  Worker-process time of parallel cells is not captured —
+    profile serial sweeps for hot-path analysis.
     """
     if corpus is None:
         from repro.programs.corpus import CORPUS as corpus  # noqa: N811
@@ -517,6 +547,7 @@ def run_bench(
                         time_limit_s=time_limit_s,
                         jobs=jobs,
                         progress=progress,
+                        profiler=profiler,
                     )
                 break
             except DivergenceError:
@@ -543,7 +574,9 @@ def run_bench(
         per_program[name] = {"baseline": "full", "policies": entries}
 
     scaling_section = (
-        _scaling_sweep(jobs, max_configs=max_configs) if scaling else {}
+        _scaling_sweep(jobs, max_configs=max_configs, profiler=profiler)
+        if scaling
+        else {}
     )
 
     if truncated_runs:

@@ -98,6 +98,7 @@ def _cmd_explore(args) -> int:
         max_configs=args.max_configs,
         time_limit_s=args.time_limit,
         max_rss_bytes=max_rss,
+        memo=not args.no_memo,
     )
 
     observers: list = []
@@ -364,6 +365,12 @@ def _cmd_bench(args) -> int:
                 f"wall={entry['wall_time_s']:.3f}s"
             )
 
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+
     report = run_bench(
         programs=args.programs or None,
         smoke=args.smoke,
@@ -372,10 +379,24 @@ def _cmd_bench(args) -> int:
         watchdog_s=args.watchdog,
         jobs=args.jobs or (),
         progress=progress,
+        profiler=profiler,
     )
     write_report(report, args.out)
     print(format_summary(report))
     print(f"wrote {args.out}")
+    if profiler is not None:
+        import os
+
+        stem, _ = os.path.splitext(args.out)
+        pstats_path = stem + ".pstats"
+        try:
+            profiler.dump_stats(pstats_path)
+        except OSError as exc:
+            raise ReproError(f"cannot write profile {pstats_path!r}: {exc}")
+        print(
+            f"wrote {pstats_path} (inspect with "
+            f"'python -m pstats {pstats_path}')"
+        )
     return 0
 
 
@@ -454,6 +475,10 @@ def main(argv: list[str] | None = None) -> int:
                    metavar="N", help="expansions between snapshots")
     p.add_argument("--resume", metavar="PATH", default=None,
                    help="continue from a checkpoint (same program & policy)")
+    p.add_argument("--no-memo", action="store_true",
+                   help="disable footprint memoization of per-process "
+                        "expansions (the incremental engine; results are "
+                        "identical either way — this is a perf ablation)")
     p.add_argument("--resilient", action="store_true",
                    help="degradation ladder: on budget exhaustion escalate "
                    "to cheaper sound policies, then abstract folding")
@@ -529,6 +554,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--watchdog", type=float, default=None, metavar="S",
                    help="per-program wall-clock watchdog: a hung program is "
                    "retried once, then skipped with an error entry")
+    p.add_argument("--profile", action="store_true",
+                   help="accumulate a cProfile of every exploration cell "
+                        "and write <out stem>.pstats next to the JSON")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per program × combo")
     p.set_defaults(fn=_cmd_bench)

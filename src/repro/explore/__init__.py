@@ -16,6 +16,7 @@ from repro.explore.explorer import (
     ExploreStats,
     explore,
 )
+from repro.explore.memo import ExpandCache, expand_memoized
 from repro.explore.parallel import explore_parallel
 from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph, Edge
 from repro.explore.observers import (
@@ -30,6 +31,7 @@ __all__ = [
     "ConfigGraph",
     "DEADLOCK",
     "Edge",
+    "ExpandCache",
     "Expansion",
     "ExploreOptions",
     "ExploreResult",
@@ -43,6 +45,7 @@ __all__ = [
     "TransitionLogObserver",
     "action_is_critical",
     "build_block",
+    "expand_memoized",
     "explore",
     "explore_parallel",
 ]

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 
 from repro.analyses.accesses import AccessAnalysis
 from repro.lang.program import Program
-from repro.semantics.config import Config, Pid
+from repro.semantics.config import Config, Pid, loc_value
 from repro.semantics.step import (
     ActionInfo,
     StepOptions,
@@ -50,6 +50,9 @@ class Block:
     actions: tuple[ActionInfo, ...]
     reads: tuple
     writes: tuple
+    #: total critical references consumed (telemetry; replayed by the
+    #: expansion memo cache so cache hits trace like cache misses)
+    crit: int = 0
 
 
 def action_is_critical(access: AccessAnalysis, action: ActionInfo) -> int:
@@ -74,16 +77,50 @@ def build_block(
     max_len: int = 256,
     metrics=None,
     tracer=None,
+    footprint: list | None = None,
 ) -> Block:
     """Execute the maximal coarsened block of process *pid* from
     *config*.  The first action is executed unconditionally (the caller
     verified enabledness); extensions obey the ≤1-critical-ref budget.
 
     With a tracer attached, each built block is one ``coarsen.fuse``
-    span recording the process and the fused length."""
+    span recording the process and the fused length.
+
+    With *footprint* (a list of ``(loc, value)`` pairs) supplied, every
+    shared location the block's *shape* depends on is recorded with its
+    value at the block's base configuration, first touch only: reads and
+    write pre-values of every action — including the discarded candidate
+    that stopped the block and every enabledness probe — so an equal
+    process seeing equal footprint values anywhere replays the exact
+    same block (the expansion memo cache's soundness condition).
+    Locations already written by the block are skipped: their values are
+    determined by the block itself, not the base."""
     span = None if tracer is None else tracer.begin_span("coarsen.fuse", pid=pid)
     proc = config.proc(pid)
+    touched: set | None = None
+    if footprint is not None:
+        # the caller's enabledness probe of the first action is already
+        # in the footprint; don't re-record those locations
+        touched = {loc for loc, _ in footprint}
+
+    def touch(action: ActionInfo, base: Config) -> None:
+        """First-touch record of one action's reads and write
+        pre-values, as seen at its *base* (the pre-action state).  An
+        untouched location holds its block-base value there."""
+        for loc in action.reads:
+            if loc not in touched:
+                touched.add(loc)
+                footprint.append((loc, loc_value(base, loc)))
+        for loc in action.writes:
+            # "p" pseudo-locations are determined by the acting process
+            # itself (spawn/join/thread-end); no base value to pin
+            if loc[0] != "p" and loc not in touched:
+                touched.add(loc)
+                footprint.append((loc, loc_value(base, loc)))
+
     succ, action = execute(program, config, proc, opts)
+    if touched is not None:
+        touch(action, config)
     actions = [action]
     reads = list(action.reads)
     writes = list(action.writes)
@@ -99,10 +136,22 @@ def build_block(
                 break
         if nxt is None or nxt.status == "done":
             break
-        enabled, _, _ = enabledness(program, succ, nxt)
+        if touched is None:
+            enabled, _, _ = enabledness(program, succ, nxt)
+        else:
+            probe: list = []
+            enabled, _, _ = enabledness(program, succ, nxt, footprint=probe)
+            for loc, value in probe:
+                if loc not in touched:
+                    touched.add(loc)
+                    footprint.append((loc, value))
         if not enabled:
             break
         cand_succ, cand_action = execute(program, succ, nxt, opts)
+        if touched is not None:
+            # recorded whether the candidate is kept or discarded: a
+            # discarded candidate's reads/writes decided the stop
+            touch(cand_action, succ)
         cand_crit = action_is_critical(access, cand_action)
         if crit + cand_crit > 1:
             break
@@ -126,4 +175,5 @@ def build_block(
         actions=tuple(actions),
         reads=tuple(reads),
         writes=tuple(writes),
+        crit=crit,
     )

@@ -56,6 +56,7 @@ from repro.explore.algorithm1 import AlgorithmOneSelector
 from repro.explore.coarsen import build_block
 from repro.explore.expansion import Expansion
 from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph
+from repro.explore.memo import ExpandCache, expand_memoized
 from repro.explore.observers import Observer
 from repro.explore.stubborn import StubbornSelector, StubbornStats
 from repro.lang.program import Program
@@ -65,7 +66,7 @@ from repro.resilience.checkpoint import (
     program_fingerprint,
     read_snapshot,
 )
-from repro.semantics.config import Config, initial_config
+from repro.semantics.config import Config, digest_stats, initial_config
 from repro.semantics.step import StepOptions, next_infos
 
 LOG = logging.getLogger("repro.explore")
@@ -102,6 +103,11 @@ class ExploreOptions:
     #: ablation: compute static access sets without points-to (every
     #: dereference conflicts with every site)
     coarse_derefs: bool = False
+    #: footprint memoization of per-process expansions (see
+    #: :mod:`repro.explore.memo`); a pure optimization — graphs and
+    #: result digests are bit-identical with it off — so it is not part
+    #: of ``describe()``/``resume_key()``
+    memo: bool = True
 
     def describe(self) -> str:
         c = "+coarsen" if self.coarsen else ""
@@ -301,6 +307,8 @@ def explore(
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     fingerprint = program_fingerprint(program)
+    cache = ExpandCache() if opts.memo else None
+    digest_base = digest_stats()
 
     if resume_from is not None:
         payload = read_snapshot(
@@ -378,7 +386,8 @@ def explore(
             continue
 
         expansions = _expand_guarded(
-            program, config, cid, access, opts, stats, metrics, tracer
+            program, config, cid, access, opts, stats, metrics, tracer,
+            cache=cache,
         )
         if expansions is None:
             continue
@@ -413,7 +422,7 @@ def explore(
         rounds.close()
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
-        checkpointer, tracer,
+        checkpointer, tracer, cache=cache, digest_base=digest_base,
     )
 
 
@@ -539,14 +548,15 @@ def _within_memory_budget(stats: ExploreStats, opts: ExploreOptions) -> bool:
 
 
 def _expand_guarded(
-    program, config, cid, access, opts, stats, metrics, tracer=None
+    program, config, cid, access, opts, stats, metrics, tracer=None,
+    cache=None,
 ) -> list[Expansion] | None:
     """Expansion with engine-bug isolation: an exception here loses this
     configuration's successors, so the run is marked truncated
     (``internal-error``) — but it never raises."""
     try:
         chaos.kick("eval")
-        return _expand(program, config, access, opts, metrics, tracer)
+        return _expand(program, config, access, opts, metrics, tracer, cache)
     except Exception as exc:
         stats.engine_faults += 1
         _truncate(stats, "internal-error", tracer)
@@ -632,7 +642,7 @@ def _mark_terminal(graph, cid, config, status, stats, guard) -> None:
 
 def _finalize(
     program, graph, stats, opts, access, selector, guard, metrics, t0,
-    checkpointer=None, tracer=None,
+    checkpointer=None, tracer=None, cache=None, digest_base=None,
 ) -> ExploreResult:
     """Stat finalization + ``on_done`` fan-out — shared by both drivers
     (including truncated runs, so observers always see completion)."""
@@ -653,6 +663,7 @@ def _finalize(
             stats.expansions / elapsed if elapsed > 0 else 0.0,
         )
         metrics.set_gauge("explore.peak_rss_bytes", stats.peak_rss_bytes)
+        _emit_incremental_metrics(metrics, cache, digest_base)
     if tracer is not None:
         # args deliberately backend-neutral: the cross-backend trace
         # comparison asserts this event's args are equal serial vs jobs=N
@@ -670,6 +681,52 @@ def _finalize(
     return ExploreResult(
         program=program, graph=graph, stats=stats, options=opts, access=access
     )
+
+
+def _emit_incremental_metrics(metrics, cache, digest_base) -> None:
+    """Fold incremental-engine telemetry into the registry.
+
+    *cache* carries the serial driver's expansion-memo counters (the
+    parallel backend merges per-worker counters into the registry before
+    :func:`_finalize`, so it passes None here); *digest_base* is the
+    process-global :func:`~repro.semantics.config.digest_stats` snapshot
+    taken at run start, so only this run's digest work is counted.  The
+    derived rate gauges are computed from whatever ended up in the
+    registry, identically for both backends.
+    """
+    if cache is not None:
+        for name, val in cache.counters().items():
+            if val:
+                metrics.inc(name, val)
+    if digest_base is not None:
+        now = digest_stats()
+        for stat, name in (
+            ("component_reused", "digest.incremental"),
+            ("component_new", "digest.component_new"),
+            ("config_composed", "digest.config_composed"),
+            ("config_cached", "digest.config_cached"),
+        ):
+            delta = now[stat] - digest_base[stat]
+            if delta:
+                metrics.inc(name, delta)
+    hits = metrics.value("expand.cache_hits") if "expand.cache_hits" in metrics else 0
+    misses = (
+        metrics.value("expand.cache_misses")
+        if "expand.cache_misses" in metrics
+        else 0
+    )
+    if hits + misses:
+        metrics.set_gauge("expand.cache_hit_rate", hits / (hits + misses))
+    reused = (
+        metrics.value("digest.incremental") if "digest.incremental" in metrics else 0
+    )
+    fresh = (
+        metrics.value("digest.component_new")
+        if "digest.component_new" in metrics
+        else 0
+    )
+    if reused + fresh:
+        metrics.set_gauge("digest.incremental_rate", reused / (reused + fresh))
 
 
 def _explore_sleep(
@@ -698,6 +755,8 @@ def _explore_sleep(
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     fingerprint = program_fingerprint(program)
+    cache = ExpandCache() if opts.memo else None
+    digest_base = digest_stats()
 
     if resume_from is not None:
         payload = read_snapshot(
@@ -782,7 +841,8 @@ def _explore_sleep(
             continue
 
         expansions = _expand_guarded(
-            program, config, cid, access, opts, stats, metrics, tracer
+            program, config, cid, access, opts, stats, metrics, tracer,
+            cache=cache,
         )
         if expansions is None:
             continue
@@ -833,7 +893,7 @@ def _explore_sleep(
         rounds.close()
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
-        checkpointer, tracer,
+        checkpointer, tracer, cache=cache, digest_base=digest_base,
     )
 
 
@@ -844,8 +904,17 @@ def _expand(
     opts: ExploreOptions,
     metrics=None,
     tracer=None,
+    cache: ExpandCache | None = None,
 ) -> list[Expansion]:
-    """Per-process expansions at *config* (coarsened or single-step)."""
+    """Per-process expansions at *config* (coarsened or single-step).
+
+    With *cache* attached, the footprint-memoized path
+    (:func:`repro.explore.memo.expand_memoized`) produces the identical
+    expansion list while skipping re-interpretation on cache hits."""
+    if cache is not None:
+        return expand_memoized(
+            program, config, access, opts, cache, metrics, tracer
+        )
     infos = next_infos(program, config, opts.step)
     out: list[Expansion] = []
     for ni in infos:

@@ -66,7 +66,13 @@ from repro.explore.algorithm1 import AlgorithmOneSelector
 from repro.explore.graph import DEADLOCK, TERMINATED, ConfigGraph
 from repro.explore.stubborn import StubbornSelector, StubbornStats
 from repro.lang.program import Program
-from repro.semantics.config import Config, initial_config, shard_of
+from repro.explore.memo import ExpandCache
+from repro.semantics.config import (
+    Config,
+    digest_stats,
+    initial_config,
+    shard_of,
+)
 from repro.util.errors import ReproError
 
 LOG = logging.getLogger("repro.explore.parallel")
@@ -118,6 +124,7 @@ def _worker_main(
     from repro.explore.explorer import (
         ExploreStats,
         _current_rss_bytes,
+        _emit_incremental_metrics,
         _expand_guarded,
         _select_guarded,
         _terminal_status_fast,
@@ -129,6 +136,12 @@ def _worker_main(
         else:
             access = access_analysis(program)
         selector = _make_selector(program, access, opts.policy)
+        # Per-shard expansion memo: shard ownership means this worker
+        # sees every expansion of its slice, so locality is as good as
+        # the serial cache's.  The digest baseline is captured *here*
+        # because fork inherits the parent's process-global counters.
+        wcache = ExpandCache() if getattr(opts, "memo", True) else None
+        digest_base = digest_stats()
         wreg = None
         if want_metrics:
             from repro.metrics.registry import MetricsRegistry
@@ -152,6 +165,8 @@ def _worker_main(
         while True:
             msg = conn.recv()
             if msg[0] == "finish":
+                if wreg is not None:
+                    _emit_incremental_metrics(wreg, wcache, digest_base)
                 conn.send(
                     (
                         "ok",
@@ -200,7 +215,8 @@ def _worker_main(
                     terminals.append((lid, status))
                     continue
                 expansions = _expand_guarded(
-                    program, config, lid, access, opts, stats, wreg, wtracer
+                    program, config, lid, access, opts, stats, wreg, wtracer,
+                    cache=wcache,
                 )
                 if expansions is None:
                     fault = True
@@ -338,6 +354,9 @@ def explore_parallel(program: Program, opts, observers=()):
     nshards = opts.jobs
     metrics = _attached_registry(observers)
     tracer = _attached_tracer(observers)
+    # master-side digest work (shard routing of the initial config, any
+    # digests taken during the merge) — workers count their own
+    digest_base = digest_stats()
 
     if opts.coarse_derefs:
         access = AccessAnalysis(program, coarse_derefs=True)
@@ -543,7 +562,7 @@ def explore_parallel(program: Program, opts, observers=()):
         metrics.inc("parallel.handoffs", stats.handoffs)
     result: ExploreResult = _finalize(
         program, graph, stats, opts, access, None, guard, metrics, t0, None,
-        tracer,
+        tracer, digest_base=digest_base,
     )
     stats.stubborn = merged_stubborn
     return result

@@ -40,7 +40,15 @@ from repro.metrics.registry import (
 #: being silently dropped; ``explore.intern.hits`` under ``--jobs`` now
 #: counts worker-side interning hits (out-batch dedup makes it smaller
 #: than the serial count, which already made it backend-specific).
-SCHEMA_VERSION = "repro.metrics/3"
+#: ``/4`` adds the incremental-engine series: ``expand.cache_hits`` /
+#: ``expand.cache_misses`` / ``expand.invalidations`` /
+#: ``expand.cache_evictions`` / ``expand.cache_uncacheable`` (the
+#: footprint memo, :mod:`repro.explore.memo`), ``digest.incremental`` /
+#: ``digest.component_new`` / ``digest.config_composed`` /
+#: ``digest.config_cached`` (O(delta) digest composition), and the
+#: derived gauges ``expand.cache_hit_rate`` /
+#: ``digest.incremental_rate``.
+SCHEMA_VERSION = "repro.metrics/4"
 
 __all__ = [
     "Counter",

@@ -31,6 +31,17 @@ name                                    type       meaning
 ``stubborn.closure_iterations``         histogram  worklist pops per closure
 ``stubborn.singleton_steps``            counter    steps with |chosen| == 1
 ``coarsen.block_len``                   histogram  fused-block lengths
+``expand.cache_hits``                   counter    memoized expansions replayed
+``expand.cache_misses``                 counter    expansions computed fresh
+``expand.invalidations``                counter    footprint mismatches (stale)
+``expand.cache_evictions``              counter    memo entries evicted (bound)
+``expand.cache_uncacheable``            counter    outcomes not memoizable
+``expand.cache_hit_rate``               gauge      hits / (hits + misses)
+``digest.incremental``                  counter    component digests reused
+``digest.component_new``                counter    component digests computed
+``digest.config_composed``              counter    config digests composed
+``digest.config_cached``                counter    config digests served cached
+``digest.incremental_rate``             gauge      reused / (reused + new)
 ``fold.hits``                           counter    successor hit existing key
 ``fold.misses``                         counter    successor opened a new key
 ``fold.widenings``                      counter    joins replaced by widening

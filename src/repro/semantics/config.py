@@ -28,6 +28,17 @@ exact object it already holds.
 for identity: all visited-set structures key on full structural equality
 (dict/set semantics), and cross-process shard routing uses
 :func:`stable_digest`, which is independent of ``PYTHONHASHSEED``.
+
+O(delta) digests
+----------------
+:func:`stable_digest` composes fixed-size per-component digests cached
+on each :class:`Process` and :class:`HeapObj` (``_digest`` fields), so
+hashing a successor configuration costs proportional to what changed:
+unchanged components are shared by reference with the parent and their
+digests are reused.  ``__reduce__`` carries the cached digests across
+pickle transport, so the parallel backend never re-hashes a received
+configuration; :func:`digest_stats` exposes the compose/reuse counters
+the transport tests and telemetry consume.
 """
 
 from __future__ import annotations
@@ -68,6 +79,46 @@ def proc_loc(pid: Pid) -> Loc:
     return ("p", pid)
 
 
+class _Missing:
+    """Sentinel for :func:`loc_value`: location absent (unequal to every
+    program value, including None)."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+MISSING = _Missing()
+
+
+def loc_value(config: "Config", loc: Loc):
+    """The current value of a shared location in *config*, or
+    :data:`MISSING` when the location does not exist there (heap object
+    absent or offset out of range, process pid absent).
+
+    For ``("p", pid)`` pseudo-locations the "value" is the process's
+    status — exactly the attribute join enabledness consults.  This is
+    the probe primitive of the expansion memo cache: a cached footprint
+    matches iff every recorded location still holds its recorded value.
+    """
+    tag = loc[0]
+    if tag == "g":
+        globals_ = config.globals
+        index = loc[1]
+        return globals_[index] if 0 <= index < len(globals_) else MISSING
+    if tag == "h":
+        obj = config.heap_obj(loc[1])
+        if obj is None:
+            return MISSING
+        off = loc[2]
+        return obj.cells[off] if 0 <= off < len(obj.cells) else MISSING
+    try:
+        return config.proc(loc[1]).status
+    except KeyError:
+        return MISSING
+
+
 # Return destination of a call, resolved at call time:
 #   ("g", index) | ("l", slot) | ("h", oid, offset) | None
 RetLoc = Optional[tuple]
@@ -99,6 +150,12 @@ class Process:
     children: tuple[Pid, ...] = ()
     retval: Optional[Value] = None
     ps: PS.ProcString = ()
+    # Cached component digest (see stable_digest); init=False so
+    # dataclasses.replace() never copies a stale digest onto a changed
+    # process.  Never compared, carried through __reduce__.
+    _digest: Optional[bytes] = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     @property
     def top(self) -> Frame:
@@ -114,12 +171,13 @@ class Process:
     def __reduce__(self):
         # Compact positional pickle that re-interns on load: equal
         # processes received from another OS process collapse onto the
-        # receiver's canonical representative.
+        # receiver's canonical representative.  The cached component
+        # digest rides along so the receiver never re-hashes.
         return (
             _unpickle_process,
             (
                 self.pid, self.frames, self.status, self.join_pc,
-                self.children, self.retval, self.ps,
+                self.children, self.retval, self.ps, self._digest,
             ),
         )
 
@@ -132,11 +190,15 @@ class HeapObj:
     cells: tuple[Value, ...]
     birth_pid: Pid = ()
     birth_ps: PS.ProcString = ()
+    _digest: Optional[bytes] = field(
+        default=None, init=False, compare=False, repr=False
+    )
 
     def __reduce__(self):
         return (
             _unpickle_heap_obj,
-            (self.oid, self.cells, self.birth_pid, self.birth_ps),
+            (self.oid, self.cells, self.birth_pid, self.birth_ps,
+             self._digest),
         )
 
 
@@ -170,13 +232,15 @@ class Config:
         return self._hash
 
     def __reduce__(self):
-        # Positional payload without the caches; the loader re-interns,
-        # so a configuration shipped across a process boundary lands on
-        # the receiver's canonical instance (identity-equal to any copy
-        # it already holds).
+        # Positional payload without the lookup caches; the loader
+        # re-interns, so a configuration shipped across a process
+        # boundary lands on the receiver's canonical instance
+        # (identity-equal to any copy it already holds).  The cached
+        # stable digest rides along: scatter/gather never re-hashes.
         return (
             _unpickle_config,
-            (self.procs, self.globals, self.heap, self.fault),
+            (self.procs, self.globals, self.heap, self.fault,
+             self._digest),
         )
 
     # ------------------------------------------------------------------
@@ -382,54 +446,108 @@ def intern_table_sizes() -> dict[str, int]:
     }
 
 
-def _unpickle_process(pid, frames, status, join_pc, children, retval, ps):
-    return intern_process(
+def _unpickle_process(
+    pid, frames, status, join_pc, children, retval, ps, digest=None
+):
+    proc = intern_process(
         Process(
             pid=pid, frames=frames, status=status, join_pc=join_pc,
             children=children, retval=retval, ps=ps,
         )
     )
+    if digest is not None and proc._digest is None:
+        object.__setattr__(proc, "_digest", digest)
+    return proc
 
 
-def _unpickle_heap_obj(oid, cells, birth_pid, birth_ps):
-    return intern_heap_obj(
+def _unpickle_heap_obj(oid, cells, birth_pid, birth_ps, digest=None):
+    obj = intern_heap_obj(
         HeapObj(oid=oid, cells=cells, birth_pid=birth_pid, birth_ps=birth_ps)
     )
+    if digest is not None and obj._digest is None:
+        object.__setattr__(obj, "_digest", digest)
+    return obj
 
 
-def _unpickle_config(procs, globals_, heap, fault):
-    return intern_config(
+def _unpickle_config(procs, globals_, heap, fault, digest=None):
+    cfg = intern_config(
         Config(procs=procs, globals=globals_, heap=heap, fault=fault)
     )
+    if digest is not None and cfg._digest is None:
+        object.__setattr__(cfg, "_digest", digest)
+    return cfg
 
 
 # --------------------------------------------------------------------------
 # cross-process digests
 # --------------------------------------------------------------------------
 
+#: Compose/reuse counters behind :func:`stable_digest` — how much of the
+#: hashing work was served from component caches (telemetry + the
+#: transport test's "never re-hash on receipt" assertion).
+_DIGEST_STATS = {
+    "config_composed": 0,   # config digests computed (by composition)
+    "config_cached": 0,     # config digests served from the cache
+    "component_new": 0,     # per-proc/per-heap-obj digests computed
+    "component_reused": 0,  # component digests reused from their cache
+}
 
-def _canonical(config: Config) -> tuple:
-    """A nested tuple of primitives (ints, strings, value reprs) that
-    structurally equal configurations map to identically."""
-    return (
-        tuple(
-            (
-                p.pid,
-                tuple((f.func, f.pc, f.locals, f.ret_loc) for f in p.frames),
-                p.status,
-                p.join_pc,
-                p.children,
-                p.retval,
-                p.ps,
-            )
-            for p in config.procs
-        ),
-        config.globals,
-        tuple(
-            (o.oid, o.cells, o.birth_pid, o.birth_ps) for o in config.heap
-        ),
-        config.fault,
-    )
+#: blake2b ``person`` tags: domain separation between component kinds,
+#: so a process payload can never alias a heap-object payload.
+_PERSON_PROC = b"repro.proc"
+_PERSON_HEAP = b"repro.heap"
+_PERSON_CONFIG = b"repro.config"
+_COMPONENT_SIZE = 16
+
+
+def digest_stats() -> dict[str, int]:
+    """A copy of the digest compose/reuse counters."""
+    return dict(_DIGEST_STATS)
+
+
+def reset_digest_stats() -> None:
+    for key in _DIGEST_STATS:
+        _DIGEST_STATS[key] = 0
+
+
+def _proc_digest(proc: Process) -> bytes:
+    d = proc._digest
+    if d is not None:
+        _DIGEST_STATS["component_reused"] += 1
+        return d
+    payload = repr(
+        (
+            proc.pid,
+            tuple((f.func, f.pc, f.locals, f.ret_loc) for f in proc.frames),
+            proc.status,
+            proc.join_pc,
+            proc.children,
+            proc.retval,
+            proc.ps,
+        )
+    ).encode("utf-8")
+    d = hashlib.blake2b(
+        payload, digest_size=_COMPONENT_SIZE, person=_PERSON_PROC
+    ).digest()
+    object.__setattr__(proc, "_digest", d)
+    _DIGEST_STATS["component_new"] += 1
+    return d
+
+
+def _heap_obj_digest(obj: HeapObj) -> bytes:
+    d = obj._digest
+    if d is not None:
+        _DIGEST_STATS["component_reused"] += 1
+        return d
+    payload = repr(
+        (obj.oid, obj.cells, obj.birth_pid, obj.birth_ps)
+    ).encode("utf-8")
+    d = hashlib.blake2b(
+        payload, digest_size=_COMPONENT_SIZE, person=_PERSON_HEAP
+    ).digest()
+    object.__setattr__(obj, "_digest", d)
+    _DIGEST_STATS["component_new"] += 1
+    return d
 
 
 def stable_digest(config: Config) -> int:
@@ -441,14 +559,34 @@ def stable_digest(config: Config) -> int:
     authoritative for its slice of the state space.  A digest collision
     between *distinct* configurations merely co-locates them on one
     shard — dedup itself always compares full structural equality.
+
+    Cost is O(delta): the digest composes fixed-size per-component
+    digests cached on each :class:`Process` and :class:`HeapObj`.  A
+    successor sharing all but one process with its parent re-hashes only
+    that process (the shared components are the *same objects*, digest
+    included).  The composition is unambiguous: components are
+    fixed-size and every variable-length section is length-prefixed.
     """
     d = config._digest
-    if d is None:
-        payload = repr(_canonical(config)).encode("utf-8")
-        d = int.from_bytes(
-            hashlib.blake2b(payload, digest_size=8).digest(), "big"
-        )
-        object.__setattr__(config, "_digest", d)
+    if d is not None:
+        _DIGEST_STATS["config_cached"] += 1
+        return d
+    h = hashlib.blake2b(digest_size=8, person=_PERSON_CONFIG)
+    h.update(len(config.procs).to_bytes(4, "big"))
+    for proc in config.procs:
+        h.update(_proc_digest(proc))
+    glob = repr(config.globals).encode("utf-8")
+    h.update(len(glob).to_bytes(4, "big"))
+    h.update(glob)
+    h.update(len(config.heap).to_bytes(4, "big"))
+    for obj in config.heap:
+        h.update(_heap_obj_digest(obj))
+    fault = repr(config.fault).encode("utf-8")
+    h.update(len(fault).to_bytes(4, "big"))
+    h.update(fault)
+    d = int.from_bytes(h.digest(), "big")
+    object.__setattr__(config, "_digest", d)
+    _DIGEST_STATS["config_composed"] += 1
     return d
 
 

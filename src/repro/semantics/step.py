@@ -51,6 +51,7 @@ from repro.semantics.config import (
     Process,
     collect_garbage,
     glob_loc,
+    loc_value,
     proc_loc,
 )
 from repro.semantics.eval import eval_expr, eval_lvalue
@@ -135,20 +136,37 @@ def current_instr(program: Program, proc: Process) -> Instr:
 
 
 def enabledness(
-    program: Program, config: Config, proc: Process
+    program: Program, config: Config, proc: Process, footprint: list | None = None
 ) -> tuple[bool, tuple[Loc, ...], tuple[Pid, ...]]:
     """Return ``(enabled, nes_locations, blocked_children)`` for *proc*.
 
     For a disabled process the NES lists the shared locations whose
     change could enable it (guard reads / the lock cell); for a blocked
     join the children that must still terminate are listed instead.
+
+    With *footprint* (a list) supplied, every shared location this
+    decision consulted is appended as a ``(loc, value)`` pair — the
+    values it saw in *config*.  Any configuration where the same process
+    sees the same footprint values reaches the same verdict, which is
+    what the expansion memo cache keys on.  Note the footprint can be
+    strictly larger than the NES: a join consults *every* child's
+    status, enabled assumes consult their guard reads.
     """
     if proc.status == DONE:
         return (False, (), ())
     if proc.status == JOINING:
-        waiting = tuple(
-            c for c in proc.children if config.proc(c).status != DONE
-        )
+        if footprint is None:
+            waiting = tuple(
+                c for c in proc.children if config.proc(c).status != DONE
+            )
+        else:
+            blocked = []
+            for c in proc.children:
+                status = config.proc(c).status
+                footprint.append((proc_loc(c), status))
+                if status != DONE:
+                    blocked.append(c)
+            waiting = tuple(blocked)
         if waiting:
             return (False, tuple(proc_loc(c) for c in waiting), waiting)
         return (True, (), ())
@@ -158,15 +176,33 @@ def enabledness(
         try:
             v = eval_expr(instr.cond, config, proc.top.locals, reads)
         except RuntimeFault:
-            return (True, (), ())  # executing it will fault — that's a transition
+            # executing it will fault — that's a transition
+            _record_reads(footprint, config, reads)
+            return (True, (), ())
+        _record_reads(footprint, config, reads)
         if truthy(v):
             return (True, (), ())
         return (False, tuple(reads), ())
     if isinstance(instr, IAcquire):
+        if footprint is not None:
+            footprint.append(
+                (glob_loc(instr.index), config.globals[instr.index])
+            )
         if config.globals[instr.index] == 0:
             return (True, (), ())
         return (False, (glob_loc(instr.index),), ())
     return (True, (), ())
+
+
+def _record_reads(
+    footprint: list | None, config: Config, reads: list[Loc]
+) -> None:
+    """Append ``(loc, value-in-config)`` for every read location.  The
+    locations were just read successfully, so the values are present."""
+    if footprint is None:
+        return
+    for loc in reads:
+        footprint.append((loc, loc_value(config, loc)))
 
 
 # --------------------------------------------------------------------------

@@ -182,6 +182,38 @@ def _event_section(records) -> str:
     )
 
 
+def _cache_section(metrics: dict | None) -> str:
+    """Incremental-engine health, pulled out of the raw metric tables:
+    the memo-cache hit split and the digest reuse rate are the first
+    things to look at when expansion throughput regresses."""
+    if not metrics:
+        return ""
+    rows = []
+    for name, label in (
+        ("expand.cache_hit_rate", "expansion cache hit rate"),
+        ("expand.cache_hits", "expansions replayed from cache"),
+        ("expand.cache_misses", "expansions computed fresh"),
+        ("expand.invalidations", "footprint invalidations"),
+        ("expand.cache_evictions", "cache evictions"),
+        ("expand.cache_uncacheable", "uncacheable outcomes"),
+        ("digest.incremental_rate", "digest component reuse rate"),
+        ("digest.incremental", "component digests reused"),
+        ("digest.component_new", "component digests computed"),
+    ):
+        data = metrics.get(name)
+        if data is None:
+            continue
+        value = data.get("value")
+        if isinstance(value, float):
+            value = round(value, 4)
+        rows.append((label, value))
+    if not rows:
+        return ""
+    return "<h2>Incremental engine</h2>" + _table(
+        ("series", "value"), rows, numeric=(1,)
+    )
+
+
 def _metrics_section(metrics: dict | None) -> str:
     if not metrics:
         return ("<h2>Metrics</h2><p>No metrics dump supplied "
@@ -262,6 +294,7 @@ def render_report(
             numeric=(1, 2, 3, 4),
         ))
     body.append(_event_section(records))
+    body.append(_cache_section(metrics))
     body.append(_metrics_section(metrics))
     return (
         "<!DOCTYPE html>\n"

@@ -19,8 +19,13 @@ Contract, per corpus program × expansion policy × jobs ∈ {1, 2, 4}:
   Excluded by design: ``explore.frontier_depth`` (a BFS queue and a
   sharded frontier have different shapes), ``explore.intern.hits``
   (workers dedup successor batches before interning, so parallel hit
-  counts are legitimately lower), ``parallel.*`` (no serial
-  counterpart), gauges and timers (wall-clock / peak semantics).
+  counts are legitimately lower), ``expand.*`` and ``digest.*``
+  (memo-cache hit/miss splits and digest reuse depend on *where* the
+  work ran — per-shard caches see different locality than the serial
+  cache, and only the parallel backend digests at all — while the
+  expansion *outcomes* they produce are asserted equal through the
+  graph/metric checks above), ``parallel.*`` (no serial counterpart),
+  gauges and timers (wall-clock / peak semantics).
 
 Determinism (the no-dict-iteration-order-leak guarantee): the merged
 graph of two repeated runs at the same ``jobs`` is identical node by
@@ -93,7 +98,7 @@ def _comparable(snapshot: dict) -> dict:
         name: {k: v for k, v in data.items() if k != "type"}
         for name, data in snapshot.items()
         if data["type"] in ("counter", "histogram")
-        and not name.startswith("parallel.")
+        and not name.startswith(("parallel.", "expand.", "digest."))
         and name not in _EXCLUDED_SERIES
     }
 

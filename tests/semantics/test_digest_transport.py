@@ -1,0 +1,107 @@
+"""O(delta) digest caching across pickle transport (counter-based).
+
+The incremental digest layer (:func:`repro.semantics.config.stable_digest`)
+caches 16-byte component digests on every :class:`Process` and
+:class:`HeapObj` and the composed digest on the :class:`Config`, and
+``__reduce__`` carries all three through pickling.  These tests assert
+the *no re-hash* property with the process-global
+:func:`~repro.semantics.config.digest_stats` counters:
+
+- an in-process pickle round-trip of an already-digested config costs
+  zero new component digests and zero compositions;
+- a worker process receiving a digested config over a real
+  :mod:`multiprocessing` pipe serves ``stable_digest`` entirely from
+  the transported cache (``config_cached`` only — the parallel
+  backend's scatter/gather never re-hashes received configs);
+- a successor config digests in O(delta): only the components that
+  changed are rehashed, everything inherited from the parent is reused.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+
+from repro.explore import ExploreOptions, explore
+from repro.programs.philosophers import philosophers
+from repro.semantics.config import digest_stats, stable_digest
+
+
+def _sample_configs(n=12):
+    """Distinct reachable configurations of a real program (heap-free
+    but multi-process, with varied statuses)."""
+    result = explore(
+        philosophers(3), options=ExploreOptions(policy="stubborn")
+    )
+    configs = list(result.graph.configs)
+    return configs[:: max(1, len(configs) // n)][:n]
+
+
+def _delta(before, after):
+    return {k: after[k] - before[k] for k in before}
+
+
+def test_roundtrip_costs_no_rehash():
+    configs = _sample_configs()
+    for c in configs:
+        stable_digest(c)  # populate every component + config cache
+    before = digest_stats()
+    for c in configs:
+        r = pickle.loads(pickle.dumps(c))
+        assert stable_digest(r) == stable_digest(c)
+    d = _delta(before, digest_stats())
+    assert d["component_new"] == 0
+    assert d["config_composed"] == 0
+    assert d["config_cached"] >= len(configs)
+
+
+def test_successor_digest_is_o_delta():
+    """Digesting a successor after its parent re-hashes only the
+    components the step changed — the reuse counter dominates."""
+    result = explore(
+        philosophers(3), options=ExploreOptions(policy="stubborn")
+    )
+    g = result.graph
+    before = digest_stats()
+    for c in g.configs:
+        stable_digest(c)
+    d = _delta(before, digest_stats())
+    # philosophers(3): 4 processes per config; successive configs share
+    # nearly all of them, so reuse must far exceed fresh hashing
+    assert d["component_reused"] > d["component_new"]
+
+
+def _worker(conn):
+    """Receive digested configs, digest them, report the local counter
+    delta and the digests themselves."""
+    configs = conn.recv()
+    before = digest_stats()
+    digests = [stable_digest(c) for c in configs]
+    conn.send((digests, _delta(before, digest_stats())))
+    conn.close()
+
+
+def test_no_rehash_across_process_boundary():
+    configs = _sample_configs()
+    parent_digests = [stable_digest(c) for c in configs]
+
+    # spawn, not fork: a forked child inherits the parent's intern table
+    # and digest caches, which would make the assertion vacuous — spawn
+    # starts from a clean interpreter where *only* the pickled payload
+    # can carry the digests across
+    ctx = mp.get_context("spawn")
+    parent, child = ctx.Pipe()
+    proc = ctx.Process(target=_worker, args=(child,), daemon=True)
+    proc.start()
+    child.close()
+    try:
+        parent.send(configs)
+        worker_digests, d = parent.recv()
+    finally:
+        parent.close()
+        proc.join(timeout=30)
+
+    assert worker_digests == parent_digests
+    assert d["component_new"] == 0, "worker re-hashed a component digest"
+    assert d["config_composed"] == 0, "worker re-composed a config digest"
+    assert d["config_cached"] == len(configs)

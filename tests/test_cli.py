@@ -72,6 +72,43 @@ def test_bench_writes_schema_versioned_json(tmp_path, capsys):
     assert f"wrote {out}" in text
 
 
+def test_bench_profile_writes_pstats_artifact(tmp_path, capsys):
+    import pstats
+
+    out = tmp_path / "BENCH_explore.json"
+    assert (
+        main(
+            [
+                "bench",
+                "--out", str(out),
+                "--programs", "fig2_shasha_snir",
+                "--profile",
+            ]
+        )
+        == 0
+    )
+    artifact = tmp_path / "BENCH_explore.pstats"
+    assert artifact.exists()
+    text = capsys.readouterr().out
+    assert f"wrote {artifact}" in text
+    # a loadable profile whose hot path includes the expansion engine
+    stats = pstats.Stats(str(artifact))
+    funcs = {func for (_file, _line, func) in stats.stats}
+    assert "explore" in funcs
+
+
+def test_explore_no_memo_matches_default(capsys):
+    assert main(["explore", "corpus:philosophers_3", "--coarsen"]) == 0
+    with_memo = capsys.readouterr().out
+    assert (
+        main(["explore", "corpus:philosophers_3", "--coarsen", "--no-memo"])
+        == 0
+    )
+    without = capsys.readouterr().out
+    # identical headline line: configs/edges/terminals are memo-invisible
+    assert with_memo.splitlines()[0] == without.splitlines()[0]
+
+
 def test_analyze(capsys):
     assert main(["analyze", "corpus:example8_pointers"]) == 0
     out = capsys.readouterr().out
