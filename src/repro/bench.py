@@ -59,16 +59,23 @@ LOG = logging.getLogger("repro.bench")
 #:
 #: ``/2`` added per-entry ``peak_rss_bytes``, ``escalations`` and
 #: ``truncation_reason``, and the top-level ``errors`` / ``watchdog_s``
-#: keys.  ``/3`` (this version) adds per-entry ``backend`` / ``jobs`` /
+#: keys.  ``/3`` added per-entry ``backend`` / ``jobs`` /
 #: ``shard_balance`` / ``result_digest``, the top-level ``jobs`` list
-#: and the ``scaling`` section (philosophers family under the parallel
-#: backend); :func:`load_report` still reads ``/1`` and ``/2``.
-SCHEMA_VERSION = "repro.bench.explore/3"
+#: and the ``scaling`` section.  ``/4`` (this version) extends the
+#: parallel grid with sleep-set combos (the work-stealing backend lifted
+#: the serial-only restriction), always includes ``j1`` in scaling,
+#: and restructures ``scaling`` as ``{cpus, policy, coarsen, programs}``
+#: — ``cpus`` records the host's core count so trajectory tooling can
+#: tell a genuine scaling regression from a one-core container, and each
+#: parallel run reports ``steals``; :func:`load_report` still reads
+#: ``/1`` .. ``/3``.
+SCHEMA_VERSION = "repro.bench.explore/4"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
 COMPATIBLE_SCHEMAS = (
     "repro.bench.explore/1",
     "repro.bench.explore/2",
+    "repro.bench.explore/3",
     SCHEMA_VERSION,
 )
 
@@ -114,15 +121,12 @@ def policy_combos() -> list[tuple[str, bool, bool]]:
     ]
 
 
-def parallel_combos() -> list[tuple[str, bool]]:
-    """The parallel-backend grid per jobs value: the three policies
-    ±coarsen.  Sleep sets are serial-only by design (DFS cross-state
-    sharing), so they never appear here."""
-    return [
-        (policy, coarsen)
-        for policy in POLICIES
-        for coarsen in (False, True)
-    ]
+def parallel_combos() -> list[tuple[str, bool, bool]]:
+    """The parallel-backend grid per jobs value: the same 12-point
+    policy grid as the serial sweep.  Sleep sets compose with the
+    parallel backend since the work-stealing rewrite (the master runs
+    the sleep-DFS order; workers serve sharded expansions)."""
+    return policy_combos()
 
 
 def result_digest(result: ExploreResult) -> str:
@@ -370,10 +374,11 @@ def _sweep_program(
     # the serial policies — its graph must match the same serial combo
     # exactly (configs/edges), on top of the result-store invariant
     for j in jobs:
-        for policy, coarsen in parallel_combos():
+        for policy, coarsen, sleep in parallel_combos():
             opts = ExploreOptions(
                 policy=policy,
                 coarsen=coarsen,
+                sleep=sleep,
                 backend="parallel",
                 jobs=j,
                 max_configs=max_configs,
@@ -384,7 +389,7 @@ def _sweep_program(
             result, wall = _timed_explore(program, opts, (mo,), profiler)
             s = result.stats
 
-            serial_twin = entries[_combo_name(policy, coarsen, False)]
+            serial_twin = entries[_combo_name(policy, coarsen, sleep)]
             if s.truncated:
                 truncated.append(f"{name}/{combo}")
             else:
@@ -414,15 +419,28 @@ def _scaling_sweep(
     jobs: tuple[int, ...], *, max_configs: int, profiler=None
 ) -> dict:
     """The ``scaling`` section: the philosophers family (too big for the
-    corpus grid under ``full``) under stubborn sets, serial vs parallel
-    per jobs value.  Wall-clock here is the headline jobs-vs-time table
-    in EXPERIMENTS.md; configs/edges are the determinism check."""
+    corpus grid under ``full``) under ``stubborn+coarsen``, serial vs
+    parallel at j1 plus every requested jobs value.  Wall-clock here is
+    the headline jobs-vs-time table in EXPERIMENTS.md; configs/edges are
+    the determinism check.  ``cpus`` records the host core count —
+    speedups are only meaningful relative to it (a one-core container
+    can never beat serial, however good the backend)."""
+    import os
+
     from repro.programs.philosophers import philosophers
 
-    section: dict[str, dict] = {}
+    scaling_jobs = tuple(dict.fromkeys((1,) + tuple(jobs)))
+    section: dict = {
+        "cpus": os.cpu_count(),
+        "policy": "stubborn",
+        "coarsen": True,
+        "programs": {},
+    }
     for n in (6, 7):
         program = philosophers(n)
-        opts = ExploreOptions(policy="stubborn", max_configs=max_configs)
+        opts = ExploreOptions(
+            policy="stubborn", coarsen=True, max_configs=max_configs
+        )
         ser, serial_wall = _timed_explore(program, opts, (), profiler)
         runs = {
             "serial": {
@@ -432,9 +450,10 @@ def _scaling_sweep(
                 "result_digest": result_digest(ser),
             }
         }
-        for j in jobs:
+        for j in scaling_jobs:
             opts = ExploreOptions(
                 policy="stubborn",
+                coarsen=True,
                 backend="parallel",
                 jobs=j,
                 max_configs=max_configs,
@@ -458,11 +477,12 @@ def _scaling_sweep(
                     if par.stats.shard_balance is not None
                     else None
                 ),
+                "steals": par.stats.steals,
                 "speedup_vs_serial": (
                     round(serial_wall / wall, 3) if wall else None
                 ),
             }
-        section[f"philosophers_{n}"] = runs
+        section["programs"][f"philosophers_{n}"] = runs
     return section
 
 
@@ -520,9 +540,11 @@ def run_bench(
 
     combos = policy_combos()
     grid = [_combo_name(*c) for c in combos] + [
-        ExploreOptions(policy=p, coarsen=c, backend="parallel", jobs=j).describe()
+        ExploreOptions(
+            policy=p, coarsen=c, sleep=s, backend="parallel", jobs=j
+        ).describe()
         for j in jobs
-        for p, c in parallel_combos()
+        for p, c, s in parallel_combos()
     ]
     per_program: dict[str, dict] = {}
     errors: dict[str, str] = {}
@@ -630,6 +652,20 @@ def upgrade_document(doc: dict) -> dict:
     doc.setdefault("watchdog_s", None)
     doc.setdefault("jobs", [])
     doc.setdefault("scaling", {})
+    scaling = doc["scaling"]
+    if scaling and "programs" not in scaling:
+        # /3 layout: a bare name -> runs map, stubborn without coarsen,
+        # no host-cpus record, no per-run steals
+        doc["scaling"] = scaling = {
+            "cpus": None,
+            "policy": "stubborn",
+            "coarsen": False,
+            "programs": scaling,
+        }
+    for runs in scaling.get("programs", {}).values():
+        for run_name, run in runs.items():
+            if run_name != "serial":
+                run.setdefault("steals", None)
     for prog in doc.get("programs", {}).values():
         for entry in prog.get("policies", {}).values():
             entry.setdefault("truncation_reason", None)
@@ -749,7 +785,14 @@ def format_summary(report: BenchReport) -> str:
         )
     if doc["truncated_runs"]:
         lines.append(f"truncated (equivalence skipped): {doc['truncated_runs']}")
-    for name, runs in doc.get("scaling", {}).items():
+    scaling = doc.get("scaling", {})
+    if scaling:
+        lines.append(
+            f"scaling grid: {scaling.get('policy', 'stubborn')}"
+            f"{'+coarsen' if scaling.get('coarsen') else ''} "
+            f"on {scaling.get('cpus')} cpus"
+        )
+    for name, runs in scaling.get("programs", {}).items():
         parts = []
         for run_name, run in runs.items():
             extra = (

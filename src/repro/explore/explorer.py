@@ -108,6 +108,10 @@ class ExploreOptions:
     #: result digests are bit-identical with it off — so it is not part
     #: of ``describe()``/``resume_key()``
     memo: bool = True
+    #: parallel backend: seconds without any worker progress before the
+    #: master declares the pool dead/wedged and retries the run (an
+    #: operational knob like the budgets — not part of ``resume_key()``)
+    parallel_watchdog_s: float = 30.0
 
     def describe(self) -> str:
         c = "+coarsen" if self.coarsen else ""
@@ -165,11 +169,18 @@ class ExploreStats:
     backend: str = "serial"
     #: worker-process count (1 for the serial backend)
     jobs: int = 1
-    #: level-synchronous frontier rounds (parallel backend only)
-    rounds: int = 0
-    #: successor configurations handed to a *different* shard's worker
-    #: (parallel backend only — the cross-shard communication volume)
+    #: successor candidates routed to a *different* worker's shard
+    #: (parallel backend only — the cross-worker communication volume;
+    #: scheduling-dependent, unlike the graph itself)
     handoffs: int = 0
+    #: work-stealing transfers between workers (parallel backend only;
+    #: scheduling-dependent)
+    steals: int = 0
+    #: whole-run retries after a worker died or wedged (parallel only)
+    worker_restarts: int = 0
+    #: tasks executed per worker, stealing included (parallel backend;
+    #: scheduling-dependent, sums to ``expansions`` minus terminals)
+    worker_expansions: tuple[int, ...] = ()
     #: per-shard visited-set sizes at the end of the run
     shard_sizes: tuple[int, ...] = ()
     stubborn: StubbornStats | None = None
@@ -255,25 +266,17 @@ def explore(
         raise ValueError(f"unknown backend {opts.backend!r}")
 
     if opts.backend == "parallel":
-        from repro.util.errors import ReproError
-
         if opts.jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {opts.jobs}")
-        if opts.sleep:
-            raise ReproError(
-                "backend='parallel' does not compose with sleep sets: the "
-                "sleep-set driver is depth-first with cross-configuration "
-                "state; use backend='serial' for --sleep"
-            )
-        if checkpointer is not None or resume_from is not None:
-            raise ReproError(
-                "checkpoint/resume does not compose with backend='parallel' "
-                "(the frontier is sharded across worker processes); run the "
-                "serial backend for checkpointing"
-            )
         from repro.explore.parallel import explore_parallel
 
-        return explore_parallel(program, opts, observers=observers)
+        return explore_parallel(
+            program,
+            opts,
+            observers=observers,
+            checkpointer=checkpointer,
+            resume_from=resume_from,
+        )
 
     if opts.coarse_derefs:
         access = AccessAnalysis(program, coarse_derefs=True)
@@ -322,6 +325,9 @@ def explore(
         queue: deque[int] = deque(payload["queue"])
         processed: set[int] = payload["processed"]
         stats.resumed = True
+        # snapshots are cross-backend (a parallel run may have written
+        # this one): the backend tag describes *this* run, not the donor
+        stats.backend, stats.jobs = "serial", 1
         graph.metrics = metrics
         if selector is not None and payload.get("stubborn") is not None:
             selector.stats = payload["stubborn"]
@@ -549,12 +555,18 @@ def _within_memory_budget(stats: ExploreStats, opts: ExploreOptions) -> bool:
 
 def _expand_guarded(
     program, config, cid, access, opts, stats, metrics, tracer=None,
-    cache=None,
+    cache=None, expand_fn=None,
 ) -> list[Expansion] | None:
     """Expansion with engine-bug isolation: an exception here loses this
     configuration's successors, so the run is marked truncated
-    (``internal-error``) — but it never raises."""
+    (``internal-error``) — but it never raises.
+
+    *expand_fn* substitutes the expansion computation (the parallel
+    sleep driver farms it to worker processes); the chaos ``eval`` point
+    then fires on the worker side, inside the substituted function."""
     try:
+        if expand_fn is not None:
+            return expand_fn(config, cid)
         chaos.kick("eval")
         return _expand(program, config, access, opts, metrics, tracer, cache)
     except Exception as exc:
@@ -738,9 +750,22 @@ def _explore_sleep(
     metrics=None,
     checkpointer: Checkpointer | None = None,
     resume_from: str | None = None,
+    *,
+    expand_fn=None,
+    backend: str = "serial",
+    jobs: int = 1,
 ) -> ExploreResult:
     """Depth-first exploration with sleep sets (see
-    :mod:`repro.explore.sleepsets`), composable with any policy."""
+    :mod:`repro.explore.sleepsets`), composable with any policy.
+
+    The parallel backend reuses this exact driver: sleep-set pruning is
+    order-dependent, so the DFS stays master-sequenced and only the
+    expensive part — computing expansions — is farmed out through
+    *expand_fn* (same contract as :func:`_expand`, exceptions included:
+    a worker-side fault re-raises here and takes the ordinary
+    ``internal-error`` path).  Master sequencing is also what makes
+    checkpoint/resume and the graph bit-identical across backends.
+    """
     from repro.explore.sleepsets import entry_of, independent, transition_key
 
     tracer = _attached_tracer(observers)
@@ -787,6 +812,7 @@ def _explore_sleep(
         explored = {}
         seen_edges = set()
         stack = [(init_id, frozenset())]
+    stats.backend, stats.jobs = backend, jobs
     guard = _ObserverGuard(observers, stats, metrics, tracer)
     if resume_from is None:
         guard.on_config(
@@ -842,7 +868,7 @@ def _explore_sleep(
 
         expansions = _expand_guarded(
             program, config, cid, access, opts, stats, metrics, tracer,
-            cache=cache,
+            cache=cache, expand_fn=expand_fn,
         )
         if expansions is None:
             continue

@@ -1,84 +1,131 @@
-"""Parallel sharded exploration backend (``ExploreOptions.backend="parallel"``).
+"""Parallel exploration backend (``ExploreOptions.backend="parallel"``).
 
-Architecture
-------------
+Architecture: persistent workers + work stealing
+------------------------------------------------
 The state space is hash-partitioned across ``jobs`` worker processes by
 :func:`repro.semantics.config.shard_of` (a ``PYTHONHASHSEED``-independent
-structural digest).  Each worker *owns* one shard: it holds the visited
-set for its slice of the configuration space, expands only
-configurations it owns, and runs its own copy of the expansion policy
-(full / stubborn / stubborn-proc, with or without coarsening).
+structural digest).  Each worker *owns* one shard: its visited set is
+authoritative for its slice of the configuration space, and every
+candidate configuration is routed to its owner, which deduplicates it,
+records the incoming edge, and — if fresh and non-terminal — turns it
+into an expansion *task*.
 
-Exploration is **level-synchronous BFS**: every round the master
-scatters each shard's batch of candidate configurations, workers
-deduplicate against their visited sets, expand the fresh ones, and
-return (a) the shard-local id of every candidate, (b) terminal
-classifications, (c) edges ``(src_lid, actions, dst_shard, dst_index)``
-referencing their outgoing per-shard successor batches, and (d) those
-successor batches themselves.  The master routes successor batches to
-their owning shards for the next round — a *handoff* when the owner
-differs from the producer — and resolves each round's edges against the
-next round's shard-local ids.  No configuration is ever shipped twice
-for the same edge: the master reconstructs each shard's fresh-config
-fragment from the batches it already sent, mirroring the worker's id
-assignment.
+Unlike the original level-synchronous design (scatter a frontier round,
+barrier, gather), workers are **persistent** and there is no barrier:
 
-At the end the per-shard fragments are merged into one
-:class:`~repro.explore.graph.ConfigGraph` in deterministic (shard,
-local-id) order, and per-worker stats are summed.  For a complete
-(untruncated) run the merged graph has *exactly* the node count, edge
-count, and result-configuration set of the serial BFS reference — the
-property the cross-backend differential suite in
-``tests/explore/test_parallel_differential.py`` enforces program by
-program.  Config ids may differ from the serial driver's (discovery
-order is by round and shard, not by a single FIFO), which is why the
-equivalence contract is counts + result sets, not id-identical graphs.
+* each worker drains its inbox (an unbounded ``multiprocessing.Queue``),
+  executes one ready task, and flushes batched candidate messages to the
+  owners of the successors it produced;
+* an idle worker *steals*: it picks the peer advertising the deepest
+  ready queue (a lock-free shared depth array) and asks for half of it;
+  stolen tasks are executed by the thief but their successors still
+  route to the owners, and their trace records still carry the owner's
+  shard tag — scheduling moves work, never content;
+* interned components (:class:`~repro.semantics.config.Process`,
+  :class:`~repro.semantics.config.HeapObj`) cross the process boundary
+  once, through per-producer ``multiprocessing.shared_memory`` segments
+  (:mod:`repro.semantics.transport`); every later reference is a
+  3-tuple handle;
+* termination is distributed-quiescence detection: a shared
+  ``outstanding`` counter tracks unconsumed work units (candidate
+  messages, ready/stolen tasks, terminal-mark messages); the master
+  polls it lock-free and finishes the run when it reaches zero.
 
-Determinism: replies are gathered in shard order, per-worker output
-order is its deterministic processing order, and dict iteration is
-insertion-ordered everywhere — two runs with the same ``jobs`` produce
-identical merged graphs, and different ``jobs`` values produce identical
-counts and result sets.
+Determinism
+-----------
+Scheduling (who executes a task, steal timing, message interleaving) is
+nondeterministic, so the merge is **canonical**: configurations are
+globally ordered by ``(stable_digest, repr)``, edges by ``(src, pid,
+dst)`` (unique per edge — an owner expands each configuration exactly
+once and a selection contains at most one expansion per process), and
+terminal marks by configuration id.  Two runs with the same program and
+options therefore produce byte-identical graphs and traces, *including
+across different ``jobs`` values* — a stronger guarantee than the old
+backend's, whose config ids depended on round/shard discovery order.
+Scheduling-dependent quantities (``handoffs``, ``steals``, per-worker
+task counts, queue-depth samples) are reported but deliberately kept
+out of every cross-run equality contract.
 
-Composition rules
------------------
-- policies ``full`` / ``stubborn`` / ``stubborn-proc`` and ``coarsen``:
-  compose (each worker runs its own selector — selection is a pure
-  function of one configuration's expansions);
-- budgets (``max_configs``, ``time_limit_s``, ``max_rss_bytes``):
-  compose, enforced by the master at round granularity, with one final
-  non-expanding *drain* round so every produced edge resolves;
-- ``sleep=True`` and checkpoint/resume: **rejected** with
-  :class:`~repro.util.errors.ReproError` (depth-first cross-state
-  sharing and single-file snapshots do not shard) — see
-  :func:`repro.explore.explorer.explore`.
+Composition
+-----------
+Everything composes — the two historical rejections are lifted:
+
+* ``sleep=True``: sleep-set pruning is order-dependent, so the DFS of
+  :func:`repro.explore.explorer._explore_sleep` stays master-sequenced
+  and workers act as sharded *expansion servers* (each owning a shard's
+  memo cache); the graph, checkpoints, and pruning decisions are
+  bit-identical to the serial sleep driver's.
+* checkpoint/resume: the master pauses the pool (workers park ready
+  tasks; quiescence is ``outstanding == suspended``), collects shard
+  dumps, and writes the same ``driver="bfs"`` snapshot the serial
+  driver writes — snapshots are cross-backend in both directions.
+
+Failure handling: the master polls worker liveness and counter
+progress; a dead or wedged pool (``opts.parallel_watchdog_s`` without
+progress) is torn down and the whole run retried — determinism makes
+the retry transparent — with ``stats.worker_restarts`` counting the
+attempts and :class:`~repro.util.errors.ReproError` raised after
+``_MAX_ATTEMPTS``.  The chaos points ``worker`` / ``worker-hang``
+(:mod:`repro.resilience.chaos`) exercise exactly these paths.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
+import pickle
+import queue as _queue
 import time
 import traceback
+from collections import deque
 
 from repro.analyses.accesses import AccessAnalysis, access_analysis
 from repro.explore.algorithm1 import AlgorithmOneSelector
 from repro.explore.graph import DEADLOCK, TERMINATED, ConfigGraph
+from repro.explore.memo import ExpandCache
 from repro.explore.stubborn import StubbornSelector, StubbornStats
 from repro.lang.program import Program
-from repro.explore.memo import ExpandCache
+from repro.resilience import chaos
+from repro.resilience.checkpoint import (
+    program_fingerprint,
+    read_snapshot,
+    write_snapshot,
+)
 from repro.semantics.config import (
     Config,
     digest_stats,
     initial_config,
     shard_of,
+    stable_digest,
 )
+from repro.semantics.transport import ComponentStore
 from repro.util.errors import ReproError
 
 LOG = logging.getLogger("repro.explore.parallel")
 
-#: Seconds to wait for a worker to exit after "finish" before killing it.
+#: Seconds to wait for a worker to exit after the final dump request.
 _JOIN_TIMEOUT_S = 10.0
+#: Candidate-message batch size (amortizes queue/pickle overhead).
+_CAND_BATCH = 24
+#: Worker inbox poll timeout when idle (seconds).
+_IDLE_WAIT_S = 0.002
+#: Master poll-loop sleep (seconds).
+_POLL_S = 0.001
+#: Whole-run retries before giving up on a dying/wedged pool.
+_MAX_ATTEMPTS = 3
+
+# Shared run modes (master writes, workers read).
+_RUN, _DRAIN, _PAUSE = 0, 1, 2
+
+
+class _PoolFailure(BaseException):
+    """A worker died or the pool wedged: retry the whole run.
+
+    Deliberately *not* an ``Exception``: it must sail through the
+    engine's generic degradation guards (``_expand_guarded``, observer
+    guards) up to the retry loop in :func:`explore_parallel`.
+    """
 
 
 def _make_selector(program, access, policy):
@@ -89,168 +136,458 @@ def _make_selector(program, access, policy):
     return None
 
 
-# --------------------------------------------------------------------------
-# worker side
-# --------------------------------------------------------------------------
+def _make_access(program, opts) -> AccessAnalysis:
+    if opts.coarse_derefs:
+        return AccessAnalysis(program, coarse_derefs=True)
+    return access_analysis(program)
 
 
-def _worker_main(
-    conn,
-    program: Program,
-    opts,
-    shard_id: int,
-    nshards: int,
-    want_metrics: bool = False,
-    want_trace: bool = False,
-    trace_wall: bool = True,
-):
-    """One shard-owner process: dedup, expand, classify, partition.
+class _Shared:
+    """The lock-free-readable counters coordinating master and workers.
 
-    Protocol (master -> worker): ``("round", batch, expand)`` then a
-    final ``("finish",)``.  Every reply is ``("ok", payload)``; an
-    unexpected exception replies ``("crash", traceback)`` once and
-    exits.
-
-    Deep instrumentation: with ``want_metrics`` the worker keeps its own
-    :class:`~repro.metrics.MetricsRegistry` (shipped back in the finish
-    summary, merged into the master registry); with ``want_trace`` it
-    records spans/events into its own shard-tagged tracer and ships each
-    round's records with the round reply — the master re-emits them in
-    shard order, so worker-side detail lands in the same trace file.
+    Writers take ``lock``; readers go bare (aligned 8-byte loads — the
+    master's poll loop must keep working even if a chaos-killed worker
+    died anywhere, so no reader ever blocks on a lock a dead process
+    might have held...  writers are workers, and a worker is killed only
+    *between* tasks, outside the lock — see ``_maybe_chaos_exit``).
     """
-    # Late import: the guarded expansion/selection helpers live in the
-    # serial driver and carry the chaos-injection points with them, so a
-    # worker degrades exactly like the serial engine does.
-    from repro.explore.explorer import (
-        ExploreStats,
-        _current_rss_bytes,
-        _emit_incremental_metrics,
-        _expand_guarded,
-        _select_guarded,
-        _terminal_status_fast,
-    )
 
+    def __init__(self, ctx, nshards: int, outstanding: int) -> None:
+        self.lock = ctx.Lock()
+        self.outstanding = ctx.RawValue("q", outstanding)
+        self.configs = ctx.RawValue("q", 0)
+        self.expansions = ctx.RawValue("q", 0)
+        self.suspended = ctx.RawValue("q", 0)
+        self.mode = ctx.RawValue("i", _RUN)
+        self.engine_fault = ctx.RawValue("i", 0)
+        self.qdepth = ctx.RawArray("q", nshards)
+
+    def apply(self, d_out=0, d_configs=0, d_expansions=0, d_susp=0) -> None:
+        if not (d_out or d_configs or d_expansions or d_susp):
+            return
+        with self.lock:
+            self.outstanding.value += d_out
+            self.configs.value += d_configs
+            self.expansions.value += d_expansions
+            self.suspended.value += d_susp
+
+
+def _maybe_chaos_exit() -> None:
+    """The ``worker`` / ``worker-hang`` failure points, fired at the
+    top of task execution — never while holding the counter lock."""
     try:
-        if opts.coarse_derefs:
-            access = AccessAnalysis(program, coarse_derefs=True)
-        else:
-            access = access_analysis(program)
-        selector = _make_selector(program, access, opts.policy)
-        # Per-shard expansion memo: shard ownership means this worker
-        # sees every expansion of its slice, so locality is as good as
-        # the serial cache's.  The digest baseline is captured *here*
-        # because fork inherits the parent's process-global counters.
-        wcache = ExpandCache() if getattr(opts, "memo", True) else None
-        digest_base = digest_stats()
-        wreg = None
+        chaos.kick("worker")
+    except chaos.ChaosFault:
+        os._exit(11)
+    try:
+        chaos.kick("worker-hang")
+    except chaos.ChaosFault:
+        time.sleep(3600.0)
+
+
+# --------------------------------------------------------------------------
+# worker side (BFS mode)
+# --------------------------------------------------------------------------
+
+
+class _Worker:
+    """One shard owner: dedup + edge recording for owned candidates,
+    task execution (own or stolen), candidate routing, stealing."""
+
+    def __init__(
+        self, wid, nshards, program, opts, inboxes, results, shared,
+        store, want_metrics, want_trace, trace_wall,
+    ) -> None:
+        from repro.explore.explorer import ExploreStats
+
+        self.wid = wid
+        self.nshards = nshards
+        self.program = program
+        self.opts = opts
+        self.inboxes = inboxes
+        self.inbox = inboxes[wid]
+        self.results = results
+        self.shared = shared
+        self.store = store
+        store.bind(wid)
+        self.access = _make_access(program, opts)
+        self.selector = _make_selector(program, self.access, opts.policy)
+        self.cache = ExpandCache() if getattr(opts, "memo", True) else None
+        self.digest_base = digest_stats()
+        self.stats = ExploreStats()
+        self.wreg = None
         if want_metrics:
             from repro.metrics.registry import MetricsRegistry
 
-            wreg = MetricsRegistry()
-            if selector is not None:
-                selector.metrics = wreg
-        wtracer = None
-        wsink = None
+            self.wreg = MetricsRegistry()
+            if self.selector is not None:
+                self.selector.metrics = self.wreg
+        self.tracer = None
+        self.sink = None
         if want_trace:
             from repro.trace.sinks import ListSink
             from repro.trace.tracer import Tracer
 
-            wsink = ListSink()
-            wtracer = Tracer(wsink, shard=shard_id, record_wall=trace_wall)
-        visited: dict[Config, int] = {}
-        configs: list[Config] = []
-        stats = ExploreStats()
-        dedup_hits = 0
+            self.sink = ListSink()
+            self.tracer = Tracer(self.sink, shard=wid, record_wall=trace_wall)
+        self.visited: dict[Config, int] = {}
+        self.configs: list[Config] = []
+        self.edges: list[tuple] = []      # (src_shard, src_lid, actions, dst_lid)
+        self.terminals: list[tuple] = []  # (lid, status)
+        self.ready: deque = deque()       # (lid, config) — own tasks
+        self.stolen: deque = deque()      # (owner, lid, config)
+        self.parked: list = []            # (owner, lid, config) while paused
+        self.out_buf: dict[int, list] = {}  # dst shard -> candidate tuples
+        self.trace_batches: dict[tuple, list] = {}  # (owner, lid) -> records
+        self.dedup_hits = 0
+        self.handoffs = 0
+        self.steals = 0
+        self.executed = 0
+        self.awaiting_steal_since: float | None = None
+        # per-iteration counter deltas, applied in one lock acquisition
+        self.d_out = 0
+        self.d_configs = 0
+        self.d_expansions = 0
+        self.d_susp = 0
 
-        while True:
-            msg = conn.recv()
-            if msg[0] == "finish":
-                if wreg is not None:
-                    _emit_incremental_metrics(wreg, wcache, digest_base)
-                conn.send(
+    # -- counter deltas -------------------------------------------------
+
+    def _flush_deltas(self) -> None:
+        self.shared.apply(
+            self.d_out, self.d_configs, self.d_expansions, self.d_susp
+        )
+        self.d_out = self.d_configs = self.d_expansions = self.d_susp = 0
+
+    # -- candidate intake (the owner-side half of the protocol) ---------
+
+    def _take_candidate(self, config, src_shard, src_lid, actions) -> None:
+        """Consume one counted candidate unit addressed to this shard."""
+        lid = self.visited.get(config)
+        if lid is not None:
+            self.dedup_hits += 1
+            if src_shard is not None:
+                self.edges.append((src_shard, src_lid, actions, lid))
+            self.d_out -= 1
+            return
+        lid = len(self.configs)
+        self.visited[config] = lid
+        self.configs.append(config)
+        self.d_configs += 1
+        if src_shard is not None:
+            self.edges.append((src_shard, src_lid, actions, lid))
+        mode = self.shared.mode.value
+        if mode == _DRAIN:
+            # truncated run: register + resolve the edge, expand nothing
+            # (mirrors the serial driver's cleared-queue configurations)
+            self.d_out -= 1
+            return
+        from repro.explore.explorer import _terminal_status_fast
+
+        status = _terminal_status_fast(config)
+        if status is not None:
+            self.terminals.append((lid, status))
+            self.stats.expansions += 1
+            self.d_expansions += 1
+            if self.wreg is not None:
+                self.wreg.inc("explore.expansions")
+            self.d_out -= 1
+            return
+        if mode == _PAUSE:
+            self.parked.append((self.wid, lid, config))
+            self.d_susp += 1
+        else:
+            self.ready.append((lid, config))
+
+    # -- messages -------------------------------------------------------
+
+    def _handle(self, msg) -> bool:
+        """Process one inbox message; True when the worker should exit."""
+        kind = msg[0]
+        if kind == "cand":
+            for payload, src_shard, src_lid, actions in msg[2]:
+                self._take_candidate(
+                    self.store.decode_config(payload),
+                    src_shard, src_lid, actions,
+                )
+        elif kind == "mark":
+            _, lid, status = msg
+            self.terminals.append((lid, status))
+            self.d_out -= 1
+        elif kind == "steal":
+            thief = msg[1]
+            give = len(self.ready) // 2
+            if give and self.shared.mode.value == _RUN:
+                tasks = [self.ready.popleft() for _ in range(give)]
+                self.inboxes[thief].put(
                     (
-                        "ok",
-                        {
-                            "expansions": stats.expansions,
-                            "actions_executed": stats.actions_executed,
-                            "selector_faults": stats.selector_faults,
-                            "engine_faults": stats.engine_faults,
-                            "dedup_hits": dedup_hits,
-                            "peak_rss_bytes": _current_rss_bytes(),
-                            "stubborn": (
-                                selector.stats if selector is not None else None
-                            ),
-                            "metrics": (
-                                wreg.snapshot() if wreg is not None else None
-                            ),
-                        },
+                        "stolen",
+                        self.wid,
+                        [
+                            (lid, self.store.encode_config(cfg))
+                            for lid, cfg in tasks
+                        ],
                     )
                 )
-                return
-            _, batch, expand = msg
-            batch_lids: list[int] = []
-            terminals: list[tuple[int, str]] = []
-            edges: list[tuple[int, tuple, int, int]] = []
-            out: dict[int, list[Config]] = {}
-            out_index: dict[int, dict[Config, int]] = {}
-            fault = False
-
-            for config in batch:
-                lid = visited.get(config)
-                if lid is not None:
-                    dedup_hits += 1
-                    batch_lids.append(lid)
-                    continue
-                lid = len(configs)
-                visited[config] = lid
-                configs.append(config)
-                batch_lids.append(lid)
-                if not expand:
-                    continue
-                stats.expansions += 1
-                if wreg is not None:
-                    wreg.inc("explore.expansions")
-                status = _terminal_status_fast(config)
-                if status is not None:
-                    terminals.append((lid, status))
-                    continue
-                expansions = _expand_guarded(
-                    program, config, lid, access, opts, stats, wreg, wtracer,
-                    cache=wcache,
+            else:
+                self.inboxes[thief].put(("nowork",))
+        elif kind == "stolen":
+            _, owner, tasks = msg
+            self.awaiting_steal_since = None
+            self.steals += 1
+            if self.wreg is not None:
+                # the parallel.steals *counter* is master-emitted from the
+                # summed stats; workers only record the batch-size shape
+                self.wreg.observe("parallel.steal_batch", len(tasks))
+            for lid, payload in tasks:
+                self.stolen.append(
+                    (owner, lid, self.store.decode_config(payload))
                 )
-                if expansions is None:
-                    fault = True
-                    continue
-                enabled = [e for e in expansions if e.enabled]
-                if not enabled:
-                    terminals.append((lid, DEADLOCK))
-                    continue
+        elif kind == "nowork":
+            self.awaiting_steal_since = None
+        elif kind == "preload":
+            _, payloads, queued_lids = msg
+            for payload in payloads:
+                config = self.store.decode_config(payload)
+                self.visited[config] = len(self.configs)
+                self.configs.append(config)
+            for lid in queued_lids:
+                self.ready.append((lid, self.configs[lid]))
+        elif kind == "resume":
+            self._unpark()
+        elif kind == "dump":
+            self._dump(final=msg[1])
+            return msg[1]
+        return False
+
+    def _unpark(self) -> None:
+        n = len(self.parked)
+        if not n:
+            return
+        for owner, lid, config in self.parked:
+            if owner == self.wid:
+                self.ready.append((lid, config))
+            else:
+                self.stolen.append((owner, lid, config))
+        self.parked.clear()
+        self.d_susp -= n
+
+    def _park_all(self) -> None:
+        while self.ready:
+            lid, config = self.ready.popleft()
+            self.parked.append((self.wid, lid, config))
+            self.d_susp += 1
+        while self.stolen:
+            self.parked.append(self.stolen.popleft())
+            self.d_susp += 1
+
+    def _drop_tasks(self) -> None:
+        """DRAIN mode: already-queued tasks are never expanded (their
+        configurations stay registered, exactly like the serial
+        driver's cleared queue)."""
+        n = len(self.ready) + len(self.stolen) + len(self.parked)
+        if not n:
+            return
+        self.d_susp -= len(self.parked)
+        self.ready.clear()
+        self.stolen.clear()
+        self.parked.clear()
+        self.d_out -= n
+
+    # -- task execution -------------------------------------------------
+
+    def _execute(self, owner, lid, config) -> None:
+        from repro.explore.explorer import _expand_guarded, _select_guarded
+
+        _maybe_chaos_exit()
+        if self.tracer is not None:
+            self.tracer.shard = owner  # stolen work keeps the owner tag
+        self.stats.expansions += 1
+        self.d_expansions += 1
+        self.executed += 1
+        if self.wreg is not None:
+            self.wreg.inc("explore.expansions")
+        marks: list[tuple] = []
+        expansions = _expand_guarded(
+            self.program, config, lid, self.access, self.opts, self.stats,
+            self.wreg, self.tracer, cache=self.cache,
+        )
+        if expansions is None:
+            self.shared.engine_fault.value = 1
+        else:
+            enabled = [e for e in expansions if e.enabled]
+            if not enabled:
+                if owner == self.wid:
+                    self.terminals.append((lid, DEADLOCK))
+                else:
+                    marks.append((owner, lid, DEADLOCK))
+                    self.d_out += 1
+            else:
                 chosen = _select_guarded(
-                    selector, expansions, enabled, stats, wreg, wtracer
+                    self.selector, expansions, enabled, self.stats,
+                    self.wreg, self.tracer,
                 )
                 for exp in chosen:
                     succ = exp.succ
                     assert succ is not None
-                    dshard = shard_of(succ, nshards)
-                    bucket = out.setdefault(dshard, [])
-                    idx_map = out_index.setdefault(dshard, {})
-                    idx = idx_map.get(succ)
-                    if idx is None:
-                        idx = len(bucket)
-                        idx_map[succ] = idx
-                        bucket.append(succ)
-                    edges.append((lid, exp.actions, dshard, idx))
-                    stats.actions_executed += len(exp.actions)
+                    self.stats.actions_executed += len(exp.actions)
+                    dshard = shard_of(succ, self.nshards)
+                    if dshard == self.wid:
+                        self.d_out += 1
+                        self._take_candidate(succ, owner, lid, exp.actions)
+                    else:
+                        self.handoffs += 1
+                        self.d_out += 1
+                        self.out_buf.setdefault(dshard, []).append(
+                            (
+                                self.store.encode_config(succ),
+                                owner, lid, exp.actions,
+                            )
+                        )
+        self.d_out -= 1  # the task unit itself
+        if self.sink is not None:
+            self.trace_batches[(owner, lid)] = self.sink.drain()
+        # counters first, sends second: a unit must be visible in
+        # ``outstanding`` before its message can be consumed
+        self._flush_deltas()
+        for mowner, mlid, status in marks:
+            self.inboxes[mowner].put(("mark", mlid, status))
+        self._flush_bufs(only_full=True)
 
-            trace_batch = wsink.drain() if wsink is not None else None
-            conn.send(
-                ("ok", (batch_lids, terminals, edges, out, fault, trace_batch))
-            )
+    def _flush_bufs(self, only_full: bool = False) -> None:
+        for dshard, buf in list(self.out_buf.items()):
+            if not buf or (only_full and len(buf) < _CAND_BATCH):
+                continue
+            self.inboxes[dshard].put(("cand", self.wid, buf))
+            self.out_buf[dshard] = []
+
+    # -- dumps ----------------------------------------------------------
+
+    def _dump(self, final: bool) -> None:
+        from repro.explore.explorer import (
+            _current_rss_bytes,
+            _emit_incremental_metrics,
+        )
+
+        payload = {
+            "wid": self.wid,
+            "configs": self.configs,
+            "edges": self.edges,
+            "terminals": self.terminals,
+            "parked": [(o, lid) for o, lid, _ in self.parked],
+            "stats": {
+                "expansions": self.stats.expansions,
+                "actions_executed": self.stats.actions_executed,
+                "selector_faults": self.stats.selector_faults,
+                "engine_faults": self.stats.engine_faults,
+                "dedup_hits": self.dedup_hits,
+                "handoffs": self.handoffs,
+                "steals": self.steals,
+                "executed": self.executed,
+                "peak_rss_bytes": _current_rss_bytes(),
+            },
+            "stubborn": (
+                self.selector.stats if self.selector is not None else None
+            ),
+            "metrics": None,
+            "trace": None,
+        }
+        if final:
+            if self.wreg is not None:
+                _emit_incremental_metrics(self.wreg, self.cache, self.digest_base)
+                payload["metrics"] = self.wreg.snapshot()
+            if self.sink is not None:
+                payload["trace"] = self.trace_batches
+        self.results.put(("dump", self.wid, payload))
+
+    # -- main loop ------------------------------------------------------
+
+    def run(self) -> None:
+        while True:
+            # 1. drain the inbox without blocking
+            exit_now = False
+            while True:
+                try:
+                    msg = self.inbox.get_nowait()
+                except _queue.Empty:
+                    break
+                if self._handle(msg):
+                    exit_now = True
+                    break
+            if exit_now:
+                self._flush_deltas()
+                return
+            mode = self.shared.mode.value
+            if mode == _PAUSE:
+                self._park_all()
+            elif self.parked:
+                if mode == _DRAIN:
+                    self._drop_tasks()
+                else:
+                    self._unpark()
+            if mode == _DRAIN:
+                self._drop_tasks()
+            # 2. execute one task
+            task = None
+            if mode == _RUN:
+                if self.ready:
+                    lid, config = self.ready.popleft()
+                    task = (self.wid, lid, config)
+                elif self.stolen:
+                    task = self.stolen.popleft()
+            self.shared.qdepth[self.wid] = len(self.ready)
+            if task is not None:
+                self._execute(*task)
+                self.shared.qdepth[self.wid] = len(self.ready)
+                continue
+            # 3. idle: flush everything, maybe steal, then block briefly
+            self._flush_deltas()
+            self._flush_bufs()
+            if (
+                mode == _RUN
+                and self.shared.outstanding.value > 0
+                and self.nshards > 1
+            ):
+                now = time.monotonic()
+                if (
+                    self.awaiting_steal_since is not None
+                    and now - self.awaiting_steal_since > 0.2
+                ):
+                    self.awaiting_steal_since = None  # victim likely died
+                if self.awaiting_steal_since is None:
+                    victim = -1
+                    depth = 0
+                    for peer in range(self.nshards):
+                        if peer != self.wid and self.shared.qdepth[peer] > depth:
+                            victim, depth = peer, self.shared.qdepth[peer]
+                    if victim >= 0:
+                        self.inboxes[victim].put(("steal", self.wid))
+                        self.awaiting_steal_since = now
+            try:
+                msg = self.inbox.get(timeout=_IDLE_WAIT_S)
+            except _queue.Empty:
+                continue
+            if self._handle(msg):
+                self._flush_deltas()
+                return
+
+
+def _worker_main(
+    wid, nshards, program, opts, inboxes, results, shared, store,
+    want_metrics, want_trace, trace_wall,
+):
+    """Worker process entry point (BFS mode)."""
+    try:
+        _Worker(
+            wid, nshards, program, opts, inboxes, results, shared, store,
+            want_metrics, want_trace, trace_wall,
+        ).run()
     except Exception:
         try:
-            conn.send(("crash", traceback.format_exc()))
+            results.put(("crash", wid, traceback.format_exc()))
         except Exception:
             pass
+    finally:
+        store.close()
 
 
 # --------------------------------------------------------------------------
@@ -258,88 +595,291 @@ def _worker_main(
 # --------------------------------------------------------------------------
 
 
-class _WorkerPool:
-    """The worker processes plus their pipes, with hard cleanup."""
+def explore_parallel(
+    program: Program, opts, observers=(), checkpointer=None, resume_from=None
+):
+    """Work-stealing multiprocess exploration; same result contract as
+    the serial driver (invoked through
+    :func:`repro.explore.explorer.explore` with ``backend="parallel"``).
+
+    A dead or wedged worker pool aborts the attempt and the whole run is
+    retried — exploration is deterministic, so the retry converges on
+    the identical graph; ``stats.worker_restarts`` reports how many
+    attempts it took.
+    """
+    attempts = 0
+    while True:
+        try:
+            if opts.sleep:
+                return _sleep_attempt(
+                    program, opts, observers, checkpointer, resume_from,
+                    attempts,
+                )
+            return _bfs_attempt(
+                program, opts, observers, checkpointer, resume_from, attempts
+            )
+        except _PoolFailure as exc:
+            attempts += 1
+            if attempts >= _MAX_ATTEMPTS:
+                raise ReproError(
+                    f"parallel exploration failed after {_MAX_ATTEMPTS} "
+                    f"attempts: {exc}"
+                ) from None
+            LOG.warning(
+                "parallel worker pool failed (%s); restarting the run "
+                "(attempt %d/%d)", exc, attempts + 1, _MAX_ATTEMPTS,
+            )
+
+
+class _Pool:
+    """Worker processes plus their queues/shared state, with hard
+    cleanup and dump collection."""
 
     def __init__(
-        self,
-        program: Program,
-        opts,
-        nshards: int,
-        want_metrics: bool = False,
-        want_trace: bool = False,
-        trace_wall: bool = True,
+        self, program, opts, nshards, outstanding0, preloaded_configs,
+        want_metrics, want_trace, trace_wall, worker_main=_worker_main,
     ) -> None:
         methods = multiprocessing.get_all_start_methods()
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in methods else "spawn"
-        )
-        self.conns = []
+        self.fork = "fork" in methods
+        ctx = multiprocessing.get_context("fork" if self.fork else "spawn")
+        self.nshards = nshards
+        self.shared = _Shared(ctx, nshards, outstanding0)
+        self.shared.configs.value = preloaded_configs
+        self.inboxes = [ctx.Queue() for _ in range(nshards)]
+        self.results = ctx.Queue()
+        # shm transport only under fork (segments are inherited, never
+        # re-attached by name — the resource tracker sees each once)
+        self.store = ComponentStore(nshards + 1, use_shm=self.fork)
+        self.store.bind(nshards)  # the master is producer `nshards`
         self.procs = []
-        for shard in range(nshards):
-            parent, child = ctx.Pipe()
+        for wid in range(nshards):
             proc = ctx.Process(
-                target=_worker_main,
+                target=worker_main,
                 args=(
-                    child, program, opts, shard, nshards,
-                    want_metrics, want_trace, trace_wall,
+                    wid, nshards, program, opts, self.inboxes, self.results,
+                    self.shared, self.store, want_metrics, want_trace,
+                    trace_wall,
                 ),
                 daemon=True,
-                name=f"repro-shard-{shard}",
+                name=f"repro-shard-{wid}",
             )
             proc.start()
-            child.close()
-            self.conns.append(parent)
             self.procs.append(proc)
 
-    def scatter(self, batches: list[list[Config]], expand: bool) -> None:
-        for conn, batch in zip(self.conns, batches):
-            conn.send(("round", batch, expand))
-
-    def gather(self) -> list:
-        """Round replies in shard order; raises on a worker crash."""
-        replies = []
-        for shard, conn in enumerate(self.conns):
-            try:
-                kind, payload = conn.recv()
-            except (EOFError, OSError) as exc:
-                raise ReproError(
-                    f"parallel exploration worker {shard} died "
-                    f"unexpectedly ({exc!r})"
-                ) from exc
-            if kind == "crash":
-                raise ReproError(
-                    f"parallel exploration worker {shard} crashed:\n{payload}"
+    def check_alive(self) -> None:
+        for wid, proc in enumerate(self.procs):
+            if not proc.is_alive():
+                raise _PoolFailure(
+                    f"worker {wid} died (exit code {proc.exitcode})"
                 )
-            replies.append(payload)
-        return replies
 
-    def finish(self) -> list[dict]:
-        for conn in self.conns:
-            conn.send(("finish",))
-        return self.gather()
+    def check_crash(self) -> None:
+        """Surface a worker-reported traceback (a real bug, not a
+        simulated death: no retry)."""
+        try:
+            msg = self.results.get_nowait()
+        except _queue.Empty:
+            return
+        if msg[0] == "crash":
+            raise ReproError(
+                f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
+            )
+        raise ReproError(f"unexpected worker message {msg[0]!r}")
+
+    def send_all(self, msg) -> None:
+        for inbox in self.inboxes:
+            inbox.put(msg)
+
+    def collect_dumps(self, final: bool, timeout_s: float) -> list[dict]:
+        """Request and gather one dump per worker, in wid order."""
+        self.send_all(("dump", final))
+        dumps: dict[int, dict] = {}
+        deadline = time.monotonic() + timeout_s
+        while len(dumps) < self.nshards:
+            try:
+                msg = self.results.get(timeout=0.05)
+            except _queue.Empty:
+                self.check_alive()
+                if time.monotonic() > deadline:
+                    raise _PoolFailure("timed out waiting for shard dumps")
+                continue
+            if msg[0] == "crash":
+                raise ReproError(
+                    f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
+                )
+            dumps[msg[1]] = msg[2]
+        return [dumps[wid] for wid in range(self.nshards)]
 
     def shutdown(self) -> None:
-        for conn in self.conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
         deadline = time.monotonic() + _JOIN_TIMEOUT_S
         for proc in self.procs:
             proc.join(timeout=max(0.0, deadline - time.monotonic()))
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=1.0)
+        for q in (*self.inboxes, self.results):
+            q.close()
+            q.cancel_join_thread()
+        self.store.unlink()
 
 
-def explore_parallel(program: Program, opts, observers=()):
-    """Sharded multiprocess BFS; same result contract as the serial
-    driver (invoked through :func:`repro.explore.explorer.explore` with
-    ``backend="parallel"`` — do not call directly with sleep sets or
-    checkpointing, they are rejected upstream)."""
+def _canonical_order(configs: list[Config]) -> list[Config]:
+    """Global deterministic ordering: by stable digest, ``repr`` as the
+    collision tie-break (cheap: computed only for colliding digests)."""
+    groups: dict[int, list[Config]] = {}
+    for config in configs:
+        groups.setdefault(stable_digest(config), []).append(config)
+    out: list[Config] = []
+    for digest in sorted(groups):
+        group = groups[digest]
+        if len(group) > 1:
+            group.sort(key=repr)
+        out.extend(group)
+    return out
+
+
+def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
+    """The canonical merge: dumps (+ any resumed-snapshot content) into
+    one graph with scheduling-independent ids and orderings.
+
+    Returns ``(graph, edge_items, term_items, frag)`` where the item
+    lists carry ``is_new`` flags (False for snapshot-inherited content,
+    which observers of a resumed run must not be re-notified about) and
+    ``frag`` maps each configuration to its owning ``(shard, lid)``.
+    """
+    frag: dict[tuple[int, int], Config] = {}
+    all_configs: list[Config] = []
+    for d in dumps:
+        for lid, config in enumerate(d["configs"]):
+            frag[(d["wid"], lid)] = config
+            all_configs.append(config)
+    graph = ConfigGraph()
+    graph.metrics = metrics
+    for config in _canonical_order(all_configs):
+        _, fresh = graph.add_config(config)
+        # shard ownership is a partition: equal configs share a digest,
+        # hence a shard, hence were deduplicated there
+        assert fresh, "cross-shard duplicate — digest partition broken"
+    graph.initial = graph.config_id(init_cfg)
+
+    edge_items = [
+        (graph.config_id(src), actions, graph.config_id(dst), False)
+        for src, dst, actions in snap_edges
+    ]
+    for d in dumps:
+        for src_shard, src_lid, actions, dst_lid in d["edges"]:
+            edge_items.append(
+                (
+                    graph.config_id(frag[(src_shard, src_lid)]),
+                    actions,
+                    graph.config_id(d["configs"][dst_lid]),
+                    True,
+                )
+            )
+    # (src, pid) is unique per edge — each configuration is expanded by
+    # exactly one owner, contributing at most one edge per process — so
+    # this key is a total order and the sort is scheduling-independent
+    edge_items.sort(key=lambda e: (e[0], e[1][0].pid, e[2]))
+    for src, actions, dst, _ in edge_items:
+        graph.add_edge(src, dst, actions)
+
+    term_items = [
+        (graph.config_id(config), status, False)
+        for config, status in snap_terminals
+    ]
+    for d in dumps:
+        for lid, status in d["terminals"]:
+            term_items.append(
+                (graph.config_id(frag[(d["wid"], lid)]), status, True)
+            )
+    term_items.sort(key=lambda t: t[0])
+    for cid, status, _ in term_items:
+        graph.mark_terminal(cid, status)
+    return graph, edge_items, term_items, frag
+
+
+def _sum_dump_stats(stats, dumps, base=None) -> int:
+    """Fold per-worker counters into *stats*; returns total dedup hits.
+
+    Cumulative counters start from *base* (the resumed snapshot's stats)
+    when given; absolute quantities (terminal counts, graph sizes) are
+    recomputed by the caller from the merged graph instead.
+    """
+    if base is not None:
+        stats.expansions = base.expansions
+        stats.actions_executed = base.actions_executed
+        stats.selector_faults = base.selector_faults
+        stats.engine_faults = base.engine_faults
+        stats.handoffs = base.handoffs
+        stats.steals = base.steals
+        stats.peak_rss_bytes = base.peak_rss_bytes
+        stats.degraded_observers = base.degraded_observers
+    dedup = 0
+    for d in dumps:
+        ws = d["stats"]
+        stats.expansions += ws["expansions"]
+        stats.actions_executed += ws["actions_executed"]
+        stats.selector_faults += ws["selector_faults"]
+        stats.engine_faults += ws["engine_faults"]
+        stats.handoffs += ws["handoffs"]
+        stats.steals += ws["steals"]
+        dedup += ws["dedup_hits"]
+        if ws["peak_rss_bytes"] > stats.peak_rss_bytes:
+            stats.peak_rss_bytes = ws["peak_rss_bytes"]
+    stats.shard_sizes = tuple(len(d["configs"]) for d in dumps)
+    stats.worker_expansions = tuple(d["stats"]["executed"] for d in dumps)
+    return dedup
+
+
+def _emit_trace_batch(tracer, records) -> None:
+    """Re-emit one worker task's records, renumbered into the master's
+    sequence space (contiguous-range remap keeps intra-batch structure;
+    batch emission order is canonical, so the result is byte-stable)."""
+    if not records:
+        return
+    seqs = [r["seq"] for r in records]
+    seqs += [r["end_seq"] for r in records if "end_seq" in r]
+    lo, hi = min(seqs), max(seqs)
+    base = tracer._seq  # the master allocates the renumbered range
+    for r in records:
+        r = dict(r)
+        r["seq"] = base + r["seq"] - lo
+        if "end_seq" in r:
+            r["end_seq"] = base + r["end_seq"] - lo
+        tracer.emit(r)
+    tracer._seq = base + (hi - lo) + 1
+
+
+def _read_bfs_snapshot(path, fingerprint, opts):
+    """Load a ``driver="bfs"`` snapshot into merge-ready form."""
+    payload = read_snapshot(
+        path, driver="bfs", fingerprint=fingerprint,
+        options_key=opts.resume_key(),
+    )
+    old = payload["graph"]
+    queued = set(payload["queue"])
+    return {
+        "stats": payload["stats"],
+        "stubborn": payload.get("stubborn"),
+        "configs": list(old.configs),
+        "queued_gids": list(payload["queue"]),
+        "queued": queued,
+        "initial": old.configs[old.initial],
+        "edges": [
+            (old.configs[e.src], old.configs[e.dst], e.actions)
+            for e in old.edges
+        ],
+        "terminals": [
+            (old.configs[cid], status)
+            for cid, status in sorted(old.terminal.items())
+        ],
+    }
+
+
+def _bfs_attempt(
+    program, opts, observers, checkpointer, resume_from, restarts
+):
     from repro.explore.explorer import (
-        ExploreResult,
         ExploreStats,
         _ObserverGuard,
         _attached_registry,
@@ -354,218 +894,290 @@ def explore_parallel(program: Program, opts, observers=()):
     nshards = opts.jobs
     metrics = _attached_registry(observers)
     tracer = _attached_tracer(observers)
-    # master-side digest work (shard routing of the initial config, any
-    # digests taken during the merge) — workers count their own
     digest_base = digest_stats()
+    access = _make_access(program, opts)
+    fingerprint = program_fingerprint(program)
 
-    if opts.coarse_derefs:
-        access = AccessAnalysis(program, coarse_derefs=True)
+    snap = None
+    if resume_from is not None:
+        snap = _read_bfs_snapshot(resume_from, fingerprint, opts)
+        init = snap["initial"]
+        outstanding0 = len(snap["queued_gids"])
     else:
-        access = access_analysis(program)
+        init = initial_config(
+            program, track_procstrings=opts.step.track_procstrings
+        )
+        outstanding0 = 1
 
-    stats = ExploreStats(backend="parallel", jobs=nshards)
+    stats = ExploreStats(
+        backend="parallel", jobs=nshards, worker_restarts=restarts
+    )
+    if snap is not None:
+        stats.resumed = True
     guard = _ObserverGuard(observers, stats, metrics, tracer)
 
-    init = initial_config(program, track_procstrings=opts.step.track_procstrings)
-    init_shard = shard_of(init, nshards)
-
-    # Per-shard bookkeeping mirrored from the workers:
-    #   next_lid[s]   — the worker's next fresh local id
-    #   fragments[s]  — local id -> Config (reconstructed from sent batches)
-    next_lid = [0] * nshards
-    fragments: list[list[Config]] = [[] for _ in range(nshards)]
-    # Edges whose destination is a candidate of the *next* round:
-    # (src_shard, src_lid, actions, dst_shard, dst_batch_pos).
-    unresolved: list[tuple[int, int, tuple, int, int]] = []
-    # Fully resolved edges in production order:
-    # (src_shard, src_lid, actions, dst_shard, dst_lid).
-    edges_final: list[tuple[int, int, tuple, int, int]] = []
-    # (shard, lid, status) in classification order.
-    terminal_marks: list[tuple[int, int, str]] = []
-
-    pending: list[list[Config]] = [[] for _ in range(nshards)]
-    pending[init_shard].append(init)
-
-    pool = _WorkerPool(
-        program,
-        opts,
-        nshards,
+    spawn_span = (
+        tracer.begin_span("parallel.spawn", jobs=nshards)
+        if tracer is not None
+        else None
+    )
+    pool = _Pool(
+        program, opts, nshards,
+        outstanding0, len(snap["configs"]) if snap else 0,
         want_metrics=metrics is not None,
         want_trace=tracer is not None,
         trace_wall=tracer.record_wall if tracer is not None else True,
     )
-    worker_summaries: list[dict] = []
+    if spawn_span is not None:
+        tracer.end_span(spawn_span)
     try:
-        engine_fault = False
-        while any(pending):
-            expand = True
-            if deadline is not None and time.perf_counter() > deadline:
-                _truncate(stats, "time", tracer)
-            elif engine_fault:
-                _truncate(stats, "internal-error", tracer)
-            elif sum(next_lid) > opts.max_configs:
-                _truncate(stats, "configs", tracer)
-            elif opts.max_rss_bytes is not None:
-                rss = _current_rss_bytes()
-                if rss > stats.peak_rss_bytes:
-                    stats.peak_rss_bytes = rss
-                if rss > opts.max_rss_bytes:
-                    _truncate(stats, "memory", tracer)
-            if stats.truncated:
-                # Drain round: assign ids to the already-produced
-                # successors so every edge resolves, but expand nothing.
-                expand = False
+        # ---- seed ----------------------------------------------------
+        if snap is not None:
+            preload: list[list] = [[] for _ in range(nshards)]
+            queue_lids: list[list[int]] = [[] for _ in range(nshards)]
+            for gid, config in enumerate(snap["configs"]):
+                s = shard_of(config, nshards)
+                if gid in snap["queued"]:
+                    queue_lids[s].append(len(preload[s]))
+                preload[s].append(pool.store.encode_config(config))
+            for s in range(nshards):
+                pool.inboxes[s].put(("preload", preload[s], queue_lids[s]))
+        else:
+            pool.inboxes[shard_of(init, nshards)].put(
+                (
+                    "cand",
+                    nshards,
+                    [(pool.store.encode_config(init), None, None, None)],
+                )
+            )
 
-            batch_sizes = [len(b) for b in pending]
-            stats.rounds += 1
+        run_span = (
+            tracer.begin_span("parallel.run", jobs=nshards)
+            if tracer is not None
+            else None
+        )
+        cp = checkpointer
+        next_cp = cp.every if cp is not None else None
+        shared = pool.shared
+        last_progress = None
+        last_progress_t = time.monotonic()
+
+        # ---- drive ---------------------------------------------------
+        while True:
+            if shared.outstanding.value == 0:
+                break
+            time.sleep(_POLL_S)
+            pool.check_alive()
+            pool.check_crash()
+            now = time.monotonic()
+            if not stats.truncated:
+                if deadline is not None and time.perf_counter() > deadline:
+                    _truncate(stats, "time", tracer)
+                elif shared.engine_fault.value:
+                    _truncate(stats, "internal-error", tracer)
+                elif shared.configs.value > opts.max_configs:
+                    _truncate(stats, "configs", tracer)
+                elif opts.max_rss_bytes is not None:
+                    rss = _current_rss_bytes()
+                    if rss > stats.peak_rss_bytes:
+                        stats.peak_rss_bytes = rss
+                    if rss > opts.max_rss_bytes:
+                        _truncate(stats, "memory", tracer)
+                if stats.truncated:
+                    shared.mode.value = _DRAIN
             if metrics is not None:
-                metrics.inc("parallel.rounds")
-                metrics.observe("parallel.queue_depth", sum(batch_sizes))
-
-            round_span = scatter_span = None
-            if tracer is not None:
-                round_span = tracer.begin_span(
-                    "explore.round",
-                    index=stats.rounds - 1,
-                    queued=sum(batch_sizes),
-                    expand=expand,
+                metrics.observe(
+                    "parallel.queue_depth",
+                    sum(shared.qdepth[s] for s in range(nshards)),
                 )
-                scatter_span = tracer.begin_span(
-                    "parallel.scatter", configs=sum(batch_sizes)
-                )
-            pool.scatter(pending, expand)
-            if tracer is not None:
-                tracer.end_span(scatter_span)
-                gather_span = tracer.begin_span("parallel.gather")
-            replies = pool.gather()
-            if tracer is not None:
-                tracer.end_span(gather_span)
-                # Worker-recorded spans/events for this round, re-emitted
-                # in shard order: trace order is (round, shard, seq) —
-                # deterministic, and each record keeps its shard tag.
-                for reply in replies:
-                    for record in reply[5] or ():
-                        tracer.emit(record)
-                tracer.end_span(round_span)
-
-            # Reconstruct each shard's fresh-config fragment from the
-            # batch we just sent it (same first-seen order the worker
-            # used for id assignment).
-            lids_by_shard = []
-            for s, (batch_lids, terminals, edges, out, fault, _tb) in enumerate(
-                replies
+            if (
+                next_cp is not None
+                and not stats.truncated
+                and shared.expansions.value >= next_cp
             ):
-                lids_by_shard.append(batch_lids)
-                for pos, lid in enumerate(batch_lids):
-                    if lid == next_lid[s]:
-                        fragments[s].append(pending[s][pos])
-                        next_lid[s] += 1
-                for lid, status in terminals:
-                    terminal_marks.append((s, lid, status))
-                engine_fault = engine_fault or fault
-
-            # Resolve the previous round's edges against this round's
-            # shard-local ids.
-            for src_shard, src_lid, actions, dst_shard, dst_pos in unresolved:
-                dst_lid = lids_by_shard[dst_shard][dst_pos]
-                edges_final.append(
-                    (src_shard, src_lid, actions, dst_shard, dst_lid)
+                stopped = _quiescent_checkpoint(
+                    pool, cp, stats, opts, fingerprint, snap, init, tracer
                 )
-            unresolved = []
+                while next_cp <= shared.expansions.value:
+                    next_cp += cp.every
+                if stopped:
+                    _truncate(stats, "interrupted", tracer)
+                    shared.mode.value = _DRAIN
+                    pool.send_all(("resume",))  # unpark into the drain
+                last_progress_t = time.monotonic()
+                continue
+            progress = (
+                shared.outstanding.value,
+                shared.configs.value,
+                shared.expansions.value,
+                shared.suspended.value,
+            )
+            if progress != last_progress:
+                last_progress = progress
+                last_progress_t = now
+            elif now - last_progress_t > opts.parallel_watchdog_s:
+                raise _PoolFailure(
+                    f"no progress for {opts.parallel_watchdog_s:.0f}s with "
+                    f"{progress[0]} work units outstanding (wedged worker?)"
+                )
 
-            # Route this round's successor batches and re-key this
-            # round's edges to positions in the next round's batches.
-            next_pending: list[list[Config]] = [[] for _ in range(nshards)]
-            for s, (batch_lids, terminals, edges, out, fault, _tb) in enumerate(
-                replies
-            ):
-                offsets = {}
-                for dshard, bucket in out.items():
-                    offsets[dshard] = len(next_pending[dshard])
-                    next_pending[dshard].extend(bucket)
-                    if dshard != s:
-                        stats.handoffs += len(bucket)
-                for src_lid, actions, dshard, idx in edges:
-                    unresolved.append(
-                        (s, src_lid, actions, dshard, offsets[dshard] + idx)
-                    )
-            pending = next_pending
+        dumps = pool.collect_dumps(final=True, timeout_s=_JOIN_TIMEOUT_S)
+        if run_span is not None:
+            tracer.end_span(run_span)
 
-        worker_summaries = pool.finish()
+        # ---- canonical merge ----------------------------------------
+        merge_span = (
+            tracer.begin_span("parallel.merge") if tracer is not None else None
+        )
+        graph, edge_items, term_items, frag = _merge_graph(
+            dumps,
+            snap["edges"] if snap else [],
+            snap["terminals"] if snap else [],
+            init,
+            metrics,
+        )
+        dedup = _sum_dump_stats(stats, dumps, snap["stats"] if snap else None)
+        preloaded = (
+            {graph.config_id(c) for c in snap["configs"]} if snap else set()
+        )
+        owner_of = {graph.config_id(c): key for key, c in frag.items()}
+        trace_batches: dict[tuple, list] = {}
+        for d in dumps:
+            if d["trace"]:
+                trace_batches.update(d["trace"])
+        for cid in range(graph.num_configs):
+            if cid not in preloaded:
+                guard.on_config(graph, cid, graph.configs[cid], True, None)
+            if tracer is not None:
+                batch = trace_batches.get(owner_of.get(cid))
+                if batch:
+                    _emit_trace_batch(tracer, batch)
+        for src, actions, dst, is_new in edge_items:
+            if is_new:
+                guard.on_edge(graph, src, dst, actions)
+        for cid, status, is_new in term_items:
+            if status == TERMINATED:
+                stats.num_terminated += 1
+            elif status == DEADLOCK:
+                stats.num_deadlocks += 1
+            else:
+                stats.num_faults += 1
+            if is_new:
+                guard.on_config(graph, cid, graph.configs[cid], False, status)
+
+        merged_stubborn = _merge_stubborn(
+            [snap["stubborn"] if snap else None]
+            + [d["stubborn"] for d in dumps]
+        )
+        if metrics is not None:
+            for d in dumps:
+                if d["metrics"]:
+                    metrics.merge(d["metrics"])
+            if dedup:
+                metrics.inc("explore.intern.hits", dedup)
+            balance = stats.shard_balance
+            if balance is not None:
+                metrics.set_gauge("parallel.shard_balance", balance)
+            metrics.inc("parallel.handoffs", stats.handoffs)
+            metrics.inc("parallel.steals", stats.steals)
+        if merge_span is not None:
+            tracer.end_span(
+                merge_span, configs=graph.num_configs, edges=graph.num_edges
+            )
+        result = _finalize(
+            program, graph, stats, opts, access, None, guard, metrics, t0,
+            checkpointer, tracer, digest_base=digest_base,
+        )
+        stats.stubborn = merged_stubborn
+        return result
     finally:
         pool.shutdown()
 
-    # ------------------------------------------------------------------
-    # deterministic merge
-    # ------------------------------------------------------------------
 
-    stats.shard_sizes = tuple(next_lid)
-    for summary in worker_summaries:
-        stats.expansions += summary["expansions"]
-        stats.actions_executed += summary["actions_executed"]
-        stats.selector_faults += summary["selector_faults"]
-        stats.engine_faults += summary["engine_faults"]
-        if summary["peak_rss_bytes"] > stats.peak_rss_bytes:
-            stats.peak_rss_bytes = summary["peak_rss_bytes"]
+def _quiescent_checkpoint(
+    pool, cp, stats, opts, fingerprint, snap, init, tracer
+) -> bool:
+    """Pause the pool at a quiescent point, snapshot, resume (unless
+    ``stop_after`` says to stop).  Returns True when the engine should
+    stop (the resume-equivalence "pull the plug here" knob)."""
+    from repro.explore.explorer import ExploreStats
 
-    graph = ConfigGraph()
-    graph.metrics = metrics
-    gid: dict[tuple[int, int], int] = {}
-    for s in range(nshards):
-        for lid, config in enumerate(fragments[s]):
-            g, fresh = graph.add_config(config)
-            # Shard ownership is a partition: equal configs share a
-            # digest, hence a shard, hence were deduplicated there.
-            assert fresh, "cross-shard duplicate — digest partition broken"
-            gid[(s, lid)] = g
-    if fragments[init_shard]:
-        graph.initial = gid[(init_shard, 0)]
-    for s in range(nshards):
-        for lid, config in enumerate(fragments[s]):
-            guard.on_config(graph, gid[(s, lid)], config, True, None)
+    shared = pool.shared
+    shared.mode.value = _PAUSE
+    deadline = time.monotonic() + max(opts.parallel_watchdog_s, 5.0)
+    while True:
+        # ``outstanding`` only decreases and ``suspended`` only grows
+        # during a pause, and suspended <= outstanding always — so
+        # reading outstanding *first* makes equality prove quiescence
+        out = shared.outstanding.value
+        if out == shared.suspended.value:
+            break
+        pool.check_alive()
+        if time.monotonic() > deadline:
+            raise _PoolFailure("pool failed to quiesce for a checkpoint")
+        time.sleep(_POLL_S)
+    dumps = pool.collect_dumps(final=False, timeout_s=_JOIN_TIMEOUT_S)
 
-    for src_shard, src_lid, actions, dst_shard, dst_lid in edges_final:
-        src = gid[(src_shard, src_lid)]
-        dst = gid[(dst_shard, dst_lid)]
-        graph.add_edge(src, dst, actions)
-        guard.on_edge(graph, src, dst, actions)
-
-    for s, lid, status in terminal_marks:
-        cid = gid[(s, lid)]
-        graph.mark_terminal(cid, status)
+    graph, _, term_items, frag = _merge_graph(
+        dumps,
+        snap["edges"] if snap else [],
+        snap["terminals"] if snap else [],
+        init,
+        None,
+    )
+    cp_stats = ExploreStats(backend="parallel", jobs=opts.jobs)
+    _sum_dump_stats(cp_stats, dumps, snap["stats"] if snap else None)
+    for _, status, _n in term_items:
         if status == TERMINATED:
-            stats.num_terminated += 1
+            cp_stats.num_terminated += 1
         elif status == DEADLOCK:
-            stats.num_deadlocks += 1
+            cp_stats.num_deadlocks += 1
         else:
-            stats.num_faults += 1
-        guard.on_config(graph, cid, graph.configs[cid], False, status)
-
-    merged_stubborn = _merge_stubborn(
-        [s["stubborn"] for s in worker_summaries]
+            cp_stats.num_faults += 1
+    cp_stats.resumed = stats.resumed
+    cp_stats.worker_restarts = stats.worker_restarts
+    # d["parked"] entries are (owner, lid): resolve against the owner
+    queued = sorted(
+        graph.config_id(frag[(owner, lid)])
+        for d in dumps
+        for owner, lid in d["parked"]
     )
-    if metrics is not None:
-        # Worker registries carry the deep series recorded where the
-        # work happened (explore.expansions, stubborn.*, coarsen.*);
-        # merging them replaces the old master-side re-derivation, which
-        # silently dropped everything a worker observed.
-        for summary in worker_summaries:
-            snap = summary.get("metrics")
-            if snap:
-                metrics.merge(snap)
-        total_hits = sum(s["dedup_hits"] for s in worker_summaries)
-        if total_hits:
-            metrics.inc("explore.intern.hits", total_hits)
-        balance = stats.shard_balance
-        if balance is not None:
-            metrics.set_gauge("parallel.shard_balance", balance)
-        metrics.inc("parallel.handoffs", stats.handoffs)
-    result: ExploreResult = _finalize(
-        program, graph, stats, opts, access, None, guard, metrics, t0, None,
-        tracer, digest_base=digest_base,
+    payload = {
+        "driver": "bfs",
+        "fingerprint": fingerprint,
+        "options_key": opts.resume_key(),
+        "graph": graph,
+        "stats": cp_stats,
+        "stubborn": _merge_stubborn(
+            [snap["stubborn"] if snap else None]
+            + [d["stubborn"] for d in dumps]
+        ),
+        "queue": queued,
+        "processed": set(range(graph.num_configs)) - set(queued),
+    }
+    span = (
+        tracer.begin_span("checkpoint.write", index=cp.written)
+        if tracer is not None
+        else None
     )
-    stats.stubborn = merged_stubborn
-    return result
+    try:
+        write_snapshot(cp.path, payload)
+        cp.written += 1
+        if span is not None:
+            tracer.end_span(span, ok=True)
+    except Exception as exc:  # I/O must never kill the run
+        cp.faults += 1
+        if span is not None:
+            tracer.end_span(span, ok=False)
+        LOG.warning(
+            "checkpoint write to %r failed (%s); continuing without it",
+            cp.path, exc,
+        )
+    if cp.stop_after is not None and cp.written >= cp.stop_after:
+        return True
+    shared.mode.value = _RUN
+    pool.send_all(("resume",))
+    return False
 
 
 def _merge_stubborn(parts: list) -> StubbornStats | None:
@@ -582,3 +1194,170 @@ def _merge_stubborn(parts: list) -> StubbornStats | None:
         merged.chosen_total += part.chosen_total
         merged.singleton_steps += part.singleton_steps
     return merged
+
+
+# --------------------------------------------------------------------------
+# sleep mode: master-sequenced DFS, sharded expansion servers
+# --------------------------------------------------------------------------
+
+
+def _sleep_worker_main(
+    wid, nshards, program, opts, inboxes, results, shared, store,
+    want_metrics, want_trace, trace_wall,
+):
+    """Worker process entry point (sleep mode).
+
+    Sleep-set pruning is order-dependent, so the DFS itself runs on the
+    master (:func:`repro.explore.explorer._explore_sleep`); each worker
+    only *expands* the configurations of its shard, keeping that shard's
+    memo cache and digest tables warm across requests.
+    """
+    from repro.explore.explorer import _expand
+
+    try:
+        store.bind(wid)
+        access = _make_access(program, opts)
+        cache = ExpandCache() if getattr(opts, "memo", True) else None
+        digest_base = digest_stats()
+        wreg = None
+        if want_metrics:
+            from repro.metrics.registry import MetricsRegistry
+
+            wreg = MetricsRegistry()
+        tracer = sink = None
+        if want_trace:
+            from repro.trace.sinks import ListSink
+            from repro.trace.tracer import Tracer
+
+            sink = ListSink()
+            tracer = Tracer(sink, shard=wid, record_wall=trace_wall)
+        served = 0
+        while True:
+            msg = inboxes[wid].get()
+            if msg[0] == "expand":
+                _maybe_chaos_exit()
+                config = store.decode_config(msg[1])
+                served += 1
+                try:
+                    chaos.kick("eval")
+                    expansions = _expand(
+                        program, config, access, opts, wreg, tracer, cache
+                    )
+                    reply = (
+                        "exp", True,
+                        pickle.dumps(
+                            expansions, protocol=pickle.HIGHEST_PROTOCOL
+                        ),
+                    )
+                except Exception as exc:
+                    reply = ("exp", False, repr(exc))
+                results.put(
+                    reply + (sink.drain() if sink is not None else None,)
+                )
+            elif msg[0] == "dump":
+                if wreg is not None:
+                    from repro.explore.explorer import _emit_incremental_metrics
+
+                    _emit_incremental_metrics(wreg, cache, digest_base)
+                results.put(
+                    (
+                        "dump",
+                        wid,
+                        {
+                            "wid": wid,
+                            "served": served,
+                            "metrics": (
+                                wreg.snapshot() if wreg is not None else None
+                            ),
+                        },
+                    )
+                )
+                if msg[1]:
+                    return
+    except Exception:
+        try:
+            results.put(("crash", wid, traceback.format_exc()))
+        except Exception:
+            pass
+    finally:
+        store.close()
+
+
+def _sleep_attempt(
+    program, opts, observers, checkpointer, resume_from, restarts
+):
+    from repro.explore.explorer import (
+        _attached_registry,
+        _attached_tracer,
+        _explore_sleep,
+    )
+
+    nshards = opts.jobs
+    metrics = _attached_registry(observers)
+    tracer = _attached_tracer(observers)
+    access = _make_access(program, opts)
+    selector = _make_selector(program, access, opts.policy)
+    if selector is not None and metrics is not None:
+        selector.metrics = metrics
+
+    spawn_span = (
+        tracer.begin_span("parallel.spawn", jobs=nshards)
+        if tracer is not None
+        else None
+    )
+    pool = _Pool(
+        program, opts, nshards, 0, 0,
+        want_metrics=metrics is not None,
+        want_trace=tracer is not None,
+        trace_wall=tracer.record_wall if tracer is not None else True,
+        worker_main=_sleep_worker_main,
+    )
+    if spawn_span is not None:
+        tracer.end_span(spawn_span)
+
+    def expand_fn(config, cid):
+        """Farm one expansion to the config's shard owner (synchronous:
+        the DFS needs the result to take its next pruning decision)."""
+        pool.inboxes[shard_of(config, nshards)].put(
+            ("expand", pool.store.encode_config(config))
+        )
+        deadline = time.monotonic() + opts.parallel_watchdog_s
+        while True:
+            try:
+                msg = pool.results.get(timeout=0.05)
+                break
+            except _queue.Empty:
+                pool.check_alive()  # raises _PoolFailure past the guards
+                if time.monotonic() > deadline:
+                    raise _PoolFailure(
+                        "expansion worker unresponsive (wedged?)"
+                    )
+        if msg[0] == "crash":
+            raise ReproError(
+                f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
+            )
+        _, ok, data, records = msg
+        if tracer is not None and records:
+            _emit_trace_batch(tracer, records)
+        if not ok:
+            # surfaces through _expand_guarded exactly like a serial
+            # expansion crash: internal-error truncation, not a retry
+            raise RuntimeError(f"worker-side expansion failed: {data}")
+        return pickle.loads(data)
+
+    try:
+        result = _explore_sleep(
+            program, opts, access, selector, observers, metrics,
+            checkpointer, resume_from,
+            expand_fn=expand_fn, backend="parallel", jobs=nshards,
+        )
+        result.stats.worker_restarts = restarts
+        dumps = pool.collect_dumps(final=True, timeout_s=_JOIN_TIMEOUT_S)
+        result.stats.worker_expansions = tuple(d["served"] for d in dumps)
+        if metrics is not None:
+            for d in dumps:
+                if d["metrics"]:
+                    metrics.merge(d["metrics"])
+        return result
+    finally:
+        pool.shutdown()

@@ -27,7 +27,20 @@ Failure points wired into the engine (see :data:`POINTS`):
     fires when computing a configuration's expansions (the semantic
     core) — simulates an engine bug mid-search;
 ``checkpoint``
-    fires inside snapshot writes — simulates a full disk / bad path.
+    fires inside snapshot writes — simulates a full disk / bad path;
+``worker``
+    fires at the top of a parallel worker's task execution and makes the
+    worker process *hard-exit* (``os._exit``) — simulates an OOM kill or
+    segfault of one shard owner;
+``worker-hang``
+    fires at the same site but makes the worker sleep indefinitely —
+    simulates a wedged worker that the master's watchdog must detect.
+
+The ``worker*`` points fire inside forked worker processes, whose memory
+is copy-on-write: a firing there is invisible to the master (and to any
+restarted worker pool) unless the armed state lives in shared memory.
+Arm them with ``shared=True`` so ``times=1`` means *once across every
+process* — the restarted pool then runs clean.
 
 When no injector is installed (:data:`_ACTIVE` is None) every kick is a
 single attribute test — cheap enough for the hot loop.  The module is
@@ -42,7 +55,9 @@ from dataclasses import dataclass
 
 #: Failure points the engine kicks.  Arming any other name is an error —
 #: a misspelled chaos test would silently test nothing.
-POINTS = ("observer", "selector", "eval", "checkpoint")
+POINTS = (
+    "observer", "selector", "eval", "checkpoint", "worker", "worker-hang",
+)
 
 
 class ChaosFault(RuntimeError):
@@ -62,36 +77,93 @@ class _Armed:
     times: int  # firings allowed; -1 = unlimited
     fired: int = 0
 
+    def try_fire(self) -> int:
+        """Consume one kick; return the firing ordinal (>0) or 0."""
+        if self.after > 0:
+            self.after -= 1
+            return 0
+        if self.times >= 0 and self.fired >= self.times:
+            return 0
+        self.fired += 1
+        return self.fired
+
+
+class _SharedArmed:
+    """Armed state in shared memory: the ``after``/``times``/``fired``
+    budget is one pool of counters across every process that inherited
+    the injector (fork makes plain ints copy-on-write, so a firing
+    inside a worker would otherwise never decrement the parent's or a
+    sibling's budget)."""
+
+    def __init__(self, after: int, times: int) -> None:
+        import multiprocessing
+
+        self._lock = multiprocessing.Lock()
+        self._after = multiprocessing.RawValue("i", after)
+        self._times = multiprocessing.RawValue("i", times)
+        self._fired = multiprocessing.RawValue("i", 0)
+
+    @property
+    def fired(self) -> int:
+        return self._fired.value
+
+    def try_fire(self) -> int:
+        with self._lock:
+            if self._after.value > 0:
+                self._after.value -= 1
+                return 0
+            times = self._times.value
+            if times >= 0 and self._fired.value >= times:
+                return 0
+            self._fired.value += 1
+            return self._fired.value
+
 
 class FaultInjector:
     """Arms failure points and raises :class:`ChaosFault` when kicked."""
 
     def __init__(self) -> None:
-        self._armed: dict[str, _Armed] = {}
-        #: per-point count of faults actually raised
+        self._armed: dict[str, object] = {}
+        #: per-point count of faults actually raised *in this process*
+        #: (shared-armed points additionally expose the cross-process
+        #: count via ``armed_fired``)
         self.fired: dict[str, int] = {}
 
-    def arm(self, point: str, *, after: int = 0, times: int = 1) -> None:
+    def arm(
+        self, point: str, *, after: int = 0, times: int = 1,
+        shared: bool = False,
+    ) -> None:
         """Arm *point*: skip the first *after* kicks, then fire *times*
-        times (``times=-1`` fires on every subsequent kick)."""
+        times (``times=-1`` fires on every subsequent kick).
+
+        ``shared=True`` backs the budget with shared memory so kicks in
+        forked worker processes draw from the same pool — required for
+        the ``worker``/``worker-hang`` points, whose firings happen in
+        children the parent cannot otherwise observe."""
         if point not in POINTS:
             raise ValueError(
                 f"unknown failure point {point!r}; known: {', '.join(POINTS)}"
             )
-        self._armed[point] = _Armed(after=after, times=times)
+        self._armed[point] = (
+            _SharedArmed(after, times) if shared
+            else _Armed(after=after, times=times)
+        )
+
+    def armed_fired(self, point: str) -> int:
+        """Total firings of *point* across every process (for
+        shared-armed points; equals ``fired[point]`` otherwise)."""
+        armed = self._armed.get(point)
+        return armed.fired if armed is not None else 0
 
     def kick(self, point: str) -> None:
         armed = self._armed.get(point)
         if armed is None:
             return
-        if armed.after > 0:
-            armed.after -= 1
+        ordinal = armed.try_fire()
+        if not ordinal:
             return
-        if armed.times >= 0 and armed.fired >= armed.times:
-            return
-        armed.fired += 1
         self.fired[point] = self.fired.get(point, 0) + 1
-        raise ChaosFault(f"injected fault at {point!r} (#{armed.fired})")
+        raise ChaosFault(f"injected fault at {point!r} (#{ordinal})")
 
 
 #: The installed injector, or None.  Module-global rather than threaded
@@ -120,11 +192,16 @@ def kick(point: str) -> None:
 
 
 @contextmanager
-def injected(*points: str, after: int = 0, times: int = 1):
-    """Install a fresh injector with *points* armed, for one ``with``."""
+def injected(*points: str, after: int = 0, times: int = 1,
+             shared: bool = False):
+    """Install a fresh injector with *points* armed, for one ``with``.
+
+    Pass ``shared=True`` when arming ``worker``/``worker-hang`` so the
+    firing budget spans forked worker processes (see :meth:`FaultInjector.arm`).
+    """
     injector = FaultInjector()
     for point in points:
-        injector.arm(point, after=after, times=times)
+        injector.arm(point, after=after, times=times, shared=shared)
     install(injector)
     try:
         yield injector

@@ -1,0 +1,219 @@
+"""Shared-memory component transport for the parallel backend.
+
+The work-stealing exploration backend routes *candidate configurations*
+between OS processes continuously (unlike the old round-barrier design,
+which scattered whole batches once per round).  Pickling every candidate
+in full would re-serialize the same interned :class:`~repro.semantics.
+config.Process` and :class:`~repro.semantics.config.HeapObj` components
+thousands of times — successors share almost all structure with their
+parents, which is the entire point of interning.
+
+This module ships each distinct component across the boundary **once**:
+
+* every participant (each worker, plus the master) owns one append-only
+  ``multiprocessing.shared_memory`` segment it alone writes;
+* encoding a configuration writes any component not yet published to the
+  producer's own segment and replaces it with a ``("r", producer,
+  offset)`` handle — subsequent configurations reusing the component
+  carry only the 3-tuple;
+* decoding reads the ``[u32 length][pickle]`` record at the handle (the
+  component pickle re-interns via ``__reduce__``, so the receiver gets
+  its canonical object) and caches the handle → object mapping, making
+  repeat decodes pointer lookups.
+
+Segments are created by the master *before* forking and inherited by the
+workers through ``Process`` args — no name re-attachment, so the
+resource tracker sees each segment exactly once and the master's
+``unlink()`` in its ``finally`` block is the single point of cleanup.
+When a segment fills up, or when the platform cannot fork / lacks POSIX
+shared memory, encoding degrades per-component to an inline ``("b",
+pickle)`` payload: strictly the old behaviour, never an error.
+
+The codec is deliberately asymmetric-free: any participant can encode
+(workers publish successor components; the master publishes the initial
+configuration and checkpoint-resume preloads) and any participant can
+decode any producer's handles.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Optional
+
+from repro.semantics.config import Config, intern_config
+
+#: Default size of each producer's append-only segment.  Components are
+#: a few hundred bytes pickled; 8 MiB holds tens of thousands of them,
+#: and overflow degrades to inline payloads rather than failing.
+DEFAULT_SEGMENT_BYTES = 8 * 1024 * 1024
+
+_LEN = struct.Struct("<I")
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory can back the transport."""
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - exotic platforms
+        return False
+    return True
+
+
+class ComponentStore:
+    """Per-producer shared-memory logs plus the config codec.
+
+    Create in the master with ``nproducers = nshards + 1`` (producer
+    ``nshards`` is the master), fork, then call :meth:`bind` in every
+    process with its own producer id before encoding.  Decoding needs no
+    binding.  ``use_shm=False`` builds an inline-only store (every
+    component ships as bytes) with the identical interface.
+    """
+
+    def __init__(
+        self,
+        nproducers: int,
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        use_shm: bool = True,
+        name_prefix: str = "repro-shm",
+    ) -> None:
+        self.nproducers = nproducers
+        self.segment_bytes = segment_bytes
+        self._segments: list = []
+        self._producer: Optional[int] = None
+        self._tail = [0] * nproducers
+        # encoder state: id(component) -> (component, handle); holding
+        # the component pins it, so id() reuse cannot alias the map
+        self._published: dict[int, tuple] = {}
+        # decoder state: (producer, offset) -> component
+        self._decoded: dict[tuple[int, int], object] = {}
+        self.inline_fallbacks = 0  # components shipped as raw bytes
+        if use_shm and shm_available():
+            from multiprocessing import shared_memory
+            import os
+            import secrets
+
+            token = f"{name_prefix}-{os.getpid()}-{secrets.token_hex(4)}"
+            try:
+                for i in range(nproducers):
+                    self._segments.append(
+                        shared_memory.SharedMemory(
+                            name=f"{token}-{i}", create=True,
+                            size=segment_bytes,
+                        )
+                    )
+            except OSError:  # pragma: no cover - /dev/shm unavailable
+                self.unlink()
+                self._segments = []
+
+    @property
+    def using_shm(self) -> bool:
+        return bool(self._segments)
+
+    def segment_names(self) -> list[str]:
+        """The backing segment names (leak-check support for tests)."""
+        return [s.name for s in self._segments]
+
+    def bind(self, producer: int) -> None:
+        """Declare which producer slot this process writes."""
+        if not 0 <= producer < self.nproducers:
+            raise ValueError(f"producer {producer} out of range")
+        self._producer = producer
+
+    # ------------------------------------------------------------------
+    # encoding
+    # ------------------------------------------------------------------
+
+    def _publish(self, component) -> tuple:
+        """The transport handle for one Process/HeapObj component."""
+        key = id(component)
+        hit = self._published.get(key)
+        if hit is not None:
+            return hit[1]
+        data = pickle.dumps(component, protocol=pickle.HIGHEST_PROTOCOL)
+        handle = None
+        if self._segments and self._producer is not None:
+            seg = self._segments[self._producer]
+            tail = self._tail[self._producer]
+            end = tail + _LEN.size + len(data)
+            if end <= self.segment_bytes:
+                _LEN.pack_into(seg.buf, tail, len(data))
+                seg.buf[tail + _LEN.size : end] = data
+                self._tail[self._producer] = end
+                handle = ("r", self._producer, tail)
+        if handle is None:
+            handle = ("b", data)
+            self.inline_fallbacks += 1
+        self._published[key] = (component, handle)
+        return handle
+
+    def encode_config(self, config: Config) -> tuple:
+        """A compact, queue-shippable payload for *config*."""
+        return (
+            tuple(self._publish(p) for p in config.procs),
+            config.globals,
+            tuple(self._publish(o) for o in config.heap),
+            config.fault,
+            config._digest,
+        )
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+
+    def _resolve(self, handle: tuple):
+        tag = handle[0]
+        if tag == "b":
+            return pickle.loads(handle[1])
+        key = (handle[1], handle[2])
+        hit = self._decoded.get(key)
+        if hit is not None:
+            return hit
+        buf = self._segments[handle[1]].buf
+        offset = handle[2]
+        (length,) = _LEN.unpack_from(buf, offset)
+        start = offset + _LEN.size
+        component = pickle.loads(bytes(buf[start : start + length]))
+        self._decoded[key] = component
+        return component
+
+    def decode_config(self, payload: tuple) -> Config:
+        """Rebuild (and intern) a configuration from a payload."""
+        proc_refs, globals_, heap_refs, fault, digest = payload
+        config = intern_config(
+            Config(
+                procs=tuple(self._resolve(r) for r in proc_refs),
+                globals=globals_,
+                heap=tuple(self._resolve(r) for r in heap_refs),
+                fault=fault,
+            )
+        )
+        if digest is not None and config._digest is None:
+            object.__setattr__(config, "_digest", digest)
+        return config
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap this process's views (workers, on exit)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def unlink(self) -> None:
+        """Close and remove the segments (master only, exactly once)."""
+        for seg in self._segments:
+            try:
+                seg.close()
+            except OSError:  # pragma: no cover
+                pass
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._segments = []

@@ -1,8 +1,9 @@
-"""Cross-backend differential suite: the parallel sharded driver must be
-*indistinguishable* from the serial BFS reference in everything the
+"""Cross-backend differential suite: the parallel work-stealing driver
+must be *indistinguishable* from the serial reference in everything the
 paper's theory cares about.
 
-Contract, per corpus program × expansion policy × jobs ∈ {1, 2, 4}:
+Contract, per corpus program × expansion policy (± sleep sets) × jobs
+∈ {1, 2, 4}:
 
 - identical configuration count and edge count (the policies are
   deterministic per-configuration functions, so the explored graphs are
@@ -54,15 +55,21 @@ _EXCLUDED_SERIES = frozenset(
     {"explore.frontier_depth", "explore.intern.hits"}
 )
 
-#: (policy, coarsen) — sleep is serial-only by design.
+#: (policy, coarsen, sleep) — sleep sets compose with the parallel
+#: backend since the work-stealing rewrite (master-sequenced DFS with
+#: sharded expansion servers).
 PARALLEL_COMBOS = (
-    ("full", False),
-    ("stubborn", False),
-    ("stubborn-proc", False),
-    ("stubborn", True),
+    ("full", False, False),
+    ("stubborn", False, False),
+    ("stubborn-proc", False, False),
+    ("stubborn", True, False),
+    ("full", False, True),
+    ("stubborn", False, True),
+    ("stubborn-proc", False, True),
 )
 COMBO_IDS = [
-    ExploreOptions(policy=p, coarsen=c).describe() for p, c in PARALLEL_COMBOS
+    ExploreOptions(policy=p, coarsen=c, sleep=s).describe()
+    for p, c, s in PARALLEL_COMBOS
 ]
 
 _PROGRAMS: dict = {}
@@ -76,15 +83,15 @@ def _program(name):
     return prog
 
 
-def _serial(name, policy, coarsen):
+def _serial(name, policy, coarsen, sleep=False):
     """Serial reference result + its comparable-metrics snapshot."""
-    key = (name, policy, coarsen)
+    key = (name, policy, coarsen, sleep)
     cached = _SERIAL.get(key)
     if cached is None:
         mo = MetricsObserver()
         r = explore(
             _program(name),
-            options=ExploreOptions(policy=policy, coarsen=coarsen),
+            options=ExploreOptions(policy=policy, coarsen=coarsen, sleep=sleep),
             observers=(mo,),
         )
         cached = _SERIAL[key] = (r, _comparable(mo.snapshot()))
@@ -128,16 +135,17 @@ def _assert_equivalent(par, ser) -> None:
 @pytest.mark.parametrize("combo", PARALLEL_COMBOS, ids=COMBO_IDS)
 @pytest.mark.parametrize("name", sorted(CORPUS))
 def test_corpus_matches_serial_at_two_jobs(name, combo):
-    policy, coarsen = combo
+    policy, coarsen, sleep = combo
     mo = MetricsObserver()
     par = explore(
         _program(name),
         options=ExploreOptions(
-            policy=policy, coarsen=coarsen, backend="parallel", jobs=2
+            policy=policy, coarsen=coarsen, sleep=sleep,
+            backend="parallel", jobs=2,
         ),
         observers=(mo,),
     )
-    ser, ser_metrics = _serial(name, policy, coarsen)
+    ser, ser_metrics = _serial(name, policy, coarsen, sleep)
     _assert_equivalent(par, ser)
     assert _comparable(mo.snapshot()) == ser_metrics
 
@@ -146,16 +154,17 @@ def test_corpus_matches_serial_at_two_jobs(name, combo):
 @pytest.mark.parametrize("combo", PARALLEL_COMBOS, ids=COMBO_IDS)
 @pytest.mark.parametrize("name", sorted(SMOKE_PROGRAMS))
 def test_smoke_subset_across_jobs(name, combo, jobs):
-    policy, coarsen = combo
+    policy, coarsen, sleep = combo
     mo = MetricsObserver()
     par = explore(
         _program(name),
         options=ExploreOptions(
-            policy=policy, coarsen=coarsen, backend="parallel", jobs=jobs
+            policy=policy, coarsen=coarsen, sleep=sleep,
+            backend="parallel", jobs=jobs,
         ),
         observers=(mo,),
     )
-    ser, ser_metrics = _serial(name, policy, coarsen)
+    ser, ser_metrics = _serial(name, policy, coarsen, sleep)
     _assert_equivalent(par, ser)
     assert _comparable(mo.snapshot()) == ser_metrics
 
@@ -178,15 +187,15 @@ def _run(name, jobs):
 def test_repeated_runs_identical(name):
     """Two runs at the same jobs produce the same merged graph,
     node by node, edge by edge, terminal by terminal — byte-identical
-    modulo wall-clock."""
+    modulo wall-clock.  (Scheduling-dependent stats — ``handoffs``,
+    ``steals``, per-worker task counts — are deliberately *not* part of
+    this contract; the canonical quantities are.)"""
     a, b = _run(name, 2), _run(name, 2)
     assert a.graph.configs == b.graph.configs
     assert a.graph.edges == b.graph.edges
     assert list(a.graph.terminal.items()) == list(b.graph.terminal.items())
     assert a.graph.initial == b.graph.initial
     assert a.stats.shard_sizes == b.stats.shard_sizes
-    assert a.stats.handoffs == b.stats.handoffs
-    assert a.stats.rounds == b.stats.rounds
 
 
 @pytest.mark.parametrize("name", ["philosophers_3", "mutex_counter"])
@@ -200,3 +209,112 @@ def test_counts_and_results_identical_across_jobs(name):
     assert len(stores) == 1
     contents = [_edge_content(r) for r in runs.values()]
     assert contents[0] == contents[1] == contents[2]
+
+
+def test_merged_graph_identical_across_jobs():
+    """The canonical merge orders configurations by structural digest,
+    not by discovery: the merged graph is the *same object* — same node
+    numbering, same edge list — whatever the worker count."""
+    runs = [_run("philosophers_3", jobs) for jobs in (1, 2, 4)]
+    for other in runs[1:]:
+        assert runs[0].graph.configs == other.graph.configs
+        assert runs[0].graph.edges == other.graph.edges
+        assert runs[0].graph.terminal == other.graph.terminal
+
+
+# --------------------------------------------------------------------------
+# checkpoint/resume (mirrors tests/resilience/test_resume_equivalence.py)
+# --------------------------------------------------------------------------
+
+
+def _signature(result):
+    g = result.graph
+    s = result.stats
+    return {
+        "stores": result.final_stores(),
+        "configs": list(g.configs),
+        "edges": list(g.edges),
+        "terminal": dict(g.terminal),
+        "initial": g.initial,
+        "num_terminated": s.num_terminated,
+        "num_deadlocks": s.num_deadlocks,
+        "num_faults": s.num_faults,
+        "expansions": s.expansions,
+        "actions": s.actions_executed,
+    }
+
+
+@pytest.mark.parametrize(
+    "opts_kw",
+    [
+        {"policy": "stubborn"},
+        {"policy": "full", "coarsen": True},
+        {"policy": "stubborn", "sleep": True},
+    ],
+    ids=["stubborn", "full+coarsen", "stubborn+sleep"],
+)
+def test_parallel_checkpoint_resume_matches_uninterrupted(opts_kw, tmp_path):
+    """Interrupt a parallel run at its first quiescent checkpoint and
+    resume it (still parallel): graph and cumulative stats equal the
+    uninterrupted parallel run's — which in turn equals serial."""
+    from repro.resilience.checkpoint import Checkpointer
+
+    program = _program("philosophers_3")
+    opts = ExploreOptions(backend="parallel", jobs=2, **opts_kw)
+    reference = explore(program, options=opts)
+    path = str(tmp_path / "snap.ckpt")
+    first = explore(
+        program,
+        options=opts,
+        checkpointer=Checkpointer(path, every=11, stop_after=1),
+    )
+    assert first.stats.truncation_reason == "interrupted"
+    assert first.stats.checkpoints_written == 1
+    resumed = explore(program, options=opts, resume_from=path)
+    assert resumed.stats.resumed
+    assert _signature(resumed) == _signature(reference)
+
+
+def test_parallel_snapshot_resumes_serially_and_back(tmp_path):
+    """Snapshots are cross-backend in both directions: a parallel
+    snapshot feeds a serial resume and a serial snapshot feeds a
+    parallel resume, converging on the same explored content."""
+    from repro.resilience.checkpoint import Checkpointer
+
+    program = _program("philosophers_3")
+    par = ExploreOptions(policy="stubborn", backend="parallel", jobs=2)
+    ser = ExploreOptions(policy="stubborn")
+    reference = explore(program, options=ser)
+
+    def content(result):
+        return (
+            frozenset(result.graph.configs),
+            _edge_content(result),
+            {
+                result.graph.configs[c]: st
+                for c, st in result.graph.terminal.items()
+            },
+            result.final_stores(),
+        )
+
+    p2s = str(tmp_path / "p2s.ckpt")
+    first = explore(
+        program,
+        options=par,
+        checkpointer=Checkpointer(p2s, every=11, stop_after=1),
+    )
+    assert first.stats.truncation_reason == "interrupted"
+    serial_resumed = explore(program, options=ser, resume_from=p2s)
+    assert serial_resumed.stats.resumed
+    assert content(serial_resumed) == content(reference)
+
+    s2p = str(tmp_path / "s2p.ckpt")
+    explore(
+        program,
+        options=ser,
+        checkpointer=Checkpointer(s2p, every=11, stop_after=1),
+    )
+    parallel_resumed = explore(program, options=par, resume_from=s2p)
+    assert parallel_resumed.stats.resumed
+    assert content(parallel_resumed) == content(reference)
+    assert parallel_resumed.stats.expansions == reference.stats.expansions

@@ -1,6 +1,6 @@
 """Parallel-worker telemetry: workers record into their own tracer and
-registry, ship both over the round pipe, and the master merges them —
-deep per-expansion series survive the process boundary."""
+registry, ship both back with their final dumps, and the master merges
+them — deep per-expansion series survive the process boundary."""
 
 from __future__ import annotations
 
@@ -31,7 +31,7 @@ def test_worker_registries_merge_into_master():
     # master-side series still present
     assert reg.counter("explore.configs").value == r.stats.num_configs
     assert reg.gauge("graph.configs").value == r.stats.num_configs
-    assert reg.counter("parallel.rounds").value == r.stats.rounds
+    assert reg.counter("parallel.steals").value == r.stats.steals
 
 
 def test_worker_coarsen_histogram_merges():
@@ -56,7 +56,7 @@ def test_worker_spans_reach_master_trace():
     r = _run("philosophers_3", observers=(rec,))
     records = rec.records()
     names = {rc["name"] for rc in records}
-    assert {"explore.round", "parallel.scatter", "parallel.gather",
+    assert {"parallel.spawn", "parallel.run", "parallel.merge",
             "stubborn.closure", "explore.done"} <= names
     closures = [rc for rc in records if rc["name"] == "stubborn.closure"]
     # every closure span came from a worker and carries its shard id
@@ -68,19 +68,22 @@ def test_worker_spans_reach_master_trace():
     assert done["shard"] is None
 
 
-def test_worker_records_interleave_per_round_in_shard_order():
+def test_worker_records_remap_into_master_seq_space():
     rec = TraceRecorder(capacity=None, record_wall=False)
     _run("philosophers_3", observers=(rec,))
     records = rec.records()
-    # within the worker block of each round (between a gather close and
-    # the round close), shard tags are non-decreasing
-    in_round: list = []
-    for rc in records:
-        if rc["shard"] is not None:
-            in_round.append(rc["shard"])
-        elif rc["name"] == "explore.round":
-            assert in_round == sorted(in_round)
-            in_round = []
+    # the master re-sequences worker batches into its own seq space:
+    # seqs stay globally unique, and each shard's stream (batches are
+    # emitted in canonical configuration order) closes in order
+    seqs = [rc["seq"] for rc in records]
+    assert len(seqs) == len(set(seqs))
+    for shard in (0, 1):
+        closes = [
+            rc.get("end_seq", rc["seq"])
+            for rc in records
+            if rc["shard"] == shard
+        ]
+        assert closes and closes == sorted(closes)
 
 
 def test_no_trace_observer_means_no_worker_shipping():

@@ -191,4 +191,4 @@ def test_cli_parallel_trace_carries_shard_records(tmp_path, capsys):
     records = read_trace(str(trace))
     shards = {r["shard"] for r in records}
     assert None in shards and 0 in shards
-    assert any(r["name"] == "parallel.gather" for r in records)
+    assert any(r["name"] == "parallel.merge" for r in records)
