@@ -61,21 +61,25 @@ LOG = logging.getLogger("repro.bench")
 #: ``truncation_reason``, and the top-level ``errors`` / ``watchdog_s``
 #: keys.  ``/3`` added per-entry ``backend`` / ``jobs`` /
 #: ``shard_balance`` / ``result_digest``, the top-level ``jobs`` list
-#: and the ``scaling`` section.  ``/4`` (this version) extends the
-#: parallel grid with sleep-set combos (the work-stealing backend lifted
-#: the serial-only restriction), always includes ``j1`` in scaling,
-#: and restructures ``scaling`` as ``{cpus, policy, coarsen, programs}``
-#: — ``cpus`` records the host's core count so trajectory tooling can
-#: tell a genuine scaling regression from a one-core container, and each
-#: parallel run reports ``steals``; :func:`load_report` still reads
-#: ``/1`` .. ``/3``.
-SCHEMA_VERSION = "repro.bench.explore/4"
+#: and the ``scaling`` section.  ``/4`` extends the parallel grid with
+#: sleep-set combos (the work-stealing backend lifted the serial-only
+#: restriction), always includes ``j1`` in scaling, and restructures
+#: ``scaling`` as ``{cpus, policy, coarsen, programs}`` — ``cpus``
+#: records the host's core count so trajectory tooling can tell a
+#: genuine scaling regression from a one-core container, and each
+#: parallel run reports ``steals``.  ``/5`` (this version) adds the
+#: optional top-level ``serve`` section (:func:`run_serve_load` — the
+#: analysis-service load bench; ``null`` when not run, and entirely
+#: wall-clock, so :func:`diff_reports` ignores it); :func:`load_report`
+#: still reads ``/1`` .. ``/4``.
+SCHEMA_VERSION = "repro.bench.explore/5"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
 COMPATIBLE_SCHEMAS = (
     "repro.bench.explore/1",
     "repro.bench.explore/2",
     "repro.bench.explore/3",
+    "repro.bench.explore/4",
     SCHEMA_VERSION,
 )
 
@@ -495,6 +499,7 @@ def run_bench(
     watchdog_s: float | None = None,
     jobs: list[int] | tuple[int, ...] = (),
     scaling: bool | None = None,
+    serve_load: bool = False,
     corpus: dict | None = None,
     progress=None,
     profiler=None,
@@ -622,8 +627,93 @@ def run_bench(
         "truncated_runs": truncated_runs,
         "errors": errors,
         "soundness": soundness,
+        "serve": run_serve_load(smoke=smoke) if serve_load else None,
     }
     return BenchReport(document=document)
+
+
+def run_serve_load(
+    *,
+    programs: tuple[str, ...] = ("philosophers_3", "mutex_counter",
+                                 "fig2_shasha_snir"),
+    clients: int = 6,
+    smoke: bool = False,
+    max_configs: int = 50_000,
+) -> dict:
+    """Load-bench the analysis service (the ``serve`` bench section).
+
+    Starts a throwaway server on a unix socket, fires *clients*
+    concurrent submissions over *programs* (so identical in-flight
+    requests coalesce), then replays the same batch against the now-warm
+    store.  Reports cold vs warm wall-clock plus the server's own
+    counters.  Everything here is wall-clock-dependent except
+    ``digests_stable`` (warm results must be byte-identical to cold) —
+    :func:`diff_reports` ignores the section wholesale.
+    """
+    import asyncio
+    import concurrent.futures
+    import os
+    import tempfile
+
+    from repro.serve import ReproServer, ResultStore, ServeOptions, request
+
+    if smoke:
+        programs = programs[:2]
+        clients = 4
+
+    def batch(address, pool):
+        reqs = [
+            {
+                "op": "submit",
+                "program": {"kind": "corpus", "name": programs[i % len(programs)]},
+                "options": {"policy": "stubborn", "coarsen": True,
+                            "max_configs": max_configs},
+            }
+            for i in range(clients)
+        ]
+        t0 = time.perf_counter()
+        out = list(pool.map(lambda r: request(address, r), reqs))
+        return time.perf_counter() - t0, out
+
+    async def drive(root):
+        store = ResultStore(os.path.join(root, "store"))
+        address = os.path.join(root, "serve.sock")
+        server = ReproServer(
+            store, ServeOptions(max_pending=clients + 2, max_active=2)
+        )
+        serving = asyncio.ensure_future(server.serve(address))
+        loop = asyncio.get_running_loop()
+        with concurrent.futures.ThreadPoolExecutor(clients) as pool:
+            for _ in range(200):  # wait for the socket to bind
+                if os.path.exists(address):
+                    break
+                await asyncio.sleep(0.01)
+            cold_s, cold = await loop.run_in_executor(
+                None, batch, address, pool
+            )
+            warm_s, warm = await loop.run_in_executor(
+                None, batch, address, pool
+            )
+            await loop.run_in_executor(
+                None, request, address, {"op": "shutdown"}
+            )
+        await serving
+        digests = lambda rs: [r.get("result_digest") for r in rs]  # noqa: E731
+        return {
+            "programs": list(programs),
+            "clients": clients,
+            "cold_wall_s": round(cold_s, 6),
+            "warm_wall_s": round(warm_s, 6),
+            "all_ok": all(r.get("ok") for r in cold + warm),
+            "digests_stable": digests(cold) == digests(warm),
+            "warm_store_hits": store.hits,
+            "coalesced": server.counters["serve.coalesced"],
+            "shed": server.counters["serve.shed"],
+            "jobs_completed": server.counters["serve.jobs_completed"],
+        }
+
+    with tempfile.TemporaryDirectory() as root:
+        return asyncio.run(drive(root))
 
 
 def write_report(report: BenchReport, out_path: str) -> None:
@@ -652,6 +742,7 @@ def upgrade_document(doc: dict) -> dict:
     doc.setdefault("watchdog_s", None)
     doc.setdefault("jobs", [])
     doc.setdefault("scaling", {})
+    doc.setdefault("serve", None)
     scaling = doc["scaling"]
     if scaling and "programs" not in scaling:
         # /3 layout: a bare name -> runs map, stubborn without coarsen,

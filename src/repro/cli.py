@@ -14,6 +14,9 @@
     repro fold FILE [--clans --domain D]
     repro corpus                  # list bundled programs
     repro demo NAME               # analyze a bundled program
+    repro serve ADDRESS --store DIR      # crash-safe analysis service
+    repro submit FILE ADDRESS [--policy P --deadline S]
+    repro submit ADDRESS --ping | --stats | --shutdown
 
 ``FILE`` may be a path or ``corpus:NAME`` for a bundled program.
 
@@ -378,6 +381,7 @@ def _cmd_bench(args) -> int:
         time_limit_s=args.time_limit,
         watchdog_s=args.watchdog,
         jobs=args.jobs or (),
+        serve_load=args.serve_load,
         progress=progress,
         profiler=profiler,
     )
@@ -398,6 +402,83 @@ def _cmd_bench(args) -> int:
             f"'python -m pstats {pstats_path}')"
         )
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.metrics import MetricsRegistry
+    from repro.serve import ReproServer, ResultStore, ServeOptions
+
+    registry = MetricsRegistry()
+    store = ResultStore(args.store, metrics=registry)
+    server = ReproServer(
+        store,
+        ServeOptions(
+            max_pending=args.max_pending,
+            max_active=args.max_active,
+            max_restarts=args.max_restarts,
+            checkpoint_every=args.checkpoint_every,
+            worker_watchdog_s=args.watchdog,
+        ),
+        metrics=registry,
+    )
+
+    def ready() -> None:
+        # parseable by scripts (and the CI smoke job) that must wait
+        # for the socket before submitting
+        print(f"serving on {args.address} (store: {args.store})", flush=True)
+
+    asyncio.run(server.serve(args.address, ready=ready))
+    print("server stopped")
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from repro.serve import request
+
+    ops = [op for op in ("ping", "stats", "shutdown") if getattr(args, op)]
+    if len(ops) > 1:
+        raise ReproError("pass at most one of --ping/--stats/--shutdown")
+    if ops:
+        # control ops take no program: `repro submit ADDR --ping` puts
+        # the address in the FILE slot
+        address = args.address or args.file
+        if address is None:
+            raise ReproError("missing server ADDRESS")
+        response = request(address, {"op": ops[0]}, timeout=args.timeout)
+        print(json.dumps(response, indent=1, sort_keys=True))
+        return 0 if response.get("ok") else 2
+
+    if args.file is None or args.address is None:
+        raise ReproError("usage: repro submit FILE ADDRESS [options]")
+    if args.file.startswith("corpus:"):
+        program = {"kind": "corpus", "name": args.file.split(":", 1)[1]}
+    else:
+        try:
+            with open(args.file, "r", encoding="utf-8") as fh:
+                program = {"kind": "source", "text": fh.read()}
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.file!r}: {exc}")
+    options: dict = {
+        "policy": args.policy,
+        "coarsen": args.coarsen,
+        "sleep": args.sleep,
+        "max_configs": args.max_configs,
+    }
+    if args.no_memo:
+        options["memo"] = False
+    req: dict = {"op": "submit", "program": program, "options": options}
+    if args.deadline is not None:
+        req["deadline_s"] = args.deadline
+    response = request(args.address, req, timeout=args.timeout)
+    print(json.dumps(response, indent=1, sort_keys=True))
+    if response.get("ok"):
+        return 0
+    # overload is transient back-off, not an error in the request
+    return 3 if response.get("overloaded") else 2
 
 
 def _cmd_bench_diff(args) -> int:
@@ -557,6 +638,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--profile", action="store_true",
                    help="accumulate a cProfile of every exploration cell "
                         "and write <out stem>.pstats next to the JSON")
+    p.add_argument("--serve-load", action="store_true",
+                   help="also load-bench the analysis service (N "
+                        "concurrent submissions, cold vs warm store) into "
+                        "the document's 'serve' section")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per program × combo")
     p.set_defaults(fn=_cmd_bench)
@@ -569,6 +654,53 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("new", help="freshly generated BENCH_*.json")
     p.add_argument("baseline", help="checked-in baseline BENCH_*.json")
     p.set_defaults(fn=_cmd_bench_diff)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the crash-safe analysis service (durable result "
+        "store, request coalescing, bounded admission, checkpointed "
+        "jobs with crash recovery)",
+    )
+    p.add_argument("address",
+                   help="unix-socket path, or host:port for TCP")
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="durable store directory (created if missing)")
+    p.add_argument("--max-pending", type=int, default=16,
+                   help="distinct in-flight jobs before shedding load")
+    p.add_argument("--max-active", type=int, default=2,
+                   help="jobs exploring concurrently")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="worker relaunches per job after a crash")
+    p.add_argument("--checkpoint-every", type=int, default=200, metavar="N",
+                   help="expansions between a job's snapshots")
+    p.add_argument("--watchdog", type=float, default=300.0, metavar="S",
+                   help="kill a worker running longer than S seconds")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "submit",
+        help="submit a program to a running 'repro serve' instance "
+        "(or --ping/--stats/--shutdown it)",
+    )
+    p.add_argument("file", nargs="?", default=None,
+                   help="program path or corpus:NAME (ADDRESS for "
+                        "control ops)")
+    p.add_argument("address", nargs="?", default=None,
+                   help="server unix-socket path or host:port")
+    p.add_argument("--policy", default="stubborn",
+                   choices=["full", "stubborn", "stubborn-proc"])
+    p.add_argument("--coarsen", action="store_true")
+    p.add_argument("--sleep", action="store_true")
+    p.add_argument("--no-memo", action="store_true")
+    p.add_argument("--max-configs", type=int, default=1_000_000)
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="server-side wall-clock budget for this request")
+    p.add_argument("--timeout", type=float, default=600.0, metavar="S",
+                   help="client-side wait for the response")
+    p.add_argument("--ping", action="store_true")
+    p.add_argument("--stats", action="store_true")
+    p.add_argument("--shutdown", action="store_true")
+    p.set_defaults(fn=_cmd_submit)
 
     p = sub.add_parser("corpus", help="list bundled programs")
     p.set_defaults(fn=_cmd_corpus)

@@ -244,6 +244,7 @@ def explore(
     observers: tuple[Observer, ...] = (),
     checkpointer: Checkpointer | None = None,
     resume_from: str | None = None,
+    expand_cache: ExpandCache | None = None,
 ) -> ExploreResult:
     """Explore *program*'s state space and return the graph + stats.
 
@@ -254,6 +255,13 @@ def explore(
     continues from a snapshot path (the program and the non-budget
     options must match the snapshot, else
     :class:`~repro.resilience.checkpoint.CheckpointError`).
+
+    ``expand_cache`` seeds the serial drivers' footprint-memo cache
+    with a caller-owned (possibly pre-warmed) instance — the analysis
+    service's warm-start hook.  The caller keeps the reference, so it
+    can export the filled cache afterwards.  Ignored when
+    ``opts.memo`` is off; the parallel backend keeps its own per-shard
+    caches and ignores it too.
     """
     opts = (
         options
@@ -296,7 +304,7 @@ def explore(
     if opts.sleep:
         return _explore_sleep(
             program, opts, access, selector, observers, metrics,
-            checkpointer, resume_from,
+            checkpointer, resume_from, expand_cache=expand_cache,
         )
 
     rounds = None
@@ -310,7 +318,10 @@ def explore(
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     fingerprint = program_fingerprint(program)
-    cache = ExpandCache() if opts.memo else None
+    if not opts.memo:
+        cache = None
+    else:
+        cache = expand_cache if expand_cache is not None else ExpandCache()
     digest_base = digest_stats()
 
     if resume_from is not None:
@@ -754,6 +765,7 @@ def _explore_sleep(
     expand_fn=None,
     backend: str = "serial",
     jobs: int = 1,
+    expand_cache: ExpandCache | None = None,
 ) -> ExploreResult:
     """Depth-first exploration with sleep sets (see
     :mod:`repro.explore.sleepsets`), composable with any policy.
@@ -780,7 +792,10 @@ def _explore_sleep(
     t0 = time.perf_counter()
     deadline = None if opts.time_limit_s is None else t0 + opts.time_limit_s
     fingerprint = program_fingerprint(program)
-    cache = ExpandCache() if opts.memo else None
+    if not opts.memo:
+        cache = None
+    else:
+        cache = expand_cache if expand_cache is not None else ExpandCache()
     digest_base = digest_stats()
 
     if resume_from is not None:

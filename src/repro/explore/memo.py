@@ -47,6 +47,19 @@ Soundness notes (why delta replay is exact):
 The cache is bounded (LRU over process keys, capped entries per key)
 with eviction counters; serial drivers share one instance per run, the
 parallel backend creates one per shard worker.
+
+Persistence
+-----------
+:meth:`ExpandCache.export_state` / :meth:`ExpandCache.load_state` turn
+the memo table into a plain picklable structure and back — the hook the
+analysis service (:mod:`repro.serve`) uses to persist warm caches
+across runs.  The exported form is schema-versioned; loading a
+mismatched schema is a no-op (the cache simply starts cold).  Loading
+re-interns every process key, so a state exported by one OS process is
+valid in another.  *Which* entries are safe to import for a possibly
+edited program is the caller's problem — see
+:mod:`repro.serve.keys` for the function-digest gating the service
+applies.
 """
 
 from __future__ import annotations
@@ -60,6 +73,7 @@ from repro.semantics.config import (
     HeapObj,
     Process,
     collect_garbage,
+    intern_process,
     loc_value,
     MISSING,
 )
@@ -314,6 +328,72 @@ class ExpandCache:
             self.size -= 1
         entries.append(entry)
         self.size += 1
+
+    # ------------------------------------------------------------------
+    # persistence (export/import for the analysis service's warm store)
+    # ------------------------------------------------------------------
+
+    #: Version of the exported-state layout; bump on any change to the
+    #: per-entry tuple below.
+    EXPORT_SCHEMA = "repro.expandcache/1"
+
+    #: _Entry slots carried by the export, in tuple order.
+    _EXPORT_FIELDS = (
+        "footprint", "enabled", "nes", "blocked_children",
+        "actions", "reads", "writes",
+        "new_proc", "added_procs", "removed_pids",
+        "global_writes", "heap_writes", "write_checks",
+        "gc", "block_len", "block_crit",
+    )
+
+    def export_state(self) -> dict:
+        """The memo table as a plain picklable document.
+
+        Counters are *not* exported — they describe one run, not the
+        table.  Insertion (LRU) order is preserved.
+        """
+        return {
+            "schema": self.EXPORT_SCHEMA,
+            "entries": [
+                (
+                    proc,
+                    [
+                        tuple(getattr(e, f) for f in self._EXPORT_FIELDS)
+                        for e in entries
+                    ],
+                )
+                for proc, entries in self._entries.items()
+            ],
+        }
+
+    def load_state(
+        self, state: dict, *, keep: "callable | None" = None
+    ) -> int:
+        """Refill the table from :meth:`export_state` output; returns
+        the number of entries imported.
+
+        *keep* optionally filters per process key: ``keep(proc)`` False
+        skips that process's entries (the service's function-digest
+        gate).  A state with an unknown schema imports nothing — a cold
+        start, never an error.  Imported entries respect the cache's
+        bounds (oldest keys evicted as usual).
+        """
+        if not isinstance(state, dict) or state.get("schema") != self.EXPORT_SCHEMA:
+            return 0
+        imported = 0
+        for proc, rows in state.get("entries", ()):
+            proc = intern_process(proc)
+            if keep is not None and not keep(proc):
+                continue
+            for row in rows:
+                if len(row) != len(self._EXPORT_FIELDS):
+                    continue  # damaged row: skip, never raise
+                entry = _Entry(row[0], row[1])
+                for name, value in zip(self._EXPORT_FIELDS[2:], row[2:]):
+                    setattr(entry, name, value)
+                self._insert(proc, entry)
+                imported += 1
+        return imported
 
     # ------------------------------------------------------------------
     # telemetry

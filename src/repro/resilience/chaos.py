@@ -34,7 +34,22 @@ Failure points wired into the engine (see :data:`POINTS`):
     segfault of one shard owner;
 ``worker-hang``
     fires at the same site but makes the worker sleep indefinitely —
-    simulates a wedged worker that the master's watchdog must detect.
+    simulates a wedged worker that the master's watchdog must detect;
+``store-io``
+    fires inside durable-store and snapshot *writes*, per low-level
+    ``write()`` call — simulates a disk filling up (or dying) midway
+    through a file, so atomicity guarantees get exercised against
+    partially written temp files, not just failed opens;
+``store-corrupt``
+    silent bit-rot: instead of raising, a firing makes the durable
+    store *flip bytes* in the payload it is about to write, so the
+    entry lands on disk with a checksum mismatch the read path must
+    detect and quarantine;
+``serve-worker-kill``
+    fires at the top of an analysis-service job worker
+    (:mod:`repro.serve.worker`) and hard-exits the process — the
+    serve-layer twin of ``worker``, simulating an OOM-killed job that
+    the server must resume from its last checkpoint.
 
 The ``worker*`` points fire inside forked worker processes, whose memory
 is copy-on-write: a firing there is invisible to the master (and to any
@@ -57,6 +72,7 @@ from dataclasses import dataclass
 #: a misspelled chaos test would silently test nothing.
 POINTS = (
     "observer", "selector", "eval", "checkpoint", "worker", "worker-hang",
+    "store-io", "store-corrupt", "serve-worker-kill",
 )
 
 
@@ -189,6 +205,21 @@ def kick(point: str) -> None:
     """Engine-side hook: raise if a test armed *point*, else no-op."""
     if _ACTIVE is not None:
         _ACTIVE.kick(point)
+
+
+def fired(point: str) -> bool:
+    """Kick *point* but report a firing as True instead of raising.
+
+    For faults that *corrupt* rather than abort (``store-corrupt``):
+    the caller keeps running and damages its own payload when armed.
+    """
+    if _ACTIVE is None:
+        return False
+    try:
+        _ACTIVE.kick(point)
+    except ChaosFault:
+        return True
+    return False
 
 
 @contextmanager

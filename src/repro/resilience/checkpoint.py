@@ -47,15 +47,45 @@ def program_fingerprint(program) -> str:
     return hashlib.sha256(program.disassemble().encode("utf-8")).hexdigest()
 
 
+class _ChaosWriteFile:
+    """A write-through file wrapper that kicks the ``store-io`` chaos
+    point on every low-level ``write()``.
+
+    This is what makes mid-write crashes *testable*: arming
+    ``store-io`` with ``after=N`` lets the first N writes through and
+    fails the next one, leaving a genuinely truncated temp file behind
+    — the exact artifact a full disk or a power cut produces halfway
+    through a snapshot.
+    """
+
+    __slots__ = ("_fh",)
+
+    def __init__(self, fh) -> None:
+        self._fh = fh
+
+    def write(self, data):
+        chaos.kick("store-io")
+        return self._fh.write(data)
+
+
 def write_snapshot(path: str, payload: dict) -> None:
-    """Atomically pickle ``{schema, **payload}`` to *path*."""
+    """Atomically pickle ``{schema, **payload}`` to *path*.
+
+    The write goes to ``path + ".tmp"`` first and is renamed into place
+    only after it completed — a crash (or an injected ``store-io`` /
+    ``checkpoint`` fault) at *any* point leaves the previous snapshot at
+    *path* untouched and loadable.
+    """
     chaos.kick("checkpoint")
     document = {"schema": CHECKPOINT_SCHEMA}
     document.update(payload)
     tmp = f"{path}.tmp"
     try:
         with open(tmp, "wb") as fh:
-            pickle.dump(document, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(
+                document, _ChaosWriteFile(fh),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
         os.replace(tmp, path)
     finally:
         if os.path.exists(tmp):
@@ -81,9 +111,19 @@ def read_snapshot(
     try:
         with open(path, "rb") as fh:
             payload = pickle.load(fh)
-    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
-            ImportError, IndexError) as exc:
-        raise CheckpointError(f"cannot read checkpoint {path!r}: {exc}")
+    except FileNotFoundError:
+        raise CheckpointError(f"cannot read checkpoint {path!r}: no such file")
+    except Exception as exc:
+        # A truncated or bit-rotted pickle can raise nearly anything
+        # while reconstructing the object graph (UnpicklingError,
+        # EOFError, TypeError, KeyError, ...) — every shape of damage
+        # must surface as the same typed error with a way out, never a
+        # raw unpickling traceback.
+        raise CheckpointError(
+            f"cannot read checkpoint {path!r}: {exc!r} — the snapshot "
+            "is truncated or corrupt; delete the file or re-run "
+            "without --resume"
+        )
     if not isinstance(payload, dict) or "schema" not in payload:
         raise CheckpointError(f"{path!r} is not a repro checkpoint")
     if payload["schema"] != CHECKPOINT_SCHEMA:

@@ -1,0 +1,34 @@
+"""Analysis-as-a-service: a crash-safe job server over the explorer.
+
+- :mod:`repro.serve.store` — the durable result + warm-cache store
+  (atomic writes, checksums, corruption quarantine);
+- :mod:`repro.serve.keys` — request identity and the cache-import
+  validity gate;
+- :mod:`repro.serve.worker` — the per-job worker process
+  (checkpointing, warm start, outcome handoff);
+- :mod:`repro.serve.server` — the asyncio front end (coalescing,
+  bounded admission, crash recovery) and the ``repro submit`` client.
+"""
+
+from repro.serve.keys import cache_key, options_from_request, store_key
+from repro.serve.server import (
+    PROTOCOL,
+    ReproServer,
+    ServeOptions,
+    request,
+)
+from repro.serve.store import ResultStore
+from repro.serve.worker import JobSpec, run_job
+
+__all__ = [
+    "PROTOCOL",
+    "JobSpec",
+    "ReproServer",
+    "ResultStore",
+    "ServeOptions",
+    "cache_key",
+    "options_from_request",
+    "request",
+    "run_job",
+    "store_key",
+]

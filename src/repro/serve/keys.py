@@ -1,0 +1,252 @@
+"""Identity for the durable store: request keys and warm-cache gating.
+
+Three identities, three scopes:
+
+``store_key``
+    *exact* result identity: the program fingerprint (hash of its
+    compiled disassembly) plus the non-budget exploration options
+    (:meth:`~repro.explore.ExploreOptions.resume_key`).  Two
+    submissions with the same store key are the same analysis — the
+    server coalesces them and the store replays the finished result.
+
+``cache_key``
+    *family* identity for the persisted expansion-memo cache: the
+    program's **shape** (sorted function names + globals layout) plus
+    the option fields that change what an expansion computes (coarsen,
+    block budget, step semantics).  Deliberately **not** the full
+    fingerprint — a lightly-edited program keeps its shape, finds the
+    old cache file, and imports whatever entries are still valid.
+
+``func_digests`` / ``keep_predicate``
+    the validity gate for that import.  A memoized expansion replays the
+    interpreter's work for one process; it stays exact for an edited
+    program iff every function that work could have executed is
+    byte-identical.  We over-approximate "could have executed" with the
+    static call-graph closure of the functions on the process's frame
+    stack — any call executed inside a step or coarsened block starts at
+    the top frame's function, so the closure covers it (frame setup for
+    a callee consults that callee's signature, and the callee is in the
+    closure).  Programs using first-class function values defeat static
+    call targets, so they degrade to all-or-nothing: import only when
+    every function digest matches.
+
+Footprint probes re-check every shared *value* at replay time, so the
+gate only needs to pin down *code*: globals are addressed by index
+(hence the ``global_names`` tuple must match), heap cells by object
+identity plus offset (value-checked like everything else).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import fields as dataclass_fields, is_dataclass
+
+from repro.explore import ExploreOptions
+from repro.lang.instructions import ICall, RFunc
+from repro.lang.program import Program
+from repro.resilience.checkpoint import program_fingerprint
+from repro.semantics.step import StepOptions
+from repro.util.errors import ServeError
+
+#: Version of the persisted cache document layout (see
+#: :func:`cache_document`).
+CACHE_SCHEMA = "repro.serve.cache/1"
+
+#: ExploreOptions fields a submit request may set, with coercers.
+_OPTION_FIELDS = {
+    "policy": str,
+    "coarsen": bool,
+    "sleep": bool,
+    "coarse_derefs": bool,
+    "memo": bool,
+    "max_configs": int,
+    "max_block_len": int,
+    "time_limit_s": float,
+    "max_rss_bytes": int,
+}
+
+
+def options_from_request(raw: dict | None) -> ExploreOptions:
+    """Normalize a request's ``options`` object into
+    :class:`ExploreOptions` (serial backend — service jobs are single
+    worker processes; parallelism comes from running many jobs).
+
+    Unknown keys and bad value types raise :class:`ServeError` — a
+    misspelled option must not silently analyze the wrong thing.
+    """
+    raw = raw or {}
+    if not isinstance(raw, dict):
+        raise ServeError(f"options must be an object, got {type(raw).__name__}")
+    kwargs = {}
+    for name, value in raw.items():
+        coerce = _OPTION_FIELDS.get(name)
+        if coerce is None:
+            raise ServeError(
+                f"unknown option {name!r}; known: "
+                + ", ".join(sorted(_OPTION_FIELDS))
+            )
+        if value is None and name in ("time_limit_s", "max_rss_bytes"):
+            continue
+        try:
+            kwargs[name] = coerce(value)
+        except (TypeError, ValueError):
+            raise ServeError(f"option {name!r}: cannot coerce {value!r}")
+    opts = ExploreOptions(backend="serial", jobs=1, **kwargs)
+    if opts.policy not in ("full", "stubborn", "stubborn-proc"):
+        raise ServeError(f"unknown policy {opts.policy!r}")
+    return opts
+
+
+def store_key(program: Program, options: ExploreOptions) -> str:
+    """Exact result identity: fingerprint × non-budget options."""
+    payload = (
+        program_fingerprint(program) + "|" + repr(options.resume_key())
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+def _expansion_options_key(options: ExploreOptions) -> tuple:
+    """The option fields that change what one expansion computes (and
+    therefore what a memo entry contains).  Policy and sleep sets pick
+    *which* expansions happen, not what each one is — caches are shared
+    across them."""
+    return (
+        options.coarsen,
+        options.max_block_len,
+        options.coarse_derefs,
+        options.step,
+    )
+
+
+def cache_key(program: Program, options: ExploreOptions) -> str:
+    """Family identity for the persisted warm cache (shape, not
+    content — see the module docstring)."""
+    payload = repr(
+        (
+            tuple(sorted(program.funcs)),
+            tuple(program.global_names),
+            _expansion_options_key(options),
+        )
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
+# --------------------------------------------------------------------------
+# function digests and the static call graph
+# --------------------------------------------------------------------------
+
+
+def func_digests(program: Program) -> dict[str, str]:
+    """Per-function code digests: signature + instruction listing."""
+    out = {}
+    for name in program.funcs:
+        fc = program.funcs[name]
+        payload = repr(
+            (fc.num_params, fc.num_locals, tuple(repr(i) for i in fc.instrs))
+        ).encode("utf-8")
+        out[name] = hashlib.blake2b(payload, digest_size=16).hexdigest()
+    return out
+
+
+def _walk_values(node):
+    """Yield every dataclass-field value reachable from *node*
+    (instructions hold expression trees; expressions hold
+    sub-expressions)."""
+    stack = [node]
+    while stack:
+        value = stack.pop()
+        yield value
+        if is_dataclass(value) and not isinstance(value, type):
+            for f in dataclass_fields(value):
+                stack.append(getattr(value, f.name))
+        elif isinstance(value, tuple):
+            stack.extend(value)
+
+
+def call_graph(program: Program) -> tuple[dict[str, frozenset[str]], bool]:
+    """``(direct-call edges per function, uses_dynamic_calls)``.
+
+    ``dynamic`` is True when any call's callee is not a literal
+    function name, or a function value appears outside a direct callee
+    position (it may flow anywhere) — static targets are then
+    unknowable and callers must fall back to whole-program gating.
+    """
+    edges: dict[str, set[str]] = {}
+    dynamic = False
+    for name in program.funcs:
+        out = edges.setdefault(name, set())
+        for instr in program.funcs[name].instrs:
+            direct_callee = None
+            if isinstance(instr, ICall):
+                if isinstance(instr.callee, RFunc):
+                    direct_callee = instr.callee
+                    out.add(instr.callee.name)
+                else:
+                    dynamic = True
+            for value in _walk_values(instr):
+                if isinstance(value, RFunc) and value is not direct_callee:
+                    dynamic = True
+    return {k: frozenset(v) for k, v in edges.items()}, dynamic
+
+
+def _closure(roots, edges) -> frozenset[str]:
+    seen = set()
+    stack = list(roots)
+    while stack:
+        f = stack.pop()
+        if f in seen:
+            continue
+        seen.add(f)
+        stack.extend(edges.get(f, ()))
+    return frozenset(seen)
+
+
+# --------------------------------------------------------------------------
+# cache documents and the import gate
+# --------------------------------------------------------------------------
+
+
+def cache_document(program: Program, state: dict) -> dict:
+    """Wrap an :meth:`ExpandCache.export_state` payload with the
+    program identity the import gate needs."""
+    _, dynamic = call_graph(program)
+    return {
+        "schema": CACHE_SCHEMA,
+        "func_digests": func_digests(program),
+        "dynamic": dynamic,
+        "global_names": tuple(program.global_names),
+        "state": state,
+    }
+
+
+def keep_predicate(document: dict, program: Program):
+    """The per-process import filter for *document* against (a possibly
+    edited) *program*, or None when nothing is importable.
+
+    Returns a callable ``keep(proc) -> bool`` suitable for
+    :meth:`ExpandCache.load_state`.
+    """
+    if not isinstance(document, dict) or document.get("schema") != CACHE_SCHEMA:
+        return None
+    if tuple(document.get("global_names", ())) != tuple(program.global_names):
+        return None  # global indices renumbered: footprints unreadable
+    old_digests = document.get("func_digests", {})
+    new_digests = func_digests(program)
+    edges, new_dynamic = call_graph(program)
+    if document.get("dynamic") or new_dynamic:
+        # first-class function values: static targets unknowable —
+        # import only when every function is byte-identical
+        if old_digests == new_digests:
+            return lambda proc: True
+        return None
+    unchanged = {
+        f for f, d in new_digests.items() if old_digests.get(f) == d
+    }
+    if not unchanged:
+        return None
+
+    def keep(proc) -> bool:
+        roots = {frame.func for frame in proc.frames}
+        return _closure(roots, edges) <= unchanged
+
+    return keep

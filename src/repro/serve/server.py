@@ -1,0 +1,538 @@
+"""The asyncio job server: ``repro serve`` / ``repro submit``.
+
+Protocol — newline-delimited JSON over a unix or TCP socket.  One
+request object per line, one response object per line::
+
+    {"op": "submit", "program": {"kind": "corpus", "name": "peterson"},
+     "options": {"policy": "stubborn", "coarsen": true},
+     "deadline_s": 30}
+    {"op": "ping"}        {"op": "stats"}        {"op": "shutdown"}
+
+Every submit response carries ``ok``; successful ones add ``key``,
+``result_digest``, ``summary``, ``outcomes``, and ``cached`` (True when
+the durable store replayed a finished result without running anything).
+Failures carry a typed ``error`` object; overload is the dedicated
+shape ``{"ok": false, "overloaded": true, ...}`` so clients can back
+off and retry.
+
+Crash-safety story (the tentpole):
+
+- identical in-flight submissions **coalesce** onto one job keyed by
+  :func:`repro.serve.keys.store_key`;
+- admission is **bounded**: past ``max_pending`` distinct in-flight
+  jobs the server sheds load with ``overloaded`` instead of queueing
+  unboundedly;
+- each job runs in a forked worker process that checkpoints
+  periodically; a **crashed worker** (``serve-worker-kill``, a real
+  OOM) is restarted with ``resume=True`` up to ``max_restarts`` times,
+  continuing from the last quiescent snapshot;
+- each job is recorded durably *before* it starts, so a **killed
+  server** finds it again: ``recover()`` on startup re-runs every
+  pending job from its checkpoint and publishes the result to the
+  store — a re-submitted request then replays it as a store hit;
+- **deadlines** ride the engine's own wall-clock budget
+  (``time_limit_s``), so an expired job truncates gracefully and the
+  client always gets a response — never a hang.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import logging
+import multiprocessing
+import os
+import socket
+from dataclasses import dataclass, field
+
+from repro.serve import keys
+from repro.serve.store import ResultStore
+from repro.serve.worker import JobSpec, run_job
+from repro.util.errors import ReproError, ServeError
+
+LOG = logging.getLogger("repro.serve")
+
+#: Protocol version, echoed by ``ping``.
+PROTOCOL = "repro.serve/1"
+
+#: Max request/response line length (a program source ships inline).
+_LINE_LIMIT = 2**22
+
+
+@dataclass
+class ServeOptions:
+    """Server tuning knobs (all operational — none affect results)."""
+
+    #: distinct in-flight jobs beyond which submits are shed
+    max_pending: int = 16
+    #: jobs exploring concurrently (each is one worker process)
+    max_active: int = 2
+    #: worker relaunches per job after a crash (resume from checkpoint)
+    max_restarts: int = 2
+    #: expansions between a job's snapshots
+    checkpoint_every: int = 200
+    #: seconds a worker may run without finishing before it is killed
+    #: (and treated as crashed); None disables the watchdog
+    worker_watchdog_s: float | None = 300.0
+
+
+@dataclass
+class _Job:
+    key: str
+    spec: JobSpec
+    future: asyncio.Future
+    waiters: int = 1
+    task: asyncio.Task | None = None
+
+
+def _error(kind: str, message: str, **extra) -> dict:
+    out = {"ok": False, "error": {"type": kind, "message": message}}
+    out.update(extra)
+    return out
+
+
+class ReproServer:
+    """The job server.  One instance per store directory."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        options: ServeOptions | None = None,
+        *,
+        metrics=None,
+        tracer=None,
+    ) -> None:
+        self.store = store
+        self.options = options or ServeOptions()
+        self.metrics = metrics
+        self.tracer = tracer
+        if store.metrics is None:
+            store.metrics = metrics
+        self._jobs: dict[str, _Job] = {}
+        self._sem = asyncio.Semaphore(self.options.max_active)
+        self._shutdown = asyncio.Event()
+        self._server: asyncio.AbstractServer | None = None
+        self.counters = {
+            "serve.requests": 0,
+            "serve.submits": 0,
+            "serve.coalesced": 0,
+            "serve.shed": 0,
+            "serve.worker_restarts": 0,
+            "serve.recovered": 0,
+            "serve.jobs_completed": 0,
+            "serve.jobs_failed": 0,
+        }
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    async def handle_request(self, req: dict) -> dict:
+        self._inc("serve.requests")
+        if not isinstance(req, dict):
+            return _error("bad-request", "request must be a JSON object")
+        op = req.get("op")
+        if op == "ping":
+            return {"ok": True, "protocol": PROTOCOL}
+        if op == "stats":
+            return {
+                "ok": True,
+                "counters": dict(self.counters),
+                "store": self.store.counters(),
+                "in_flight": len(self._jobs),
+            }
+        if op == "shutdown":
+            self._shutdown.set()
+            return {"ok": True, "stopping": True}
+        if op == "submit":
+            return await self._submit(req)
+        return _error("bad-request", f"unknown op {op!r}")
+
+    async def _submit(self, req: dict) -> dict:
+        self._inc("serve.submits")
+        try:
+            program = _load_program_checked(req.get("program"))
+            options = keys.options_from_request(req.get("options"))
+            options = _apply_deadline(options, req.get("deadline_s"))
+        except ReproError as exc:
+            return _error(type(exc).__name__, str(exc))
+
+        key = keys.store_key(program, options)
+        span = (
+            self.tracer.begin_span("serve.job", key=key)
+            if self.tracer is not None
+            else None
+        )
+        try:
+            response = await self._submit_keyed(key, program, options, req)
+        finally:
+            if span is not None:
+                self.tracer.end_span(span, ok=bool(response.get("ok")))
+        return response
+
+    async def _submit_keyed(self, key, program, options, req) -> dict:
+        # 1. durable store: a finished result replays without running
+        payload = self.store.get_result(key)
+        if payload is not None:
+            response = dict(payload)
+            response.update({"ok": True, "key": key, "cached": True})
+            response.pop("schema", None)
+            return response
+
+        # 2. coalesce with an identical in-flight job
+        job = self._jobs.get(key)
+        if job is not None:
+            self._inc("serve.coalesced")
+            job.waiters += 1
+            return await asyncio.shield(job.future)
+
+        # 3. bounded admission: shed rather than queue unboundedly
+        if len(self._jobs) >= self.options.max_pending:
+            self._inc("serve.shed")
+            return _error(
+                "overloaded",
+                f"{len(self._jobs)} jobs in flight (max_pending="
+                f"{self.options.max_pending}); retry later",
+                overloaded=True,
+            )
+
+        # 4. durably record, then run
+        spec = self._make_spec(
+            key, program, req.get("program"), req.get("options"), options
+        )
+        self.store.record_pending(key, {
+            "schema": "repro.serve.job/1",
+            "key": key,
+            "program": req.get("program"),
+            "options": spec.options,
+        })
+        job = _Job(key=key, spec=spec,
+                   future=asyncio.get_running_loop().create_future())
+        self._jobs[key] = job
+        job.task = asyncio.ensure_future(self._run_job(job))
+        return await asyncio.shield(job.future)
+
+    def _make_spec(
+        self, key, program, program_spec, raw_options, options
+    ) -> JobSpec:
+        raw = dict(raw_options or {})
+        if options.time_limit_s is not None:
+            raw["time_limit_s"] = options.time_limit_s
+        job_dir = self.store.job_dir(key)
+        os.makedirs(job_dir, exist_ok=True)
+        resume = os.path.exists(self.store.checkpoint_path(key))
+        return JobSpec(
+            key=key,
+            program=dict(program_spec),
+            options=raw,
+            checkpoint_path=self.store.checkpoint_path(key),
+            outcome_path=self.store.outcome_path(key),
+            cache_path=(
+                self.store._cache_path(keys.cache_key(program, options))
+                if options.memo else None
+            ),
+            checkpoint_every=self.options.checkpoint_every,
+            resume=resume,
+        )
+
+    # ------------------------------------------------------------------
+    # job execution
+    # ------------------------------------------------------------------
+
+    async def _run_job(self, job: _Job) -> None:
+        try:
+            response = await self._run_attempts(job)
+        except Exception as exc:  # belt-and-braces: never hang a client
+            LOG.exception("job %s failed unexpectedly", job.key)
+            response = _error("internal", f"job runner crashed: {exc!r}")
+        self._jobs.pop(job.key, None)
+        if not job.future.done():
+            job.future.set_result(response)
+
+    async def _run_attempts(self, job: _Job) -> dict:
+        loop = asyncio.get_running_loop()
+        spec = job.spec
+        async with self._sem:
+            for attempt in range(self.options.max_restarts + 1):
+                outcome = await loop.run_in_executor(
+                    None, _run_worker_process, spec,
+                    self.options.worker_watchdog_s,
+                )
+                if outcome is not None:
+                    return self._publish(job.key, outcome)
+                # crashed (or watchdog-killed): resume from checkpoint
+                self._inc("serve.worker_restarts")
+                LOG.warning(
+                    "job %s worker died (attempt %d); resuming from "
+                    "checkpoint", job.key, attempt + 1,
+                )
+                spec = spec.resumed()
+        self._inc("serve.jobs_failed")
+        # the pending record and checkpoint stay on disk: a server
+        # restart (or a later resubmit) picks the job up from there
+        return _error(
+            "worker-failed",
+            f"job {job.key} crashed {self.options.max_restarts + 1} "
+            "times; its checkpoint is kept for resume",
+            resumable=True,
+        )
+
+    def _publish(self, key: str, outcome: dict) -> dict:
+        """Turn a worker outcome into a response; persist complete
+        results (and their warm caches) in the store."""
+        if not outcome.get("ok"):
+            self._inc("serve.jobs_failed")
+            self.store.clear_pending(key)
+            err = outcome.get("error") or {}
+            return _error(
+                err.get("type", "JobError"), err.get("message", "job failed")
+            )
+        self._inc("serve.jobs_completed")
+        if self.metrics is not None and outcome.get("metrics"):
+            self.metrics.merge(outcome["metrics"])
+        summary = outcome.get("summary", {})
+        payload = {
+            "result_digest": outcome.get("result_digest"),
+            "summary": summary,
+            "outcomes": outcome.get("outcomes", []),
+        }
+        if not summary.get("truncated"):
+            # truncated results are budget-dependent, and budgets are
+            # not part of the store key — only complete results persist
+            self.store.put_result(key, payload)
+            cache_export = outcome.get("cache_export")
+            cache_id = _cache_id_of(outcome, self._jobs.get(key))
+            if cache_export is not None and cache_id is not None:
+                self.store.put_cache(cache_id, cache_export)
+        self.store.clear_pending(key)
+        response = dict(payload)
+        response.update({"ok": True, "key": key, "cached": False})
+        return response
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def recover(self) -> int:
+        """Re-schedule every durably recorded unfinished job (resuming
+        from its checkpoint).  Call once, on startup, from within the
+        event loop.  Returns the number of jobs recovered."""
+        recovered = 0
+        for key, record in self.store.pending_jobs():
+            if key in self._jobs:
+                continue
+            if self.store.has_result(key):
+                self.store.clear_pending(key)
+                continue
+            try:
+                program = _load_program_checked(record.get("program"))
+                options = keys.options_from_request(record.get("options"))
+            except ReproError as exc:
+                LOG.warning(
+                    "dropping unrecoverable pending job %s (%s)", key, exc
+                )
+                self.store.clear_pending(key)
+                continue
+            spec = self._make_spec(
+                key, program, record.get("program"), record.get("options"),
+                options,
+            )
+            job = _Job(key=key, spec=spec, waiters=0,
+                       future=asyncio.get_running_loop().create_future())
+            self._jobs[key] = job
+            job.task = asyncio.ensure_future(self._run_job(job))
+            recovered += 1
+            self._inc("serve.recovered")
+            LOG.info("recovered pending job %s", key)
+        return recovered
+
+    # ------------------------------------------------------------------
+    # socket front end
+    # ------------------------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(_encode(_error(
+                        "bad-request", "request line too long")))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                try:
+                    req = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    response = _error("bad-request", f"not JSON: {exc.msg}")
+                else:
+                    response = await self.handle_request(req)
+                writer.write(_encode(response))
+                await writer.drain()
+                if self._shutdown.is_set():
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client went away mid-exchange; its job keeps running
+        finally:
+            writer.close()
+
+    async def serve(self, address: str, *, ready=None) -> None:
+        """Bind *address* (a unix-socket path, or ``host:port``) and
+        serve until a ``shutdown`` request arrives."""
+        host_port = _parse_tcp(address)
+        if host_port is not None:
+            self._server = await asyncio.start_server(
+                self._on_client, host_port[0], host_port[1],
+                limit=_LINE_LIMIT,
+            )
+        else:
+            if os.path.exists(address):
+                os.unlink(address)  # stale socket from a killed server
+            self._server = await asyncio.start_unix_server(
+                self._on_client, path=address, limit=_LINE_LIMIT
+            )
+        self.recover()
+        if ready is not None:
+            ready()
+        async with self._server:
+            await self._shutdown.wait()
+            # let in-flight jobs finish so their results hit the store
+            for job in list(self._jobs.values()):
+                if job.task is not None:
+                    await job.task
+
+
+def _cache_id_of(outcome: dict, job: _Job | None) -> str | None:
+    """Recover the cache file id for a finished job's export (from the
+    spec's cache path — the worker does not recompute it)."""
+    if job is None or job.spec.cache_path is None:
+        return None
+    base = os.path.basename(job.spec.cache_path)
+    return base[:-4] if base.endswith(".pkl") else base
+
+
+def _encode(obj: dict) -> bytes:
+    return json.dumps(obj, sort_keys=True).encode("utf-8") + b"\n"
+
+
+def _parse_tcp(address: str) -> tuple[str, int] | None:
+    """``host:port`` → tuple; anything else is a unix-socket path."""
+    host, sep, port = address.rpartition(":")
+    if sep and port.isdigit() and os.sep not in address:
+        return (host or "127.0.0.1", int(port))
+    return None
+
+
+def _load_program_checked(spec):
+    from repro.serve.worker import load_program
+
+    return load_program(spec)
+
+
+def _apply_deadline(options, deadline_s):
+    """Fold a request deadline into the engine's wall-clock budget (the
+    smaller of the two wins) — expiry truncates gracefully server-side,
+    so the client always gets a response."""
+    if deadline_s is None:
+        return options
+    try:
+        deadline = float(deadline_s)
+    except (TypeError, ValueError):
+        raise ServeError(f"deadline_s: cannot coerce {deadline_s!r}")
+    if deadline <= 0:
+        raise ServeError(f"deadline_s must be positive, got {deadline}")
+    from dataclasses import replace
+
+    limit = options.time_limit_s
+    return replace(
+        options,
+        time_limit_s=deadline if limit is None else min(limit, deadline),
+    )
+
+
+def _run_worker_process(spec: JobSpec, watchdog_s: float | None):
+    """Fork + babysit one job worker (runs in an executor thread).
+
+    Returns the worker's outcome dict, or None when it crashed, was
+    watchdog-killed, or exited without leaving an outcome file."""
+    try:
+        os.unlink(spec.outcome_path)
+    except OSError:
+        pass
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=run_job, args=(spec,), daemon=True)
+    proc.start()
+    proc.join(watchdog_s)
+    if proc.is_alive():
+        LOG.warning("job %s worker exceeded the %ss watchdog; killing it",
+                    spec.key, watchdog_s)
+        proc.kill()
+        proc.join()
+        return None
+    try:
+        with open(spec.outcome_path, "rb") as fh:
+            import pickle
+
+            outcome = pickle.load(fh)
+        os.unlink(spec.outcome_path)
+        if not isinstance(outcome, dict):
+            return None
+        return outcome
+    except Exception:
+        return None  # crashed before (or while) writing the outcome
+
+
+# --------------------------------------------------------------------------
+# synchronous client
+# --------------------------------------------------------------------------
+
+
+def request(address: str, req: dict, *, timeout: float = 300.0) -> dict:
+    """One request/response exchange with a running server.
+
+    Raises :class:`ServeError` when the server is unreachable or the
+    connection dies mid-exchange — protocol-level failures (overload,
+    bad request) come back as ordinary response objects."""
+    host_port = _parse_tcp(address)
+    try:
+        if host_port is not None:
+            conn = socket.create_connection(host_port, timeout=timeout)
+        else:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(timeout)
+            conn.connect(address)
+    except OSError as exc:
+        raise ServeError(f"cannot reach server at {address!r}: {exc}")
+    try:
+        conn.sendall(_encode(req))
+        chunks = []
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+            if chunk.endswith(b"\n"):
+                break
+        data = b"".join(chunks)
+        if not data:
+            raise ServeError(
+                f"server at {address!r} closed the connection without "
+                "responding (it may have crashed; retry after restart)"
+            )
+        return json.loads(data)
+    except socket.timeout:
+        raise ServeError(
+            f"no response from {address!r} within {timeout}s"
+        )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeError(f"broken exchange with {address!r}: {exc}")
+    finally:
+        conn.close()

@@ -1,0 +1,407 @@
+"""The durable result store: crash-safe persistence for the service.
+
+Layout (all writes atomic — temp file + ``os.replace``)::
+
+    <root>/
+      manifest.json             # {"schema": "repro.store/1"}
+      entries/<key>/
+        result.pkl              # pickled result payload
+        meta.json               # checksum + summary; written LAST (commit)
+      caches/<cache-key>.pkl    # checksum line + pickled cache document
+      jobs/<key>/
+        job.json                # pending-job record (program + options)
+        checkpoint.ckpt         # the job's periodic snapshot
+        outcome.pkl             # worker → server handoff (transient)
+      quarantine/               # entries/files that failed validation
+
+Failure contract — the store **never fails a request**:
+
+- every read path (``get_result``, ``get_cache``, ``pending_jobs``)
+  returns data or ``None``/empty, never raises: unreadable or
+  checksum-mismatched artifacts are *quarantined* (moved aside, counted
+  in ``quarantined``) so the bad bytes cannot be re-read next time and
+  a later investigation still has them;
+- every write path (``put_result``, ``put_cache``, ``record_pending``)
+  returns False on failure after logging and counting it — a full disk
+  degrades the service to cache-miss behavior, it does not take it
+  down;
+- ``meta.json`` is the commit point of an entry: it is written after
+  ``result.pkl``, so a crash between the two leaves an invisible (and
+  later overwritten) result file, never a half-entry that validates.
+
+Fault drills (:mod:`repro.resilience.chaos`): ``store-io`` fires per
+low-level write inside store writes — a mid-file failure leaves only
+temp files, which the atomic-rename discipline never promotes;
+``store-corrupt`` silently flips bytes in a payload being written, so
+the checksum verification and quarantine path get exercised end to end.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import os
+import pickle
+
+from repro.resilience import chaos
+from repro.resilience.checkpoint import _ChaosWriteFile
+
+LOG = logging.getLogger("repro.serve")
+
+#: Version of the store layout; a manifest with a different schema is
+#: refused (the store directory is not silently misread).
+STORE_SCHEMA = "repro.store/1"
+
+#: Version of the pickled result payload inside an entry.
+RESULT_SCHEMA = "repro.store.result/1"
+
+_CHECKSUM_SIZE = 16
+
+
+def _checksum(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=_CHECKSUM_SIZE).hexdigest()
+
+
+def _corrupt(blob: bytes) -> bytes:
+    """Flip a few bytes mid-payload (the ``store-corrupt`` drill)."""
+    if not blob:
+        return blob
+    mid = len(blob) // 2
+    return blob[:mid] + bytes(b ^ 0xFF for b in blob[mid:mid + 4]) + blob[mid + 4:]
+
+
+class StoreCorrupt(Exception):
+    """Internal: an artifact failed validation (checksum/JSON/pickle).
+    Never escapes the store — it routes to quarantine."""
+
+
+class ResultStore:
+    """Disk-backed result + warm-cache + pending-job store.
+
+    Thread-safety: all mutating operations go through atomic renames,
+    so concurrent writers (a recovered server racing an orphaned
+    worker's outcome, say) can only replace whole files with other
+    valid whole files.  Counters are plain ints — call sites live on
+    one event loop.
+    """
+
+    def __init__(self, root: str, *, metrics=None) -> None:
+        self.root = root
+        self.metrics = metrics
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.put_failures = 0
+        self.quarantined = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        for sub in ("entries", "caches", "jobs", "quarantine"):
+            os.makedirs(os.path.join(root, sub), exist_ok=True)
+        self._init_manifest()
+
+    # ------------------------------------------------------------------
+    # manifest
+    # ------------------------------------------------------------------
+
+    def _init_manifest(self) -> None:
+        path = os.path.join(self.root, "manifest.json")
+        if os.path.exists(path):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+                schema = manifest.get("schema")
+            except (OSError, json.JSONDecodeError, AttributeError):
+                schema = None
+            if schema != STORE_SCHEMA:
+                from repro.util.errors import ServeError
+
+                raise ServeError(
+                    f"store at {self.root!r} has schema {schema!r}; this "
+                    f"engine speaks {STORE_SCHEMA!r} — point the server at "
+                    "a fresh directory or delete the old store"
+                )
+            return
+        # manifest writes bypass the chaos points: they happen once at
+        # startup, before any drill should be able to wedge the server
+        self._atomic_write(path, json.dumps({"schema": STORE_SCHEMA}).encode(),
+                           chaos_points=False)
+
+    # ------------------------------------------------------------------
+    # low-level atomic writes
+    # ------------------------------------------------------------------
+
+    def _atomic_write(
+        self, path: str, data: bytes, *, chaos_points: bool = True
+    ) -> None:
+        if chaos_points and chaos.fired("store-corrupt"):
+            data = _corrupt(data)
+        tmp = f"{path}.tmp"
+        try:
+            with open(tmp, "wb") as fh:
+                out = _ChaosWriteFile(fh) if chaos_points else fh
+                view = memoryview(data)
+                # chunked so a mid-file store-io firing leaves a
+                # genuinely truncated temp file
+                for i in range(0, len(view) or 1, 1 << 16):
+                    out.write(view[i:i + (1 << 16)])
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def _inc(self, name: str, n: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.inc(name, n)
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+
+    def _entry_dir(self, key: str) -> str:
+        return os.path.join(self.root, "entries", key)
+
+    def has_result(self, key: str) -> bool:
+        return os.path.exists(os.path.join(self._entry_dir(key), "meta.json"))
+
+    def put_result(self, key: str, payload: dict) -> bool:
+        """Persist *payload* (a plain picklable dict) under *key*.
+        Returns False (after logging + counting) on any failure."""
+        try:
+            blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+            meta = {
+                "schema": RESULT_SCHEMA,
+                "key": key,
+                "checksum": _checksum(blob),
+                "result_digest": payload.get("result_digest"),
+            }
+            entry = self._entry_dir(key)
+            os.makedirs(entry, exist_ok=True)
+            self._atomic_write(os.path.join(entry, "result.pkl"), blob)
+            # meta.json is the commit point: written only after the
+            # payload landed completely
+            self._atomic_write(
+                os.path.join(entry, "meta.json"),
+                json.dumps(meta, sort_keys=True).encode(),
+            )
+        except Exception as exc:
+            self.put_failures += 1
+            self._inc("serve.store_put_failures")
+            LOG.warning("store: cannot persist entry %s (%s)", key, exc)
+            return False
+        self.puts += 1
+        self._inc("serve.store_puts")
+        return True
+
+    def get_result(self, key: str) -> dict | None:
+        """The payload stored under *key*, or None.  Validation failures
+        quarantine the entry and report a miss — never an exception."""
+        entry = self._entry_dir(key)
+        meta_path = os.path.join(entry, "meta.json")
+        if not os.path.exists(meta_path):
+            self.misses += 1
+            self._inc("serve.store_misses")
+            return None
+        try:
+            try:
+                with open(meta_path, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+                if not isinstance(meta, dict) or meta.get("schema") != RESULT_SCHEMA:
+                    raise StoreCorrupt(f"bad meta schema in {meta_path}")
+                with open(os.path.join(entry, "result.pkl"), "rb") as fh:
+                    blob = fh.read()
+                if _checksum(blob) != meta.get("checksum"):
+                    raise StoreCorrupt(f"checksum mismatch for entry {key}")
+                payload = pickle.loads(blob)
+                if not isinstance(payload, dict):
+                    raise StoreCorrupt(f"entry {key} payload is not a dict")
+            except StoreCorrupt:
+                raise
+            except Exception as exc:
+                raise StoreCorrupt(f"entry {key} unreadable: {exc!r}")
+        except StoreCorrupt as exc:
+            LOG.warning("store: quarantining bad entry (%s)", exc)
+            self._quarantine(entry)
+            self.misses += 1
+            self._inc("serve.store_misses")
+            self._inc("serve.store_quarantined")
+            return None
+        self.hits += 1
+        self._inc("serve.store_hits")
+        return payload
+
+    def _quarantine(self, path: str) -> None:
+        """Move a bad artifact into quarantine/ (fall back to deleting
+        it; never raise — the caller is already on a degraded path)."""
+        self.quarantined += 1
+        base = os.path.basename(path.rstrip(os.sep))
+        try:
+            for n in range(1000):
+                target = os.path.join(
+                    self.root, "quarantine", f"{base}.{n}"
+                )
+                if not os.path.exists(target):
+                    os.replace(path, target)
+                    return
+        except OSError:
+            pass
+        try:
+            import shutil
+
+            if os.path.isdir(path):
+                shutil.rmtree(path, ignore_errors=True)
+            elif os.path.exists(path):
+                os.unlink(path)
+        except OSError:  # pragma: no cover - last-resort guard
+            LOG.warning("store: cannot quarantine or remove %s", path)
+
+    # ------------------------------------------------------------------
+    # warm caches
+    # ------------------------------------------------------------------
+
+    def _cache_path(self, cache_id: str) -> str:
+        return os.path.join(self.root, "caches", f"{cache_id}.pkl")
+
+    def put_cache(self, cache_id: str, document: dict) -> bool:
+        """Persist a cache document (see
+        :func:`repro.serve.keys.cache_document`)."""
+        try:
+            blob = pickle.dumps(document, protocol=pickle.HIGHEST_PROTOCOL)
+            data = _checksum(blob).encode("ascii") + b"\n" + blob
+            self._atomic_write(self._cache_path(cache_id), data)
+        except Exception as exc:
+            self.put_failures += 1
+            self._inc("serve.store_put_failures")
+            LOG.warning("store: cannot persist cache %s (%s)", cache_id, exc)
+            return False
+        self._inc("serve.cache_puts")
+        return True
+
+    def get_cache(self, cache_id: str) -> dict | None:
+        return read_cache_file(self._cache_path(cache_id), store=self)
+
+    # ------------------------------------------------------------------
+    # pending jobs (crash recovery)
+    # ------------------------------------------------------------------
+
+    def job_dir(self, key: str) -> str:
+        return os.path.join(self.root, "jobs", key)
+
+    def checkpoint_path(self, key: str) -> str:
+        return os.path.join(self.job_dir(key), "checkpoint.ckpt")
+
+    def outcome_path(self, key: str) -> str:
+        return os.path.join(self.job_dir(key), "outcome.pkl")
+
+    def record_pending(self, key: str, record: dict) -> bool:
+        """Durably mark *key* as submitted-but-unfinished, with enough
+        context (program spec + options) to re-run it after a crash."""
+        try:
+            path = self.job_dir(key)
+            os.makedirs(path, exist_ok=True)
+            self._atomic_write(
+                os.path.join(path, "job.json"),
+                json.dumps(record, sort_keys=True).encode(),
+            )
+        except Exception as exc:
+            self.put_failures += 1
+            self._inc("serve.store_put_failures")
+            LOG.warning("store: cannot record pending job %s (%s)", key, exc)
+            return False
+        return True
+
+    def clear_pending(self, key: str) -> None:
+        """Forget a finished (or permanently failed) job, checkpoint
+        included."""
+        path = self.job_dir(key)
+        try:
+            import shutil
+
+            shutil.rmtree(path, ignore_errors=True)
+        except OSError:  # pragma: no cover - ignore_errors covers it
+            pass
+
+    def pending_jobs(self) -> list[tuple[str, dict]]:
+        """Every recoverable job record, sorted by key.  Unreadable
+        records are quarantined and skipped."""
+        jobs_root = os.path.join(self.root, "jobs")
+        out = []
+        try:
+            keys = sorted(os.listdir(jobs_root))
+        except OSError:
+            return []
+        for key in keys:
+            path = os.path.join(jobs_root, key, "job.json")
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    record = json.load(fh)
+                if not isinstance(record, dict):
+                    raise StoreCorrupt(f"job record {key} is not an object")
+            except FileNotFoundError:
+                continue  # job dir without a record: checkpoint debris
+            except Exception as exc:
+                LOG.warning(
+                    "store: quarantining bad job record %s (%s)", key, exc
+                )
+                self._quarantine(os.path.join(jobs_root, key))
+                self._inc("serve.store_quarantined")
+                continue
+            out.append((key, record))
+        return out
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "serve.store_hits": self.hits,
+            "serve.store_misses": self.misses,
+            "serve.store_puts": self.puts,
+            "serve.store_put_failures": self.put_failures,
+            "serve.store_quarantined": self.quarantined,
+        }
+
+
+def read_cache_file(path: str, *, store: ResultStore | None = None) -> dict | None:
+    """Read + validate a warm-cache file; None on absence or damage.
+
+    Module-level so job workers can read a cache file directly without
+    opening the whole store.  Damage quarantines (when a store is
+    given) or deletes the file — a corrupt cache must never be able to
+    wedge every future job that probes it.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except OSError:
+        if store is not None:
+            store.cache_misses += 1
+            store._inc("serve.cache_store_misses")
+        return None
+    try:
+        nl = data.index(b"\n")
+        recorded = data[:nl].decode("ascii")
+        blob = data[nl + 1:]
+        if _checksum(blob) != recorded:
+            raise StoreCorrupt(f"cache checksum mismatch: {path}")
+        document = pickle.loads(blob)
+        if not isinstance(document, dict):
+            raise StoreCorrupt(f"cache payload is not a dict: {path}")
+    except Exception as exc:
+        LOG.warning("store: bad cache file %s (%s)", path, exc)
+        if store is not None:
+            store._quarantine(path)
+            store.cache_misses += 1
+            store._inc("serve.cache_store_misses")
+            store._inc("serve.store_quarantined")
+        else:
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+        return None
+    if store is not None:
+        store.cache_hits += 1
+        store._inc("serve.cache_store_hits")
+    return document

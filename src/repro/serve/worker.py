@@ -1,0 +1,215 @@
+"""The service's job worker: one exploration, in its own process.
+
+The server forks one worker per admitted job.  The worker checkpoints
+through the ordinary :class:`~repro.resilience.checkpoint.Checkpointer`,
+warm-starts its expansion-memo cache from the store's persisted cache
+file (gated by :func:`repro.serve.keys.keep_predicate`), and hands its
+outcome back through a pickle file — the server performs every durable
+*store* write itself, so a worker that dies mid-job (or outlives a
+killed server as an orphan) can never publish a partial result.
+
+The outcome file is the full success/typed-failure report; a worker
+that crashes before writing it (the ``serve-worker-kill`` drill, a real
+OOM kill) simply leaves nothing, and the server restarts the job with
+``resume=True`` so it continues from the last checkpoint instead of
+re-exploring from scratch.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, replace
+
+from repro.resilience import chaos
+from repro.resilience.checkpoint import CheckpointError, Checkpointer
+from repro.serve import keys
+from repro.serve.store import read_cache_file
+from repro.util.errors import ReproError
+
+#: Exit code of a worker hard-exited by the ``serve-worker-kill`` drill
+#: (distinguishable from a Python traceback's exit 1 in tests).
+KILLED_EXIT = 87
+
+#: Version of the worker → server outcome payload.
+OUTCOME_SCHEMA = "repro.serve.outcome/1"
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Everything a worker process needs — picklable, path-based."""
+
+    key: str
+    #: ``{"kind": "source", "text": ...}`` or ``{"kind": "corpus",
+    #: "name": ...}``
+    program: dict
+    #: raw request options (re-normalized worker-side so the spec stays
+    #: JSON-serializable for the store's pending-job records)
+    options: dict
+    checkpoint_path: str
+    outcome_path: str
+    #: persisted warm-cache file to import from (and whose refreshed
+    #: contents the outcome carries back), or None
+    cache_path: str | None
+    checkpoint_every: int = 200
+    #: continue from ``checkpoint_path`` if it holds a loadable snapshot
+    resume: bool = False
+
+    def resumed(self) -> "JobSpec":
+        return replace(self, resume=True)
+
+
+def load_program(spec: dict):
+    """Materialize a request's program object; :class:`ReproError` (or a
+    subclass from the front end) on anything malformed."""
+    from repro.util.errors import ServeError
+
+    if not isinstance(spec, dict):
+        raise ServeError("program must be an object")
+    kind = spec.get("kind")
+    if kind == "source":
+        from repro.lang import parse_program
+
+        text = spec.get("text")
+        if not isinstance(text, str):
+            raise ServeError("program.text must be a string")
+        return parse_program(text)
+    if kind == "corpus":
+        from repro.programs.corpus import CORPUS
+
+        name = spec.get("name")
+        if name not in CORPUS:
+            raise ServeError(
+                f"unknown corpus program {name!r}; known: "
+                + ", ".join(sorted(CORPUS))
+            )
+        return CORPUS[name]()
+    raise ServeError(
+        f"unknown program kind {kind!r} (want 'source' or 'corpus')"
+    )
+
+
+def run_job(spec: JobSpec) -> None:
+    """Process entry point: execute *spec*, leave an outcome file.
+
+    Never raises out (the server diagnoses a missing outcome file as a
+    crash) — every representable failure becomes a typed error outcome
+    instead.  The ``serve-worker-kill`` drill fires *before* any work
+    and hard-exits, modeling the kernel killing the job."""
+    try:
+        chaos.kick("serve-worker-kill")
+    except chaos.ChaosFault:
+        os._exit(KILLED_EXIT)
+    try:
+        outcome = _execute(spec)
+    except ReproError as exc:
+        outcome = {
+            "schema": OUTCOME_SCHEMA,
+            "key": spec.key,
+            "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    _write_outcome(spec.outcome_path, outcome)
+
+
+def _write_outcome(path: str, outcome: dict) -> None:
+    """Plain atomic write — transient IPC, deliberately outside the
+    ``store-io``/``store-corrupt`` drills (a store fault must degrade
+    the *store*, not masquerade as a worker crash)."""
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "wb") as fh:
+        pickle.dump(outcome, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    os.replace(tmp, path)
+
+
+def _execute(spec: JobSpec) -> dict:
+    from repro.bench import result_digest
+    from repro.explore import explore
+    from repro.explore.memo import ExpandCache
+    from repro.metrics import MetricsObserver
+
+    program = load_program(spec.program)
+    options = keys.options_from_request(spec.options)
+
+    cache = None
+    imported = 0
+    if options.memo:
+        cache = ExpandCache()
+        if spec.cache_path is not None:
+            document = read_cache_file(spec.cache_path)
+            if document is not None:
+                keep = keys.keep_predicate(document, program)
+                if keep is not None:
+                    imported = cache.load_state(
+                        document.get("state"), keep=keep
+                    )
+
+    checkpointer = Checkpointer(
+        spec.checkpoint_path, every=spec.checkpoint_every
+    )
+    resume_from = None
+    if spec.resume and os.path.exists(spec.checkpoint_path):
+        resume_from = spec.checkpoint_path
+
+    metrics_ob = MetricsObserver()
+    try:
+        result = explore(
+            program,
+            options=options,
+            observers=(metrics_ob,),
+            checkpointer=checkpointer,
+            resume_from=resume_from,
+            expand_cache=cache,
+        )
+        resume_failed = False
+    except CheckpointError:
+        # a truncated/corrupt snapshot must not fail the job: drop it
+        # and re-explore cold (the result is identical, just slower)
+        try:
+            os.unlink(spec.checkpoint_path)
+        except OSError:
+            pass
+        result = explore(
+            program,
+            options=options,
+            observers=(metrics_ob,),
+            checkpointer=checkpointer,
+            expand_cache=cache,
+        )
+        resume_failed = True
+
+    stats = result.stats
+    outcome = {
+        "schema": OUTCOME_SCHEMA,
+        "key": spec.key,
+        "ok": True,
+        "error": None,
+        "result_digest": result_digest(result),
+        "summary": {
+            "configs": stats.num_configs,
+            "edges": stats.num_edges,
+            "terminated": stats.num_terminated,
+            "deadlocks": stats.num_deadlocks,
+            "faults": stats.num_faults,
+            "truncated": stats.truncated,
+            "truncation_reason": stats.truncation_reason,
+            "resumed": stats.resumed,
+            "resume_failed": resume_failed,
+            "policy": options.describe(),
+        },
+        "outcomes": sorted(
+            repr(dict(zip(program.global_names, g)))
+            for g in result.terminal_globals()
+        ),
+        "metrics": metrics_ob.registry.snapshot(),
+        "imported_cache_entries": imported,
+        "cache_export": None,
+    }
+    # a truncated run saw only part of the state space: neither its
+    # result nor its memo cache may be published (the cache itself is
+    # sound, but exporting it is pointless churn on a failed budget)
+    if cache is not None and not stats.truncated:
+        outcome["cache_export"] = keys.cache_document(
+            program, cache.export_state()
+        )
+    return outcome

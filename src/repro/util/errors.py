@@ -61,3 +61,11 @@ class RuntimeFault(ReproError):
 class AnalysisError(ReproError):
     """Raised by client analyses on unmet preconditions (e.g. asking for
     Shasha–Snir delays on non-straight-line segments)."""
+
+
+class ServeError(ReproError):
+    """Raised by the analysis service (:mod:`repro.serve`): bad
+    requests, unreachable servers, jobs that exhausted their restart
+    budget.  Protocol-level failures (overload, malformed JSON) are
+    *responses*, not exceptions — this class covers the cases where the
+    caller cannot get a response at all."""

@@ -252,3 +252,47 @@ def test_memo_hit_counters_flow_to_metrics():
     reg = mo.registry
     assert reg.value("expand.cache_hits") > 0
     assert 0.0 < reg.value("expand.cache_hit_rate") <= 1.0
+
+
+# --------------------------------------------------------------------------
+# export/import (the analysis service's warm store)
+# --------------------------------------------------------------------------
+
+
+def test_export_state_round_trip_warms_a_fresh_cache():
+    prog = _program("philosophers_3")
+    opts = ExploreOptions(policy="stubborn", coarsen=True, memo=True)
+    cold_cache = ExpandCache()
+    cold = explore(prog, options=opts, expand_cache=cold_cache)
+    state = cold_cache.export_state()
+    assert state["schema"] == ExpandCache.EXPORT_SCHEMA
+
+    warm_cache = ExpandCache()
+    imported = warm_cache.load_state(state)
+    assert imported == cold_cache.size > 0
+    warm = explore(_program("philosophers_3"), options=opts,
+                   expand_cache=warm_cache)
+    # the pre-warmed run replays instead of recomputing, and the graph
+    # is bit-identical
+    assert warm_cache.hits > cold_cache.hits
+    assert warm.graph.configs == cold.graph.configs
+    assert warm.graph.edges == cold.graph.edges
+
+
+def test_load_state_rejects_unknown_schema_and_filters():
+    prog = _program("mutex_counter")
+    opts = ExploreOptions(policy="stubborn", memo=True)
+    cache = ExpandCache()
+    explore(prog, options=opts, expand_cache=cache)
+    state = cache.export_state()
+
+    assert ExpandCache().load_state({"schema": "repro.expandcache/99"}) == 0
+    assert ExpandCache().load_state("garbage") == 0
+    # the keep predicate gates whole process keys
+    assert ExpandCache().load_state(state, keep=lambda proc: False) == 0
+
+    # a damaged row is skipped, never raised
+    proc, rows = state["entries"][0]
+    state["entries"][0] = (proc, [rows[0][:3]] + list(rows[1:]))
+    partial = ExpandCache()
+    assert partial.load_state(state) == cache.size - 1

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import pickle
 
 import pytest
@@ -131,3 +132,108 @@ def test_explore_counts_checkpoint_faults(tmp_path):
     assert not s.truncated  # checkpoint I/O failure never kills the run
     assert s.checkpoint_faults == 2
     assert s.checkpoints_written == cp.written > 0
+
+
+# --------------------------------------------------------------------------
+# damaged snapshots and mid-write crashes (PR 7 hardening)
+# --------------------------------------------------------------------------
+
+
+def test_truncated_snapshot_is_typed_error_with_hint(tmp_path):
+    """Regression: a torn download / killed writer leaves a prefix of a
+    valid pickle.  Loading it must raise CheckpointError naming the
+    file and the way out — never a raw unpickling traceback."""
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs", "payload": list(range(1000))})
+    blob = open(path, "rb").read()
+    for cut in (1, len(blob) // 2, len(blob) - 1):
+        with open(path, "wb") as fh:
+            fh.write(blob[:cut])
+        with pytest.raises(CheckpointError) as err:
+            read_snapshot(path)
+        message = str(err.value)
+        assert path in message
+        assert "truncated or corrupt" in message
+        assert "re-run without --resume" in message
+
+
+def test_bitrotted_snapshot_is_typed_error(tmp_path):
+    """Bit flips deep in the pickle stream surface as the same typed
+    error, whatever exception the unpickler happens to raise."""
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs", "payload": {"k": [1, 2, 3]}})
+    blob = bytearray(open(path, "rb").read())
+    blob[len(blob) // 2] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    try:
+        payload = read_snapshot(path)
+    except CheckpointError as exc:
+        assert "truncated or corrupt" in str(exc)
+    else:
+        # one flipped byte can survive unpickling; it must then still
+        # be a structurally valid snapshot dict, not garbage
+        assert isinstance(payload, dict) and "schema" in payload
+
+
+def test_truncated_resume_fails_typed_through_explore(tmp_path):
+    """The same contract holds end to end through explore(--resume)."""
+    program = paper.mutex_counter()
+    path = str(tmp_path / "snap.ckpt")
+    cp = Checkpointer(path, every=1, stop_after=1)
+    explore(program, options=ExploreOptions(policy="stubborn"), checkpointer=cp)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])
+    with pytest.raises(CheckpointError, match="re-run without --resume"):
+        explore(
+            program,
+            options=ExploreOptions(policy="stubborn"),
+            resume_from=path,
+        )
+
+
+def test_mid_write_crash_preserves_previous_snapshot(tmp_path):
+    """Atomicity under a crash *during* the write: the ``store-io``
+    point fails individual low-level ``write()`` calls inside the
+    snapshot dump, exactly like a disk dying mid-file.  Whatever write
+    the crash lands on, the previous snapshot stays loadable."""
+    path = str(tmp_path / "snap.ckpt")
+    write_snapshot(path, {"driver": "bfs", "n": 1, "pad": list(range(4096))})
+    before = open(path, "rb").read()
+    # sweep the crash point across the file: first write, a later
+    # write, and (past the end) no crash at all
+    for after in (0, 1, 2, 5):
+        with chaos.injected("store-io", after=after, times=1):
+            try:
+                write_snapshot(
+                    path, {"driver": "bfs", "n": 2, "pad": list(range(4096))}
+                )
+                crashed = False
+            except chaos.ChaosFault:
+                crashed = True
+        if crashed:
+            # the interrupted write left the old bytes untouched...
+            assert open(path, "rb").read() == before
+            payload = read_snapshot(path)
+            assert payload["n"] == 1
+            # ...and no temp debris
+            assert os.listdir(str(tmp_path)) == ["snap.ckpt"]
+        else:
+            assert read_snapshot(path)["n"] == 2
+            write_snapshot(
+                path, {"driver": "bfs", "n": 1, "pad": list(range(4096))}
+            )
+            before = open(path, "rb").read()
+
+
+def test_mid_write_crash_through_checkpointer(tmp_path):
+    """The periodic Checkpointer absorbs a mid-write store-io crash as
+    an ordinary checkpoint fault: run continues, old snapshot loads."""
+    path = str(tmp_path / "snap.ckpt")
+    cp = Checkpointer(path, every=1)
+    assert cp.tick(lambda: {"driver": "bfs", "n": 1}) is False
+    with chaos.injected("store-io", times=1):
+        cp.tick(lambda: {"driver": "bfs", "n": 2, "pad": list(range(4096))})
+    assert cp.faults == 1
+    assert read_snapshot(path)["n"] == 1

@@ -1,0 +1,112 @@
+"""Degradation ladder × parallel backend × killed workers.
+
+The pool retries a killed worker *transparently*, inside one rung's
+``explore`` call — so a kill must never show up in the escalation
+trail.  These drills kill a worker while each ladder rung is the one
+running and assert the trail (and the answer) is exactly what the
+fault-free run produces, with the retry visible only in
+``worker_restarts``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.resilience import Budgets, explore_resilient, chaos
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    assert chaos.active() is None
+    yield
+    leaked = chaos.active() is not None
+    chaos.uninstall()
+    assert not leaked, "test left a chaos injector installed"
+
+
+def _serial_baseline():
+    return explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="full"),
+    )
+
+
+#: (start rung, kick offset) — the offset delays the kill so it lands
+#: while the *target* rung's pool is doing real work.
+RUNGS = ("full", "stubborn", "stubborn-proc+coarsen")
+
+
+@pytest.mark.parametrize("start", RUNGS)
+def test_worker_kill_during_each_rung_is_invisible(start):
+    """Ample budgets: the start rung answers exactly, kill or no kill,
+    and the trail stays empty — the pool retry never escalates."""
+    program = CORPUS["philosophers_3"]()
+    baseline = _serial_baseline()
+    clean = explore_resilient(
+        program, budgets=Budgets(), start=start, backend="parallel", jobs=2
+    )
+    with chaos.injected("worker", after=10, shared=True) as inj:
+        drilled = explore_resilient(
+            program, budgets=Budgets(), start=start, backend="parallel",
+            jobs=2,
+        )
+    assert inj.armed_fired("worker") == 1  # the kill really happened
+    assert drilled.exact and clean.exact
+    assert drilled.rung == clean.rung == start
+    # trail consistency: a transparently retried pool is not an
+    # escalation
+    assert drilled.escalations == clean.escalations == []
+    assert drilled.result.stats.escalations == ()
+    assert drilled.result.stats.worker_restarts == 1
+    assert clean.result.stats.worker_restarts == 0
+    # and the answer is still the exact state space
+    assert drilled.result.final_stores() == baseline.final_stores()
+    assert drilled.result.graph.configs == clean.result.graph.configs
+    assert drilled.result.graph.edges == clean.result.graph.edges
+
+
+def test_worker_kill_during_escalated_rung_keeps_trail_consistent():
+    """Tight config budget forces full -> stubborn escalation; the kill
+    is offset to land in the *escalated* rung's pool.  The trail must
+    record exactly the budget escalation — nothing about the kill."""
+    program = CORPUS["philosophers_3"]()
+    budgets = Budgets(max_configs=40)  # full blows this, stubborn too
+    clean = explore_resilient(
+        program, budgets=budgets, backend="parallel", jobs=2
+    )
+    assert clean.escalations  # the budget genuinely escalates
+    with chaos.injected("worker", after=60, shared=True) as inj:
+        drilled = explore_resilient(
+            program, budgets=budgets, backend="parallel", jobs=2
+        )
+    assert inj.armed_fired("worker") == 1
+    assert drilled.rung == clean.rung
+    assert drilled.exact == clean.exact
+    assert [e.describe() for e in drilled.escalations] == [
+        e.describe() for e in clean.escalations
+    ]
+    assert drilled.result.stats.escalations == clean.result.stats.escalations
+    assert (
+        drilled.result.final_stores() == clean.result.final_stores()
+    )
+
+
+def test_worker_hang_during_resilient_run_trips_watchdog_not_ladder():
+    """A wedged worker is the pool watchdog's job, not the ladder's:
+    same contract as a kill — restart transparently, trail unchanged."""
+    program = CORPUS["philosophers_3"]()
+    clean = explore_resilient(
+        program, budgets=Budgets(), start="stubborn", backend="parallel",
+        jobs=2,
+    )
+    with chaos.injected("worker-hang", shared=True):
+        drilled = explore_resilient(
+            program, budgets=Budgets(), start="stubborn", backend="parallel",
+            jobs=2,
+        )
+    assert drilled.exact
+    assert drilled.escalations == clean.escalations == []
+    assert drilled.result.stats.worker_restarts == 1
+    assert drilled.result.final_stores() == clean.result.final_stores()

@@ -1,0 +1,16 @@
+"""Shared fixtures for the analysis-service suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    assert chaos.active() is None
+    yield
+    leaked = chaos.active() is not None
+    chaos.uninstall()
+    assert not leaked, "test left a chaos injector installed"

@@ -1,0 +1,144 @@
+"""Fault drills for the analysis service.
+
+Contract under every drill: the client gets a correct result, a clean
+typed error, or a resumable checkpoint — never a wrong answer and never
+a hang.  Three failure points (see :mod:`repro.resilience.chaos`):
+
+``serve-worker-kill``
+    a job worker hard-exits (OOM kill) — the server must restart it
+    from its checkpoint, transparently;
+``store-io``
+    durable writes fail mid-file (disk full/dying) — requests still
+    succeed, the store degrades to miss behavior;
+``store-corrupt``
+    writes land bit-rotted — the read path must quarantine, re-run,
+    and never serve the damaged payload.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.bench import result_digest
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.resilience import chaos
+from repro.serve import ReproServer, ResultStore, ServeOptions
+
+PROGRAM = {"kind": "corpus", "name": "philosophers_3"}
+OPTIONS = {"policy": "stubborn", "coarsen": True}
+SUBMIT = {"op": "submit", "program": PROGRAM, "options": OPTIONS}
+
+
+def _clean_digest() -> str:
+    result = explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="stubborn", coarsen=True),
+    )
+    return result_digest(result)
+
+
+def _server(tmp_path, **kw) -> ReproServer:
+    kw.setdefault("checkpoint_every", 20)
+    return ReproServer(ResultStore(str(tmp_path / "store")), ServeOptions(**kw))
+
+
+def _ask(server, req=SUBMIT) -> dict:
+    async def main():
+        return await asyncio.wait_for(server.handle_request(dict(req)), 120)
+
+    return asyncio.run(main())
+
+
+# --------------------------------------------------------------------------
+# serve-worker-kill
+# --------------------------------------------------------------------------
+
+
+def test_killed_worker_restarts_and_answers_correctly(tmp_path):
+    """One OOM-killed worker is invisible to the client: the job
+    restarts (resuming its checkpoint) and the answer is exact."""
+    server = _server(tmp_path)
+    # shared=True: the point fires inside the forked worker, and the
+    # restarted worker must draw from the same (now empty) budget
+    with chaos.injected("serve-worker-kill", shared=True, times=1) as inj:
+        response = _ask(server)
+    assert inj.armed_fired("serve-worker-kill") == 1
+    assert response["ok"]
+    assert response["result_digest"] == _clean_digest()
+    assert server.counters["serve.worker_restarts"] == 1
+    assert server.store.pending_jobs() == []
+
+
+def test_kill_every_attempt_yields_typed_resumable_error(tmp_path):
+    """A job whose worker dies on every attempt exhausts the restart
+    budget and fails *cleanly*: typed error, checkpoint kept, and a
+    later drill-free resubmit completes."""
+    server = _server(tmp_path, max_restarts=1)
+    with chaos.injected("serve-worker-kill", shared=True, times=-1):
+        response = _ask(server)
+    assert response["ok"] is False
+    assert response["error"]["type"] == "worker-failed"
+    assert response["resumable"] is True
+    assert server.counters["serve.jobs_failed"] == 1
+    # the pending record survives for recovery...
+    assert len(server.store.pending_jobs()) == 1
+    # ...and with the fault gone, the same server completes the job
+    retry = _ask(server)
+    assert retry["ok"]
+    assert retry["result_digest"] == _clean_digest()
+    assert server.store.pending_jobs() == []
+
+
+# --------------------------------------------------------------------------
+# store-io
+# --------------------------------------------------------------------------
+
+
+def test_store_io_fault_degrades_to_miss_not_failure(tmp_path):
+    """A dying disk during result persistence must not fail the
+    request — and the next identical request simply re-explores."""
+    server = _server(tmp_path)
+    with chaos.injected("store-io", times=-1):
+        r1 = _ask(server)
+    assert r1["ok"]
+    assert r1["result_digest"] == _clean_digest()
+    assert server.store.put_failures > 0
+    # nothing (possibly partial) was persisted
+    assert server.store.get_result(r1["key"]) is None
+    # disk healthy again: re-submit re-runs and persists normally
+    r2 = _ask(server)
+    assert r2["ok"] and r2["cached"] is False
+    assert r2["result_digest"] == r1["result_digest"]
+    r3 = _ask(server)
+    assert r3["cached"] is True
+
+
+# --------------------------------------------------------------------------
+# store-corrupt
+# --------------------------------------------------------------------------
+
+
+def test_store_corrupt_fault_never_serves_damaged_payload(tmp_path):
+    """Bit-rot on the way to disk: the corrupted entry is quarantined
+    on first read and the job re-runs — the wrong bytes are never in a
+    response."""
+    server = _server(tmp_path)
+    # after=1: skip the pending-record write so the flip lands on the
+    # result payload itself
+    with chaos.injected("store-corrupt", after=1, times=1):
+        r1 = _ask(server)
+    assert r1["ok"]
+    digest = _clean_digest()
+    assert r1["result_digest"] == digest  # response came from the run
+    # the stored entry is damaged; the resubmit must detect it,
+    # quarantine, and recompute rather than replay garbage
+    r2 = _ask(server)
+    assert r2["ok"]
+    assert r2["cached"] is False
+    assert r2["result_digest"] == digest
+    assert server.store.quarantined >= 1
+    # third time around the (clean) rewrite serves from the store
+    r3 = _ask(server)
+    assert r3["cached"] is True
+    assert r3["result_digest"] == digest

@@ -1,0 +1,212 @@
+"""Request identity and the warm-cache import gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.explore.memo import ExpandCache
+from repro.lang import parse_program
+from repro.programs.corpus import CORPUS
+from repro.serve import keys
+from repro.util.errors import ServeError
+
+COUNTER = """
+var lock = 0; var count = 0;
+func worker() {
+    a: acquire(lock);
+    b: count = count + 1;
+    c: release(lock);
+}
+func main() {
+    cobegin
+    { w1: worker(); }
+    { w2: worker(); }
+}
+"""
+
+COUNTER_EDITED = COUNTER.replace("count + 1", "count + 2")
+
+
+# --------------------------------------------------------------------------
+# options_from_request
+# --------------------------------------------------------------------------
+
+
+def test_options_defaults_and_coercion():
+    opts = keys.options_from_request(
+        {"policy": "stubborn", "coarsen": True, "max_configs": 100}
+    )
+    assert opts.policy == "stubborn"
+    assert opts.coarsen is True
+    assert opts.max_configs == 100
+    assert opts.backend == "serial"
+
+
+def test_options_unknown_key_rejected():
+    with pytest.raises(ServeError, match="unknown option"):
+        keys.options_from_request({"polciy": "full"})
+
+
+def test_options_bad_value_rejected():
+    with pytest.raises(ServeError, match="cannot coerce"):
+        keys.options_from_request({"max_configs": "lots"})
+
+
+def test_options_bad_policy_rejected():
+    with pytest.raises(ServeError, match="unknown policy"):
+        keys.options_from_request({"policy": "yolo"})
+
+
+def test_options_not_a_dict_rejected():
+    with pytest.raises(ServeError, match="must be an object"):
+        keys.options_from_request([1, 2])
+
+
+# --------------------------------------------------------------------------
+# store and cache keys
+# --------------------------------------------------------------------------
+
+
+def test_store_key_stable_and_sensitive():
+    prog = parse_program(COUNTER)
+    opts = keys.options_from_request({"policy": "stubborn"})
+    k1 = keys.store_key(prog, opts)
+    assert k1 == keys.store_key(parse_program(COUNTER), opts)
+    # different program or different non-budget options -> different key
+    assert k1 != keys.store_key(parse_program(COUNTER_EDITED), opts)
+    assert k1 != keys.store_key(
+        prog, keys.options_from_request({"policy": "full"})
+    )
+
+
+def test_store_key_ignores_budgets():
+    prog = parse_program(COUNTER)
+    a = keys.options_from_request({"policy": "stubborn"})
+    b = keys.options_from_request(
+        {"policy": "stubborn", "max_configs": 7, "time_limit_s": 1.0}
+    )
+    assert keys.store_key(prog, a) == keys.store_key(prog, b)
+
+
+def test_cache_key_survives_light_edits():
+    """The cache file is keyed by program *shape*, so an edited body
+    still finds it (the import gate then filters entries)."""
+    opts = keys.options_from_request({"policy": "stubborn"})
+    k1 = keys.cache_key(parse_program(COUNTER), opts)
+    k2 = keys.cache_key(parse_program(COUNTER_EDITED), opts)
+    assert k1 == k2
+    # expansion-relevant options split the cache family
+    coarse = keys.options_from_request({"policy": "stubborn", "coarsen": True})
+    assert k1 != keys.cache_key(parse_program(COUNTER), coarse)
+
+
+# --------------------------------------------------------------------------
+# the import gate
+# --------------------------------------------------------------------------
+
+
+def _document(source: str) -> dict:
+    prog = parse_program(source)
+    result = explore(prog, options=ExploreOptions(policy="full"))
+    assert not result.stats.truncated
+    # re-run through a caller-owned cache so there is state to export
+    cache = ExpandCache()
+    explore(prog, options=ExploreOptions(policy="full"), expand_cache=cache)
+    return keys.cache_document(prog, cache.export_state())
+
+
+def test_keep_predicate_same_program_keeps_everything():
+    doc = _document(COUNTER)
+    prog = parse_program(COUNTER)
+    keep = keys.keep_predicate(doc, prog)
+    assert keep is not None
+    cache = ExpandCache()
+    imported = cache.load_state(doc["state"], keep=keep)
+    assert imported > 0
+
+
+def test_keep_predicate_rejects_wrong_schema_and_globals():
+    doc = _document(COUNTER)
+    prog = parse_program(COUNTER)
+    assert keys.keep_predicate({"schema": "other/1"}, prog) is None
+    renamed = COUNTER.replace("var count;", "var tally;").replace(
+        "count", "tally"
+    )
+    assert keys.keep_predicate(doc, parse_program(renamed)) is None
+
+
+def test_keep_predicate_filters_edited_function_closure():
+    """Entries whose process could execute the edited function are
+    dropped; the rest import — and the warm run stays exact."""
+    doc = _document(COUNTER)
+    edited = parse_program(COUNTER_EDITED)
+    keep = keys.keep_predicate(doc, edited)
+    assert keep is not None
+    cache = ExpandCache()
+    imported = cache.load_state(doc["state"], keep=keep)
+    # every frame stack in this program reaches worker() -> main()'s
+    # closure includes the edit, so nothing may survive the gate
+    assert imported == 0
+
+
+def test_warm_start_differential_after_edit():
+    """End to end: exploring the edited program with an
+    old-program-seeded cache produces exactly the cold result."""
+    doc = _document(COUNTER)
+    edited = parse_program(COUNTER_EDITED)
+    cold = explore(edited, options=ExploreOptions(policy="full"))
+    cache = ExpandCache()
+    keep = keys.keep_predicate(doc, edited)
+    if keep is not None:
+        cache.load_state(doc["state"], keep=keep)
+    warm = explore(
+        edited, options=ExploreOptions(policy="full"), expand_cache=cache
+    )
+    assert warm.final_stores() == cold.final_stores()
+    assert warm.graph.configs == cold.graph.configs
+    assert warm.graph.edges == cold.graph.edges
+
+
+def test_warm_start_differential_same_program():
+    """Same program: the import is allowed, hits are real, and the
+    graph is still bit-identical."""
+    prog_name = "philosophers_3"
+    prog = CORPUS[prog_name]()
+    cold = explore(prog, options=ExploreOptions(policy="stubborn"))
+    cache = ExpandCache()
+    explore(
+        prog, options=ExploreOptions(policy="stubborn"), expand_cache=cache
+    )
+    doc = keys.cache_document(prog, cache.export_state())
+
+    fresh_prog = CORPUS[prog_name]()
+    keep = keys.keep_predicate(doc, fresh_prog)
+    assert keep is not None
+    warm_cache = ExpandCache()
+    assert warm_cache.load_state(doc["state"], keep=keep) > 0
+    warm = explore(
+        fresh_prog,
+        options=ExploreOptions(policy="stubborn"),
+        expand_cache=warm_cache,
+    )
+    assert warm.final_stores() == cold.final_stores()
+    assert warm.graph.configs == cold.graph.configs
+
+
+def test_call_graph_dynamic_detection():
+    dynamic_src = """
+    var x = 0;
+    func helper() { h: x = 1; }
+    func main() {
+        var f = 0;
+        s: f = helper;
+        c: f();
+    }
+    """
+    try:
+        prog = parse_program(dynamic_src)
+    except Exception:
+        pytest.skip("language has no first-class function syntax")
+    _, dynamic = keys.call_graph(prog)
+    assert dynamic

@@ -1,0 +1,142 @@
+"""Crash recovery: a killed server resumes its jobs from checkpoints.
+
+The durable pieces are the pending-job record (written before a job
+starts) and the job's periodic snapshot.  These tests build exactly the
+disk state a SIGKILLed server leaves behind — a pending record plus a
+genuinely mid-run checkpoint — hand it to a fresh server, and assert
+recovery completes the job with the result a never-killed server would
+have produced.  (The CI serve-smoke job does the same with a real
+``kill -9`` across processes.)
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.bench import result_digest
+from repro.explore import explore
+from repro.programs.corpus import CORPUS
+from repro.resilience.checkpoint import Checkpointer
+from repro.serve import ReproServer, ResultStore, ServeOptions, keys
+
+PROGRAM = {"kind": "corpus", "name": "philosophers_3"}
+OPTIONS = {"policy": "stubborn"}
+
+
+def _interrupted_store(tmp_path) -> tuple[ResultStore, str, str]:
+    """A store in exactly the state a server killed mid-job leaves:
+    pending record + a mid-exploration snapshot, no result."""
+    program = CORPUS["philosophers_3"]()
+    options = keys.options_from_request(OPTIONS)
+    key = keys.store_key(program, options)
+    store = ResultStore(str(tmp_path / "store"))
+    store.record_pending(key, {
+        "schema": "repro.serve.job/1",
+        "key": key,
+        "program": PROGRAM,
+        "options": OPTIONS,
+    })
+    # run the actual engine, stopping right after the first snapshot —
+    # the checkpoint is genuinely mid-run, not synthetic
+    cp = Checkpointer(store.checkpoint_path(key), every=5, stop_after=1)
+    partial = explore(program, options=options, checkpointer=cp)
+    assert partial.stats.truncated
+    assert partial.stats.truncation_reason == "interrupted"
+    assert os.path.exists(store.checkpoint_path(key))
+
+    clean = explore(CORPUS["philosophers_3"](), options=options)
+    return store, key, result_digest(clean)
+
+
+def test_restarted_server_resumes_and_completes(tmp_path):
+    store, key, clean_digest = _interrupted_store(tmp_path)
+
+    async def main():
+        server = ReproServer(store, ServeOptions(checkpoint_every=50))
+        recovered = server.recover()
+        assert recovered == 1
+        job = server._jobs[key]
+        response = await asyncio.shield(job.future)
+        return server, response
+
+    server, response = asyncio.run(main())
+    assert response["ok"]
+    assert response["result_digest"] == clean_digest
+    # the job really continued from the snapshot instead of restarting
+    assert response["summary"]["resumed"] is True
+    assert server.counters["serve.recovered"] == 1
+    # the result is durable and the job bookkeeping is gone
+    assert store.get_result(key)["result_digest"] == clean_digest
+    assert store.pending_jobs() == []
+
+
+def test_resubmit_after_recovery_is_a_store_hit(tmp_path):
+    store, key, clean_digest = _interrupted_store(tmp_path)
+
+    async def main():
+        server = ReproServer(store, ServeOptions(checkpoint_every=50))
+        server.recover()
+        await asyncio.shield(server._jobs[key].future)
+        return await server.handle_request(
+            {"op": "submit", "program": PROGRAM, "options": OPTIONS}
+        )
+
+    response = asyncio.run(main())
+    assert response["ok"] and response["cached"]
+    assert response["result_digest"] == clean_digest
+
+
+def test_recover_clears_already_finished_jobs(tmp_path):
+    """A pending record whose result actually landed (crash between
+    put_result and clear_pending) is cleared, not re-run."""
+    store, key, clean_digest = _interrupted_store(tmp_path)
+    store.put_result(key, {"result_digest": clean_digest,
+                           "summary": {}, "outcomes": []})
+
+    async def main():
+        server = ReproServer(store)
+        return server.recover(), server
+
+    recovered, server = asyncio.run(main())
+    assert recovered == 0
+    assert store.pending_jobs() == []
+    assert server.counters["serve.recovered"] == 0
+
+
+def test_recover_drops_unparseable_job_records(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    store.record_pending("deadbeef", {
+        "schema": "repro.serve.job/1",
+        "key": "deadbeef",
+        "program": {"kind": "corpus", "name": "gone_from_corpus"},
+        "options": {},
+    })
+
+    async def main():
+        server = ReproServer(store)
+        return server.recover()
+
+    assert asyncio.run(main()) == 0
+    assert store.pending_jobs() == []  # dropped, not retried forever
+
+
+def test_recovery_survives_corrupt_checkpoint(tmp_path):
+    """Recovery with a damaged snapshot re-explores cold instead of
+    failing the job — degraded, never wrong."""
+    store, key, clean_digest = _interrupted_store(tmp_path)
+    path = store.checkpoint_path(key)
+    blob = open(path, "rb").read()
+    with open(path, "wb") as fh:
+        fh.write(blob[: len(blob) // 3])
+
+    async def main():
+        server = ReproServer(store, ServeOptions(checkpoint_every=50))
+        server.recover()
+        return await asyncio.shield(server._jobs[key].future)
+
+    response = asyncio.run(main())
+    assert response["ok"]
+    assert response["result_digest"] == clean_digest
+    assert response["summary"]["resumed"] is False
+    assert response["summary"]["resume_failed"] is True

@@ -1,0 +1,268 @@
+"""The job server: coalescing, admission control, deadlines, protocol."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.bench import result_digest
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.serve import ReproServer, ResultStore, ServeOptions, request
+
+PHILOSOPHERS = {"kind": "corpus", "name": "philosophers_3"}
+OPTIONS = {"policy": "stubborn", "coarsen": True}
+
+
+def _submit(program=PHILOSOPHERS, options=OPTIONS, **extra) -> dict:
+    req = {"op": "submit", "program": program, "options": dict(options)}
+    req.update(extra)
+    return req
+
+
+def _server(tmp_path, **kw) -> ReproServer:
+    kw.setdefault("checkpoint_every", 50)
+    return ReproServer(ResultStore(str(tmp_path / "store")), ServeOptions(**kw))
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+def _clean_digest() -> str:
+    result = explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="stubborn", coarsen=True),
+    )
+    return result_digest(result)
+
+
+# --------------------------------------------------------------------------
+# the submit path
+# --------------------------------------------------------------------------
+
+
+def test_cold_submit_then_store_hit(tmp_path):
+    server = _server(tmp_path)
+
+    async def main():
+        r1 = await server.handle_request(_submit())
+        r2 = await server.handle_request(_submit())
+        return r1, r2
+
+    r1, r2 = _run(main())
+    assert r1["ok"] and not r1["cached"]
+    assert r2["ok"] and r2["cached"]
+    # warm answer is byte-identical to the cold one — and to a direct
+    # in-process exploration
+    assert r1["result_digest"] == r2["result_digest"] == _clean_digest()
+    assert r1["summary"] == r2["summary"]
+    assert r1["outcomes"] == r2["outcomes"]
+    assert server.store.hits == 1
+    assert server.counters["serve.jobs_completed"] == 1
+
+
+def test_budget_fields_share_a_store_entry(tmp_path):
+    """Budgets are not part of the result's identity: a complete run
+    stored under one budget answers a request with another."""
+    server = _server(tmp_path)
+
+    async def main():
+        r1 = await server.handle_request(
+            _submit(options=dict(OPTIONS, max_configs=100_000))
+        )
+        r2 = await server.handle_request(
+            _submit(options=dict(OPTIONS, max_configs=999))
+        )
+        return r1, r2
+
+    r1, r2 = _run(main())
+    assert not r1["cached"] and r2["cached"]
+    assert r1["result_digest"] == r2["result_digest"]
+
+
+def test_identical_inflight_submits_coalesce(tmp_path):
+    server = _server(tmp_path)
+
+    async def main():
+        return await asyncio.gather(
+            server.handle_request(_submit()),
+            server.handle_request(_submit()),
+            server.handle_request(_submit()),
+        )
+
+    rs = _run(main())
+    assert all(r["ok"] for r in rs)
+    assert len({r["result_digest"] for r in rs}) == 1
+    # one exploration served all three clients
+    assert server.counters["serve.jobs_completed"] == 1
+    assert server.counters["serve.coalesced"] == 2
+
+
+def test_bounded_admission_sheds_load(tmp_path):
+    server = _server(tmp_path, max_pending=1)
+
+    async def main():
+        first = asyncio.ensure_future(server.handle_request(_submit()))
+        while not server._jobs:  # admitted, still running
+            await asyncio.sleep(0.01)
+        # a *different* request past the bound is shed, not queued
+        other = await server.handle_request(
+            _submit(options={"policy": "full"})
+        )
+        # an *identical* request coalesces instead — no capacity used
+        same = await server.handle_request(_submit())
+        return await first, other, same
+
+    r1, other, same = _run(main())
+    assert r1["ok"] and same["ok"]
+    assert other["ok"] is False
+    assert other["overloaded"] is True
+    assert other["error"]["type"] == "overloaded"
+    assert server.counters["serve.shed"] == 1
+
+
+def test_deadline_truncates_gracefully_and_is_not_stored(tmp_path):
+    server = _server(tmp_path)
+
+    async def main():
+        r = await server.handle_request(
+            _submit(
+                program={"kind": "corpus", "name": "philosophers_3"},
+                options={"policy": "full"},
+                deadline_s=1e-4,
+            )
+        )
+        return r
+
+    r = _run(main())
+    assert r["ok"]  # a truncated answer, not a hang or an error
+    assert r["summary"]["truncated"] is True
+    assert r["summary"]["truncation_reason"] == "time"
+    # deadline-truncated results must not poison the store: the key
+    # ignores budgets, so a cached partial answer would be wrong
+    assert server.store.puts == 0
+    key = r["key"]
+    assert server.store.get_result(key) is None
+
+
+def test_bad_requests_get_typed_errors(tmp_path):
+    server = _server(tmp_path)
+
+    async def main():
+        return (
+            await server.handle_request({"op": "submit", "program": {
+                "kind": "source", "text": "func main( {"}}),
+            await server.handle_request(_submit(options={"polciy": "full"})),
+            await server.handle_request({"op": "submit", "program": {
+                "kind": "corpus", "name": "no_such_program"}}),
+            await server.handle_request({"op": "frobnicate"}),
+            await server.handle_request({"op": "submit", "program": {
+                "kind": "corpus", "name": "philosophers_3"},
+                "deadline_s": -1}),
+        )
+
+    bad_src, bad_opt, bad_corpus, bad_op, bad_deadline = _run(main())
+    for r in (bad_src, bad_opt, bad_corpus, bad_op, bad_deadline):
+        assert r["ok"] is False
+        assert r["error"]["type"] and r["error"]["message"]
+    assert "unknown option" in bad_opt["error"]["message"]
+    assert bad_op["error"]["type"] == "bad-request"
+    # nothing was admitted or recorded for malformed requests
+    assert server.counters["serve.jobs_completed"] == 0
+    assert server.store.pending_jobs() == []
+
+
+def test_pending_record_cleared_after_completion(tmp_path):
+    server = _server(tmp_path)
+
+    async def main():
+        return await server.handle_request(_submit())
+
+    r = _run(main())
+    assert r["ok"]
+    assert server.store.pending_jobs() == []
+
+
+# --------------------------------------------------------------------------
+# the socket layer
+# --------------------------------------------------------------------------
+
+
+def test_socket_round_trip(tmp_path):
+    store = ResultStore(str(tmp_path / "store"))
+    address = str(tmp_path / "serve.sock")
+
+    async def main():
+        server = ReproServer(store, ServeOptions(checkpoint_every=50))
+        serving = asyncio.ensure_future(server.serve(address))
+        loop = asyncio.get_running_loop()
+        for _ in range(500):
+            try:
+                ping = await loop.run_in_executor(
+                    None, lambda: request(address, {"op": "ping"}, timeout=5)
+                )
+                break
+            except Exception:
+                await asyncio.sleep(0.01)
+        r1 = await loop.run_in_executor(
+            None, lambda: request(address, _submit(), timeout=120)
+        )
+        r2 = await loop.run_in_executor(
+            None, lambda: request(address, _submit(), timeout=120)
+        )
+        stats = await loop.run_in_executor(
+            None, lambda: request(address, {"op": "stats"}, timeout=5)
+        )
+        await loop.run_in_executor(
+            None, lambda: request(address, {"op": "shutdown"}, timeout=5)
+        )
+        await serving
+        return ping, r1, r2, stats
+
+    ping, r1, r2, stats = _run(main())
+    assert ping["ok"] and ping["protocol"].startswith("repro.serve/")
+    assert r1["ok"] and not r1["cached"]
+    assert r2["ok"] and r2["cached"]
+    assert r1["result_digest"] == r2["result_digest"]
+    assert stats["store"]["serve.store_hits"] == 1
+
+
+def test_malformed_json_line_gets_error_response(tmp_path):
+    address = str(tmp_path / "serve.sock")
+    store = ResultStore(str(tmp_path / "store"))
+
+    async def main():
+        server = ReproServer(store)
+        serving = asyncio.ensure_future(server.serve(address))
+        loop = asyncio.get_running_loop()
+
+        def raw_exchange():
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(5)
+            for _ in range(500):
+                try:
+                    conn.connect(address)
+                    break
+                except OSError:
+                    import time
+
+                    time.sleep(0.01)
+            conn.sendall(b"this is not json\n")
+            data = conn.recv(65536)
+            conn.close()
+            return json.loads(data)
+
+        response = await loop.run_in_executor(None, raw_exchange)
+        await loop.run_in_executor(
+            None, lambda: request(address, {"op": "shutdown"}, timeout=5)
+        )
+        await serving
+        return response
+
+    response = _run(main())
+    assert response["ok"] is False
+    assert response["error"]["type"] == "bad-request"

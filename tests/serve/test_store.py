@@ -1,0 +1,233 @@
+"""The durable store: atomicity, checksums, quarantine, fault drills.
+
+The store's contract is that no disk state — truncated, bit-rotted, or
+half-written — can fail a request: reads degrade to misses, writes
+degrade to cache-miss behavior, and damaged artifacts are moved to
+quarantine so they cannot bite twice.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+
+import pytest
+
+from repro.resilience import chaos
+from repro.serve.store import (
+    STORE_SCHEMA,
+    ResultStore,
+    read_cache_file,
+)
+from repro.util.errors import ServeError
+
+PAYLOAD = {
+    "result_digest": "abc123",
+    "summary": {"configs": 10, "truncated": False},
+    "outcomes": ["{'x': 1}"],
+}
+
+
+def _store(tmp_path) -> ResultStore:
+    return ResultStore(str(tmp_path / "store"))
+
+
+# --------------------------------------------------------------------------
+# results
+# --------------------------------------------------------------------------
+
+
+def test_result_round_trip(tmp_path):
+    store = _store(tmp_path)
+    assert store.get_result("k1") is None  # miss
+    assert store.put_result("k1", PAYLOAD)
+    got = store.get_result("k1")
+    assert got == PAYLOAD
+    assert store.hits == 1 and store.misses == 1 and store.puts == 1
+
+
+def test_manifest_schema_guard(tmp_path):
+    root = str(tmp_path / "store")
+    ResultStore(root)
+    with open(os.path.join(root, "manifest.json")) as fh:
+        assert json.load(fh)["schema"] == STORE_SCHEMA
+    # an incompatible store directory is refused, not misread
+    with open(os.path.join(root, "manifest.json"), "w") as fh:
+        json.dump({"schema": "repro.store/99"}, fh)
+    with pytest.raises(ServeError, match="schema"):
+        ResultStore(root)
+
+
+def test_corrupt_result_quarantined_not_raised(tmp_path):
+    store = _store(tmp_path)
+    store.put_result("k1", PAYLOAD)
+    entry = os.path.join(store.root, "entries", "k1", "result.pkl")
+    with open(entry, "r+b") as fh:
+        fh.seek(10)
+        fh.write(b"\xff\xff\xff\xff")
+    assert store.get_result("k1") is None  # checksum mismatch -> miss
+    assert store.quarantined == 1
+    assert not os.path.exists(os.path.join(store.root, "entries", "k1"))
+    assert os.listdir(os.path.join(store.root, "quarantine"))
+    # the store still works for fresh writes under the same key
+    assert store.put_result("k1", PAYLOAD)
+    assert store.get_result("k1") == PAYLOAD
+
+
+def test_truncated_result_file_quarantined(tmp_path):
+    store = _store(tmp_path)
+    store.put_result("k1", PAYLOAD)
+    entry = os.path.join(store.root, "entries", "k1", "result.pkl")
+    blob = open(entry, "rb").read()
+    with open(entry, "wb") as fh:
+        fh.write(blob[: len(blob) // 2])
+    assert store.get_result("k1") is None
+    assert store.quarantined == 1
+
+
+def test_bad_meta_json_quarantined(tmp_path):
+    store = _store(tmp_path)
+    store.put_result("k1", PAYLOAD)
+    meta = os.path.join(store.root, "entries", "k1", "meta.json")
+    with open(meta, "w") as fh:
+        fh.write("{not json")
+    assert store.get_result("k1") is None
+    assert store.quarantined == 1
+
+
+def test_unpicklable_payload_fails_put_cleanly(tmp_path):
+    store = _store(tmp_path)
+    assert store.put_result("k1", {"bad": lambda: None}) is False
+    assert store.put_failures == 1
+    assert store.get_result("k1") is None  # no half-entry visible
+
+
+# --------------------------------------------------------------------------
+# warm caches
+# --------------------------------------------------------------------------
+
+
+def test_cache_round_trip(tmp_path):
+    store = _store(tmp_path)
+    doc = {"schema": "x/1", "state": {"entries": [1, 2, 3]}}
+    assert store.get_cache("c1") is None
+    assert store.put_cache("c1", doc)
+    assert store.get_cache("c1") == doc
+    assert store.cache_hits == 1 and store.cache_misses == 1
+
+
+def test_corrupt_cache_quarantined(tmp_path):
+    store = _store(tmp_path)
+    store.put_cache("c1", {"schema": "x/1"})
+    path = store._cache_path("c1")
+    with open(path, "r+b") as fh:
+        fh.seek(os.path.getsize(path) - 4)
+        fh.write(b"\x00\x00\x00\x00")
+    assert store.get_cache("c1") is None
+    assert store.quarantined == 1
+    assert not os.path.exists(path)
+
+
+def test_read_cache_file_standalone_deletes_damage(tmp_path):
+    path = str(tmp_path / "c.pkl")
+    with open(path, "wb") as fh:
+        fh.write(b"deadbeef\nnot a pickle")
+    assert read_cache_file(path) is None
+    assert not os.path.exists(path)
+
+
+# --------------------------------------------------------------------------
+# pending jobs
+# --------------------------------------------------------------------------
+
+
+def test_pending_jobs_round_trip(tmp_path):
+    store = _store(tmp_path)
+    record = {"key": "k1", "program": {"kind": "corpus", "name": "x"}}
+    assert store.record_pending("k1", record)
+    assert store.pending_jobs() == [("k1", record)]
+    store.clear_pending("k1")
+    assert store.pending_jobs() == []
+    assert not os.path.exists(store.job_dir("k1"))
+
+
+def test_bad_pending_record_quarantined(tmp_path):
+    store = _store(tmp_path)
+    store.record_pending("good", {"key": "good"})
+    os.makedirs(store.job_dir("bad"), exist_ok=True)
+    with open(os.path.join(store.job_dir("bad"), "job.json"), "w") as fh:
+        fh.write("{broken")
+    assert store.pending_jobs() == [("good", {"key": "good"})]
+    assert store.quarantined == 1
+
+
+def test_checkpoint_debris_without_record_skipped(tmp_path):
+    store = _store(tmp_path)
+    os.makedirs(store.job_dir("orphan"), exist_ok=True)
+    open(store.checkpoint_path("orphan"), "wb").close()
+    assert store.pending_jobs() == []
+
+
+# --------------------------------------------------------------------------
+# fault drills
+# --------------------------------------------------------------------------
+
+
+def test_store_io_fault_degrades_put_atomically(tmp_path):
+    """A disk dying mid-write (the ``store-io`` drill) fails the put
+    cleanly: False, counted, no partial entry, previous value intact."""
+    store = _store(tmp_path)
+    assert store.put_result("k1", PAYLOAD)
+    new_payload = dict(PAYLOAD, result_digest="def456")
+    with chaos.injected("store-io", times=-1):
+        assert store.put_result("k1", new_payload) is False
+    assert store.put_failures == 1
+    # the old entry survived the failed overwrite, bit for bit
+    assert store.get_result("k1") == PAYLOAD
+    # and no temp debris was promoted or left behind
+    entry_dir = os.path.join(store.root, "entries", "k1")
+    assert sorted(os.listdir(entry_dir)) == ["meta.json", "result.pkl"]
+
+
+def test_store_io_mid_file_fault_leaves_no_entry(tmp_path):
+    """Failing after N low-level writes (not at the first byte) still
+    leaves the store consistent — the rename never happened."""
+    store = _store(tmp_path)
+    big = dict(PAYLOAD, outcomes=["{'x': %d}" % i for i in range(10_000)])
+    with chaos.injected("store-io", after=1, times=-1):
+        assert store.put_result("k1", big) is False
+    assert store.get_result("k1") is None
+    assert store.quarantined == 0  # a clean miss, not damage
+
+
+def test_store_corrupt_fault_caught_by_checksum(tmp_path):
+    """Silent bit-rot at write time (the ``store-corrupt`` drill) lands
+    a mismatching entry that the read path quarantines — the client
+    sees a miss, never a wrong payload."""
+    store = _store(tmp_path)
+    with chaos.injected("store-corrupt", times=1):
+        assert store.put_result("k1", PAYLOAD)  # write "succeeds"...
+    got = store.get_result("k1")
+    assert got is None  # ...but can never be served damaged
+    assert store.quarantined == 1
+
+
+def test_store_corrupt_fault_on_cache_file(tmp_path):
+    store = _store(tmp_path)
+    with chaos.injected("store-corrupt", times=1):
+        assert store.put_cache("c1", {"schema": "x/1", "blob": list(range(100))})
+    assert store.get_cache("c1") is None
+    assert store.quarantined == 1
+
+
+def test_meta_is_the_commit_point(tmp_path):
+    """result.pkl without meta.json (crash between the two writes) is
+    invisible — has_result and get_result both say miss."""
+    store = _store(tmp_path)
+    entry = os.path.join(store.root, "entries", "k1")
+    os.makedirs(entry)
+    with open(os.path.join(entry, "result.pkl"), "wb") as fh:
+        pickle.dump(PAYLOAD, fh)
+    assert not store.has_result("k1")
+    assert store.get_result("k1") is None

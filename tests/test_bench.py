@@ -17,6 +17,7 @@ from repro.bench import (
     parallel_combos,
     policy_combos,
     run_bench,
+    run_serve_load,
     upgrade_document,
     write_report,
 )
@@ -311,3 +312,41 @@ def test_upgrade_v2_document_fills_backend_fields():
     assert entry["shard_balance"] is None
     assert entry["result_digest"] is None
     assert doc["jobs"] == [] and doc["scaling"] == {}
+
+
+# --------------------------------------------------------------------------
+# /5: the serve section
+# --------------------------------------------------------------------------
+
+
+def test_serve_section_null_unless_requested():
+    report = run_bench(programs=["fig2_shasha_snir"])
+    assert report.document["serve"] is None
+
+
+def test_upgrade_v4_document_gains_serve_key():
+    doc = json.loads(json.dumps(run_bench(programs=["fig2_shasha_snir"]).document))
+    doc["schema"] = "repro.bench.explore/4"
+    del doc["serve"]
+    up = upgrade_document(doc)
+    assert up["serve"] is None
+
+
+def test_diff_reports_ignores_serve_section():
+    a = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    b = upgrade_document(run_bench(programs=["mutex_counter"]).document)
+    a["serve"] = {"cold_wall_s": 1.0}
+    b["serve"] = None
+    assert diff_reports(a, b) == []
+
+
+def test_run_serve_load_smoke():
+    section = run_serve_load(smoke=True, max_configs=20_000)
+    assert section["all_ok"]
+    # warm replay is byte-identical and comes from the store
+    assert section["digests_stable"]
+    assert section["warm_store_hits"] > 0
+    # identical in-flight cold submissions coalesce: one job per program
+    assert section["jobs_completed"] == len(section["programs"])
+    assert section["shed"] == 0
+    assert section["cold_wall_s"] > 0 and section["warm_wall_s"] > 0

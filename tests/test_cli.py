@@ -265,3 +265,57 @@ def test_explore_truncation_reason_printed(capsys):
         == 0
     )
     assert "TRUNCATED(configs)" in capsys.readouterr().out
+
+
+def test_serve_and_submit_round_trip(tmp_path, capsys):
+    """`repro serve` + `repro submit` end to end over a unix socket:
+    cold run, warm store hit with the same digest, stats, shutdown."""
+    import json
+    import os
+    import threading
+    import time
+
+    address = str(tmp_path / "serve.sock")
+    store = str(tmp_path / "store")
+    server = threading.Thread(
+        target=main,
+        args=(["serve", address, "--store", store],),
+        daemon=True,
+    )
+    server.start()
+    for _ in range(500):
+        if os.path.exists(address):
+            break
+        time.sleep(0.01)
+
+    def submit():
+        code = main(
+            ["submit", "corpus:mutex_counter", address, "--policy", "stubborn"]
+        )
+        out = capsys.readouterr().out
+        return code, json.loads(out[out.index("{"):])
+
+    code1, r1 = submit()
+    code2, r2 = submit()
+    assert code1 == code2 == 0
+    assert r1["ok"] and r1["cached"] is False
+    assert r2["ok"] and r2["cached"] is True
+    assert r1["result_digest"] == r2["result_digest"]
+
+    assert main(["submit", address, "--stats"]) == 0
+    stats = capsys.readouterr().out
+    assert json.loads(stats[stats.index("{"):])["store"]["serve.store_hits"] == 1
+
+    assert main(["submit", address, "--shutdown"]) == 0
+    capsys.readouterr()
+    server.join(timeout=30)
+    assert not server.is_alive()
+    # the store outlived the server: entry is on disk for the next one
+    assert os.path.isdir(os.path.join(store, "entries"))
+
+
+def test_submit_unreachable_address_is_one_line_error(tmp_path, capsys):
+    missing = str(tmp_path / "nowhere.sock")
+    assert main(["submit", missing, "--ping"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "nowhere.sock" in err
