@@ -174,6 +174,16 @@ class IntervalDomain(NumDomain):
             vals = [apply_binop(op, x, b[0]) for x in range(a[0], a[1] + 1)] if a[1] - a[0] <= 64 else None
             if vals is not None:
                 return self.make(min(vals), max(vals))
+            if op == "%":
+                # C-style remainder is not monotone in the dividend, so
+                # probing the endpoints is unsound for wide dividends
+                # (e.g. [-34, 31] % 2 hits -1, outside [-34%2, 31%2]).
+                # Fall back to the full remainder range: magnitude below
+                # |b|, sign following the dividend.
+                m = abs(b[0]) - 1
+                return self.make(-m if a[0] < 0 else 0, m if a[1] > 0 else 0)
+            # truncating division is monotone in the dividend, so the
+            # endpoint probe is exact here
             lo = apply_binop(op, a[0], b[0])
             hi = apply_binop(op, a[1], b[0])
             assert lo is not None and hi is not None

@@ -13,7 +13,7 @@ from collections import deque
 from dataclasses import dataclass
 
 from repro.explore.explorer import ExploreResult
-from repro.explore.graph import DEADLOCK, FAULT, ConfigGraph
+from repro.explore.graph import DEADLOCK, FAULT, TERMINATED, ConfigGraph
 
 
 @dataclass(frozen=True)
@@ -22,6 +22,9 @@ class Witness:
 
     target: int
     steps: tuple[tuple, ...]  # ((pid, label), ...) in execution order
+    #: edge ids of the path, in order — lets the schedule generator
+    #: (:mod:`repro.schedules`) canonicalize and replay-verify a witness
+    eids: tuple[int, ...] = ()
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -56,14 +59,17 @@ def shortest_path_to(graph: ConfigGraph, target: int) -> Witness | None:
 
 def _unwind(graph, target, parent, via) -> Witness:
     steps: list[tuple] = []
+    eids: list[int] = []
     cid = target
     while parent[cid] != -1:
+        eids.append(via[cid])
         edge = graph.edges[via[cid]]
         for action in reversed(edge.actions):
             steps.append((action.pid, action.label))
         cid = parent[cid]
     steps.reverse()
-    return Witness(target=target, steps=tuple(steps))
+    eids.reverse()
+    return Witness(target=target, steps=tuple(steps), eids=tuple(eids))
 
 
 def deadlock_witness(result: ExploreResult) -> Witness | None:
@@ -80,14 +86,20 @@ def fault_witness(result: ExploreResult) -> Witness | None:
 
 def outcome_witness(result: ExploreResult, **globals_values: int) -> Witness | None:
     """Shortest execution terminating with the given global values,
-    e.g. ``outcome_witness(r, x=0, y=1)``."""
+    e.g. ``outcome_witness(r, x=0, y=1)``.
+
+    Only TERMINATED configurations qualify — a deadlocked configuration
+    whose globals happen to match is not a terminating execution (it
+    used to slip through the old ``fault is None`` filter, so a caller
+    asking "can the program *finish* with x=1?" could get a deadlock
+    path as its "yes").
+    """
     program = result.program
     idx = {program.global_index(k): v for k, v in globals_values.items()}
     targets = [
         cid
-        for cid in result.graph.terminals()
-        if result.graph.configs[cid].fault is None
-        and all(result.graph.configs[cid].globals[i] == v for i, v in idx.items())
+        for cid in result.graph.terminals(TERMINATED)
+        if all(result.graph.configs[cid].globals[i] == v for i, v in idx.items())
     ]
     return _best(result.graph, targets)
 

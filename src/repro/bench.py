@@ -70,9 +70,14 @@ LOG = logging.getLogger("repro.bench")
 #: parallel run reports ``steals``.  ``/5`` (this version) adds the
 #: optional top-level ``serve`` section (:func:`run_serve_load` — the
 #: analysis-service load bench; ``null`` when not run, and entirely
-#: wall-clock, so :func:`diff_reports` ignores it); :func:`load_report`
-#: still reads ``/1`` .. ``/4``.
-SCHEMA_VERSION = "repro.bench.explore/5"
+#: wall-clock, so :func:`diff_reports` ignores it).  ``/6`` (this
+#: version) adds the optional top-level ``schedules`` section
+#: (:func:`run_schedules_bench` — canonical equivalence-class counts
+#: and edge-coverage of exhaustive vs seeded-sample schedule
+#: generation on the philosophers family; ``null`` when not run, and
+#: ignored by :func:`diff_reports` like ``serve``); :func:`load_report`
+#: still reads ``/1`` .. ``/5``.
+SCHEMA_VERSION = "repro.bench.explore/6"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
 COMPATIBLE_SCHEMAS = (
@@ -80,6 +85,7 @@ COMPATIBLE_SCHEMAS = (
     "repro.bench.explore/2",
     "repro.bench.explore/3",
     "repro.bench.explore/4",
+    "repro.bench.explore/5",
     SCHEMA_VERSION,
 )
 
@@ -500,6 +506,7 @@ def run_bench(
     jobs: list[int] | tuple[int, ...] = (),
     scaling: bool | None = None,
     serve_load: bool = False,
+    schedules_bench: bool = False,
     corpus: dict | None = None,
     progress=None,
     profiler=None,
@@ -628,8 +635,62 @@ def run_bench(
         "errors": errors,
         "soundness": soundness,
         "serve": run_serve_load(smoke=smoke) if serve_load else None,
+        "schedules": (
+            run_schedules_bench(smoke=smoke) if schedules_bench else None
+        ),
     }
     return BenchReport(document=document)
+
+
+def run_schedules_bench(*, smoke: bool = False) -> dict:
+    """The ``schedules`` bench section: canonical equivalence-class
+    counts and coverage accounting (:mod:`repro.schedules`) on the
+    philosophers family under ``stubborn+coarsen`` with and without
+    sleep sets, plus seeded-sample coverage at a few sizes.
+
+    Everything except ``wall_time_s`` is deterministic (the sampler is
+    seeded), but the section is optional and program sizes may change
+    run to run, so :func:`diff_reports` ignores it wholesale — the
+    replay differential in CI is the correctness gate, this section is
+    the trajectory record.
+    """
+    from repro.programs.philosophers import philosophers
+    from repro.schedules import generate, verify_set
+
+    sizes = (3,) if smoke else (6, 7)
+    sample_sizes = (8, 32)
+    section: dict = {"policy": "stubborn", "coarsen": True, "programs": {}}
+    for n in sizes:
+        program = philosophers(n)
+        runs: dict = {}
+        for sleep in (False, True):
+            opts = ExploreOptions(
+                policy="stubborn", coarsen=True, sleep=sleep
+            )
+            result, _ = _timed_explore(program, opts)
+            t0 = time.perf_counter()
+            sset = generate(result)
+            wall = time.perf_counter() - t0
+            verify_set(result, sset)
+            run = {
+                "configs": result.stats.num_configs,
+                "edges": sset.num_edges,
+                "classes": sset.num_classes,
+                "paths": sset.num_paths,
+                "edge_coverage": round(sset.edge_coverage, 4),
+                "cycles_skipped": sset.cycles_skipped,
+                "wall_time_s": round(wall, 6),
+                "samples": {},
+            }
+            for k in sample_sizes:
+                sampled = generate(result, sample=k, seed=0)
+                run["samples"][f"n{k}"] = {
+                    "classes": sampled.num_classes,
+                    "edge_coverage": round(sampled.edge_coverage, 4),
+                }
+            runs["stubborn+sleep" if sleep else "stubborn"] = run
+        section["programs"][f"philosophers_{n}"] = runs
+    return section
 
 
 def run_serve_load(
@@ -743,6 +804,7 @@ def upgrade_document(doc: dict) -> dict:
     doc.setdefault("jobs", [])
     doc.setdefault("scaling", {})
     doc.setdefault("serve", None)
+    doc.setdefault("schedules", None)
     scaling = doc["scaling"]
     if scaling and "programs" not in scaling:
         # /3 layout: a bare name -> runs map, stubborn without coarsen,
@@ -810,9 +872,10 @@ def diff_reports(new: dict, baseline: dict) -> list[str]:
     Exploration is deterministic by contract, so any drift in counts or
     result digests between a fresh run and the checked-in baseline is a
     real behavior change, not noise.  Wall-clock, RSS, the telemetry
-    scalars, and entries present on only one side (corpus growth, new
-    jobs values) are ignored.  ``max_configs``/``time_limit_s`` must
-    match — truncation points depend on them.
+    scalars, the optional ``serve``/``schedules`` sections, and entries
+    present on only one side (corpus growth, new jobs values) are
+    ignored.  ``max_configs``/``time_limit_s`` must match — truncation
+    points depend on them.
     """
     drift: list[str] = []
     for knob in ("max_configs", "time_limit_s"):

@@ -9,6 +9,8 @@
     repro explore FILE --resume PATH
     repro explore FILE --resilient [--time-limit S --max-rss-mb M]
     repro explore FILE --trace-out T.jsonl --metrics-out M.json
+    repro schedules FILE [--sample N --seed S --out SCHED.json]
+    repro schedules FILE --replay SCHED.json
     repro report T.jsonl [--metrics M.json --out R.html --perfetto P.json]
     repro analyze FILE            # the full §5/§7 report
     repro fold FILE [--clans --domain D]
@@ -207,8 +209,18 @@ def _cmd_explore(args) -> int:
                 if tracer is not None:
                     tracer.event("witness.absent", target=args.witness)
             else:
+                # replay the witness as a canonical schedule and check
+                # the predicate actually holds where it lands — the
+                # trace event is a *checked* counterexample
+                from repro.schedules import verified_witness_schedule
+
+                schedule = verified_witness_schedule(result, w, args.witness)
                 print(f"shortest execution reaching a {args.witness}:")
                 print(w.describe())
+                print(
+                    "replay-verified: reaches configuration digest "
+                    f"{schedule.final_digest:#018x}"
+                )
                 if tracer is not None:
                     tracer.event(
                         "witness.found",
@@ -217,6 +229,8 @@ def _cmd_explore(args) -> int:
                         steps=[
                             f"pid={pid} {label}" for pid, label in w.steps
                         ],
+                        verified=True,
+                        final_digest=f"{schedule.final_digest:#018x}",
                     )
     finally:
         if trace_sink is not None:
@@ -225,6 +239,175 @@ def _cmd_explore(args) -> int:
     if metrics_ob is not None:
         import json
 
+        from repro.metrics import SCHEMA_VERSION as METRICS_SCHEMA
+
+        try:
+            with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(
+                    {
+                        "schema": METRICS_SCHEMA,
+                        "metrics": metrics_ob.registry.snapshot(),
+                    },
+                    fh,
+                    indent=1,
+                    sort_keys=True,
+                )
+                fh.write("\n")
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write metrics {args.metrics_out!r}: {exc}"
+            )
+    return 0
+
+
+def _cmd_schedules(args) -> int:
+    import json
+
+    prog = _load(args.file)
+
+    from repro.schedules import (
+        DEFAULT_MAX_PATHS,
+        DEFAULT_MAX_SCHEDULES,
+        dumps_document,
+        generate,
+        schedule_document,
+        schedules_from_document,
+        verify_schedule,
+        verify_set,
+        write_schedule_perfetto,
+        write_schedules,
+    )
+
+    if args.replay:
+        # replay mode: run a previously emitted scheduler script
+        try:
+            with open(args.replay, "r", encoding="utf-8") as fh:
+                document = json.load(fh)
+        except OSError as exc:
+            raise ReproError(f"cannot read {args.replay!r}: {exc}")
+        except json.JSONDecodeError as exc:
+            raise ReproError(
+                f"{args.replay}: not a schedule document ({exc.msg})"
+            )
+        schedules = schedules_from_document(document)
+        for i, schedule in enumerate(schedules):
+            verify_schedule(prog, schedule)
+            print(
+                f"schedule {i}: ok ({schedule.num_actions} actions, "
+                f"{schedule.status}, digest "
+                f"{schedule.final_digest:#018x})"
+            )
+        print(f"replayed {len(schedules)} schedules: all reached their "
+              "recorded configuration digests")
+        return 0
+
+    if args.jobs < 1:
+        raise ReproError(f"--jobs must be >= 1, got {args.jobs}")
+    backend = args.backend or ("parallel" if args.jobs > 1 else "serial")
+    opts = ExploreOptions(
+        policy=args.policy,
+        coarsen=args.coarsen,
+        sleep=args.sleep,
+        backend=backend,
+        jobs=args.jobs,
+        max_configs=args.max_configs,
+    )
+
+    observers: list = []
+    metrics_ob = None
+    if args.metrics_out:
+        from repro.metrics import MetricsObserver
+
+        metrics_ob = MetricsObserver()
+        observers.append(metrics_ob)
+    tracer = None
+    trace_sink = None
+    if args.trace_out:
+        from repro.trace import JsonlFileSink, TraceRecorder, Tracer
+
+        try:
+            trace_sink = JsonlFileSink(args.trace_out)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write trace {args.trace_out!r}: {exc}"
+            )
+        tracer = Tracer(trace_sink)
+        observers.append(TraceRecorder(tracer))
+
+    try:
+        result = explore(prog, options=opts, observers=tuple(observers))
+        registry = metrics_ob.registry if metrics_ob is not None else None
+        sset = generate(
+            result,
+            sample=args.sample,
+            seed=args.seed,
+            max_paths=args.max_paths or DEFAULT_MAX_PATHS,
+            max_schedules=args.max_schedules or DEFAULT_MAX_SCHEDULES,
+            metrics=registry,
+        )
+        replayed = None
+        if not args.no_verify:
+            replayed = verify_set(result, sset, metrics=registry)
+        mode = (
+            f"sample={sset.sample} seed={sset.seed}"
+            if sset.sample is not None else "exhaustive"
+        )
+        coverage = (
+            f"edge_coverage={sset.edge_coverage:.3f}"
+            + (
+                f" class_coverage={sset.class_coverage:.3f}"
+                if sset.class_coverage is not None
+                else " class_coverage=unknown"
+            )
+        )
+        print(
+            f"policy={sset.policy} {mode} classes={sset.num_classes} "
+            f"paths={sset.num_paths} {coverage}"
+            + (" TRUNCATED" if sset.truncated else "")
+        )
+        if sset.cycles_skipped:
+            print(f"  busy-wait cycles skipped: {sset.cycles_skipped}")
+        if replayed is not None:
+            print(
+                f"replay-verified {replayed}/{sset.num_classes} schedules "
+                "against the explorer's configuration digests"
+            )
+        if tracer is not None:
+            tracer.event(
+                "schedules.done",
+                classes=sset.num_classes,
+                paths=sset.num_paths,
+                edges_covered=sset.edges_covered,
+                edge_coverage=sset.edge_coverage,
+                class_coverage=sset.class_coverage,
+                cycles_skipped=sset.cycles_skipped,
+                truncated=sset.truncated,
+                sample=sset.sample,
+                seed=sset.seed if sset.sample is not None else None,
+                replays=replayed,
+            )
+    finally:
+        if trace_sink is not None:
+            trace_sink.close()
+
+    if args.out:
+        try:
+            write_schedules(args.out, sset)
+        except OSError as exc:
+            raise ReproError(f"cannot write {args.out!r}: {exc}")
+        print(f"wrote {args.out} ({sset.num_classes} schedules)")
+    if args.perfetto:
+        try:
+            write_schedule_perfetto(args.perfetto, sset)
+        except OSError as exc:
+            raise ReproError(
+                f"cannot write Perfetto export {args.perfetto!r}: {exc}"
+            )
+        print(f"wrote {args.perfetto} (open at https://ui.perfetto.dev)")
+    if args.print_schedules:
+        document = schedule_document(sset)
+        print(dumps_document(document), end="")
+    if metrics_ob is not None:
         from repro.metrics import SCHEMA_VERSION as METRICS_SCHEMA
 
         try:
@@ -382,6 +565,7 @@ def _cmd_bench(args) -> int:
         watchdog_s=args.watchdog,
         jobs=args.jobs or (),
         serve_load=args.serve_load,
+        schedules_bench=args.schedules,
         progress=progress,
         profiler=profiler,
     )
@@ -470,7 +654,14 @@ def _cmd_submit(args) -> int:
     }
     if args.no_memo:
         options["memo"] = False
-    req: dict = {"op": "submit", "program": program, "options": options}
+    op = "schedules" if args.schedules else "submit"
+    req: dict = {"op": op, "program": program, "options": options}
+    if args.schedules:
+        sched: dict = {}
+        if args.sample is not None:
+            sched["sample"] = args.sample
+            sched["seed"] = args.seed
+        req["schedules"] = sched
     if args.deadline is not None:
         req["deadline_s"] = args.deadline
     response = request(args.address, req, timeout=args.timeout)
@@ -573,6 +764,53 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser(
+        "schedules",
+        help="generate one replay-verified canonical schedule per "
+        "equivalence class of the reduced graph (or a seeded sample), "
+        "with coverage accounting",
+    )
+    p.add_argument("file")
+    p.add_argument("--policy", default="stubborn",
+                   choices=["full", "stubborn", "stubborn-proc"])
+    p.add_argument("--coarsen", action="store_true")
+    p.add_argument("--sleep", action="store_true")
+    p.add_argument("--backend", choices=["serial", "parallel"], default=None,
+                   help="exploration driver (default: serial, or parallel "
+                        "when --jobs > 1)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker processes for the parallel backend")
+    p.add_argument("--max-configs", type=int, default=1_000_000)
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="seeded sampling: stop after N distinct classes "
+                        "(without-replacement walk; bit-deterministic "
+                        "per --seed)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sampling seed (default: 0)")
+    p.add_argument("--max-paths", type=int, default=None,
+                   help="path-enumeration budget (explicit truncation "
+                        "accounting beyond it)")
+    p.add_argument("--max-schedules", type=int, default=None,
+                   help="cap on emitted classes in exhaustive mode")
+    p.add_argument("--no-verify", action="store_true",
+                   help="skip replaying each schedule against the "
+                        "explorer-recorded configuration digest")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the scheduler-script JSON document to PATH")
+    p.add_argument("--perfetto", metavar="PATH", default=None,
+                   help="export the schedules as Perfetto tracks")
+    p.add_argument("--print", dest="print_schedules", action="store_true",
+                   help="print the schedule document to stdout")
+    p.add_argument("--replay", metavar="SCHED.json", default=None,
+                   help="replay a previously emitted schedule document "
+                        "against FILE instead of generating")
+    p.add_argument("--metrics-out", metavar="PATH", default=None,
+                   help="dump the run's metrics registry as JSON to PATH")
+    p.add_argument("--trace-out", metavar="PATH", default=None,
+                   help="stream a structured trace (JSONL) to PATH; the "
+                        "schedules.done event feeds 'repro report'")
+    p.set_defaults(fn=_cmd_schedules)
+
+    p = sub.add_parser(
         "report",
         help="render a self-contained HTML run report from a trace "
         "(and optional metrics dump) written by 'repro explore'",
@@ -642,6 +880,10 @@ def main(argv: list[str] | None = None) -> int:
                    help="also load-bench the analysis service (N "
                         "concurrent submissions, cold vs warm store) into "
                         "the document's 'serve' section")
+    p.add_argument("--schedules", action="store_true",
+                   help="also bench canonical schedule generation "
+                        "(class counts + coverage on the philosophers "
+                        "family) into the document's 'schedules' section")
     p.add_argument("--verbose", action="store_true",
                    help="print one line per program × combo")
     p.set_defaults(fn=_cmd_bench)
@@ -697,6 +939,15 @@ def main(argv: list[str] | None = None) -> int:
                    help="server-side wall-clock budget for this request")
     p.add_argument("--timeout", type=float, default=600.0, metavar="S",
                    help="client-side wait for the response")
+    p.add_argument("--schedules", action="store_true",
+                   help="request a canonical schedule set instead of a "
+                        "plain analysis (cached by program+options+"
+                        "generation key)")
+    p.add_argument("--sample", type=int, default=None, metavar="N",
+                   help="with --schedules: seeded random sample of N "
+                        "classes instead of exhaustive enumeration")
+    p.add_argument("--seed", type=int, default=0,
+                   help="with --schedules --sample: sampling seed")
     p.add_argument("--ping", action="store_true")
     p.add_argument("--stats", action="store_true")
     p.add_argument("--shutdown", action="store_true")

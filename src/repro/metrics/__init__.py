@@ -48,7 +48,15 @@ from repro.metrics.registry import (
 #: ``digest.config_cached`` (O(delta) digest composition), and the
 #: derived gauges ``expand.cache_hit_rate`` /
 #: ``digest.incremental_rate``.
-SCHEMA_VERSION = "repro.metrics/4"
+#: ``/5`` adds the schedule-generation series (:mod:`repro.schedules`):
+#: ``schedules.classes`` / ``schedules.paths`` /
+#: ``schedules.edges_covered`` / ``schedules.edge_coverage`` /
+#: ``schedules.class_coverage`` / ``schedules.cycles_skipped`` /
+#: ``schedules.truncated`` / ``schedules.sample`` / ``schedules.seed``
+#: (coverage accounting of canonical-schedule enumeration and seeded
+#: sampling) and ``schedules.replays`` / ``schedules.replay_failures``
+#: (the replay-verification harness).
+SCHEMA_VERSION = "repro.metrics/5"
 
 __all__ = [
     "Counter",

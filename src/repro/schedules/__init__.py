@@ -1,0 +1,65 @@
+"""Representative schedule generation (``repro schedules``).
+
+The explorer's reduced graph already identifies equivalence classes of
+interleavings; this package turns it into a **test-input generator**:
+one canonical, replay-verified schedule per class, a seeded sampling
+mode for spaces too large to exhaust, and exporters (scheduler scripts,
+Perfetto tracks) for driving external harnesses.
+
+    from repro.explore import explore
+    from repro.schedules import generate, verify_set
+
+    result = explore(program, "stubborn", sleep=True, coarsen=True)
+    sset = generate(result)            # one schedule per class
+    verify_set(result, sset)           # replay each to its digest
+"""
+
+from repro.schedules.canonical import (
+    DEFAULT_MAX_PATHS,
+    DEFAULT_MAX_SCHEDULES,
+    SCHEMA_VERSION,
+    Schedule,
+    ScheduleSet,
+    ScheduleStep,
+    canonicalize,
+    generate,
+)
+from repro.schedules.export import (
+    dumps_document,
+    schedule_document,
+    schedule_trace_records,
+    schedules_from_document,
+    write_schedule_perfetto,
+    write_schedules,
+)
+from repro.schedules.replay import replay_schedule, verify_schedule, verify_set
+from repro.schedules.witness import (
+    check_predicate,
+    verified_witness_schedule,
+    witness_schedule,
+)
+from repro.util.errors import ScheduleError
+
+__all__ = [
+    "DEFAULT_MAX_PATHS",
+    "DEFAULT_MAX_SCHEDULES",
+    "SCHEMA_VERSION",
+    "Schedule",
+    "ScheduleError",
+    "ScheduleSet",
+    "ScheduleStep",
+    "canonicalize",
+    "check_predicate",
+    "dumps_document",
+    "generate",
+    "replay_schedule",
+    "schedule_document",
+    "schedule_trace_records",
+    "schedules_from_document",
+    "verified_witness_schedule",
+    "verify_schedule",
+    "verify_set",
+    "witness_schedule",
+    "write_schedule_perfetto",
+    "write_schedules",
+]

@@ -1,0 +1,389 @@
+"""Representative schedules: one canonical linearization per class.
+
+The explorer's configuration graph contains *every* interleaving (of
+the reduced search); most of them are pairwise equivalent — they differ
+only in the order of independent steps and reach the same final
+configuration.  Following Maarand & Uustalu (*Generating Representative
+Executions*), this module quotients the set of complete executions by
+Mazurkiewicz trace equivalence and emits exactly one **canonical**
+linearization per equivalence class.
+
+Events and dependence
+    An event is one graph edge taken along a path — a single atomic
+    action, or a coarsened block of actions of one process.  Two events
+    are *dependent* iff they belong to the same process or their
+    write/any access pairs intersect — byte-for-byte the relation
+    sleep-set reduction commutes by (:func:`repro.explore.sleepsets
+    .independent`), including the process pseudo-locations that make
+    fork/join interactions dependent.
+
+Canonical form
+    The lexicographically least linearization of the path's induced
+    partial order, by greedy selection: repeatedly emit the smallest
+    ready event under the key ``(pid, labels)``.  Same-pid events are
+    always dependent, hence never simultaneously ready, so the choice
+    is unique and the result depends only on the equivalence class —
+    two equivalent paths canonicalize to the identical step sequence.
+    A schedule's step sequence fully determines its execution (the
+    interpreter is deterministic given a pid order), which is what the
+    replay harness (:mod:`repro.schedules.replay`) checks.
+
+Enumeration and sampling
+    Complete executions are the acyclic ``initial → terminal`` paths of
+    the graph (a path revisiting a configuration has an equivalent
+    shorter completion; busy-wait cycles are skipped and counted).
+    Exhaustive mode walks them in deterministic edge order; sampling
+    mode (``sample=N, seed=S``) walks them in a seeded shuffled order
+    **without replacement**, keeping the first ``N`` distinct classes.
+    Sampling is therefore bit-deterministic per seed, always a subset
+    of the exhaustive class set, monotone in ``N``, and — because the
+    walk is exhaustive-in-the-limit — reaches class coverage 1.0
+    whenever ``N`` is at least the class count.  (Independent random
+    walks *with* replacement guarantee none of these.)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.explore.explorer import ExploreResult
+from repro.explore.graph import ConfigGraph
+from repro.semantics.config import stable_digest
+from repro.util.errors import ScheduleError
+
+#: Version of the schedule-set document layout (see
+#: :func:`repro.schedules.export.schedule_document`).
+SCHEMA_VERSION = "repro.schedules/1"
+
+#: Default enumeration budgets — generous for the corpus, explicit
+#: truncation accounting (never a silent cap) beyond them.
+DEFAULT_MAX_PATHS = 200_000
+DEFAULT_MAX_SCHEDULES = 20_000
+
+
+@dataclass(frozen=True)
+class ScheduleStep:
+    """One scheduling decision: run *pid* for the actions in *labels*
+    (one label normally, several for a coarsened block)."""
+
+    pid: tuple[int, ...]
+    labels: tuple[str, ...]
+
+    def key(self) -> tuple:
+        return (self.pid, self.labels)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A replayable canonical execution.
+
+    ``steps`` drive the interpreter deterministically from the initial
+    configuration; ``final_digest`` is the :func:`stable_digest` of the
+    terminal configuration the explorer recorded for this class — the
+    replay harness must land exactly there.
+    """
+
+    steps: tuple[ScheduleStep, ...]
+    #: terminal configuration id in the source graph
+    terminal: int
+    #: terminal status: "terminated" | "deadlock" | "fault"
+    status: str
+    #: ``stable_digest`` of the terminal configuration
+    final_digest: int
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def num_actions(self) -> int:
+        return sum(len(s.labels) for s in self.steps)
+
+    def describe(self) -> str:
+        lines = []
+        i = 1
+        for step in self.steps:
+            pid = ".".join(map(str, step.pid))
+            for label in step.labels:
+                lines.append(f"  {i:3d}. thread {pid}: {label}")
+                i += 1
+        return "\n".join(lines)
+
+
+@dataclass
+class ScheduleSet:
+    """The output of :func:`generate`: one canonical schedule per
+    discovered equivalence class, plus honest coverage accounting."""
+
+    schedules: tuple[Schedule, ...]
+    #: policy description of the source exploration
+    policy: str
+    #: complete acyclic paths enumerated (several per class in an
+    #: unreduced graph)
+    num_paths: int
+    #: edges of the source graph
+    num_edges: int
+    #: distinct edges lying on at least one enumerated path
+    edges_covered: int
+    #: True when enumeration stopped at a budget (max_paths /
+    #: max_schedules) instead of exhausting the path space
+    truncated: bool
+    #: cycle-closing edges skipped during enumeration (busy-wait loops)
+    cycles_skipped: int
+    #: sampling parameters (None / 0 for exhaustive mode)
+    sample: int | None = None
+    seed: int = 0
+    #: True when the enumeration visited every acyclic complete path —
+    #: in sampling mode this proves the class set is complete
+    exhausted: bool = True
+
+    @property
+    def num_classes(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def edge_coverage(self) -> float:
+        """Fraction of reduced-graph edges on some emitted path."""
+        return self.edges_covered / self.num_edges if self.num_edges else 1.0
+
+    @property
+    def class_coverage(self) -> float | None:
+        """Fraction of equivalence classes hit — exact (1.0) when the
+        walk exhausted the path space, unknowable (None) when a sampling
+        budget stopped it early."""
+        return 1.0 if self.exhausted else None
+
+    def keys(self) -> tuple[tuple, ...]:
+        """Canonical identity of the set: the per-class step keys, in
+        emission order.  Byte-identical across backends and runs."""
+        return tuple(
+            tuple(step.key() for step in s.steps) for s in self.schedules
+        )
+
+
+# --------------------------------------------------------------------------
+# dependence and canonicalization
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _Event:
+    """A path step with the data canonicalization needs."""
+
+    pid: tuple
+    labels: tuple
+    reads: frozenset
+    writes: frozenset
+
+
+def _dependent(a: _Event, b: _Event) -> bool:
+    """Mirror of :func:`repro.explore.sleepsets.independent`, negated:
+    same process, or write/any intersection in either direction."""
+    if a.pid == b.pid:
+        return True
+    if a.writes & (b.writes | b.reads):
+        return True
+    if b.writes & a.reads:
+        return True
+    return False
+
+
+def canonicalize(events: list[_Event]) -> tuple[ScheduleStep, ...]:
+    """Lexicographically least linearization of the trace of *events*.
+
+    Greedy: among events whose dependence predecessors have all been
+    emitted, emit the one with the least ``(pid, labels)`` key.  Events
+    with equal keys share a pid, are therefore pairwise dependent, and
+    never tie — the linearization is unique per equivalence class.
+    """
+    n = len(events)
+    preds = [0] * n
+    succs: list[list[int]] = [[] for _ in range(n)]
+    for j in range(n):
+        ej = events[j]
+        for i in range(j):
+            if _dependent(events[i], ej):
+                succs[i].append(j)
+                preds[j] += 1
+    ready = [i for i in range(n) if preds[i] == 0]
+    out: list[ScheduleStep] = []
+    while ready:
+        best = min(ready, key=lambda i: (events[i].pid, events[i].labels))
+        ready.remove(best)
+        ev = events[best]
+        out.append(ScheduleStep(pid=ev.pid, labels=ev.labels))
+        for j in succs[best]:
+            preds[j] -= 1
+            if preds[j] == 0:
+                ready.append(j)
+    return tuple(out)
+
+
+def _edge_event(edge) -> _Event:
+    return _Event(
+        pid=edge.pid,
+        labels=edge.labels,
+        reads=frozenset(edge.reads),
+        writes=frozenset(edge.writes),
+    )
+
+
+# --------------------------------------------------------------------------
+# path enumeration
+# --------------------------------------------------------------------------
+
+
+class _Walk:
+    """Iterative DFS over the acyclic complete paths of a graph.
+
+    Yields ``(eids, terminal_cid)`` per complete path, in deterministic
+    edge order — or, with an ``rng``, in a seeded shuffled order (the
+    without-replacement sampling walk).
+    """
+
+    def __init__(self, graph: ConfigGraph, rng: random.Random | None):
+        self.graph = graph
+        self.rng = rng
+        self.cycles_skipped = 0
+
+    def _order(self, eids: list[int]) -> list[int]:
+        if self.rng is None or len(eids) < 2:
+            return list(eids)
+        out = list(eids)
+        self.rng.shuffle(out)
+        return out
+
+    def paths(self):
+        graph = self.graph
+        path: list[int] = []
+        on_path = {graph.initial}
+        # stack of iterators over the remaining out-edges per level
+        stack = [iter(self._order(graph.out_edges.get(graph.initial, [])))]
+        if graph.initial in graph.terminal:
+            yield [], graph.initial
+        while stack:
+            eid = next(stack[-1], None)
+            if eid is None:
+                stack.pop()
+                if path:
+                    on_path.discard(graph.edges[path.pop()].dst)
+                continue
+            dst = graph.edges[eid].dst
+            if dst in on_path:
+                self.cycles_skipped += 1
+                continue
+            path.append(eid)
+            on_path.add(dst)
+            if dst in graph.terminal:
+                yield list(path), dst
+                on_path.discard(dst)
+                path.pop()
+                continue
+            stack.append(iter(self._order(graph.out_edges.get(dst, []))))
+
+
+# --------------------------------------------------------------------------
+# generation
+# --------------------------------------------------------------------------
+
+
+def generate(
+    result: ExploreResult,
+    *,
+    sample: int | None = None,
+    seed: int = 0,
+    max_paths: int = DEFAULT_MAX_PATHS,
+    max_schedules: int = DEFAULT_MAX_SCHEDULES,
+    metrics=None,
+) -> ScheduleSet:
+    """Enumerate one canonical schedule per equivalence class of
+    *result*'s graph.
+
+    Exhaustive by default; with ``sample=N`` the walk order is seeded
+    by ``seed`` and stops after ``N`` distinct classes.  Truncated
+    explorations are rejected (:class:`ScheduleError`) — their graph is
+    not the reduced state space, so the class set would be arbitrary.
+    """
+    stats = result.stats
+    if stats.truncated:
+        raise ScheduleError(
+            "cannot generate schedules from a truncated exploration "
+            f"(reason: {stats.truncation_reason or 'budget'}); raise the "
+            "budget or use --sample on a completed reduced search"
+        )
+    if sample is not None and sample < 1:
+        raise ScheduleError(f"sample must be >= 1, got {sample}")
+    if max_paths < 1 or max_schedules < 1:
+        raise ScheduleError("max_paths and max_schedules must be >= 1")
+
+    graph = result.graph
+    rng = random.Random(seed) if sample is not None else None
+    walk = _Walk(graph, rng)
+    target = sample if sample is not None else max_schedules
+
+    seen: dict[tuple, None] = {}
+    schedules: list[Schedule] = []
+    covered: set[int] = set()
+    num_paths = 0
+    truncated = False
+    exhausted = True
+    for eids, terminal in walk.paths():
+        if num_paths >= max_paths:
+            truncated = True
+            exhausted = False
+            break
+        if len(schedules) >= target:
+            # the requested sample is complete; stopping at the
+            # max_schedules cap in exhaustive mode is a real truncation
+            truncated = sample is None
+            exhausted = False
+            break
+        num_paths += 1
+        steps = canonicalize([_edge_event(graph.edges[e]) for e in eids])
+        key = tuple(s.key() for s in steps)
+        if key in seen:
+            continue
+        seen[key] = None
+        covered.update(eids)
+        schedules.append(
+            Schedule(
+                steps=steps,
+                terminal=terminal,
+                status=graph.terminal[terminal],
+                final_digest=stable_digest(graph.configs[terminal]),
+            )
+        )
+
+    sset = ScheduleSet(
+        schedules=tuple(schedules),
+        # reduction policy only, not the "@jN" backend suffix: the
+        # schedule set is backend-independent (the differential suite
+        # byte-compares documents across serial and parallel runs)
+        policy=result.options.describe().split("@", 1)[0],
+        num_paths=num_paths,
+        num_edges=graph.num_edges,
+        edges_covered=len(covered),
+        truncated=truncated,
+        cycles_skipped=walk.cycles_skipped,
+        sample=sample,
+        seed=seed,
+        exhausted=exhausted,
+    )
+    if metrics is not None:
+        _report(metrics, sset)
+    return sset
+
+
+def _report(metrics, sset: ScheduleSet) -> None:
+    """Publish the ``schedules.*`` series (metrics schema /5)."""
+    metrics.set_gauge("schedules.classes", sset.num_classes)
+    metrics.set_gauge("schedules.paths", sset.num_paths)
+    metrics.set_gauge("schedules.edges_covered", sset.edges_covered)
+    metrics.set_gauge("schedules.edge_coverage", sset.edge_coverage)
+    if sset.class_coverage is not None:
+        metrics.set_gauge("schedules.class_coverage", sset.class_coverage)
+    metrics.set_gauge("schedules.cycles_skipped", sset.cycles_skipped)
+    metrics.set_gauge("schedules.truncated", int(sset.truncated))
+    if sset.sample is not None:
+        metrics.set_gauge("schedules.sample", sset.sample)
+        metrics.set_gauge("schedules.seed", sset.seed)

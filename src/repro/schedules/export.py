@@ -1,0 +1,152 @@
+"""Schedule-set serialization: scheduler scripts and Perfetto tracks.
+
+``schedule_document`` is the *scheduler script* format — a plain-JSON
+document a replayer (``repro schedules --replay``, or any external
+harness) can execute against the program: each schedule is a pid/label
+step list plus the terminal-configuration digest it must reach.  The
+serialization is canonical (sorted keys, no wall-clock, no object ids),
+so two generations of the same schedule set are byte-identical — the
+differential suite compares these bytes across backends.
+
+``schedule_trace_records`` bridges into the PR 4 trace subsystem: each
+schedule becomes a run of span records (one span per scheduling step,
+one track per schedule) that :func:`repro.trace.perfetto
+.to_chrome_trace` renders as parallel tracks on ui.perfetto.dev.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.schedules.canonical import (
+    SCHEMA_VERSION,
+    Schedule,
+    ScheduleSet,
+    ScheduleStep,
+)
+from repro.util.errors import ScheduleError
+
+
+def schedule_document(sset: ScheduleSet) -> dict:
+    """The JSON-able scheduler-script document for *sset*."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "policy": sset.policy,
+        "classes": sset.num_classes,
+        "paths": sset.num_paths,
+        "graph_edges": sset.num_edges,
+        "edges_covered": sset.edges_covered,
+        "edge_coverage": sset.edge_coverage,
+        "class_coverage": sset.class_coverage,
+        "cycles_skipped": sset.cycles_skipped,
+        "truncated": sset.truncated,
+        "exhausted": sset.exhausted,
+        "sample": sset.sample,
+        "seed": sset.seed if sset.sample is not None else None,
+        "schedules": [
+            {
+                "steps": [
+                    {"pid": list(step.pid), "labels": list(step.labels)}
+                    for step in schedule.steps
+                ],
+                "status": schedule.status,
+                "final_digest": f"{schedule.final_digest:#018x}",
+            }
+            for schedule in sset.schedules
+        ],
+    }
+
+
+def dumps_document(document: dict) -> str:
+    """Canonical byte-stable serialization of a schedule document."""
+    return json.dumps(document, indent=1, sort_keys=True) + "\n"
+
+
+def write_schedules(path: str, sset: ScheduleSet) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(dumps_document(schedule_document(sset)))
+
+
+def schedules_from_document(document: dict) -> tuple[Schedule, ...]:
+    """Rebuild replayable :class:`Schedule` objects from a scheduler
+    script; :class:`ScheduleError` on anything malformed."""
+    if not isinstance(document, dict):
+        raise ScheduleError("schedule document must be a JSON object")
+    schema = document.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise ScheduleError(
+            f"unsupported schedule schema {schema!r} "
+            f"(want {SCHEMA_VERSION!r})"
+        )
+    out: list[Schedule] = []
+    for i, entry in enumerate(document.get("schedules", [])):
+        try:
+            steps = tuple(
+                ScheduleStep(
+                    pid=tuple(step["pid"]), labels=tuple(step["labels"])
+                )
+                for step in entry["steps"]
+            )
+            digest = int(entry["final_digest"], 16)
+            status = str(entry["status"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ScheduleError(f"schedule {i}: malformed entry ({exc})")
+        out.append(
+            Schedule(
+                steps=steps, terminal=-1, status=status, final_digest=digest
+            )
+        )
+    return tuple(out)
+
+
+# --------------------------------------------------------------------------
+# Perfetto
+# --------------------------------------------------------------------------
+
+
+def schedule_trace_records(sset: ScheduleSet, *, limit: int = 64) -> list:
+    """Synthesize trace records (one track per schedule, one span per
+    scheduling step) for the PR 4 Chrome-trace exporter.
+
+    Timestamps are step indices — deterministic layout showing order,
+    exactly like a wall-clock-stripped engine trace.  Tracks beyond
+    *limit* schedules are dropped (Perfetto chokes on thousands); the
+    document form keeps them all.
+    """
+    records: list[dict] = []
+    seq = 0
+    for k, schedule in enumerate(sset.schedules[:limit]):
+        for i, step in enumerate(schedule.steps):
+            pid = ".".join(map(str, step.pid))
+            records.append(
+                {
+                    "kind": "span",
+                    "seq": i,
+                    "end_seq": i + 1,
+                    "shard": k,
+                    "name": f"t{pid}: " + ";".join(step.labels),
+                    "args": {
+                        "schedule": k,
+                        "pid": pid,
+                        "status": schedule.status,
+                    },
+                }
+            )
+            seq += 1
+    return records
+
+
+def write_schedule_perfetto(path: str, sset: ScheduleSet) -> None:
+    """Export *sset* as a Chrome trace-event JSON for ui.perfetto.dev."""
+    from repro.trace.perfetto import to_chrome_trace
+
+    document = to_chrome_trace(schedule_trace_records(sset))
+    # rename the synthesized tracks: shard-K is schedule K here
+    for event in document["traceEvents"]:
+        if event.get("ph") == "M" and event["name"] == "thread_name":
+            tid = event["tid"]
+            if tid > 0:
+                event["args"]["name"] = f"schedule-{tid - 1}"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, indent=1)
+        fh.write("\n")

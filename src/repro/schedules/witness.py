@@ -1,0 +1,111 @@
+"""Checked counterexamples: turn a witness into a verified schedule.
+
+A ``witness.found`` trace event used to carry a step listing extracted
+from the graph and nothing else — nothing ever ran it.  This module
+closes the loop: the witness path is canonicalized into a
+:class:`~repro.schedules.canonical.Schedule`, replayed through the
+interpreter, and the final configuration is checked against both the
+explorer-recorded digest *and* the witness predicate itself (the
+deadlock really deadlocks, the fault really faults, the outcome's
+globals really hold).  Only then is the schedule emitted.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.witness import Witness
+from repro.explore.graph import DEADLOCK, FAULT, TERMINATED
+from repro.schedules.canonical import Schedule, _edge_event, canonicalize
+from repro.schedules.replay import replay_schedule
+from repro.semantics.config import Config, stable_digest
+from repro.util.errors import ScheduleError
+
+
+def witness_schedule(result, witness: Witness) -> Schedule:
+    """Canonical schedule for *witness*'s path (not yet verified)."""
+    graph = result.graph
+    events = [_edge_event(graph.edges[e]) for e in witness.eids]
+    return Schedule(
+        steps=canonicalize(events),
+        terminal=witness.target,
+        status=graph.terminal.get(witness.target, "interior"),
+        final_digest=stable_digest(graph.configs[witness.target]),
+    )
+
+
+def verified_witness_schedule(
+    result, witness: Witness, kind: str, **globals_values: int
+) -> Schedule:
+    """Build, replay, and predicate-check the schedule for *witness*.
+
+    *kind* is ``"deadlock"``, ``"fault"``, or ``"outcome"`` (the latter
+    checks termination with the given global values).  Raises
+    :class:`ScheduleError` unless the replayed final configuration both
+    matches the recorded digest and satisfies the predicate — the trace
+    event this feeds is a *checked* counterexample.
+    """
+    schedule = witness_schedule(result, witness)
+    final = replay_schedule(
+        result.program, schedule, opts=result.options.step
+    )
+    digest = stable_digest(final)
+    if digest != schedule.final_digest:
+        raise ScheduleError(
+            f"witness replay reached digest {digest:#018x}, explorer "
+            f"recorded {schedule.final_digest:#018x}"
+        )
+    check_predicate(result.program, final, kind, **globals_values)
+    return schedule
+
+
+def check_predicate(
+    program, config: Config, kind: str, **globals_values: int
+) -> None:
+    """Assert the witness predicate on a concrete configuration."""
+    if kind == FAULT:
+        if config.fault is None:
+            raise ScheduleError(
+                "witness replay ended without a fault (predicate does "
+                "not hold on the replayed configuration)"
+            )
+        return
+    if kind == DEADLOCK:
+        if config.fault is not None:
+            raise ScheduleError(
+                f"witness replay faulted ({config.fault}) instead of "
+                "deadlocking"
+            )
+        if config.is_terminated:
+            raise ScheduleError(
+                "witness replay terminated instead of deadlocking"
+            )
+        if _any_enabled(program, config):
+            raise ScheduleError(
+                "witness replay ended in a non-deadlocked configuration "
+                "(some process is still enabled)"
+            )
+        return
+    if kind == "outcome" or kind == TERMINATED:
+        if not config.is_terminated:
+            raise ScheduleError(
+                "witness replay did not terminate (outcome predicates "
+                "require a terminating execution)"
+            )
+        for name, value in globals_values.items():
+            got = config.globals[program.global_index(name)]
+            if got != value:
+                raise ScheduleError(
+                    f"witness replay terminated with {name}={got}, "
+                    f"predicate requires {name}={value}"
+                )
+        return
+    raise ScheduleError(f"unknown witness kind {kind!r}")
+
+
+def _any_enabled(program, config: Config) -> bool:
+    from repro.semantics.step import enabledness
+
+    for proc in config.live_procs():
+        enabled, _, _ = enabledness(program, config, proc)
+        if enabled:
+            return True
+    return False

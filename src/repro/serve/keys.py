@@ -105,6 +105,74 @@ def store_key(program: Program, options: ExploreOptions) -> str:
     return hashlib.blake2b(payload, digest_size=16).hexdigest()
 
 
+#: Schedule-generation fields a ``schedules`` request may set.  They
+#: are part of the *result's* identity (a different sample or seed is a
+#: different schedule set), unlike the budget fields of a submit.
+_SCHEDULE_FIELDS = {
+    "sample": int,
+    "seed": int,
+    "max_paths": int,
+    "max_schedules": int,
+}
+
+
+def schedule_options_from_request(raw: dict | None) -> dict:
+    """Normalize a ``schedules`` request's generation options into a
+    complete, deterministic dict (defaults filled in, so the key does
+    not depend on which fields the client spelled out)."""
+    from repro.schedules.canonical import (
+        DEFAULT_MAX_PATHS,
+        DEFAULT_MAX_SCHEDULES,
+    )
+
+    raw = raw or {}
+    if not isinstance(raw, dict):
+        raise ServeError(
+            f"schedules must be an object, got {type(raw).__name__}"
+        )
+    out: dict = {
+        "sample": None,
+        "seed": 0,
+        "max_paths": DEFAULT_MAX_PATHS,
+        "max_schedules": DEFAULT_MAX_SCHEDULES,
+    }
+    for name, value in raw.items():
+        coerce = _SCHEDULE_FIELDS.get(name)
+        if coerce is None:
+            raise ServeError(
+                f"unknown schedules option {name!r}; known: "
+                + ", ".join(sorted(_SCHEDULE_FIELDS))
+            )
+        if value is None and name == "sample":
+            continue
+        try:
+            out[name] = coerce(value)
+        except (TypeError, ValueError):
+            raise ServeError(
+                f"schedules option {name!r}: cannot coerce {value!r}"
+            )
+    if out["sample"] is not None and out["sample"] < 1:
+        raise ServeError(f"schedules sample must be >= 1, got {out['sample']}")
+    if out["max_paths"] < 1 or out["max_schedules"] < 1:
+        raise ServeError("schedules max_paths/max_schedules must be >= 1")
+    return out
+
+
+def schedules_key(
+    program: Program, options: ExploreOptions, schedules: dict
+) -> str:
+    """Identity of a cached schedule set: the exploration's store
+    identity × the normalized generation options."""
+    payload = (
+        program_fingerprint(program)
+        + "|"
+        + repr(options.resume_key())
+        + "|schedules|"
+        + repr(sorted(schedules.items()))
+    ).encode("utf-8")
+    return hashlib.blake2b(payload, digest_size=16).hexdigest()
+
+
 def _expansion_options_key(options: ExploreOptions) -> tuple:
     """The option fields that change what one expansion computes (and
     therefore what a memo entry contains).  Policy and sleep sets pick

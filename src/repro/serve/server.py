@@ -6,7 +6,15 @@ request object per line, one response object per line::
     {"op": "submit", "program": {"kind": "corpus", "name": "peterson"},
      "options": {"policy": "stubborn", "coarsen": true},
      "deadline_s": 30}
+    {"op": "schedules", "program": {...}, "options": {...},
+     "schedules": {"sample": 32, "seed": 7}}
     {"op": "ping"}        {"op": "stats"}        {"op": "shutdown"}
+
+A ``schedules`` request runs the same checkpointed exploration job and
+then derives the canonical, replay-verified schedule set
+(:mod:`repro.schedules`); the response (and the durable store entry,
+keyed by exploration identity × generation options) carries the
+scheduler-script document in ``schedules``.
 
 Every submit response carries ``ok``; successful ones add ``key``,
 ``result_digest``, ``summary``, ``outcomes``, and ``cached`` (True when
@@ -115,6 +123,7 @@ class ReproServer:
         self.counters = {
             "serve.requests": 0,
             "serve.submits": 0,
+            "serve.schedules": 0,
             "serve.coalesced": 0,
             "serve.shed": 0,
             "serve.worker_restarts": 0,
@@ -151,31 +160,49 @@ class ReproServer:
             return {"ok": True, "stopping": True}
         if op == "submit":
             return await self._submit(req)
+        if op == "schedules":
+            # same job machinery as submit, but the result is a
+            # replay-verified canonical schedule set, cached under the
+            # exploration identity × the generation options
+            return await self._submit(req, schedules_op=True)
         return _error("bad-request", f"unknown op {op!r}")
 
-    async def _submit(self, req: dict) -> dict:
+    async def _submit(self, req: dict, *, schedules_op: bool = False) -> dict:
         self._inc("serve.submits")
         try:
             program = _load_program_checked(req.get("program"))
             options = keys.options_from_request(req.get("options"))
             options = _apply_deadline(options, req.get("deadline_s"))
+            schedules = (
+                keys.schedule_options_from_request(req.get("schedules"))
+                if schedules_op
+                else None
+            )
         except ReproError as exc:
             return _error(type(exc).__name__, str(exc))
 
-        key = keys.store_key(program, options)
+        if schedules_op:
+            self._inc("serve.schedules")
+            key = keys.schedules_key(program, options, schedules)
+        else:
+            key = keys.store_key(program, options)
         span = (
             self.tracer.begin_span("serve.job", key=key)
             if self.tracer is not None
             else None
         )
         try:
-            response = await self._submit_keyed(key, program, options, req)
+            response = await self._submit_keyed(
+                key, program, options, req, schedules
+            )
         finally:
             if span is not None:
                 self.tracer.end_span(span, ok=bool(response.get("ok")))
         return response
 
-    async def _submit_keyed(self, key, program, options, req) -> dict:
+    async def _submit_keyed(
+        self, key, program, options, req, schedules=None
+    ) -> dict:
         # 1. durable store: a finished result replays without running
         payload = self.store.get_result(key)
         if payload is not None:
@@ -203,14 +230,18 @@ class ReproServer:
 
         # 4. durably record, then run
         spec = self._make_spec(
-            key, program, req.get("program"), req.get("options"), options
+            key, program, req.get("program"), req.get("options"), options,
+            schedules,
         )
-        self.store.record_pending(key, {
+        record = {
             "schema": "repro.serve.job/1",
             "key": key,
             "program": req.get("program"),
             "options": spec.options,
-        })
+        }
+        if schedules is not None:
+            record["schedules"] = schedules
+        self.store.record_pending(key, record)
         job = _Job(key=key, spec=spec,
                    future=asyncio.get_running_loop().create_future())
         self._jobs[key] = job
@@ -218,7 +249,8 @@ class ReproServer:
         return await asyncio.shield(job.future)
 
     def _make_spec(
-        self, key, program, program_spec, raw_options, options
+        self, key, program, program_spec, raw_options, options,
+        schedules=None,
     ) -> JobSpec:
         raw = dict(raw_options or {})
         if options.time_limit_s is not None:
@@ -238,6 +270,7 @@ class ReproServer:
             ),
             checkpoint_every=self.options.checkpoint_every,
             resume=resume,
+            schedules=schedules,
         )
 
     # ------------------------------------------------------------------
@@ -301,6 +334,8 @@ class ReproServer:
             "summary": summary,
             "outcomes": outcome.get("outcomes", []),
         }
+        if outcome.get("schedules") is not None:
+            payload["schedules"] = outcome["schedules"]
         if not summary.get("truncated"):
             # truncated results are budget-dependent, and budgets are
             # not part of the store key — only complete results persist
@@ -332,6 +367,13 @@ class ReproServer:
             try:
                 program = _load_program_checked(record.get("program"))
                 options = keys.options_from_request(record.get("options"))
+                schedules = (
+                    keys.schedule_options_from_request(
+                        record.get("schedules")
+                    )
+                    if record.get("schedules") is not None
+                    else None
+                )
             except ReproError as exc:
                 LOG.warning(
                     "dropping unrecoverable pending job %s (%s)", key, exc
@@ -340,7 +382,7 @@ class ReproServer:
                 continue
             spec = self._make_spec(
                 key, program, record.get("program"), record.get("options"),
-                options,
+                options, schedules,
             )
             job = _Job(key=key, spec=spec, waiters=0,
                        future=asyncio.get_running_loop().create_future())

@@ -54,6 +54,10 @@ class JobSpec:
     checkpoint_every: int = 200
     #: continue from ``checkpoint_path`` if it holds a loadable snapshot
     resume: bool = False
+    #: normalized schedule-generation options for a ``schedules``
+    #: request (:func:`repro.serve.keys.schedule_options_from_request`),
+    #: or None for a plain submit
+    schedules: dict | None = None
 
     def resumed(self) -> "JobSpec":
         return replace(self, resume=True)
@@ -205,6 +209,24 @@ def _execute(spec: JobSpec) -> dict:
         "imported_cache_entries": imported,
         "cache_export": None,
     }
+    if spec.schedules is not None:
+        # a schedules job: derive the canonical schedule set, replay-
+        # verify it (the self-check — a divergence is a typed error,
+        # never a published wrong answer), and ship the document.
+        # ``generate`` rejects truncated explorations itself.
+        from repro.schedules import generate, schedule_document, verify_set
+
+        sset = generate(
+            result,
+            sample=spec.schedules.get("sample"),
+            seed=spec.schedules.get("seed", 0),
+            max_paths=spec.schedules["max_paths"],
+            max_schedules=spec.schedules["max_schedules"],
+            metrics=metrics_ob.registry,
+        )
+        verify_set(result, sset, metrics=metrics_ob.registry)
+        outcome["schedules"] = schedule_document(sset)
+        outcome["metrics"] = metrics_ob.registry.snapshot()
     # a truncated run saw only part of the state space: neither its
     # result nor its memo cache may be published (the cache itself is
     # sound, but exporting it is pointless churn on a failed budget)

@@ -9,6 +9,9 @@ diffed.  Sections:
   truncation events, and the witness events the CLI records;
 - **escalation trail** — every ``resilience.escalation`` event, in
   order;
+- **schedule generation** — class counts and coverage from ``repro
+  schedules`` runs (the ``schedules.done`` event / ``schedules.*``
+  metric series);
 - **span timings** — per-name aggregates (count, total/mean/max
   wall-clock when recorded, total sequence extent otherwise);
 - **events** — per-name counts with the most recent attributes of the
@@ -129,10 +132,17 @@ def _witness_section(records) -> str:
         )
     for ev in found:
         args = ev.get("args", {})
+        verified = ""
+        if args.get("verified"):
+            verified = (
+                " Replay-verified: the canonical schedule reaches "
+                f"configuration digest <code>{_esc(args.get('final_digest'))}"
+                "</code> and the predicate holds there."
+            )
         parts.append(
             f"<p>Shortest execution reaching a "
             f"<code>{_esc(args.get('target'))}</code>: "
-            f"{_esc(args.get('length'))} steps.</p>"
+            f"{_esc(args.get('length'))} steps.{verified}</p>"
         )
         steps = args.get("steps") or []
         if steps:
@@ -141,6 +151,48 @@ def _witness_section(records) -> str:
                 [(i + 1, s) for i, s in enumerate(steps)],
             ))
     return "".join(parts)
+
+
+def _schedules_section(records, metrics: dict | None) -> str:
+    """Schedule generation: class counts and coverage accounting, from
+    the ``schedules.done`` event (``repro schedules --trace-out``) or
+    the ``schedules.*`` metric series — whichever the run recorded."""
+    done = _events_of(records, "schedules.done")
+    args: dict = dict(done[-1].get("args", {})) if done else {}
+    if not args and metrics:
+        for name in sorted(metrics):
+            if name.startswith("schedules."):
+                args[name.split(".", 1)[1]] = metrics[name].get("value")
+    if not args:
+        return ""
+    order = (
+        ("classes", "equivalence classes"),
+        ("paths", "complete paths enumerated"),
+        ("sample", "requested sample size"),
+        ("seed", "sampling seed"),
+        ("edges_covered", "graph edges covered"),
+        ("edge_coverage", "edge coverage"),
+        ("class_coverage", "class coverage"),
+        ("cycles_skipped", "busy-wait cycles skipped"),
+        ("replays", "schedules replay-verified"),
+        ("replay_failures", "replay divergences"),
+        ("truncated", "enumeration truncated"),
+    )
+    rows = []
+    for key, label in order:
+        if key not in args or args[key] is None:
+            continue
+        value = args[key]
+        if isinstance(value, float):
+            value = round(value, 4)
+        rows.append((label, value))
+    rows += sorted(
+        (k, v) for k, v in args.items()
+        if k not in {key for key, _ in order}
+    )
+    return "<h2>Schedule generation</h2>" + _table(
+        ("statistic", "value"), rows, numeric=(1,)
+    )
 
 
 def _escalation_section(records) -> str:
@@ -285,6 +337,7 @@ def render_report(
         _outcome_section(records),
         _escalation_section(records),
         _witness_section(records),
+        _schedules_section(records, metrics),
     ]
     if spans:
         body.append("<h2>Span timings</h2>")

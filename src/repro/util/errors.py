@@ -63,6 +63,14 @@ class AnalysisError(ReproError):
     Shasha–Snir delays on non-straight-line segments)."""
 
 
+class ScheduleError(ReproError):
+    """Raised by the schedule generator (:mod:`repro.schedules`):
+    extraction from a truncated exploration (its graph is not the full
+    reduced state space, so "one schedule per class" is undefined), or a
+    replay that diverges from the schedule's recorded execution — the
+    latter is the self-check that emitted schedules are genuine."""
+
+
 class ServeError(ReproError):
     """Raised by the analysis service (:mod:`repro.serve`): bad
     requests, unreachable servers, jobs that exhausted their restart

@@ -148,6 +148,20 @@ class TestGaloisSoundness:
                 if concrete is not None:
                     assert dom.contains(res, concrete), (op, x, y)
 
+    def test_interval_mod_wide_dividend_regression(self, name):
+        # [-34, 31] is wider than the enumeration cap, so interval `%`
+        # takes its fallback path; C-mod is not monotone in the dividend
+        # (-1 % 2 == -1 beats both endpoint remainders), which an
+        # endpoint probe used to miss.
+        dom = DOMAINS[name]
+        a = dom.abstract_all([-34, 31])
+        res = dom.binop("%", a, dom.abstract(2))
+        for x in range(-34, 32):
+            if not dom.contains(a, x):
+                continue  # precise domains don't widen to the full range
+            concrete = apply_binop("%", x, 2)
+            assert dom.contains(res, concrete), (x, concrete, res)
+
     @given(x=ints, op=st.sampled_from(UNOPS))
     @settings(max_examples=80, deadline=None)
     def test_unop_sound(self, name, x, op):

@@ -1,0 +1,123 @@
+"""Properties of seeded schedule sampling (``repro schedules --sample``).
+
+The sampler is a seeded randomized-order DFS without replacement, so
+four properties hold by construction — these tests pin them against
+regressions:
+
+* **determinism** — the same seed yields the same sample set, byte for
+  byte, across repeated runs and across explorations;
+* **soundness** — every sampled class is a member of the exhaustive
+  class set (sampling re-orders the walk, it cannot invent classes);
+* **monotonicity** — growing the sample budget N with a fixed seed only
+  extends the sample (prefix property: the stop check consumes no
+  randomness), so class counts and edge coverage are monotone in N;
+* **completeness** — with N at least the class count the sample finds
+  *every* class; once N strictly exceeds it the walk provably drains
+  the whole graph (the target is unreachable), so it reports
+  ``exhausted`` and class coverage 1.0.  At exactly N == classes the
+  walk stops on collecting the Nth class and cannot know whether more
+  classes existed, so coverage honestly stays ``None`` unless the Nth
+  class arrived on the walk's final path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import explore
+from repro.programs.corpus import CORPUS
+from repro.schedules import dumps_document, generate, schedule_document
+
+SEEDS = range(50)
+
+#: (program, policy, sleep): a few shapes with different class counts.
+CASES = (
+    ("fig2_shasha_snir", "stubborn", False),
+    ("philosophers_3", "stubborn", False),
+    ("philosophers_3", "stubborn", True),
+    ("deadlock_pair", "full", False),
+)
+
+
+@pytest.fixture(scope="module")
+def explored():
+    out = {}
+    for name, policy, sleep in CASES:
+        result = explore(
+            CORPUS[name](), policy, coarsen=True, sleep=sleep
+        )
+        out[(name, policy, sleep)] = (result, generate(result))
+    return out
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-{c[1]}"
+                         + ("-sleep" if c[2] else ""))
+def test_same_seed_same_sample(case, explored):
+    result, full = explored[case]
+    n = max(1, full.num_classes // 2)
+    for seed in SEEDS:
+        a = generate(result, sample=n, seed=seed)
+        b = generate(result, sample=n, seed=seed)
+        assert dumps_document(schedule_document(a)) == dumps_document(
+            schedule_document(b)
+        )
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-{c[1]}"
+                         + ("-sleep" if c[2] else ""))
+def test_sampled_classes_subset_of_exhaustive(case, explored):
+    result, full = explored[case]
+    exhaustive = set(full.keys())
+    n = max(1, full.num_classes // 2)
+    for seed in SEEDS:
+        sampled = generate(result, sample=n, seed=seed)
+        assert set(sampled.keys()) <= exhaustive
+        assert sampled.num_classes <= n
+        assert not sampled.truncated  # a sample stop is not truncation
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-{c[1]}"
+                         + ("-sleep" if c[2] else ""))
+def test_sample_monotone_in_budget(case, explored):
+    result, full = explored[case]
+    top = full.num_classes
+    for seed in range(10):
+        prev_keys: set = set()
+        prev_cov = 0.0
+        for n in sorted({1, max(1, top // 2), top, top + 5}):
+            sset = generate(result, sample=n, seed=seed)
+            keys = set(sset.keys())
+            assert prev_keys <= keys, (
+                f"seed {seed}: sample at N={n} dropped classes"
+            )
+            assert sset.edge_coverage >= prev_cov
+            prev_keys, prev_cov = keys, sset.edge_coverage
+
+
+@pytest.mark.parametrize("case", CASES, ids=lambda c: f"{c[0]}-{c[1]}"
+                         + ("-sleep" if c[2] else ""))
+def test_full_budget_sample_is_exhaustive(case, explored):
+    result, full = explored[case]
+    for seed in SEEDS:
+        # N > classes: the target is unreachable, the walk must drain
+        over = generate(result, sample=full.num_classes + 1, seed=seed)
+        assert over.exhausted
+        assert over.class_coverage == 1.0
+        assert set(over.keys()) == set(full.keys())
+        # N == classes: every class is still found (the walk only stops
+        # on the Nth), but exhaustion is only provable if the Nth class
+        # arrived on the final path
+        exact = generate(result, sample=full.num_classes, seed=seed)
+        assert set(exact.keys()) == set(full.keys())
+        assert exact.class_coverage in (1.0, None)
+
+
+def test_undersized_sample_reports_unknown_class_coverage(explored):
+    """A walk stopped early cannot know the class total: coverage is
+    None (rendered as unknown), never a guess."""
+    result, full = explored[("philosophers_3", "stubborn", False)]
+    assert full.num_classes > 1
+    sset = generate(result, sample=1, seed=0)
+    assert not sset.exhausted
+    assert sset.class_coverage is None
+    assert sset.num_classes == 1

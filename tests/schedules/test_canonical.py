@@ -1,0 +1,184 @@
+"""Unit tests for the canonicalizer and the schedule-document codec."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.explore import explore
+from repro.programs.corpus import CORPUS
+from repro.schedules import (
+    SCHEMA_VERSION,
+    canonicalize,
+    dumps_document,
+    generate,
+    replay_schedule,
+    schedule_document,
+    schedule_trace_records,
+    schedules_from_document,
+    verify_schedule,
+    write_schedule_perfetto,
+    write_schedules,
+)
+from repro.schedules.canonical import _Event
+from repro.util.errors import ScheduleError
+
+
+def _ev(pid, label, reads=(), writes=()):
+    return _Event(
+        pid=pid,
+        labels=(label,),
+        reads=frozenset(reads),
+        writes=frozenset(writes),
+    )
+
+
+# ---------------------------------------------------------------------------
+# canonicalize
+# ---------------------------------------------------------------------------
+
+
+def test_canonicalize_is_reordering_invariant():
+    """Two interleavings of the same trace class canonicalize to the
+    same step sequence (commuting the independent adjacent pair)."""
+    a = _ev((0,), "a", writes=["x"])
+    b = _ev((1,), "b", writes=["y"])  # independent of a
+    c = _ev((1,), "c", reads=["x"])  # same pid as b, conflicts with a
+    assert canonicalize([a, b, c]) == canonicalize([b, a, c])
+
+
+def test_canonicalize_respects_dependence():
+    """Dependent events keep their order even when the lexicographic
+    key would prefer to swap them."""
+    w = _ev((1,), "w", writes=["x"])
+    r = _ev((0,), "r", reads=["x"])  # conflicts: must stay after w
+    steps = canonicalize([w, r])
+    assert [s.pid for s in steps] == [(1,), (0,)]
+
+
+def test_canonicalize_orders_independent_events_lexicographically():
+    lo = _ev((0,), "lo", writes=["x"])
+    hi = _ev((2,), "hi", writes=["y"])
+    assert [s.pid for s in canonicalize([hi, lo])] == [(0,), (2,)]
+
+
+def test_canonicalize_same_pid_keeps_program_order():
+    first = _ev((0,), "z-later-label")
+    second = _ev((0,), "a-earlier-label")
+    steps = canonicalize([first, second])
+    assert [s.labels for s in steps] == [("z-later-label",), ("a-earlier-label",)]
+
+
+# ---------------------------------------------------------------------------
+# generate() input validation
+# ---------------------------------------------------------------------------
+
+
+def test_generate_rejects_truncated_exploration():
+    from repro.explore import ExploreOptions
+
+    result = explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="full", max_configs=10),
+    )
+    assert result.stats.truncated
+    with pytest.raises(ScheduleError, match="truncated"):
+        generate(result)
+
+
+def test_generate_rejects_bad_arguments():
+    result = explore(CORPUS["fig2_shasha_snir"](), "stubborn", coarsen=True)
+    with pytest.raises(ScheduleError):
+        generate(result, sample=0)
+    with pytest.raises(ScheduleError):
+        generate(result, max_paths=0)
+    with pytest.raises(ScheduleError):
+        generate(result, max_schedules=0)
+
+
+# ---------------------------------------------------------------------------
+# document round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_document_round_trips_and_replays(tmp_path):
+    program = CORPUS["deadlock_pair"]()
+    result = explore(program, "stubborn", coarsen=True, sleep=True)
+    sset = generate(result)
+    path = tmp_path / "schedules.json"
+    write_schedules(str(path), sset)
+
+    document = json.loads(path.read_text())
+    assert document["schema"] == SCHEMA_VERSION
+    rebuilt = schedules_from_document(document)
+    assert len(rebuilt) == len(sset.schedules)
+    for original, loaded in zip(sset.schedules, rebuilt):
+        assert loaded.steps == original.steps
+        assert loaded.final_digest == original.final_digest
+        # a schedule loaded from JSON replays like the in-memory one
+        verify_schedule(program, loaded, opts=result.options.step)
+
+    # serialization is canonical: re-serializing the parsed document
+    # reproduces the bytes
+    assert dumps_document(document) == path.read_text()
+
+
+def test_malformed_documents_raise():
+    with pytest.raises(ScheduleError, match="JSON object"):
+        schedules_from_document([1, 2])
+    with pytest.raises(ScheduleError, match="unsupported schedule schema"):
+        schedules_from_document({"schema": "repro.schedules/999"})
+    with pytest.raises(ScheduleError, match="malformed"):
+        schedules_from_document(
+            {"schema": SCHEMA_VERSION, "schedules": [{"steps": "oops"}]}
+        )
+
+
+def test_replay_divergence_is_typed():
+    """Tampering with a schedule's digest turns replay into a typed
+    ScheduleError, not a wrong-but-silent success."""
+    program = CORPUS["fig2_shasha_snir"]()
+    result = explore(program, "stubborn", coarsen=True)
+    sset = generate(result)
+    document = schedule_document(sset)
+    document["schedules"][0]["final_digest"] = "0x0000000000000bad"
+    bad = schedules_from_document(document)[0]
+    replay_schedule(program, bad, opts=result.options.step)  # steps still run
+    with pytest.raises(ScheduleError, match="digest"):
+        verify_schedule(program, bad, opts=result.options.step)
+
+
+# ---------------------------------------------------------------------------
+# Perfetto export
+# ---------------------------------------------------------------------------
+
+
+def test_perfetto_export_one_track_per_schedule(tmp_path):
+    result = explore(
+        CORPUS["philosophers_3"](), "stubborn", coarsen=True, sleep=True
+    )
+    sset = generate(result)
+    records = schedule_trace_records(sset)
+    assert {r["shard"] for r in records} == set(range(len(sset.schedules)))
+    assert all(r["kind"] == "span" for r in records)
+
+    path = tmp_path / "schedules.perfetto.json"
+    write_schedule_perfetto(str(path), sset)
+    document = json.loads(path.read_text())
+    names = {
+        e["args"]["name"]
+        for e in document["traceEvents"]
+        if e.get("ph") == "M" and e["name"] == "thread_name" and e["tid"] > 0
+    }
+    assert names == {f"schedule-{k}" for k in range(len(sset.schedules))}
+
+
+def test_trace_records_respect_limit():
+    result = explore(
+        CORPUS["philosophers_3"](), "stubborn", coarsen=True, sleep=True
+    )
+    sset = generate(result)
+    assert len(sset.schedules) > 2
+    records = schedule_trace_records(sset, limit=2)
+    assert {r["shard"] for r in records} == {0, 1}

@@ -1,0 +1,117 @@
+"""The replay differential: every emitted canonical schedule, replayed
+through the interpreter, must reach the exact final configuration the
+explorer recorded — across every corpus program, the three policy
+settings, and both backends.
+
+Three invariants per (program, policy, backend) cell:
+
+1. **replay equality** — ``verify_set`` re-executes each schedule with
+   the plain interpreter (no explorer involved) and compares the
+   reached configuration's ``stable_digest`` against the digest the
+   explorer stored for that schedule's terminal; any divergence raises.
+2. **backend identity** — the serialized schedule document from the
+   serial backend is *byte-identical* to the one from the parallel
+   backend at jobs=2 (the canonical form depends only on the trace
+   equivalence classes, which all sound explorations share).
+3. **run-to-run identity** — generating twice from the same exploration
+   (and from a fresh exploration) yields the same bytes.
+
+The ``full`` policy enumerates interleavings rather than classes, so
+its path walk explodes combinatorially on the bigger programs; the
+modest ``max_paths`` cap below keeps it bounded.  Truncated enumeration
+is still deterministic (the DFS order is fixed), so the byte-identity
+assertions hold regardless.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.schedules import (
+    dumps_document,
+    generate,
+    schedule_document,
+    verify_set,
+)
+
+#: (policy, sleep) — always coarsened: the interesting replay case is
+#: multi-action blocks, and it keeps `full` tractable corpus-wide.
+COMBOS = (("full", False), ("stubborn", False), ("stubborn", True))
+
+MAX_CONFIGS = 20_000
+MAX_PATHS = 2_000
+MAX_SCHEDULES = 256
+
+
+def _options(policy: str, sleep: bool, jobs: int) -> ExploreOptions:
+    return ExploreOptions(
+        policy=policy,
+        coarsen=True,
+        sleep=sleep,
+        max_configs=MAX_CONFIGS,
+        backend="parallel" if jobs > 1 else "serial",
+        jobs=jobs,
+    )
+
+
+def _generate(result):
+    return generate(result, max_paths=MAX_PATHS, max_schedules=MAX_SCHEDULES)
+
+
+@pytest.mark.parametrize("name", sorted(CORPUS))
+def test_replay_reaches_recorded_digest(name):
+    """Invariants 1+2: replay equality on both backends, and byte-equal
+    documents between them, for every policy combo."""
+    program = CORPUS[name]()
+    for policy, sleep in COMBOS:
+        docs = []
+        for jobs in (1, 2):
+            result = explore(program, options=_options(policy, sleep, jobs))
+            assert not result.stats.truncated, (
+                f"{name}/{policy}: raise MAX_CONFIGS for this test"
+            )
+            sset = _generate(result)
+            assert sset.schedules, f"{name}/{policy}: empty schedule set"
+            # replays every schedule; ScheduleError on any digest
+            # mismatch or mid-replay divergence
+            replays = verify_set(result, sset)
+            assert replays == len(sset.schedules)
+            docs.append(dumps_document(schedule_document(sset)))
+        assert docs[0] == docs[1], (
+            f"{name}/{policy}{'+sleep' if sleep else ''}: schedule "
+            f"document differs between serial and parallel backends"
+        )
+
+
+@pytest.mark.parametrize("name", ["fig2_shasha_snir", "deadlock_pair",
+                                  "philosophers_3", "peterson_broken"])
+def test_generation_is_deterministic(name):
+    """Invariant 3: same exploration → same bytes; fresh exploration →
+    same bytes."""
+    program = CORPUS[name]()
+    opts = _options("stubborn", True, 1)
+    result = explore(program, options=opts)
+    first = dumps_document(schedule_document(_generate(result)))
+    again = dumps_document(schedule_document(_generate(result)))
+    fresh = dumps_document(
+        schedule_document(_generate(explore(program, options=opts)))
+    )
+    assert first == again == fresh
+
+
+def test_schedule_statuses_cover_terminal_kinds():
+    """Deadlocking programs must emit deadlock-status schedules and
+    faulting programs fault-status ones — the generator covers every
+    terminal class, not just clean terminations."""
+    result = explore(
+        CORPUS["deadlock_pair"](), options=_options("stubborn", True, 1)
+    )
+    statuses = {s.status for s in _generate(result).schedules}
+    assert "deadlock" in statuses and "terminated" in statuses
+
+    result = explore(
+        CORPUS["peterson_broken"](), options=_options("stubborn", True, 1)
+    )
+    assert "fault" in {s.status for s in _generate(result).schedules}

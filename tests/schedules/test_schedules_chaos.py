@@ -1,0 +1,151 @@
+"""Fault drills for the ``schedules`` service op.
+
+Same contract as the submit drills (tests/serve/test_chaos_drills.py):
+under every injected fault the client gets a correct schedule document,
+a clean typed error, or a resumable checkpoint — never a wrong answer.
+The extra stake here is the *derived* payload: the schedule set is
+generated after exploration and replay-verified in the worker before
+publishing, so a resumed or recomputed job must reproduce the
+uninterrupted run's document byte for byte, and a corrupted cached
+entry must quarantine to a recompute, never decode into garbage
+schedules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.resilience import chaos
+from repro.schedules import generate, schedule_document
+from repro.serve import ReproServer, ResultStore, ServeOptions
+
+PROGRAM = {"kind": "corpus", "name": "philosophers_3"}
+OPTIONS = {"policy": "stubborn", "coarsen": True, "sleep": True}
+REQUEST = {
+    "op": "schedules",
+    "program": PROGRAM,
+    "options": OPTIONS,
+    "schedules": {"sample": 5, "seed": 11},
+}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_injector():
+    assert chaos.active() is None
+    yield
+    leaked = chaos.active() is not None
+    chaos.uninstall()
+    assert not leaked, "test left a chaos injector installed"
+
+
+def _clean_document() -> dict:
+    """The uninterrupted run's answer, computed without the service."""
+    result = explore(
+        CORPUS["philosophers_3"](),
+        options=ExploreOptions(policy="stubborn", coarsen=True, sleep=True),
+    )
+    return schedule_document(generate(result, sample=5, seed=11))
+
+
+def _server(tmp_path, **kw) -> ReproServer:
+    kw.setdefault("checkpoint_every", 20)
+    return ReproServer(ResultStore(str(tmp_path / "store")), ServeOptions(**kw))
+
+
+def _ask(server, req=REQUEST) -> dict:
+    async def main():
+        return await asyncio.wait_for(server.handle_request(dict(req)), 120)
+
+    return asyncio.run(main())
+
+
+def test_killed_worker_resumes_to_identical_schedule_set(tmp_path):
+    """An OOM-killed schedules worker restarts from its exploration
+    checkpoint; the resumed job's schedule document matches the
+    uninterrupted run exactly."""
+    server = _server(tmp_path)
+    with chaos.injected("serve-worker-kill", shared=True, times=1) as inj:
+        response = _ask(server)
+    assert inj.armed_fired("serve-worker-kill") == 1
+    assert response["ok"]
+    assert response["schedules"] == _clean_document()
+    assert server.counters["serve.worker_restarts"] == 1
+    assert server.store.pending_jobs() == []
+
+
+def test_kill_every_attempt_then_clean_retry_matches(tmp_path):
+    """Restart budget exhausted → typed resumable error; with the fault
+    gone the same server finishes the job and the answer is exact."""
+    server = _server(tmp_path, max_restarts=1)
+    with chaos.injected("serve-worker-kill", shared=True, times=-1):
+        response = _ask(server)
+    assert response["ok"] is False
+    assert response["error"]["type"] == "worker-failed"
+    assert response["resumable"] is True
+    assert len(server.store.pending_jobs()) == 1
+    retry = _ask(server)
+    assert retry["ok"]
+    assert retry["schedules"] == _clean_document()
+    assert server.store.pending_jobs() == []
+
+
+def test_store_io_fault_degrades_to_miss_not_wrong_schedules(tmp_path):
+    """Failed durable writes must not fail the request or dent the
+    document; the next identical request recomputes (a miss)."""
+    server = _server(tmp_path)
+    clean = _clean_document()
+    with chaos.injected("store-io", times=-1):
+        r1 = _ask(server)
+    assert r1["ok"]
+    assert r1["schedules"] == clean
+    assert server.store.put_failures > 0
+    assert server.store.get_result(r1["key"]) is None
+    # disk healthy again: recompute, persist, then replay from store
+    r2 = _ask(server)
+    assert r2["ok"] and r2["cached"] is False
+    assert r2["schedules"] == clean
+    r3 = _ask(server)
+    assert r3["cached"] is True
+    assert r3["schedules"] == clean
+
+
+def test_store_corrupt_quarantines_cached_schedules_to_a_miss(tmp_path):
+    """Bit-rot on the persisted schedules entry: the read path must
+    quarantine and recompute — damaged bytes never reach a response."""
+    server = _server(tmp_path)
+    clean = _clean_document()
+    # after=1: let the pending-record write through so the flip lands
+    # on the result payload holding the schedule document
+    with chaos.injected("store-corrupt", after=1, times=1):
+        r1 = _ask(server)
+    assert r1["ok"]
+    assert r1["schedules"] == clean  # response came from the live run
+    r2 = _ask(server)
+    assert r2["ok"]
+    assert r2["cached"] is False  # quarantined, not replayed
+    assert r2["schedules"] == clean
+    assert server.store.quarantined >= 1
+    r3 = _ask(server)
+    assert r3["cached"] is True
+    assert r3["schedules"] == clean
+
+
+def test_schedules_and_submit_keys_do_not_collide(tmp_path):
+    """A schedules job and a plain submit of the same program+options
+    occupy distinct store keys: caching one never serves the other's
+    payload shape."""
+    server = _server(tmp_path)
+    plain = {"op": "submit", "program": PROGRAM, "options": OPTIONS}
+    r1 = _ask(server, plain)
+    r2 = _ask(server)
+    assert r1["ok"] and r2["ok"]
+    assert r1["key"] != r2["key"]
+    assert "schedules" not in r1
+    assert r2["schedules"] == _clean_document()
+    # both replay independently from the store
+    assert _ask(server, plain)["cached"] is True
+    assert _ask(server)["cached"] is True

@@ -1,0 +1,132 @@
+"""Witness-path schedules: a ``witness.found`` counterexample must be a
+*checked* counterexample.
+
+Two layers under test:
+
+* the :func:`repro.analyses.witness.outcome_witness` regression — its
+  old filter was "any terminal whose fault is None", which let a
+  **deadlocked** configuration with matching globals answer a "can the
+  program finish with these values?" query.  Only TERMINATED
+  configurations may qualify.
+* :func:`repro.schedules.witness.verified_witness_schedule` — the
+  emitted schedule replays to the explorer-recorded digest AND the
+  witness predicate actually holds on the replayed configuration
+  (deadlocks deadlock, faults fault, outcomes terminate with the
+  claimed globals).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses.witness import (
+    deadlock_witness,
+    fault_witness,
+    outcome_witness,
+)
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.schedules import (
+    check_predicate,
+    replay_schedule,
+    verified_witness_schedule,
+    witness_schedule,
+)
+from repro.semantics.config import stable_digest
+from repro.util.errors import ScheduleError
+
+
+def _explore(name, **kw):
+    return explore(CORPUS[name](), options=ExploreOptions(**kw))
+
+
+# ---------------------------------------------------------------------------
+# the outcome_witness regression
+# ---------------------------------------------------------------------------
+
+
+def test_outcome_witness_rejects_deadlocked_configs():
+    """deadlock_pair's only deadlock carries globals la=1,lb=1,done=0.
+    No *terminating* execution reaches those values, so the witness
+    query must come back empty — the old filter returned the deadlock
+    path here."""
+    result = _explore("deadlock_pair", policy="full")
+    assert outcome_witness(result, la=1, lb=1, done=0) is None
+
+
+def test_outcome_witness_still_finds_real_outcomes():
+    result = _explore("deadlock_pair", policy="full")
+    w = outcome_witness(result, la=0, lb=0, done=1)
+    assert w is not None
+    assert result.graph.terminal[w.target] == "terminated"
+
+
+# ---------------------------------------------------------------------------
+# verified witness schedules
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("coarsen", [False, True])
+def test_deadlock_witness_schedule_verifies(coarsen):
+    result = _explore(
+        "deadlock_pair", policy="stubborn", coarsen=coarsen, sleep=True
+    )
+    w = deadlock_witness(result)
+    assert w is not None
+    schedule = verified_witness_schedule(result, w, "deadlock")
+    # independent replay: the canonical schedule reaches the digest
+    final = replay_schedule(
+        result.program, schedule, opts=result.options.step
+    )
+    assert stable_digest(final) == schedule.final_digest
+    assert final.fault is None and not final.is_terminated
+
+
+@pytest.mark.parametrize("coarsen", [False, True])
+def test_fault_witness_schedule_verifies(coarsen):
+    result = _explore("peterson_broken", policy="stubborn", coarsen=coarsen)
+    w = fault_witness(result)
+    assert w is not None
+    schedule = verified_witness_schedule(result, w, "fault")
+    final = replay_schedule(
+        result.program, schedule, opts=result.options.step
+    )
+    assert final.fault is not None
+
+
+def test_outcome_witness_schedule_verifies():
+    result = _explore("deadlock_pair", policy="stubborn", coarsen=True)
+    w = outcome_witness(result, done=1)
+    assert w is not None
+    schedule = verified_witness_schedule(result, w, "outcome", done=1)
+    final = replay_schedule(
+        result.program, schedule, opts=result.options.step
+    )
+    assert final.is_terminated
+    assert final.globals[result.program.global_index("done")] == 1
+
+
+def test_predicate_mismatch_raises():
+    """A schedule reaching the wrong kind of configuration is rejected:
+    the deadlock predicate must not accept a terminated config, nor the
+    outcome predicate a deadlocked one."""
+    result = _explore("deadlock_pair", policy="full")
+    term = outcome_witness(result, done=1)
+    dead = deadlock_witness(result)
+    assert term is not None and dead is not None
+
+    with pytest.raises(ScheduleError, match="terminated instead"):
+        verified_witness_schedule(result, term, "deadlock")
+    with pytest.raises(ScheduleError, match="did not terminate"):
+        verified_witness_schedule(result, dead, "outcome", done=1)
+    with pytest.raises(ScheduleError, match="unknown witness kind"):
+        verified_witness_schedule(result, term, "nonsense")
+
+
+def test_check_predicate_outcome_value_mismatch():
+    result = _explore("deadlock_pair", policy="full")
+    w = outcome_witness(result, done=1)
+    schedule = witness_schedule(result, w)
+    final = replay_schedule(result.program, schedule)
+    with pytest.raises(ScheduleError, match="done=1"):
+        check_predicate(result.program, final, "outcome", done=7)

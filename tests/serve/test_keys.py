@@ -210,3 +210,44 @@ def test_call_graph_dynamic_detection():
         pytest.skip("language has no first-class function syntax")
     _, dynamic = keys.call_graph(prog)
     assert dynamic
+
+
+def test_schedule_options_defaults_and_normalization():
+    from repro.schedules.canonical import DEFAULT_MAX_PATHS, DEFAULT_MAX_SCHEDULES
+
+    out = keys.schedule_options_from_request(None)
+    assert out == {
+        "sample": None,
+        "seed": 0,
+        "max_paths": DEFAULT_MAX_PATHS,
+        "max_schedules": DEFAULT_MAX_SCHEDULES,
+    }
+    # spelled-out defaults normalize to the same dict (hence same key)
+    assert keys.schedule_options_from_request({"seed": 0}) == out
+    assert keys.schedule_options_from_request({"sample": "8"})["sample"] == 8
+
+
+def test_schedule_options_rejections():
+    with pytest.raises(ServeError, match="unknown schedules option"):
+        keys.schedule_options_from_request({"smaple": 4})
+    with pytest.raises(ServeError, match="cannot coerce"):
+        keys.schedule_options_from_request({"seed": "xyz"})
+    with pytest.raises(ServeError, match="sample must be >= 1"):
+        keys.schedule_options_from_request({"sample": 0})
+    with pytest.raises(ServeError, match=">= 1"):
+        keys.schedule_options_from_request({"max_paths": 0})
+    with pytest.raises(ServeError, match="must be an object"):
+        keys.schedule_options_from_request([1])
+
+
+def test_schedules_key_distinct_from_store_key_and_seed_sensitive():
+    program = CORPUS["fig2_shasha_snir"]()
+    options = keys.options_from_request({"policy": "stubborn", "coarsen": True})
+    sched = keys.schedule_options_from_request({"sample": 4, "seed": 1})
+    k = keys.schedules_key(program, options, sched)
+    assert k != keys.store_key(program, options)
+    assert k == keys.schedules_key(program, options, dict(sched))
+    other_seed = keys.schedule_options_from_request({"sample": 4, "seed": 2})
+    assert k != keys.schedules_key(program, options, other_seed)
+    exhaustive = keys.schedule_options_from_request(None)
+    assert k != keys.schedules_key(program, options, exhaustive)

@@ -319,3 +319,81 @@ def test_submit_unreachable_address_is_one_line_error(tmp_path, capsys):
     assert main(["submit", missing, "--ping"]) == 2
     err = capsys.readouterr().err
     assert "error:" in err and "nowhere.sock" in err
+
+
+def test_schedules_generate_write_and_replay(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "schedules.json"
+    assert (
+        main(
+            [
+                "schedules",
+                "corpus:deadlock_pair",
+                "--policy",
+                "stubborn",
+                "--coarsen",
+                "--sleep",
+                "--out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    text = capsys.readouterr().out
+    assert "classes=" in text and "replay-verified" in text
+    document = json.loads(out.read_text())
+    assert document["schema"] == "repro.schedules/1"
+    assert document["classes"] == len(document["schedules"])
+
+    # the written scheduler script replays standalone
+    assert (
+        main(["schedules", "corpus:deadlock_pair", "--replay", str(out)]) == 0
+    )
+    replay_out = capsys.readouterr().out
+    assert "ok" in replay_out
+
+    # replaying against the wrong program is a one-line typed error
+    assert (
+        main(["schedules", "corpus:mutex_counter", "--replay", str(out)]) == 2
+    )
+    assert "error:" in capsys.readouterr().err
+
+
+def test_schedules_sample_deterministic(tmp_path, capsys):
+    a = tmp_path / "a.json"
+    b = tmp_path / "b.json"
+    base = [
+        "schedules",
+        "corpus:philosophers_3",
+        "--coarsen",
+        "--sample",
+        "4",
+        "--seed",
+        "9",
+    ]
+    assert main(base + ["--out", str(a)]) == 0
+    assert main(base + ["--out", str(b)]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_schedules_perfetto_export(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "sched.perfetto.json"
+    assert (
+        main(
+            [
+                "schedules",
+                "corpus:fig2_shasha_snir",
+                "--coarsen",
+                "--perfetto",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    document = json.loads(out.read_text())
+    assert any(e.get("ph") == "X" for e in document["traceEvents"])
