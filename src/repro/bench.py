@@ -75,9 +75,14 @@ LOG = logging.getLogger("repro.bench")
 #: (:func:`run_schedules_bench` — canonical equivalence-class counts
 #: and edge-coverage of exhaustive vs seeded-sample schedule
 #: generation on the philosophers family; ``null`` when not run, and
-#: ignored by :func:`diff_reports` like ``serve``); :func:`load_report`
-#: still reads ``/1`` .. ``/5``.
-SCHEMA_VERSION = "repro.bench.explore/6"
+#: ignored by :func:`diff_reports` like ``serve``).  ``/7`` (this
+#: version) adds the always-present top-level ``progress`` section
+#: (:func:`run_progress_overhead` — the telemetry plane's cost:
+#: ns-per-``due()`` tick, ns-per-frame, and attached-vs-unattached
+#: exploration wall-clock; entirely wall-clock, so ignored by
+#: :func:`diff_reports`); :func:`load_report` still reads ``/1`` ..
+#: ``/6``.
+SCHEMA_VERSION = "repro.bench.explore/7"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
 COMPATIBLE_SCHEMAS = (
@@ -86,6 +91,7 @@ COMPATIBLE_SCHEMAS = (
     "repro.bench.explore/3",
     "repro.bench.explore/4",
     "repro.bench.explore/5",
+    "repro.bench.explore/6",
     SCHEMA_VERSION,
 )
 
@@ -638,8 +644,54 @@ def run_bench(
         "schedules": (
             run_schedules_bench(smoke=smoke) if schedules_bench else None
         ),
+        "progress": run_progress_overhead(),
     }
     return BenchReport(document=document)
+
+
+def run_progress_overhead(*, iters: int = 50_000) -> dict:
+    """The ``progress`` bench section: what the telemetry plane costs.
+
+    Two microbenchmarks (ns per :meth:`~repro.progress.ProgressEmitter.due`
+    tick on the quiet path, ns per emitted frame) plus an end-to-end
+    comparison: the same exploration bare vs with an attached emitter
+    whose interval never fires — the bounded-overhead contract the
+    tentpole promises.  Entirely wall-clock; :func:`diff_reports`
+    ignores it like the ``serve`` section.
+    """
+    from repro.programs.philosophers import philosophers
+    from repro.progress import ProgressEmitter
+
+    emitter = ProgressEmitter(interval_s=3600.0)
+    t0 = time.perf_counter()
+    for _ in range(iters):
+        emitter.due()
+    due_ns = (time.perf_counter() - t0) / iters * 1e9
+
+    emitter = ProgressEmitter(every=1, record_wall=False)
+    frames = max(iters // 10, 1)
+    t0 = time.perf_counter()
+    for i in range(frames):
+        emitter.emit("bench", configs=i)
+    emit_ns = (time.perf_counter() - t0) / frames * 1e9
+
+    program = philosophers(3)
+    opts = ExploreOptions(policy="stubborn", coarsen=True)
+    _, bare_s = _timed_explore(program, opts)
+    attached = ProgressEmitter(interval_s=3600.0)
+    _, attached_s = _timed_explore(program, opts, (attached,))
+    return {
+        "due_ns_per_tick": round(due_ns, 1),
+        "emit_ns_per_frame": round(emit_ns, 1),
+        "explore_bare_s": round(bare_s, 6),
+        "explore_attached_s": round(attached_s, 6),
+        "attached_overhead_pct": (
+            round((attached_s - bare_s) / bare_s * 100.0, 2)
+            if bare_s else None
+        ),
+        # interval never fires: only the unconditional done frame lands
+        "frames_emitted": attached.seq,
+    }
 
 
 def run_schedules_bench(*, smoke: bool = False) -> dict:
@@ -805,6 +857,7 @@ def upgrade_document(doc: dict) -> dict:
     doc.setdefault("scaling", {})
     doc.setdefault("serve", None)
     doc.setdefault("schedules", None)
+    doc.setdefault("progress", None)
     scaling = doc["scaling"]
     if scaling and "programs" not in scaling:
         # /3 layout: a bare name -> runs map, stubborn without coarsen,

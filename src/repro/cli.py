@@ -9,6 +9,7 @@
     repro explore FILE --resume PATH
     repro explore FILE --resilient [--time-limit S --max-rss-mb M]
     repro explore FILE --trace-out T.jsonl --metrics-out M.json
+    repro explore FILE --progress-out P.ndjson    # live telemetry frames
     repro schedules FILE [--sample N --seed S --out SCHED.json]
     repro schedules FILE --replay SCHED.json
     repro report T.jsonl [--metrics M.json --out R.html --perfetto P.json]
@@ -17,8 +18,10 @@
     repro corpus                  # list bundled programs
     repro demo NAME               # analyze a bundled program
     repro serve ADDRESS --store DIR      # crash-safe analysis service
-    repro submit FILE ADDRESS [--policy P --deadline S]
+    repro submit FILE ADDRESS [--policy P --deadline S --follow]
     repro submit ADDRESS --ping | --stats | --shutdown
+    repro watch P.ndjson | repro watch ADDRESS    # live dashboard
+    repro store gc --store DIR --max-bytes 256m --max-age 7d
 
 ``FILE`` may be a path or ``corpus:NAME`` for a bundled program.
 
@@ -49,6 +52,55 @@ def _load(spec: str):
         return CORPUS[name]()
     with open(spec, "r", encoding="utf-8") as fh:
         return parse_program(fh.read())
+
+
+def _progress_emitter(args):
+    """Build the ``--progress-out`` NDJSON-backed emitter (or None)."""
+    if not args.progress_out:
+        return None
+    from repro.progress import NdjsonSink, ProgressEmitter
+
+    try:
+        sink = NdjsonSink(args.progress_out)
+    except OSError as exc:
+        raise ReproError(
+            f"cannot write progress frames {args.progress_out!r}: {exc}"
+        )
+    return ProgressEmitter(
+        sink,
+        interval_s=args.progress_interval,
+        every=args.progress_every,
+    )
+
+
+def _parse_bytes(text: str) -> int:
+    """``500k`` / ``64m`` / ``2g`` → bytes (binary multiples)."""
+    t = text.strip().lower()
+    mult = 1
+    if t and t[-1] in "kmg":
+        mult = {"k": 2**10, "m": 2**20, "g": 2**30}[t[-1]]
+        t = t[:-1]
+    try:
+        return int(float(t) * mult)
+    except ValueError:
+        raise ReproError(
+            f"cannot parse size {text!r} (use e.g. 500k, 64m, 2g)"
+        )
+
+
+def _parse_age(text: str) -> float:
+    """``90s`` / ``15m`` / ``6h`` / ``7d`` → seconds."""
+    t = text.strip().lower()
+    mult = 1.0
+    if t and t[-1] in "smhd":
+        mult = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}[t[-1]]
+        t = t[:-1]
+    try:
+        return float(t) * mult
+    except ValueError:
+        raise ReproError(
+            f"cannot parse age {text!r} (use e.g. 90s, 15m, 6h, 7d)"
+        )
 
 
 def _cmd_parse(args) -> int:
@@ -126,6 +178,9 @@ def _cmd_explore(args) -> int:
             )
         tracer = Tracer(trace_sink)
         observers.append(TraceRecorder(tracer))
+    progress = _progress_emitter(args)
+    if progress is not None:
+        observers.append(progress)
 
     try:
         if args.resilient:
@@ -235,6 +290,8 @@ def _cmd_explore(args) -> int:
     finally:
         if trace_sink is not None:
             trace_sink.close()
+        if progress is not None:
+            progress.close()
 
     if metrics_ob is not None:
         import json
@@ -333,6 +390,9 @@ def _cmd_schedules(args) -> int:
             )
         tracer = Tracer(trace_sink)
         observers.append(TraceRecorder(tracer))
+    progress = _progress_emitter(args)
+    if progress is not None:
+        observers.append(progress)
 
     try:
         result = explore(prog, options=opts, observers=tuple(observers))
@@ -344,6 +404,7 @@ def _cmd_schedules(args) -> int:
             max_paths=args.max_paths or DEFAULT_MAX_PATHS,
             max_schedules=args.max_schedules or DEFAULT_MAX_SCHEDULES,
             metrics=registry,
+            progress=progress,
         )
         replayed = None
         if not args.no_verify:
@@ -389,6 +450,8 @@ def _cmd_schedules(args) -> int:
     finally:
         if trace_sink is not None:
             trace_sink.close()
+        if progress is not None:
+            progress.close()
 
     if args.out:
         try:
@@ -452,9 +515,20 @@ def _cmd_report(args) -> int:
                 f"{args.metrics}: missing 'metrics' key (expected the JSON "
                 "written by 'repro explore --metrics-out')"
             )
+    progress_frames = None
+    if args.progress:
+        from repro.progress import read_frames
+
+        progress_frames = read_frames(args.progress)
+        if not progress_frames:
+            raise ReproError(
+                f"{args.progress}: no progress frames (expected the NDJSON "
+                "written by 'repro explore --progress-out')"
+            )
     title = args.title or f"repro run report: {args.trace}"
     html = render_report(
-        trace_records=records, metrics=metrics, title=title
+        trace_records=records, metrics=metrics,
+        progress_frames=progress_frames, title=title,
     )
     try:
         with open(args.out, "w", encoding="utf-8") as fh:
@@ -604,9 +678,22 @@ def _cmd_serve(args) -> int:
             max_restarts=args.max_restarts,
             checkpoint_every=args.checkpoint_every,
             worker_watchdog_s=args.watchdog,
+            heartbeat_s=args.heartbeat if args.heartbeat > 0 else None,
+            progress_interval_s=args.progress_interval,
         ),
         metrics=registry,
     )
+    if args.drill_worker_kill:
+        # fault drill (CI's watch-smoke job): SIGKILL the first N
+        # workers mid-run; shared=True spans the forked workers, so
+        # each kill fires once and the restarted worker runs clean
+        from repro.resilience import chaos
+
+        inj = chaos.FaultInjector()
+        inj.arm(
+            "serve-worker-kill", times=args.drill_worker_kill, shared=True
+        )
+        chaos.install(inj)
 
     def ready() -> None:
         # parseable by scripts (and the CI smoke job) that must wait
@@ -664,12 +751,87 @@ def _cmd_submit(args) -> int:
         req["schedules"] = sched
     if args.deadline is not None:
         req["deadline_s"] = args.deadline
-    response = request(args.address, req, timeout=args.timeout)
+    if args.follow:
+        from repro.serve import request_stream
+        from repro.progress import render_frame
+
+        def on_frame(obj: dict) -> None:
+            frame = obj.get("frame")
+            if isinstance(frame, dict):
+                print(f"progress {render_frame(frame)}", flush=True)
+
+        response = request_stream(
+            args.address, req, timeout=args.timeout, on_frame=on_frame
+        )
+    else:
+        response = request(args.address, req, timeout=args.timeout)
     print(json.dumps(response, indent=1, sort_keys=True))
     if response.get("ok"):
         return 0
     # overload is transient back-off, not an error in the request
     return 3 if response.get("overloaded") else 2
+
+
+def _cmd_watch(args) -> int:
+    import os
+    import time
+
+    from repro.progress import (
+        read_frames,
+        render_file_dashboard,
+        render_stats_dashboard,
+    )
+
+    file_mode = os.path.isfile(args.target)
+
+    def render() -> str:
+        if file_mode:
+            return render_file_dashboard(
+                read_frames(args.target), source=args.target
+            )
+        from repro.serve import request
+
+        stats = request(
+            args.target, {"op": "stats"}, timeout=args.timeout
+        )
+        if not stats.get("ok"):
+            err = stats.get("error", {})
+            raise ReproError(
+                f"stats request failed: {err.get('message', stats)}"
+            )
+        return render_stats_dashboard(stats, source=args.target)
+
+    if args.once:
+        print(render())
+        return 0
+    clear = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+    try:
+        while True:
+            screen = render()
+            print(f"{clear}{screen}", flush=True)
+            if file_mode and "[complete]" in screen:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_store_gc(args) -> int:
+    from repro.serve import ResultStore
+
+    max_bytes = _parse_bytes(args.max_bytes) if args.max_bytes else None
+    max_age = _parse_age(args.max_age) if args.max_age else None
+    if max_bytes is None and max_age is None:
+        raise ReproError("pass --max-bytes and/or --max-age")
+    store = ResultStore(args.store)
+    out = store.gc(max_bytes=max_bytes, max_age_s=max_age)
+    print(
+        f"evicted {out['evicted_entries']} entries + "
+        f"{out['evicted_caches']} caches "
+        f"({out['freed_bytes']} bytes freed); "
+        f"kept {out['kept_items']} items ({out['kept_bytes']} bytes)"
+    )
+    return 0
 
 
 def _cmd_bench_diff(args) -> int:
@@ -761,6 +923,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="stream a structured span/event trace (JSONL) to "
                         "PATH; render it with 'repro report'")
+    p.add_argument("--progress-out", metavar="PATH", default=None,
+                   help="stream live progress frames (NDJSON) to PATH; "
+                        "tail them with 'repro watch PATH'")
+    p.add_argument("--progress-interval", type=float, default=1.0,
+                   metavar="S", help="seconds between progress frames "
+                        "(default: 1.0)")
+    p.add_argument("--progress-every", type=int, default=None, metavar="N",
+                   help="emit a frame every N driver steps instead of on "
+                        "a wall-clock interval (deterministic cadence)")
     p.set_defaults(fn=_cmd_explore)
 
     p = sub.add_parser(
@@ -808,6 +979,15 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--trace-out", metavar="PATH", default=None,
                    help="stream a structured trace (JSONL) to PATH; the "
                         "schedules.done event feeds 'repro report'")
+    p.add_argument("--progress-out", metavar="PATH", default=None,
+                   help="stream live progress frames (NDJSON) to PATH "
+                        "(exploration and enumeration both feed it)")
+    p.add_argument("--progress-interval", type=float, default=1.0,
+                   metavar="S", help="seconds between progress frames "
+                        "(default: 1.0)")
+    p.add_argument("--progress-every", type=int, default=None, metavar="N",
+                   help="emit a frame every N driver steps instead of on "
+                        "a wall-clock interval (deterministic cadence)")
     p.set_defaults(fn=_cmd_schedules)
 
     p = sub.add_parser(
@@ -818,6 +998,9 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("trace", help="JSONL trace from --trace-out")
     p.add_argument("--metrics", metavar="PATH", default=None,
                    help="metrics JSON from --metrics-out")
+    p.add_argument("--progress", metavar="PATH", default=None,
+                   help="progress frames NDJSON from --progress-out "
+                        "(renders the progress-timeline section)")
     p.add_argument("--out", default="report.html",
                    help="output HTML path (default: report.html)")
     p.add_argument("--perfetto", metavar="PATH", default=None,
@@ -917,6 +1100,17 @@ def main(argv: list[str] | None = None) -> int:
                    help="expansions between a job's snapshots")
     p.add_argument("--watchdog", type=float, default=300.0, metavar="S",
                    help="kill a worker running longer than S seconds")
+    p.add_argument("--heartbeat", type=float, default=2.0, metavar="S",
+                   help="surface a worker silent longer than S seconds as "
+                        "a 'progress.stalled' frame (0 disables)")
+    p.add_argument("--progress-interval", type=float, default=0.5,
+                   metavar="S",
+                   help="seconds between the live frames each worker "
+                        "ships (default: 0.5)")
+    p.add_argument("--drill-worker-kill", type=int, default=0, metavar="N",
+                   help="fault drill: SIGKILL the first N workers mid-run "
+                        "to exercise stall detection and checkpoint "
+                        "resume (CI)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -948,10 +1142,51 @@ def main(argv: list[str] | None = None) -> int:
                         "classes instead of exhaustive enumeration")
     p.add_argument("--seed", type=int, default=0,
                    help="with --schedules --sample: sampling seed")
+    p.add_argument("--follow", action="store_true",
+                   help="stream the job's live progress frames (one "
+                        "'progress ...' line each) before the final "
+                        "response; the result is identical either way")
     p.add_argument("--ping", action="store_true")
     p.add_argument("--stats", action="store_true")
     p.add_argument("--shutdown", action="store_true")
     p.set_defaults(fn=_cmd_submit)
+
+    p = sub.add_parser(
+        "watch",
+        help="live dashboard: tail a --progress-out frames file, or "
+        "poll a server's per-job live state",
+    )
+    p.add_argument("target",
+                   help="frames NDJSON path, or a server address "
+                        "(unix-socket path / host:port)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between refreshes (default: 1.0)")
+    p.add_argument("--once", action="store_true",
+                   help="render one screen and exit (scripts, tests)")
+    p.add_argument("--timeout", type=float, default=10.0, metavar="S",
+                   help="per-poll stats timeout in server mode")
+    p.set_defaults(fn=_cmd_watch)
+
+    p = sub.add_parser(
+        "store",
+        help="maintain a serve result store",
+    )
+    store_sub = p.add_subparsers(dest="store_cmd", required=True)
+    p = store_sub.add_parser(
+        "gc",
+        help="evict finished results and warm caches, least recently "
+        "hit first (quarantined artifacts and pending jobs are never "
+        "touched)",
+    )
+    p.add_argument("--store", required=True, metavar="DIR",
+                   help="store directory (as given to 'repro serve')")
+    p.add_argument("--max-bytes", default=None, metavar="N",
+                   help="evict oldest items until the store fits "
+                        "(suffixes: k, m, g)")
+    p.add_argument("--max-age", default=None, metavar="AGE",
+                   help="evict items idle longer than AGE "
+                        "(suffixes: s, m, h, d)")
+    p.set_defaults(fn=_cmd_store_gc)
 
     p = sub.add_parser("corpus", help="list bundled programs")
     p.set_defaults(fn=_cmd_corpus)

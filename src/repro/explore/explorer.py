@@ -300,6 +300,7 @@ def explore(
     if selector is not None and metrics is not None:
         selector.metrics = metrics
     tracer = _attached_tracer(observers)
+    progress = _attached_progress(observers)
 
     if opts.sleep:
         return _explore_sleep(
@@ -396,6 +397,16 @@ def explore(
         if metrics is not None:
             metrics.inc("explore.expansions")
             metrics.observe("explore.frontier_depth", len(queue))
+        if progress is not None and progress.due():
+            progress.emit(
+                "explore",
+                configs=graph.num_configs,
+                edges=graph.num_edges,
+                frontier=len(queue),
+                expansions=stats.expansions,
+                cache_hits=cache.hits if cache is not None else 0,
+                cache_misses=cache.misses if cache is not None else 0,
+            )
 
         status = _terminal_status_fast(config)
         if status is not None:
@@ -440,6 +451,7 @@ def explore(
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
         checkpointer, tracer, cache=cache, digest_base=digest_base,
+        progress=progress,
     )
 
 
@@ -471,6 +483,20 @@ def _attached_tracer(observers):
         tracer = getattr(ob, "tracer", None)
         if tracer is not None:
             return tracer
+    return None
+
+
+def _attached_progress(observers):
+    """The progress emitter of the first observer exposing one, or None.
+
+    Same duck-typed contract as :func:`_attached_registry` (attach a
+    :class:`repro.progress.ProgressEmitter`); None means every snapshot
+    site in the drivers is a single ``is not None`` test.
+    """
+    for ob in observers:
+        progress = getattr(ob, "progress", None)
+        if progress is not None:
+            return progress
     return None
 
 
@@ -666,6 +692,7 @@ def _mark_terminal(graph, cid, config, status, stats, guard) -> None:
 def _finalize(
     program, graph, stats, opts, access, selector, guard, metrics, t0,
     checkpointer=None, tracer=None, cache=None, digest_base=None,
+    progress=None,
 ) -> ExploreResult:
     """Stat finalization + ``on_done`` fan-out — shared by both drivers
     (including truncated runs, so observers always see completion)."""
@@ -697,6 +724,26 @@ def _finalize(
             terminated=stats.num_terminated,
             deadlocks=stats.num_deadlocks,
             faults=stats.num_faults,
+            truncated=stats.truncated,
+            reason=stats.truncation_reason,
+        )
+        if metrics is not None:
+            # surface ring-buffer truncation: a trace missing spans must
+            # be distinguishable from a complete one
+            dropped = sum(
+                getattr(s, "dropped", 0) for s in getattr(tracer, "sinks", ())
+            )
+            if dropped:
+                metrics.set_gauge("trace.dropped_spans", dropped)
+    if progress is not None:
+        progress.emit(
+            "done",
+            configs=stats.num_configs,
+            edges=stats.num_edges,
+            terminated=stats.num_terminated,
+            deadlocks=stats.num_deadlocks,
+            faults=stats.num_faults,
+            expansions=stats.expansions,
             truncated=stats.truncated,
             reason=stats.truncation_reason,
         )
@@ -781,6 +828,7 @@ def _explore_sleep(
     from repro.explore.sleepsets import entry_of, independent, transition_key
 
     tracer = _attached_tracer(observers)
+    progress = _attached_progress(observers)
     rounds = None
     if tracer is not None:
         from repro.trace.tracer import SpanChunker
@@ -875,6 +923,16 @@ def _explore_sleep(
         if metrics is not None:
             metrics.inc("explore.expansions")
             metrics.observe("explore.frontier_depth", len(stack))
+        if progress is not None and progress.due():
+            progress.emit(
+                "explore",
+                configs=graph.num_configs,
+                edges=graph.num_edges,
+                frontier=len(stack),
+                expansions=stats.expansions,
+                cache_hits=cache.hits if cache is not None else 0,
+                cache_misses=cache.misses if cache is not None else 0,
+            )
 
         status = _terminal_status_fast(config)
         if status is not None:
@@ -935,6 +993,7 @@ def _explore_sleep(
     return _finalize(
         program, graph, stats, opts, access, selector, guard, metrics, t0,
         checkpointer, tracer, cache=cache, digest_base=digest_base,
+        progress=progress,
     )
 
 

@@ -161,6 +161,10 @@ class _Shared:
         self.mode = ctx.RawValue("i", _RUN)
         self.engine_fault = ctx.RawValue("i", 0)
         self.qdepth = ctx.RawArray("q", nshards)
+        #: per-worker completed steal count, written by the thief alone
+        #: (live telemetry for the master's progress frames; the exact
+        #: total still comes from the summed worker stats at the end)
+        self.steals = ctx.RawArray("q", nshards)
 
     def apply(self, d_out=0, d_configs=0, d_expansions=0, d_susp=0) -> None:
         if not (d_out or d_configs or d_expansions or d_susp):
@@ -334,6 +338,7 @@ class _Worker:
             _, owner, tasks = msg
             self.awaiting_steal_since = None
             self.steals += 1
+            self.shared.steals[self.wid] = self.steals
             if self.wreg is not None:
                 # the parallel.steals *counter* is master-emitted from the
                 # summed stats; workers only record the batch-size shape
@@ -882,6 +887,7 @@ def _bfs_attempt(
     from repro.explore.explorer import (
         ExploreStats,
         _ObserverGuard,
+        _attached_progress,
         _attached_registry,
         _attached_tracer,
         _current_rss_bytes,
@@ -894,6 +900,7 @@ def _bfs_attempt(
     nshards = opts.jobs
     metrics = _attached_registry(observers)
     tracer = _attached_tracer(observers)
+    emitter = _attached_progress(observers)
     digest_base = digest_stats()
     access = _make_access(program, opts)
     fingerprint = program_fingerprint(program)
@@ -989,6 +996,20 @@ def _bfs_attempt(
                 metrics.observe(
                     "parallel.queue_depth",
                     sum(shared.qdepth[s] for s in range(nshards)),
+                )
+            if emitter is not None and emitter.due():
+                # shard depths and steal counts are scheduling-dependent
+                # (like ExploreStats.steals) — live telemetry, never part
+                # of the byte-stable final documents
+                depths = [shared.qdepth[s] for s in range(nshards)]
+                emitter.emit(
+                    "parallel",
+                    configs=shared.configs.value,
+                    expansions=shared.expansions.value,
+                    outstanding=shared.outstanding.value,
+                    frontier=sum(depths),
+                    shard_depths=depths,
+                    shard_steals=[shared.steals[s] for s in range(nshards)],
                 )
             if (
                 next_cp is not None
@@ -1086,7 +1107,7 @@ def _bfs_attempt(
             )
         result = _finalize(
             program, graph, stats, opts, access, None, guard, metrics, t0,
-            checkpointer, tracer, digest_base=digest_base,
+            checkpointer, tracer, digest_base=digest_base, progress=emitter,
         )
         stats.stubborn = merged_stubborn
         return result

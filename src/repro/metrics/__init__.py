@@ -56,7 +56,11 @@ from repro.metrics.registry import (
 #: (coverage accounting of canonical-schedule enumeration and seeded
 #: sampling) and ``schedules.replays`` / ``schedules.replay_failures``
 #: (the replay-verification harness).
-SCHEMA_VERSION = "repro.metrics/5"
+#: ``/6`` adds ``trace.dropped_spans`` (gauge): records lost to a full
+#: :class:`~repro.trace.RingBufferSink` — a truncated trace is no
+#: longer indistinguishable from a complete one — and
+#: ``serve.store_evictions`` (``repro store gc``).
+SCHEMA_VERSION = "repro.metrics/6"
 
 __all__ = [
     "Counter",

@@ -51,6 +51,7 @@ name                                    type       meaning
 ``explore.engine_faults``               counter    expansion crashes (dropped)
 ``resilience.escalations``              counter    ladder rung escalations
 ``resilience.final_rung``               gauge      rung index of the answer
+``trace.dropped_spans``                 gauge      records lost to a full ring
 ======================================  =========  =========================
 """
 

@@ -1,0 +1,42 @@
+"""Live telemetry plane: streamed in-run progress snapshots.
+
+Usage::
+
+    from repro.explore import explore
+    from repro.progress import NdjsonSink, ProgressEmitter
+
+    pe = ProgressEmitter(NdjsonSink("run.progress.ndjson"), interval_s=0.5)
+    result = explore(program, "stubborn", observers=(pe,))
+
+Every backend (serial BFS, sleep-set DFS, the parallel master, the
+resilience ladder, schedules enumeration) feeds an attached emitter
+with periodic snapshots; ``repro watch`` renders them live, and the
+analysis service streams them to ``repro submit --follow`` clients as
+interleaved NDJSON ``progress`` frames (protocol ``repro.serve/2``).
+Without an attached emitter the engine skips every site with one
+``is not None`` test.
+"""
+
+from repro.progress.emitter import (
+    SCHEMA_VERSION,
+    NdjsonSink,
+    PipeSink,
+    ProgressEmitter,
+    read_frames,
+)
+from repro.progress.watch import (
+    render_file_dashboard,
+    render_frame,
+    render_stats_dashboard,
+)
+
+__all__ = [
+    "NdjsonSink",
+    "PipeSink",
+    "ProgressEmitter",
+    "SCHEMA_VERSION",
+    "read_frames",
+    "render_file_dashboard",
+    "render_frame",
+    "render_stats_dashboard",
+]

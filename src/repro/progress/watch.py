@@ -1,0 +1,160 @@
+"""Rendering for ``repro watch``: one screen from live progress frames.
+
+Two sources, one dashboard:
+
+- a **frames file** (NDJSON written by ``--progress-out``) for local
+  runs — the file is re-read and re-rendered every interval, tolerant
+  of a partial final line;
+- a **server address** — the ``stats`` op of ``repro.serve/2`` exposes
+  per-job live state (each job's most recent frame), which renders as
+  a job table.
+
+Every function here is pure (frames/stats in, string out) so the
+dashboard is unit-testable without a terminal; the CLI owns the loop,
+the clearing escape codes, and the keyboard interrupt.
+"""
+
+from __future__ import annotations
+
+
+def _fmt_bytes(n) -> str:
+    try:
+        n = float(n)
+    except (TypeError, ValueError):
+        return "?"
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{int(n)} B"
+        n /= 1024
+    return f"{n:.1f} GiB"
+
+
+def _fmt_ms(ms) -> str:
+    try:
+        s = float(ms) / 1000.0
+    except (TypeError, ValueError):
+        return "?"
+    if s < 60:
+        return f"{s:.1f}s"
+    return f"{int(s // 60)}m{s % 60:04.1f}s"
+
+
+def _hit_rate(frame: dict) -> str:
+    hits = frame.get("cache_hits")
+    misses = frame.get("cache_misses")
+    if not isinstance(hits, int) or not isinstance(misses, int):
+        return ""
+    total = hits + misses
+    if total == 0:
+        return ""
+    return f"   cache {hits}/{total} ({hits / total:.0%} hit)"
+
+
+def render_frame(frame: dict) -> str:
+    """One frame as a compact single line (the ``--follow`` stream)."""
+    parts = [f"[{frame.get('phase', '?')}]"]
+    for name in ("rung", "configs", "edges", "frontier", "expansions",
+                 "paths", "classes", "outstanding"):
+        if name in frame:
+            parts.append(f"{name}={frame[name]}")
+    if "shard_depths" in frame:
+        parts.append("shards=" + "/".join(str(d) for d in frame["shard_depths"]))
+    if "shard_steals" in frame:
+        parts.append("steals=" + str(sum(frame["shard_steals"])))
+    hr = _hit_rate(frame)
+    if hr:
+        parts.append(hr.strip())
+    if "wall_ms" in frame:
+        parts.append(f"t={_fmt_ms(frame['wall_ms'])}")
+    if "wall_rss_bytes" in frame:
+        parts.append(f"rss={_fmt_bytes(frame['wall_rss_bytes'])}")
+    return "  ".join(parts)
+
+
+def render_file_dashboard(frames: list[dict], *, source: str = "") -> str:
+    """The single-screen dashboard for a frames file."""
+    lines = [f"repro watch — {source}" if source else "repro watch"]
+    if not frames:
+        lines.append("(no frames yet)")
+        return "\n".join(lines)
+    last = frames[-1]
+    phase = last.get("phase", "?")
+    done = any(f.get("phase") == "done" for f in frames)
+    lines.append(
+        f"phase {phase}"
+        + (f"   rung {last['rung']}" if "rung" in last else "")
+        + ("   [complete]" if done else "")
+    )
+    counters = []
+    for name in ("configs", "edges", "frontier", "expansions", "paths",
+                 "classes", "outstanding"):
+        if name in last:
+            counters.append(f"{name} {last[name]}")
+    if counters:
+        lines.append("   ".join(counters))
+    hr = _hit_rate(last)
+    if hr:
+        lines.append(hr.strip())
+    if "shard_depths" in last:
+        depths = last["shard_depths"]
+        steals = last.get("shard_steals", [])
+        lines.append(
+            "shards "
+            + " ".join(
+                f"w{i}:{d}" + (f"(+{steals[i]} stolen)" if i < len(steals) and steals[i] else "")
+                for i, d in enumerate(depths)
+            )
+        )
+    wall = []
+    if "wall_ms" in last:
+        wall.append(f"elapsed {_fmt_ms(last['wall_ms'])}")
+    if "wall_rss_bytes" in last:
+        wall.append(f"rss {_fmt_bytes(last['wall_rss_bytes'])}")
+    if wall:
+        lines.append("   ".join(wall))
+    lines.append(f"frames {len(frames)}   last seq {last.get('seq', '?')}")
+    return "\n".join(lines)
+
+
+def render_stats_dashboard(stats: dict, *, source: str = "") -> str:
+    """The single-screen dashboard for a server's ``stats`` response."""
+    lines = [f"repro watch — server {source}".rstrip()]
+    counters = stats.get("counters", {})
+    lines.append(
+        f"in-flight {stats.get('in_flight', '?')}"
+        f"   completed {counters.get('serve.jobs_completed', 0)}"
+        f"   failed {counters.get('serve.jobs_failed', 0)}"
+        f"   restarts {counters.get('serve.worker_restarts', 0)}"
+        f"   coalesced {counters.get('serve.coalesced', 0)}"
+    )
+    store = stats.get("store", {})
+    if store:
+        lines.append(
+            f"store hits {store.get('serve.store_hits', 0)}"
+            f"   misses {store.get('serve.store_misses', 0)}"
+            f"   evictions {store.get('serve.store_evictions', 0)}"
+        )
+    jobs = stats.get("jobs", {})
+    if not jobs:
+        lines.append("(no jobs in flight)")
+        return "\n".join(lines)
+    lines.append("")
+    lines.append(f"{'KEY':<14} {'PHASE':<10} {'KIND':<18} LIVE")
+    for key in sorted(jobs):
+        job = jobs[key] or {}
+        last = job.get("last") or {}
+        live = []
+        for name in ("configs", "expansions", "paths"):
+            if name in last:
+                live.append(f"{name}={last[name]}")
+        if "wall_ms" in last:
+            live.append(f"t={_fmt_ms(last['wall_ms'])}")
+        if job.get("followers"):
+            live.append(f"followers={job['followers']}")
+        lines.append(
+            f"{key[:12] + '..' if len(key) > 14 else key:<14} "
+            f"{str(last.get('phase', '-')):<10} "
+            f"{str(last.get('kind', '-')):<18} "
+            + " ".join(live)
+        )
+    return "\n".join(lines)

@@ -132,6 +132,17 @@ def _tracer_of(observers):
     return None
 
 
+def _progress_of(observers):
+    """Duck-typed progress-emitter discovery (same contract as the
+    exploration driver's ``_attached_progress``): the current rung rides
+    every frame, and rung transitions become ``ladder`` frames."""
+    for ob in observers:
+        progress = getattr(ob, "progress", None)
+        if progress is not None:
+            return progress
+    return None
+
+
 def _empty_result(program: Program, opts: ExploreOptions) -> ExploreResult:
     """A truthful zero-result for the pathological case where every rung
     crashed before producing anything."""
@@ -202,6 +213,7 @@ def explore_resilient(
         rungs = rungs[names.index(start):]
     metrics = _registry_of(observers)
     tracer = _tracer_of(observers)
+    progress = _progress_of(observers)
 
     escalations: list[Escalation] = []
     last: ExploreResult | None = None
@@ -222,6 +234,9 @@ def explore_resilient(
             max_rss_bytes=budgets.max_rss_bytes,
         )
         last_opts = opts
+        if progress is not None:
+            progress.set_context(rung=rung.name)
+            progress.emit("ladder", event="rung-start", rung=rung.name)
         try:
             result = explore(program, options=opts, observers=observers)
         except Exception as exc:  # engine bug: escalate, never propagate
@@ -260,6 +275,14 @@ def explore_resilient(
                 dst=esc.to_rung,
                 reason=esc.reason,
             )
+        if progress is not None:
+            progress.emit(
+                "ladder",
+                event="escalation",
+                src=esc.from_rung,
+                dst=esc.to_rung,
+                reason=esc.reason,
+            )
         # INFO, not WARNING: escalation is the ladder doing its job, and
         # the trail is already surfaced in stats/metrics/CLI output.
         LOG.info("escalating %s", esc.describe())
@@ -268,6 +291,9 @@ def explore_resilient(
     # the abstract fold if the ladder ends there.
     fold = None
     if rungs and rungs[-1].policy == "fold":
+        if progress is not None:
+            progress.set_context(rung=rungs[-1].name)
+            progress.emit("ladder", event="rung-start", rung=rungs[-1].name)
         try:
             fold = _run_fold(program, metrics, tracer)
         except Exception as exc:  # even the fold failed — stay truthful

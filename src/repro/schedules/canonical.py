@@ -295,6 +295,7 @@ def generate(
     max_paths: int = DEFAULT_MAX_PATHS,
     max_schedules: int = DEFAULT_MAX_SCHEDULES,
     metrics=None,
+    progress=None,
 ) -> ScheduleSet:
     """Enumerate one canonical schedule per equivalence class of
     *result*'s graph.
@@ -303,6 +304,9 @@ def generate(
     by ``seed`` and stops after ``N`` distinct classes.  Truncated
     explorations are rejected (:class:`ScheduleError`) — their graph is
     not the reduced state space, so the class set would be arbitrary.
+
+    *progress* is an optional :class:`repro.progress.ProgressEmitter`
+    fed ``schedules`` frames at its own cadence during the walk.
     """
     stats = result.stats
     if stats.truncated:
@@ -339,6 +343,13 @@ def generate(
             exhausted = False
             break
         num_paths += 1
+        if progress is not None and progress.due():
+            progress.emit(
+                "schedules",
+                paths=num_paths,
+                classes=len(schedules),
+                edges_covered=len(covered),
+            )
         steps = canonicalize([_edge_event(graph.edges[e]) for e in eids])
         key = tuple(s.key() for s in steps)
         if key in seen:

@@ -16,6 +16,7 @@ from repro.serve.server import (
     ReproServer,
     ServeOptions,
     request,
+    request_stream,
 )
 from repro.serve.store import ResultStore
 from repro.serve.worker import JobSpec, run_job
@@ -29,6 +30,7 @@ __all__ = [
     "cache_key",
     "options_from_request",
     "request",
+    "request_stream",
     "run_job",
     "store_key",
 ]

@@ -41,6 +41,25 @@ Crash-safety story (the tentpole):
 - **deadlines** ride the engine's own wall-clock budget
   (``time_limit_s``), so an expired job truncates gracefully and the
   client always gets a response — never a hang.
+
+Live telemetry (``repro.serve/2``):
+
+- every worker runs with a **progress pipe** back to the server; the
+  in-run :class:`~repro.progress.ProgressEmitter` frames it ships
+  become each job's live state (the ``stats`` op's ``jobs`` section);
+- a submit/schedules request carrying ``"follow": true`` receives the
+  frames **interleaved** before the final response, one
+  ``{"progress": true, "key": ..., "frame": {...}}`` line each — the
+  final response is the only line without ``"progress"`` (and is
+  byte-identical to the non-streaming response for the same job);
+- per-job **heartbeats**: a worker silent longer than ``heartbeat_s``
+  (hung) or whose pipe hits EOF without an outcome (SIGKILLed) surfaces
+  to followers as a typed ``progress.stalled`` frame within one
+  heartbeat interval — not only at watchdog expiry — followed by a
+  ``progress.resumed`` frame when the job restarts from checkpoint.
+
+``/1`` clients are unaffected: requests without ``follow`` behave
+exactly as before.
 """
 
 from __future__ import annotations
@@ -51,8 +70,10 @@ import logging
 import multiprocessing
 import os
 import socket
+import time
 from dataclasses import dataclass, field
 
+from repro.progress import SCHEMA_VERSION as PROGRESS_SCHEMA
 from repro.serve import keys
 from repro.serve.store import ResultStore
 from repro.serve.worker import JobSpec, run_job
@@ -61,7 +82,7 @@ from repro.util.errors import ReproError, ServeError
 LOG = logging.getLogger("repro.serve")
 
 #: Protocol version, echoed by ``ping``.
-PROTOCOL = "repro.serve/1"
+PROTOCOL = "repro.serve/2"
 
 #: Max request/response line length (a program source ships inline).
 _LINE_LIMIT = 2**22
@@ -82,6 +103,11 @@ class ServeOptions:
     #: seconds a worker may run without finishing before it is killed
     #: (and treated as crashed); None disables the watchdog
     worker_watchdog_s: float | None = 300.0
+    #: seconds of progress-pipe silence before a live worker is surfaced
+    #: to followers as ``progress.stalled`` (None disables heartbeats)
+    heartbeat_s: float | None = 2.0
+    #: seconds between the frames a worker ships (operational only)
+    progress_interval_s: float = 0.5
 
 
 @dataclass
@@ -91,6 +117,18 @@ class _Job:
     future: asyncio.Future
     waiters: int = 1
     task: asyncio.Task | None = None
+    #: follower fan-out queues (one per ``--follow`` client)
+    queues: list = field(default_factory=list)
+    #: the job's most recent progress frame (the ``stats`` live state)
+    live: dict | None = None
+
+
+def _progress_frame(kind: str, phase: str, key: str, **fields) -> dict:
+    frame = {
+        "schema": PROGRESS_SCHEMA, "kind": kind, "phase": phase, "key": key,
+    }
+    frame.update(fields)
+    return frame
 
 
 def _error(kind: str, message: str, **extra) -> dict:
@@ -151,9 +189,20 @@ class ReproServer:
         if op == "stats":
             return {
                 "ok": True,
+                "protocol": PROTOCOL,
                 "counters": dict(self.counters),
                 "store": self.store.counters(),
                 "in_flight": len(self._jobs),
+                # per-job live state: each in-flight job's most recent
+                # progress frame (what ``repro watch <server>`` renders)
+                "jobs": {
+                    key: {
+                        "waiters": job.waiters,
+                        "followers": len(job.queues),
+                        "last": job.live,
+                    }
+                    for key, job in self._jobs.items()
+                },
             }
         if op == "shutdown":
             self._shutdown.set()
@@ -203,20 +252,33 @@ class ReproServer:
     async def _submit_keyed(
         self, key, program, options, req, schedules=None
     ) -> dict:
+        response, job = self._admit_keyed(key, program, options, req, schedules)
+        if job is not None:
+            return await asyncio.shield(job.future)
+        return response
+
+    def _admit_keyed(
+        self, key, program, options, req, schedules=None
+    ) -> tuple[dict | None, "_Job | None"]:
+        """Admission control: exactly one of (ready response, live job).
+
+        Shared by the one-shot and the follow paths — a follower of a
+        coalesced job subscribes to the same frame fan-out as the
+        admitting client's."""
         # 1. durable store: a finished result replays without running
         payload = self.store.get_result(key)
         if payload is not None:
             response = dict(payload)
             response.update({"ok": True, "key": key, "cached": True})
             response.pop("schema", None)
-            return response
+            return response, None
 
         # 2. coalesce with an identical in-flight job
         job = self._jobs.get(key)
         if job is not None:
             self._inc("serve.coalesced")
             job.waiters += 1
-            return await asyncio.shield(job.future)
+            return None, job
 
         # 3. bounded admission: shed rather than queue unboundedly
         if len(self._jobs) >= self.options.max_pending:
@@ -226,7 +288,7 @@ class ReproServer:
                 f"{len(self._jobs)} jobs in flight (max_pending="
                 f"{self.options.max_pending}); retry later",
                 overloaded=True,
-            )
+            ), None
 
         # 4. durably record, then run
         spec = self._make_spec(
@@ -246,7 +308,99 @@ class ReproServer:
                    future=asyncio.get_running_loop().create_future())
         self._jobs[key] = job
         job.task = asyncio.ensure_future(self._run_job(job))
-        return await asyncio.shield(job.future)
+        return None, job
+
+    async def _submit_followed(self, req: dict, writer) -> None:
+        """A ``"follow": true`` submit/schedules request: stream each
+        live progress frame as its own NDJSON line, then the final
+        response — the only line without ``"progress"``.  The final
+        payload is built by the same :meth:`_publish`/store path as a
+        one-shot submit, so it is byte-identical to the non-streaming
+        response for the same job."""
+        self._inc("serve.requests")
+        self._inc("serve.submits")
+        schedules_op = req.get("op") == "schedules"
+        try:
+            program = _load_program_checked(req.get("program"))
+            options = keys.options_from_request(req.get("options"))
+            options = _apply_deadline(options, req.get("deadline_s"))
+            schedules = (
+                keys.schedule_options_from_request(req.get("schedules"))
+                if schedules_op
+                else None
+            )
+        except ReproError as exc:
+            writer.write(_encode(_error(type(exc).__name__, str(exc))))
+            await writer.drain()
+            return
+        if schedules_op:
+            self._inc("serve.schedules")
+            key = keys.schedules_key(program, options, schedules)
+        else:
+            key = keys.store_key(program, options)
+        span = (
+            self.tracer.begin_span("serve.job", key=key, follow=True)
+            if self.tracer is not None
+            else None
+        )
+        response = None
+        try:
+            response, job = self._admit_keyed(
+                key, program, options, req, schedules
+            )
+            if job is not None:
+                response = await self._follow_job(job, writer)
+        finally:
+            if span is not None:
+                self.tracer.end_span(
+                    span, ok=bool(response and response.get("ok"))
+                )
+        writer.write(_encode(response))
+        await writer.drain()
+
+    async def _follow_job(self, job: _Job, writer) -> dict:
+        """Relay *job*'s frames to one client until its future resolves
+        (queued frames drain before the final response is returned)."""
+        queue: asyncio.Queue = asyncio.Queue()
+        job.queues.append(queue)
+        fut = asyncio.shield(job.future)
+        try:
+            while not (fut.done() and queue.empty()):
+                if fut.done():
+                    frame = queue.get_nowait()
+                else:
+                    getter = asyncio.ensure_future(queue.get())
+                    await asyncio.wait(
+                        {getter, fut}, return_when=asyncio.FIRST_COMPLETED
+                    )
+                    if getter.done():
+                        frame = getter.result()
+                    else:
+                        getter.cancel()
+                        try:
+                            # the get may have raced its cancellation and
+                            # still hold a frame — losing it would skip one
+                            frame = await getter
+                        except asyncio.CancelledError:
+                            continue
+                writer.write(_encode(
+                    {"progress": True, "key": job.key, "frame": frame}
+                ))
+                await writer.drain()
+            return await fut
+        finally:
+            try:
+                job.queues.remove(queue)
+            except ValueError:
+                pass
+
+    def _job_frame(self, job: _Job, frame: dict) -> None:
+        """One live frame for *job*: record it as the job's live state
+        and fan it to every follower.  Scheduled onto the event loop via
+        ``call_soon_threadsafe`` from the worker babysitter thread."""
+        job.live = frame
+        for queue in list(job.queues):
+            queue.put_nowait(frame)
 
     def _make_spec(
         self, key, program, program_spec, raw_options, options,
@@ -271,6 +425,7 @@ class ReproServer:
             checkpoint_every=self.options.checkpoint_every,
             resume=resume,
             schedules=schedules,
+            progress_interval_s=self.options.progress_interval_s,
         )
 
     # ------------------------------------------------------------------
@@ -290,16 +445,32 @@ class ReproServer:
     async def _run_attempts(self, job: _Job) -> dict:
         loop = asyncio.get_running_loop()
         spec = job.spec
+
+        def on_frame(frame: dict, _job=job) -> None:
+            # runs in the babysitter's executor thread — hop to the loop
+            loop.call_soon_threadsafe(self._job_frame, _job, frame)
+
         async with self._sem:
             for attempt in range(self.options.max_restarts + 1):
+                if attempt:
+                    self._job_frame(job, _progress_frame(
+                        "progress.resumed", "resumed", job.key,
+                        attempt=attempt + 1,
+                    ))
                 outcome = await loop.run_in_executor(
                     None, _run_worker_process, spec,
-                    self.options.worker_watchdog_s,
+                    self.options.worker_watchdog_s, on_frame,
+                    self.options.heartbeat_s,
                 )
                 if outcome is not None:
                     return self._publish(job.key, outcome)
                 # crashed (or watchdog-killed): resume from checkpoint
                 self._inc("serve.worker_restarts")
+                self._job_frame(job, _progress_frame(
+                    "progress.stalled", "stalled", job.key,
+                    restarting=attempt < self.options.max_restarts,
+                    attempt=attempt + 1,
+                ))
                 LOG.warning(
                     "job %s worker died (attempt %d); resuming from "
                     "checkpoint", job.key, attempt + 1,
@@ -414,11 +585,23 @@ class ReproServer:
                 try:
                     req = json.loads(line)
                 except json.JSONDecodeError as exc:
-                    response = _error("bad-request", f"not JSON: {exc.msg}")
+                    writer.write(_encode(
+                        _error("bad-request", f"not JSON: {exc.msg}")
+                    ))
+                    await writer.drain()
                 else:
-                    response = await self.handle_request(req)
-                writer.write(_encode(response))
-                await writer.drain()
+                    if (
+                        isinstance(req, dict)
+                        and req.get("follow")
+                        and req.get("op") in ("submit", "schedules")
+                    ):
+                        # streaming path: frames + final response are
+                        # written by the follow handler itself
+                        await self._submit_followed(req, writer)
+                    else:
+                        response = await self.handle_request(req)
+                        writer.write(_encode(response))
+                        await writer.drain()
                 if self._shutdown.is_set():
                     break
         except (ConnectionResetError, BrokenPipeError):
@@ -500,8 +683,18 @@ def _apply_deadline(options, deadline_s):
     )
 
 
-def _run_worker_process(spec: JobSpec, watchdog_s: float | None):
+def _run_worker_process(
+    spec: JobSpec, watchdog_s: float | None, on_frame=None,
+    heartbeat_s: float | None = None,
+):
     """Fork + babysit one job worker (runs in an executor thread).
+
+    The worker ships live progress frames over a pipe; each one is
+    handed to *on_frame*.  A worker silent for longer than *heartbeat_s*
+    while still alive is surfaced as a ``progress.stalled`` frame (a
+    hung worker becomes visible within one heartbeat, long before the
+    watchdog fires); a SIGKILLed worker closes the pipe, so its death is
+    detected within one poll tick.
 
     Returns the worker's outcome dict, or None when it crashed, was
     watchdog-killed, or exited without leaving an outcome file."""
@@ -510,15 +703,64 @@ def _run_worker_process(spec: JobSpec, watchdog_s: float | None):
     except OSError:
         pass
     ctx = multiprocessing.get_context("fork")
-    proc = ctx.Process(target=run_job, args=(spec,), daemon=True)
+    recv, send = ctx.Pipe(duplex=False)
+    proc = ctx.Process(target=run_job, args=(spec, send), daemon=True)
     proc.start()
-    proc.join(watchdog_s)
-    if proc.is_alive():
-        LOG.warning("job %s worker exceeded the %ss watchdog; killing it",
-                    spec.key, watchdog_s)
-        proc.kill()
-        proc.join()
-        return None
+    send.close()  # child holds the only writer: its exit is our EOF
+    deadline = (
+        None if watchdog_s is None else time.monotonic() + watchdog_s
+    )
+    last_frame_t = time.monotonic()
+    stalled_sent = False
+    eof = False
+    while not eof:
+        try:
+            ready = recv.poll(0.05)
+        except OSError:
+            break
+        if ready:
+            try:
+                frame = recv.recv()
+            except (EOFError, OSError):
+                break  # pipe closed: normal exit, crash, or SIGKILL
+            last_frame_t = time.monotonic()
+            stalled_sent = False
+            if on_frame is not None and isinstance(frame, dict):
+                on_frame(frame)
+            continue
+        if not proc.is_alive():
+            break
+        now = time.monotonic()
+        if (
+            heartbeat_s is not None
+            and on_frame is not None
+            and not stalled_sent
+            and now - last_frame_t > heartbeat_s
+        ):
+            stalled_sent = True
+            on_frame(_progress_frame(
+                "progress.stalled", "stalled", spec.key,
+                wall_silence_s=round(now - last_frame_t, 3),
+            ))
+        if deadline is not None and now > deadline:
+            LOG.warning(
+                "job %s worker exceeded the %ss watchdog; killing it",
+                spec.key, watchdog_s,
+            )
+            proc.kill()
+            break
+    # drain frames that raced the exit, then reap
+    while True:
+        try:
+            if not recv.poll(0):
+                break
+            frame = recv.recv()
+        except (EOFError, OSError):
+            break
+        if on_frame is not None and isinstance(frame, dict):
+            on_frame(frame)
+    recv.close()
+    proc.join()
     try:
         with open(spec.outcome_path, "rb") as fh:
             import pickle
@@ -574,6 +816,59 @@ def request(address: str, req: dict, *, timeout: float = 300.0) -> dict:
         raise ServeError(
             f"no response from {address!r} within {timeout}s"
         )
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ServeError(f"broken exchange with {address!r}: {exc}")
+    finally:
+        conn.close()
+
+
+def request_stream(
+    address: str, req: dict, *, timeout: float = 300.0, on_frame=None
+) -> dict:
+    """A following submit: *on_frame* receives each interleaved
+    ``{"progress": true, ...}`` line as a dict; returns the final
+    (non-progress) response.
+
+    Sets ``follow=True`` on the request itself.  Against a ``/1``
+    server the flag is ignored and the final response arrives with zero
+    frames, so callers degrade gracefully.  *timeout* bounds each
+    silence between lines, not the whole exchange — a streaming job
+    resets it with every frame."""
+    req = dict(req)
+    req["follow"] = True
+    host_port = _parse_tcp(address)
+    try:
+        if host_port is not None:
+            conn = socket.create_connection(host_port, timeout=timeout)
+        else:
+            conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            conn.settimeout(timeout)
+            conn.connect(address)
+    except OSError as exc:
+        raise ServeError(f"cannot reach server at {address!r}: {exc}")
+    try:
+        conn.sendall(_encode(req))
+        buf = b""
+        while True:
+            chunk = conn.recv(65536)
+            if not chunk:
+                raise ServeError(
+                    f"server at {address!r} closed the connection "
+                    "mid-stream (it may have crashed; retry after restart)"
+                )
+            buf += chunk
+            while b"\n" in buf:
+                line, buf = buf.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                obj = json.loads(line)
+                if isinstance(obj, dict) and obj.get("progress"):
+                    if on_frame is not None:
+                        on_frame(obj)
+                    continue
+                return obj
+    except socket.timeout:
+        raise ServeError(f"no response from {address!r} within {timeout}s")
     except (OSError, json.JSONDecodeError) as exc:
         raise ServeError(f"broken exchange with {address!r}: {exc}")
     finally:

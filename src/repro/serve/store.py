@@ -96,6 +96,7 @@ class ResultStore:
         self.quarantined = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.evictions = 0
         for sub in ("entries", "caches", "jobs", "quarantine"):
             os.makedirs(os.path.join(root, sub), exist_ok=True)
         self._init_manifest()
@@ -228,6 +229,12 @@ class ResultStore:
             return None
         self.hits += 1
         self._inc("serve.store_hits")
+        try:
+            # meta.json's mtime is the entry's last-hit timestamp — the
+            # LRU ordering ``gc`` evicts by
+            os.utime(meta_path)
+        except OSError:
+            pass
         return payload
 
     def _quarantine(self, path: str) -> None:
@@ -350,6 +357,97 @@ class ResultStore:
         return out
 
     # ------------------------------------------------------------------
+    # eviction (``repro store gc``)
+    # ------------------------------------------------------------------
+
+    def gc(
+        self,
+        *,
+        max_bytes: int | None = None,
+        max_age_s: float | None = None,
+        now: float | None = None,
+    ) -> dict:
+        """Evict finished results and warm caches, LRU by last-hit
+        manifest timestamp (``meta.json``/cache-file mtime, refreshed on
+        every hit).
+
+        ``max_age_s`` first drops everything idle longer than that;
+        ``max_bytes`` then drops least-recently-hit items until the
+        survivors fit.  ``quarantine/`` and ``jobs/`` are never touched:
+        quarantined artifacts are evidence, and pending jobs are the
+        crash-recovery contract.  Returns eviction counts and byte
+        totals; never raises.
+        """
+        import shutil
+        import time as _time
+
+        now = _time.time() if now is None else now
+        items: list[tuple[float, int, str, str]] = []
+        entries_root = os.path.join(self.root, "entries")
+        try:
+            entry_keys = sorted(os.listdir(entries_root))
+        except OSError:
+            entry_keys = []
+        for key in entry_keys:
+            path = os.path.join(entries_root, key)
+            try:
+                last = os.path.getmtime(os.path.join(path, "meta.json"))
+            except OSError:
+                last = 0.0  # uncommitted half-entry: oldest, evicted first
+            items.append((last, _dir_size(path), "entry", path))
+        caches_root = os.path.join(self.root, "caches")
+        try:
+            cache_names = sorted(os.listdir(caches_root))
+        except OSError:
+            cache_names = []
+        for name in cache_names:
+            path = os.path.join(caches_root, name)
+            try:
+                st = os.stat(path)
+            except OSError:
+                continue
+            items.append((st.st_mtime, st.st_size, "cache", path))
+
+        evicted = {"entry": 0, "cache": 0}
+        freed = 0
+
+        def evict(item) -> None:
+            nonlocal freed
+            _last, size, kind, path = item
+            try:
+                if kind == "entry":
+                    shutil.rmtree(path, ignore_errors=True)
+                else:
+                    os.unlink(path)
+            except OSError:
+                return
+            evicted[kind] += 1
+            freed += size
+            self.evictions += 1
+            self._inc("serve.store_evictions")
+
+        survivors = []
+        for item in items:
+            if max_age_s is not None and now - item[0] > max_age_s:
+                evict(item)
+            else:
+                survivors.append(item)
+        if max_bytes is not None:
+            survivors.sort()  # least recently hit first
+            total = sum(item[1] for item in survivors)
+            while total > max_bytes and survivors:
+                item = survivors.pop(0)
+                evict(item)
+                total -= item[1]
+        return {
+            "evicted_entries": evicted["entry"],
+            "evicted_caches": evicted["cache"],
+            "freed_bytes": freed,
+            "kept_bytes": sum(item[1] for item in survivors),
+            "kept_items": len(survivors),
+        }
+
+    # ------------------------------------------------------------------
     # telemetry
     # ------------------------------------------------------------------
 
@@ -360,7 +458,21 @@ class ResultStore:
             "serve.store_puts": self.puts,
             "serve.store_put_failures": self.put_failures,
             "serve.store_quarantined": self.quarantined,
+            "serve.store_evictions": self.evictions,
         }
+
+
+def _dir_size(path: str) -> int:
+    total = 0
+    try:
+        for name in os.listdir(path):
+            try:
+                total += os.path.getsize(os.path.join(path, name))
+            except OSError:
+                continue
+    except OSError:
+        pass
+    return total
 
 
 def read_cache_file(path: str, *, store: ResultStore | None = None) -> dict | None:
@@ -401,6 +513,10 @@ def read_cache_file(path: str, *, store: ResultStore | None = None) -> dict | No
             except OSError:
                 pass
         return None
+    try:
+        os.utime(path)  # last-hit timestamp for ``ResultStore.gc``
+    except OSError:
+        pass
     if store is not None:
         store.cache_hits += 1
         store._inc("serve.cache_store_hits")

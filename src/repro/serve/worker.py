@@ -58,6 +58,9 @@ class JobSpec:
     #: request (:func:`repro.serve.keys.schedule_options_from_request`),
     #: or None for a plain submit
     schedules: dict | None = None
+    #: seconds between progress frames shipped over the server's
+    #: progress pipe (operational — frames never affect the outcome)
+    progress_interval_s: float = 0.5
 
     def resumed(self) -> "JobSpec":
         return replace(self, resume=True)
@@ -93,27 +96,39 @@ def load_program(spec: dict):
     )
 
 
-def run_job(spec: JobSpec) -> None:
+def run_job(spec: JobSpec, progress_conn=None) -> None:
     """Process entry point: execute *spec*, leave an outcome file.
 
     Never raises out (the server diagnoses a missing outcome file as a
     crash) — every representable failure becomes a typed error outcome
     instead.  The ``serve-worker-kill`` drill fires *before* any work
-    and hard-exits, modeling the kernel killing the job."""
+    and hard-exits, modeling the kernel killing the job.
+
+    *progress_conn* is the worker's end of the server's progress pipe
+    (``repro.serve/2``); live frames ship through it, and closing it is
+    also the server's normal-exit signal.  Frames are pure telemetry —
+    the outcome is byte-identical with or without the pipe attached."""
     try:
         chaos.kick("serve-worker-kill")
     except chaos.ChaosFault:
         os._exit(KILLED_EXIT)
     try:
-        outcome = _execute(spec)
-    except ReproError as exc:
-        outcome = {
-            "schema": OUTCOME_SCHEMA,
-            "key": spec.key,
-            "ok": False,
-            "error": {"type": type(exc).__name__, "message": str(exc)},
-        }
-    _write_outcome(spec.outcome_path, outcome)
+        try:
+            outcome = _execute(spec, progress_conn)
+        except ReproError as exc:
+            outcome = {
+                "schema": OUTCOME_SCHEMA,
+                "key": spec.key,
+                "ok": False,
+                "error": {"type": type(exc).__name__, "message": str(exc)},
+            }
+        _write_outcome(spec.outcome_path, outcome)
+    finally:
+        if progress_conn is not None:
+            try:
+                progress_conn.close()
+            except OSError:
+                pass
 
 
 def _write_outcome(path: str, outcome: dict) -> None:
@@ -126,7 +141,7 @@ def _write_outcome(path: str, outcome: dict) -> None:
     os.replace(tmp, path)
 
 
-def _execute(spec: JobSpec) -> dict:
+def _execute(spec: JobSpec, progress_conn=None) -> dict:
     from repro.bench import result_digest
     from repro.explore import explore
     from repro.explore.memo import ExpandCache
@@ -156,11 +171,27 @@ def _execute(spec: JobSpec) -> dict:
         resume_from = spec.checkpoint_path
 
     metrics_ob = MetricsObserver()
+    observers: tuple = (metrics_ob,)
+    emitter = None
+    if progress_conn is not None:
+        from repro.progress import PipeSink, ProgressEmitter
+
+        emitter = ProgressEmitter(
+            PipeSink(progress_conn), interval_s=spec.progress_interval_s
+        )
+        emitter.set_context(key=spec.key)
+        # an immediate frame: even an instant job yields start + done
+        emitter.emit(
+            "start",
+            resume=resume_from is not None,
+            schedules=spec.schedules is not None,
+        )
+        observers = (metrics_ob, emitter)
     try:
         result = explore(
             program,
             options=options,
-            observers=(metrics_ob,),
+            observers=observers,
             checkpointer=checkpointer,
             resume_from=resume_from,
             expand_cache=cache,
@@ -176,7 +207,7 @@ def _execute(spec: JobSpec) -> dict:
         result = explore(
             program,
             options=options,
-            observers=(metrics_ob,),
+            observers=observers,
             checkpointer=checkpointer,
             expand_cache=cache,
         )
@@ -223,6 +254,7 @@ def _execute(spec: JobSpec) -> dict:
             max_paths=spec.schedules["max_paths"],
             max_schedules=spec.schedules["max_schedules"],
             metrics=metrics_ob.registry,
+            progress=emitter,
         )
         verify_set(result, sset, metrics=metrics_ob.registry)
         outcome["schedules"] = schedule_document(sset)

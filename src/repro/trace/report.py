@@ -12,6 +12,9 @@ diffed.  Sections:
 - **schedule generation** — class counts and coverage from ``repro
   schedules`` runs (the ``schedules.done`` event / ``schedules.*``
   metric series);
+- **progress timeline** — sampled in-run telemetry frames (``repro
+  explore --progress-out`` / the serve progress stream), showing how
+  the frontier and the cache hit rate evolved over the run;
 - **span timings** — per-name aggregates (count, total/mean/max
   wall-clock when recorded, total sequence extent otherwise);
 - **events** — per-name counts with the most recent attributes of the
@@ -195,6 +198,75 @@ def _schedules_section(records, metrics: dict | None) -> str:
     )
 
 
+def _sample_rows(rows, limit: int = 40) -> list:
+    """Evenly sample *rows* down to *limit*, always keeping the first
+    and last entries so the timeline endpoints survive."""
+    if len(rows) <= limit:
+        return list(rows)
+    step = (len(rows) - 1) / (limit - 1)
+    picked = [rows[round(i * step)] for i in range(limit)]
+    picked[-1] = rows[-1]
+    return picked
+
+
+def _progress_section(frames) -> str:
+    """The live-telemetry timeline: one row per sampled progress frame
+    (:mod:`repro.progress`), so a finished report still shows how the
+    run *got* there — frontier growth, cache warm-up, ladder rungs."""
+    frames = [f for f in frames if isinstance(f, dict)]
+    if not frames:
+        return ""
+    rows = []
+    for f in frames:
+        hits = f.get("cache_hits")
+        misses = f.get("cache_misses")
+        rate = ""
+        if hits is not None and misses is not None and hits + misses:
+            rate = f"{hits / (hits + misses):.3f}"
+        wall = f.get("wall_ms")
+        rows.append((
+            f.get("seq", ""),
+            f.get("phase", ""),
+            f.get("rung", ""),
+            f.get("configs", ""),
+            f.get("edges", ""),
+            f.get("frontier", ""),
+            rate,
+            f"{wall / 1000:.2f} s" if isinstance(wall, (int, float)) else "",
+        ))
+    sampled = _sample_rows(rows)
+    note = ""
+    if len(sampled) < len(rows):
+        note = (f"<p class=\"meta\">{len(rows)} frames recorded; "
+                f"{len(sampled)} shown (evenly sampled).</p>")
+    return (
+        "<h2>Progress timeline</h2>" + note + _table(
+            ("seq", "phase", "rung", "configs", "edges", "frontier",
+             "hit rate", "elapsed"),
+            sampled,
+            numeric=(0, 3, 4, 5, 6, 7),
+        )
+    )
+
+
+def _dropped_spans_warning(metrics: dict | None) -> str:
+    if not metrics:
+        return ""
+    data = metrics.get("trace.dropped_spans")
+    if not data:
+        return ""
+    dropped = data.get("value") or 0
+    if not dropped:
+        return ""
+    return (
+        f"<p><strong>Warning:</strong> the trace ring buffer overflowed — "
+        f"{_esc(dropped)} records were dropped "
+        f"(<code>trace.dropped_spans</code>).  Span counts and the event "
+        "table below undercount the run; raise the ring capacity or use "
+        "an NDJSON sink for a complete trace.</p>"
+    )
+
+
 def _escalation_section(records) -> str:
     escalations = _events_of(records, "resilience.escalation")
     answered = _events_of(records, "resilience.answered")
@@ -318,14 +390,17 @@ def render_report(
     *,
     trace_records=None,
     metrics: dict | None = None,
+    progress_frames=None,
     title: str = "repro run report",
 ) -> str:
     """Render the self-contained HTML run report.
 
     ``trace_records`` is a record sequence (e.g. from
     :func:`~repro.trace.sinks.read_trace`); ``metrics`` is a registry
-    snapshot dict (``MetricsRegistry.snapshot()``).  Either may be
-    omitted; the corresponding sections degrade to a note.
+    snapshot dict (``MetricsRegistry.snapshot()``);
+    ``progress_frames`` is a frame sequence (e.g. from
+    :func:`repro.progress.read_frames`).  Any may be omitted; the
+    corresponding sections degrade to a note or disappear.
     """
     records = list(trace_records) if trace_records is not None else []
     spans = _span_aggregates(records)
@@ -334,10 +409,12 @@ def render_report(
         f'<p class="meta">trace schema <code>{_esc(SCHEMA_VERSION)}</code>'
         f" &middot; {len(records)} records &middot; "
         f"{sum(r[1] for r in spans)} spans</p>",
+        _dropped_spans_warning(metrics),
         _outcome_section(records),
         _escalation_section(records),
         _witness_section(records),
         _schedules_section(records, metrics),
+        _progress_section(progress_frames or []),
     ]
     if spans:
         body.append("<h2>Span timings</h2>")

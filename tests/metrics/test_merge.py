@@ -134,3 +134,24 @@ def test_merge_round_trips_through_json():
     a.merge(wire)
     direct.merge(b.snapshot())
     assert a.snapshot() == direct.snapshot()
+
+
+def test_merge_empty_registry_into_populated_is_identity():
+    a = MetricsRegistry()
+    a.inc("explore.expansions", 5)
+    a.set_gauge("explore.peak_rss_bytes", 42)
+    a.observe("explore.frontier_size", 7)
+    before = a.snapshot()
+    a.merge(MetricsRegistry().snapshot())
+    assert a.snapshot() == before
+
+
+def test_partial_snapshot_leaves_unrelated_instruments_intact():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.inc("explore.expansions", 5)
+    a.set_gauge("explore.peak_rss_bytes", 42)
+    b.inc("explore.edges", 3)  # disjoint instrument set
+    a.merge(b.snapshot())
+    assert a.value("explore.expansions") == 5
+    assert a.value("explore.peak_rss_bytes") == 42
+    assert a.value("explore.edges") == 3

@@ -1,0 +1,100 @@
+"""Progress frames must never violate the determinism contract.
+
+Two bars, mirroring the trace plane's (tests/trace/test_determinism.py):
+
+1. attaching an emitter must not change any result — digests and trace
+   streams are byte-identical with and without one;
+2. under a count-based cadence (``every=N``) the wall-stripped frame
+   stream itself is byte-stable run to run, including truncated and
+   chaos-interrupted runs.
+"""
+
+from __future__ import annotations
+
+from repro.bench import result_digest
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.progress import ProgressEmitter
+from repro.resilience import chaos
+from repro.trace.tracer import encode_record, strip_wall
+
+OPTS = ExploreOptions(policy="stubborn", coarsen=True)
+
+
+def _frame_stream(program, opts=OPTS, every=20, observers=()):
+    em = ProgressEmitter(every=every)
+    explore(program, options=opts, observers=(em, *observers))
+    return [encode_record(strip_wall(f)) for f in em.frames]
+
+
+def test_emitter_does_not_change_the_result():
+    program = CORPUS["philosophers_3"]()
+    bare = explore(program, options=OPTS)
+    em = ProgressEmitter(every=10)
+    watched = explore(program, options=OPTS, observers=(em,))
+    assert result_digest(bare) == result_digest(watched)
+    assert bare.stats.num_configs == watched.stats.num_configs
+    assert em.seq >= 2  # periodic frames plus the final done frame
+
+
+def test_emitter_does_not_change_the_trace_stream():
+    from repro.trace import ListSink, TraceRecorder, Tracer
+
+    program = CORPUS["mutex_counter"]()
+
+    def traced(observers):
+        sink = ListSink()
+        recorder = TraceRecorder(Tracer(sink))
+        explore(program, options=OPTS, observers=(recorder, *observers))
+        return [encode_record(strip_wall(r)) for r in sink.records()]
+
+    assert traced(()) == traced((ProgressEmitter(every=5),))
+
+
+def test_stripped_frames_are_byte_stable():
+    program = CORPUS["philosophers_3"]()
+    assert _frame_stream(program) == _frame_stream(program)
+
+
+def test_sleep_driver_frames_are_byte_stable():
+    program = CORPUS["philosophers_3"]()
+    opts = ExploreOptions(policy="stubborn", coarsen=True, sleep=True)
+    a = _frame_stream(program, opts=opts, every=10)
+    b = _frame_stream(program, opts=opts, every=10)
+    assert a == b and len(a) >= 2
+
+
+def test_budget_truncated_run_frames_are_byte_stable():
+    program = CORPUS["philosophers_3"]()
+    opts = ExploreOptions(policy="stubborn", coarsen=True, max_configs=40)
+    a = _frame_stream(program, opts=opts, every=5)
+    b = _frame_stream(program, opts=opts, every=5)
+    assert a == b
+    import json
+
+    done = json.loads(a[-1])
+    assert done["phase"] == "done" and done["truncated"]
+    assert done["reason"] == "configs"
+
+
+def test_chaos_interrupted_run_frames_are_byte_stable():
+    program = CORPUS["mutex_counter"]()
+
+    def stream():
+        with chaos.injected("eval", after=10, times=2):
+            return _frame_stream(program, every=5)
+
+    assert stream() == stream()
+
+
+def test_done_frame_matches_the_result_stats():
+    import json
+
+    program = CORPUS["mutex_counter"]()
+    em = ProgressEmitter(every=1000)
+    result = explore(program, options=OPTS, observers=(em,))
+    done = json.loads(encode_record(em.frames[-1]))
+    assert done["phase"] == "done"
+    assert done["configs"] == result.stats.num_configs
+    assert done["edges"] == result.stats.num_edges
+    assert done["deadlocks"] == result.stats.num_deadlocks

@@ -1,0 +1,174 @@
+"""The ProgressEmitter itself: cadence, context, sink isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.progress import (
+    SCHEMA_VERSION,
+    NdjsonSink,
+    ProgressEmitter,
+    read_frames,
+)
+
+
+class ListSink:
+    def __init__(self):
+        self.frames = []
+        self.closed = False
+
+    def emit(self, frame):
+        self.frames.append(frame)
+
+    def close(self):
+        self.closed = True
+
+
+class RaisingSink:
+    def emit(self, frame):
+        raise RuntimeError("sink exploded")
+
+
+# --------------------------------------------------------------------------
+# cadence
+# --------------------------------------------------------------------------
+
+
+def test_count_cadence_is_deterministic():
+    em = ProgressEmitter(every=3)
+    owed = [em.due() for _ in range(9)]
+    assert owed == [False, False, True] * 3
+
+
+def test_wall_cadence_uses_the_injected_clock():
+    t = [0.0]
+    em = ProgressEmitter(interval_s=1.0, clock=lambda: t[0])
+    assert not em.due()
+    t[0] = 0.5
+    assert not em.due()
+    t[0] = 1.0
+    assert em.due()
+    assert not em.due()  # re-armed for one interval later
+    t[0] = 2.3
+    assert em.due()
+
+
+def test_emit_bypasses_cadence():
+    em = ProgressEmitter(every=1000)
+    frame = em.emit("done", configs=4)
+    assert frame["phase"] == "done" and frame["configs"] == 4
+
+
+# --------------------------------------------------------------------------
+# frames
+# --------------------------------------------------------------------------
+
+
+def test_frame_shape_and_seq():
+    em = ProgressEmitter(record_wall=False)
+    f0 = em.emit("explore", configs=1)
+    f1 = em.emit("explore", configs=2)
+    assert f0["schema"] == SCHEMA_VERSION
+    assert f0["kind"] == "progress"
+    assert (f0["seq"], f1["seq"]) == (0, 1)
+    assert "wall_ms" not in f0 and "wall_rss_bytes" not in f0
+
+
+def test_wall_fields_are_wall_prefixed():
+    from repro.trace.tracer import strip_wall
+
+    em = ProgressEmitter()
+    frame = em.emit("explore", configs=1)
+    assert frame["wall_ms"] >= 0
+    assert frame["wall_rss_bytes"] > 0
+    stripped = strip_wall(frame)
+    assert "wall_ms" not in stripped and "wall_rss_bytes" not in stripped
+    assert stripped["configs"] == 1
+
+
+def test_set_context_sticks_and_none_removes():
+    em = ProgressEmitter(record_wall=False)
+    em.set_context(rung="stubborn", key="abc")
+    frame = em.emit("ladder")
+    assert frame["rung"] == "stubborn" and frame["key"] == "abc"
+    em.set_context(rung=None)
+    frame = em.emit("ladder")
+    assert "rung" not in frame and frame["key"] == "abc"
+
+
+def test_explicit_fields_override_context():
+    em = ProgressEmitter(record_wall=False)
+    em.set_context(rung="old")
+    assert em.emit("ladder", rung="new")["rung"] == "new"
+
+
+def test_frames_deque_is_bounded():
+    em = ProgressEmitter(record_wall=False, keep=4)
+    for i in range(10):
+        em.emit("explore", configs=i)
+    assert len(em.frames) == 4
+    assert em.frames[-1]["configs"] == 9
+
+
+# --------------------------------------------------------------------------
+# sinks
+# --------------------------------------------------------------------------
+
+
+def test_raising_sink_is_disabled_not_fatal():
+    good = ListSink()
+    em = ProgressEmitter(RaisingSink(), good)
+    em.emit("explore", configs=1)
+    em.emit("explore", configs=2)
+    assert em.sink_failures == 1
+    assert len(em.sinks) == 1
+    assert [f["configs"] for f in good.frames] == [1, 2]
+
+
+def test_close_reaches_sinks_and_tolerates_missing_close():
+    class NoClose:
+        def emit(self, frame):
+            pass
+
+    good = ListSink()
+    em = ProgressEmitter(good, NoClose())
+    em.close()
+    assert good.closed
+
+
+def test_ndjson_roundtrip(tmp_path):
+    path = str(tmp_path / "frames.ndjson")
+    sink = NdjsonSink(path)
+    em = ProgressEmitter(sink, record_wall=False)
+    em.emit("explore", configs=3)
+    em.emit("done", configs=5)
+    em.close()
+    frames = read_frames(path)
+    assert [f["phase"] for f in frames] == ["explore", "done"]
+    assert frames[1]["configs"] == 5
+
+
+def test_read_frames_skips_partial_tail(tmp_path):
+    path = tmp_path / "frames.ndjson"
+    path.write_text('{"phase": "explore", "seq": 0}\n{"phase": "trunc')
+    frames = read_frames(str(path))
+    assert len(frames) == 1 and frames[0]["seq"] == 0
+
+
+def test_read_frames_missing_file_is_empty():
+    assert read_frames("/nonexistent/frames.ndjson") == []
+
+
+def test_observer_callbacks_are_noops():
+    em = ProgressEmitter()
+    em.on_config(None, 0, None, True, None)
+    em.on_edge(None, 0, 1, [])
+    em.on_done(None)
+    assert em.seq == 0
+
+
+@pytest.mark.parametrize("every", [1, 7])
+def test_count_cadence_period(every):
+    em = ProgressEmitter(every=every)
+    fires = sum(em.due() for _ in range(every * 5))
+    assert fires == 5

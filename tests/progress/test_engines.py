@@ -1,0 +1,94 @@
+"""Every backend feeds the telemetry plane: parallel master, the
+resilience ladder, and schedule enumeration."""
+
+from __future__ import annotations
+
+from repro.bench import result_digest
+from repro.explore import ExploreOptions, explore
+from repro.programs.corpus import CORPUS
+from repro.progress import ProgressEmitter
+
+
+def test_parallel_backend_emits_shard_frames():
+    program = CORPUS["philosophers_3"]()
+    opts = ExploreOptions(
+        policy="stubborn", coarsen=True, backend="parallel", jobs=2
+    )
+    # a zero interval makes every drive-loop tick due — the parallel
+    # cadence is wall-clock (master-side), not count-based
+    em = ProgressEmitter(interval_s=0.0)
+    result = explore(program, options=opts, observers=(em,))
+    parallel = [f for f in em.frames if f["phase"] == "parallel"]
+    assert parallel, "the drive loop never emitted"
+    frame = parallel[-1]
+    assert len(frame["shard_depths"]) == 2
+    assert len(frame["shard_steals"]) == 2
+    assert frame["configs"] >= 0 and "outstanding" in frame
+    done = em.frames[-1]
+    assert done["phase"] == "done"
+    assert done["configs"] == result.stats.num_configs
+
+
+def test_parallel_emitter_does_not_change_the_result():
+    program = CORPUS["philosophers_3"]()
+    opts = ExploreOptions(
+        policy="stubborn", coarsen=True, backend="parallel", jobs=2
+    )
+    bare = explore(program, options=opts)
+    em = ProgressEmitter(interval_s=0.0)
+    watched = explore(program, options=opts, observers=(em,))
+    assert result_digest(bare) == result_digest(watched)
+    assert bare.stats.num_configs == watched.stats.num_configs
+
+
+def test_ladder_emits_rung_frames_and_context():
+    from repro.resilience import explore_resilient
+
+    em = ProgressEmitter(every=10)
+    rr = explore_resilient(CORPUS["mutex_counter"](), observers=(em,))
+    assert rr.exact
+    ladder = [f for f in em.frames if f["phase"] == "ladder"]
+    assert ladder and ladder[0]["event"] == "rung-start"
+    assert ladder[0]["rung"] == rr.rung
+    # the rung context sticks to the engine's own frames too
+    done = [f for f in em.frames if f["phase"] == "done"]
+    assert done and done[-1]["rung"] == rr.rung
+
+
+def test_ladder_escalation_frames_name_the_rungs():
+    from repro.resilience import Budgets, explore_resilient
+
+    em = ProgressEmitter(every=50)
+    rr = explore_resilient(
+        CORPUS["philosophers_3"](),
+        budgets=Budgets(max_configs=60),
+        observers=(em,),
+    )
+    escalations = [
+        f for f in em.frames
+        if f["phase"] == "ladder" and f["event"] == "escalation"
+    ]
+    assert escalations, "budget exhaustion never surfaced as a frame"
+    assert escalations[0]["src"] and escalations[0]["dst"]
+    starts = [
+        f["rung"] for f in em.frames
+        if f["phase"] == "ladder" and f["event"] == "rung-start"
+    ]
+    assert rr.rung in starts
+
+
+def test_schedules_enumeration_emits_path_frames():
+    from repro.schedules import generate
+
+    program = CORPUS["philosophers_3"]()
+    result = explore(
+        program, options=ExploreOptions(policy="stubborn", coarsen=True)
+    )
+    em = ProgressEmitter(every=2)
+    sset = generate(result, progress=em)
+    frames = [f for f in em.frames if f["phase"] == "schedules"]
+    assert frames
+    assert frames[-1]["paths"] <= sset.num_paths
+    assert frames[-1]["classes"] <= sset.num_classes
+    # progress attachment must not perturb generation
+    assert generate(result).num_classes == sset.num_classes

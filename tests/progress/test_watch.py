@@ -1,0 +1,88 @@
+"""The watch renderers: pure frames/stats → screen strings."""
+
+from __future__ import annotations
+
+from repro.progress import (
+    render_file_dashboard,
+    render_frame,
+    render_stats_dashboard,
+)
+
+
+def test_render_frame_compact_line():
+    line = render_frame({
+        "phase": "explore", "configs": 120, "edges": 300, "frontier": 17,
+        "cache_hits": 30, "cache_misses": 10,
+        "wall_ms": 1500.0, "wall_rss_bytes": 50 * 2**20,
+    })
+    assert line.startswith("[explore]")
+    assert "configs=120" in line and "frontier=17" in line
+    assert "75% hit" in line
+    assert "t=1.5s" in line and "rss=50.0 MiB" in line
+
+
+def test_render_frame_parallel_fields():
+    line = render_frame({
+        "phase": "parallel", "configs": 10,
+        "shard_depths": [3, 0, 5], "shard_steals": [1, 2, 0],
+    })
+    assert "shards=3/0/5" in line and "steals=3" in line
+
+
+def test_file_dashboard_empty():
+    screen = render_file_dashboard([], source="p.ndjson")
+    assert "p.ndjson" in screen and "no frames yet" in screen
+
+
+def test_file_dashboard_complete_run():
+    frames = [
+        {"phase": "explore", "seq": 0, "configs": 10, "frontier": 4},
+        {"phase": "done", "seq": 1, "configs": 79, "edges": 88,
+         "wall_ms": 250.0, "wall_rss_bytes": 1 << 20},
+    ]
+    screen = render_file_dashboard(frames, source="x")
+    assert "[complete]" in screen
+    assert "configs 79" in screen and "edges 88" in screen
+    assert "frames 2" in screen and "last seq 1" in screen
+
+
+def test_file_dashboard_shards_and_rung():
+    frames = [{
+        "phase": "parallel", "seq": 3, "rung": "stubborn+coarsen",
+        "shard_depths": [2, 7], "shard_steals": [0, 4],
+    }]
+    screen = render_file_dashboard(frames)
+    assert "rung stubborn+coarsen" in screen
+    assert "w0:2" in screen and "w1:7(+4 stolen)" in screen
+
+
+def test_stats_dashboard_idle_server():
+    stats = {
+        "ok": True, "in_flight": 0,
+        "counters": {"serve.jobs_completed": 5, "serve.jobs_failed": 0,
+                     "serve.worker_restarts": 1, "serve.coalesced": 2},
+        "store": {"serve.store_hits": 3, "serve.store_misses": 4,
+                  "serve.store_evictions": 1},
+        "jobs": {},
+    }
+    screen = render_stats_dashboard(stats, source="/tmp/s.sock")
+    assert "completed 5" in screen and "restarts 1" in screen
+    assert "store hits 3" in screen and "evictions 1" in screen
+    assert "no jobs in flight" in screen
+
+
+def test_stats_dashboard_job_table():
+    stats = {
+        "ok": True, "in_flight": 1, "counters": {}, "store": {},
+        "jobs": {
+            "abcdef0123456789": {
+                "waiters": 1, "followers": 2,
+                "last": {"phase": "explore", "kind": "progress",
+                         "configs": 42, "wall_ms": 2000.0},
+            },
+        },
+    }
+    screen = render_stats_dashboard(stats)
+    assert "KEY" in screen and "PHASE" in screen
+    assert "abcdef012345.." in screen  # long keys truncate
+    assert "configs=42" in screen and "followers=2" in screen

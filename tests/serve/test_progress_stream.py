@@ -1,0 +1,214 @@
+"""The ``repro.serve/2`` telemetry plane: followed submits, per-job
+live state, heartbeat stall detection, and the SIGKILL drill."""
+
+from __future__ import annotations
+
+import asyncio
+import os
+
+from repro.resilience import chaos
+from repro.serve import (
+    PROTOCOL,
+    ReproServer,
+    ResultStore,
+    ServeOptions,
+    request,
+    request_stream,
+)
+
+PHILOSOPHERS = {"kind": "corpus", "name": "philosophers_3"}
+OPTIONS = {"policy": "stubborn", "coarsen": True}
+
+
+def _submit(**extra) -> dict:
+    req = {"op": "submit", "program": PHILOSOPHERS, "options": dict(OPTIONS)}
+    req.update(extra)
+    return req
+
+
+async def _serve_and(store_root, coro_fn, **serve_kw):
+    """Run a unix-socket server, await ``coro_fn(address, server)``,
+    shut the server down, and return the coroutine's result."""
+    serve_kw.setdefault("checkpoint_every", 50)
+    serve_kw.setdefault("progress_interval_s", 0.01)
+    store = ResultStore(str(store_root))
+    server = ReproServer(store, ServeOptions(**serve_kw))
+    address = str(store_root) + ".sock"
+    serving = asyncio.ensure_future(server.serve(address))
+    for _ in range(500):
+        if os.path.exists(address):
+            break
+        await asyncio.sleep(0.01)
+    loop = asyncio.get_running_loop()
+    try:
+        return await coro_fn(loop, address, server)
+    finally:
+        await loop.run_in_executor(None, lambda: request(address, {"op": "shutdown"}))
+        await serving
+
+
+def test_follow_streams_frames_then_identical_final(tmp_path):
+    frames: list[dict] = []
+
+    async def scenario(loop, address, server):
+        streamed = await loop.run_in_executor(
+            None,
+            lambda: request_stream(
+                address, _submit(), on_frame=lambda o: frames.append(o)
+            ),
+        )
+        # the same request again, without follow: a store hit with the
+        # exact same payload (only the cached marker differs)
+        plain = await loop.run_in_executor(
+            None, lambda: request(address, _submit())
+        )
+        return streamed, plain
+
+    streamed, plain = asyncio.run(_serve_and(tmp_path / "store", scenario))
+    assert streamed["ok"] and not streamed["cached"]
+    assert len(frames) >= 2, "expected interleaved progress frames"
+    assert all(o["progress"] and o["key"] == streamed["key"] for o in frames)
+    phases = [o["frame"]["phase"] for o in frames]
+    assert phases[0] == "start" and "done" in phases
+    assert all(
+        o["frame"]["kind"] == "progress" for o in frames
+    )  # no stalls on a clean run
+    assert plain["ok"] and plain["cached"]
+    assert plain["result_digest"] == streamed["result_digest"]
+    assert plain["summary"] == streamed["summary"]
+    assert plain["outcomes"] == streamed["outcomes"]
+
+
+def test_followed_and_plain_runs_agree_across_stores(tmp_path):
+    """Streaming must not perturb the job: a followed run on one store
+    produces the same digest as a plain run on a fresh store."""
+
+    async def followed(loop, address, server):
+        return await loop.run_in_executor(
+            None, lambda: request_stream(address, _submit())
+        )
+
+    async def plain(loop, address, server):
+        return await loop.run_in_executor(
+            None, lambda: request(address, _submit())
+        )
+
+    a = asyncio.run(_serve_and(tmp_path / "store_a", followed))
+    b = asyncio.run(_serve_and(tmp_path / "store_b", plain))
+    assert a["ok"] and b["ok"]
+    assert a["result_digest"] == b["result_digest"]
+    assert a["summary"] == b["summary"]
+
+
+def test_sigkilled_worker_surfaces_stalled_then_resumes(tmp_path):
+    frames: list[dict] = []
+
+    async def scenario(loop, address, server):
+        final = await loop.run_in_executor(
+            None,
+            lambda: request_stream(
+                address, _submit(), on_frame=lambda o: frames.append(o)
+            ),
+        )
+        return final, dict(server.counters)
+
+    inj = chaos.FaultInjector()
+    # shared=True: the budget spans the forked workers — the first one
+    # dies mid-run, the restarted one runs clean
+    inj.arm("serve-worker-kill", times=1, shared=True)
+    chaos.install(inj)
+    try:
+        final, counters = asyncio.run(
+            _serve_and(tmp_path / "store", scenario, checkpoint_every=10)
+        )
+    finally:
+        chaos.uninstall()
+    kinds = [o["frame"]["kind"] for o in frames]
+    assert "progress.stalled" in kinds
+    assert "progress.resumed" in kinds
+    assert kinds.index("progress.stalled") < kinds.index("progress.resumed")
+    assert counters["serve.worker_restarts"] == 1
+    assert final["ok"], final
+
+
+def test_quiet_live_worker_stalls_within_a_heartbeat(tmp_path):
+    """A worker that is alive but silent longer than ``heartbeat_s``
+    surfaces as stalled *without* dying: frames resume afterwards."""
+    from repro.programs.philosophers import philosophers_source
+
+    frames: list[dict] = []
+    req = {
+        "op": "submit",
+        "program": {"kind": "source", "text": philosophers_source(5)},
+        "options": dict(OPTIONS),
+    }
+
+    async def scenario(loop, address, server):
+        return await loop.run_in_executor(
+            None,
+            lambda: request_stream(
+                address, req, on_frame=lambda o: frames.append(o)
+            ),
+        )
+
+    final = asyncio.run(
+        _serve_and(
+            tmp_path / "store",
+            scenario,
+            # frames ship rarely; the heartbeat is much tighter — the
+            # babysitter must synthesize stalled frames in between
+            progress_interval_s=60.0,
+            heartbeat_s=0.05,
+        )
+    )
+    assert final["ok"]
+    kinds = [o["frame"]["kind"] for o in frames]
+    assert "progress.stalled" in kinds
+    stalled = next(
+        o["frame"] for o in frames if o["frame"]["kind"] == "progress.stalled"
+    )
+    assert stalled["wall_silence_s"] >= 0.05
+
+
+def test_stats_exposes_protocol_and_live_jobs(tmp_path):
+    seen: dict = {}
+
+    async def scenario(loop, address, server):
+        fut = loop.run_in_executor(
+            None, lambda: request_stream(address, _submit())
+        )
+        # sample stats while the job is in flight
+        while not server._jobs and not fut.done():
+            await asyncio.sleep(0.005)
+        while server._jobs:
+            stats = await server.handle_request({"op": "stats"})
+            for key, job in stats["jobs"].items():
+                if job["last"] is not None:
+                    seen[key] = job
+            await asyncio.sleep(0.01)
+        final = await fut
+        after = await server.handle_request({"op": "stats"})
+        return final, after
+
+    final, after = asyncio.run(_serve_and(tmp_path / "store", scenario))
+    assert final["ok"]
+    assert after["protocol"] == PROTOCOL == "repro.serve/2"
+    assert after["jobs"] == {}  # finished jobs leave the live table
+    assert seen, "stats never showed a live job"
+    job = seen[final["key"]]
+    assert job["followers"] >= 1
+    assert job["last"]["schema"].startswith("repro.progress/")
+
+
+def test_plain_one_shot_clients_are_unaffected(tmp_path):
+    """A ``/1``-style request (no follow) gets exactly one response
+    line even though the worker ships frames to the server."""
+
+    async def scenario(loop, address, server):
+        return await loop.run_in_executor(
+            None, lambda: request(address, _submit())
+        )
+
+    final = asyncio.run(_serve_and(tmp_path / "store", scenario))
+    assert final["ok"] and not final["cached"]
+    assert "progress" not in final

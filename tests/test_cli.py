@@ -397,3 +397,130 @@ def test_schedules_perfetto_export(tmp_path, capsys):
     capsys.readouterr()
     document = json.loads(out.read_text())
     assert any(e.get("ph") == "X" for e in document["traceEvents"])
+
+
+def test_explore_progress_out_writes_frames(tmp_path, capsys):
+    from repro.progress import read_frames
+
+    out = tmp_path / "progress.ndjson"
+    assert (
+        main(
+            [
+                "explore",
+                "corpus:mutex_counter",
+                "--coarsen",
+                "--progress-out",
+                str(out),
+                "--progress-every",
+                "10",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    frames = read_frames(str(out))
+    assert len(frames) >= 2
+    assert frames[0]["schema"].startswith("repro.progress/")
+    assert frames[-1]["phase"] == "done"
+
+
+def test_watch_once_renders_file_dashboard(tmp_path, capsys):
+    out = tmp_path / "progress.ndjson"
+    assert (
+        main(
+            [
+                "explore",
+                "corpus:mutex_counter",
+                "--coarsen",
+                "--progress-out",
+                str(out),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["watch", str(out), "--once"]) == 0
+    screen = capsys.readouterr().out
+    assert "[complete]" in screen and "configs" in screen
+
+
+def test_report_progress_timeline_section(tmp_path, capsys):
+    frames = tmp_path / "progress.ndjson"
+    trace = tmp_path / "trace.jsonl"
+    html = tmp_path / "report.html"
+    assert (
+        main(
+            [
+                "explore",
+                "corpus:mutex_counter",
+                "--coarsen",
+                "--trace-out",
+                str(trace),
+                "--progress-out",
+                str(frames),
+                "--progress-every",
+                "5",
+            ]
+        )
+        == 0
+    )
+    assert (
+        main(
+            [
+                "report",
+                str(trace),
+                "--progress",
+                str(frames),
+                "--out",
+                str(html),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    text = html.read_text()
+    assert "Progress timeline" in text
+
+
+def test_submit_follow_flag_parses(tmp_path, capsys):
+    # no server: --follow must still produce the one-line error contract
+    sock = tmp_path / "nothing.sock"
+    assert (
+        main(
+            ["submit", "corpus:mutex_counter", str(sock), "--follow"]
+        )
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and err.count("\n") == 1
+
+
+def test_store_gc_cli(tmp_path, capsys):
+    from repro.serve.store import ResultStore
+
+    root = tmp_path / "store"
+    store = ResultStore(str(root))
+    store.put_result("victim", {"result_digest": "d", "summary": {}})
+    import os
+
+    meta = root / "entries" / "victim" / "meta.json"
+    old = os.path.getmtime(meta) - 7200
+    os.utime(meta, (old, old))
+    assert (
+        main(
+            ["store", "gc", "--store", str(root), "--max-age", "1h"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "evicted 1 entries" in out
+    assert not (root / "entries" / "victim").exists()
+
+
+def test_store_gc_requires_a_limit(tmp_path, capsys):
+    from repro.serve.store import ResultStore
+
+    root = tmp_path / "store"
+    ResultStore(str(root))
+    assert main(["store", "gc", "--store", str(root)]) == 2
+    assert "error:" in capsys.readouterr().err

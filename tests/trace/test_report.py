@@ -192,3 +192,27 @@ def test_cli_parallel_trace_carries_shard_records(tmp_path, capsys):
     shards = {r["shard"] for r in records}
     assert None in shards and 0 in shards
     assert any(r["name"] == "parallel.merge" for r in records)
+
+
+def test_report_progress_timeline_section():
+    frames = [
+        {"schema": "repro.progress/1", "kind": "progress", "seq": i,
+         "phase": "explore", "configs": i * 10, "edges": i * 12,
+         "frontier": 5, "wall_ms": i * 100.0}
+        for i in range(120)
+    ]
+    html = render_report(progress_frames=frames)
+    assert "Progress timeline" in html
+    assert "120 frames recorded" in html  # sampled table says what it hid
+
+
+def test_report_without_frames_omits_timeline_rows():
+    html = render_report()
+    assert "Progress timeline" not in html
+
+
+def test_report_dropped_spans_warning():
+    silent = render_report(metrics={"trace.dropped_spans": {"value": 0}})
+    assert "dropped" not in silent.lower()
+    noisy = render_report(metrics={"trace.dropped_spans": {"value": 7}})
+    assert "7" in noisy and "dropped" in noisy.lower()
