@@ -73,6 +73,7 @@ from __future__ import annotations
 
 import logging
 import multiprocessing
+import multiprocessing.connection
 import os
 import pickle
 import queue as _queue
@@ -110,8 +111,18 @@ _JOIN_TIMEOUT_S = 10.0
 _CAND_BATCH = 24
 #: Worker inbox poll timeout when idle (seconds).
 _IDLE_WAIT_S = 0.002
-#: Master poll-loop sleep (seconds).
-_POLL_S = 0.001
+#: Master readiness-wait timeout (seconds).  The master blocks on the
+#: results pipe plus the worker sentinels and is woken *immediately* by
+#: a worker's quiescence note, a message, or a death — the timeout only
+#: bounds how stale the budget/watchdog/progress checks can get.
+_WAIT_S = 0.05
+#: Short readiness-wait used while a master-side threshold is armed
+#: (checkpoint trigger, a budget close to its cap): those fire on the
+#: master's clock, so it must keep looking at the counters.
+_TRIGGER_WAIT_S = 0.002
+#: Configs-budget proximity (in configurations) at which the master
+#: switches to the short wait so truncation lands promptly.
+_BUDGET_GUARD = 4096
 #: Whole-run retries before giving up on a dying/wedged pool.
 _MAX_ATTEMPTS = 3
 
@@ -166,14 +177,21 @@ class _Shared:
         #: total still comes from the summed worker stats at the end)
         self.steals = ctx.RawArray("q", nshards)
 
-    def apply(self, d_out=0, d_configs=0, d_expansions=0, d_susp=0) -> None:
+    def apply(self, d_out=0, d_configs=0, d_expansions=0, d_susp=0):
+        """Apply one worker's counter deltas atomically.
+
+        Returns ``(outstanding, suspended)`` as observed under the lock
+        after the update (None for a no-op flush) so the caller can
+        detect the quiescence transition it just caused.
+        """
         if not (d_out or d_configs or d_expansions or d_susp):
-            return
+            return None
         with self.lock:
             self.outstanding.value += d_out
             self.configs.value += d_configs
             self.expansions.value += d_expansions
             self.suspended.value += d_susp
+            return (self.outstanding.value, self.suspended.value)
 
 
 def _maybe_chaos_exit() -> None:
@@ -257,10 +275,15 @@ class _Worker:
     # -- counter deltas -------------------------------------------------
 
     def _flush_deltas(self) -> None:
-        self.shared.apply(
+        after = self.shared.apply(
             self.d_out, self.d_configs, self.d_expansions, self.d_susp
         )
         self.d_out = self.d_configs = self.d_expansions = self.d_susp = 0
+        if after is not None and after[0] == after[1]:
+            # this flush reached quiescence (run end: outstanding == 0,
+            # or pause: everything suspended) — wake the blocked master
+            # now instead of letting its readiness-wait time out
+            self.results.put(("quiet",))
 
     # -- candidate intake (the owner-side half of the protocol) ---------
 
@@ -678,41 +701,88 @@ class _Pool:
                     f"worker {wid} died (exit code {proc.exitcode})"
                 )
 
-    def check_crash(self) -> None:
-        """Surface a worker-reported traceback (a real bug, not a
-        simulated death: no retry)."""
+    def wait_events(self, timeout_s: float) -> None:
+        """Block until the results pipe has data, a worker dies, or the
+        timeout elapses — the readiness wait replacing the old 1ms
+        polling sleep.  A dead worker's sentinel stays ready, so the
+        caller's next ``check_alive`` fires immediately."""
+        waiters = [p.sentinel for p in self.procs]
+        reader = getattr(self.results, "_reader", None)
+        if reader is not None:
+            waiters.append(reader)
         try:
-            msg = self.results.get_nowait()
-        except _queue.Empty:
-            return
-        if msg[0] == "crash":
-            raise ReproError(
-                f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
-            )
-        raise ReproError(f"unexpected worker message {msg[0]!r}")
+            multiprocessing.connection.wait(waiters, timeout=timeout_s)
+        except OSError:  # pragma: no cover - raced a closing sentinel
+            time.sleep(min(timeout_s, 0.005))
+
+    def drain_results(self, on_msg=None) -> None:
+        """Consume every pending results-queue message without blocking.
+
+        ``("quiet",)`` wake-up notes are absorbed; crashes raise; any
+        other message goes to *on_msg* (which returns True when it
+        handled the kind) — with no handler taking it, the message is a
+        protocol violation and raises."""
+        while True:
+            try:
+                msg = self.results.get_nowait()
+            except _queue.Empty:
+                return
+            kind = msg[0]
+            if kind == "quiet":
+                continue
+            if kind == "crash":
+                raise ReproError(
+                    f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
+                )
+            if on_msg is not None and on_msg(msg):
+                continue
+            raise ReproError(f"unexpected worker message {kind!r}")
 
     def send_all(self, msg) -> None:
         for inbox in self.inboxes:
             inbox.put(msg)
 
-    def collect_dumps(self, final: bool, timeout_s: float) -> list[dict]:
+    def collect_dumps(
+        self, final: bool, timeout_s: float, on_msg=None
+    ) -> list[dict]:
         """Request and gather one dump per worker, in wid order."""
         self.send_all(("dump", final))
         dumps: dict[int, dict] = {}
+
+        def take(msg):
+            if msg[0] == "dump":
+                dumps[msg[1]] = msg[2]
+                return True
+            return on_msg is not None and on_msg(msg)
+
         deadline = time.monotonic() + timeout_s
+        dead_deadline = None
         while len(dumps) < self.nshards:
-            try:
-                msg = self.results.get(timeout=0.05)
-            except _queue.Empty:
-                self.check_alive()
-                if time.monotonic() > deadline:
-                    raise _PoolFailure("timed out waiting for shard dumps")
-                continue
-            if msg[0] == "crash":
-                raise ReproError(
-                    f"parallel exploration worker {msg[1]} crashed:\n{msg[2]}"
-                )
-            dumps[msg[1]] = msg[2]
+            self.drain_results(take)
+            if len(dumps) >= self.nshards:
+                break
+            now = time.monotonic()
+            if now > deadline:
+                raise _PoolFailure("timed out waiting for shard dumps")
+            missing_dead = [
+                wid
+                for wid, proc in enumerate(self.procs)
+                if wid not in dumps and not proc.is_alive()
+            ]
+            if missing_dead:
+                # a worker exits right after its final dump, so a dead
+                # process is not proof of failure while its last message
+                # may still be in flight — grace-period it, then fail
+                if dead_deadline is None:
+                    dead_deadline = now + 1.0
+                elif now > dead_deadline:
+                    raise _PoolFailure(
+                        f"worker {missing_dead[0]} died before dumping"
+                    )
+                time.sleep(0.02)  # its sentinel makes wait_events moot
+            else:
+                dead_deadline = None
+                self.wait_events(0.05)
         return [dumps[wid] for wid in range(self.nshards)]
 
     def shutdown(self) -> None:
@@ -971,11 +1041,9 @@ def _bfs_attempt(
 
         # ---- drive ---------------------------------------------------
         while True:
+            pool.drain_results()
             if shared.outstanding.value == 0:
                 break
-            time.sleep(_POLL_S)
-            pool.check_alive()
-            pool.check_crash()
             now = time.monotonic()
             if not stats.truncated:
                 if deadline is not None and time.perf_counter() > deadline:
@@ -1041,6 +1109,21 @@ def _bfs_attempt(
                     f"no progress for {opts.parallel_watchdog_s:.0f}s with "
                     f"{progress[0]} work units outstanding (wedged worker?)"
                 )
+            wait_s = _WAIT_S
+            if not stats.truncated:
+                if next_cp is not None:
+                    wait_s = _TRIGGER_WAIT_S
+                if opts.max_rss_bytes is not None:
+                    wait_s = _TRIGGER_WAIT_S
+                if shared.configs.value > opts.max_configs - _BUDGET_GUARD:
+                    wait_s = _TRIGGER_WAIT_S
+                if deadline is not None:
+                    wait_s = min(
+                        wait_s,
+                        max(0.0005, deadline - time.perf_counter()),
+                    )
+            pool.wait_events(wait_s)
+            pool.check_alive()
 
         dumps = pool.collect_dumps(final=True, timeout_s=_JOIN_TIMEOUT_S)
         if run_span is not None:
@@ -1127,6 +1210,7 @@ def _quiescent_checkpoint(
     shared.mode.value = _PAUSE
     deadline = time.monotonic() + max(opts.parallel_watchdog_s, 5.0)
     while True:
+        pool.drain_results()
         # ``outstanding`` only decreases and ``suspended`` only grows
         # during a pause, and suspended <= outstanding always — so
         # reading outstanding *first* makes equality prove quiescence
@@ -1136,7 +1220,7 @@ def _quiescent_checkpoint(
         pool.check_alive()
         if time.monotonic() > deadline:
             raise _PoolFailure("pool failed to quiesce for a checkpoint")
-        time.sleep(_POLL_S)
+        pool.wait_events(_WAIT_S)
     dumps = pool.collect_dumps(final=False, timeout_s=_JOIN_TIMEOUT_S)
 
     graph, _, term_items, frag = _merge_graph(
