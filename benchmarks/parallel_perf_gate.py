@@ -13,10 +13,20 @@ and judges the *marginal* cost of the real workload:
   worst match — the serial driver, ``net <= serial * 1.15`` (the pad
   absorbs shared-runner noise);
 * single core: a speedup is physically impossible, so the gate bounds
-  overhead instead, ``net <= serial * 2.3``.  The work-stealing backend
-  measures ~1.5-1.9x net on one contended core, so this catches a
-  gross regression (a backend change that doubles per-task messaging)
-  while tolerating noisy containers.
+  overhead instead, ``net <= serial * 2.0``.  The digest-first
+  interconnect brought the work-stealing backend to ~1.4-1.9x net on
+  one contended core, so this catches a gross regression (a backend
+  change that doubles per-task messaging) while tolerating noisy
+  containers.
+
+The gate also bounds the interconnect itself: the parallel run's
+``msg_bytes / configs`` must stay under ``MSG_BYTES_PER_CONFIG``.
+Byte volume is hardware-independent — unlike wall-clock it cannot be
+excused by a slow runner — and it is the first thing to bloat when a
+transport change stops deduplicating components or starts re-shipping
+digests.  The digest-first ledger measures ~100 B/config on
+philosophers(6) @j2; the 122 bound is half the 244 B/config the
+whole-config encoding cost before it.
 
 Both runs must also explore the identical graph — a perf gate that
 passes by exploring less is lying.
@@ -40,7 +50,8 @@ from repro.programs.philosophers import philosophers  # noqa: E402
 
 REPS = 5
 MULTI_CORE_BOUND = 1.15
-SINGLE_CORE_BOUND = 2.3
+SINGLE_CORE_BOUND = 2.0
+MSG_BYTES_PER_CONFIG = 122
 
 
 def _best(program, opts) -> tuple[float, object]:
@@ -91,6 +102,19 @@ def main() -> int:
     if ratio > bound:
         kind = "slower than serial" if cpus >= 2 else "overhead bound blown"
         print(f"FAIL: {kind} (net ratio {ratio:.3f} > {bound:.2f})")
+        return 1
+    per_config = par.stats.msg_bytes / par.stats.num_configs
+    print(
+        f"interconnect: {par.stats.msg_bytes} B over "
+        f"{par.stats.num_configs} configs = {per_config:.1f} B/config "
+        f"(bound {MSG_BYTES_PER_CONFIG}), "
+        f"suppressed={par.stats.cand_suppressed}"
+    )
+    if per_config > MSG_BYTES_PER_CONFIG:
+        print(
+            f"FAIL: interconnect regression "
+            f"({per_config:.1f} B/config > {MSG_BYTES_PER_CONFIG})"
+        )
         return 1
     print("ok")
     return 0

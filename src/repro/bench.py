@@ -80,9 +80,15 @@ LOG = logging.getLogger("repro.bench")
 #: (:func:`run_progress_overhead` — the telemetry plane's cost:
 #: ns-per-``due()`` tick, ns-per-frame, and attached-vs-unattached
 #: exploration wall-clock; entirely wall-clock, so ignored by
-#: :func:`diff_reports`); :func:`load_report` still reads ``/1`` ..
-#: ``/6``.
-SCHEMA_VERSION = "repro.bench.explore/7"
+#: :func:`diff_reports`).  ``/8`` (this version) adds the per-entry
+#: ``interconnect`` sub-dict on parallel runs (and on the ``scaling``
+#: section's ``jN`` runs): candidate message count, total message
+#: bytes, source-suppressed candidates, and the canonical merge's
+#: overlap/tail seconds — the parallel backend's data-plane cost.
+#: ``null`` on serial entries and on documents predating ``/8``;
+#: scheduling- and wall-clock-dependent, so :func:`diff_reports`
+#: ignores it.  :func:`load_report` still reads ``/1`` .. ``/7``.
+SCHEMA_VERSION = "repro.bench.explore/8"
 
 #: Older layouts :func:`load_report` can upgrade on the fly.
 COMPATIBLE_SCHEMAS = (
@@ -92,6 +98,7 @@ COMPATIBLE_SCHEMAS = (
     "repro.bench.explore/4",
     "repro.bench.explore/5",
     "repro.bench.explore/6",
+    "repro.bench.explore/7",
     SCHEMA_VERSION,
 )
 
@@ -292,6 +299,21 @@ def _timed_explore(program, opts, observers=(), profiler=None):
     return result, time.perf_counter() - t0
 
 
+def _interconnect(s) -> dict | None:
+    """The ``interconnect`` sub-dict of a parallel run: what the
+    backend's data plane cost.  ``None`` on serial runs — serial
+    exploration sends no messages and merges nothing."""
+    if s.backend != "parallel":
+        return None
+    return {
+        "msgs": s.cand_msgs,
+        "msg_bytes": s.msg_bytes,
+        "cand_suppressed": s.cand_suppressed,
+        "merge_overlap_s": round(s.merge_overlap_s, 6),
+        "merge_tail_s": round(s.merge_tail_s, 6),
+    }
+
+
 def _make_entry(
     result: ExploreResult, wall: float, mo: MetricsObserver, full_entry
 ) -> dict:
@@ -318,6 +340,7 @@ def _make_entry(
         "escalations": list(s.escalations),
         "wall_time_s": round(wall, 6),
         "result_digest": result_digest(result),
+        "interconnect": _interconnect(s),
         "reduction_vs_full": (
             _ratio(full_entry["configs"], s.num_configs)
             if full_entry is not None
@@ -494,6 +517,7 @@ def _scaling_sweep(
                     else None
                 ),
                 "steals": par.stats.steals,
+                "interconnect": _interconnect(par.stats),
                 "speedup_vs_serial": (
                     round(serial_wall / wall, 3) if wall else None
                 ),
@@ -872,6 +896,7 @@ def upgrade_document(doc: dict) -> dict:
         for run_name, run in runs.items():
             if run_name != "serial":
                 run.setdefault("steals", None)
+                run.setdefault("interconnect", None)
     for prog in doc.get("programs", {}).values():
         for entry in prog.get("policies", {}).values():
             entry.setdefault("truncation_reason", None)
@@ -881,6 +906,7 @@ def upgrade_document(doc: dict) -> dict:
             entry.setdefault("jobs", 1)
             entry.setdefault("shard_balance", None)
             entry.setdefault("result_digest", None)
+            entry.setdefault("interconnect", None)
     return doc
 
 
@@ -925,10 +951,14 @@ def diff_reports(new: dict, baseline: dict) -> list[str]:
     Exploration is deterministic by contract, so any drift in counts or
     result digests between a fresh run and the checked-in baseline is a
     real behavior change, not noise.  Wall-clock, RSS, the telemetry
-    scalars, the optional ``serve``/``schedules`` sections, and entries
-    present on only one side (corpus growth, new jobs values) are
-    ignored.  ``max_configs``/``time_limit_s`` must match — truncation
-    points depend on them.
+    scalars, the optional ``serve``/``schedules`` sections, the ``/8``
+    ``interconnect`` sub-dicts (message counts and merge-overlap
+    timings follow worker scheduling, not program semantics), and
+    entries present on only one side (corpus growth, new jobs values)
+    are ignored — :data:`DETERMINISTIC_FIELDS` is a whitelist, so new
+    wall-clock fields stay ignored by construction.
+    ``max_configs``/``time_limit_s`` must match — truncation points
+    depend on them.
     """
     drift: list[str] = []
     for knob in ("max_configs", "time_limit_s"):

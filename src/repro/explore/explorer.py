@@ -183,6 +183,19 @@ class ExploreStats:
     worker_expansions: tuple[int, ...] = ()
     #: per-shard visited-set sizes at the end of the run
     shard_sizes: tuple[int, ...] = ()
+    #: interconnect bytes shipped over the worker queues (candidate
+    #: batches, steal transfers, graph fragments, and dumps; parallel
+    #: backend only — scheduling-dependent, like ``steals``)
+    msg_bytes: int = 0
+    #: candidate batch messages sent between workers (parallel only)
+    cand_msgs: int = 0
+    #: candidates suppressed at the source by the per-destination
+    #: seen-digest cache instead of being shipped (parallel only)
+    cand_suppressed: int = 0
+    #: canonical-merge seconds overlapped with workers still draining
+    merge_overlap_s: float = 0.0
+    #: canonical-merge seconds after the last worker joined
+    merge_tail_s: float = 0.0
     stubborn: StubbornStats | None = None
 
     @property

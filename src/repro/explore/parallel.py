@@ -71,6 +71,7 @@ attempts and :class:`~repro.util.errors.ReproError` raised after
 
 from __future__ import annotations
 
+import gc
 import logging
 import multiprocessing
 import multiprocessing.connection
@@ -107,8 +108,21 @@ LOG = logging.getLogger("repro.explore.parallel")
 
 #: Seconds to wait for a worker to exit after the final dump request.
 _JOIN_TIMEOUT_S = 10.0
-#: Candidate-message batch size (amortizes queue/pickle overhead).
-_CAND_BATCH = 24
+#: Candidate-batch flush threshold: estimated buffered payload bytes at
+#: which a destination's batch ships even though the sender is busy.
+_CAND_BYTES = 32 * 1024
+#: Staleness bound on the size policy: a destination's buffer never
+#: waits more than this many locally executed tasks, so a busy sender
+#: cannot starve a receiver of its frontier indefinitely.
+_CAND_STALE_TASKS = 64
+#: Sender-side per-destination seen-digest cache capacity (each entry
+#: pins one Config; eviction is insertion-ordered).
+_SEEN_CAP = 4096
+#: Minimum unshipped items worth a graph fragment on an idle/steal
+#: boundary.  Fragments ship only at those natural rotation points —
+#: a busy worker never interrupts expansion to stream, so the master's
+#: folding stays off the workers' critical path.
+_FRAG_MIN = 16
 #: Worker inbox poll timeout when idle (seconds).
 _IDLE_WAIT_S = 0.002
 #: Master readiness-wait timeout (seconds).  The master blocks on the
@@ -176,6 +190,10 @@ class _Shared:
         #: (live telemetry for the master's progress frames; the exact
         #: total still comes from the summed worker stats at the end)
         self.steals = ctx.RawArray("q", nshards)
+        #: per-worker interconnect bytes / suppressed candidates, written
+        #: by the sender alone — live telemetry like ``steals``
+        self.msg_bytes = ctx.RawArray("q", nshards)
+        self.suppressed = ctx.RawArray("q", nshards)
 
     def apply(self, d_out=0, d_configs=0, d_expansions=0, d_susp=0):
         """Apply one worker's counter deltas atomically.
@@ -210,6 +228,17 @@ def _maybe_chaos_exit() -> None:
 # --------------------------------------------------------------------------
 # worker side (BFS mode)
 # --------------------------------------------------------------------------
+
+
+def _seen_key(config) -> int:
+    """The suppression-cache key for one candidate configuration.
+
+    A separate function (rather than calling ``stable_digest`` inline)
+    so tests can monkeypatch it to force collisions: the cache verifies
+    configuration equality before suppressing and poisons colliding
+    keys, so even a constant key function must never lose a config.
+    """
+    return stable_digest(config)
 
 
 class _Worker:
@@ -259,12 +288,30 @@ class _Worker:
         self.ready: deque = deque()       # (lid, config) — own tasks
         self.stolen: deque = deque()      # (owner, lid, config)
         self.parked: list = []            # (owner, lid, config) while paused
-        self.out_buf: dict[int, list] = {}  # dst shard -> candidate tuples
+        self.out_buf: dict[int, list] = {}  # dst shard -> candidate entries
+        self.buf_bytes: dict[int, int] = {}  # dst shard -> estimated bytes
+        self.buf_since: dict[int, int] = {}  # dst -> executed@first buffered
+        # sender-side suppression state, per destination: digest ->
+        # config already shipped there (insertion-ordered for eviction),
+        # plus the digests poisoned by an observed collision
+        self.seen: dict[int, dict] = {}
+        self.poisoned: dict[int, set] = {}
+        # receiver-side ref resolution: (sender, digest) -> local id,
+        # updated by every full candidate from that sender (FIFO queues
+        # guarantee the full payload precedes any ref that cites it)
+        self.ref_map: dict[tuple[int, int], int] = {}
         self.trace_batches: dict[tuple, list] = {}  # (owner, lid) -> records
         self.dedup_hits = 0
         self.handoffs = 0
         self.steals = 0
         self.executed = 0
+        self.msg_bytes = 0
+        self.cand_msgs = 0
+        self.cand_suppressed = 0
+        # graph content already streamed to the master as fragments
+        self.shipped_configs = 0
+        self.shipped_edges = 0
+        self.shipped_terminals = 0
         self.awaiting_steal_since: float | None = None
         # per-iteration counter deltas, applied in one lock acquisition
         self.d_out = 0
@@ -287,15 +334,16 @@ class _Worker:
 
     # -- candidate intake (the owner-side half of the protocol) ---------
 
-    def _take_candidate(self, config, src_shard, src_lid, actions) -> None:
-        """Consume one counted candidate unit addressed to this shard."""
+    def _take_candidate(self, config, src_shard, src_lid, actions) -> int:
+        """Consume one counted candidate unit addressed to this shard;
+        returns the configuration's local id."""
         lid = self.visited.get(config)
         if lid is not None:
             self.dedup_hits += 1
             if src_shard is not None:
                 self.edges.append((src_shard, src_lid, actions, lid))
             self.d_out -= 1
-            return
+            return lid
         lid = len(self.configs)
         self.visited[config] = lid
         self.configs.append(config)
@@ -307,7 +355,7 @@ class _Worker:
             # truncated run: register + resolve the edge, expand nothing
             # (mirrors the serial driver's cleared-queue configurations)
             self.d_out -= 1
-            return
+            return lid
         from repro.explore.explorer import _terminal_status_fast
 
         status = _terminal_status_fast(config)
@@ -318,24 +366,42 @@ class _Worker:
             if self.wreg is not None:
                 self.wreg.inc("explore.expansions")
             self.d_out -= 1
-            return
+            return lid
         if mode == _PAUSE:
             self.parked.append((self.wid, lid, config))
             self.d_susp += 1
         else:
             self.ready.append((lid, config))
+        return lid
 
     # -- messages -------------------------------------------------------
 
     def _handle(self, msg) -> bool:
         """Process one inbox message; True when the worker should exit."""
+        if isinstance(msg, (bytes, bytearray)):
+            msg = pickle.loads(msg)
         kind = msg[0]
         if kind == "cand":
-            for payload, src_shard, src_lid, actions in msg[2]:
-                self._take_candidate(
-                    self.store.decode_config(payload),
-                    src_shard, src_lid, actions,
-                )
+            sender = msg[1]
+            for entry in msg[2]:
+                if entry[0]:
+                    # digest ref: the sender proved it already shipped
+                    # this exact configuration here, so this candidate
+                    # is by construction the owner-side dedup path
+                    _, dig, src_shard, src_lid, actions = entry
+                    lid = self.ref_map[(sender, dig)]
+                    self.dedup_hits += 1
+                    self.edges.append((src_shard, src_lid, actions, lid))
+                    self.d_out -= 1
+                else:
+                    _, payload, src_shard, src_lid, actions = entry
+                    lid = self._take_candidate(
+                        self.store.decode_config(payload),
+                        src_shard, src_lid, actions,
+                    )
+                    dig = payload[4]  # the digest rides in the payload
+                    if dig is not None:
+                        self.ref_map[(sender, dig)] = lid
         elif kind == "mark":
             _, lid, status = msg
             self.terminals.append((lid, status))
@@ -344,8 +410,12 @@ class _Worker:
             thief = msg[1]
             give = len(self.ready) // 2
             if give and self.shared.mode.value == _RUN:
+                # a thief is an idle peer: ship it any buffered
+                # candidates along with the stolen tasks
+                self._flush_bufs()
                 tasks = [self.ready.popleft() for _ in range(give)]
-                self.inboxes[thief].put(
+                self._send(
+                    thief,
                     (
                         "stolen",
                         self.wid,
@@ -353,8 +423,12 @@ class _Worker:
                             (lid, self.store.encode_config(cfg))
                             for lid, cfg in tasks
                         ],
-                    )
+                    ),
                 )
+                # a steal is a natural rotation boundary: the master is
+                # idle-adjacent anyway, so stream the graph delta now
+                if len(self.configs) - self.shipped_configs >= _FRAG_MIN:
+                    self._ship_frag()
             else:
                 self.inboxes[thief].put(("nowork",))
         elif kind == "stolen":
@@ -458,19 +532,21 @@ class _Worker:
                     succ = exp.succ
                     assert succ is not None
                     self.stats.actions_executed += len(exp.actions)
+                    # edges carry action *handles*: each ActionInfo
+                    # crosses the interconnect once, ever (memoized
+                    # expansions replay identical objects, so the
+                    # ledger hit rate tracks the memo hit rate)
+                    acts = tuple(
+                        self.store.publish(a) for a in exp.actions
+                    )
                     dshard = shard_of(succ, self.nshards)
                     if dshard == self.wid:
                         self.d_out += 1
-                        self._take_candidate(succ, owner, lid, exp.actions)
+                        self._take_candidate(succ, owner, lid, acts)
                     else:
                         self.handoffs += 1
                         self.d_out += 1
-                        self.out_buf.setdefault(dshard, []).append(
-                            (
-                                self.store.encode_config(succ),
-                                owner, lid, exp.actions,
-                            )
-                        )
+                        self._route(dshard, succ, owner, lid, acts)
         self.d_out -= 1  # the task unit itself
         if self.sink is not None:
             self.trace_batches[(owner, lid)] = self.sink.drain()
@@ -481,12 +557,96 @@ class _Worker:
             self.inboxes[mowner].put(("mark", mlid, status))
         self._flush_bufs(only_full=True)
 
+    def _route(self, dshard, succ, owner, lid, actions) -> None:
+        """Queue one cross-shard candidate: a digest ref when this
+        sender has already shipped the identical configuration to that
+        destination, the full store-encoded payload otherwise."""
+        dig = _seen_key(succ)
+        seen = self.seen.setdefault(dshard, {})
+        buf = self.out_buf.setdefault(dshard, [])
+        if dshard not in self.buf_since:
+            self.buf_since[dshard] = self.executed
+        hit = seen.get(dig)
+        if hit is not None:
+            # interning makes equal configs identical objects in this
+            # process, so identity is the fast path; the equality
+            # fallback guards the un-interned edge and keeps a digest
+            # collision from ever suppressing a genuinely-new config
+            if (hit is succ or hit == succ) and dig not in self.poisoned.get(
+                dshard, ()
+            ):
+                buf.append((1, dig, owner, lid, actions))
+                self.cand_suppressed += 1
+                self.shared.suppressed[self.wid] = self.cand_suppressed
+                self.buf_bytes[dshard] = self.buf_bytes.get(dshard, 0) + 32
+                return
+            if hit is not succ and hit != succ:
+                # two distinct configurations share a cache key: this
+                # digest can never again be trusted as a ref for this
+                # destination — full payloads only from here on
+                self.poisoned.setdefault(dshard, set()).add(dig)
+                seen.pop(dig, None)
+        else:
+            if len(seen) >= _SEEN_CAP:
+                seen.pop(next(iter(seen)))
+            seen[dig] = succ
+        tail0 = self.store.published_bytes()
+        payload = self.store.encode_config(succ)
+        est = 64 + (self.store.published_bytes() - tail0)
+        buf.append((0, payload, owner, lid, actions))
+        self.buf_bytes[dshard] = self.buf_bytes.get(dshard, 0) + est
+
+    def _send(self, dshard, msg) -> None:
+        """Pickle once (protocol 5), account the bytes, ship the blob."""
+        blob = pickle.dumps(msg, protocol=5)
+        self.msg_bytes += len(blob)
+        self.shared.msg_bytes[self.wid] = self.msg_bytes
+        self.inboxes[dshard].put(blob)
+
     def _flush_bufs(self, only_full: bool = False) -> None:
         for dshard, buf in list(self.out_buf.items()):
-            if not buf or (only_full and len(buf) < _CAND_BATCH):
+            if not buf:
                 continue
-            self.inboxes[dshard].put(("cand", self.wid, buf))
+            if only_full and self.buf_bytes.get(dshard, 0) < _CAND_BYTES and (
+                self.executed - self.buf_since.get(dshard, self.executed)
+                < _CAND_STALE_TASKS
+            ):
+                continue
+            self._send(dshard, ("cand", self.wid, buf))
+            self.cand_msgs += 1
             self.out_buf[dshard] = []
+            self.buf_bytes[dshard] = 0
+            self.buf_since.pop(dshard, None)
+
+    def _ship_frag(self) -> None:
+        """Stream the unshipped graph delta to the master, which folds
+        it into the canonical merge while the run is still draining."""
+        nc, ne, nt = len(self.configs), len(self.edges), len(self.terminals)
+        if (nc, ne, nt) == (
+            self.shipped_configs, self.shipped_edges, self.shipped_terminals
+        ):
+            return
+        frag = (
+            "frag",
+            self.wid,
+            self.shipped_configs,
+            [
+                # the merge recomputes digests; don't ship them
+                self.store.encode_config(c, digest=False)
+                for c in self.configs[self.shipped_configs:]
+            ],
+            self.shipped_edges,
+            self.edges[self.shipped_edges:],
+            self.shipped_terminals,
+            self.terminals[self.shipped_terminals:],
+        )
+        blob = pickle.dumps(frag, protocol=5)
+        self.msg_bytes += len(blob)
+        self.shared.msg_bytes[self.wid] = self.msg_bytes
+        self.results.put(blob)
+        self.shipped_configs = nc
+        self.shipped_edges = ne
+        self.shipped_terminals = nt
 
     # -- dumps ----------------------------------------------------------
 
@@ -498,9 +658,17 @@ class _Worker:
 
         payload = {
             "wid": self.wid,
-            "configs": self.configs,
-            "edges": self.edges,
-            "terminals": self.terminals,
+            # graph content ships as a delta over the fragments already
+            # streamed — the master's accumulator holds the rest
+            "base_configs": self.shipped_configs,
+            "configs": [
+                self.store.encode_config(c, digest=False)
+                for c in self.configs[self.shipped_configs:]
+            ],
+            "base_edges": self.shipped_edges,
+            "edges": self.edges[self.shipped_edges:],
+            "base_terminals": self.shipped_terminals,
+            "terminals": self.terminals[self.shipped_terminals:],
             "parked": [(o, lid) for o, lid, _ in self.parked],
             "stats": {
                 "expansions": self.stats.expansions,
@@ -511,6 +679,9 @@ class _Worker:
                 "handoffs": self.handoffs,
                 "steals": self.steals,
                 "executed": self.executed,
+                "msg_bytes": self.msg_bytes,
+                "cand_msgs": self.cand_msgs,
+                "cand_suppressed": self.cand_suppressed,
                 "peak_rss_bytes": _current_rss_bytes(),
             },
             "stubborn": (
@@ -519,13 +690,18 @@ class _Worker:
             "metrics": None,
             "trace": None,
         }
+        self.shipped_configs = len(self.configs)
+        self.shipped_edges = len(self.edges)
+        self.shipped_terminals = len(self.terminals)
         if final:
             if self.wreg is not None:
                 _emit_incremental_metrics(self.wreg, self.cache, self.digest_base)
                 payload["metrics"] = self.wreg.snapshot()
             if self.sink is not None:
                 payload["trace"] = self.trace_batches
-        self.results.put(("dump", self.wid, payload))
+        # the dump blob's own size is accounted master-side on receipt
+        # (it contains this msg_bytes counter, so it cannot count itself)
+        self.results.put(pickle.dumps(("dump", self.wid, payload), protocol=5))
 
     # -- main loop ------------------------------------------------------
 
@@ -571,6 +747,11 @@ class _Worker:
             self._flush_deltas()
             self._flush_bufs()
             if (
+                len(self.configs) - self.shipped_configs >= _FRAG_MIN
+                or len(self.edges) - self.shipped_edges >= _FRAG_MIN
+            ):
+                self._ship_frag()
+            if (
                 mode == _RUN
                 and self.shared.outstanding.value > 0
                 and self.nshards > 1
@@ -604,6 +785,10 @@ def _worker_main(
     want_metrics, want_trace, trace_wall,
 ):
     """Worker process entry point (BFS mode)."""
+    # the cyclic collector only costs here: exploration state is
+    # refcount-reclaimed (frozen dataclasses, tuples), and a gen-2 pass
+    # in a forked child copy-on-write-faults the whole inherited heap
+    gc.disable()
     try:
         _Worker(
             wid, nshards, program, opts, inboxes, results, shared, store,
@@ -679,20 +864,30 @@ class _Pool:
         # re-attached by name — the resource tracker sees each once)
         self.store = ComponentStore(nshards + 1, use_shm=self.fork)
         self.store.bind(nshards)  # the master is producer `nshards`
+        self.rx_dump_bytes = 0  # dump blobs received (sender can't count)
         self.procs = []
-        for wid in range(nshards):
-            proc = ctx.Process(
-                target=worker_main,
-                args=(
-                    wid, nshards, program, opts, self.inboxes, self.results,
-                    self.shared, self.store, want_metrics, want_trace,
-                    trace_wall,
-                ),
-                daemon=True,
-                name=f"repro-shard-{wid}",
-            )
-            proc.start()
-            self.procs.append(proc)
+        # move the parent heap to the permanent generation before
+        # forking: a child gc pass would otherwise touch every inherited
+        # object header and copy-on-write-fault the whole heap
+        if self.fork:
+            gc.freeze()
+        try:
+            for wid in range(nshards):
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        wid, nshards, program, opts, self.inboxes,
+                        self.results, self.shared, self.store, want_metrics,
+                        want_trace, trace_wall,
+                    ),
+                    daemon=True,
+                    name=f"repro-shard-{wid}",
+                )
+                proc.start()
+                self.procs.append(proc)
+        finally:
+            if self.fork:
+                gc.unfreeze()
 
     def check_alive(self) -> None:
         for wid, proc in enumerate(self.procs):
@@ -727,6 +922,13 @@ class _Pool:
                 msg = self.results.get_nowait()
             except _queue.Empty:
                 return
+            if isinstance(msg, (bytes, bytearray)):
+                nbytes = len(msg)
+                msg = pickle.loads(msg)
+                if msg[0] == "dump":
+                    # dump payloads carry the sender's own byte counter,
+                    # so their blob size is accounted here instead
+                    self.rx_dump_bytes += nbytes
             kind = msg[0]
             if kind == "quiet":
                 continue
@@ -743,10 +945,16 @@ class _Pool:
             inbox.put(msg)
 
     def collect_dumps(
-        self, final: bool, timeout_s: float, on_msg=None
+        self, final: bool, timeout_s: float, on_msg=None, after_request=None
     ) -> list[dict]:
-        """Request and gather one dump per worker, in wid order."""
+        """Request and gather one dump per worker, in wid order.
+
+        *after_request* runs once, right after the dump broadcast —
+        the overlap window where the workers are busy serializing and
+        master-side work (fragment folding) is free."""
         self.send_all(("dump", final))
+        if after_request is not None:
+            after_request()
         dumps: dict[int, dict] = {}
 
         def take(msg):
@@ -798,6 +1006,83 @@ class _Pool:
         self.store.unlink()
 
 
+class _FragAccumulator:
+    """The master-side half of the streaming merge: per-worker graph
+    fragments stashed raw as they arrive during the run, then folded in
+    the window between the dump request and the last dump's arrival —
+    i.e. while workers are busy pickling their tails, which is the only
+    window on a saturated machine where master-side decode work truly
+    overlaps instead of stealing worker cycles.  Its parts are the
+    single source of truth for :func:`_merge_graph`; workers only ever
+    ship deltas.  ``overlap_s`` counts fragment folds, ``tail_s`` the
+    post-join dump folds."""
+
+    def __init__(self, nshards: int, store) -> None:
+        self.parts = [
+            {"wid": wid, "configs": [], "edges": [], "terminals": []}
+            for wid in range(nshards)
+        ]
+        self.store = store
+        self.pending: list[tuple] = []
+        self.overlap_s = 0.0
+        self.tail_s = 0.0
+        self.frags = 0
+
+    def fold(
+        self, wid, base_c, configs, base_e, edges, base_t, terms,
+        *, tail: bool = False,
+    ) -> None:
+        part = self.parts[wid]
+        if (
+            base_c != len(part["configs"])
+            or base_e != len(part["edges"])
+            or base_t != len(part["terminals"])
+        ):
+            # per-producer queue order makes this unreachable short of a
+            # protocol bug; fail the attempt rather than corrupt a merge
+            raise _PoolFailure(f"worker {wid} fragment stream out of order")
+        t0 = time.perf_counter()
+        decode = self.store.decode_config
+        resolve = self.store.resolve
+        part["configs"].extend(decode(p) for p in configs)
+        part["edges"].extend(
+            (s, sl, tuple(resolve(h) for h in acts), dl)
+            for s, sl, acts, dl in edges
+        )
+        part["terminals"].extend(terms)
+        elapsed = time.perf_counter() - t0
+        if tail:
+            self.tail_s += elapsed
+        else:
+            self.overlap_s += elapsed
+            self.frags += 1
+
+    def on_msg(self, msg) -> bool:
+        """Results-queue handler: stashes ``frag`` messages for the
+        overlap window (folding them on arrival would contend with the
+        workers that are still expanding)."""
+        if msg[0] == "frag":
+            self.pending.append(msg)
+            return True
+        return False
+
+    def flush_pending(self) -> None:
+        """Fold every stashed fragment, in arrival order (per-producer
+        queue order keeps each worker's stream contiguous)."""
+        pending, self.pending = self.pending, []
+        for msg in pending:
+            self.fold(*msg[1:])
+
+    def fold_dump(self, dump: dict, *, tail: bool = True) -> None:
+        self.fold(
+            dump["wid"],
+            dump["base_configs"], dump["configs"],
+            dump["base_edges"], dump["edges"],
+            dump["base_terminals"], dump["terminals"],
+            tail=tail,
+        )
+
+
 def _canonical_order(configs: list[Config]) -> list[Config]:
     """Global deterministic ordering: by stable digest, ``repr`` as the
     collision tie-break (cheap: computed only for colliding digests)."""
@@ -813,9 +1098,10 @@ def _canonical_order(configs: list[Config]) -> list[Config]:
     return out
 
 
-def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
-    """The canonical merge: dumps (+ any resumed-snapshot content) into
-    one graph with scheduling-independent ids and orderings.
+def _merge_graph(parts, snap_edges, snap_terminals, init_cfg, metrics):
+    """The canonical merge: accumulated per-worker parts (+ any
+    resumed-snapshot content) into one graph with
+    scheduling-independent ids and orderings.
 
     Returns ``(graph, edge_items, term_items, frag)`` where the item
     lists carry ``is_new`` flags (False for snapshot-inherited content,
@@ -824,7 +1110,7 @@ def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
     """
     frag: dict[tuple[int, int], Config] = {}
     all_configs: list[Config] = []
-    for d in dumps:
+    for d in parts:
         for lid, config in enumerate(d["configs"]):
             frag[(d["wid"], lid)] = config
             all_configs.append(config)
@@ -841,7 +1127,7 @@ def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
         (graph.config_id(src), actions, graph.config_id(dst), False)
         for src, dst, actions in snap_edges
     ]
-    for d in dumps:
+    for d in parts:
         for src_shard, src_lid, actions, dst_lid in d["edges"]:
             edge_items.append(
                 (
@@ -862,7 +1148,7 @@ def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
         (graph.config_id(config), status, False)
         for config, status in snap_terminals
     ]
-    for d in dumps:
+    for d in parts:
         for lid, status in d["terminals"]:
             term_items.append(
                 (graph.config_id(frag[(d["wid"], lid)]), status, True)
@@ -873,12 +1159,14 @@ def _merge_graph(dumps, snap_edges, snap_terminals, init_cfg, metrics):
     return graph, edge_items, term_items, frag
 
 
-def _sum_dump_stats(stats, dumps, base=None) -> int:
+def _sum_dump_stats(stats, dumps, parts, base=None) -> int:
     """Fold per-worker counters into *stats*; returns total dedup hits.
 
     Cumulative counters start from *base* (the resumed snapshot's stats)
     when given; absolute quantities (terminal counts, graph sizes) are
-    recomputed by the caller from the merged graph instead.
+    recomputed by the caller from the merged graph instead.  Shard sizes
+    come from *parts* (the accumulated per-worker graph content) — the
+    dumps themselves only carry deltas.
     """
     if base is not None:
         stats.expansions = base.expansions
@@ -889,6 +1177,9 @@ def _sum_dump_stats(stats, dumps, base=None) -> int:
         stats.steals = base.steals
         stats.peak_rss_bytes = base.peak_rss_bytes
         stats.degraded_observers = base.degraded_observers
+        stats.msg_bytes = getattr(base, "msg_bytes", 0)
+        stats.cand_msgs = getattr(base, "cand_msgs", 0)
+        stats.cand_suppressed = getattr(base, "cand_suppressed", 0)
     dedup = 0
     for d in dumps:
         ws = d["stats"]
@@ -898,10 +1189,13 @@ def _sum_dump_stats(stats, dumps, base=None) -> int:
         stats.engine_faults += ws["engine_faults"]
         stats.handoffs += ws["handoffs"]
         stats.steals += ws["steals"]
+        stats.msg_bytes += ws["msg_bytes"]
+        stats.cand_msgs += ws["cand_msgs"]
+        stats.cand_suppressed += ws["cand_suppressed"]
         dedup += ws["dedup_hits"]
         if ws["peak_rss_bytes"] > stats.peak_rss_bytes:
             stats.peak_rss_bytes = ws["peak_rss_bytes"]
-    stats.shard_sizes = tuple(len(d["configs"]) for d in dumps)
+    stats.shard_sizes = tuple(len(p["configs"]) for p in parts)
     stats.worker_expansions = tuple(d["stats"]["executed"] for d in dumps)
     return dedup
 
@@ -1007,6 +1301,7 @@ def _bfs_attempt(
     )
     if spawn_span is not None:
         tracer.end_span(spawn_span)
+    acc = _FragAccumulator(nshards, pool.store)
     try:
         # ---- seed ----------------------------------------------------
         if snap is not None:
@@ -1021,11 +1316,8 @@ def _bfs_attempt(
                 pool.inboxes[s].put(("preload", preload[s], queue_lids[s]))
         else:
             pool.inboxes[shard_of(init, nshards)].put(
-                (
-                    "cand",
-                    nshards,
-                    [(pool.store.encode_config(init), None, None, None)],
-                )
+                ("cand", nshards,
+                 [(0, pool.store.encode_config(init), None, None, ())])
             )
 
         run_span = (
@@ -1041,7 +1333,7 @@ def _bfs_attempt(
 
         # ---- drive ---------------------------------------------------
         while True:
-            pool.drain_results()
+            pool.drain_results(acc.on_msg)
             if shared.outstanding.value == 0:
                 break
             now = time.monotonic()
@@ -1078,6 +1370,12 @@ def _bfs_attempt(
                     frontier=sum(depths),
                     shard_depths=depths,
                     shard_steals=[shared.steals[s] for s in range(nshards)],
+                    msg_bytes=sum(
+                        shared.msg_bytes[s] for s in range(nshards)
+                    ),
+                    suppressed=sum(
+                        shared.suppressed[s] for s in range(nshards)
+                    ),
                 )
             if (
                 next_cp is not None
@@ -1085,7 +1383,8 @@ def _bfs_attempt(
                 and shared.expansions.value >= next_cp
             ):
                 stopped = _quiescent_checkpoint(
-                    pool, cp, stats, opts, fingerprint, snap, init, tracer
+                    pool, acc, cp, stats, opts, fingerprint, snap, init,
+                    tracer,
                 )
                 while next_cp <= shared.expansions.value:
                     next_cp += cp.every
@@ -1125,7 +1424,10 @@ def _bfs_attempt(
             pool.wait_events(wait_s)
             pool.check_alive()
 
-        dumps = pool.collect_dumps(final=True, timeout_s=_JOIN_TIMEOUT_S)
+        dumps = pool.collect_dumps(
+            final=True, timeout_s=_JOIN_TIMEOUT_S, on_msg=acc.on_msg,
+            after_request=acc.flush_pending,
+        )
         if run_span is not None:
             tracer.end_span(run_span)
 
@@ -1133,14 +1435,22 @@ def _bfs_attempt(
         merge_span = (
             tracer.begin_span("parallel.merge") if tracer is not None else None
         )
+        acc.flush_pending()  # fragments that raced the dump request
+        for d in dumps:
+            acc.fold_dump(d)
         graph, edge_items, term_items, frag = _merge_graph(
-            dumps,
+            acc.parts,
             snap["edges"] if snap else [],
             snap["terminals"] if snap else [],
             init,
             metrics,
         )
-        dedup = _sum_dump_stats(stats, dumps, snap["stats"] if snap else None)
+        dedup = _sum_dump_stats(
+            stats, dumps, acc.parts, snap["stats"] if snap else None
+        )
+        stats.msg_bytes += pool.rx_dump_bytes
+        stats.merge_overlap_s = acc.overlap_s
+        stats.merge_tail_s = acc.tail_s
         preloaded = (
             {graph.config_id(c) for c in snap["configs"]} if snap else set()
         )
@@ -1184,6 +1494,11 @@ def _bfs_attempt(
                 metrics.set_gauge("parallel.shard_balance", balance)
             metrics.inc("parallel.handoffs", stats.handoffs)
             metrics.inc("parallel.steals", stats.steals)
+            metrics.inc("parallel.msg_bytes", stats.msg_bytes)
+            metrics.inc("parallel.cand_msgs", stats.cand_msgs)
+            metrics.inc("parallel.cand_suppressed", stats.cand_suppressed)
+            metrics.timer("parallel.merge_overlap_s").add(acc.overlap_s)
+            metrics.timer("parallel.merge_tail_s").add(acc.tail_s)
         if merge_span is not None:
             tracer.end_span(
                 merge_span, configs=graph.num_configs, edges=graph.num_edges
@@ -1199,7 +1514,7 @@ def _bfs_attempt(
 
 
 def _quiescent_checkpoint(
-    pool, cp, stats, opts, fingerprint, snap, init, tracer
+    pool, acc, cp, stats, opts, fingerprint, snap, init, tracer
 ) -> bool:
     """Pause the pool at a quiescent point, snapshot, resume (unless
     ``stop_after`` says to stop).  Returns True when the engine should
@@ -1210,7 +1525,7 @@ def _quiescent_checkpoint(
     shared.mode.value = _PAUSE
     deadline = time.monotonic() + max(opts.parallel_watchdog_s, 5.0)
     while True:
-        pool.drain_results()
+        pool.drain_results(acc.on_msg)
         # ``outstanding`` only decreases and ``suspended`` only grows
         # during a pause, and suspended <= outstanding always — so
         # reading outstanding *first* makes equality prove quiescence
@@ -1221,17 +1536,24 @@ def _quiescent_checkpoint(
         if time.monotonic() > deadline:
             raise _PoolFailure("pool failed to quiesce for a checkpoint")
         pool.wait_events(_WAIT_S)
-    dumps = pool.collect_dumps(final=False, timeout_s=_JOIN_TIMEOUT_S)
+    dumps = pool.collect_dumps(
+        final=False, timeout_s=_JOIN_TIMEOUT_S, on_msg=acc.on_msg,
+        after_request=acc.flush_pending,
+    )
+    acc.flush_pending()
+    for d in dumps:
+        acc.fold_dump(d, tail=False)
 
     graph, _, term_items, frag = _merge_graph(
-        dumps,
+        acc.parts,
         snap["edges"] if snap else [],
         snap["terminals"] if snap else [],
         init,
         None,
     )
     cp_stats = ExploreStats(backend="parallel", jobs=opts.jobs)
-    _sum_dump_stats(cp_stats, dumps, snap["stats"] if snap else None)
+    _sum_dump_stats(cp_stats, dumps, acc.parts, snap["stats"] if snap else None)
+    cp_stats.msg_bytes += pool.rx_dump_bytes
     for _, status, _n in term_items:
         if status == TERMINATED:
             cp_stats.num_terminated += 1
@@ -1319,6 +1641,7 @@ def _sleep_worker_main(
     """
     from repro.explore.explorer import _expand
 
+    gc.disable()  # same rationale as the BFS worker entry point
     try:
         store.bind(wid)
         access = _make_access(program, opts)

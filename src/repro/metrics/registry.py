@@ -132,6 +132,26 @@ LAST_WRITE_GAUGES = frozenset(
     }
 )
 
+#: Series that are deterministic but **worker-local**: their values
+#: legitimately depend on *where* work ran, so a parallel run's merged
+#: registry must not be compared against a serial run's on them.  The
+#: single source of truth for the cross-backend differential suite —
+#: add any new worker-local series here, or the equality check silently
+#: starts comparing scheduling noise.
+#:
+#: - ``parallel.*`` — no serial counterpart at all;
+#: - ``expand.*`` / ``digest.*`` — memo-cache and digest-reuse splits
+#:   follow per-shard locality (the expansion *outcomes* are asserted
+#:   equal through the graph checks instead);
+#: - ``explore.frontier_depth`` — a BFS queue and a sharded frontier
+#:   have different shapes;
+#: - ``explore.intern.hits`` — workers dedup successor batches before
+#:   interning, so parallel hit counts are legitimately lower.
+WORKER_LOCAL_PREFIXES = ("parallel.", "expand.", "digest.")
+WORKER_LOCAL_SERIES = frozenset(
+    {"explore.frontier_depth", "explore.intern.hits"}
+)
+
 
 class MetricsRegistry:
     """A flat name → instrument table with get-or-create accessors.
@@ -213,6 +233,11 @@ class MetricsRegistry:
 
         A name present in both registries with different types raises
         ``TypeError``; an unknown ``type`` tag raises ``ValueError``.
+
+        Merged parallel registries are only serial-comparable outside
+        the worker-local series named by :data:`WORKER_LOCAL_PREFIXES`
+        and :data:`WORKER_LOCAL_SERIES` — the differential suite builds
+        its comparable slice from those constants.
         """
         for name, data in snapshot.items():
             kind = data.get("type")

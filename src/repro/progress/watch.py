@@ -61,6 +61,10 @@ def render_frame(frame: dict) -> str:
         parts.append("shards=" + "/".join(str(d) for d in frame["shard_depths"]))
     if "shard_steals" in frame:
         parts.append("steals=" + str(sum(frame["shard_steals"])))
+    if "msg_bytes" in frame:
+        parts.append(f"net={_fmt_bytes(frame['msg_bytes'])}")
+    if frame.get("suppressed"):
+        parts.append(f"suppressed={frame['suppressed']}")
     hr = _hit_rate(frame)
     if hr:
         parts.append(hr.strip())
@@ -105,6 +109,11 @@ def render_file_dashboard(frames: list[dict], *, source: str = "") -> str:
                 for i, d in enumerate(depths)
             )
         )
+    if "msg_bytes" in last:
+        net = f"interconnect {_fmt_bytes(last['msg_bytes'])}"
+        if last.get("suppressed"):
+            net += f"   suppressed {last['suppressed']}"
+        lines.append(net)
     wall = []
     if "wall_ms" in last:
         wall.append(f"elapsed {_fmt_ms(last['wall_ms'])}")

@@ -13,9 +13,11 @@ This module ships each distinct component across the boundary **once**:
 * every participant (each worker, plus the master) owns one append-only
   ``multiprocessing.shared_memory`` segment it alone writes;
 * encoding a configuration writes any component not yet published to the
-  producer's own segment and replaces it with a ``("r", producer,
-  offset)`` handle — subsequent configurations reusing the component
-  carry only the 3-tuple;
+  producer's own segment and replaces it with a ``(producer, offset)``
+  handle tuple — the ledger hands back the *same* tuple object on every
+  reuse, so within one message blob pickle's memo collapses repeats to a
+  2-byte back-reference (an int-packed handle would re-emit ~8 bytes per
+  occurrence: pickle never memoizes integers);
 * decoding reads the ``[u32 length][pickle]`` record at the handle (the
   component pickle re-interns via ``__reduce__``, so the receiver gets
   its canonical object) and caches the handle → object mapping, making
@@ -84,11 +86,21 @@ class ComponentStore:
         self._producer: Optional[int] = None
         self._tail = [0] * nproducers
         # encoder state: id(component) -> (component, handle); holding
-        # the component pins it, so id() reuse cannot alias the map
+        # the component pins it, so id() reuse cannot alias the map.
+        # Decoding feeds this map too: a component received from another
+        # producer re-encodes as the *original* handle instead of being
+        # republished, so each component crosses the run exactly once
+        # no matter how many shards forward configurations built on it.
         self._published: dict[int, tuple] = {}
-        # decoder state: (producer, offset) -> component
-        self._decoded: dict[tuple[int, int], object] = {}
+        # value-keyed ledger for small immutables (the globals tuple):
+        # equal-but-distinct objects would defeat both the id-keyed map
+        # and pickle's id-based memo, republishing the same value once
+        # per successor
+        self._value_published: dict = {}
+        # decoder state: (producer, offset) handle -> component
+        self._decoded: dict[tuple, object] = {}
         self.inline_fallbacks = 0  # components shipped as raw bytes
+        self._inline_bytes = 0
         if use_shm and shm_available():
             from multiprocessing import shared_memory
             import os
@@ -125,8 +137,9 @@ class ComponentStore:
     # encoding
     # ------------------------------------------------------------------
 
-    def _publish(self, component) -> tuple:
-        """The transport handle for one Process/HeapObj component."""
+    def _publish(self, component):
+        """The transport handle for one shared component (a Process or
+        HeapObj of a configuration, or an edge's ActionInfo)."""
         key = id(component)
         hit = self._published.get(key)
         if hit is not None:
@@ -141,46 +154,88 @@ class ComponentStore:
                 _LEN.pack_into(seg.buf, tail, len(data))
                 seg.buf[tail + _LEN.size : end] = data
                 self._tail[self._producer] = end
-                handle = ("r", self._producer, tail)
+                handle = (self._producer, tail)
         if handle is None:
             handle = ("b", data)
             self.inline_fallbacks += 1
+            self._inline_bytes += len(data)
         self._published[key] = (component, handle)
         return handle
 
-    def encode_config(self, config: Config) -> tuple:
-        """A compact, queue-shippable payload for *config*."""
+    def publish(self, obj):
+        """Publish any shared object once; returns its handle.  The
+        same incremental ledger backs configurations and edge-action
+        metadata, so a repeat publish is a dict hit."""
+        return self._publish(obj)
+
+    def published_bytes(self) -> int:
+        """Bytes this producer has published so far (its segment tail
+        plus inline-fallback payloads) — lets senders estimate the
+        marginal cost of the configuration they just encoded."""
+        tail = 0
+        if self._segments and self._producer is not None:
+            tail = self._tail[self._producer]
+        return tail + self._inline_bytes
+
+    def _publish_value(self, value):
+        """Publish a small hashable immutable keyed by *value* rather
+        than identity — successors rebuild an equal globals tuple, so
+        id-keying (and pickle's id-based memo) would republish it per
+        configuration."""
+        handle = self._value_published.get(value)
+        if handle is None:
+            handle = self._publish(value)
+            self._value_published[value] = handle
+        return handle
+
+    def encode_config(self, config: Config, *, digest: bool = True) -> tuple:
+        """A compact, queue-shippable payload for *config*.
+
+        ``digest=False`` omits the stable digest (graph fragments headed
+        for the canonical merge recompute it there; candidate messages
+        keep it because the receiving shard routes and deduplicates on
+        it)."""
         return (
             tuple(self._publish(p) for p in config.procs),
-            config.globals,
+            self._publish_value(config.globals),
             tuple(self._publish(o) for o in config.heap),
             config.fault,
-            config._digest,
+            config._digest if digest else None,
         )
 
     # ------------------------------------------------------------------
     # decoding
     # ------------------------------------------------------------------
 
-    def _resolve(self, handle: tuple):
-        tag = handle[0]
-        if tag == "b":
+    def _resolve(self, handle):
+        if handle[0] == "b":  # ("b", pickle) inline fallback
             return pickle.loads(handle[1])
-        key = (handle[1], handle[2])
-        hit = self._decoded.get(key)
+        hit = self._decoded.get(handle)
         if hit is not None:
             return hit
-        buf = self._segments[handle[1]].buf
-        offset = handle[2]
+        producer, offset = handle
+        buf = self._segments[producer].buf
         (length,) = _LEN.unpack_from(buf, offset)
         start = offset + _LEN.size
         component = pickle.loads(bytes(buf[start : start + length]))
-        self._decoded[key] = component
+        self._decoded[handle] = component
+        # ledger reuse: re-encoding this component forwards the original
+        # producer's handle (any participant can resolve any handle)
+        self._published.setdefault(id(component), (component, handle))
         return component
+
+    def resolve(self, handle):
+        """Resolve any handle produced by :meth:`publish` (or by config
+        encoding) to its canonical object."""
+        return self._resolve(handle)
 
     def decode_config(self, payload: tuple) -> Config:
         """Rebuild (and intern) a configuration from a payload."""
-        proc_refs, globals_, heap_refs, fault, digest = payload
+        proc_refs, globals_ref, heap_refs, fault, digest = payload
+        globals_ = self._resolve(globals_ref)
+        # ledger reuse for the value-keyed map too: forwarding a config
+        # with these globals reuses the original producer's handle
+        self._value_published.setdefault(globals_, globals_ref)
         config = intern_config(
             Config(
                 procs=tuple(self._resolve(r) for r in proc_refs),

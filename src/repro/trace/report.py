@@ -338,6 +338,42 @@ def _cache_section(metrics: dict | None) -> str:
     )
 
 
+def _interconnect_section(metrics: dict | None) -> str:
+    """The parallel backend's data-plane anatomy: how many bytes the
+    workers shipped, what the suppression cache saved, and how much of
+    the canonical merge overlapped exploration instead of trailing it.
+    Absent on serial runs — the section keys on ``parallel.*`` series."""
+    if not metrics or "parallel.msg_bytes" not in metrics:
+        return ""
+    rows = []
+    for name, label in (
+        ("parallel.msg_bytes", "interconnect bytes shipped"),
+        ("parallel.cand_msgs", "candidate messages"),
+        ("parallel.cand_suppressed", "candidates suppressed at source"),
+        ("parallel.handoffs", "cross-shard handoffs"),
+        ("parallel.steals", "work steals"),
+        ("parallel.shard_balance", "shard balance (min/max work)"),
+    ):
+        data = metrics.get(name)
+        if data is None:
+            continue
+        value = data.get("value")
+        if isinstance(value, float):
+            value = round(value, 4)
+        rows.append((label, value))
+    for name, label in (
+        ("parallel.merge_overlap_s", "merge overlapped with run (s)"),
+        ("parallel.merge_tail_s", "merge tail after quiescence (s)"),
+    ):
+        data = metrics.get(name)
+        if data is None:
+            continue
+        rows.append((label, round(data.get("total_s", 0.0), 6)))
+    return "<h2>Interconnect</h2>" + _table(
+        ("series", "value"), rows, numeric=(1,)
+    )
+
+
 def _metrics_section(metrics: dict | None) -> str:
     if not metrics:
         return ("<h2>Metrics</h2><p>No metrics dump supplied "
@@ -425,6 +461,7 @@ def render_report(
         ))
     body.append(_event_section(records))
     body.append(_cache_section(metrics))
+    body.append(_interconnect_section(metrics))
     body.append(_metrics_section(metrics))
     return (
         "<!DOCTYPE html>\n"

@@ -17,16 +17,12 @@ Contract, per corpus program × expansion policy (± sleep sets) × jobs
   master merges worker registries (``MetricsRegistry.merge``), so
   deterministic counters and histograms (``explore.expansions``,
   ``stubborn.*``, ``coarsen.*`` …) must equal the serial registry.
-  Excluded by design: ``explore.frontier_depth`` (a BFS queue and a
-  sharded frontier have different shapes), ``explore.intern.hits``
-  (workers dedup successor batches before interning, so parallel hit
-  counts are legitimately lower), ``expand.*`` and ``digest.*``
-  (memo-cache hit/miss splits and digest reuse depend on *where* the
-  work ran — per-shard caches see different locality than the serial
-  cache, and only the parallel backend digests at all — while the
-  expansion *outcomes* they produce are asserted equal through the
-  graph/metric checks above), ``parallel.*`` (no serial counterpart),
-  gauges and timers (wall-clock / peak semantics).
+  Excluded by design: the worker-local series named by the shared
+  constants ``WORKER_LOCAL_PREFIXES`` / ``WORKER_LOCAL_SERIES`` in
+  :mod:`repro.metrics.registry` (rationale per series lives on the
+  constants — one source of truth for this suite and the
+  ``MetricsRegistry.merge`` contract), plus gauges and timers
+  (wall-clock / peak semantics).
 
 Determinism (the no-dict-iteration-order-leak guarantee): the merged
 graph of two repeated runs at the same ``jobs`` is identical node by
@@ -47,13 +43,11 @@ import pytest
 from repro.bench import SMOKE_PROGRAMS
 from repro.explore import ExploreOptions, explore
 from repro.metrics import MetricsObserver
-from repro.programs.corpus import CORPUS
-
-#: Deterministic series that are *not* backend-comparable (see module
-#: docstring for why each is excluded).
-_EXCLUDED_SERIES = frozenset(
-    {"explore.frontier_depth", "explore.intern.hits"}
+from repro.metrics.registry import (
+    WORKER_LOCAL_PREFIXES,
+    WORKER_LOCAL_SERIES,
 )
+from repro.programs.corpus import CORPUS
 
 #: (policy, coarsen, sleep) — sleep sets compose with the parallel
 #: backend since the work-stealing rewrite (master-sequenced DFS with
@@ -100,13 +94,14 @@ def _serial(name, policy, coarsen, sleep=False):
 
 def _comparable(snapshot: dict) -> dict:
     """The backend-comparable slice of a registry snapshot:
-    deterministic counters and histograms minus the excluded series."""
+    deterministic counters and histograms minus the worker-local series
+    (the shared exclusion constants in :mod:`repro.metrics.registry`)."""
     return {
         name: {k: v for k, v in data.items() if k != "type"}
         for name, data in snapshot.items()
         if data["type"] in ("counter", "histogram")
-        and not name.startswith(("parallel.", "expand.", "digest."))
-        and name not in _EXCLUDED_SERIES
+        and not name.startswith(WORKER_LOCAL_PREFIXES)
+        and name not in WORKER_LOCAL_SERIES
     }
 
 
@@ -318,3 +313,75 @@ def test_parallel_snapshot_resumes_serially_and_back(tmp_path):
     assert parallel_resumed.stats.resumed
     assert content(parallel_resumed) == content(reference)
     assert parallel_resumed.stats.expansions == reference.stats.expansions
+
+
+# --------------------------------------------------------------------------
+# interconnect probes: suppression cache and fragment streaming
+# --------------------------------------------------------------------------
+
+
+def test_suppression_fires_on_reconverging_frontier():
+    """The sender-side seen-digest cache earns its keep: on a program
+    whose interleavings reconverge heavily, repeat candidates are
+    suppressed at the source instead of shipped and rejected by the
+    owner's visited set."""
+    r = explore(
+        _program("philosophers_3"),
+        options=ExploreOptions(policy="full", backend="parallel", jobs=2),
+    )
+    assert r.stats.cand_suppressed > 0
+    assert r.stats.msg_bytes > 0
+
+
+def test_seen_cache_poisoning_never_drops_a_config():
+    """Forced digest collisions in the suppression cache: with every
+    candidate hashing to the same key, the cache sees nothing but
+    collisions — it must verify configuration equality, poison the key,
+    and keep shipping, never suppressing a genuinely-new config."""
+    from repro.explore import parallel as par
+
+    orig = par._seen_key
+    par._seen_key = lambda config: 1  # fork inherits the patch
+    try:
+        r = explore(
+            _program("philosophers_3"),
+            options=ExploreOptions(
+                policy="full", backend="parallel", jobs=2
+            ),
+        )
+    finally:
+        par._seen_key = orig
+    ser, _ = _serial("philosophers_3", "full", False)
+    _assert_equivalent(r, ser)
+
+
+def test_worker_killed_mid_fragment_stream_merges_clean():
+    """Chaos drill: with the fragment threshold forced to 1 the workers
+    stream graph deltas constantly, so a kill lands with fragments of
+    the dead worker already folded into the master's accumulator.  The
+    restarted attempt must discard them wholesale — the merged graph
+    equals the fault-free run's."""
+    from repro.explore import parallel as par
+
+    from repro.resilience import chaos
+
+    opts = ExploreOptions(
+        policy="stubborn", backend="parallel", jobs=2
+    )
+    program = _program("philosophers_3")
+    clean = explore(program, options=opts)
+    orig = par._FRAG_MIN
+    par._FRAG_MIN = 1
+    try:
+        assert chaos.active() is None
+        with chaos.injected("worker", after=40, shared=True) as inj:
+            r = explore(program, options=opts)
+        assert inj.armed_fired("worker") == 1
+    finally:
+        par._FRAG_MIN = orig
+        chaos.uninstall()
+    assert r.stats.worker_restarts == 1
+    assert r.graph.configs == clean.graph.configs
+    assert r.graph.edges == clean.graph.edges
+    assert r.graph.terminal == clean.graph.terminal
+    assert r.final_stores() == clean.final_stores()

@@ -350,3 +350,51 @@ def test_run_serve_load_smoke():
     assert section["jobs_completed"] == len(section["programs"])
     assert section["shed"] == 0
     assert section["cold_wall_s"] > 0 and section["warm_wall_s"] > 0
+
+
+# --------------------------------------------------------------------------
+# /8: the interconnect sub-dict
+# --------------------------------------------------------------------------
+
+
+def test_parallel_entries_carry_interconnect_section():
+    doc = run_bench(programs=["mutex_counter"], jobs=[2]).document
+    policies = doc["programs"]["mutex_counter"]["policies"]
+    assert policies["stubborn"]["interconnect"] is None
+    inter = policies["stubborn@j2"]["interconnect"]
+    assert set(inter) == {
+        "msgs",
+        "msg_bytes",
+        "cand_suppressed",
+        "merge_overlap_s",
+        "merge_tail_s",
+    }
+    assert inter["msg_bytes"] > 0
+    assert inter["cand_suppressed"] >= 0
+
+
+def test_upgrade_v7_document_gains_interconnect_key():
+    doc = json.loads(
+        json.dumps(run_bench(programs=["fig2_shasha_snir"]).document)
+    )
+    doc["schema"] = "repro.bench.explore/7"
+    for prog in doc["programs"].values():
+        for entry in prog["policies"].values():
+            del entry["interconnect"]
+    up = upgrade_document(doc)
+    for prog in up["programs"].values():
+        for entry in prog["policies"].values():
+            assert entry["interconnect"] is None
+
+
+def test_diff_reports_ignores_interconnect_drift():
+    a = upgrade_document(run_bench(programs=["mutex_counter"], jobs=[2]).document)
+    b = upgrade_document(run_bench(programs=["mutex_counter"], jobs=[2]).document)
+    a["programs"]["mutex_counter"]["policies"]["stubborn@j2"]["interconnect"] = {
+        "msgs": 999,
+        "msg_bytes": 10**9,
+        "cand_suppressed": 0,
+        "merge_overlap_s": 5.0,
+        "merge_tail_s": 5.0,
+    }
+    assert diff_reports(a, b) == []
